@@ -1,0 +1,148 @@
+//! Local clustering coefficients and ego networks.
+//!
+//! Fig. 14 plots the local clustering coefficient of apps in the
+//! collaboration graph ("25% of the apps have a local clustering
+//! coefficient larger than 0.74"), using the paper's own footnoted
+//! definition: *"the number of edges among the neighbors of a node over the
+//! maximum possible number of edges among those nodes"* — i.e. on the
+//! undirected view. Fig. 15 visualizes one ego network ("the 'Death
+//! Predictor' app, which has 26 neighbors and ... 0.87").
+
+use std::collections::BTreeSet;
+
+use osn_types::ids::AppId;
+
+use crate::graph::CollaborationGraph;
+
+/// Local clustering coefficient of `app` on the undirected view.
+///
+/// Nodes with fewer than two neighbours have no possible neighbour pairs;
+/// the paper's star-graph example assigns them 0.
+pub fn local_clustering_coefficient(graph: &CollaborationGraph, app: AppId) -> f64 {
+    let neighbours: Vec<AppId> = graph.neighbours(app).into_iter().collect();
+    let k = neighbours.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut edges = 0usize;
+    for (i, &a) in neighbours.iter().enumerate() {
+        for &b in &neighbours[i + 1..] {
+            if graph.connected(a, b) {
+                edges += 1;
+            }
+        }
+    }
+    let possible = k * (k - 1) / 2;
+    edges as f64 / possible as f64
+}
+
+/// A node's ego network: the node, its neighbours, and all undirected
+/// edges among them (including spokes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EgoNetwork {
+    /// The centre node.
+    pub centre: AppId,
+    /// Its neighbours, ascending.
+    pub neighbours: Vec<AppId>,
+    /// Undirected edges among `{centre} ∪ neighbours`, as ordered pairs
+    /// `(min, max)`, sorted.
+    pub edges: Vec<(AppId, AppId)>,
+    /// The centre's local clustering coefficient.
+    pub clustering_coefficient: f64,
+}
+
+/// Extracts the ego network of `app` (the Fig. 15 construction).
+pub fn ego_network(graph: &CollaborationGraph, app: AppId) -> EgoNetwork {
+    let neighbour_set: BTreeSet<AppId> = graph.neighbours(app);
+    let mut edges: BTreeSet<(AppId, AppId)> = BTreeSet::new();
+    for &n in &neighbour_set {
+        edges.insert((app.min(n), app.max(n)));
+    }
+    let neighbours: Vec<AppId> = neighbour_set.iter().copied().collect();
+    for (i, &a) in neighbours.iter().enumerate() {
+        for &b in &neighbours[i + 1..] {
+            if graph.connected(a, b) {
+                edges.insert((a.min(b), a.max(b)));
+            }
+        }
+    }
+    EgoNetwork {
+        centre: app,
+        neighbours,
+        edges: edges.into_iter().collect(),
+        clustering_coefficient: local_clustering_coefficient(graph, app),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_neighbourhood_is_one() {
+        // 0 connected to 1,2,3; 1,2,3 fully connected among themselves.
+        let mut g = CollaborationGraph::new();
+        for n in 1..=3 {
+            g.add_edge(AppId(0), AppId(n));
+        }
+        g.add_edge(AppId(1), AppId(2));
+        g.add_edge(AppId(2), AppId(3));
+        g.add_edge(AppId(1), AppId(3));
+        assert_eq!(local_clustering_coefficient(&g, AppId(0)), 1.0);
+    }
+
+    #[test]
+    fn star_centre_is_zero() {
+        // the paper's example: "a disconnected neighborhood (the neighbors
+        // of the center of a star graph) has a value of 0"
+        let mut g = CollaborationGraph::new();
+        for n in 1..=5 {
+            g.add_edge(AppId(0), AppId(n));
+        }
+        assert_eq!(local_clustering_coefficient(&g, AppId(0)), 0.0);
+        // a leaf has a single neighbour -> 0 by convention
+        assert_eq!(local_clustering_coefficient(&g, AppId(1)), 0.0);
+    }
+
+    #[test]
+    fn partial_neighbourhood() {
+        // 0 -- 1,2,3; only 1-2 connected: 1 of 3 possible edges.
+        let mut g = CollaborationGraph::new();
+        for n in 1..=3 {
+            g.add_edge(AppId(0), AppId(n));
+        }
+        g.add_edge(AppId(1), AppId(2));
+        let c = local_clustering_coefficient(&g, AppId(0));
+        assert!((c - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction_does_not_matter() {
+        let mut g = CollaborationGraph::new();
+        g.add_edge(AppId(1), AppId(0));
+        g.add_edge(AppId(0), AppId(2));
+        g.add_edge(AppId(2), AppId(1)); // closes the triangle
+        assert_eq!(local_clustering_coefficient(&g, AppId(0)), 1.0);
+    }
+
+    #[test]
+    fn ego_network_extraction() {
+        let mut g = CollaborationGraph::new();
+        g.add_edge(AppId(0), AppId(1));
+        g.add_edge(AppId(0), AppId(2));
+        g.add_edge(AppId(1), AppId(2));
+        g.add_edge(AppId(2), AppId(9)); // outside the ego net of 0
+        let ego = ego_network(&g, AppId(0));
+        assert_eq!(ego.centre, AppId(0));
+        assert_eq!(ego.neighbours, vec![AppId(1), AppId(2)]);
+        assert_eq!(
+            ego.edges,
+            vec![
+                (AppId(0), AppId(1)),
+                (AppId(0), AppId(2)),
+                (AppId(1), AppId(2)),
+            ]
+        );
+        assert_eq!(ego.clustering_coefficient, 1.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Graphviz DOT export.
+//!
+//! Fig. 1 ("Real snapshot of 770 highly collaborating apps") and Fig. 15
+//! (the 'Death Predictor' ego network) are graph renderings; this module
+//! emits the corresponding DOT source so the benches can regenerate them.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use osn_types::ids::AppId;
+
+use crate::graph::CollaborationGraph;
+
+/// Renders the undirected collusion view of (a subset of) the graph as
+/// Graphviz DOT. `subset` limits the export (e.g. one connected
+/// component); pass `None` to export every node.
+pub fn to_dot(graph: &CollaborationGraph, subset: Option<&[AppId]>, name: &str) -> String {
+    let members: BTreeSet<AppId> = match subset {
+        Some(s) => s.iter().copied().collect(),
+        None => graph.nodes().collect(),
+    };
+
+    let mut out = String::new();
+    writeln!(out, "graph \"{name}\" {{").expect("writing to String cannot fail");
+    writeln!(out, "  node [shape=point];").expect("writing to String cannot fail");
+    for &node in &members {
+        writeln!(out, "  \"{}\";", node.raw()).expect("writing to String cannot fail");
+    }
+    // Each undirected edge once: only emit (a, b) with a < b.
+    for &a in &members {
+        for b in graph.neighbours(a) {
+            if a < b && members.contains(&b) {
+                writeln!(out, "  \"{}\" -- \"{}\";", a.raw(), b.raw())
+                    .expect("writing to String cannot fail");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_nodes_and_undirected_edges_once() {
+        let mut g = CollaborationGraph::new();
+        g.add_edge(AppId(1), AppId(2));
+        g.add_edge(AppId(2), AppId(1)); // reciprocal directed edges
+        g.add_edge(AppId(2), AppId(3));
+        let dot = to_dot(&g, None, "test");
+        assert!(dot.starts_with("graph \"test\" {"));
+        assert_eq!(dot.matches("\"1\" -- \"2\"").count(), 1);
+        assert_eq!(dot.matches("\"2\" -- \"3\"").count(), 1);
+        assert!(!dot.contains("\"2\" -- \"1\""));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn subset_restricts_nodes_and_edges() {
+        let mut g = CollaborationGraph::new();
+        g.add_edge(AppId(1), AppId(2));
+        g.add_edge(AppId(2), AppId(3));
+        let dot = to_dot(&g, Some(&[AppId(1), AppId(2)]), "sub");
+        assert!(dot.contains("\"1\" -- \"2\""));
+        assert!(!dot.contains("\"3\""));
+    }
+}

@@ -1,0 +1,238 @@
+//! Building the collaboration graph from a post corpus.
+//!
+//! §6.1 identifies the two promotion channels:
+//!
+//! * **direct links**: a post's URL is itself an app installation URL
+//!   ("692 promoter apps ... promoted 1,806 different apps using direct
+//!   links");
+//! * **indirect promotion**: the post's URL (usually shortened) resolves to
+//!   an external indirection website whose redirect target rotates over a
+//!   pool of apps. The paper discovered each site's pool by following it
+//!   repeatedly ("100 times a day" for six weeks); here the analyst is
+//!   given the same observable — the site's accumulated target pool.
+//!
+//! The extractor follows exactly that recipe: expand shortened URLs through
+//! the shortener's API, recognise install URLs, match known indirection
+//! entry points, and add promoter → promotee edges.
+
+use std::collections::HashMap;
+
+use fb_platform::install::parse_install_url;
+use fb_platform::post::Post;
+use osn_types::ids::AppId;
+use osn_types::url::Url;
+use url_services::redirector::IndirectionSite;
+use url_services::shortener::Shortener;
+
+use crate::graph::CollaborationGraph;
+
+/// Everything the extractor needs to resolve links.
+pub struct ExtractionContext<'a> {
+    /// Shorteners to try when a post's link is a short URL.
+    pub shorteners: Vec<&'a Shortener>,
+    /// Known indirection sites, keyed by entry-URL display form.
+    pub indirection_sites: HashMap<String, &'a IndirectionSite>,
+}
+
+impl<'a> ExtractionContext<'a> {
+    /// A context with one shortener and a set of indirection sites.
+    pub fn new(
+        shortener: &'a Shortener,
+        sites: impl IntoIterator<Item = &'a IndirectionSite>,
+    ) -> Self {
+        ExtractionContext {
+            shorteners: vec![shortener],
+            indirection_sites: sites
+                .into_iter()
+                .map(|s| (s.entry_url().to_string(), s))
+                .collect(),
+        }
+    }
+
+    /// Fully resolves a post link: follows at most one shortening hop, then
+    /// returns the final URL.
+    fn resolve(&self, link: &Url) -> Option<Url> {
+        if link.is_shortened() {
+            for s in &self.shorteners {
+                if let Some(expanded) = s.expand(link) {
+                    return Some(expanded.clone());
+                }
+            }
+            return None; // unresolvable short link
+        }
+        Some(link.clone())
+    }
+}
+
+/// Statistics gathered during extraction — the §6.1 channel breakdown:
+/// "692 promoter apps ... promoted 1,806 different apps using direct
+/// links"; "103 indirection websites were used by 1,936 promoter apps ...
+/// the promotees were 4,676 apps".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExtractionStats {
+    /// Posts examined.
+    pub posts_seen: usize,
+    /// Direct app-install links found.
+    pub direct_links: usize,
+    /// Links landing on known indirection sites.
+    pub indirection_hits: usize,
+    /// Shortened links that could not be expanded.
+    pub unresolvable: usize,
+    /// Apps that promoted via direct install links.
+    pub direct_promoters: std::collections::BTreeSet<AppId>,
+    /// Apps promoted via direct install links.
+    pub direct_promotees: std::collections::BTreeSet<AppId>,
+    /// Apps that promoted through indirection sites.
+    pub site_promoters: std::collections::BTreeSet<AppId>,
+    /// Apps promoted through indirection sites.
+    pub site_promotees: std::collections::BTreeSet<AppId>,
+    /// Entry URLs of indirection sites actually seen in posts.
+    pub sites_used: std::collections::BTreeSet<String>,
+}
+
+/// Builds the collaboration graph from posts.
+///
+/// Only posts with an app attribution can promote; the promoter is the
+/// attributed app, the promotee(s) are the apps the link leads to.
+pub fn extract_collaboration_graph(
+    posts: &[&Post],
+    ctx: &ExtractionContext<'_>,
+) -> (CollaborationGraph, ExtractionStats) {
+    let mut graph = CollaborationGraph::new();
+    let mut stats = ExtractionStats::default();
+
+    for post in posts {
+        stats.posts_seen += 1;
+        let Some(promoter) = post.app else { continue };
+        let Some(link) = &post.link else { continue };
+
+        let Some(resolved) = ctx.resolve(link) else {
+            stats.unresolvable += 1;
+            continue;
+        };
+
+        if let Some(promotee) = parse_install_url(&resolved) {
+            if promotee != promoter {
+                stats.direct_links += 1;
+                stats.direct_promoters.insert(promoter);
+                stats.direct_promotees.insert(promotee);
+                graph.add_edge(promoter, promotee);
+            }
+        } else if let Some(site) = ctx.indirection_sites.get(&resolved.to_string()) {
+            stats.indirection_hits += 1;
+            stats.site_promoters.insert(promoter);
+            stats.sites_used.insert(resolved.to_string());
+            for &promotee in site.targets() {
+                if promotee != promoter {
+                    stats.site_promotees.insert(promotee);
+                    graph.add_edge(promoter, promotee);
+                }
+            }
+        }
+    }
+    (graph, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fb_platform::install::install_url;
+    use fb_platform::post::PostKind;
+    use osn_types::ids::{AppId, PostId, UserId};
+    use osn_types::time::SimTime;
+    use osn_types::url::Domain;
+
+    fn post(id: u64, app: Option<u64>, link: Option<Url>) -> Post {
+        Post {
+            id: PostId(id),
+            wall_owner: UserId(0),
+            author: UserId(0),
+            app: app.map(AppId),
+            profile_of: None,
+            kind: PostKind::App,
+            message: "install this great app".into(),
+            link,
+            created_at: SimTime::ZERO,
+            likes: 0,
+            comments: 0,
+        }
+    }
+
+    #[test]
+    fn direct_links_create_edges() {
+        let shortener = Shortener::bitly();
+        let ctx = ExtractionContext::new(&shortener, []);
+        let posts = vec![
+            post(0, Some(1), Some(install_url(AppId(2)))),
+            post(1, Some(2), Some(install_url(AppId(3)))),
+            post(2, Some(9), None),                     // no link
+            post(3, None, Some(install_url(AppId(5)))), // no attribution
+        ];
+        let refs: Vec<&Post> = posts.iter().collect();
+        let (g, stats) = extract_collaboration_graph(&refs, &ctx);
+        assert_eq!(stats.direct_links, 2);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.connected(AppId(1), AppId(2)));
+        assert!(g.connected(AppId(2), AppId(3)));
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn shortened_direct_links_are_expanded() {
+        let mut shortener = Shortener::bitly();
+        let short = shortener.shorten(&install_url(AppId(7)));
+        let ctx = ExtractionContext::new(&shortener, []);
+        let posts = vec![post(0, Some(1), Some(short))];
+        let refs: Vec<&Post> = posts.iter().collect();
+        let (g, stats) = extract_collaboration_graph(&refs, &ctx);
+        assert_eq!(stats.direct_links, 1);
+        assert!(g.connected(AppId(1), AppId(7)));
+    }
+
+    #[test]
+    fn indirection_sites_fan_out_to_their_pool() {
+        let site = IndirectionSite::new(
+            Domain::parse("promo.amazonaws.com").unwrap(),
+            "go",
+            vec![AppId(10), AppId(11), AppId(12)],
+        );
+        let mut shortener = Shortener::bitly();
+        let short = shortener.shorten(site.entry_url());
+        let ctx = ExtractionContext::new(&shortener, [&site]);
+        let posts = vec![post(0, Some(1), Some(short))];
+        let refs: Vec<&Post> = posts.iter().collect();
+        let (g, stats) = extract_collaboration_graph(&refs, &ctx);
+        assert_eq!(stats.indirection_hits, 1);
+        assert_eq!(g.out_degree(AppId(1)), 3);
+        assert!(g.connected(AppId(1), AppId(11)));
+    }
+
+    #[test]
+    fn unresolvable_short_links_are_counted_not_crashed() {
+        let mut shortener = Shortener::bitly();
+        let short = shortener.shorten(&install_url(AppId(7)));
+        shortener.set_unresolvable(&short);
+        let ctx = ExtractionContext::new(&shortener, []);
+        let posts = vec![post(0, Some(1), Some(short))];
+        let refs: Vec<&Post> = posts.iter().collect();
+        let (g, stats) = extract_collaboration_graph(&refs, &ctx);
+        assert_eq!(stats.unresolvable, 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn ordinary_external_links_are_ignored() {
+        let shortener = Shortener::bitly();
+        let ctx = ExtractionContext::new(&shortener, []);
+        let posts = vec![post(
+            0,
+            Some(1),
+            Some(Url::parse("http://some-survey-scam.com/page").unwrap()),
+        )];
+        let refs: Vec<&Post> = posts.iter().collect();
+        let (g, stats) = extract_collaboration_graph(&refs, &ctx);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(stats.direct_links + stats.indirection_hits, 0);
+        assert_eq!(stats.posts_seen, 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! The collaboration graph.
+//!
+//! Nodes are applications; a directed edge `a → b` records that `a` made at
+//! least one post whose link leads (directly or through indirection) to
+//! `b`'s installation page. The undirected *collusion* view — "an edge
+//! between two apps means that one app helped the other propagate" (Fig. 1)
+//! — is derived on demand.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use osn_types::ids::AppId;
+
+/// A directed promotion graph over applications.
+///
+/// Backed by ordered maps/sets so every iteration order is deterministic —
+/// experiment outputs must be bit-reproducible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CollaborationGraph {
+    /// Outgoing adjacency: promoter → set of promotees.
+    out_edges: BTreeMap<AppId, BTreeSet<AppId>>,
+    /// Incoming adjacency: promotee → set of promoters.
+    in_edges: BTreeMap<AppId, BTreeSet<AppId>>,
+    /// All nodes (apps appearing at either endpoint).
+    nodes: BTreeSet<AppId>,
+}
+
+impl CollaborationGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a node without edges (apps known to be in the ecosystem but
+    /// not yet observed promoting or being promoted).
+    pub fn add_node(&mut self, app: AppId) {
+        self.nodes.insert(app);
+    }
+
+    /// Records that `promoter` promoted `promotee`. Self-promotion (an app
+    /// linking to its own install page) is not a collusion edge and is
+    /// ignored. Duplicate edges collapse.
+    pub fn add_edge(&mut self, promoter: AppId, promotee: AppId) {
+        if promoter == promotee {
+            return;
+        }
+        self.nodes.insert(promoter);
+        self.nodes.insert(promotee);
+        self.out_edges.entry(promoter).or_default().insert(promotee);
+        self.in_edges.entry(promotee).or_default().insert(promoter);
+    }
+
+    /// All nodes, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = AppId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.out_edges.values().map(BTreeSet::len).sum()
+    }
+
+    /// Apps `app` promotes.
+    pub fn promotees_of(&self, app: AppId) -> impl Iterator<Item = AppId> + '_ {
+        self.out_edges
+            .get(&app)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Apps promoting `app`.
+    pub fn promoters_of(&self, app: AppId) -> impl Iterator<Item = AppId> + '_ {
+        self.in_edges
+            .get(&app)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Out-degree (number of distinct apps promoted).
+    pub fn out_degree(&self, app: AppId) -> usize {
+        self.out_edges.get(&app).map_or(0, BTreeSet::len)
+    }
+
+    /// In-degree (number of distinct promoters).
+    pub fn in_degree(&self, app: AppId) -> usize {
+        self.in_edges.get(&app).map_or(0, BTreeSet::len)
+    }
+
+    /// Undirected neighbours — apps this app colludes with in either
+    /// direction. This is the degree notion behind "70% of the apps collude
+    /// with more than 10 other apps".
+    pub fn neighbours(&self, app: AppId) -> BTreeSet<AppId> {
+        let mut n = BTreeSet::new();
+        n.extend(self.promotees_of(app));
+        n.extend(self.promoters_of(app));
+        n
+    }
+
+    /// Undirected (collusion) degree.
+    pub fn collusion_degree(&self, app: AppId) -> usize {
+        self.neighbours(app).len()
+    }
+
+    /// Whether an undirected edge exists between `a` and `b`.
+    pub fn connected(&self, a: AppId, b: AppId) -> bool {
+        self.out_edges.get(&a).is_some_and(|s| s.contains(&b))
+            || self.out_edges.get(&b).is_some_and(|s| s.contains(&a))
+    }
+
+    /// Mean collusion degree over all nodes (Fig. 1's caption reports 195
+    /// for the 770-app component). 0 for an empty graph.
+    pub fn mean_collusion_degree(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.nodes.iter().map(|&a| self.collusion_degree(a)).sum();
+        total as f64 / self.nodes.len() as f64
+    }
+
+    /// Maximum collusion degree ("the maximum number of collusions that an
+    /// app is involved in is 417").
+    pub fn max_collusion_degree(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|&a| self.collusion_degree(a))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fraction of nodes with collusion degree strictly greater than `k`.
+    pub fn degree_ccdf_at(&self, k: usize) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let over = self
+            .nodes
+            .iter()
+            .filter(|&&a| self.collusion_degree(a) > k)
+            .count();
+        over as f64 / self.nodes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> CollaborationGraph {
+        // 1 -> 2, 2 -> 3, 3 -> 1 (triangle), 3 -> 4 (tail)
+        let mut g = CollaborationGraph::new();
+        g.add_edge(AppId(1), AppId(2));
+        g.add_edge(AppId(2), AppId(3));
+        g.add_edge(AppId(3), AppId(1));
+        g.add_edge(AppId(3), AppId(4));
+        g
+    }
+
+    #[test]
+    fn edges_and_degrees() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(AppId(3)), 2);
+        assert_eq!(g.in_degree(AppId(3)), 1);
+        assert_eq!(g.collusion_degree(AppId(3)), 3);
+        assert_eq!(g.collusion_degree(AppId(4)), 1);
+        assert_eq!(g.max_collusion_degree(), 3);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_collapse() {
+        let mut g = CollaborationGraph::new();
+        g.add_edge(AppId(1), AppId(2));
+        g.add_edge(AppId(1), AppId(2));
+        g.add_edge(AppId(1), AppId(1));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn undirected_connectivity() {
+        let g = triangle_plus_tail();
+        assert!(g.connected(AppId(1), AppId(2)));
+        assert!(g.connected(AppId(2), AppId(1)), "undirected check");
+        assert!(!g.connected(AppId(1), AppId(4)));
+    }
+
+    #[test]
+    fn mean_degree_and_ccdf() {
+        let g = triangle_plus_tail();
+        // degrees: 1:2, 2:2, 3:3, 4:1 -> mean 2.0
+        assert!((g.mean_collusion_degree() - 2.0).abs() < 1e-12);
+        assert!((g.degree_ccdf_at(1) - 0.75).abs() < 1e-12);
+        assert!((g.degree_ccdf_at(2) - 0.25).abs() < 1e-12);
+        assert_eq!(g.degree_ccdf_at(3), 0.0);
+    }
+
+    #[test]
+    fn isolated_nodes_count() {
+        let mut g = triangle_plus_tail();
+        g.add_node(AppId(99));
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.collusion_degree(AppId(99)), 0);
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let g = CollaborationGraph::new();
+        assert_eq!(g.mean_collusion_degree(), 0.0);
+        assert_eq!(g.max_collusion_degree(), 0);
+        assert_eq!(g.degree_ccdf_at(0), 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # appnet-graph — forensics on colluding applications
+//!
+//! §6 of the paper is a forensic study of *AppNets*: "apps collude and
+//! collaborate at a massive scale. Apps promote other apps via posts that
+//! point to the 'promoted' apps." This crate implements that entire
+//! analysis pipeline:
+//!
+//! * [`graph`] — the **collaboration graph**: a directed edge `a → b` when
+//!   app `a` posted a link leading to app `b`'s installation page.
+//! * [`extraction`] — builds the graph from a post corpus, resolving the
+//!   two promotion channels the paper identifies: **direct links** to
+//!   install URLs, and **indirection websites** reached through shortened
+//!   URLs whose redirect target rotates over a pool of apps.
+//! * [`roles`] — promoter / promotee / dual-role classification (Fig. 13).
+//! * [`components`] — connected components of the undirected view (§6.1's
+//!   "44 connected components ... top 5 ... 3484, 770, 589, 296, 247").
+//! * [`clustering_coeff`] — local clustering coefficients (Fig. 14), with
+//!   the ego-network extraction behind Fig. 15.
+//! * [`dot`] — Graphviz export for the Fig. 1 / Fig. 15 visuals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clustering_coeff;
+pub mod components;
+pub mod dot;
+pub mod extraction;
+pub mod graph;
+pub mod roles;
+
+pub use clustering_coeff::{ego_network, local_clustering_coefficient, EgoNetwork};
+pub use components::connected_components;
+pub use dot::to_dot;
+pub use extraction::{extract_collaboration_graph, ExtractionContext};
+pub use graph::CollaborationGraph;
+pub use roles::{classify_roles, Role, RoleBreakdown};

@@ -1,0 +1,118 @@
+//! Promoter / promotee / dual-role classification.
+//!
+//! Fig. 13: of the 6,331 colluding apps, 1,584 are pure **promoters**
+//! (25%), 3,723 pure **promotees** (58.8%), and 1,024 play **both roles**
+//! (16.2%). "When app1 posts a link pointing to app2, we refer to app1 as
+//! the promoter and app2 as the promotee."
+
+use std::collections::BTreeMap;
+
+use osn_types::ids::AppId;
+
+use crate::graph::CollaborationGraph;
+
+/// An app's role in the promotion ecosystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Promotes others, never promoted itself.
+    Promoter,
+    /// Promoted by others, never promotes.
+    Promotee,
+    /// Both promotes and is promoted.
+    Dual,
+    /// In the graph but with no promotion edges at all.
+    Isolated,
+}
+
+/// Role assignment over all nodes of a collaboration graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleBreakdown {
+    /// Role per app.
+    pub roles: BTreeMap<AppId, Role>,
+}
+
+impl RoleBreakdown {
+    /// Apps with the given role, ascending.
+    pub fn with_role(&self, role: Role) -> Vec<AppId> {
+        self.roles
+            .iter()
+            .filter(|(_, &r)| r == role)
+            .map(|(&a, _)| a)
+            .collect()
+    }
+
+    /// Count of apps with the given role.
+    pub fn count(&self, role: Role) -> usize {
+        self.roles.values().filter(|&&r| r == role).count()
+    }
+
+    /// Total apps engaged in collusion (everything but isolated) — the
+    /// paper's 6,331.
+    pub fn colluding_count(&self) -> usize {
+        self.roles.len() - self.count(Role::Isolated)
+    }
+
+    /// Number of apps that act as a promoter at all (pure + dual) — the
+    /// "promoter apps" total of the abstract's "1,584 apps enabling the
+    /// viral propagation of 3,723 other apps" reads pure promoters; this
+    /// helper exposes the inclusive count for the §6.1 analyses.
+    pub fn any_promoter_count(&self) -> usize {
+        self.count(Role::Promoter) + self.count(Role::Dual)
+    }
+}
+
+/// Classifies every node of the graph.
+pub fn classify_roles(graph: &CollaborationGraph) -> RoleBreakdown {
+    let roles = graph
+        .nodes()
+        .map(|app| {
+            let promotes = graph.out_degree(app) > 0;
+            let promoted = graph.in_degree(app) > 0;
+            let role = match (promotes, promoted) {
+                (true, true) => Role::Dual,
+                (true, false) => Role::Promoter,
+                (false, true) => Role::Promotee,
+                (false, false) => Role::Isolated,
+            };
+            (app, role)
+        })
+        .collect();
+    RoleBreakdown { roles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_all_four_roles() {
+        let mut g = CollaborationGraph::new();
+        g.add_edge(AppId(1), AppId(2)); // 1 promoter, 2 ...
+        g.add_edge(AppId(2), AppId(3)); // 2 dual, 3 promotee
+        g.add_node(AppId(9)); // isolated
+
+        let b = classify_roles(&g);
+        assert_eq!(b.roles[&AppId(1)], Role::Promoter);
+        assert_eq!(b.roles[&AppId(2)], Role::Dual);
+        assert_eq!(b.roles[&AppId(3)], Role::Promotee);
+        assert_eq!(b.roles[&AppId(9)], Role::Isolated);
+        assert_eq!(b.colluding_count(), 3);
+        assert_eq!(b.any_promoter_count(), 2);
+        assert_eq!(b.with_role(Role::Promotee), vec![AppId(3)]);
+        assert_eq!(b.count(Role::Isolated), 1);
+    }
+
+    #[test]
+    fn counts_are_a_partition() {
+        let mut g = CollaborationGraph::new();
+        for i in 0..10 {
+            g.add_edge(AppId(i), AppId(i + 1));
+        }
+        let b = classify_roles(&g);
+        let total = b.count(Role::Promoter)
+            + b.count(Role::Promotee)
+            + b.count(Role::Dual)
+            + b.count(Role::Isolated);
+        assert_eq!(total, g.node_count());
+    }
+}

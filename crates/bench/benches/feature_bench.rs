@@ -1,0 +1,86 @@
+//! Feature-extraction benchmarks — the FRAppE-Lite-in-a-browser-extension
+//! scenario: how fast can the on-demand features of one app be computed
+//! once its crawl data is in hand?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fb_platform::crawler::PermissionCrawl;
+use fb_platform::graph_api::AppSummary;
+use frappe::features::aggregation::{extract_aggregation, KnownMaliciousNames};
+use frappe::features::on_demand::{extract_on_demand, OnDemandInput};
+use frappe::{FeatureSet, Imputation};
+use osn_types::permission::{Permission, PermissionSet};
+use osn_types::time::SimTime;
+use osn_types::url::Url;
+use osn_types::AppId;
+use url_services::shortener::Shortener;
+use url_services::wot::WotRegistry;
+
+fn summary() -> AppSummary {
+    AppSummary {
+        id: AppId(7),
+        name: "What Does Your Name Mean?".into(),
+        description: None,
+        company: None,
+        category: None,
+        profile_link: Url::parse("https://www.facebook.com/apps/application.php?id=7").unwrap(),
+        monthly_active_users: 1200,
+        created_at: SimTime::ZERO,
+    }
+}
+
+fn perm_crawl() -> PermissionCrawl {
+    PermissionCrawl {
+        permissions: PermissionSet::from_iter([Permission::PublishStream]),
+        client_id: AppId(9),
+        redirect_uri: Url::parse("http://thenamemeans2.com/inst/x").unwrap(),
+    }
+}
+
+fn bench_on_demand(c: &mut Criterion) {
+    let s = summary();
+    let p = perm_crawl();
+    let feed = vec![];
+    let mut wot = WotRegistry::new();
+    wot.set_score(&osn_types::Domain::parse("facebook.com").unwrap(), 94);
+    let input = OnDemandInput {
+        summary: Some(&s),
+        permissions: Some(&p),
+        profile_feed: Some(&feed),
+    };
+    c.bench_function("extract_on_demand_single_app", |b| {
+        b.iter(|| extract_on_demand(AppId(7), &input, &wot));
+    });
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let known = KnownMaliciousNames::from_names(
+        (0..1000).map(|i| format!("Malicious App {i}")),
+    );
+    let shortener = Shortener::bitly();
+    c.bench_function("extract_aggregation_no_posts", |b| {
+        b.iter(|| extract_aggregation("The App", &[], &known, &shortener));
+    });
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let s = summary();
+    let p = perm_crawl();
+    let wot = WotRegistry::new();
+    let input = OnDemandInput {
+        summary: Some(&s),
+        permissions: Some(&p),
+        profile_feed: None,
+    };
+    let row = frappe::AppFeatures {
+        app: AppId(7),
+        on_demand: extract_on_demand(AppId(7), &input, &wot),
+        aggregation: Default::default(),
+    };
+    let imp = Imputation::zeroes();
+    c.bench_function("vectorize_full_feature_set", |b| {
+        b.iter(|| imp.encode(FeatureSet::Full, &row));
+    });
+}
+
+criterion_group!(benches, bench_on_demand, bench_aggregation, bench_encoding);
+criterion_main!(benches);

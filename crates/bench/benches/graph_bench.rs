@@ -1,0 +1,55 @@
+//! Collaboration-graph analytics benchmarks at AppNet scales (§6.1: the
+//! paper's biggest component has 3,484 apps).
+
+use appnet_graph::{classify_roles, connected_components, local_clustering_coefficient, CollaborationGraph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osn_types::AppId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds an AppNet-shaped graph: a dense dual core plus promoter fan-out.
+fn appnet(n: usize, seed: u64) -> CollaborationGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = CollaborationGraph::new();
+    let core = n / 6;
+    for i in 0..core {
+        for j in 0..core {
+            if i != j && rng.gen_bool(0.4) {
+                g.add_edge(AppId(i as u64), AppId(j as u64));
+            }
+        }
+    }
+    for i in core..n {
+        let fanout = rng.gen_range(1..8);
+        for _ in 0..fanout {
+            let target = rng.gen_range(0..core.max(1)) as u64;
+            g.add_edge(AppId(i as u64), AppId(target));
+        }
+    }
+    g
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_analytics");
+    group.sample_size(10);
+    for &n in &[500usize, 2000, 5000] {
+        let g = appnet(n, 7);
+        group.bench_with_input(BenchmarkId::new("components", n), &g, |b, g| {
+            b.iter(|| connected_components(g));
+        });
+        group.bench_with_input(BenchmarkId::new("roles", n), &g, |b, g| {
+            b.iter(|| classify_roles(g));
+        });
+        group.bench_with_input(BenchmarkId::new("lcc_all_nodes", n), &g, |b, g| {
+            b.iter(|| {
+                g.nodes()
+                    .map(|a| local_clustering_coefficient(g, a))
+                    .sum::<f64>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

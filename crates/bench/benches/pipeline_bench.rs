@@ -1,0 +1,44 @@
+//! End-to-end pipeline benchmarks: scenario generation, dataset
+//! construction, FRAppE training, and the "given an app ID, is it
+//! malicious?" query the paper poses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frappe::{FeatureSet, FrappeModel};
+use frappe_bench::lab::{Archive, Lab};
+use synth_workload::{build_datasets, run_scenario, ScenarioConfig};
+
+fn bench_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("run_small_scenario", |b| {
+        b.iter(|| run_scenario(&ScenarioConfig::small()));
+    });
+    let world = run_scenario(&ScenarioConfig::small());
+    group.bench_function("build_datasets", |b| {
+        b.iter(|| build_datasets(&world));
+    });
+    group.finish();
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let lab = Lab::small();
+    let (samples, labels) = lab.labelled_features(
+        &lab.bundle.d_sample.malicious,
+        &lab.bundle.d_sample.benign,
+        Archive::Extended,
+    );
+    let mut group = c.benchmark_group("frappe");
+    group.sample_size(10);
+    group.bench_function("train_full_on_dsample", |b| {
+        b.iter(|| FrappeModel::train(&samples, &labels, FeatureSet::Full, None));
+    });
+    let model = FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
+    let probe = samples[0];
+    group.bench_function("query_one_app", |b| {
+        b.iter(|| model.predict(&probe));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario, bench_classify);
+criterion_main!(benches);

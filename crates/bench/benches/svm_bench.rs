@@ -1,0 +1,54 @@
+//! SVM micro-benchmarks: SMO training and prediction throughput at the
+//! dataset sizes the paper's cross-validation operates on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use svm::{train, Dataset, Kernel, SvmParams};
+
+/// Paper-shaped, 7-dimensional, noisily-separable data.
+fn synth(n: usize, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let malicious = i % 2 == 0;
+        let centre = if malicious { 1.0 } else { -1.0 };
+        xs.push(
+            (0..7)
+                .map(|_| centre + rng.gen::<f64>() * 1.5 - 0.75)
+                .collect::<Vec<f64>>(),
+        );
+        ys.push(if malicious { 1.0 } else { -1.0 });
+    }
+    Dataset::new(xs, ys).expect("generated data is valid")
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smo_train");
+    group.sample_size(10);
+    for &n in &[200usize, 500, 1000, 2000] {
+        let data = synth(n, 42);
+        group.bench_with_input(BenchmarkId::new("rbf_c1", n), &data, |b, data| {
+            b.iter(|| train(data, &SvmParams::paper_defaults(7)));
+        });
+    }
+    // kernel ablation at fixed size (DESIGN.md §4)
+    let data = synth(500, 43);
+    group.bench_function("linear_c1_500", |b| {
+        b.iter(|| train(&data, &SvmParams::with_kernel(Kernel::linear())));
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let data = synth(1000, 44);
+    let model = train(&data, &SvmParams::paper_defaults(7));
+    let probe: Vec<f64> = vec![0.3; 7];
+    c.bench_function("svm_predict_single", |b| {
+        b.iter(|| model.predict(&probe));
+    });
+}
+
+criterion_group!(benches, bench_training, bench_prediction);
+criterion_main!(benches);

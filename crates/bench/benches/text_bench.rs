@@ -1,0 +1,40 @@
+//! Text-analysis benchmarks: edit distance and name clustering at the
+//! dataset scales of Figs. 10–11 (6,273 names per class in the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use text_analysis::{cluster_by_similarity, cluster_exact, damerau_levenshtein};
+
+fn names(n: usize) -> Vec<String> {
+    // realistic mix: heavy reuse + unique tails, like the malicious class
+    (0..n)
+        .map(|i| match i % 5 {
+            0..=2 => format!("The App"),
+            3 => format!("Profile Watchers v{}", i % 97),
+            _ => format!("What Does Name {i} Mean?"),
+        })
+        .collect()
+}
+
+fn bench_edit_distance(c: &mut Criterion) {
+    c.bench_function("damerau_levenshtein_typical_names", |b| {
+        b.iter(|| damerau_levenshtein("What Does Your Name Mean?", "What ur name implies!!!"));
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("name_clustering");
+    group.sample_size(10);
+    for &n in &[500usize, 2000, 6000] {
+        let pool = names(n);
+        group.bench_with_input(BenchmarkId::new("exact", n), &pool, |b, pool| {
+            b.iter(|| cluster_exact(pool));
+        });
+        group.bench_with_input(BenchmarkId::new("threshold_0.8", n), &pool, |b, pool| {
+            b.iter(|| cluster_by_similarity(pool, 0.8));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edit_distance, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,251 @@
+//! Ablation experiments for the design choices DESIGN.md §4 calls out:
+//! training-label noise, kernel choice, and §7's adversarial-evasion
+//! analysis (what happens when hackers obfuscate the cheap features).
+
+use serde_json::json;
+use svm::{Kernel, SvmParams};
+
+use frappe::{cross_validate_frappe, FeatureSet};
+use synth_workload::{build_datasets, run_scenario, ScenarioConfig};
+
+use crate::lab::{Archive, Lab};
+use crate::render::pct;
+
+use super::ExpResult;
+
+const CV_SEED: u64 = 0xAB1A7E;
+
+/// Label-noise ablation: sweep MyPageKeeper's detection quality, train on
+/// the (noisy) derived labels, and score against **ground truth** over all
+/// observed out-of-sample apps. Cross-validating against the noisy labels
+/// themselves would be circular — a classifier can agree perfectly with
+/// labels that are wrong about the world.
+pub fn ablation_noise(lab: &Lab) -> ExpResult {
+    let mut lines = vec![format!(
+        "{:<24} {:>8} {:>10} {:>8} {:>8}",
+        "oracle calibration", "labelled", "truth-acc", "FP", "FN"
+    )];
+    let mut rows = Vec::new();
+    for (tag, detect, false_flag) in [
+        ("perfect (1.0 / 0)", 1.0, 0.0),
+        ("paper (0.95 / 5e-5)", 0.95, 0.00005),
+        ("degraded (0.75 / 1e-3)", 0.75, 0.001),
+        ("poor (0.55 / 5e-3)", 0.55, 0.005),
+    ] {
+        let mut config = ScenarioConfig::small();
+        config.seed = lab.world.config.seed ^ 0xA015E;
+        config.mpk_detect_prob = detect;
+        config.mpk_false_flag_prob = false_flag;
+        let world = run_scenario(&config);
+        let bundle = build_datasets(&world);
+        let ab_lab = Lab::rebuild_indices(Lab {
+            world,
+            bundle,
+            posts_by_app: Default::default(),
+        });
+        let (samples, labels) = ab_lab.labelled_features(
+            &ab_lab.bundle.d_sample.malicious,
+            &ab_lab.bundle.d_sample.benign,
+            Archive::Extended,
+        );
+        let model =
+            frappe::FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
+
+        // Score against truth on everything observed but unlabelled.
+        let in_sample: std::collections::HashSet<_> = ab_lab
+            .bundle
+            .d_sample
+            .malicious
+            .iter()
+            .chain(&ab_lab.bundle.d_sample.benign)
+            .copied()
+            .collect();
+        let known = ab_lab.known_malicious_names();
+        let mut cm = svm::ConfusionMatrix::default();
+        for &app in &ab_lab.bundle.d_total {
+            if in_sample.contains(&app) {
+                continue;
+            }
+            let has_summary = ab_lab
+                .crawl_of(app, Archive::Extended)
+                .is_some_and(|c| c.summary.is_some());
+            if !has_summary {
+                continue;
+            }
+            let row = ab_lab.features_of(app, Archive::Extended, &known);
+            let predicted = model.predict(&row);
+            let truth = ab_lab.world.truth.malicious.contains(&app);
+            cm.record(
+                if truth { 1.0 } else { -1.0 },
+                if predicted { 1.0 } else { -1.0 },
+            );
+        }
+        lines.push(format!(
+            "{tag:<24} {:>8} {:>10} {:>8} {:>8}",
+            samples.len(),
+            pct(cm.accuracy()),
+            pct(cm.false_positive_rate()),
+            pct(cm.false_negative_rate())
+        ));
+        rows.push(json!({
+            "detect_prob": detect,
+            "false_flag_prob": false_flag,
+            "labelled_sample": samples.len(),
+            "truth_accuracy": cm.accuracy(),
+            "fp_rate": cm.false_positive_rate(),
+            "fn_rate": cm.false_negative_rate(),
+        }));
+    }
+    ExpResult {
+        id: "ablation-noise",
+        title: "Ablation: training-label noise (MyPageKeeper quality sweep)".into(),
+        paper_claim: "the paper trains on labels with <= 2.6% estimated false positives and \
+                      still reaches 99.5%; this sweep quantifies the margin"
+            .into(),
+        lines,
+        json: json!(rows),
+    }
+}
+
+/// Kernel ablation: the paper fixes libsvm defaults (RBF); how much does
+/// the kernel matter on these features?
+pub fn ablation_kernel(lab: &Lab) -> ExpResult {
+    let (samples, labels) = lab.labelled_features(
+        &lab.bundle.d_complete.malicious,
+        &lab.bundle.d_complete.benign,
+        Archive::CrawlPhase,
+    );
+    let dim = FeatureSet::Full.dim();
+    let kernels = [
+        ("linear", Kernel::linear()),
+        ("rbf (paper)", Kernel::rbf_default_gamma(dim)),
+        ("rbf gamma=1", Kernel::rbf(1.0)),
+        ("poly deg3", Kernel::poly(1.0 / dim as f64)),
+        (
+            "sigmoid",
+            Kernel::Sigmoid {
+                gamma: 1.0 / dim as f64,
+                coef0: 0.0,
+            },
+        ),
+    ];
+    let mut lines = vec![format!(
+        "{:<16} {:>10} {:>8} {:>8}",
+        "kernel", "accuracy", "FP", "FN"
+    )];
+    let mut rows = Vec::new();
+    for (tag, kernel) in kernels {
+        let imputation = frappe::Imputation::fit_medians(&samples);
+        let xs: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| imputation.encode(FeatureSet::Full, s))
+            .collect();
+        let ys: Vec<f64> = labels.iter().map(|&m| if m { 1.0 } else { -1.0 }).collect();
+        let data = svm::Dataset::new(xs, ys).expect("encoded rows are valid");
+        let report = svm::cross_validate(&data, &SvmParams::with_kernel(kernel), 5, CV_SEED);
+        lines.push(format!(
+            "{tag:<16} {:>10} {:>8} {:>8}",
+            pct(report.accuracy()),
+            pct(report.false_positive_rate()),
+            pct(report.false_negative_rate())
+        ));
+        rows.push(json!({
+            "kernel": tag,
+            "accuracy": report.accuracy(),
+            "fp_rate": report.false_positive_rate(),
+            "fn_rate": report.false_negative_rate(),
+        }));
+    }
+    ExpResult {
+        id: "ablation-kernel",
+        title: "Ablation: kernel choice on the full feature set".into(),
+        paper_claim: "the paper fixes libsvm defaults (RBF, C=1, gamma=1/d); these features \
+                      are largely boolean, so linear should be competitive"
+            .into(),
+        lines,
+        json: json!(rows),
+    }
+}
+
+/// §7 evasion analysis: hackers fill in summaries, plant profile-feed
+/// chatter and spread permissions — the cheap features collapse, and only
+/// the robust subset should hold up.
+pub fn ablation_evasion(lab: &Lab) -> ExpResult {
+    let mut evading = ScenarioConfig::small();
+    evading.seed = lab.world.config.seed ^ 0xE7A_DE;
+    // The obfuscations §7 predicts: summary fields filled in, profile
+    // feeds populated with dummy posts.
+    evading.malicious_description_rate = 0.90;
+    evading.malicious_company_rate = 0.80;
+    evading.malicious_category_rate = 0.85;
+    evading.malicious_profile_feed_rate = 0.80;
+
+    let baseline_cfg = ScenarioConfig {
+        seed: evading.seed,
+        ..ScenarioConfig::small()
+    };
+
+    let mut lines = vec![format!(
+        "{:<28} {:>12} {:>12}",
+        "feature set", "baseline", "evading hackers"
+    )];
+    let mut rows = Vec::new();
+    let mut measured: Vec<(String, f64, f64)> = Vec::new();
+    for set in [FeatureSet::Obfuscatable, FeatureSet::Robust] {
+        let mut accs = Vec::new();
+        for cfg in [&baseline_cfg, &evading] {
+            let world = run_scenario(cfg);
+            let bundle = build_datasets(&world);
+            let ab_lab = Lab::rebuild_indices(Lab {
+                world,
+                bundle,
+                posts_by_app: Default::default(),
+            });
+            let (all_samples, all_labels) = ab_lab.labelled_features(
+                &ab_lab.bundle.d_sample.malicious,
+                &ab_lab.bundle.d_sample.benign,
+                Archive::Extended,
+            );
+            // Compare both feature sets on the same apps: those whose
+            // permission crawl succeeded (the robust features live there).
+            let mut samples = Vec::new();
+            let mut labels = Vec::new();
+            for (s, &l) in all_samples.iter().zip(&all_labels) {
+                if s.on_demand.permission_count.is_some() {
+                    samples.push(*s);
+                    labels.push(l);
+                }
+            }
+            let report = cross_validate_frappe(&samples, &labels, set, None, 5, CV_SEED);
+            accs.push(report.accuracy());
+        }
+        let tag = match set {
+            FeatureSet::Obfuscatable => "obfuscatable (summary+feed)",
+            FeatureSet::Robust => "robust subset (3)",
+            _ => unreachable!(),
+        };
+        lines.push(format!(
+            "{tag:<28} {:>12} {:>12}",
+            pct(accs[0]),
+            pct(accs[1])
+        ));
+        measured.push((tag.to_string(), accs[0], accs[1]));
+        rows.push(json!({"set": tag, "baseline": accs[0], "evading": accs[1]}));
+    }
+    let lite_drop = measured[0].1 - measured[0].2;
+    let robust_drop = measured[1].1 - measured[1].2;
+    lines.push(format!(
+        "accuracy drop under evasion: obfuscatable {} vs robust {}",
+        pct(lite_drop.max(0.0)),
+        pct(robust_drop.max(0.0))
+    ));
+    ExpResult {
+        id: "ablation-evasion",
+        title: "§7: adversarial evasion — obfuscatable vs robust features".into(),
+        paper_claim: "hackers can fill summaries and plant profile posts; the robust subset \
+                      (WOT + permissions + client-ID) still yields 98.2%"
+            .into(),
+        lines,
+        json: json!(rows),
+    }
+}

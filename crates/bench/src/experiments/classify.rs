@@ -1,0 +1,379 @@
+//! Classification experiments: Tables 4–8 and §5.2 / §7.
+
+use serde_json::json;
+use svm::CrossValReport;
+
+use frappe::validation::{validate_flagged, ValidationCategory, ValidationContext, ValidationInput};
+use frappe::{cross_validate_frappe, FeatureId, FeatureSet, FrappeModel};
+
+use crate::lab::{Archive, Lab};
+use crate::render::pct;
+
+use super::ExpResult;
+
+/// Fixed evaluation seed — every classification experiment uses the same
+/// folds so numbers are comparable across feature sets.
+const CV_SEED: u64 = 0xF0_1D5;
+
+fn cv_line(tag: &str, r: &CrossValReport) -> String {
+    format!(
+        "{tag:<12} accuracy {:>6} | FP {:>5} | FN {:>5}",
+        pct(r.accuracy()),
+        pct(r.false_positive_rate()),
+        pct(r.false_negative_rate())
+    )
+}
+
+fn cv_json(r: &CrossValReport) -> serde_json::Value {
+    json!({
+        "accuracy": r.accuracy(),
+        "fp_rate": r.false_positive_rate(),
+        "fn_rate": r.false_negative_rate(),
+        "examples": r.confusion.total(),
+    })
+}
+
+/// Table 4: the FRAppE Lite feature list, with extraction coverage.
+pub fn table4(lab: &Lab) -> ExpResult {
+    let (samples, _) = lab.labelled_features(
+        &lab.bundle.d_sample.malicious,
+        &lab.bundle.d_sample.benign,
+        Archive::CrawlPhase,
+    );
+    let mut lines = vec![format!(
+        "{:<28} {:>22}",
+        "feature (Table 4)", "observed for (of D-Sample)"
+    )];
+    let mut j = Vec::new();
+    for id in FeatureId::ON_DEMAND {
+        let observed = samples.iter().filter(|s| id.raw_value(s).is_some()).count();
+        lines.push(format!(
+            "{:<28} {:>14} / {}",
+            id.name(),
+            observed,
+            samples.len()
+        ));
+        j.push(json!({"feature": id.name(), "observed": observed, "total": samples.len()}));
+    }
+    ExpResult {
+        id: "table4",
+        title: "Table 4: features used in FRAppE Lite".into(),
+        paper_claim: "seven on-demand features, all crawlable from the app ID alone \
+                      (graph API summary, install dialog, profile feed, WOT)"
+            .into(),
+        lines,
+        json: json!(j),
+    }
+}
+
+/// Table 5: FRAppE Lite 5-fold cross-validation across class ratios.
+pub fn table5(lab: &Lab) -> ExpResult {
+    let (samples, labels) = lab.labelled_features(
+        &lab.bundle.d_complete.malicious,
+        &lab.bundle.d_complete.benign,
+        Archive::CrawlPhase,
+    );
+    let mut lines = vec![format!(
+        "{:<12} {}",
+        "ratio", "FRAppE Lite, 5-fold CV on D-Complete"
+    )];
+    let mut rows = Vec::new();
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    for ratio in [1usize, 4, 7, 10] {
+        // Subsampling at high ratios can exhaust a class on small worlds;
+        // a stratified 5-fold CV needs at least 5 examples per class.
+        let sampled_pos = pos.min(neg / ratio);
+        if sampled_pos < 5 {
+            lines.push(format!(
+                "{ratio}:1         (skipped: only {sampled_pos} malicious apps at this ratio)"
+            ));
+            continue;
+        }
+        let report = cross_validate_frappe(
+            &samples,
+            &labels,
+            FeatureSet::Lite,
+            Some(ratio),
+            5,
+            CV_SEED,
+        );
+        lines.push(cv_line(&format!("{ratio}:1"), &report));
+        rows.push(json!({"ratio": ratio, "report": cv_json(&report)}));
+    }
+    ExpResult {
+        id: "table5",
+        title: "Table 5: cross validation with FRAppE Lite".into(),
+        paper_claim: "1:1 → 98.5% / 0.6% / 2.5%; 4:1 → 99.0% / 0.1% / 4.7%; \
+                      7:1 → 99.0% / 0.1% / 4.4%; 10:1 → 99.5% / 0.1% / 5.5%"
+            .into(),
+        lines,
+        json: json!(rows),
+    }
+}
+
+/// Table 6: classification accuracy with individual features.
+pub fn table6(lab: &Lab) -> ExpResult {
+    let (samples, labels) = lab.labelled_features(
+        &lab.bundle.d_complete.malicious,
+        &lab.bundle.d_complete.benign,
+        Archive::CrawlPhase,
+    );
+    let mut lines = Vec::new();
+    let mut rows = Vec::new();
+    for id in FeatureId::ON_DEMAND {
+        // The paper's single-feature numbers (e.g. permission count:
+        // 73.3% accuracy, 49.3% FP) are only reachable at a balanced
+        // class ratio — at the natural ~4.6:1 the optimizer would predict
+        // all-benign instead.
+        let report = cross_validate_frappe(
+            &samples,
+            &labels,
+            FeatureSet::Single(id),
+            Some(1),
+            5,
+            CV_SEED,
+        );
+        lines.push(cv_line(id.name(), &report));
+        rows.push(json!({"feature": id.name(), "report": cv_json(&report)}));
+    }
+    ExpResult {
+        id: "table6",
+        title: "Table 6: classification accuracy with individual features".into(),
+        paper_claim: "Description alone: 97.8% (FP 3.3%); Posts-in-profile 96.9%; WOT 91.9%; \
+                      Client-ID 88.5% (FN 22%); Category/Company/Permission-count suffer \
+                      heavy false positives"
+            .into(),
+        lines,
+        json: json!(rows),
+    }
+}
+
+/// Table 7: the aggregation features, with extraction coverage.
+pub fn table7(lab: &Lab) -> ExpResult {
+    let (samples, labels) = lab.labelled_features(
+        &lab.bundle.d_sample.malicious,
+        &lab.bundle.d_sample.benign,
+        Archive::CrawlPhase,
+    );
+    let mut lines = Vec::new();
+    let mut j = Vec::new();
+    for id in FeatureId::AGGREGATION {
+        let mal_mean = mean_over(&samples, &labels, true, id);
+        let ben_mean = mean_over(&samples, &labels, false, id);
+        lines.push(format!(
+            "{:<28} mean over malicious {:.3} | benign {:.3}",
+            id.name(),
+            mal_mean,
+            ben_mean
+        ));
+        j.push(json!({"feature": id.name(), "malicious_mean": mal_mean, "benign_mean": ben_mean}));
+    }
+    ExpResult {
+        id: "table7",
+        title: "Table 7: additional (aggregation) features used in FRAppE".into(),
+        paper_claim: "name identical to a known malicious app (87% of malicious apps share a \
+                      name); external-link-to-post ratio"
+            .into(),
+        lines,
+        json: json!(j),
+    }
+}
+
+fn mean_over(samples: &[frappe::AppFeatures], labels: &[bool], class: bool, id: FeatureId) -> f64 {
+    let vals: Vec<f64> = samples
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l == class)
+        .filter_map(|(s, _)| id.raw_value(s))
+        .collect();
+    if vals.is_empty() {
+        0.0
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+/// §5.2: full FRAppE vs FRAppE Lite at the dataset's natural 7:1-ish ratio.
+pub fn frappe_cv(lab: &Lab) -> ExpResult {
+    let (samples, labels) = lab.labelled_features(
+        &lab.bundle.d_complete.malicious,
+        &lab.bundle.d_complete.benign,
+        Archive::CrawlPhase,
+    );
+    let lite = cross_validate_frappe(&samples, &labels, FeatureSet::Lite, None, 5, CV_SEED);
+    let full = cross_validate_frappe(&samples, &labels, FeatureSet::Full, None, 5, CV_SEED);
+    let lines = vec![
+        cv_line("FRAppE Lite", &lite),
+        cv_line("FRAppE", &full),
+        format!(
+            "false positives: lite {} -> full {}",
+            lite.confusion.false_positives, full.confusion.false_positives
+        ),
+    ];
+    let json = json!({"lite": cv_json(&lite), "full": cv_json(&full)});
+    ExpResult {
+        id: "frappe-cv",
+        title: "§5.2: FRAppE (with aggregation features) vs FRAppE Lite".into(),
+        paper_claim: "FRAppE reaches 99.5% accuracy with zero false positives and 4.1% false \
+                      negatives (Lite: 99.0% / 0.1% / 4.4%)"
+            .into(),
+        lines,
+        json,
+    }
+}
+
+/// §7: the obfuscation-robust feature subset.
+pub fn robust(lab: &Lab) -> ExpResult {
+    let (samples, labels) = lab.labelled_features(
+        &lab.bundle.d_complete.malicious,
+        &lab.bundle.d_complete.benign,
+        Archive::CrawlPhase,
+    );
+    let report = cross_validate_frappe(&samples, &labels, FeatureSet::Robust, None, 5, CV_SEED);
+    let lines = vec![cv_line("robust", &report)];
+    ExpResult {
+        id: "robust",
+        title: "§7: FRAppE restricted to obfuscation-robust features".into(),
+        paper_claim: "WOT score + permission count + client-ID mismatch alone: 98.2% accuracy, \
+                      0.4% FP, 3.2% FN"
+            .into(),
+        lines,
+        json: cv_json(&report),
+    }
+}
+
+/// §5.3 + Table 8: classify the unlabelled remainder of D-Total, then
+/// validate every flagged app five ways.
+pub fn table8(lab: &Lab) -> ExpResult {
+    // Train FRAppE on the entire labelled sample (extended archive: the
+    // monitoring vantage's full knowledge).
+    let (samples, labels) = lab.labelled_features(
+        &lab.bundle.d_sample.malicious,
+        &lab.bundle.d_sample.benign,
+        Archive::Extended,
+    );
+    let model = FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
+
+    // Candidates: observed apps outside D-Sample with at least a summary
+    // on record (we need a name to reason about the app at all).
+    let in_sample: std::collections::HashSet<_> = lab
+        .bundle
+        .d_sample
+        .malicious
+        .iter()
+        .chain(&lab.bundle.d_sample.benign)
+        .collect();
+    let known = lab.known_malicious_names();
+    let candidates: Vec<osn_types::AppId> = lab
+        .bundle
+        .d_total
+        .iter()
+        .copied()
+        .filter(|a| !in_sample.contains(a))
+        .filter(|&a| {
+            lab.crawl_of(a, Archive::Extended)
+                .is_some_and(|c| c.summary.is_some())
+        })
+        .collect();
+    let rows = lab.features_for(&candidates, Archive::Extended, &known);
+    let flagged = model.flag_malicious(&rows);
+
+    // Validate flagged apps (Table 8).
+    let known_urls = lab.known_malicious_urls();
+    let popular: Vec<String> = lab
+        .world
+        .truth
+        .whitelist
+        .iter()
+        .map(|&a| lab.app_name(a).to_string())
+        .collect();
+    let mal_names: Vec<String> = lab
+        .bundle
+        .d_sample
+        .malicious
+        .iter()
+        .map(|&a| lab.app_name(a).to_string())
+        .collect();
+    let ctx = ValidationContext::build(
+        mal_names.iter().map(String::as_str),
+        known_urls.iter().map(String::as_str),
+        popular.iter().map(String::as_str),
+    );
+    let inputs: Vec<ValidationInput> = flagged
+        .iter()
+        .map(|&a| ValidationInput {
+            app: a,
+            name: lab.app_name(a).to_string(),
+            alive: lab.alive_at_end(a),
+            posted_urls: lab
+                .monitored_posts_of(a)
+                .iter()
+                .filter_map(|p| p.link.as_ref().map(|l| l.to_string()))
+                .collect(),
+        })
+        .collect();
+    let report = validate_flagged(&inputs, &ctx);
+
+    // Ground-truth precision of the flagged set (our synthetic advantage —
+    // the paper could only validate, we can also score).
+    let true_hits = flagged
+        .iter()
+        .filter(|a| lab.world.truth.malicious.contains(a))
+        .count();
+
+    let mut lines = vec![
+        format!(
+            "classified {} candidate apps, flagged {} as malicious",
+            candidates.len(),
+            flagged.len()
+        ),
+        format!(
+            "ground-truth precision of flagged set: {}",
+            pct(true_hits as f64 / flagged.len().max(1) as f64)
+        ),
+        format!("{:<32} {:>10} {:>12}", "criterion", "validated", "cumulative"),
+    ];
+    let mut rows_json = Vec::new();
+    for cat in ValidationCategory::IN_ORDER {
+        let n = report.count(cat);
+        let cum = report.cumulative_through(cat);
+        lines.push(format!(
+            "{:<32} {:>6} ({}) {:>7} ({})",
+            cat.label(),
+            n,
+            pct(n as f64 / report.total.max(1) as f64),
+            cum,
+            pct(cum as f64 / report.total.max(1) as f64),
+        ));
+        rows_json.push(json!({
+            "criterion": cat.label(),
+            "validated": n,
+            "cumulative": cum,
+        }));
+    }
+    lines.push(format!(
+        "total validated: {} / {} ({}); unknown: {}",
+        report.total_validated(),
+        report.total,
+        pct(report.validated_fraction()),
+        report.unknown.len()
+    ));
+
+    let json = json!({
+        "candidates": candidates.len(),
+        "flagged": flagged.len(),
+        "true_precision": true_hits as f64 / flagged.len().max(1) as f64,
+        "rows": rows_json,
+        "validated_fraction": report.validated_fraction(),
+    });
+    ExpResult {
+        id: "table8",
+        title: "Table 8: validation of apps flagged by FRAppE on D-Total \\ D-Sample".into(),
+        paper_claim: "8,144 flagged of 98,609 tested; deleted 81%, name-similarity 74%, \
+                      post-similarity 20%, typosquatting 0.1%, manual 1.8%; 98.5% validated"
+            .into(),
+        lines,
+        json,
+    }
+}

@@ -1,0 +1,163 @@
+//! Baseline comparison: post-level detection (MyPageKeeper) vs app-level
+//! detection (FRAppE), scored against ground truth.
+//!
+//! The paper's framing: *"MyPageKeeper, our source of 'ground truth' data,
+//! cannot detect malicious apps; it only detects malicious posts"* — and
+//! indeed FRAppE finds 8,051 malicious apps MyPageKeeper never flagged.
+//! The synthetic world lets us score both against the actual truth, which
+//! the paper could not.
+
+use serde_json::json;
+
+use frappe::{FeatureSet, FrappeModel};
+use svm::{grid_search, ConfusionMatrix};
+
+use crate::lab::{Archive, Lab};
+use crate::render::pct;
+
+use super::ExpResult;
+
+/// Detection coverage: MyPageKeeper's app labels vs FRAppE's full sweep.
+pub fn coverage(lab: &Lab) -> ExpResult {
+    let truth = &lab.world.truth.malicious;
+    let observed: std::collections::HashSet<_> = lab.bundle.d_total.iter().copied().collect();
+    let true_in_view = observed.iter().filter(|a| truth.contains(a)).count();
+
+    // Baseline: the post-level heuristic (apps with >= 1 flagged post).
+    let mpk_detected: std::collections::HashSet<_> =
+        lab.bundle.d_sample.malicious.iter().copied().collect();
+    let mpk_tp = mpk_detected.iter().filter(|a| truth.contains(a)).count();
+
+    // FRAppE: baseline detections + the §5.3 sweep over the remainder.
+    let (samples, labels) = lab.labelled_features(
+        &lab.bundle.d_sample.malicious,
+        &lab.bundle.d_sample.benign,
+        Archive::Extended,
+    );
+    let model = FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
+    let known = lab.known_malicious_names();
+    let in_sample: std::collections::HashSet<_> = lab
+        .bundle
+        .d_sample
+        .malicious
+        .iter()
+        .chain(&lab.bundle.d_sample.benign)
+        .copied()
+        .collect();
+    let mut frappe_detected = mpk_detected.clone();
+    for &app in &lab.bundle.d_total {
+        if in_sample.contains(&app) {
+            continue;
+        }
+        let classifiable = lab
+            .crawl_of(app, Archive::Extended)
+            .is_some_and(|c| c.summary.is_some());
+        if !classifiable {
+            continue;
+        }
+        let row = lab.features_of(app, Archive::Extended, &known);
+        if model.predict(&row) {
+            frappe_detected.insert(app);
+        }
+    }
+    let frappe_tp = frappe_detected.iter().filter(|a| truth.contains(a)).count();
+
+    let recall = |tp: usize| tp as f64 / true_in_view.max(1) as f64;
+    let precision =
+        |tp: usize, total: usize| tp as f64 / total.max(1) as f64;
+
+    let lines = vec![
+        format!("truly malicious apps in view: {true_in_view}"),
+        format!(
+            "MyPageKeeper heuristic: {} detected | recall {} | precision {}",
+            mpk_detected.len(),
+            pct(recall(mpk_tp)),
+            pct(precision(mpk_tp, mpk_detected.len()))
+        ),
+        format!(
+            "FRAppE (heuristic + sweep): {} detected | recall {} | precision {}",
+            frappe_detected.len(),
+            pct(recall(frappe_tp)),
+            pct(precision(frappe_tp, frappe_detected.len()))
+        ),
+        format!(
+            "apps only FRAppE found: {}",
+            frappe_detected.len() - mpk_detected.len()
+        ),
+    ];
+    let json = json!({
+        "true_in_view": true_in_view,
+        "mpk": {"detected": mpk_detected.len(), "recall": recall(mpk_tp),
+                 "precision": precision(mpk_tp, mpk_detected.len())},
+        "frappe": {"detected": frappe_detected.len(), "recall": recall(frappe_tp),
+                    "precision": precision(frappe_tp, frappe_detected.len())},
+    });
+    ExpResult {
+        id: "coverage",
+        title: "Baseline: post-level (MyPageKeeper) vs app-level (FRAppE) coverage".into(),
+        paper_claim: "MyPageKeeper flagged 6,273 apps; FRAppE found 8,051 more — app-level \
+                      classification more than doubles coverage"
+            .into(),
+        lines,
+        json,
+    }
+}
+
+/// Hyperparameter grid: does the paper's (C=1, gamma=1/d) default sit in a
+/// stable region?
+pub fn ablation_grid(lab: &Lab) -> ExpResult {
+    let (samples, labels) = lab.labelled_features(
+        &lab.bundle.d_complete.malicious,
+        &lab.bundle.d_complete.benign,
+        Archive::CrawlPhase,
+    );
+    let imputation = frappe::Imputation::fit_medians(&samples);
+    let xs: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|s| imputation.encode(FeatureSet::Full, s))
+        .collect();
+    let ys: Vec<f64> = labels.iter().map(|&m| if m { 1.0 } else { -1.0 }).collect();
+    let data = svm::Dataset::new(xs, ys).expect("encoded rows are valid");
+
+    let d = FeatureSet::Full.dim() as f64;
+    let cs = [0.1, 1.0, 10.0];
+    let gammas = [0.1 / d, 1.0 / d, 10.0 / d];
+    let result = grid_search(&data, &cs, &gammas, 5, 0x64D1);
+
+    let mut lines = vec![format!(
+        "{:<10} {:<12} {:>10} {:>8} {:>8}",
+        "C", "gamma", "accuracy", "FP", "FN"
+    )];
+    let mut rows = Vec::new();
+    for point in &result.points {
+        let cm: &ConfusionMatrix = &point.report.confusion;
+        lines.push(format!(
+            "{:<10} {:<12.4} {:>10} {:>8} {:>8}",
+            point.c,
+            point.gamma,
+            pct(cm.accuracy()),
+            pct(cm.false_positive_rate()),
+            pct(cm.false_negative_rate())
+        ));
+        rows.push(json!({
+            "c": point.c, "gamma": point.gamma,
+            "accuracy": cm.accuracy(),
+        }));
+    }
+    let best = result.best();
+    lines.push(format!(
+        "best: C={} gamma={:.4} at {}",
+        best.c,
+        best.gamma,
+        pct(best.report.accuracy())
+    ));
+    ExpResult {
+        id: "ablation-grid",
+        title: "Ablation: (C, gamma) grid around libsvm defaults".into(),
+        paper_claim: "the paper uses libsvm defaults without tuning; accuracy should be flat \
+                      across a broad region (the features, not the hyperparameters, do the work)"
+            .into(),
+        lines,
+        json: json!(rows),
+    }
+}

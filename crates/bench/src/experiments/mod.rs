@@ -1,0 +1,107 @@
+//! The experiment registry — one entry per table/figure of the paper.
+
+use serde_json::Value;
+
+use crate::lab::Lab;
+
+pub mod ablation;
+pub mod classify;
+pub mod coverage;
+pub mod datasets;
+pub mod ecosystem;
+pub mod profile;
+pub mod reach;
+
+/// The outcome of one experiment: human-readable lines plus a JSON value
+/// for `EXPERIMENTS.md`.
+#[derive(Debug, Clone)]
+pub struct ExpResult {
+    /// Registry id (e.g. `"table5"`).
+    pub id: &'static str,
+    /// Title naming the paper artifact.
+    pub title: String,
+    /// The paper's reported numbers, for side-by-side comparison.
+    pub paper_claim: String,
+    /// Measured output lines.
+    pub lines: Vec<String>,
+    /// Machine-readable measurement.
+    pub json: Value,
+}
+
+impl std::fmt::Display for ExpResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== {} [{}] ==", self.title, self.id)?;
+        writeln!(f, "paper: {}", self.paper_claim)?;
+        for line in &self.lines {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Experiment function signature.
+pub type ExpFn = fn(&Lab) -> ExpResult;
+
+/// Every experiment, in paper order. Ids match DESIGN.md's index.
+pub fn registry() -> Vec<(&'static str, ExpFn)> {
+    vec![
+        ("table1", datasets::table1 as ExpFn),
+        ("table2", datasets::table2),
+        ("table3", datasets::table3),
+        ("prevalence", datasets::prevalence),
+        ("fig3", reach::fig3),
+        ("fig4", reach::fig4),
+        ("fig5", profile::fig5),
+        ("fig6", profile::fig6),
+        ("fig7", profile::fig7),
+        ("fig8", profile::fig8),
+        ("fig9", profile::fig9),
+        ("fig10", profile::fig10),
+        ("fig11", profile::fig11),
+        ("fig12", profile::fig12),
+        ("table4", classify::table4),
+        ("table5", classify::table5),
+        ("table6", classify::table6),
+        ("table7", classify::table7),
+        ("frappe-cv", classify::frappe_cv),
+        ("robust", classify::robust),
+        ("table8", classify::table8),
+        ("fig1", ecosystem::fig1),
+        ("fig13", ecosystem::fig13),
+        ("fig14", ecosystem::fig14),
+        ("fig15", ecosystem::fig15),
+        ("fig16", ecosystem::fig16),
+        ("appnets", ecosystem::appnets),
+        ("table9", ecosystem::table9),
+        ("ablation-noise", ablation::ablation_noise),
+        ("ablation-kernel", ablation::ablation_kernel),
+        ("ablation-evasion", ablation::ablation_evasion),
+        ("ablation-grid", coverage::ablation_grid),
+        ("coverage", coverage::coverage),
+    ]
+}
+
+/// Looks an experiment up by id.
+pub fn find(id: &str) -> Option<ExpFn> {
+    registry()
+        .into_iter()
+        .find(|(name, _)| *name == id)
+        .map(|(_, f)| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_findable() {
+        let reg = registry();
+        let mut ids: Vec<&str> = reg.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), 33, "33 experiments registered");
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 33, "ids must be unique");
+        assert!(find("table5").is_some());
+        assert!(find("nope").is_none());
+    }
+}

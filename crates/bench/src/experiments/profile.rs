@@ -1,0 +1,349 @@
+//! App-profiling experiments: Figs. 5–12 (§4's feature analyses).
+
+use std::collections::HashMap;
+
+use osn_types::permission::Permission;
+use serde_json::json;
+use text_analysis::clustering::{cluster_by_similarity, cluster_exact};
+
+use crate::lab::{Archive, Lab};
+use crate::render::{ccdf_at, cdf_at, pct};
+
+use super::ExpResult;
+
+/// Per-class summary-field completeness (Fig. 5).
+pub fn fig5(lab: &Lab) -> ExpResult {
+    let field_rates = |apps: &[osn_types::AppId]| -> (f64, f64, f64, usize) {
+        let mut cat = 0usize;
+        let mut com = 0usize;
+        let mut desc = 0usize;
+        let mut n = 0usize;
+        for &app in apps {
+            let Some(summary) = lab
+                .crawl_of(app, Archive::CrawlPhase)
+                .and_then(|c| c.summary.as_ref())
+            else {
+                continue;
+            };
+            n += 1;
+            cat += usize::from(summary.category.is_some());
+            com += usize::from(summary.company.is_some());
+            desc += usize::from(summary.description.is_some());
+        }
+        let f = |x: usize| x as f64 / n.max(1) as f64;
+        (f(cat), f(com), f(desc), n)
+    };
+
+    let (m_cat, m_com, m_desc, m_n) = field_rates(&lab.bundle.d_summary.malicious);
+    let (b_cat, b_com, b_desc, b_n) = field_rates(&lab.bundle.d_summary.benign);
+
+    let lines = vec![
+        format!("{:<12} {:>10} {:>10}", "field", "malicious", "benign"),
+        format!("{:<12} {:>10} {:>10}", "category", pct(m_cat), pct(b_cat)),
+        format!("{:<12} {:>10} {:>10}", "company", pct(m_com), pct(b_com)),
+        format!("{:<12} {:>10} {:>10}", "description", pct(m_desc), pct(b_desc)),
+        format!("(over {m_n} malicious / {b_n} benign D-Summary apps)"),
+    ];
+    let json = json!({
+        "malicious": {"category": m_cat, "company": m_com, "description": m_desc},
+        "benign": {"category": b_cat, "company": b_com, "description": b_desc},
+    });
+    ExpResult {
+        id: "fig5",
+        title: "Fig. 5: summary completeness (category / company / description)".into(),
+        paper_claim: "only 1.4% of malicious apps have a description vs 93% of benign; \
+                      company and category show the same gap"
+            .into(),
+        lines,
+        json,
+    }
+}
+
+fn permission_sets<'a>(
+    lab: &'a Lab,
+    apps: &[osn_types::AppId],
+) -> Vec<osn_types::PermissionSet> {
+    apps.iter()
+        .filter_map(|&a| {
+            lab.crawl_of(a, Archive::CrawlPhase)
+                .and_then(|c| c.permissions.as_ref())
+                .map(|p| p.permissions)
+        })
+        .collect()
+}
+
+/// Top-5 requested permissions per class (Fig. 6).
+pub fn fig6(lab: &Lab) -> ExpResult {
+    let rates = |sets: &[osn_types::PermissionSet]| -> Vec<(String, f64)> {
+        let mut counts: HashMap<Permission, usize> = HashMap::new();
+        for set in sets {
+            for p in set.iter() {
+                *counts.entry(p).or_default() += 1;
+            }
+        }
+        let mut rows: Vec<(String, f64)> = counts
+            .into_iter()
+            .map(|(p, n)| (p.api_name().to_string(), n as f64 / sets.len().max(1) as f64))
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        rows.truncate(5);
+        rows
+    };
+
+    let mal = rates(&permission_sets(lab, &lab.bundle.d_inst.malicious));
+    let ben = rates(&permission_sets(lab, &lab.bundle.d_inst.benign));
+
+    let mut lines = vec!["malicious top-5 permissions:".to_string()];
+    lines.extend(mal.iter().map(|(p, r)| format!("  {p:<28} {}", pct(*r))));
+    lines.push("benign top-5 permissions:".to_string());
+    lines.extend(ben.iter().map(|(p, r)| format!("  {p:<28} {}", pct(*r))));
+    let json = json!({
+        "malicious": mal.iter().map(|(p, r)| json!({"permission": p, "rate": r})).collect::<Vec<_>>(),
+        "benign": ben.iter().map(|(p, r)| json!({"permission": p, "rate": r})).collect::<Vec<_>>(),
+    });
+    ExpResult {
+        id: "fig6",
+        title: "Fig. 6: top permissions required by benign and malicious apps".into(),
+        paper_claim: "publish_stream dominates both classes; offline_access / user_birthday / \
+                      email / publish_actions follow, all far more common among benign apps"
+            .into(),
+        lines,
+        json,
+    }
+}
+
+/// CCDF of permission-set size per class (Fig. 7).
+pub fn fig7(lab: &Lab) -> ExpResult {
+    let counts = |apps: &[osn_types::AppId]| -> Vec<f64> {
+        permission_sets(lab, apps)
+            .iter()
+            .map(|s| f64::from(s.len()))
+            .collect()
+    };
+    let mal = counts(&lab.bundle.d_inst.malicious);
+    let ben = counts(&lab.bundle.d_inst.benign);
+
+    let one = |v: &[f64]| cdf_at(v, 1.0);
+    let mut lines = vec![
+        format!("malicious apps requesting exactly 1 permission: {}", pct(one(&mal))),
+        format!("benign apps requesting exactly 1 permission:    {}", pct(one(&ben))),
+    ];
+    for k in [1.0, 2.0, 5.0, 10.0, 20.0] {
+        lines.push(format!(
+            "  P(count > {k}): malicious {} | benign {}",
+            pct(ccdf_at(&mal, k)),
+            pct(ccdf_at(&ben, k))
+        ));
+    }
+    let json = json!({
+        "malicious_single_permission": one(&mal),
+        "benign_single_permission": one(&ben),
+    });
+    ExpResult {
+        id: "fig7",
+        title: "Fig. 7: number of permissions requested by every app (CCDF)".into(),
+        paper_claim: "97% of malicious apps require only one permission; 62% of benign".into(),
+        lines,
+        json,
+    }
+}
+
+/// WOT trust-score CDF of redirect domains (Fig. 8).
+pub fn fig8(lab: &Lab) -> ExpResult {
+    let scores = |apps: &[osn_types::AppId]| -> Vec<f64> {
+        apps.iter()
+            .filter_map(|&a| {
+                lab.crawl_of(a, Archive::CrawlPhase)
+                    .and_then(|c| c.permissions.as_ref())
+                    .map(|p| lab.world.wot.feature_score(p.redirect_uri.host()))
+            })
+            .collect()
+    };
+    let mal = scores(&lab.bundle.d_inst.malicious);
+    let ben = scores(&lab.bundle.d_inst.benign);
+
+    let unknown = |v: &[f64]| v.iter().filter(|&&s| s < 0.0).count() as f64 / v.len().max(1) as f64;
+    let below5 = |v: &[f64]| cdf_at(v, 4.999);
+    let lines = vec![
+        format!("malicious: WOT unknown {} | score < 5 {}", pct(unknown(&mal)), pct(below5(&mal))),
+        format!("benign:    WOT unknown {} | score < 5 {}", pct(unknown(&ben)), pct(below5(&ben))),
+        format!(
+            "benign apps with score >= 60: {}",
+            pct(ccdf_at(&ben, 59.999))
+        ),
+    ];
+    let json = json!({
+        "malicious_unknown": unknown(&mal),
+        "malicious_below5": below5(&mal),
+        "benign_unknown": unknown(&ben),
+        "benign_high": ccdf_at(&ben, 59.999),
+    });
+    ExpResult {
+        id: "fig8",
+        title: "Fig. 8: WOT trust score of redirect domains".into(),
+        paper_claim: "80% of malicious apps point to domains WOT does not score; 95% score < 5; \
+                      80% of benign apps redirect to apps.facebook.com (high score)"
+            .into(),
+        lines,
+        json,
+    }
+}
+
+/// Profile-feed post counts (Fig. 9).
+pub fn fig9(lab: &Lab) -> ExpResult {
+    let counts = |apps: &[osn_types::AppId]| -> Vec<f64> {
+        apps.iter()
+            .filter_map(|&a| {
+                lab.crawl_of(a, Archive::CrawlPhase)
+                    .and_then(|c| c.profile_feed.as_ref())
+                    .map(|f| f.len() as f64)
+            })
+            .collect()
+    };
+    let mal = counts(&lab.bundle.d_profile_feed.malicious);
+    let ben = counts(&lab.bundle.d_profile_feed.benign);
+
+    let empty = |v: &[f64]| cdf_at(v, 0.0);
+    let lines = vec![
+        format!("malicious apps with empty profile feed: {}", pct(empty(&mal))),
+        format!("benign apps with empty profile feed:    {}", pct(empty(&ben))),
+        format!(
+            "P(posts > 10): malicious {} | benign {}",
+            pct(ccdf_at(&mal, 10.0)),
+            pct(ccdf_at(&ben, 10.0))
+        ),
+    ];
+    let json = json!({
+        "malicious_empty": empty(&mal),
+        "benign_empty": empty(&ben),
+    });
+    ExpResult {
+        id: "fig9",
+        title: "Fig. 9: number of posts in app profile page".into(),
+        paper_claim: "97% of malicious apps have no posts in their profiles; the rest \
+                      advertise scam URLs there"
+            .into(),
+        lines,
+        json,
+    }
+}
+
+fn class_names(lab: &Lab, apps: &[osn_types::AppId]) -> Vec<String> {
+    apps.iter().map(|&a| lab.app_name(a).to_string()).collect()
+}
+
+/// Name-similarity clustering sweep (Fig. 10).
+pub fn fig10(lab: &Lab) -> ExpResult {
+    let mal_names = class_names(lab, &lab.bundle.d_sample.malicious);
+    let ben_names = class_names(lab, &lab.bundle.d_sample.benign);
+
+    let thresholds = [1.0, 0.9, 0.8, 0.7, 0.6];
+    let mut lines = vec![format!(
+        "{:<10} {:>18} {:>18}",
+        "threshold", "malicious ratio", "benign ratio"
+    )];
+    let mut rows = Vec::new();
+    for &t in &thresholds {
+        let m = cluster_by_similarity(&mal_names, t).reduction_ratio();
+        let b = cluster_by_similarity(&ben_names, t).reduction_ratio();
+        lines.push(format!("{t:<10} {:>18} {:>18}", pct(m), pct(b)));
+        rows.push(json!({"threshold": t, "malicious": m, "benign": b}));
+    }
+    ExpResult {
+        id: "fig10",
+        title: "Fig. 10: clustering of apps based on similarity in names".into(),
+        paper_claim: "at threshold 1.0, malicious clusters number < 1/5 of apps (avg 5 apps per \
+                      name); benign names barely cluster even at 0.7 (~80% remain)"
+            .into(),
+        lines,
+        json: json!(rows),
+    }
+}
+
+/// Identical-name cluster-size CCDF (Fig. 11).
+pub fn fig11(lab: &Lab) -> ExpResult {
+    let mal_names = class_names(lab, &lab.bundle.d_sample.malicious);
+    let ben_names = class_names(lab, &lab.bundle.d_sample.benign);
+    let mal = cluster_exact(&mal_names);
+    let ben = cluster_exact(&ben_names);
+
+    let mal_sizes = mal.sizes_desc();
+    let biggest = mal_sizes.first().copied().unwrap_or(0);
+    let biggest_name = mal
+        .clusters
+        .iter()
+        .max_by_key(|c| c.len())
+        .and_then(|c| c.first())
+        .map(|&i| mal_names[i].clone())
+        .unwrap_or_default();
+
+    let lines = vec![
+        format!("malicious clusters with > 10 members: {}", pct(mal.ccdf_at(10))),
+        format!("benign clusters with > 10 members:    {}", pct(ben.ccdf_at(10))),
+        format!("largest malicious name cluster: {biggest} apps named {biggest_name:?}"),
+        format!(
+            "mean apps per malicious name: {:.1} (benign: {:.1})",
+            mal_names.len() as f64 / mal.cluster_count().max(1) as f64,
+            ben_names.len() as f64 / ben.cluster_count().max(1) as f64,
+        ),
+    ];
+    let json = json!({
+        "malicious_ccdf_over10": mal.ccdf_at(10),
+        "benign_ccdf_over10": ben.ccdf_at(10),
+        "largest_cluster": biggest,
+        "largest_cluster_name": biggest_name,
+    });
+    ExpResult {
+        id: "fig11",
+        title: "Fig. 11: size of app clusters with identical names (CCDF)".into(),
+        paper_claim: "~10% of malicious identical-name clusters have > 10 apps; \
+                      627 apps share the name 'The App'; benign names are mostly unique"
+            .into(),
+        lines,
+        json,
+    }
+}
+
+/// External-link-to-post ratio CDF (Fig. 12).
+pub fn fig12(lab: &Lab) -> ExpResult {
+    let known = lab.known_malicious_names();
+    let ratios = |apps: &[osn_types::AppId]| -> Vec<f64> {
+        apps.iter()
+            .filter_map(|&a| {
+                lab.features_of(a, Archive::CrawlPhase, &known)
+                    .aggregation
+                    .external_link_ratio
+            })
+            .collect()
+    };
+    let mal = ratios(&lab.bundle.d_sample.malicious);
+    let ben = ratios(&lab.bundle.d_sample.benign);
+
+    let lines = vec![
+        format!("benign apps posting no external links:  {}", pct(cdf_at(&ben, 0.0))),
+        format!("malicious apps posting no external links: {}", pct(cdf_at(&mal, 0.0))),
+        format!(
+            "malicious apps with ratio >= 0.9 (≈ one external link per post): {}",
+            pct(ccdf_at(&mal, 0.899))
+        ),
+        format!(
+            "P(ratio <= 0.5): malicious {} | benign {}",
+            pct(cdf_at(&mal, 0.5)),
+            pct(cdf_at(&ben, 0.5))
+        ),
+    ];
+    let json = json!({
+        "benign_zero_fraction": cdf_at(&ben, 0.0),
+        "malicious_zero_fraction": cdf_at(&mal, 0.0),
+        "malicious_near_one_fraction": ccdf_at(&mal, 0.899),
+    });
+    ExpResult {
+        id: "fig12",
+        title: "Fig. 12: external-link-to-post ratio".into(),
+        paper_claim: "80% of benign apps post no external links; 40% of malicious apps average \
+                      one external link per post"
+            .into(),
+        lines,
+        json,
+    }
+}

@@ -1,0 +1,278 @@
+//! The experiment laboratory: a run world plus derived indices.
+
+use std::collections::{BTreeMap, HashSet};
+
+use fb_platform::graph_api::GraphApi;
+use fb_platform::post::Post;
+use frappe::features::aggregation::{extract_aggregation, KnownMaliciousNames};
+use frappe::features::on_demand::{extract_on_demand, OnDemandInput};
+use frappe::AppFeatures;
+use osn_types::ids::AppId;
+use synth_workload::scenario::MergedCrawl;
+use synth_workload::{build_datasets, run_scenario, DatasetBundle, ScenarioConfig, ScenarioWorld};
+
+/// Which crawl archive to extract on-demand features from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Archive {
+    /// Crawl-phase-only archive (what Table 1's datasets are built from).
+    CrawlPhase,
+    /// Extended archive including monitoring-phase crawls (what §5.3's
+    /// classification of the full D-Total uses).
+    Extended,
+}
+
+/// A run world plus everything the experiments repeatedly need.
+pub struct Lab {
+    /// The simulated world.
+    pub world: ScenarioWorld,
+    /// The D-* datasets of Table 1.
+    pub bundle: DatasetBundle,
+    /// Monitored posts per attributed app (ascending post order).
+    pub posts_by_app: BTreeMap<AppId, Vec<usize>>,
+}
+
+impl Lab {
+    /// Runs the scenario and builds all indices.
+    pub fn build(config: &ScenarioConfig) -> Lab {
+        let world = run_scenario(config);
+        let bundle = build_datasets(&world);
+
+        let mut posts_by_app: BTreeMap<AppId, Vec<usize>> = BTreeMap::new();
+        for &pid in world.mpk.monitored_posts() {
+            if let Some(post) = world.platform.post(pid) {
+                if let Some(app) = post.app {
+                    posts_by_app.entry(app).or_default().push(pid.raw() as usize);
+                }
+            }
+        }
+        for posts in posts_by_app.values_mut() {
+            posts.sort_unstable();
+        }
+
+        Lab {
+            world,
+            bundle,
+            posts_by_app,
+        }
+    }
+
+    /// Rebuilds the derived indices of a lab whose world/bundle were
+    /// constructed externally (used by ablation experiments that run
+    /// their own scenarios).
+    pub fn rebuild_indices(mut lab: Lab) -> Lab {
+        lab.posts_by_app.clear();
+        for &pid in lab.world.mpk.monitored_posts() {
+            if let Some(post) = lab.world.platform.post(pid) {
+                if let Some(app) = post.app {
+                    lab.posts_by_app
+                        .entry(app)
+                        .or_default()
+                        .push(pid.raw() as usize);
+                }
+            }
+        }
+        for posts in lab.posts_by_app.values_mut() {
+            posts.sort_unstable();
+        }
+        lab
+    }
+
+    /// Paper-scale lab (the configuration the `repro` binary uses).
+    pub fn paper_scale() -> Lab {
+        Lab::build(&ScenarioConfig::paper_scale())
+    }
+
+    /// Fast lab for tests.
+    pub fn small() -> Lab {
+        Lab::build(&ScenarioConfig::small())
+    }
+
+    /// Monitored posts made by one app.
+    pub fn monitored_posts_of(&self, app: AppId) -> Vec<&Post> {
+        self.posts_by_app
+            .get(&app)
+            .map(|idxs| {
+                idxs.iter()
+                    .map(|&i| &self.world.platform.posts()[i])
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The crawl record of an app under the chosen archive.
+    pub fn crawl_of(&self, app: AppId, archive: Archive) -> Option<&MergedCrawl> {
+        match archive {
+            Archive::CrawlPhase => self.world.crawl_archive.get(&app),
+            Archive::Extended => self.world.extended_archive.get(&app),
+        }
+    }
+
+    /// Known-malicious name set from the labelled (D-Sample) malicious
+    /// apps — the training-time knowledge the aggregation feature and the
+    /// validation pipeline are allowed to use.
+    pub fn known_malicious_names(&self) -> KnownMaliciousNames {
+        KnownMaliciousNames::from_names(
+            self.bundle
+                .d_sample
+                .malicious
+                .iter()
+                .filter_map(|&a| self.world.platform.app(a))
+                .map(|rec| rec.name().to_string()),
+        )
+    }
+
+    /// URLs posted (in monitored posts) by the labelled malicious apps.
+    pub fn known_malicious_urls(&self) -> HashSet<String> {
+        let mut urls = HashSet::new();
+        for &app in &self.bundle.d_sample.malicious {
+            for post in self.monitored_posts_of(app) {
+                if let Some(link) = &post.link {
+                    urls.insert(link.to_string());
+                }
+            }
+        }
+        urls
+    }
+
+    /// Display name of an app (platform registry; the monitoring vantage
+    /// sees names in post metadata even for later-deleted apps).
+    pub fn app_name(&self, app: AppId) -> &str {
+        self.world
+            .platform
+            .app(app)
+            .map(|rec| rec.name())
+            .unwrap_or("<unknown>")
+    }
+
+    /// Whether the Graph API still serves the app at the end of the
+    /// timeline (the §5.3 validation check).
+    pub fn alive_at_end(&self, app: AppId) -> bool {
+        GraphApi::new(&self.world.platform).exists(app)
+    }
+
+    /// Extracts the full FRAppE feature row for one app.
+    pub fn features_of(
+        &self,
+        app: AppId,
+        archive: Archive,
+        known: &KnownMaliciousNames,
+    ) -> AppFeatures {
+        let crawl = self.crawl_of(app, archive);
+        let input = OnDemandInput {
+            summary: crawl.and_then(|c| c.summary.as_ref()),
+            permissions: crawl.and_then(|c| c.permissions.as_ref()),
+            profile_feed: crawl.and_then(|c| c.profile_feed.as_deref()),
+        };
+        let on_demand = extract_on_demand(app, &input, &self.world.wot);
+        let posts = self.monitored_posts_of(app);
+        let aggregation =
+            extract_aggregation(self.app_name(app), &posts, known, &self.world.shortener);
+        AppFeatures {
+            app,
+            on_demand,
+            aggregation,
+        }
+    }
+
+    /// Extracts feature rows for a list of apps.
+    pub fn features_for(
+        &self,
+        apps: &[AppId],
+        archive: Archive,
+        known: &KnownMaliciousNames,
+    ) -> Vec<AppFeatures> {
+        apps.iter()
+            .map(|&a| self.features_of(a, archive, known))
+            .collect()
+    }
+
+    /// Feature rows + boolean labels for the labelled split of a dataset
+    /// (malicious first, then benign, matching label order).
+    pub fn labelled_features(
+        &self,
+        malicious: &[AppId],
+        benign: &[AppId],
+        archive: Archive,
+    ) -> (Vec<AppFeatures>, Vec<bool>) {
+        let known = self.known_malicious_names();
+        let mut samples = self.features_for(malicious, archive, &known);
+        samples.extend(self.features_for(benign, archive, &known));
+        let mut labels = vec![true; malicious.len()];
+        labels.extend(vec![false; benign.len()]);
+        (samples, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_builds_and_indices_are_consistent() {
+        let lab = Lab::small();
+        assert!(!lab.bundle.d_sample.is_empty());
+        // posts_by_app covers exactly the app-attributed monitored posts
+        let total: usize = lab.posts_by_app.values().map(Vec::len).sum();
+        let expected = lab
+            .world
+            .mpk
+            .monitored_posts()
+            .iter()
+            .filter(|&&pid| {
+                lab.world
+                    .platform
+                    .post(pid)
+                    .is_some_and(|p| p.app.is_some())
+            })
+            .count();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn feature_extraction_produces_class_shaped_rows() {
+        let lab = Lab::small();
+        let known = lab.known_malicious_names();
+        let mal = lab.features_for(
+            &lab.bundle.d_complete.malicious,
+            Archive::CrawlPhase,
+            &known,
+        );
+        let ben = lab.features_for(&lab.bundle.d_complete.benign, Archive::CrawlPhase, &known);
+        assert!(!mal.is_empty() && !ben.is_empty());
+
+        // D-Complete rows have every on-demand lane observed
+        for row in mal.iter().chain(&ben) {
+            assert!(row.on_demand.has_description.is_some());
+            assert!(row.on_demand.permission_count.is_some());
+            assert!(row.on_demand.redirect_wot_score.is_some());
+        }
+        // class shape: malicious mostly descriptionless, single-permission
+        let mal_desc = mal
+            .iter()
+            .filter(|r| r.on_demand.has_description == Some(true))
+            .count() as f64
+            / mal.len() as f64;
+        let ben_desc = ben
+            .iter()
+            .filter(|r| r.on_demand.has_description == Some(true))
+            .count() as f64
+            / ben.len() as f64;
+        assert!(mal_desc < 0.2, "malicious description rate {mal_desc}");
+        assert!(ben_desc > 0.7, "benign description rate {ben_desc}");
+    }
+
+    #[test]
+    fn known_names_cover_the_malicious_sample() {
+        let lab = Lab::small();
+        let known = lab.known_malicious_names();
+        assert!(!known.is_empty());
+        let hits = lab
+            .bundle
+            .d_sample
+            .malicious
+            .iter()
+            .filter(|&&a| known.contains(lab.app_name(a)))
+            .count();
+        assert_eq!(hits, lab.bundle.d_sample.malicious.len());
+    }
+}

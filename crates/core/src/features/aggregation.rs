@@ -1,0 +1,200 @@
+//! Aggregation-based features (§4.2, Table 7).
+//!
+//! These need a monitoring vantage point — "Facebook security applications
+//! installed by a large population of users, such as MyPageKeeper, or
+//! Facebook itself":
+//!
+//! * **App-name collision** — is the app's name identical to a known
+//!   malicious app's? (87% of malicious apps share a name with another —
+//!   §4.2.1.) Names are compared in normalized form (case/whitespace
+//!   folded) — the same canonicalization the clustering analysis uses.
+//! * **External-link-to-post ratio** — external links posted over total
+//!   posts observed (80% of benign apps post none; 40% of malicious apps
+//!   average one per post — §4.2.2). Shortened URLs are expanded through
+//!   the shortener before deciding internal vs external, mirroring the
+//!   paper's bit.ly resolution step; unresolvable short links count as
+//!   external (they leave facebook.com by construction).
+
+use std::collections::HashSet;
+
+use fb_platform::post::Post;
+use serde::{Deserialize, Serialize};
+use text_analysis::normalize::normalize_name;
+use url_services::shortener::Shortener;
+
+/// The two aggregation features of Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AggregationFeatures {
+    /// Name identical (after normalization) to a known malicious app.
+    pub name_matches_known_malicious: bool,
+    /// External links ÷ posts, `None` if no posts were observed.
+    pub external_link_ratio: Option<f64>,
+}
+
+/// A set of known-malicious app names, held in normalized form.
+#[derive(Debug, Clone, Default)]
+pub struct KnownMaliciousNames {
+    names: HashSet<String>,
+}
+
+impl KnownMaliciousNames {
+    /// Builds the set from raw names (normalizing each).
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        KnownMaliciousNames {
+            names: names.into_iter().map(|n| normalize_name(n.as_ref())).collect(),
+        }
+    }
+
+    /// Whether `name` (raw) collides with a known malicious name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains(&normalize_name(name))
+    }
+
+    /// Number of known names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Extracts the Table 7 features for one app.
+///
+/// `posts` are the monitored posts made *by this app*; `shortener` expands
+/// shortened links before the internal/external decision.
+pub fn extract_aggregation(
+    app_name: &str,
+    posts: &[&Post],
+    known: &KnownMaliciousNames,
+    shortener: &Shortener,
+) -> AggregationFeatures {
+    let name_matches = known.contains(app_name);
+
+    let external_link_ratio = if posts.is_empty() {
+        None
+    } else {
+        let mut external = 0usize;
+        for post in posts {
+            let Some(link) = &post.link else { continue };
+            let is_external = if link.is_shortened() {
+                match shortener.expand(link) {
+                    Some(target) => !target.is_facebook(),
+                    None => true, // a short link is itself off-facebook
+                }
+            } else {
+                !link.is_facebook()
+            };
+            if is_external {
+                external += 1;
+            }
+        }
+        Some(external as f64 / posts.len() as f64)
+    };
+
+    AggregationFeatures {
+        name_matches_known_malicious: name_matches,
+        external_link_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fb_platform::post::PostKind;
+    use osn_types::ids::{AppId, PostId, UserId};
+    use osn_types::time::SimTime;
+    use osn_types::url::Url;
+
+    fn post(id: u64, link: Option<Url>) -> Post {
+        Post {
+            id: PostId(id),
+            wall_owner: UserId(0),
+            author: UserId(0),
+            app: Some(AppId(1)),
+            profile_of: None,
+            kind: PostKind::App,
+            message: "m".into(),
+            link,
+            created_at: SimTime::ZERO,
+            likes: 0,
+            comments: 0,
+        }
+    }
+
+    #[test]
+    fn name_matching_is_normalized() {
+        let known = KnownMaliciousNames::from_names(["The App", "WhosStalking?"]);
+        assert!(known.contains("the  app"));
+        assert!(known.contains("THE APP"));
+        assert!(!known.contains("The App v2"));
+        assert_eq!(known.len(), 2);
+        let f = extract_aggregation("the app", &[], &known, &Shortener::bitly());
+        assert!(f.name_matches_known_malicious);
+        assert_eq!(f.external_link_ratio, None, "no posts observed");
+    }
+
+    #[test]
+    fn external_ratio_counts_only_offsite_links() {
+        let posts = vec![
+            post(0, Some(Url::parse("http://scam.com/a").unwrap())),
+            post(1, Some(Url::parse("https://apps.facebook.com/x/").unwrap())),
+            post(2, None),
+            post(3, Some(Url::parse("http://scam.com/b").unwrap())),
+        ];
+        let refs: Vec<&Post> = posts.iter().collect();
+        let f = extract_aggregation(
+            "app",
+            &refs,
+            &KnownMaliciousNames::default(),
+            &Shortener::bitly(),
+        );
+        assert_eq!(f.external_link_ratio, Some(0.5));
+        assert!(!f.name_matches_known_malicious);
+    }
+
+    #[test]
+    fn shortened_links_are_expanded_before_deciding() {
+        let mut shortener = Shortener::bitly();
+        let to_facebook =
+            shortener.shorten(&Url::parse("https://apps.facebook.com/game/").unwrap());
+        let to_scam = shortener.shorten(&Url::parse("http://scam.com/x").unwrap());
+        let unresolvable = shortener.shorten(&Url::parse("http://dead.com/x").unwrap());
+        shortener.set_unresolvable(&unresolvable);
+
+        let posts = vec![
+            post(0, Some(to_facebook)),
+            post(1, Some(to_scam)),
+            post(2, Some(unresolvable)),
+        ];
+        let refs: Vec<&Post> = posts.iter().collect();
+        let f = extract_aggregation(
+            "app",
+            &refs,
+            &KnownMaliciousNames::default(),
+            &shortener,
+        );
+        // facebook-bound short link internal; scam + unresolvable external
+        assert_eq!(f.external_link_ratio, Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn benign_shape_zero_ratio() {
+        let posts = vec![post(0, None), post(1, None)];
+        let refs: Vec<&Post> = posts.iter().collect();
+        let f = extract_aggregation(
+            "Happy Farm",
+            &refs,
+            &KnownMaliciousNames::from_names(["The App"]),
+            &Shortener::bitly(),
+        );
+        assert_eq!(f.external_link_ratio, Some(0.0));
+        assert!(!f.name_matches_known_malicious);
+    }
+}

@@ -1,0 +1,16 @@
+//! Feature extraction.
+//!
+//! FRAppE's two feature families, exactly as the paper partitions them:
+//!
+//! * [`on_demand`] — "features that one can obtain on-demand given the
+//!   application's ID" (§4.1, Table 4).
+//! * [`aggregation`] — "features \[that\] are gathered by entities that
+//!   monitor the posting behavior of several applications across users and
+//!   across time" (§4.2, Table 7).
+//! * [`vectorize`] — feature-set selection (Lite / Full / Robust / single
+//!   feature), missing-lane imputation, and the numeric encoding fed to
+//!   the SVM.
+
+pub mod aggregation;
+pub mod on_demand;
+pub mod vectorize;

@@ -1,0 +1,156 @@
+//! On-demand features (§4.1, Table 4).
+//!
+//! Everything here can be fetched for a bare app ID at decision time: the
+//! Graph-API summary, the app's profile feed, and one visit to the
+//! installation URL (which reveals the permission dialog, the `client_id`
+//! parameter, and the redirect URI whose domain reputation WOT scores).
+//!
+//! Each lane is `Option`al because the underlying crawl can fail
+//! independently — deleted apps lose their summary and feed, human-only
+//! install flows defeat the permission crawl. `None` means *unobserved*,
+//! which is distinct from observed-negative (e.g. a WOT score of −1 means
+//! WOT was asked and had no data; `None` means we never learned the
+//! redirect URI at all).
+
+use fb_platform::crawler::PermissionCrawl;
+use fb_platform::graph_api::AppSummary;
+use fb_platform::post::Post;
+use osn_types::ids::AppId;
+use serde::{Deserialize, Serialize};
+use url_services::wot::WotRegistry;
+
+/// Raw inputs for on-demand extraction, as obtained by a crawler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnDemandInput<'a> {
+    /// Graph-API summary, if the query succeeded.
+    pub summary: Option<&'a AppSummary>,
+    /// Permission-dialog observation, if the install-flow crawl succeeded.
+    pub permissions: Option<&'a PermissionCrawl>,
+    /// The app's profile feed, if the feed query succeeded.
+    pub profile_feed: Option<&'a [Post]>,
+}
+
+/// The seven on-demand features of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OnDemandFeatures {
+    /// Is a category specified in the app summary?
+    pub has_category: Option<bool>,
+    /// Is a company name specified?
+    pub has_company: Option<bool>,
+    /// Is a description specified? (The single strongest feature — 97.8%
+    /// accuracy alone, Table 6.)
+    pub has_description: Option<bool>,
+    /// Any posts in the app's profile page? (97% of malicious apps have
+    /// none — §4.1.5.)
+    pub has_profile_posts: Option<bool>,
+    /// Number of permissions requested at install (97% of malicious apps
+    /// request exactly one — §4.1.2).
+    pub permission_count: Option<u32>,
+    /// Does the install dialog's `client_id` differ from the app's own ID?
+    /// (78% of malicious apps — §4.1.4.)
+    pub client_id_mismatch: Option<bool>,
+    /// WOT trust score of the redirect-URI domain, −1 when WOT has no data
+    /// (80% of malicious apps' domains — §4.1.3).
+    pub redirect_wot_score: Option<f64>,
+}
+
+/// Extracts the Table 4 features for one app.
+pub fn extract_on_demand(
+    app: AppId,
+    input: &OnDemandInput<'_>,
+    wot: &WotRegistry,
+) -> OnDemandFeatures {
+    let summary = input.summary;
+    OnDemandFeatures {
+        has_category: summary.map(|s| s.category.is_some()),
+        has_company: summary.map(|s| s.company.is_some()),
+        has_description: summary.map(|s| s.description.is_some()),
+        has_profile_posts: input.profile_feed.map(|feed| !feed.is_empty()),
+        permission_count: input.permissions.map(|p| p.permissions.len()),
+        client_id_mismatch: input.permissions.map(|p| p.client_id != app),
+        redirect_wot_score: input
+            .permissions
+            .map(|p| wot.feature_score(p.redirect_uri.host())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_types::permission::{Permission, PermissionSet};
+    use osn_types::time::SimTime;
+    use osn_types::url::Url;
+
+    fn summary(desc: bool, company: bool, category: bool) -> AppSummary {
+        AppSummary {
+            id: AppId(7),
+            name: "Test".into(),
+            description: desc.then(|| "a fine app".into()),
+            company: company.then(|| "Acme".into()),
+            category: category.then(|| "Games".into()),
+            profile_link: Url::parse("https://www.facebook.com/apps/application.php?id=7")
+                .unwrap(),
+            monthly_active_users: 5,
+            created_at: SimTime::ZERO,
+        }
+    }
+
+    fn perm_crawl(client: u64, redirect: &str, n_perms: usize) -> PermissionCrawl {
+        let mut perms = PermissionSet::from_iter([Permission::PublishStream]);
+        for p in Permission::ALL.iter().take(n_perms.saturating_sub(1)) {
+            if *p != Permission::PublishStream {
+                perms.insert(*p);
+            }
+        }
+        PermissionCrawl {
+            permissions: perms,
+            client_id: AppId(client),
+            redirect_uri: Url::parse(redirect).unwrap(),
+        }
+    }
+
+    #[test]
+    fn full_observation_extracts_all_lanes() {
+        let s = summary(true, false, true);
+        let p = perm_crawl(9, "http://scamhost.com/x", 1);
+        let feed: Vec<Post> = vec![];
+        let mut wot = WotRegistry::new();
+        wot.set_score(&osn_types::Domain::parse("scamhost.com").unwrap(), 3);
+        let input = OnDemandInput {
+            summary: Some(&s),
+            permissions: Some(&p),
+            profile_feed: Some(&feed),
+        };
+        let f = extract_on_demand(AppId(7), &input, &wot);
+        assert_eq!(f.has_description, Some(true));
+        assert_eq!(f.has_company, Some(false));
+        assert_eq!(f.has_category, Some(true));
+        assert_eq!(f.has_profile_posts, Some(false));
+        assert_eq!(f.permission_count, Some(1));
+        assert_eq!(f.client_id_mismatch, Some(true), "client 9 != app 7");
+        assert_eq!(f.redirect_wot_score, Some(3.0));
+    }
+
+    #[test]
+    fn matching_client_id_is_not_a_mismatch() {
+        let p = perm_crawl(7, "http://x.com/y", 2);
+        let input = OnDemandInput {
+            permissions: Some(&p),
+            ..Default::default()
+        };
+        let f = extract_on_demand(AppId(7), &input, &WotRegistry::new());
+        assert_eq!(f.client_id_mismatch, Some(false));
+        assert_eq!(f.permission_count, Some(2));
+        // unknown domain -> the paper's -1 sentinel
+        assert_eq!(f.redirect_wot_score, Some(-1.0));
+    }
+
+    #[test]
+    fn missing_lanes_stay_none() {
+        let input = OnDemandInput::default();
+        let f = extract_on_demand(AppId(1), &input, &WotRegistry::new());
+        assert_eq!(f, OnDemandFeatures::default());
+        assert!(f.has_description.is_none());
+        assert!(f.redirect_wot_score.is_none());
+    }
+}

@@ -1,0 +1,304 @@
+//! Feature-set selection, imputation, and numeric encoding.
+//!
+//! The SVM consumes dense `f64` vectors; this module owns the mapping from
+//! the typed feature structs to those vectors:
+//!
+//! * [`FeatureSet`] picks which features participate — the paper's three
+//!   classifiers (Lite / Full / Robust, §5.1, §5.2, §7) plus
+//!   single-feature mode for Table 6.
+//! * [`Imputation`] fills unobserved lanes. The paper trains on D-Complete
+//!   (all lanes present) but *applies* FRAppE to 98,609 apps whose crawls
+//!   are partial; imputing with training-set medians keeps missing lanes
+//!   uninformative instead of silently class-coded.
+
+use osn_types::ids::AppId;
+use serde::{Deserialize, Serialize};
+
+use super::aggregation::AggregationFeatures;
+use super::on_demand::OnDemandFeatures;
+
+/// One app's complete feature row.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AppFeatures {
+    /// The app this row describes.
+    pub app: AppId,
+    /// Table 4 features.
+    pub on_demand: OnDemandFeatures,
+    /// Table 7 features.
+    pub aggregation: AggregationFeatures,
+}
+
+/// Identifies a single feature (Table 6's per-feature experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureId {
+    /// Is a category specified?
+    Category,
+    /// Is a company specified?
+    Company,
+    /// Is a description specified?
+    Description,
+    /// Any posts in the profile page?
+    ProfilePosts,
+    /// Number of permissions requested.
+    PermissionCount,
+    /// Client ID differs from app ID?
+    ClientIdMismatch,
+    /// WOT trust score of the redirect domain.
+    WotScore,
+    /// Name identical to a known malicious app? (aggregation)
+    NameCollision,
+    /// External-link-to-post ratio. (aggregation)
+    ExternalLinkRatio,
+}
+
+impl FeatureId {
+    /// The on-demand features, in Table 4 order.
+    pub const ON_DEMAND: [FeatureId; 7] = [
+        FeatureId::Category,
+        FeatureId::Company,
+        FeatureId::Description,
+        FeatureId::ProfilePosts,
+        FeatureId::PermissionCount,
+        FeatureId::ClientIdMismatch,
+        FeatureId::WotScore,
+    ];
+
+    /// The aggregation features, in Table 7 order.
+    pub const AGGREGATION: [FeatureId; 2] =
+        [FeatureId::NameCollision, FeatureId::ExternalLinkRatio];
+
+    /// §7's obfuscation-robust subset: "the reputation of redirect URIs,
+    /// the number of required permissions, and the use of different client
+    /// IDs in app installation URLs".
+    pub const ROBUST: [FeatureId; 3] = [
+        FeatureId::PermissionCount,
+        FeatureId::ClientIdMismatch,
+        FeatureId::WotScore,
+    ];
+
+    /// §7's easily-obfuscated features: "hackers can easily fill in this
+    /// information into the summary ... \[and\] begin making dummy posts in
+    /// the profile pages".
+    pub const OBFUSCATABLE: [FeatureId; 4] = [
+        FeatureId::Category,
+        FeatureId::Company,
+        FeatureId::Description,
+        FeatureId::ProfilePosts,
+    ];
+
+    /// Human-readable name (used in experiment output).
+    pub const fn name(self) -> &'static str {
+        match self {
+            FeatureId::Category => "Category specified?",
+            FeatureId::Company => "Company specified?",
+            FeatureId::Description => "Description specified?",
+            FeatureId::ProfilePosts => "Posts in profile?",
+            FeatureId::PermissionCount => "Permission count",
+            FeatureId::ClientIdMismatch => "Client ID is same?",
+            FeatureId::WotScore => "WOT trust score",
+            FeatureId::NameCollision => "App name similarity",
+            FeatureId::ExternalLinkRatio => "External link to post ratio",
+        }
+    }
+
+    /// Raw (possibly missing) value of this feature in a row.
+    pub fn raw_value(self, f: &AppFeatures) -> Option<f64> {
+        let b = |v: Option<bool>| v.map(|x| f64::from(u8::from(x)));
+        match self {
+            FeatureId::Category => b(f.on_demand.has_category),
+            FeatureId::Company => b(f.on_demand.has_company),
+            FeatureId::Description => b(f.on_demand.has_description),
+            FeatureId::ProfilePosts => b(f.on_demand.has_profile_posts),
+            FeatureId::PermissionCount => f.on_demand.permission_count.map(f64::from),
+            FeatureId::ClientIdMismatch => b(f.on_demand.client_id_mismatch),
+            FeatureId::WotScore => f.on_demand.redirect_wot_score,
+            FeatureId::NameCollision => {
+                Some(f64::from(u8::from(f.aggregation.name_matches_known_malicious)))
+            }
+            FeatureId::ExternalLinkRatio => f.aggregation.external_link_ratio,
+        }
+    }
+}
+
+/// Which features a classifier uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureSet {
+    /// FRAppE Lite: the seven on-demand features (Table 4).
+    Lite,
+    /// FRAppE: on-demand + aggregation (Tables 4 + 7).
+    Full,
+    /// §7's obfuscation-robust subset.
+    Robust,
+    /// §7's easily-obfuscated subset (summary fields + profile feed).
+    Obfuscatable,
+    /// A single feature (Table 6).
+    Single(FeatureId),
+}
+
+impl FeatureSet {
+    /// The member features, in stable order.
+    pub fn features(self) -> Vec<FeatureId> {
+        match self {
+            FeatureSet::Lite => FeatureId::ON_DEMAND.to_vec(),
+            FeatureSet::Full => FeatureId::ON_DEMAND
+                .iter()
+                .chain(FeatureId::AGGREGATION.iter())
+                .copied()
+                .collect(),
+            FeatureSet::Robust => FeatureId::ROBUST.to_vec(),
+            FeatureSet::Obfuscatable => FeatureId::OBFUSCATABLE.to_vec(),
+            FeatureSet::Single(id) => vec![id],
+        }
+    }
+
+    /// Dimensionality of the encoded vector.
+    pub fn dim(self) -> usize {
+        self.features().len()
+    }
+}
+
+/// Per-feature fill-in values for unobserved lanes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Imputation {
+    values: Vec<(FeatureId, f64)>,
+}
+
+impl Imputation {
+    /// All-zero imputation (useful when rows are known complete).
+    pub fn zeroes() -> Self {
+        let values = FeatureId::ON_DEMAND
+            .iter()
+            .chain(FeatureId::AGGREGATION.iter())
+            .map(|&id| (id, 0.0))
+            .collect();
+        Imputation { values }
+    }
+
+    /// Fits per-feature medians over the observed values of a training
+    /// sample. Features never observed in the sample impute to 0.
+    pub fn fit_medians(samples: &[AppFeatures]) -> Self {
+        let values = FeatureId::ON_DEMAND
+            .iter()
+            .chain(FeatureId::AGGREGATION.iter())
+            .map(|&id| {
+                let mut observed: Vec<f64> = samples
+                    .iter()
+                    .filter_map(|s| id.raw_value(s))
+                    .collect();
+                let median = if observed.is_empty() {
+                    0.0
+                } else {
+                    observed.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+                    observed[(observed.len() - 1) / 2]
+                };
+                (id, median)
+            })
+            .collect();
+        Imputation { values }
+    }
+
+    /// Fill value for a feature.
+    pub fn value_for(&self, id: FeatureId) -> f64 {
+        self.values
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    }
+
+    /// Encodes one row under a feature set, filling missing lanes.
+    pub fn encode(&self, set: FeatureSet, row: &AppFeatures) -> Vec<f64> {
+        set.features()
+            .into_iter()
+            .map(|id| id.raw_value(row).unwrap_or_else(|| self.value_for(id)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete_row(desc: bool, perms: u32, wot: f64) -> AppFeatures {
+        AppFeatures {
+            app: AppId(1),
+            on_demand: OnDemandFeatures {
+                has_category: Some(true),
+                has_company: Some(false),
+                has_description: Some(desc),
+                has_profile_posts: Some(true),
+                permission_count: Some(perms),
+                client_id_mismatch: Some(false),
+                redirect_wot_score: Some(wot),
+            },
+            aggregation: AggregationFeatures {
+                name_matches_known_malicious: false,
+                external_link_ratio: Some(0.25),
+            },
+        }
+    }
+
+    #[test]
+    fn set_dimensions_match_the_paper() {
+        assert_eq!(FeatureSet::Lite.dim(), 7, "Table 4 has seven features");
+        assert_eq!(FeatureSet::Full.dim(), 9, "plus Table 7's two");
+        assert_eq!(FeatureSet::Robust.dim(), 3);
+        assert_eq!(FeatureSet::Obfuscatable.dim(), 4);
+        assert_eq!(FeatureSet::Single(FeatureId::WotScore).dim(), 1);
+    }
+
+    #[test]
+    fn encoding_is_ordered_and_complete() {
+        let row = complete_row(true, 6, 94.0);
+        let v = Imputation::zeroes().encode(FeatureSet::Full, &row);
+        assert_eq!(v.len(), 9);
+        // order: category, company, description, profile, perms, client, wot,
+        //        name-collision, link-ratio
+        assert_eq!(v, vec![1.0, 0.0, 1.0, 1.0, 6.0, 0.0, 94.0, 0.0, 0.25]);
+    }
+
+    #[test]
+    fn missing_lanes_use_imputation_value() {
+        let mut row = complete_row(true, 1, -1.0);
+        row.on_demand.permission_count = None;
+        let samples = vec![
+            complete_row(true, 1, 0.0),
+            complete_row(true, 3, 0.0),
+            complete_row(true, 9, 0.0),
+        ];
+        let imp = Imputation::fit_medians(&samples);
+        assert_eq!(imp.value_for(FeatureId::PermissionCount), 3.0);
+        let v = imp.encode(FeatureSet::Single(FeatureId::PermissionCount), &row);
+        assert_eq!(v, vec![3.0]);
+    }
+
+    #[test]
+    fn median_fit_over_empty_sample_is_zero() {
+        let imp = Imputation::fit_medians(&[]);
+        assert_eq!(imp.value_for(FeatureId::WotScore), 0.0);
+    }
+
+    #[test]
+    fn robust_set_matches_section7() {
+        let names: Vec<&str> = FeatureSet::Robust
+            .features()
+            .into_iter()
+            .map(FeatureId::name)
+            .collect();
+        assert!(names.contains(&"Permission count"));
+        assert!(names.contains(&"Client ID is same?"));
+        assert!(names.contains(&"WOT trust score"));
+    }
+
+    #[test]
+    fn every_feature_has_a_distinct_name() {
+        let mut names: Vec<&str> = FeatureId::ON_DEMAND
+            .iter()
+            .chain(FeatureId::AGGREGATION.iter())
+            .map(|f| f.name())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+}

@@ -1,0 +1,88 @@
+//! # FRAppE — Facebook's Rigorous Application Evaluator
+//!
+//! A from-scratch reproduction of the classifier from *"FRAppE: Detecting
+//! Malicious Facebook Applications"* (Rahman, Huang, Madhyastha, Faloutsos —
+//! CoNEXT 2012). Given an application's identity, FRAppE answers the
+//! paper's central question: **is this app malicious?**
+//!
+//! ## The three classifiers
+//!
+//! * **FRAppE Lite** ([`FeatureSet::Lite`]) — only *on-demand* features,
+//!   obtainable for any app ID at query time (Table 4): summary
+//!   completeness (category / company / description), profile-feed
+//!   presence, permission count, client-ID mismatch in the install URL,
+//!   and the WOT reputation of the redirect domain. 99.0% accuracy in the
+//!   paper; light enough for a browser extension.
+//! * **FRAppE** ([`FeatureSet::Full`]) — adds two *aggregation-based*
+//!   features that need a cross-user, cross-app monitoring vantage
+//!   (Table 7): app-name collision with known malicious apps, and the
+//!   external-link-to-post ratio. 99.5% accuracy, zero false positives.
+//! * **Robust FRAppE** ([`FeatureSet::Robust`]) — §7's hardening analysis:
+//!   only the features hackers cannot cheaply obfuscate (permission count,
+//!   client-ID mismatch, redirect-domain reputation). 98.2% accuracy.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use frappe::{
+//!     AppFeatures, FeatureSet, FrappeModel, OnDemandFeatures, AggregationFeatures,
+//! };
+//! use osn_types::AppId;
+//!
+//! // Feature rows normally come from the extraction API (see
+//! // `features::extract_on_demand`); hand-rolled here for brevity.
+//! let benign = AppFeatures {
+//!     app: AppId(1),
+//!     on_demand: OnDemandFeatures {
+//!         has_category: Some(true),
+//!         has_company: Some(true),
+//!         has_description: Some(true),
+//!         has_profile_posts: Some(true),
+//!         permission_count: Some(6),
+//!         client_id_mismatch: Some(false),
+//!         redirect_wot_score: Some(94.0),
+//!     },
+//!     aggregation: AggregationFeatures {
+//!         name_matches_known_malicious: false,
+//!         external_link_ratio: Some(0.0),
+//!     },
+//! };
+//! let malicious = AppFeatures {
+//!     app: AppId(2),
+//!     on_demand: OnDemandFeatures {
+//!         has_category: Some(false),
+//!         has_company: Some(false),
+//!         has_description: Some(false),
+//!         has_profile_posts: Some(false),
+//!         permission_count: Some(1),
+//!         client_id_mismatch: Some(true),
+//!         redirect_wot_score: Some(-1.0),
+//!     },
+//!     aggregation: AggregationFeatures {
+//!         name_matches_known_malicious: true,
+//!         external_link_ratio: Some(1.0),
+//!     },
+//! };
+//!
+//! // Tiny training set: four copies of each prototype.
+//! let samples: Vec<AppFeatures> =
+//!     (0..4).flat_map(|_| [benign.clone(), malicious.clone()]).collect();
+//! let labels: Vec<bool> = (0..4).flat_map(|_| [false, true]).collect();
+//!
+//! let model = FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
+//! assert!(!model.predict(&benign));
+//! assert!(model.predict(&malicious));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod features;
+pub mod validation;
+
+pub use classifier::{cross_validate_frappe, FrappeModel};
+pub use features::aggregation::{extract_aggregation, AggregationFeatures};
+pub use features::on_demand::{extract_on_demand, OnDemandFeatures, OnDemandInput};
+pub use features::vectorize::{AppFeatures, FeatureId, FeatureSet, Imputation};
+pub use validation::{validate_flagged, ValidationCategory, ValidationInput, ValidationReport};

@@ -1,0 +1,399 @@
+//! Validating newly-flagged apps (§5.3, Table 8).
+//!
+//! FRAppE's §5.3 experiment classifies every unlabelled app and then
+//! validates the flagged set with five complementary techniques. Table 8
+//! reports, for each technique, how many flagged apps it validates and the
+//! cumulative coverage when applied in order:
+//!
+//! 1. **Deleted from Facebook graph** — the platform itself took the app
+//!    down (81% in the paper).
+//! 2. **App name similarity** — the name is identical to *multiple* known
+//!    malicious apps, or shares a versioned base name with them (74%).
+//! 3. **Posted link similarity** — a posted URL matches one posted by a
+//!    known malicious app: same campaign (20%).
+//! 4. **Typosquatting of a popular app** — near-identical (but not equal)
+//!    to a popular benign name (0.1% — the five 'FarmVile's).
+//! 5. **Manual verification** — remaining apps clustered by name; clusters
+//!    larger than 4 get one representative manually checked (1.8%).
+
+use std::collections::{HashMap, HashSet};
+
+use osn_types::ids::AppId;
+use serde::{Deserialize, Serialize};
+use text_analysis::clustering::cluster_exact;
+use text_analysis::normalize::{normalize_name, split_version_suffix};
+use text_analysis::similarity::name_similarity;
+
+/// Which technique validated an app.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValidationCategory {
+    /// The Graph API now returns an error for the app.
+    DeletedFromGraph,
+    /// Name identical (or versioned-identical) to known malicious apps.
+    NameSimilarity,
+    /// Posted a URL also posted by a known malicious app.
+    PostSimilarity,
+    /// Typosquats a popular app's name.
+    Typosquatting,
+    /// Validated by clustering + manual inspection.
+    Manual,
+}
+
+impl ValidationCategory {
+    /// All categories, in Table 8's application order.
+    pub const IN_ORDER: [ValidationCategory; 5] = [
+        ValidationCategory::DeletedFromGraph,
+        ValidationCategory::NameSimilarity,
+        ValidationCategory::PostSimilarity,
+        ValidationCategory::Typosquatting,
+        ValidationCategory::Manual,
+    ];
+
+    /// Display label matching Table 8's rows.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ValidationCategory::DeletedFromGraph => "Deleted from Facebook graph",
+            ValidationCategory::NameSimilarity => "App name similarity",
+            ValidationCategory::PostSimilarity => "Post similarity",
+            ValidationCategory::Typosquatting => "Typosquatting of popular apps",
+            ValidationCategory::Manual => "Manual validation",
+        }
+    }
+}
+
+/// Everything the validator needs to know about one flagged app.
+#[derive(Debug, Clone)]
+pub struct ValidationInput {
+    /// The flagged app.
+    pub app: AppId,
+    /// Its display name (from the crawl archive).
+    pub name: String,
+    /// Whether the Graph API still serves it at validation time.
+    pub alive: bool,
+    /// URLs the app was observed posting (display form).
+    pub posted_urls: HashSet<String>,
+}
+
+/// Cross-referencing context: what is already known to be malicious, and
+/// what is popular.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationContext {
+    /// Known malicious app names → number of known malicious apps using
+    /// that (normalized) name.
+    pub known_name_counts: HashMap<String, usize>,
+    /// Versioned base names (normalized) used by ≥1 known malicious app.
+    pub known_versioned_bases: HashSet<String>,
+    /// URLs posted by known malicious apps.
+    pub known_urls: HashSet<String>,
+    /// Popular (benign) app names, for the typosquatting check.
+    pub popular_names: Vec<String>,
+}
+
+impl ValidationContext {
+    /// Builds the context from known malicious names/URLs and popular
+    /// names.
+    pub fn build<'a>(
+        known_malicious_names: impl IntoIterator<Item = &'a str>,
+        known_urls: impl IntoIterator<Item = &'a str>,
+        popular_names: impl IntoIterator<Item = &'a str>,
+    ) -> Self {
+        let mut known_name_counts: HashMap<String, usize> = HashMap::new();
+        let mut known_versioned_bases = HashSet::new();
+        for raw in known_malicious_names {
+            *known_name_counts.entry(normalize_name(raw)).or_default() += 1;
+            let split = split_version_suffix(raw);
+            if split.is_versioned() {
+                known_versioned_bases.insert(split.base);
+            }
+        }
+        ValidationContext {
+            known_name_counts,
+            known_versioned_bases,
+            known_urls: known_urls.into_iter().map(str::to_string).collect(),
+            popular_names: popular_names.into_iter().map(str::to_string).collect(),
+        }
+    }
+}
+
+/// Similarity threshold for the typosquatting check ('FarmVile' vs
+/// 'FarmVille' scores 8/9 ≈ 0.889).
+const TYPOSQUAT_SIMILARITY: f64 = 0.85;
+
+/// Minimum name-cluster size for the manual-verification step (the paper
+/// verified "one app from each cluster with cluster size greater than 4").
+const MANUAL_CLUSTER_MIN: usize = 5;
+
+/// The outcome of the Table 8 validation.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// Independent per-technique hits (an app can appear under several).
+    pub matched: HashMap<ValidationCategory, Vec<AppId>>,
+    /// First technique (in Table 8 order) validating each app.
+    pub first_match: HashMap<AppId, ValidationCategory>,
+    /// Apps no technique validated ("Unknown" row).
+    pub unknown: Vec<AppId>,
+    /// Total flagged apps examined.
+    pub total: usize,
+}
+
+impl ValidationReport {
+    /// Independent count for a technique.
+    pub fn count(&self, cat: ValidationCategory) -> usize {
+        self.matched.get(&cat).map_or(0, Vec::len)
+    }
+
+    /// Cumulative validated count after applying techniques in order up to
+    /// and including `cat`.
+    pub fn cumulative_through(&self, cat: ValidationCategory) -> usize {
+        let mut seen: HashSet<AppId> = HashSet::new();
+        for c in ValidationCategory::IN_ORDER {
+            if let Some(apps) = self.matched.get(&c) {
+                seen.extend(apps.iter().copied());
+            }
+            if c == cat {
+                break;
+            }
+        }
+        seen.len()
+    }
+
+    /// Total validated (any technique).
+    pub fn total_validated(&self) -> usize {
+        self.total - self.unknown.len()
+    }
+
+    /// Validated fraction of the flagged set.
+    pub fn validated_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.total_validated() as f64 / self.total as f64
+    }
+}
+
+/// Runs all five validation techniques over the flagged apps.
+pub fn validate_flagged(
+    flagged: &[ValidationInput],
+    ctx: &ValidationContext,
+) -> ValidationReport {
+    let mut report = ValidationReport {
+        total: flagged.len(),
+        ..ValidationReport::default()
+    };
+
+    let mut validated: HashSet<AppId> = HashSet::new();
+    let record =
+        |report: &mut ValidationReport, validated: &mut HashSet<AppId>, app: AppId, cat| {
+            report.matched.entry(cat).or_default().push(app);
+            if validated.insert(app) {
+                report.first_match.insert(app, cat);
+            }
+        };
+
+    for input in flagged {
+        // 1. deleted from the graph
+        if !input.alive {
+            record(
+                &mut report,
+                &mut validated,
+                input.app,
+                ValidationCategory::DeletedFromGraph,
+            );
+        }
+
+        // 2. name similarity: identical to multiple known malicious apps,
+        //    or versioned with a known malicious versioned base
+        let normalized = normalize_name(&input.name);
+        let exact_hits = ctx.known_name_counts.get(&normalized).copied().unwrap_or(0);
+        let split = split_version_suffix(&input.name);
+        let versioned_hit =
+            split.is_versioned() && ctx.known_versioned_bases.contains(&split.base);
+        if exact_hits >= 2 || versioned_hit {
+            record(
+                &mut report,
+                &mut validated,
+                input.app,
+                ValidationCategory::NameSimilarity,
+            );
+        }
+
+        // 3. posted-link similarity
+        if input.posted_urls.iter().any(|u| ctx.known_urls.contains(u)) {
+            record(
+                &mut report,
+                &mut validated,
+                input.app,
+                ValidationCategory::PostSimilarity,
+            );
+        }
+
+        // 4. typosquatting: close-but-not-equal to a popular name
+        let squats = ctx.popular_names.iter().any(|pop| {
+            let sim = name_similarity(&input.name, pop);
+            sim >= TYPOSQUAT_SIMILARITY && normalize_name(pop) != normalized
+        });
+        if squats {
+            record(
+                &mut report,
+                &mut validated,
+                input.app,
+                ValidationCategory::Typosquatting,
+            );
+        }
+    }
+
+    // 5. manual verification of the remainder: cluster by exact name;
+    //    clusters over the threshold get (representative) manual review.
+    let remaining: Vec<&ValidationInput> = flagged
+        .iter()
+        .filter(|i| !validated.contains(&i.app))
+        .collect();
+    let names: Vec<String> = remaining
+        .iter()
+        .map(|i| normalize_name(&i.name))
+        .collect();
+    let clustering = cluster_exact(&names);
+    for cluster in &clustering.clusters {
+        if cluster.len() >= MANUAL_CLUSTER_MIN {
+            for &idx in cluster {
+                record(
+                    &mut report,
+                    &mut validated,
+                    remaining[idx].app,
+                    ValidationCategory::Manual,
+                );
+            }
+        }
+    }
+
+    report.unknown = flagged
+        .iter()
+        .map(|i| i.app)
+        .filter(|a| !validated.contains(a))
+        .collect();
+    report.unknown.sort_unstable();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(app: u64, name: &str, alive: bool, urls: &[&str]) -> ValidationInput {
+        ValidationInput {
+            app: AppId(app),
+            name: name.to_string(),
+            alive,
+            posted_urls: urls.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn ctx() -> ValidationContext {
+        ValidationContext::build(
+            [
+                "The App",
+                "The App",
+                "The App",
+                "Profile Watchers v4.32",
+                "Profile Watchers v8",
+                "Free Phone Calls",
+            ],
+            ["http://scam.com/x", "https://bit.ly/abc123"],
+            ["FarmVille", "CityVille", "Fortune Cookie"],
+        )
+    }
+
+    #[test]
+    fn deleted_apps_validate_first() {
+        let flagged = vec![input(1, "Whatever", false, &[])];
+        let r = validate_flagged(&flagged, &ctx());
+        assert_eq!(r.count(ValidationCategory::DeletedFromGraph), 1);
+        assert_eq!(
+            r.first_match[&AppId(1)],
+            ValidationCategory::DeletedFromGraph
+        );
+        assert_eq!(r.total_validated(), 1);
+        assert!(r.unknown.is_empty());
+    }
+
+    #[test]
+    fn identical_name_to_multiple_known_apps_validates() {
+        let flagged = vec![
+            input(1, "the APP", true, &[]),          // 3 known 'The App's
+            input(2, "Free Phone Calls", true, &[]), // only 1 known -> not enough
+        ];
+        let r = validate_flagged(&flagged, &ctx());
+        assert_eq!(r.count(ValidationCategory::NameSimilarity), 1);
+        assert_eq!(r.first_match[&AppId(1)], ValidationCategory::NameSimilarity);
+        assert!(r.unknown.contains(&AppId(2)));
+    }
+
+    #[test]
+    fn versioned_families_validate_by_base() {
+        let flagged = vec![input(1, "Profile Watchers v9.99", true, &[])];
+        let r = validate_flagged(&flagged, &ctx());
+        assert_eq!(r.count(ValidationCategory::NameSimilarity), 1);
+    }
+
+    #[test]
+    fn shared_urls_validate_as_post_similarity() {
+        let flagged = vec![input(1, "Novel Name", true, &["https://bit.ly/abc123"])];
+        let r = validate_flagged(&flagged, &ctx());
+        assert_eq!(r.count(ValidationCategory::PostSimilarity), 1);
+    }
+
+    #[test]
+    fn typosquatting_close_but_not_equal() {
+        let flagged = vec![
+            input(1, "FarmVile", true, &[]),  // typosquat
+            input(2, "FarmVille", true, &[]), // exact popular name: NOT typosquatting
+        ];
+        let r = validate_flagged(&flagged, &ctx());
+        let squat = r.matched.get(&ValidationCategory::Typosquatting).unwrap();
+        assert_eq!(squat, &vec![AppId(1)]);
+    }
+
+    #[test]
+    fn manual_step_validates_big_name_clusters() {
+        // six apps named identically, nothing else matches
+        let flagged: Vec<ValidationInput> = (0..6)
+            .map(|i| input(i, "Past Life", true, &[]))
+            .collect();
+        let r = validate_flagged(&flagged, &ctx());
+        assert_eq!(r.count(ValidationCategory::Manual), 6);
+        assert!(r.unknown.is_empty());
+        // small clusters stay unknown
+        let flagged: Vec<ValidationInput> =
+            (0..3).map(|i| input(i, "Past Life", true, &[])).collect();
+        let r = validate_flagged(&flagged, &ctx());
+        assert_eq!(r.count(ValidationCategory::Manual), 0);
+        assert_eq!(r.unknown.len(), 3);
+    }
+
+    #[test]
+    fn cumulative_ordering_matches_table8_semantics() {
+        let flagged = vec![
+            input(1, "The App", false, &["http://scam.com/x"]), // deleted + name + url
+            input(2, "The App", true, &[]),                     // name only
+            input(3, "Mystery", true, &[]),                     // unknown
+        ];
+        let r = validate_flagged(&flagged, &ctx());
+        assert_eq!(r.cumulative_through(ValidationCategory::DeletedFromGraph), 1);
+        assert_eq!(r.cumulative_through(ValidationCategory::NameSimilarity), 2);
+        assert_eq!(r.cumulative_through(ValidationCategory::Manual), 2);
+        assert_eq!(r.total_validated(), 2);
+        assert_eq!(r.unknown, vec![AppId(3)]);
+        assert!((r.validated_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        // app 1 appears under all three independent counts
+        assert_eq!(r.count(ValidationCategory::DeletedFromGraph), 1);
+        assert_eq!(r.count(ValidationCategory::NameSimilarity), 2);
+        assert_eq!(r.count(ValidationCategory::PostSimilarity), 1);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let r = validate_flagged(&[], &ctx());
+        assert_eq!(r.total, 0);
+        assert_eq!(r.validated_fraction(), 0.0);
+    }
+}

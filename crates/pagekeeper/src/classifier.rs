@@ -1,0 +1,394 @@
+//! URL judges: the trained SVM classifier and the calibrated oracle.
+//!
+//! Two implementations of [`PostJudge`]:
+//!
+//! * [`UrlClassifier`] — the real substrate: an SVM (via the workspace's
+//!   [`svm`] crate) over [`crate::features::UrlAggregate`] vectors, with a
+//!   blacklist short-circuit, exactly the §2.2 architecture ("applies URL
+//!   blacklists as well as custom classification techniques").
+//! * [`CalibratedOracle`] — a truth-table judge with injected noise at the
+//!   paper's measured error profile (97% of flags correct, 0.005% of benign
+//!   posts flagged). Experiments that must control label noise precisely
+//!   (FRAppE's training-label quality ablation) use this judge; everything
+//!   still flows through the same URL-granularity pipeline.
+
+use std::collections::{HashMap, HashSet};
+
+use fb_platform::post::Post;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use svm::{train, Dataset, Scaler, SvmModel, SvmParams};
+use url_services::blacklist::Blacklist;
+
+use crate::features::UrlAggregate;
+
+/// Anything that can judge whether a URL (with its carrying posts) is
+/// malicious.
+pub trait PostJudge {
+    /// Judges one URL aggregate. `posts` is the slice the aggregate's
+    /// indices refer to.
+    fn is_malicious_url(&mut self, aggregate: &UrlAggregate, posts: &[&Post]) -> bool;
+}
+
+/// SVM-backed URL classifier with a blacklist front-end.
+#[derive(Debug, Clone)]
+pub struct UrlClassifier {
+    blacklist: Blacklist,
+    scaler: Scaler,
+    model: SvmModel,
+}
+
+impl UrlClassifier {
+    /// Trains the classifier from labelled URL aggregates.
+    ///
+    /// # Panics
+    /// Panics if the training data is empty or single-class (see
+    /// [`svm::train`]).
+    pub fn train_from(
+        aggregates: &[UrlAggregate],
+        labels: &[bool],
+        blacklist: Blacklist,
+        params: &SvmParams,
+    ) -> Self {
+        assert_eq!(aggregates.len(), labels.len(), "one label per aggregate");
+        let features: Vec<Vec<f64>> =
+            aggregates.iter().map(UrlAggregate::feature_vector).collect();
+        let ys: Vec<f64> = labels.iter().map(|&m| if m { 1.0 } else { -1.0 }).collect();
+        let raw = Dataset::new(features, ys).expect("feature vectors are rectangular and finite");
+        let scaler = Scaler::fit(&raw);
+        let scaled = scaler.transform_dataset(&raw);
+        let model = train(&scaled, params);
+        UrlClassifier {
+            blacklist,
+            scaler,
+            model,
+        }
+    }
+
+    /// Number of support vectors in the underlying model (for diagnostics).
+    pub fn support_vector_count(&self) -> usize {
+        self.model.support_vector_count()
+    }
+}
+
+impl PostJudge for UrlClassifier {
+    fn is_malicious_url(&mut self, aggregate: &UrlAggregate, posts: &[&Post]) -> bool {
+        // Blacklist short-circuit: any carrying post's link hit.
+        if let Some(&first) = aggregate.post_indices.first() {
+            if let Some(link) = &posts[first].link {
+                if self.blacklist.contains(link) {
+                    return true;
+                }
+            }
+        }
+        let x = self.scaler.transform(&aggregate.feature_vector());
+        self.model.predict(&x) > 0.0
+    }
+}
+
+/// Truth-plus-noise judge calibrated to MyPageKeeper's measured accuracy.
+#[derive(Debug, Clone)]
+pub struct CalibratedOracle {
+    /// URLs (display form) that are truly malicious.
+    truth: HashSet<String>,
+    /// Probability a truly malicious URL is flagged (detection rate).
+    detect_prob: f64,
+    /// Per-URL overrides of the detection probability. Real MyPageKeeper's
+    /// recall was far from uniform — campaigns using fresh domains and
+    /// unremarkable text sailed under its radar (which is exactly why
+    /// FRAppE later finds 8,051 malicious apps MyPageKeeper never flagged).
+    detect_prob_overrides: HashMap<String, f64>,
+    /// Probability a benign URL is flagged (the paper's 0.005% = 5e-5).
+    false_flag_prob: f64,
+    rng: SmallRng,
+    /// Memoized verdicts so every sweep sees consistent decisions
+    /// (a URL once flagged stays flagged, like a real blacklist entry).
+    verdicts: HashMap<String, bool>,
+}
+
+impl CalibratedOracle {
+    /// Default calibration from the paper: MyPageKeeper "detects malicious
+    /// posts with high accuracy — 97% of posts flagged by it indeed point
+    /// to malicious websites and it incorrectly flags only 0.005% of benign
+    /// posts". We model the flag rates as 95% detection and 0.005%
+    /// false-flagging, which yields ≈97% precision at the paper's
+    /// benign:malicious post mix.
+    pub fn paper_calibration(truth: HashSet<String>, seed: u64) -> Self {
+        Self::new(truth, 0.95, 0.00005, seed)
+    }
+
+    /// Fully specified calibration.
+    ///
+    /// # Panics
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(truth: HashSet<String>, detect_prob: f64, false_flag_prob: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&detect_prob), "detect_prob out of range");
+        assert!(
+            (0.0..=1.0).contains(&false_flag_prob),
+            "false_flag_prob out of range"
+        );
+        CalibratedOracle {
+            truth,
+            detect_prob,
+            detect_prob_overrides: HashMap::new(),
+            false_flag_prob,
+            rng: SmallRng::seed_from_u64(seed),
+            verdicts: HashMap::new(),
+        }
+    }
+
+    /// Overrides the detection probability for specific malicious URLs
+    /// (URLs in the map are added to the truth set). Used to model
+    /// campaigns that largely evade MyPageKeeper.
+    ///
+    /// # Panics
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn with_detect_overrides(mut self, overrides: HashMap<String, f64>) -> Self {
+        for (url, p) in &overrides {
+            assert!(
+                (0.0..=1.0).contains(p),
+                "override for {url} out of range: {p}"
+            );
+            self.truth.insert(url.clone());
+        }
+        self.detect_prob_overrides.extend(overrides);
+        self
+    }
+
+    /// A perfect oracle (no noise) — baseline for ablations.
+    pub fn perfect(truth: HashSet<String>, seed: u64) -> Self {
+        Self::new(truth, 1.0, 0.0, seed)
+    }
+
+    /// Number of distinct URLs judged so far.
+    pub fn judged_count(&self) -> usize {
+        self.verdicts.len()
+    }
+}
+
+impl PostJudge for CalibratedOracle {
+    fn is_malicious_url(&mut self, aggregate: &UrlAggregate, _posts: &[&Post]) -> bool {
+        if let Some(&v) = self.verdicts.get(&aggregate.url) {
+            return v;
+        }
+        let truly_bad = self.truth.contains(&aggregate.url);
+        let p = if truly_bad {
+            self.detect_prob_overrides
+                .get(&aggregate.url)
+                .copied()
+                .unwrap_or(self.detect_prob)
+        } else {
+            self.false_flag_prob
+        };
+        let flagged = self.rng.gen::<f64>() < p;
+        self.verdicts.insert(aggregate.url.clone(), flagged);
+        flagged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::aggregate_by_url;
+    use fb_platform::post::PostKind;
+    use osn_types::ids::{AppId, PostId, UserId};
+    use osn_types::time::SimTime;
+    use osn_types::url::Url;
+    use svm::Kernel;
+
+    fn post(id: u64, msg: &str, link: &str, likes: u32) -> Post {
+        Post {
+            id: PostId(id),
+            wall_owner: UserId(0),
+            author: UserId(0),
+            app: Some(AppId(1)),
+            profile_of: None,
+            kind: PostKind::App,
+            message: msg.into(),
+            link: Some(Url::parse(link).unwrap()),
+            created_at: SimTime::ZERO,
+            likes,
+            comments: likes / 2,
+        }
+    }
+
+    /// Builds a small labelled corpus: spammy campaign URLs vs diverse
+    /// benign URLs.
+    fn corpus() -> (Vec<Post>, Vec<bool>, usize) {
+        let mut posts = Vec::new();
+        let mut id = 0;
+        // 10 malicious URLs, 3 near-identical spam posts each, no likes
+        for u in 0..10 {
+            for v in 0..3 {
+                posts.push(post(
+                    id,
+                    &format!("WOW free iPad number {v} hurry claim your prize"),
+                    &format!("http://scam{u}.com/win"),
+                    0,
+                ));
+                id += 1;
+            }
+        }
+        // 10 benign URLs, 3 diverse posts each, healthy likes
+        let chatter = [
+            "had a great harvest on my farm today",
+            "who wants to join my neighborhood",
+            "just finished planting the winter crop",
+        ];
+        for u in 0..10 {
+            for (v, msg) in chatter.iter().enumerate() {
+                posts.push(post(
+                    id,
+                    &format!("{msg} ({u})"),
+                    &format!("https://apps.facebook.com/game{u}/"),
+                    10 + v as u32,
+                ));
+                id += 1;
+            }
+        }
+        (posts, vec![], 10)
+    }
+
+    #[test]
+    fn svm_classifier_separates_spam_from_chatter() {
+        let (posts, _, _) = corpus();
+        let refs: Vec<&Post> = posts.iter().collect();
+        let aggs = aggregate_by_url(&refs);
+        let labels: Vec<bool> = aggs.iter().map(|a| a.url.contains("scam")).collect();
+        let mut clf = UrlClassifier::train_from(
+            &aggs,
+            &labels,
+            Blacklist::new(),
+            &SvmParams::with_kernel(Kernel::rbf(0.5)),
+        );
+        let mut correct = 0;
+        for (a, &want) in aggs.iter().zip(&labels) {
+            if clf.is_malicious_url(a, &refs) == want {
+                correct += 1;
+            }
+        }
+        assert_eq!(correct, aggs.len(), "training corpus should be separable");
+        assert!(clf.support_vector_count() > 0);
+    }
+
+    #[test]
+    fn blacklist_short_circuits_model() {
+        let (posts, _, _) = corpus();
+        let refs: Vec<&Post> = posts.iter().collect();
+        let aggs = aggregate_by_url(&refs);
+        let labels: Vec<bool> = aggs.iter().map(|a| a.url.contains("scam")).collect();
+        let mut bl = Blacklist::new();
+        // blacklist a *benign-looking* URL: it must be flagged anyway
+        let benign = aggs.iter().find(|a| !a.url.contains("scam")).unwrap();
+        bl.add_url(posts[benign.post_indices[0]].link.as_ref().unwrap());
+        let mut clf = UrlClassifier::train_from(
+            &aggs,
+            &labels,
+            bl,
+            &SvmParams::with_kernel(Kernel::rbf(0.5)),
+        );
+        assert!(clf.is_malicious_url(benign, &refs));
+    }
+
+    #[test]
+    fn perfect_oracle_matches_truth() {
+        let (posts, _, _) = corpus();
+        let refs: Vec<&Post> = posts.iter().collect();
+        let aggs = aggregate_by_url(&refs);
+        let truth: HashSet<String> = aggs
+            .iter()
+            .filter(|a| a.url.contains("scam"))
+            .map(|a| a.url.clone())
+            .collect();
+        let mut oracle = CalibratedOracle::perfect(truth.clone(), 1);
+        for a in &aggs {
+            assert_eq!(oracle.is_malicious_url(a, &refs), truth.contains(&a.url));
+        }
+        assert_eq!(oracle.judged_count(), aggs.len());
+    }
+
+    #[test]
+    fn noisy_oracle_is_consistent_across_queries() {
+        let (posts, _, _) = corpus();
+        let refs: Vec<&Post> = posts.iter().collect();
+        let aggs = aggregate_by_url(&refs);
+        let truth: HashSet<String> = aggs.iter().map(|a| a.url.clone()).collect();
+        let mut oracle = CalibratedOracle::new(truth, 0.5, 0.0, 42);
+        let first: Vec<bool> = aggs
+            .iter()
+            .map(|a| oracle.is_malicious_url(a, &refs))
+            .collect();
+        let second: Vec<bool> = aggs
+            .iter()
+            .map(|a| oracle.is_malicious_url(a, &refs))
+            .collect();
+        assert_eq!(first, second, "verdicts must be memoized");
+    }
+
+    #[test]
+    fn oracle_noise_rates_are_roughly_calibrated() {
+        // 2000 malicious URLs at detect_prob 0.9: expect ~1800 flagged.
+        let truth: HashSet<String> =
+            (0..2000).map(|i| format!("http://bad{i}.com/")).collect();
+        let mut oracle = CalibratedOracle::new(truth.clone(), 0.9, 0.0, 7);
+        let mut flagged = 0;
+        for url in &truth {
+            let agg = UrlAggregate {
+                url: url.clone(),
+                post_indices: vec![],
+                mean_spam_keywords: 0.0,
+                mean_pairwise_similarity: 0.0,
+                mean_likes: 0.0,
+                mean_comments: 0.0,
+            };
+            if oracle.is_malicious_url(&agg, &[]) {
+                flagged += 1;
+            }
+        }
+        assert!(
+            (1700..1900).contains(&flagged),
+            "expected ~1800 flags, got {flagged}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "detect_prob out of range")]
+    fn invalid_probability_panics() {
+        CalibratedOracle::new(HashSet::new(), 1.5, 0.0, 1);
+    }
+
+    #[test]
+    fn detect_overrides_let_stealthy_urls_evade() {
+        let agg = |url: &str| UrlAggregate {
+            url: url.to_string(),
+            post_indices: vec![],
+            mean_spam_keywords: 0.0,
+            mean_pairwise_similarity: 0.0,
+            mean_likes: 0.0,
+            mean_comments: 0.0,
+        };
+        let overrides: HashMap<String, f64> =
+            (0..500).map(|i| (format!("http://stealthy{i}.com/"), 0.0)).collect();
+        let mut oracle = CalibratedOracle::new(HashSet::new(), 1.0, 0.0, 3)
+            .with_detect_overrides(overrides.clone());
+        // stealthy URLs (prob 0) never flagged despite being in truth
+        for url in overrides.keys() {
+            assert!(!oracle.is_malicious_url(&agg(url), &[]));
+        }
+        // an ordinary truth URL is impossible here (truth only has overrides),
+        // so add one via a fresh oracle
+        let mut oracle2 = CalibratedOracle::perfect(
+            ["http://loud.com/".to_string()].into(),
+            3,
+        );
+        assert!(oracle2.is_malicious_url(&agg("http://loud.com/"), &[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_override_panics() {
+        let overrides: HashMap<String, f64> = [("http://x.com/".to_string(), 2.0)].into();
+        let _ = CalibratedOracle::new(HashSet::new(), 1.0, 0.0, 1)
+            .with_detect_overrides(overrides);
+    }
+}

@@ -1,0 +1,228 @@
+//! Per-URL feature aggregation.
+//!
+//! §2.2 names MyPageKeeper's features: *"a) the presence of spam keywords
+//! such as 'FREE', 'Deal', and 'Hurry' ..., b) the similarity of text
+//! messages (posts in a spam campaign tend to have similar text messages
+//! across posts containing the same URL), and c) the number of 'Like's and
+//! comments (malicious posts receive fewer 'Like's and comments)."*
+//!
+//! The unit of classification is the URL: every feature is computed by
+//! "combining information obtained from all posts containing that URL".
+
+use std::collections::HashMap;
+
+use fb_platform::post::Post;
+use text_analysis::keywords::SpamLexicon;
+use text_analysis::shingles::shingle_set;
+
+/// All monitored posts containing one URL, with the derived features.
+#[derive(Debug, Clone)]
+pub struct UrlAggregate {
+    /// The URL (display form).
+    pub url: String,
+    /// Indices into the post slice this aggregate was built from.
+    pub post_indices: Vec<usize>,
+    /// Mean number of distinct spam keywords per post message.
+    pub mean_spam_keywords: f64,
+    /// Mean pairwise Jaccard similarity of post messages (1.0 when all
+    /// messages are near-identical — the campaign signature). Defined as
+    /// 1.0 for a single post (a campaign of one is maximally self-similar).
+    pub mean_pairwise_similarity: f64,
+    /// Mean 'Like's per post.
+    pub mean_likes: f64,
+    /// Mean comments per post.
+    pub mean_comments: f64,
+}
+
+impl UrlAggregate {
+    /// Number of posts carrying this URL.
+    pub fn post_count(&self) -> usize {
+        self.post_indices.len()
+    }
+
+    /// The feature vector consumed by [`crate::classifier::UrlClassifier`]:
+    /// `[spam keywords, text similarity, likes, comments, log₂(1+posts)]`.
+    pub fn feature_vector(&self) -> Vec<f64> {
+        vec![
+            self.mean_spam_keywords,
+            self.mean_pairwise_similarity,
+            self.mean_likes,
+            self.mean_comments,
+            (1.0 + self.post_count() as f64).log2(),
+        ]
+    }
+}
+
+/// Shingle size used for message similarity; spam lines are short, so
+/// bigrams balance sensitivity and robustness.
+const SHINGLE_K: usize = 2;
+
+/// Cap on the number of pairwise similarity comparisons per URL; beyond
+/// this the first `PAIR_CAP` posts are representative (campaign posts are
+/// near-duplicates, so sampling is safe).
+const PAIR_CAP: usize = 50;
+
+/// Groups posts by the URL they carry and computes per-URL features.
+/// Posts without links contribute nothing (MyPageKeeper's SVM classifies
+/// URLs).
+pub fn aggregate_by_url(posts: &[&Post]) -> Vec<UrlAggregate> {
+    let lexicon = SpamLexicon::default();
+    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, post) in posts.iter().enumerate() {
+        if let Some(link) = &post.link {
+            groups.entry(link.to_string()).or_default().push(i);
+        }
+    }
+
+    let mut aggregates: Vec<UrlAggregate> = groups
+        .into_iter()
+        .map(|(url, idxs)| {
+            let msgs: Vec<&str> = idxs.iter().map(|&i| posts[i].message.as_str()).collect();
+
+            let mean_spam = msgs
+                .iter()
+                .map(|m| lexicon.hits(m) as f64)
+                .sum::<f64>()
+                / msgs.len() as f64;
+
+            let mean_sim = if msgs.len() < 2 {
+                1.0
+            } else {
+                let capped = &msgs[..msgs.len().min(PAIR_CAP)];
+                let sets: Vec<_> =
+                    capped.iter().map(|m| shingle_set(m, SHINGLE_K)).collect();
+                let mut total = 0.0;
+                let mut pairs = 0usize;
+                for a in 0..sets.len() {
+                    for b in a + 1..sets.len() {
+                        total += sets[a].jaccard(&sets[b]);
+                        pairs += 1;
+                    }
+                }
+                total / pairs as f64
+            };
+
+            let mean_likes = idxs
+                .iter()
+                .map(|&i| f64::from(posts[i].likes))
+                .sum::<f64>()
+                / idxs.len() as f64;
+            let mean_comments = idxs
+                .iter()
+                .map(|&i| f64::from(posts[i].comments))
+                .sum::<f64>()
+                / idxs.len() as f64;
+
+            UrlAggregate {
+                url,
+                post_indices: idxs,
+                mean_spam_keywords: mean_spam,
+                mean_pairwise_similarity: mean_sim,
+                mean_likes,
+                mean_comments,
+            }
+        })
+        .collect();
+
+    // Deterministic output order regardless of hash iteration.
+    aggregates.sort_by(|a, b| a.url.cmp(&b.url));
+    aggregates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fb_platform::post::PostKind;
+    use osn_types::ids::{AppId, PostId, UserId};
+    use osn_types::time::SimTime;
+    use osn_types::url::Url;
+
+    fn post(id: u64, msg: &str, link: Option<&str>, likes: u32) -> Post {
+        Post {
+            id: PostId(id),
+            wall_owner: UserId(0),
+            author: UserId(0),
+            app: Some(AppId(1)),
+            profile_of: None,
+            kind: PostKind::App,
+            message: msg.into(),
+            link: link.map(|l| Url::parse(l).unwrap()),
+            created_at: SimTime::ZERO,
+            likes,
+            comments: 0,
+        }
+    }
+
+    #[test]
+    fn groups_by_url_and_skips_linkless() {
+        let posts = vec![
+            post(0, "free ipad", Some("http://scam.com/a"), 0),
+            post(1, "free ipad now", Some("http://scam.com/a"), 0),
+            post(2, "holiday photos", None, 10),
+            post(3, "my blog", Some("http://blog.com/x"), 3),
+        ];
+        let refs: Vec<&Post> = posts.iter().collect();
+        let aggs = aggregate_by_url(&refs);
+        assert_eq!(aggs.len(), 2);
+        let scam = aggs.iter().find(|a| a.url.contains("scam")).unwrap();
+        assert_eq!(scam.post_count(), 2);
+    }
+
+    #[test]
+    fn campaign_posts_have_high_similarity_and_spam_score() {
+        let posts = vec![
+            post(0, "WOW I just got 5000 Facebook Credits for Free", Some("http://s.com/x"), 0),
+            post(1, "WOW I just got 4000 Facebook Credits for Free", Some("http://s.com/x"), 0),
+            post(2, "WOW I just got 3000 Facebook Credits for Free", Some("http://s.com/x"), 1),
+        ];
+        let refs: Vec<&Post> = posts.iter().collect();
+        let aggs = aggregate_by_url(&refs);
+        let a = &aggs[0];
+        assert!(a.mean_pairwise_similarity > 0.5, "got {}", a.mean_pairwise_similarity);
+        assert!(a.mean_spam_keywords >= 2.0, "got {}", a.mean_spam_keywords);
+        assert!(a.mean_likes < 1.0);
+    }
+
+    #[test]
+    fn benign_posts_have_diverse_messages() {
+        let posts = vec![
+            post(0, "check out my farm harvest today", Some("https://apps.facebook.com/farm/"), 12),
+            post(1, "new high score on level nine", Some("https://apps.facebook.com/farm/"), 8),
+            post(2, "does anyone trade seeds?", Some("https://apps.facebook.com/farm/"), 20),
+        ];
+        let refs: Vec<&Post> = posts.iter().collect();
+        let aggs = aggregate_by_url(&refs);
+        let a = &aggs[0];
+        assert!(a.mean_pairwise_similarity < 0.3, "got {}", a.mean_pairwise_similarity);
+        assert_eq!(a.mean_spam_keywords, 0.0);
+        assert!(a.mean_likes > 5.0);
+    }
+
+    #[test]
+    fn single_post_url_is_self_similar() {
+        let posts = vec![post(0, "unique message", Some("http://one.com/"), 0)];
+        let refs: Vec<&Post> = posts.iter().collect();
+        let aggs = aggregate_by_url(&refs);
+        assert_eq!(aggs[0].mean_pairwise_similarity, 1.0);
+    }
+
+    #[test]
+    fn feature_vector_has_fixed_dimension() {
+        let posts = vec![post(0, "m", Some("http://a.com/"), 2)];
+        let refs: Vec<&Post> = posts.iter().collect();
+        let v = aggregate_by_url(&refs)[0].feature_vector();
+        assert_eq!(v.len(), 5);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn output_order_is_deterministic() {
+        let posts: Vec<Post> = (0..20)
+            .map(|i| post(i, "m", Some(&format!("http://h{i}.com/")), 0))
+            .collect();
+        let refs: Vec<&Post> = posts.iter().collect();
+        let a: Vec<String> = aggregate_by_url(&refs).into_iter().map(|x| x.url).collect();
+        let b: Vec<String> = aggregate_by_url(&refs).into_iter().map(|x| x.url).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,210 @@
+//! App-level ground-truth derivation.
+//!
+//! §2.3: *"if any post made by an application was flagged as malicious by
+//! MyPageKeeper, we mark the application as malicious"*. Popular apps can
+//! be wrongly caught this way because piggybacked posts carry their
+//! attribution (§6.2); the paper handles this with a whitelist "created by
+//! considering the most popular apps and significant manual effort", which
+//! [`derive_app_labels`] reproduces.
+
+use std::collections::{HashMap, HashSet};
+
+use fb_platform::platform::Platform;
+use osn_types::ids::AppId;
+
+use crate::service::MyPageKeeper;
+
+/// The label assigned to an app by the heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppLabel {
+    /// At least one of the app's monitored posts was flagged.
+    Malicious,
+    /// The app posted but nothing was flagged.
+    Benign,
+    /// The app was flagged but is on the whitelist (popular app, most
+    /// likely piggybacked).
+    Whitelisted,
+}
+
+/// The labelling outcome for a whole platform.
+#[derive(Debug, Clone)]
+pub struct LabelReport {
+    /// Label per app that was observed posting at least once.
+    pub labels: HashMap<AppId, AppLabel>,
+    /// Per-app counts of (flagged posts, total monitored posts).
+    pub post_counts: HashMap<AppId, (usize, usize)>,
+}
+
+impl LabelReport {
+    /// Apps labelled malicious (excludes whitelisted).
+    pub fn malicious_apps(&self) -> Vec<AppId> {
+        let mut v: Vec<AppId> = self
+            .labels
+            .iter()
+            .filter(|(_, &l)| l == AppLabel::Malicious)
+            .map(|(&a, _)| a)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Apps labelled benign (no flagged posts; excludes whitelisted).
+    pub fn benign_apps(&self) -> Vec<AppId> {
+        let mut v: Vec<AppId> = self
+            .labels
+            .iter()
+            .filter(|(_, &l)| l == AppLabel::Benign)
+            .map(|(&a, _)| a)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The *malicious posts to all posts ratio* for an app — Fig. 16's
+    /// x-axis, and the signal used to spot piggybacked popular apps (a low
+    /// ratio on a high-volume app is the piggybacking signature).
+    pub fn malicious_post_ratio(&self, app: AppId) -> Option<f64> {
+        let &(flagged, total) = self.post_counts.get(&app)?;
+        if total == 0 {
+            return None;
+        }
+        Some(flagged as f64 / total as f64)
+    }
+}
+
+/// Derives app labels from the service's flagged-post set.
+///
+/// Only posts that MyPageKeeper actually monitored count toward an app's
+/// totals (the paper's view is limited to subscribed users). Apps that
+/// never appeared in monitored posts receive no label.
+pub fn derive_app_labels(
+    service: &MyPageKeeper,
+    platform: &Platform,
+    whitelist: &HashSet<AppId>,
+) -> LabelReport {
+    let mut post_counts: HashMap<AppId, (usize, usize)> = HashMap::new();
+
+    for &pid in service.monitored_posts() {
+        let Some(post) = platform.post(pid) else {
+            continue;
+        };
+        let Some(app) = post.app else {
+            continue;
+        };
+        let entry = post_counts.entry(app).or_insert((0, 0));
+        entry.1 += 1;
+        if service.is_flagged(pid) {
+            entry.0 += 1;
+        }
+    }
+
+    let labels = post_counts
+        .iter()
+        .map(|(&app, &(flagged, _))| {
+            let label = if flagged == 0 {
+                AppLabel::Benign
+            } else if whitelist.contains(&app) {
+                AppLabel::Whitelisted
+            } else {
+                AppLabel::Malicious
+            };
+            (app, label)
+        })
+        .collect();
+
+    LabelReport {
+        labels,
+        post_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::CalibratedOracle;
+    use fb_platform::app::AppRegistration;
+    use osn_types::ids::UserId;
+    use osn_types::permission::{Permission, PermissionSet};
+    use osn_types::url::Url;
+
+    fn setup() -> (Platform, Vec<UserId>, AppId, AppId, AppId) {
+        let mut p = Platform::new();
+        let users = p.add_users(2);
+        let mk = |p: &mut Platform, name: &str| {
+            p.register_app(AppRegistration::simple(
+                name,
+                PermissionSet::from_iter([Permission::PublishStream]),
+                Url::parse(&format!("http://{name}.com/l")).unwrap(),
+            ))
+            .unwrap()
+        };
+        let bad = mk(&mut p, "badapp");
+        let good = mk(&mut p, "goodapp");
+        let popular = mk(&mut p, "farmville");
+        for &u in &users {
+            for app in [bad, good, popular] {
+                p.grant_install(u, app).unwrap();
+            }
+        }
+        (p, users, bad, good, popular)
+    }
+
+    #[test]
+    fn one_flagged_post_marks_app_malicious() {
+        let (mut p, users, bad, good, _) = setup();
+        let scam = Url::parse("http://scam.com/x").unwrap();
+        p.post_as_app(bad, users[0], "free ipad", Some(scam.clone())).unwrap();
+        p.post_as_app(bad, users[0], "harmless chatter", None).unwrap();
+        p.post_as_app(good, users[0], "harvest time", None).unwrap();
+
+        let mut mpk = MyPageKeeper::new();
+        mpk.subscribe_all(users.iter().copied());
+        let mut oracle = CalibratedOracle::perfect([scam.to_string()].into(), 1);
+        mpk.sweep(&p, &mut oracle);
+
+        let report = derive_app_labels(&mpk, &p, &HashSet::new());
+        assert_eq!(report.labels[&bad], AppLabel::Malicious);
+        assert_eq!(report.labels[&good], AppLabel::Benign);
+        assert_eq!(report.malicious_apps(), vec![bad]);
+        assert_eq!(report.benign_apps(), vec![good]);
+        assert_eq!(report.malicious_post_ratio(bad), Some(0.5));
+        assert_eq!(report.malicious_post_ratio(good), Some(0.0));
+    }
+
+    #[test]
+    fn whitelist_rescues_piggybacked_popular_app() {
+        let (mut p, users, _, _, popular) = setup();
+        let scam = Url::parse("http://scam.com/pig").unwrap();
+        // A hacker piggybacks a scam post onto the popular app's identity.
+        p.post_via_prompt_feed(popular, users[0], "WOW free credits", Some(scam.clone()))
+            .unwrap();
+        p.post_as_app(popular, users[1], "my farm is thriving", None).unwrap();
+
+        let mut mpk = MyPageKeeper::new();
+        mpk.subscribe_all(users.iter().copied());
+        let mut oracle = CalibratedOracle::perfect([scam.to_string()].into(), 1);
+        mpk.sweep(&p, &mut oracle);
+
+        // without a whitelist the popular app is misclassified...
+        let naive = derive_app_labels(&mpk, &p, &HashSet::new());
+        assert_eq!(naive.labels[&popular], AppLabel::Malicious);
+
+        // ...the whitelist fixes it.
+        let report = derive_app_labels(&mpk, &p, &[popular].into());
+        assert_eq!(report.labels[&popular], AppLabel::Whitelisted);
+        assert!(report.malicious_apps().is_empty());
+        // ratio still low: the piggybacking signature of Fig. 16
+        assert_eq!(report.malicious_post_ratio(popular), Some(0.5));
+    }
+
+    #[test]
+    fn unmonitored_apps_receive_no_label() {
+        let (mut p, users, bad, _, _) = setup();
+        // post exists, but nobody subscribes -> not monitored
+        p.post_as_app(bad, users[0], "free", None).unwrap();
+        let mpk = MyPageKeeper::new();
+        let report = derive_app_labels(&mpk, &p, &HashSet::new());
+        assert!(report.labels.is_empty());
+        assert_eq!(report.malicious_post_ratio(bad), None);
+    }
+}

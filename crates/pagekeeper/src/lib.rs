@@ -1,0 +1,44 @@
+//! # pagekeeper — the MyPageKeeper substrate
+//!
+//! MyPageKeeper (§2.2) is the security application whose nine months of
+//! monitoring produced FRAppE's entire dataset and ground truth. Its
+//! defining properties, all reproduced here:
+//!
+//! * it monitors the walls and news feeds of its **subscribed users** only
+//!   (the paper's coverage caveat);
+//! * it classifies at the granularity of **URLs, not apps**: features are
+//!   aggregated across all posts containing a URL, and "once a URL is
+//!   identified as malicious, MyPageKeeper marks all posts containing the
+//!   URL as malicious";
+//! * it is imperfect — 97% of flagged posts are truly malicious, 0.005% of
+//!   benign posts are wrongly flagged — and FRAppE trains on those noisy
+//!   labels.
+//!
+//! Modules:
+//!
+//! * [`features`] — per-URL aggregation of the classifier features the
+//!   paper names: spam keywords, cross-post text similarity, like/comment
+//!   counts.
+//! * [`classifier`] — an SVM-based URL classifier built on those features
+//!   (the "real" substrate), plus [`classifier::CalibratedOracle`], a
+//!   truth-plus-noise judge with the paper's measured error profile for
+//!   experiments that need exactly calibrated label noise.
+//! * [`service`] — the monitoring service: subscription, periodic sweeps,
+//!   post flagging.
+//! * [`labels`] — the app-level ground-truth heuristic of §2.3 ("if any
+//!   post made by an application was flagged ... we mark the application
+//!   as malicious") with its whitelist escape hatch for piggybacked
+//!   popular apps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod features;
+pub mod labels;
+pub mod service;
+
+pub use classifier::{CalibratedOracle, PostJudge, UrlClassifier};
+pub use features::{aggregate_by_url, UrlAggregate};
+pub use labels::{derive_app_labels, AppLabel, LabelReport};
+pub use service::MyPageKeeper;

@@ -1,0 +1,263 @@
+//! The MyPageKeeper monitoring service.
+//!
+//! "Once a Facebook user installs MyPageKeeper, it periodically crawls
+//! posts from the user's wall and news feed" (§2.2). The service keeps a
+//! cursor over the platform's post log, aggregates newly-seen posts by URL,
+//! consults a [`PostJudge`], and accumulates the flagged-post set that the
+//! rest of the pipeline (app labelling, FRAppE training) consumes.
+
+use std::collections::{HashMap, HashSet};
+
+use fb_platform::platform::Platform;
+use fb_platform::post::Post;
+use osn_types::ids::{AppId, PostId, UserId};
+
+use crate::classifier::PostJudge;
+use crate::features::aggregate_by_url;
+
+/// Statistics from one monitoring sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Posts examined this sweep.
+    pub posts_seen: usize,
+    /// Distinct URLs judged this sweep.
+    pub urls_judged: usize,
+    /// Posts flagged malicious this sweep.
+    pub posts_flagged: usize,
+}
+
+/// The monitoring service.
+#[derive(Debug, Clone, Default)]
+pub struct MyPageKeeper {
+    subscribers: HashSet<UserId>,
+    /// Posts flagged as malicious so far.
+    flagged_posts: HashSet<PostId>,
+    /// URLs flagged as malicious so far (display form).
+    flagged_urls: HashSet<String>,
+    /// All post ids ever examined (wall membership of subscribers).
+    monitored_posts: HashSet<PostId>,
+    /// Cursor into the platform's append-only post log.
+    next_post_cursor: usize,
+}
+
+impl MyPageKeeper {
+    /// A service with no subscribers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes a user (they installed MyPageKeeper).
+    pub fn subscribe(&mut self, user: UserId) {
+        self.subscribers.insert(user);
+    }
+
+    /// Subscribes many users.
+    pub fn subscribe_all<I: IntoIterator<Item = UserId>>(&mut self, users: I) {
+        self.subscribers.extend(users);
+    }
+
+    /// Number of subscribed users.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Whether a post was examined by any sweep.
+    pub fn monitored(&self, post: PostId) -> bool {
+        self.monitored_posts.contains(&post)
+    }
+
+    /// Whether a post has been flagged malicious.
+    pub fn is_flagged(&self, post: PostId) -> bool {
+        self.flagged_posts.contains(&post)
+    }
+
+    /// All flagged post ids.
+    pub fn flagged_posts(&self) -> &HashSet<PostId> {
+        &self.flagged_posts
+    }
+
+    /// All flagged URLs (display form).
+    pub fn flagged_urls(&self) -> &HashSet<String> {
+        &self.flagged_urls
+    }
+
+    /// All monitored post ids.
+    pub fn monitored_posts(&self) -> &HashSet<PostId> {
+        &self.monitored_posts
+    }
+
+    /// Runs one monitoring sweep: examines every post since the previous
+    /// sweep that is visible to a subscriber (on a subscriber's wall — news
+    /// feeds re-expose friends' wall posts, so wall coverage of subscribers
+    /// is the coverage unit the paper reports), judges the new URLs, and
+    /// flags carrying posts.
+    ///
+    /// A URL that was ever flagged stays flagged, and *newly seen posts*
+    /// carrying an already-flagged URL are flagged immediately without
+    /// re-judging ("once a URL is identified as malicious, MyPageKeeper
+    /// marks all posts containing the URL as malicious").
+    pub fn sweep(&mut self, platform: &Platform, judge: &mut dyn PostJudge) -> SweepStats {
+        let all_posts = platform.posts();
+        let new_posts = &all_posts[self.next_post_cursor.min(all_posts.len())..];
+        self.next_post_cursor = all_posts.len();
+
+        let visible: Vec<&Post> = new_posts
+            .iter()
+            .filter(|p| p.profile_of.is_none() && self.subscribers.contains(&p.wall_owner))
+            .collect();
+        for p in &visible {
+            self.monitored_posts.insert(p.id);
+        }
+
+        let aggregates = aggregate_by_url(&visible);
+        let mut stats = SweepStats {
+            posts_seen: visible.len(),
+            ..SweepStats::default()
+        };
+
+        for agg in &aggregates {
+            let malicious = if self.flagged_urls.contains(&agg.url) {
+                true
+            } else {
+                stats.urls_judged += 1;
+                judge.is_malicious_url(agg, &visible)
+            };
+            if malicious {
+                self.flagged_urls.insert(agg.url.clone());
+                for &i in &agg.post_indices {
+                    if self.flagged_posts.insert(visible[i].id) {
+                        stats.posts_flagged += 1;
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Count of flagged posts per attributed app (posts without an app
+    /// field are under the `None` key — 27% of malicious posts in the
+    /// paper had no associated application).
+    pub fn flagged_by_app(&self, platform: &Platform) -> HashMap<Option<AppId>, usize> {
+        let mut counts: HashMap<Option<AppId>, usize> = HashMap::new();
+        for &pid in &self.flagged_posts {
+            if let Some(post) = platform.post(pid) {
+                *counts.entry(post.app).or_default() += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::CalibratedOracle;
+    use fb_platform::app::AppRegistration;
+    use osn_types::permission::{Permission, PermissionSet};
+    use osn_types::url::Url;
+
+    fn world() -> (Platform, Vec<UserId>, AppId) {
+        let mut p = Platform::new();
+        let users = p.add_users(3);
+        let app = p
+            .register_app(AppRegistration::simple(
+                "spammy",
+                PermissionSet::from_iter([Permission::PublishStream]),
+                Url::parse("http://scam.com/landing").unwrap(),
+            ))
+            .unwrap();
+        (p, users, app)
+    }
+
+    #[test]
+    fn sweep_only_sees_subscriber_walls() {
+        let (mut p, users, app) = world();
+        p.grant_install(users[0], app).unwrap();
+        p.grant_install(users[1], app).unwrap();
+        let bad = Url::parse("http://scam.com/win").unwrap();
+        p.post_as_app(app, users[0], "free ipad", Some(bad.clone())).unwrap();
+        p.post_as_app(app, users[1], "free ipad", Some(bad.clone())).unwrap();
+
+        let mut mpk = MyPageKeeper::new();
+        mpk.subscribe(users[0]); // users[1] not subscribed
+        let truth: HashSet<String> = [bad.to_string()].into();
+        let mut oracle = CalibratedOracle::perfect(truth, 1);
+        let stats = mpk.sweep(&p, &mut oracle);
+        assert_eq!(stats.posts_seen, 1);
+        assert_eq!(stats.posts_flagged, 1);
+        assert_eq!(mpk.flagged_posts().len(), 1);
+    }
+
+    #[test]
+    fn cursor_avoids_rejudging_old_posts() {
+        let (mut p, users, app) = world();
+        p.grant_install(users[0], app).unwrap();
+        let bad = Url::parse("http://scam.com/win").unwrap();
+        p.post_as_app(app, users[0], "free", Some(bad.clone())).unwrap();
+
+        let mut mpk = MyPageKeeper::new();
+        mpk.subscribe(users[0]);
+        let mut oracle = CalibratedOracle::perfect([bad.to_string()].into(), 1);
+        let s1 = mpk.sweep(&p, &mut oracle);
+        assert_eq!(s1.posts_seen, 1);
+        let s2 = mpk.sweep(&p, &mut oracle);
+        assert_eq!(s2.posts_seen, 0);
+        assert_eq!(s2.urls_judged, 0);
+    }
+
+    #[test]
+    fn flagged_url_flags_future_posts_without_rejudging() {
+        let (mut p, users, app) = world();
+        p.grant_install(users[0], app).unwrap();
+        let bad = Url::parse("http://scam.com/win").unwrap();
+        p.post_as_app(app, users[0], "free", Some(bad.clone())).unwrap();
+
+        let mut mpk = MyPageKeeper::new();
+        mpk.subscribe(users[0]);
+        let mut oracle = CalibratedOracle::perfect([bad.to_string()].into(), 1);
+        mpk.sweep(&p, &mut oracle);
+        assert_eq!(oracle.judged_count(), 1);
+
+        // same URL posted again later
+        p.post_as_app(app, users[0], "free again", Some(bad)).unwrap();
+        let s = mpk.sweep(&p, &mut oracle);
+        assert_eq!(s.posts_flagged, 1);
+        assert_eq!(s.urls_judged, 0, "already-flagged URL must not be re-judged");
+        assert_eq!(oracle.judged_count(), 1);
+    }
+
+    #[test]
+    fn flagged_by_app_attributes_correctly() {
+        let (mut p, users, app) = world();
+        p.grant_install(users[0], app).unwrap();
+        let bad = Url::parse("http://scam.com/win").unwrap();
+        p.post_as_app(app, users[0], "free", Some(bad.clone())).unwrap();
+        // a manual post with the same bad link (no app attribution)
+        p.post_manual(users[0], "look at this", Some(bad.clone())).unwrap();
+
+        let mut mpk = MyPageKeeper::new();
+        mpk.subscribe(users[0]);
+        let mut oracle = CalibratedOracle::perfect([bad.to_string()].into(), 1);
+        mpk.sweep(&p, &mut oracle);
+
+        let by_app = mpk.flagged_by_app(&p);
+        assert_eq!(by_app.get(&Some(app)), Some(&1));
+        assert_eq!(by_app.get(&None), Some(&1));
+    }
+
+    #[test]
+    fn subscriber_count_and_monitoring() {
+        let (mut p, users, app) = world();
+        let mut mpk = MyPageKeeper::new();
+        mpk.subscribe_all(users.iter().copied());
+        mpk.subscribe(users[0]); // duplicate
+        assert_eq!(mpk.subscriber_count(), 3);
+
+        p.grant_install(users[2], app).unwrap();
+        let pid = p.post_as_app(app, users[2], "hi", None).unwrap();
+        let mut oracle = CalibratedOracle::perfect(HashSet::new(), 1);
+        mpk.sweep(&p, &mut oracle);
+        assert!(mpk.monitored(pid));
+        assert!(!mpk.is_flagged(pid));
+    }
+}

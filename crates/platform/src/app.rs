@@ -1,0 +1,248 @@
+//! Application records.
+//!
+//! An [`AppRecord`] is everything the platform knows about one registered
+//! third-party application: its summary metadata (the fields of §4.1.1),
+//! the permission set it requests at install time (§4.1.2), its redirect
+//! URI (§4.1.3), the client-ID pool its server answers install requests
+//! with (§4.1.4), its profile feed (§4.1.5), and operational state (MAU
+//! history, deletion tombstone).
+
+use serde::{Deserialize, Serialize};
+
+use osn_types::ids::{AppId, PostId, UserId};
+use osn_types::permission::PermissionSet;
+use osn_types::time::SimTime;
+use osn_types::url::Url;
+
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+/// Facebook's predefined app categories ("selected from a predefined list
+/// such as 'Games', 'News', etc." — §4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AppCategory {
+    Games,
+    News,
+    Entertainment,
+    Utilities,
+    Sports,
+    Music,
+    Education,
+    Business,
+    Lifestyle,
+}
+
+impl AppCategory {
+    /// All categories, for samplers and UIs.
+    pub const ALL: [AppCategory; 9] = [
+        AppCategory::Games,
+        AppCategory::News,
+        AppCategory::Entertainment,
+        AppCategory::Utilities,
+        AppCategory::Sports,
+        AppCategory::Music,
+        AppCategory::Education,
+        AppCategory::Business,
+        AppCategory::Lifestyle,
+    ];
+
+    /// Display name as it appears in an app summary.
+    pub const fn name(self) -> &'static str {
+        match self {
+            AppCategory::Games => "Games",
+            AppCategory::News => "News",
+            AppCategory::Entertainment => "Entertainment",
+            AppCategory::Utilities => "Utilities",
+            AppCategory::Sports => "Sports",
+            AppCategory::Music => "Music",
+            AppCategory::Education => "Education",
+            AppCategory::Business => "Business",
+            AppCategory::Lifestyle => "Lifestyle",
+        }
+    }
+}
+
+/// What a developer submits when registering an app.
+///
+/// `description` and `company` are free-text attributes of at most 140
+/// characters (§4.1.1); the platform enforces the limit at registration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppRegistration {
+    /// Display name. **Not unique** — the platform imposes no restriction
+    /// on name reuse, which hackers exploit at scale (§4.2.1).
+    pub name: String,
+    /// Free-text description (≤140 chars), optional.
+    pub description: Option<String>,
+    /// Company name (≤140 chars), optional.
+    pub company: Option<String>,
+    /// Category from the predefined list, optional.
+    pub category: Option<AppCategory>,
+    /// Permissions requested at install time.
+    pub permissions: PermissionSet,
+    /// Where the user lands after installing.
+    pub redirect_uri: Url,
+    /// The pool of client IDs this app's server answers installation
+    /// requests with. For honest apps this is empty (meaning: always the
+    /// app's own ID). Malicious campaigns register sibling app IDs here so
+    /// that visitors of one install URL are spread across the campaign
+    /// (§4.1.4). IDs are resolved against the platform at install time.
+    pub client_id_pool: Vec<AppId>,
+    /// Whether the post-install redirect chain is simple enough for an
+    /// automated crawler to follow. The paper could only retrieve the
+    /// permission set for a minority of apps because "different apps have
+    /// different redirection processes, which are intended for humans and
+    /// not for crawlers".
+    pub crawlable_install_flow: bool,
+}
+
+impl AppRegistration {
+    /// A minimal, honest registration used widely in tests.
+    pub fn simple(name: &str, permissions: PermissionSet, redirect_uri: Url) -> Self {
+        AppRegistration {
+            name: name.to_string(),
+            description: None,
+            company: None,
+            category: None,
+            permissions,
+            redirect_uri,
+            client_id_pool: Vec::new(),
+            crawlable_install_flow: true,
+        }
+    }
+}
+
+/// Maximum length of the free-text summary attributes.
+pub const SUMMARY_FIELD_MAX: usize = 140;
+
+/// A registered application, as stored by the platform.
+#[derive(Debug, Clone)]
+pub struct AppRecord {
+    /// Platform-assigned unique identifier.
+    pub id: AppId,
+    /// Registration data (name, summary fields, permissions, …).
+    pub registration: AppRegistration,
+    /// When the app was registered.
+    pub created_at: SimTime,
+    /// When the platform deleted the app, if it has ("Facebook ... disables
+    /// and deletes from the Facebook graph malicious apps that it
+    /// identifies" — §5.3).
+    pub deleted_at: Option<SimTime>,
+    /// Users who currently have the app installed.
+    pub installed_users: HashSet<UserId>,
+    /// Posts on the app's own profile page (its *profile feed*, §4.1.5).
+    pub profile_feed: Vec<PostId>,
+    /// Users engaged in the current 30-day month (reset at month
+    /// boundaries by the platform).
+    pub(crate) active_this_month: HashSet<UserId>,
+    /// Engaged users this month *outside* the simulated population. The
+    /// real platform had 900M users; the monitored population is a small
+    /// window onto it, so an app's true MAU is monitored engagement plus
+    /// this externally-observed remainder (see `Platform::
+    /// record_external_engagement`).
+    pub(crate) external_active_this_month: u64,
+    /// Frozen MAU value per completed month index.
+    pub mau_history: BTreeMap<u32, u64>,
+}
+
+impl AppRecord {
+    pub(crate) fn new(id: AppId, registration: AppRegistration, now: SimTime) -> Self {
+        AppRecord {
+            id,
+            registration,
+            created_at: now,
+            deleted_at: None,
+            installed_users: HashSet::new(),
+            profile_feed: Vec::new(),
+            active_this_month: HashSet::new(),
+            external_active_this_month: 0,
+            mau_history: BTreeMap::new(),
+        }
+    }
+
+    /// Whether the app still exists on the platform.
+    pub fn is_alive(&self) -> bool {
+        self.deleted_at.is_none()
+    }
+
+    /// App name (not unique across apps).
+    pub fn name(&self) -> &str {
+        &self.registration.name
+    }
+
+    /// Permission set requested at install time.
+    pub fn permissions(&self) -> PermissionSet {
+        self.registration.permissions
+    }
+
+    /// Number of users who currently have the app installed.
+    pub fn install_count(&self) -> usize {
+        self.installed_users.len()
+    }
+
+    /// Highest MAU the app ever achieved across completed months
+    /// (Fig. 4's "Max MAU"), 0 if no month completed.
+    pub fn max_mau(&self) -> u64 {
+        self.mau_history.values().copied().max().unwrap_or(0)
+    }
+
+    /// Median MAU across completed months (Fig. 4's "Median MAU"),
+    /// 0 if no month completed. For an even count the lower median is
+    /// returned (integral, matching how the paper plots whole-user counts).
+    pub fn median_mau(&self) -> u64 {
+        let mut values: Vec<u64> = self.mau_history.values().copied().collect();
+        if values.is_empty() {
+            return 0;
+        }
+        values.sort_unstable();
+        values[(values.len() - 1) / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_types::permission::Permission;
+    use osn_types::url::{Domain, Scheme};
+
+    fn reg() -> AppRegistration {
+        AppRegistration::simple(
+            "Test App",
+            PermissionSet::from_iter([Permission::PublishStream]),
+            Url::build(Scheme::Https, Domain::parse("apps.facebook.com").unwrap(), "test"),
+        )
+    }
+
+    #[test]
+    fn new_app_is_alive_and_empty() {
+        let app = AppRecord::new(AppId(1), reg(), SimTime::from_days(5));
+        assert!(app.is_alive());
+        assert_eq!(app.install_count(), 0);
+        assert_eq!(app.max_mau(), 0);
+        assert_eq!(app.median_mau(), 0);
+        assert_eq!(app.name(), "Test App");
+        assert_eq!(app.created_at, SimTime::from_days(5));
+    }
+
+    #[test]
+    fn mau_statistics() {
+        let mut app = AppRecord::new(AppId(1), reg(), SimTime::ZERO);
+        app.mau_history.insert(0, 100);
+        app.mau_history.insert(1, 500);
+        app.mau_history.insert(2, 300);
+        assert_eq!(app.max_mau(), 500);
+        assert_eq!(app.median_mau(), 300);
+        app.mau_history.insert(3, 50);
+        // even count: lower median of [50,100,300,500] = 100
+        assert_eq!(app.median_mau(), 100);
+    }
+
+    #[test]
+    fn categories_have_names() {
+        assert_eq!(AppCategory::ALL.len(), 9);
+        for c in AppCategory::ALL {
+            assert!(!c.name().is_empty());
+        }
+        assert_eq!(AppCategory::Games.name(), "Games");
+    }
+}

@@ -1,0 +1,270 @@
+//! The simulated profile crawler.
+//!
+//! The paper crawled every app in D-Sample weekly from March to May 2012
+//! with a Selenium-instrumented Firefox, and its crawl *failures* are load-
+//! bearing: they produce the differing dataset sizes of Table 1.
+//!
+//! * Summary and profile-feed queries fail for apps **deleted** from the
+//!   graph ("malicious apps were more often removed from Facebook").
+//! * Permission crawls additionally fail for apps whose install flow a
+//!   crawler cannot follow ("different apps have different redirection
+//!   processes, which are intended for humans and not for crawlers") —
+//!   modelled by [`crate::app::AppRegistration::crawlable_install_flow`].
+//! * On top of the structural failures, a [`CrawlerPolicy`] adds
+//!   deterministic pseudo-random failure rates per query type, so scenario
+//!   builders can calibrate dataset sizes to the paper's.
+
+use osn_types::ids::AppId;
+use osn_types::permission::PermissionSet;
+use osn_types::time::SimTime;
+use osn_types::url::Url;
+
+use crate::graph_api::{AppSummary, GraphApi};
+use crate::install::peek_client_id;
+use crate::platform::Platform;
+use crate::post::Post;
+
+/// What a permission crawl observes from the installation dialog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PermissionCrawl {
+    /// Permission set requested in the dialog.
+    pub permissions: PermissionSet,
+    /// The `client_id` parameter observed in the dialog URL.
+    pub client_id: AppId,
+    /// The redirect URI the user would land on.
+    pub redirect_uri: Url,
+}
+
+/// Result of crawling one app once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrawlOutcome {
+    /// App that was crawled.
+    pub app: AppId,
+    /// Crawl time.
+    pub at: SimTime,
+    /// Summary, if the graph query succeeded.
+    pub summary: Option<AppSummary>,
+    /// Permission-dialog observation, if the install-flow crawl succeeded.
+    pub permissions: Option<PermissionCrawl>,
+    /// Profile-feed posts, if the feed query succeeded.
+    pub profile_feed: Option<Vec<Post>>,
+}
+
+/// Deterministic failure-injection knobs, as per-mille rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrawlerPolicy {
+    /// Extra failure rate for summary queries (‰).
+    pub summary_failure_permille: u32,
+    /// Extra failure rate for permission crawls (‰).
+    pub permission_failure_permille: u32,
+    /// Extra failure rate for profile-feed queries (‰).
+    pub feed_failure_permille: u32,
+    /// Salt mixed into the per-app failure hash, so different scenarios
+    /// fail different apps.
+    pub salt: u64,
+}
+
+impl Default for CrawlerPolicy {
+    /// No injected failures — only structural ones (deletion,
+    /// non-crawlable flows).
+    fn default() -> Self {
+        CrawlerPolicy {
+            summary_failure_permille: 0,
+            permission_failure_permille: 0,
+            feed_failure_permille: 0,
+            salt: 0,
+        }
+    }
+}
+
+impl CrawlerPolicy {
+    fn fails(&self, app: AppId, lane: u64, permille: u32) -> bool {
+        if permille == 0 {
+            return false;
+        }
+        // SplitMix64 over (app, lane, salt): stable across runs.
+        let mut z = app
+            .raw()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.salt)
+            .wrapping_add(lane.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % 1000) < u64::from(permille)
+    }
+}
+
+/// The crawler actor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Crawler {
+    policy: CrawlerPolicy,
+}
+
+impl Crawler {
+    /// A crawler with the given failure policy.
+    pub fn new(policy: CrawlerPolicy) -> Self {
+        Crawler { policy }
+    }
+
+    /// Crawls one app: summary, permission dialog, and profile feed.
+    pub fn crawl(&self, platform: &Platform, app: AppId) -> CrawlOutcome {
+        let api = GraphApi::new(platform);
+        let at = platform.now();
+
+        let summary = if self.policy.fails(app, 1, self.policy.summary_failure_permille) {
+            None
+        } else {
+            api.app_summary(app).ok()
+        };
+
+        let permissions = if self
+            .policy
+            .fails(app, 2, self.policy.permission_failure_permille)
+        {
+            None
+        } else {
+            platform
+                .live_app(app)
+                .ok()
+                .filter(|rec| rec.registration.crawlable_install_flow)
+                .map(|rec| {
+                    let client_id =
+                        peek_client_id(platform, app, 0).expect("app checked alive");
+                    // The dialog shows the *client* app's requested scopes
+                    // and redirect target.
+                    let client = platform
+                        .live_app(client_id)
+                        .unwrap_or(rec);
+                    PermissionCrawl {
+                        permissions: client.permissions(),
+                        client_id,
+                        redirect_uri: client.registration.redirect_uri.clone(),
+                    }
+                })
+        };
+
+        let profile_feed = if self.policy.fails(app, 3, self.policy.feed_failure_permille) {
+            None
+        } else {
+            api.app_feed(app)
+                .ok()
+                .map(|posts| posts.into_iter().cloned().collect())
+        };
+
+        CrawlOutcome {
+            app,
+            at,
+            summary,
+            permissions,
+            profile_feed,
+        }
+    }
+
+    /// Crawls a list of apps (one weekly sweep).
+    pub fn crawl_all(&self, platform: &Platform, apps: &[AppId]) -> Vec<CrawlOutcome> {
+        apps.iter().map(|&a| self.crawl(platform, a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppRegistration;
+    use osn_types::permission::{Permission, PermissionSet};
+
+    fn reg(name: &str, crawlable: bool) -> AppRegistration {
+        AppRegistration {
+            crawlable_install_flow: crawlable,
+            ..AppRegistration::simple(
+                name,
+                PermissionSet::from_iter([Permission::PublishStream]),
+                Url::parse(&format!("http://host-{name}.com/l")).unwrap(),
+            )
+        }
+    }
+
+    #[test]
+    fn crawl_of_healthy_app_gets_everything() {
+        let mut p = Platform::new();
+        let u = p.add_users(1)[0];
+        let app = p.register_app(reg("good", true)).unwrap();
+        p.post_on_app_profile(app, u, "hello", None).unwrap();
+
+        let out = Crawler::default().crawl(&p, app);
+        assert!(out.summary.is_some());
+        let perms = out.permissions.unwrap();
+        assert_eq!(perms.client_id, app);
+        assert_eq!(perms.permissions.len(), 1);
+        assert_eq!(out.profile_feed.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn deleted_app_fails_everything() {
+        let mut p = Platform::new();
+        p.add_users(1);
+        let app = p.register_app(reg("gone", true)).unwrap();
+        p.delete_app(app).unwrap();
+        let out = Crawler::default().crawl(&p, app);
+        assert!(out.summary.is_none());
+        assert!(out.permissions.is_none());
+        assert!(out.profile_feed.is_none());
+    }
+
+    #[test]
+    fn human_only_flow_blocks_permission_crawl_only() {
+        let mut p = Platform::new();
+        p.add_users(1);
+        let app = p.register_app(reg("tricky", false)).unwrap();
+        let out = Crawler::default().crawl(&p, app);
+        assert!(out.summary.is_some(), "summary crawl unaffected");
+        assert!(out.permissions.is_none(), "permission crawl blocked");
+        assert!(out.profile_feed.is_some(), "feed crawl unaffected");
+    }
+
+    #[test]
+    fn permission_crawl_observes_client_id_mismatch() {
+        let mut p = Platform::new();
+        p.add_users(1);
+        let sibling = p.register_app(reg("sib", true)).unwrap();
+        let mut front_reg = reg("front", true);
+        front_reg.client_id_pool = vec![sibling];
+        let front = p.register_app(front_reg).unwrap();
+
+        let out = Crawler::default().crawl(&p, front);
+        let perms = out.permissions.unwrap();
+        assert_eq!(perms.client_id, sibling);
+        assert_ne!(perms.client_id, front);
+    }
+
+    #[test]
+    fn injected_failures_are_deterministic_and_roughly_calibrated() {
+        let mut p = Platform::new();
+        p.add_users(1);
+        let apps: Vec<AppId> = (0..1000)
+            .map(|i| p.register_app(reg(&format!("a{i}"), true)).unwrap())
+            .collect();
+        let policy = CrawlerPolicy {
+            feed_failure_permille: 300,
+            salt: 7,
+            ..CrawlerPolicy::default()
+        };
+        let c = Crawler::new(policy);
+        let run1: Vec<bool> = apps
+            .iter()
+            .map(|&a| c.crawl(&p, a).profile_feed.is_some())
+            .collect();
+        let run2: Vec<bool> = apps
+            .iter()
+            .map(|&a| c.crawl(&p, a).profile_feed.is_some())
+            .collect();
+        assert_eq!(run1, run2, "failure injection must be deterministic");
+        let failures = run1.iter().filter(|ok| !**ok).count();
+        assert!(
+            (200..400).contains(&failures),
+            "~30% failures expected, got {failures}/1000"
+        );
+        // other lanes unaffected
+        assert!(apps.iter().all(|&a| c.crawl(&p, a).summary.is_some()));
+    }
+}

@@ -1,0 +1,206 @@
+//! The Open-Graph-like query API.
+//!
+//! §2.3 collects app summaries "through the Facebook Open graph API ...
+//! at a URL of the form `https://graph.facebook.com/App_ID`", and the app's
+//! profile feed at `graph.facebook.com/AppID/feed`. Two behaviours matter
+//! to the reproduction:
+//!
+//! * deleted apps **error out** ("If any application has been removed from
+//!   Facebook, the query results in an error") — the basis of both Table 1's
+//!   shrinking datasets and the "deleted from Facebook graph" validation
+//!   signal of Table 8;
+//! * the API is public and read-only, so it borrows the platform immutably.
+
+use serde::{Deserialize, Serialize};
+
+use osn_types::ids::AppId;
+use osn_types::time::SimTime;
+use osn_types::url::{Domain, Scheme, Url};
+
+use crate::platform::Platform;
+use crate::post::Post;
+
+/// Errors returned by the query API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphApiError {
+    /// The app does not exist — or was deleted; the real API returns
+    /// `false` for both, and callers cannot tell them apart.
+    NotFound(AppId),
+}
+
+impl std::fmt::Display for GraphApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphApiError::NotFound(id) => write!(f, "graph API returned false for {id}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphApiError {}
+
+/// An application summary, as returned by `graph.facebook.com/<id>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSummary {
+    /// The app's id.
+    pub id: AppId,
+    /// Display name.
+    pub name: String,
+    /// Free-text description, if the developer configured one.
+    pub description: Option<String>,
+    /// Company name, if configured.
+    pub company: Option<String>,
+    /// Category name, if configured.
+    pub category: Option<String>,
+    /// Link to the app's profile page.
+    pub profile_link: Url,
+    /// Monthly active users: the most recently frozen 30-day window, or
+    /// the running count of the current window if no month has completed.
+    pub monthly_active_users: u64,
+    /// Registration time (exposed for analysis; the real API exposes a
+    /// creation timestamp on the associated page).
+    pub created_at: SimTime,
+}
+
+/// Read-only facade over a [`Platform`], mirroring the public Graph API.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphApi<'a> {
+    platform: &'a Platform,
+}
+
+impl<'a> GraphApi<'a> {
+    /// Wraps a platform.
+    pub fn new(platform: &'a Platform) -> Self {
+        GraphApi { platform }
+    }
+
+    /// `GET graph.facebook.com/<id>` — the app summary, or an error for
+    /// unknown **and deleted** apps alike.
+    pub fn app_summary(&self, id: AppId) -> Result<AppSummary, GraphApiError> {
+        let app = self
+            .platform
+            .app(id)
+            .filter(|a| a.is_alive())
+            .ok_or(GraphApiError::NotFound(id))?;
+        let reg = &app.registration;
+        let mau = app
+            .mau_history
+            .values()
+            .last()
+            .copied()
+            .unwrap_or(app.active_this_month.len() as u64);
+        Ok(AppSummary {
+            id,
+            name: reg.name.clone(),
+            description: reg.description.clone(),
+            company: reg.company.clone(),
+            category: reg.category.map(|c| c.name().to_string()),
+            profile_link: Url::build(
+                Scheme::Https,
+                Domain::parse("www.facebook.com").expect("static domain is valid"),
+                "apps/application.php",
+            )
+            .with_param("id", id.raw()),
+            monthly_active_users: mau,
+            created_at: app.created_at,
+        })
+    }
+
+    /// Whether the app is alive — `is_alive` in monitoring loops; the
+    /// Table 8 validation reads the *negation* of this ("deleted from
+    /// Facebook graph").
+    pub fn exists(&self, id: AppId) -> bool {
+        self.app_summary(id).is_ok()
+    }
+
+    /// `GET graph.facebook.com/<id>/feed` — posts on the app's profile
+    /// page, oldest first.
+    pub fn app_feed(&self, id: AppId) -> Result<Vec<&'a Post>, GraphApiError> {
+        let app = self
+            .platform
+            .app(id)
+            .filter(|a| a.is_alive())
+            .ok_or(GraphApiError::NotFound(id))?;
+        Ok(app
+            .profile_feed
+            .iter()
+            .filter_map(|&pid| self.platform.post(pid))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{AppCategory, AppRegistration};
+    use osn_types::permission::{Permission, PermissionSet};
+
+    fn platform_with_app() -> (Platform, AppId) {
+        let mut p = Platform::new();
+        p.add_users(2);
+        let reg = AppRegistration {
+            description: Some("Mafia Wars: Leave a legacy behind".into()),
+            company: Some("Zynga".into()),
+            category: Some(AppCategory::Games),
+            ..AppRegistration::simple(
+                "Mafia Wars",
+                PermissionSet::from_iter([Permission::PublishStream, Permission::Email]),
+                Url::parse("https://apps.facebook.com/mafiawars/").unwrap(),
+            )
+        };
+        let id = p.register_app(reg).unwrap();
+        (p, id)
+    }
+
+    #[test]
+    fn summary_reflects_registration() {
+        let (p, id) = platform_with_app();
+        let api = GraphApi::new(&p);
+        let s = api.app_summary(id).unwrap();
+        assert_eq!(s.name, "Mafia Wars");
+        assert_eq!(s.company.as_deref(), Some("Zynga"));
+        assert_eq!(s.category.as_deref(), Some("Games"));
+        assert_eq!(s.monthly_active_users, 0);
+        assert!(s.profile_link.to_string().contains(&format!("id={}", id.raw())));
+        assert!(api.exists(id));
+    }
+
+    #[test]
+    fn deleted_apps_are_indistinguishable_from_nonexistent() {
+        let (mut p, id) = platform_with_app();
+        p.delete_app(id).unwrap();
+        let api = GraphApi::new(&p);
+        assert_eq!(api.app_summary(id), Err(GraphApiError::NotFound(id)));
+        assert_eq!(
+            api.app_summary(AppId(999)),
+            Err(GraphApiError::NotFound(AppId(999)))
+        );
+        assert!(!api.exists(id));
+        assert!(api.app_feed(id).is_err());
+    }
+
+    #[test]
+    fn mau_prefers_frozen_month() {
+        let (mut p, id) = platform_with_app();
+        let u = p.add_users(1)[0];
+        p.grant_install(u, id).unwrap();
+        // running window: 1 active user, no frozen month yet
+        assert_eq!(GraphApi::new(&p).app_summary(id).unwrap().monthly_active_users, 1);
+        for _ in 0..30 {
+            p.advance_day();
+        }
+        // month 0 frozen with 1
+        assert_eq!(GraphApi::new(&p).app_summary(id).unwrap().monthly_active_users, 1);
+    }
+
+    #[test]
+    fn app_feed_returns_profile_posts() {
+        let (mut p, id) = platform_with_app();
+        let u = p.add_users(1)[0];
+        p.post_on_app_profile(id, u, "first!", None).unwrap();
+        p.post_on_app_profile(id, u, "when is v2?", None).unwrap();
+        let api = GraphApi::new(&p);
+        let feed = api.app_feed(id).unwrap();
+        assert_eq!(feed.len(), 2);
+        assert_eq!(feed[0].message, "first!");
+    }
+}

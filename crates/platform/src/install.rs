@@ -1,0 +1,274 @@
+//! The application installation flow — including the client-ID loophole.
+//!
+//! §4.1.4: *"For a Facebook application with ID A, the application
+//! installation URL is `https://www.facebook.com/apps/application.php?id=A`.
+//! When any user visits this URL, Facebook queries the application server
+//! registered for app A to fetch several parameters ... Facebook then
+//! redirects the user to a URL which encodes these parameters ... If the
+//! user accepts to install the application, the ID of the application which
+//! she will end up installing is the value of the client ID parameter."*
+//!
+//! Ideally `client_id == A`. The platform does **not** enforce that — and
+//! 78% of malicious apps exploit the gap to spread installs across a
+//! campaign's sibling apps, so that blacklisting one app leaves the others
+//! alive. [`run_install_flow`] reproduces the whole sequence.
+
+use osn_types::ids::{AppId, UserId};
+use osn_types::url::{Domain, Scheme, Url};
+
+use crate::platform::{Platform, PlatformError, Result};
+use crate::token::AccessToken;
+
+/// Builds the canonical installation URL for an app.
+pub fn install_url(app: AppId) -> Url {
+    Url::build(
+        Scheme::Https,
+        Domain::parse("www.facebook.com").expect("static domain is valid"),
+        "apps/application.php",
+    )
+    .with_param("id", app.raw())
+}
+
+/// Extracts the app ID from an installation URL, if it is one.
+pub fn parse_install_url(url: &Url) -> Option<AppId> {
+    if !url.host().is_facebook() || url.path() != "/apps/application.php" {
+        return None;
+    }
+    url.query_param("id")?.parse::<u64>().ok().map(AppId)
+}
+
+/// Builds the OAuth-dialog URL the user is redirected to, encoding the
+/// client ID the app's server answered with.
+pub fn auth_dialog_url(client_id: AppId, redirect_uri: &Url, scope: &str) -> Url {
+    Url::build(
+        Scheme::Https,
+        Domain::parse("www.facebook.com").expect("static domain is valid"),
+        "dialog/oauth",
+    )
+    .with_param("client_id", client_id.raw())
+    .with_param("redirect_uri", redirect_uri.clone())
+    .with_param("scope", scope)
+}
+
+/// What happened when a user completed the installation flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstallOutcome {
+    /// The app whose installation URL the user visited.
+    pub visited: AppId,
+    /// The app actually installed (the `client_id` of the dialog).
+    pub installed: AppId,
+    /// The token granted to the installed app.
+    pub token: AccessToken,
+    /// The OAuth dialog the user saw (useful to crawlers, which read the
+    /// `client_id` and `scope` parameters off this URL).
+    pub dialog: Url,
+    /// Where the user was sent after installing.
+    pub landing: Url,
+}
+
+impl InstallOutcome {
+    /// Whether the flow exploited the client-ID loophole.
+    pub fn client_id_mismatch(&self) -> bool {
+        self.visited != self.installed
+    }
+}
+
+/// Runs the full installation flow for `user` visiting the install URL of
+/// `visited`.
+///
+/// `pool_pick` determines which entry of the visited app's client-ID pool
+/// the app server answers with this time (campaign servers rotate; the
+/// scenario driver passes a pseudo-random value). Dead pool entries are
+/// skipped — that is the entire point of the scheme: "even if one app from
+/// the set gets blacklisted, others can still survive and propagate".
+/// An honest app (empty pool) always installs itself.
+pub fn run_install_flow(
+    platform: &mut Platform,
+    visited: AppId,
+    user: UserId,
+    pool_pick: u64,
+) -> Result<InstallOutcome> {
+    let visited_app = platform.live_app(visited)?;
+    let pool = &visited_app.registration.client_id_pool;
+
+    let installed = if pool.is_empty() {
+        visited
+    } else {
+        // Rotate through the pool starting at pool_pick, skipping deleted
+        // siblings; fall back to the visited app itself if the entire pool
+        // is dead.
+        let n = pool.len() as u64;
+        (0..n)
+            .map(|off| pool[((pool_pick + off) % n) as usize])
+            .find(|&cand| platform.live_app(cand).is_ok())
+            .unwrap_or(visited)
+    };
+
+    let installed_app = platform.live_app(installed)?;
+    let redirect_uri = installed_app.registration.redirect_uri.clone();
+    let scope = installed_app.permissions().to_scope_str();
+    let dialog = auth_dialog_url(installed, &redirect_uri, &scope);
+
+    let token = platform.grant_install(user, installed)?;
+    Ok(InstallOutcome {
+        visited,
+        installed,
+        token,
+        dialog,
+        landing: redirect_uri,
+    })
+}
+
+/// Convenience used by crawlers: resolve which client ID the app server
+/// would answer with right now, without installing anything.
+pub fn peek_client_id(platform: &Platform, visited: AppId, pool_pick: u64) -> Result<AppId> {
+    let visited_app = platform.live_app(visited)?;
+    let pool = &visited_app.registration.client_id_pool;
+    if pool.is_empty() {
+        return Ok(visited);
+    }
+    let n = pool.len() as u64;
+    Ok((0..n)
+        .map(|off| pool[((pool_pick + off) % n) as usize])
+        .find(|&cand| platform.live_app(cand).is_ok())
+        .unwrap_or(visited))
+}
+
+/// Re-exported error type for flow failures.
+pub type InstallError = PlatformError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppRegistration;
+    use osn_types::permission::{Permission, PermissionSet};
+
+    fn external_redirect(n: u32) -> Url {
+        Url::parse(&format!("http://scamhost{n}.com/landing")).unwrap()
+    }
+
+    fn spam_reg(name: &str, redirect: Url, pool: Vec<AppId>) -> AppRegistration {
+        AppRegistration {
+            client_id_pool: pool,
+            crawlable_install_flow: false,
+            ..AppRegistration::simple(
+                name,
+                PermissionSet::from_iter([Permission::PublishStream]),
+                redirect,
+            )
+        }
+    }
+
+    #[test]
+    fn install_url_roundtrip() {
+        let url = install_url(AppId(4242));
+        assert_eq!(
+            url.to_string(),
+            "https://www.facebook.com/apps/application.php?id=4242"
+        );
+        assert_eq!(parse_install_url(&url), Some(AppId(4242)));
+        assert_eq!(
+            parse_install_url(&Url::parse("https://example.com/apps/application.php?id=1").unwrap()),
+            None
+        );
+        assert_eq!(
+            parse_install_url(&Url::parse("https://www.facebook.com/other?id=1").unwrap()),
+            None
+        );
+    }
+
+    #[test]
+    fn honest_app_installs_itself() {
+        let mut p = Platform::new();
+        let u = p.add_users(1)[0];
+        let app = p
+            .register_app(AppRegistration::simple(
+                "honest",
+                PermissionSet::from_iter([Permission::PublishStream]),
+                Url::parse("https://apps.facebook.com/honest/").unwrap(),
+            ))
+            .unwrap();
+        let out = run_install_flow(&mut p, app, u, 7).unwrap();
+        assert_eq!(out.installed, app);
+        assert!(!out.client_id_mismatch());
+        assert_eq!(out.dialog.query_param("client_id"), Some("0"));
+        assert!(p.has_installed(u, app));
+    }
+
+    #[test]
+    fn campaign_pool_spreads_installs() {
+        let mut p = Platform::new();
+        let users = p.add_users(4);
+        // Register three siblings, then a front app whose pool is the siblings.
+        let siblings: Vec<AppId> = (0..3)
+            .map(|i| {
+                p.register_app(spam_reg("The App", external_redirect(i), vec![]))
+                    .unwrap()
+            })
+            .collect();
+        let front = p
+            .register_app(spam_reg("The App", external_redirect(9), siblings.clone()))
+            .unwrap();
+
+        let mut installed = std::collections::HashSet::new();
+        for (i, &u) in users.iter().enumerate() {
+            let out = run_install_flow(&mut p, front, u, i as u64).unwrap();
+            assert!(out.client_id_mismatch());
+            assert!(siblings.contains(&out.installed));
+            installed.insert(out.installed);
+        }
+        assert!(installed.len() > 1, "rotation must spread across siblings");
+    }
+
+    #[test]
+    fn dead_pool_entries_are_skipped() {
+        let mut p = Platform::new();
+        let u = p.add_users(1)[0];
+        let s1 = p.register_app(spam_reg("x", external_redirect(1), vec![])).unwrap();
+        let s2 = p.register_app(spam_reg("x", external_redirect(2), vec![])).unwrap();
+        let front = p
+            .register_app(spam_reg("x", external_redirect(3), vec![s1, s2]))
+            .unwrap();
+        p.delete_app(s1).unwrap();
+        // pool_pick 0 would select s1; the flow must skip to s2.
+        let out = run_install_flow(&mut p, front, u, 0).unwrap();
+        assert_eq!(out.installed, s2);
+        assert_eq!(peek_client_id(&p, front, 0).unwrap(), s2);
+    }
+
+    #[test]
+    fn fully_dead_pool_falls_back_to_front() {
+        let mut p = Platform::new();
+        let u = p.add_users(1)[0];
+        let s1 = p.register_app(spam_reg("x", external_redirect(1), vec![])).unwrap();
+        let front = p
+            .register_app(spam_reg("x", external_redirect(3), vec![s1]))
+            .unwrap();
+        p.delete_app(s1).unwrap();
+        let out = run_install_flow(&mut p, front, u, 0).unwrap();
+        assert_eq!(out.installed, front);
+    }
+
+    #[test]
+    fn deleted_front_app_errors() {
+        let mut p = Platform::new();
+        let u = p.add_users(1)[0];
+        let app = p.register_app(spam_reg("x", external_redirect(1), vec![])).unwrap();
+        p.delete_app(app).unwrap();
+        assert!(run_install_flow(&mut p, app, u, 0).is_err());
+    }
+
+    #[test]
+    fn dialog_encodes_scope_and_redirect() {
+        let mut p = Platform::new();
+        let u = p.add_users(1)[0];
+        let redirect = external_redirect(5);
+        let app = p
+            .register_app(spam_reg("scopey", redirect.clone(), vec![]))
+            .unwrap();
+        let out = run_install_flow(&mut p, app, u, 0).unwrap();
+        assert_eq!(out.dialog.query_param("scope"), Some("publish_stream"));
+        assert_eq!(out.landing, redirect);
+        assert!(out.dialog.query_param("redirect_uri").is_some());
+    }
+}

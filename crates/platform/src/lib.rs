@@ -1,0 +1,46 @@
+//! # fb-platform — the simulated 2012-era Facebook platform
+//!
+//! Every feature FRAppE computes is a function of artifacts this substrate
+//! produces: application records and their Open-Graph summaries, the
+//! installation flow with its OAuth-style token grant, wall/feed posts with
+//! app attribution, and the platform's own enforcement (app deletion).
+//! This crate reproduces those artifacts and the two API weaknesses the
+//! paper's forensics hinge on:
+//!
+//! 1. **Client-ID mismatch** (§4.1.4): when a user visits the installation
+//!    URL of app *A*, the app server may answer with a `client_id` of a
+//!    *different* app, and the platform happily installs that one. 78% of
+//!    malicious apps exploited this; [`install`] models it.
+//! 2. **Unauthenticated `prompt_feed`** (§6.2): anyone can invoke the
+//!    prompt-feed API with an arbitrary `api_key` and have the resulting
+//!    post attributed to that app — *app piggybacking*. [`Platform::
+//!    post_via_prompt_feed`] models it.
+//!
+//! The central type is [`Platform`]: an owned, single-threaded, fully
+//! deterministic world that a scenario driver advances day by day. Query
+//! access for tooling goes through [`graph_api::GraphApi`], which mirrors
+//! the error behaviour of the real Graph API (deleted apps "return false").
+//!
+//! Nothing here does I/O; "crawling" ([`crawler`]) is a simulated actor with
+//! the failure modes the paper reports for its Selenium crawler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod crawler;
+pub mod graph_api;
+pub mod install;
+pub mod platform;
+pub mod post;
+pub mod token;
+pub mod user;
+
+pub use app::{AppCategory, AppRecord, AppRegistration};
+pub use crawler::{CrawlOutcome, Crawler, CrawlerPolicy, PermissionCrawl};
+pub use graph_api::{AppSummary, GraphApi, GraphApiError};
+pub use install::{install_url, parse_install_url, run_install_flow, InstallOutcome};
+pub use platform::{Platform, PlatformError};
+pub use post::{Post, PostKind};
+pub use token::AccessToken;
+pub use user::{profile_value, ProfileField};

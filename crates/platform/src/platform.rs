@@ -1,0 +1,903 @@
+//! The platform world: users, apps, walls, tokens, and the daily clock.
+//!
+//! [`Platform`] owns all state and is advanced by a scenario driver via
+//! [`Platform::advance_day`]. All mutation goes through methods that mirror
+//! the real platform's operations (register an app, install it, post
+//! through it, like a post, delete an app), so invariants — token scopes,
+//! deletion tombstones, MAU accounting — live in one place.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use osn_types::ids::{AppId, PostId, TokenId, UserId};
+use osn_types::time::SimTime;
+use osn_types::url::Url;
+
+use crate::app::{AppRecord, AppRegistration, SUMMARY_FIELD_MAX};
+use crate::post::{Post, PostKind};
+use crate::token::AccessToken;
+
+/// Errors surfaced by platform operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// The referenced app does not exist or has been deleted.
+    AppNotFound(AppId),
+    /// The referenced user does not exist.
+    UserNotFound(UserId),
+    /// The referenced post does not exist.
+    PostNotFound(PostId),
+    /// The acting user holds no (unrevoked) token for the app.
+    NotAuthorized {
+        /// Acting user.
+        user: UserId,
+        /// App the action was attempted through.
+        app: AppId,
+    },
+    /// The token lacks the permission needed for the action.
+    MissingPermission {
+        /// Human-readable action name.
+        action: &'static str,
+    },
+    /// A registration field exceeded the platform's length limit.
+    FieldTooLong {
+        /// Field name.
+        field: &'static str,
+        /// Supplied length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::AppNotFound(id) => write!(f, "{id} not found"),
+            PlatformError::UserNotFound(id) => write!(f, "{id} not found"),
+            PlatformError::PostNotFound(id) => write!(f, "{id} not found"),
+            PlatformError::NotAuthorized { user, app } => {
+                write!(f, "{user} has not authorized {app}")
+            }
+            PlatformError::MissingPermission { action } => {
+                write!(f, "token lacks the permission required to {action}")
+            }
+            PlatformError::FieldTooLong { field, len } => {
+                write!(f, "{field} is {len} chars, limit {SUMMARY_FIELD_MAX}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// Result alias for platform operations.
+pub type Result<T> = std::result::Result<T, PlatformError>;
+
+/// The simulated platform.
+#[derive(Debug, Default)]
+pub struct Platform {
+    now: SimTime,
+    apps: BTreeMap<AppId, AppRecord>,
+    next_app_id: u64,
+    /// Friend adjacency, indexed by dense `UserId` (0..user_count).
+    friends: Vec<Vec<UserId>>,
+    posts: Vec<Post>,
+    /// Wall index: posts on each user's wall, oldest first.
+    walls: Vec<Vec<PostId>>,
+    tokens: HashMap<(UserId, AppId), AccessToken>,
+    next_token_id: u64,
+}
+
+impl Platform {
+    /// A fresh platform at day 0 with no users or apps.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // --- clock ---------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by one day, freezing per-app MAU counters when a
+    /// 30-day month boundary is crossed.
+    pub fn advance_day(&mut self) {
+        let old_month = self.now.month();
+        self.now = SimTime::from_days(self.now.days() + 1);
+        if self.now.month() != old_month {
+            self.freeze_month(old_month);
+        }
+    }
+
+    /// Freezes the current (possibly partial) month's MAU counters.
+    /// Call at the end of a scenario so the final month is recorded.
+    pub fn finalize_month(&mut self) {
+        let m = self.now.month();
+        self.freeze_month(m);
+    }
+
+    fn freeze_month(&mut self, month: u32) {
+        for app in self.apps.values_mut() {
+            let mau = app.active_this_month.len() as u64 + app.external_active_this_month;
+            app.mau_history.insert(month, mau);
+            app.active_this_month.clear();
+            app.external_active_this_month = 0;
+        }
+    }
+
+    /// Records engagement by `count` users outside the simulated
+    /// population toward the app's current-month MAU. The real platform had
+    /// 900M users; the simulated population stands in for the monitored
+    /// window, and workload generators use this channel for the rest of the
+    /// app's audience (Fig. 4's MAU values come from the whole platform).
+    pub fn record_external_engagement(&mut self, app_id: AppId, count: u64) -> Result<()> {
+        let app = self
+            .apps
+            .get_mut(&app_id)
+            .filter(|a| a.is_alive())
+            .ok_or(PlatformError::AppNotFound(app_id))?;
+        app.external_active_this_month += count;
+        Ok(())
+    }
+
+    // --- users -----------------------------------------------------------
+
+    /// Creates `n` users, returning their ids (dense, ascending).
+    pub fn add_users(&mut self, n: usize) -> Vec<UserId> {
+        let start = self.friends.len();
+        self.friends.resize(start + n, Vec::new());
+        self.walls.resize(start + n, Vec::new());
+        (start..start + n).map(|i| UserId(i as u64)).collect()
+    }
+
+    /// Number of registered users.
+    pub fn user_count(&self) -> usize {
+        self.friends.len()
+    }
+
+    /// Creates a symmetric friendship. Duplicate edges are ignored.
+    pub fn befriend(&mut self, a: UserId, b: UserId) -> Result<()> {
+        if a == b {
+            return Ok(()); // self-friendship is a no-op
+        }
+        self.check_user(a)?;
+        self.check_user(b)?;
+        if !self.friends[a.raw() as usize].contains(&b) {
+            self.friends[a.raw() as usize].push(b);
+            self.friends[b.raw() as usize].push(a);
+        }
+        Ok(())
+    }
+
+    /// A user's friends.
+    pub fn friends_of(&self, user: UserId) -> Result<&[UserId]> {
+        self.check_user(user)?;
+        Ok(&self.friends[user.raw() as usize])
+    }
+
+    fn check_user(&self, user: UserId) -> Result<()> {
+        if (user.raw() as usize) < self.friends.len() {
+            Ok(())
+        } else {
+            Err(PlatformError::UserNotFound(user))
+        }
+    }
+
+    // --- apps -----------------------------------------------------------
+
+    /// Registers a new application, enforcing summary-field length limits.
+    pub fn register_app(&mut self, registration: AppRegistration) -> Result<AppId> {
+        if let Some(d) = &registration.description {
+            if d.chars().count() > SUMMARY_FIELD_MAX {
+                return Err(PlatformError::FieldTooLong {
+                    field: "description",
+                    len: d.chars().count(),
+                });
+            }
+        }
+        if let Some(c) = &registration.company {
+            if c.chars().count() > SUMMARY_FIELD_MAX {
+                return Err(PlatformError::FieldTooLong {
+                    field: "company",
+                    len: c.chars().count(),
+                });
+            }
+        }
+        let id = AppId(self.next_app_id);
+        self.next_app_id += 1;
+        self.apps.insert(id, AppRecord::new(id, registration, self.now));
+        Ok(id)
+    }
+
+    /// The app record, whether alive or deleted (platform-internal view;
+    /// external tooling should go through [`crate::graph_api::GraphApi`],
+    /// which hides deleted apps the way the real API does).
+    pub fn app(&self, id: AppId) -> Option<&AppRecord> {
+        self.apps.get(&id)
+    }
+
+    /// The app record if it exists **and is alive**.
+    pub fn live_app(&self, id: AppId) -> Result<&AppRecord> {
+        match self.apps.get(&id) {
+            Some(app) if app.is_alive() => Ok(app),
+            _ => Err(PlatformError::AppNotFound(id)),
+        }
+    }
+
+    /// Iterates all app records ever registered (including deleted).
+    pub fn apps(&self) -> impl Iterator<Item = &AppRecord> {
+        self.apps.values()
+    }
+
+    /// Number of apps ever registered.
+    pub fn app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Replaces an app's client-ID pool. The pool lives on the *app
+    /// server*, not the platform — hackers rewire which sibling their
+    /// server answers install requests with whenever they like, and the
+    /// platform has no say in it (that is the §4.1.4 loophole). This
+    /// method models that server-side change.
+    pub fn set_client_id_pool(&mut self, app_id: AppId, pool: Vec<AppId>) {
+        if let Some(app) = self.apps.get_mut(&app_id) {
+            app.registration.client_id_pool = pool;
+        }
+    }
+
+    /// Deletes an app from the graph (enforcement action). Its tokens are
+    /// revoked; its record remains internally as a tombstone. Idempotent.
+    pub fn delete_app(&mut self, id: AppId) -> Result<()> {
+        let now = self.now;
+        let app = self
+            .apps
+            .get_mut(&id)
+            .ok_or(PlatformError::AppNotFound(id))?;
+        if app.deleted_at.is_none() {
+            app.deleted_at = Some(now);
+        }
+        for token in self.tokens.values_mut() {
+            if token.app == id {
+                token.revoked = true;
+            }
+        }
+        Ok(())
+    }
+
+    // --- installation -----------------------------------------------------
+
+    /// Completes an app installation for `user`: grants the requested
+    /// permission set, issues the bearer token, and records engagement.
+    ///
+    /// This is the low-level grant; the full installation *flow* — visiting
+    /// the install URL and resolving the (possibly mismatched) client ID —
+    /// lives in [`crate::install`].
+    pub fn grant_install(&mut self, user: UserId, app_id: AppId) -> Result<AccessToken> {
+        self.check_user(user)?;
+        let now = self.now;
+        let scopes = self.live_app(app_id)?.permissions();
+        let token = AccessToken {
+            id: TokenId(self.next_token_id),
+            user,
+            app: app_id,
+            scopes,
+            issued_at: now,
+            revoked: false,
+        };
+        self.next_token_id += 1;
+        self.tokens.insert((user, app_id), token.clone());
+        let app = self.apps.get_mut(&app_id).expect("live_app checked existence");
+        app.installed_users.insert(user);
+        app.active_this_month.insert(user);
+        Ok(token)
+    }
+
+    /// The current token for a (user, app) pair, if any.
+    pub fn token(&self, user: UserId, app: AppId) -> Option<&AccessToken> {
+        self.tokens.get(&(user, app))
+    }
+
+    /// Whether `user` currently has `app` installed.
+    pub fn has_installed(&self, user: UserId, app: AppId) -> bool {
+        self.apps
+            .get(&app)
+            .is_some_and(|a| a.installed_users.contains(&user))
+    }
+
+    // --- profile data access ------------------------------------------------
+
+    /// An application reads a field of a user's profile through its token
+    /// (the paper's Step 3: data harvesting). Requires an unrevoked token
+    /// whose scopes include the field's gating permission.
+    pub fn read_profile_field(
+        &self,
+        app_id: AppId,
+        user: UserId,
+        field: crate::user::ProfileField,
+    ) -> Result<String> {
+        self.check_user(user)?;
+        self.live_app(app_id)?;
+        let token = self
+            .tokens
+            .get(&(user, app_id))
+            .filter(|t| !t.revoked)
+            .ok_or(PlatformError::NotAuthorized { user, app: app_id })?;
+        if !token.allows(field.required_permission()) {
+            return Err(PlatformError::MissingPermission {
+                action: "read that profile field",
+            });
+        }
+        Ok(crate::user::profile_value(user, field))
+    }
+
+    // --- posting -----------------------------------------------------------
+
+    /// An application posts on `user`'s wall using its token (the paper's
+    /// Fig. 2, step 6). Requires an unrevoked token with a posting scope.
+    pub fn post_as_app(
+        &mut self,
+        app_id: AppId,
+        user: UserId,
+        message: &str,
+        link: Option<Url>,
+    ) -> Result<PostId> {
+        self.check_user(user)?;
+        self.live_app(app_id)?;
+        let token = self
+            .tokens
+            .get(&(user, app_id))
+            .filter(|t| !t.revoked)
+            .ok_or(PlatformError::NotAuthorized { user, app: app_id })?;
+        if !token.can_post() {
+            return Err(PlatformError::MissingPermission {
+                action: "post to the user's wall",
+            });
+        }
+        let id = self.push_post(user, user, Some(app_id), PostKind::App, message, link);
+        let app = self.apps.get_mut(&app_id).expect("checked live above");
+        app.active_this_month.insert(user);
+        Ok(id)
+    }
+
+    /// A user posts manually on their own wall (no app attribution).
+    pub fn post_manual(&mut self, user: UserId, message: &str, link: Option<Url>) -> Result<PostId> {
+        self.check_user(user)?;
+        Ok(self.push_post(user, user, None, PostKind::Manual, message, link))
+    }
+
+    /// A post made via a social plugin (Like/Share on an external site).
+    pub fn post_via_plugin(
+        &mut self,
+        user: UserId,
+        message: &str,
+        link: Option<Url>,
+    ) -> Result<PostId> {
+        self.check_user(user)?;
+        Ok(self.push_post(user, user, None, PostKind::SocialPlugin, message, link))
+    }
+
+    /// **The piggybacking loophole** (§6.2): posts via
+    /// `prompt_feed.php?api_key=<claimed_app>` on behalf of `user`, with the
+    /// post attributed to `claimed_app` — *without any verification that the
+    /// caller controls that app*. The claimed app merely has to exist and be
+    /// alive; no token is consulted. This is deliberately unauthenticated:
+    /// it reproduces the vulnerability, and the recommendation section of
+    /// the paper asks Facebook to close exactly this hole.
+    pub fn post_via_prompt_feed(
+        &mut self,
+        claimed_app: AppId,
+        user: UserId,
+        message: &str,
+        link: Option<Url>,
+    ) -> Result<PostId> {
+        self.check_user(user)?;
+        self.live_app(claimed_app)?;
+        Ok(self.push_post(
+            user,
+            user,
+            Some(claimed_app),
+            PostKind::PromptFeed,
+            message,
+            link,
+        ))
+    }
+
+    /// A user posts on an application's profile page (§4.1.5's profile
+    /// feed). Allowed for any user; also used by developers to post
+    /// updates.
+    pub fn post_on_app_profile(
+        &mut self,
+        app_id: AppId,
+        author: UserId,
+        message: &str,
+        link: Option<Url>,
+    ) -> Result<PostId> {
+        self.check_user(author)?;
+        self.live_app(app_id)?;
+        let id = PostId(self.posts.len() as u64);
+        self.posts.push(Post {
+            id,
+            wall_owner: author, // profile posts keep their author as owner
+            author,
+            app: Some(app_id),
+            profile_of: Some(app_id),
+            kind: PostKind::Manual,
+            message: message.to_string(),
+            link,
+            created_at: self.now,
+            likes: 0,
+            comments: 0,
+        });
+        let app = self.apps.get_mut(&app_id).expect("checked live above");
+        app.profile_feed.push(id);
+        Ok(id)
+    }
+
+    fn push_post(
+        &mut self,
+        wall_owner: UserId,
+        author: UserId,
+        app: Option<AppId>,
+        kind: PostKind,
+        message: &str,
+        link: Option<Url>,
+    ) -> PostId {
+        let id = PostId(self.posts.len() as u64);
+        self.posts.push(Post {
+            id,
+            wall_owner,
+            author,
+            app,
+            profile_of: None,
+            kind,
+            message: message.to_string(),
+            link,
+            created_at: self.now,
+            likes: 0,
+            comments: 0,
+        });
+        self.walls[wall_owner.raw() as usize].push(id);
+        id
+    }
+
+    // --- engagement -----------------------------------------------------
+
+    /// Records a 'Like' on a post; if the post is app-attributed (and made
+    /// through a real token), the liking user counts toward the app's MAU.
+    pub fn like_post(&mut self, post_id: PostId, user: UserId) -> Result<()> {
+        self.check_user(user)?;
+        let (app, kind) = {
+            let post = self
+                .posts
+                .get_mut(post_id.raw() as usize)
+                .ok_or(PlatformError::PostNotFound(post_id))?;
+            post.likes += 1;
+            (post.app, post.kind)
+        };
+        if kind == PostKind::App {
+            if let Some(app_id) = app {
+                if let Some(rec) = self.apps.get_mut(&app_id) {
+                    rec.active_this_month.insert(user);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a comment on a post.
+    pub fn comment_post(&mut self, post_id: PostId, user: UserId) -> Result<()> {
+        self.check_user(user)?;
+        let post = self
+            .posts
+            .get_mut(post_id.raw() as usize)
+            .ok_or(PlatformError::PostNotFound(post_id))?;
+        post.comments += 1;
+        Ok(())
+    }
+
+    // --- queries ---------------------------------------------------------
+
+    /// A post by id.
+    pub fn post(&self, id: PostId) -> Option<&Post> {
+        self.posts.get(id.raw() as usize)
+    }
+
+    /// All posts ever made, in creation order.
+    pub fn posts(&self) -> &[Post] {
+        &self.posts
+    }
+
+    /// Post ids on a user's wall, oldest first.
+    pub fn wall(&self, user: UserId) -> Result<&[PostId]> {
+        self.check_user(user)?;
+        Ok(&self.walls[user.raw() as usize])
+    }
+
+    /// The news feed a user sees: posts on their friends' walls from the
+    /// last `days` days, newest first. (Real feeds rank; chronological is
+    /// all the monitoring pipeline needs.)
+    pub fn news_feed(&self, user: UserId, days: u32) -> Result<Vec<&Post>> {
+        self.check_user(user)?;
+        let cutoff = self.now - osn_types::time::SimDuration::days(days);
+        let mut feed: Vec<&Post> = self.friends[user.raw() as usize]
+            .iter()
+            .flat_map(|f| self.walls[f.raw() as usize].iter())
+            .map(|&pid| &self.posts[pid.raw() as usize])
+            .filter(|p| p.created_at >= cutoff)
+            .collect();
+        feed.sort_by(|a, b| b.created_at.cmp(&a.created_at).then(b.id.cmp(&a.id)));
+        Ok(feed)
+    }
+
+    /// Set of users currently monitorable (all users) — convenience for
+    /// security apps that subscribe a population.
+    pub fn all_users(&self) -> impl Iterator<Item = UserId> + '_ {
+        (0..self.friends.len()).map(|i| UserId(i as u64))
+    }
+
+    /// Ids of apps that have been deleted from the graph.
+    pub fn deleted_apps(&self) -> HashSet<AppId> {
+        self.apps
+            .values()
+            .filter(|a| !a.is_alive())
+            .map(|a| a.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_types::permission::{Permission, PermissionSet};
+    use osn_types::url::{Domain, Scheme};
+
+    fn reg(name: &str, perms: &[Permission]) -> AppRegistration {
+        AppRegistration::simple(
+            name,
+            PermissionSet::from_iter(perms.iter().copied()),
+            Url::build(
+                Scheme::Https,
+                Domain::parse("apps.facebook.com").unwrap(),
+                name,
+            ),
+        )
+    }
+
+    fn world() -> (Platform, Vec<UserId>, AppId) {
+        let mut p = Platform::new();
+        let users = p.add_users(4);
+        let app = p
+            .register_app(reg("testapp", &[Permission::PublishStream]))
+            .unwrap();
+        (p, users, app)
+    }
+
+    #[test]
+    fn install_issues_scoped_token() {
+        let (mut p, users, app) = world();
+        let token = p.grant_install(users[0], app).unwrap();
+        assert!(token.can_post());
+        assert!(p.has_installed(users[0], app));
+        assert!(!p.has_installed(users[1], app));
+        assert_eq!(p.app(app).unwrap().install_count(), 1);
+    }
+
+    #[test]
+    fn posting_requires_token_with_scope() {
+        let (mut p, users, app) = world();
+        // no token yet
+        let err = p.post_as_app(app, users[0], "hi", None).unwrap_err();
+        assert!(matches!(err, PlatformError::NotAuthorized { .. }));
+
+        p.grant_install(users[0], app).unwrap();
+        let pid = p.post_as_app(app, users[0], "hi", None).unwrap();
+        assert_eq!(p.post(pid).unwrap().app, Some(app));
+        assert_eq!(p.wall(users[0]).unwrap(), &[pid]);
+
+        // an app without a posting permission cannot post
+        let emailer = p.register_app(reg("emailer", &[Permission::Email])).unwrap();
+        p.grant_install(users[1], emailer).unwrap();
+        let err = p.post_as_app(emailer, users[1], "spam", None).unwrap_err();
+        assert!(matches!(err, PlatformError::MissingPermission { .. }));
+    }
+
+    #[test]
+    fn prompt_feed_is_unauthenticated_by_design() {
+        let (mut p, users, app) = world();
+        // users[2] never installed `app`, yet the post is attributed to it.
+        let pid = p
+            .post_via_prompt_feed(app, users[2], "WOW free credits", None)
+            .unwrap();
+        let post = p.post(pid).unwrap();
+        assert_eq!(post.app, Some(app));
+        assert_eq!(post.kind, PostKind::PromptFeed);
+    }
+
+    #[test]
+    fn deletion_tombstones_and_revokes() {
+        let (mut p, users, app) = world();
+        p.grant_install(users[0], app).unwrap();
+        p.delete_app(app).unwrap();
+        assert!(!p.app(app).unwrap().is_alive());
+        assert!(p.live_app(app).is_err());
+        assert!(p.token(users[0], app).unwrap().revoked);
+        // posting through the revoked token fails
+        let err = p.post_as_app(app, users[0], "hi", None).unwrap_err();
+        assert!(matches!(err, PlatformError::AppNotFound(_)));
+        // idempotent
+        p.delete_app(app).unwrap();
+        assert_eq!(p.deleted_apps().len(), 1);
+    }
+
+    #[test]
+    fn news_feed_sees_friends_posts_newest_first() {
+        let (mut p, users, app) = world();
+        p.befriend(users[0], users[1]).unwrap();
+        p.grant_install(users[1], app).unwrap();
+        let p1 = p.post_as_app(app, users[1], "day0", None).unwrap();
+        p.advance_day();
+        let p2 = p.post_as_app(app, users[1], "day1", None).unwrap();
+        let feed = p.news_feed(users[0], 7).unwrap();
+        assert_eq!(feed.iter().map(|p| p.id).collect::<Vec<_>>(), vec![p2, p1]);
+        // non-friend sees nothing
+        assert!(p.news_feed(users[2], 7).unwrap().is_empty());
+    }
+
+    #[test]
+    fn news_feed_cutoff_drops_old_posts() {
+        let (mut p, users, app) = world();
+        p.befriend(users[0], users[1]).unwrap();
+        p.grant_install(users[1], app).unwrap();
+        p.post_as_app(app, users[1], "ancient", None).unwrap();
+        for _ in 0..10 {
+            p.advance_day();
+        }
+        assert!(p.news_feed(users[0], 5).unwrap().is_empty());
+        assert_eq!(p.news_feed(users[0], 30).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn mau_freezes_at_month_boundaries() {
+        let (mut p, users, app) = world();
+        p.grant_install(users[0], app).unwrap();
+        p.grant_install(users[1], app).unwrap();
+        // advance through the month boundary (day 30)
+        for _ in 0..30 {
+            p.advance_day();
+        }
+        let rec = p.app(app).unwrap();
+        assert_eq!(rec.mau_history.get(&0), Some(&2));
+        // new month: nobody active yet
+        assert!(rec.active_this_month.is_empty());
+
+        // activity in month 1, then finalize
+        p.post_as_app(app, users[0], "x", None).unwrap();
+        p.finalize_month();
+        assert_eq!(p.app(app).unwrap().mau_history.get(&1), Some(&1));
+        assert_eq!(p.app(app).unwrap().max_mau(), 2);
+    }
+
+    #[test]
+    fn likes_feed_mau_and_counters() {
+        let (mut p, users, app) = world();
+        p.grant_install(users[0], app).unwrap();
+        let pid = p.post_as_app(app, users[0], "like me", None).unwrap();
+        p.like_post(pid, users[3]).unwrap();
+        p.comment_post(pid, users[3]).unwrap();
+        let post = p.post(pid).unwrap();
+        assert_eq!(post.likes, 1);
+        assert_eq!(post.comments, 1);
+        assert!(p.app(app).unwrap().active_this_month.contains(&users[3]));
+    }
+
+    #[test]
+    fn registration_enforces_field_limits() {
+        let mut p = Platform::new();
+        let mut r = reg("x", &[Permission::PublishStream]);
+        r.description = Some("d".repeat(141));
+        assert!(matches!(
+            p.register_app(r),
+            Err(PlatformError::FieldTooLong { field: "description", .. })
+        ));
+    }
+
+    #[test]
+    fn befriend_is_symmetric_and_dedup() {
+        let mut p = Platform::new();
+        let u = p.add_users(2);
+        p.befriend(u[0], u[1]).unwrap();
+        p.befriend(u[0], u[1]).unwrap();
+        p.befriend(u[1], u[0]).unwrap();
+        assert_eq!(p.friends_of(u[0]).unwrap(), &[u[1]]);
+        assert_eq!(p.friends_of(u[1]).unwrap(), &[u[0]]);
+        p.befriend(u[0], u[0]).unwrap(); // self no-op
+        assert_eq!(p.friends_of(u[0]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn profile_feed_posts_tracked_on_app() {
+        let (mut p, users, app) = world();
+        p.post_on_app_profile(app, users[0], "when is v2 coming?", None)
+            .unwrap();
+        assert_eq!(p.app(app).unwrap().profile_feed.len(), 1);
+        // wall untouched
+        assert!(p.wall(users[0]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn profile_reads_are_permission_gated() {
+        use crate::user::ProfileField;
+        let mut p = Platform::new();
+        let users = p.add_users(2);
+        let emailer = p
+            .register_app(reg("emailer", &[Permission::PublishStream, Permission::Email]))
+            .unwrap();
+        let poster = p
+            .register_app(reg("poster", &[Permission::PublishStream]))
+            .unwrap();
+
+        // no token at all
+        assert!(matches!(
+            p.read_profile_field(emailer, users[0], ProfileField::Email),
+            Err(PlatformError::NotAuthorized { .. })
+        ));
+
+        p.grant_install(users[0], emailer).unwrap();
+        p.grant_install(users[0], poster).unwrap();
+
+        // scope present -> read succeeds with a stable value
+        let email = p
+            .read_profile_field(emailer, users[0], ProfileField::Email)
+            .unwrap();
+        assert!(email.contains('@'));
+
+        // scope absent -> denied (this is why "permission count" means
+        // something: a single-permission app cannot harvest data)
+        assert!(matches!(
+            p.read_profile_field(poster, users[0], ProfileField::Email),
+            Err(PlatformError::MissingPermission { .. })
+        ));
+        assert!(matches!(
+            p.read_profile_field(emailer, users[0], ProfileField::Birthday),
+            Err(PlatformError::MissingPermission { .. })
+        ));
+
+        // deletion revokes harvesting too
+        p.delete_app(emailer).unwrap();
+        assert!(p
+            .read_profile_field(emailer, users[0], ProfileField::Email)
+            .is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A random operation against the platform.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Install(u8, u8),
+            Post(u8, u8),
+            Manual(u8),
+            Like(u8, u16),
+            Delete(u8),
+            AdvanceDay,
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (any::<u8>(), any::<u8>()).prop_map(|(a, u)| Op::Install(a, u)),
+                (any::<u8>(), any::<u8>()).prop_map(|(a, u)| Op::Post(a, u)),
+                any::<u8>().prop_map(Op::Manual),
+                (any::<u8>(), any::<u16>()).prop_map(|(u, p)| Op::Like(u, p)),
+                any::<u8>().prop_map(Op::Delete),
+                Just(Op::AdvanceDay),
+            ]
+        }
+
+        proptest! {
+            /// No sequence of (valid or invalid) operations can violate
+            /// the platform's core invariants.
+            #[test]
+            fn random_operations_preserve_invariants(
+                ops in proptest::collection::vec(op_strategy(), 0..120),
+            ) {
+                let mut p = Platform::new();
+                let users = p.add_users(8);
+                let apps: Vec<AppId> = (0..6)
+                    .map(|i| {
+                        p.register_app(reg(
+                            &format!("app{i}"),
+                            &[Permission::PublishStream],
+                        ))
+                        .unwrap()
+                    })
+                    .collect();
+
+                for op in ops {
+                    match op {
+                        Op::Install(a, u) => {
+                            let _ = p.grant_install(
+                                users[u as usize % users.len()],
+                                apps[a as usize % apps.len()],
+                            );
+                        }
+                        Op::Post(a, u) => {
+                            let _ = p.post_as_app(
+                                apps[a as usize % apps.len()],
+                                users[u as usize % users.len()],
+                                "hello",
+                                None,
+                            );
+                        }
+                        Op::Manual(u) => {
+                            let _ = p.post_manual(
+                                users[u as usize % users.len()],
+                                "chatter",
+                                None,
+                            );
+                        }
+                        Op::Like(u, post) => {
+                            let _ = p.like_post(
+                                PostId(u64::from(post)),
+                                users[u as usize % users.len()],
+                            );
+                        }
+                        Op::Delete(a) => {
+                            let _ = p.delete_app(apps[a as usize % apps.len()]);
+                        }
+                        Op::AdvanceDay => p.advance_day(),
+                    }
+
+                    // Invariant 1: post ids are dense and wall indices valid.
+                    for (i, post) in p.posts().iter().enumerate() {
+                        prop_assert_eq!(post.id.raw() as usize, i);
+                    }
+                    for &u in &users {
+                        for &pid in p.wall(u).unwrap() {
+                            let post = p.post(pid).unwrap();
+                            prop_assert_eq!(post.wall_owner, u);
+                        }
+                    }
+                    // Invariant 2: deleted apps have only revoked tokens,
+                    // and no post through them succeeds.
+                    for &a in &apps {
+                        let rec = p.app(a).unwrap();
+                        if !rec.is_alive() {
+                            for &u in &users {
+                                if let Some(t) = p.token(u, a) {
+                                    prop_assert!(t.revoked);
+                                }
+                                prop_assert!(p.post_as_app(a, u, "x", None).is_err());
+                            }
+                        }
+                    }
+                }
+
+                // Invariant 3: wall posts of each user are time-ordered.
+                for &u in &users {
+                    let wall = p.wall(u).unwrap();
+                    for w in wall.windows(2) {
+                        let t0 = p.post(w[0]).unwrap().created_at;
+                        let t1 = p.post(w[1]).unwrap().created_at;
+                        prop_assert!(t0 <= t1, "wall out of order");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let mut p = Platform::new();
+        assert!(matches!(
+            p.grant_install(UserId(0), AppId(0)),
+            Err(PlatformError::UserNotFound(_))
+        ));
+        p.add_users(1);
+        assert!(matches!(
+            p.grant_install(UserId(0), AppId(99)),
+            Err(PlatformError::AppNotFound(_))
+        ));
+        assert!(p.delete_app(AppId(5)).is_err());
+    }
+}

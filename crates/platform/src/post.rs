@@ -1,0 +1,103 @@
+//! Wall and feed posts.
+//!
+//! Every post carries the metadata the paper's pipeline reads: the optional
+//! **application field** ("here we consider only those posts that included
+//! a non-empty 'application' field in the metadata that Facebook associates
+//! with every post" — §2.3), an optional link, the message text, and
+//! like/comment counters (a MyPageKeeper feature: "malicious posts receive
+//! fewer 'Like's and comments").
+
+use serde::{Deserialize, Serialize};
+
+use osn_types::ids::{AppId, PostId, UserId};
+use osn_types::time::SimTime;
+use osn_types::url::Url;
+
+/// How a post came to exist. 37% of posts in the paper's dataset have no
+/// associated application (manual posts and social plugins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PostKind {
+    /// Typed by the user on a wall.
+    Manual,
+    /// Made through a social plugin (Like/Share on an external site).
+    SocialPlugin,
+    /// Made by an application on the user's behalf via its access token.
+    App,
+    /// Made through the unauthenticated `prompt_feed` API with a claimed
+    /// `api_key` — the *piggybacking* channel (§6.2). Attribution is
+    /// whatever the caller claimed.
+    PromptFeed,
+}
+
+/// One post on a user's wall (and, by fan-out, in friends' news feeds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Post {
+    /// Unique post id.
+    pub id: PostId,
+    /// Whose wall the post lives on.
+    pub wall_owner: UserId,
+    /// The user on whose behalf the post was made.
+    pub author: UserId,
+    /// The application attribution field; `None` for manual / plugin posts.
+    pub app: Option<AppId>,
+    /// When set, this post lives on an application's *profile page* (its
+    /// profile feed, §4.1.5) rather than on a user's wall. Profile posts
+    /// are served by the Graph API's `/feed` endpoint and are never part
+    /// of wall/news-feed monitoring.
+    pub profile_of: Option<AppId>,
+    /// How the post was created.
+    pub kind: PostKind,
+    /// Message text.
+    pub message: String,
+    /// Optional link.
+    pub link: Option<Url>,
+    /// Creation time.
+    pub created_at: SimTime,
+    /// Number of 'Like's received.
+    pub likes: u32,
+    /// Number of comments received.
+    pub comments: u32,
+}
+
+impl Post {
+    /// Whether the post's link points outside `facebook.com`
+    /// (the paper's *external link* notion, §4.2.2).
+    pub fn has_external_link(&self) -> bool {
+        self.link.as_ref().is_some_and(|l| !l.is_facebook())
+    }
+
+    /// Whether the post carries any link at all.
+    pub fn has_link(&self) -> bool {
+        self.link.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(link: Option<&str>) -> Post {
+        Post {
+            id: PostId(1),
+            wall_owner: UserId(2),
+            author: UserId(2),
+            app: Some(AppId(3)),
+            profile_of: None,
+            kind: PostKind::App,
+            message: "hello".into(),
+            link: link.map(|l| Url::parse(l).unwrap()),
+            created_at: SimTime::ZERO,
+            likes: 0,
+            comments: 0,
+        }
+    }
+
+    #[test]
+    fn external_link_detection() {
+        assert!(!post(None).has_external_link());
+        assert!(!post(None).has_link());
+        assert!(!post(Some("https://apps.facebook.com/game/")).has_external_link());
+        assert!(post(Some("https://apps.facebook.com/game/")).has_link());
+        assert!(post(Some("http://free-ipads.example.com/win")).has_external_link());
+    }
+}

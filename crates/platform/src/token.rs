@@ -1,0 +1,81 @@
+//! OAuth-style access tokens.
+//!
+//! "Facebook grants these permissions to any application by handing an
+//! OAuth 2.0 token to the application server for each user who installs the
+//! application" (§2.1). Step 5 of the paper's Fig. 2 is the key threat:
+//! the application server *forwards the token to malicious hackers*, who
+//! then post on the victim's wall. The token is therefore a bearer
+//! credential — whoever holds it can act within its scopes.
+
+use serde::{Deserialize, Serialize};
+
+use osn_types::ids::{AppId, TokenId, UserId};
+use osn_types::permission::{Permission, PermissionSet};
+use osn_types::time::SimTime;
+
+/// A bearer token authorizing an app to act on a user's behalf.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessToken {
+    /// Unique token id (stands in for the opaque token string).
+    pub id: TokenId,
+    /// The user who granted it.
+    pub user: UserId,
+    /// The app it was issued to.
+    pub app: AppId,
+    /// Granted scopes (the permission set accepted at install time).
+    pub scopes: PermissionSet,
+    /// Issue time.
+    pub issued_at: SimTime,
+    /// Whether the user (or platform) has revoked it.
+    pub revoked: bool,
+}
+
+impl AccessToken {
+    /// Whether the token currently authorizes `perm`.
+    pub fn allows(&self, perm: Permission) -> bool {
+        !self.revoked && self.scopes.contains(perm)
+    }
+
+    /// Whether the token can post to the user's wall — the one capability
+    /// "sufficient for making spam posts on behalf of users" (§4.1.2).
+    pub fn can_post(&self) -> bool {
+        self.allows(Permission::PublishStream) || self.allows(Permission::PublishActions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token(scopes: PermissionSet, revoked: bool) -> AccessToken {
+        AccessToken {
+            id: TokenId(1),
+            user: UserId(2),
+            app: AppId(3),
+            scopes,
+            issued_at: SimTime::ZERO,
+            revoked,
+        }
+    }
+
+    #[test]
+    fn scopes_gate_capabilities() {
+        let t = token(PermissionSet::from_iter([Permission::PublishStream]), false);
+        assert!(t.allows(Permission::PublishStream));
+        assert!(!t.allows(Permission::Email));
+        assert!(t.can_post());
+
+        let t = token(PermissionSet::from_iter([Permission::Email]), false);
+        assert!(!t.can_post());
+
+        let t = token(PermissionSet::from_iter([Permission::PublishActions]), false);
+        assert!(t.can_post());
+    }
+
+    #[test]
+    fn revocation_kills_all_capabilities() {
+        let t = token(PermissionSet::from_iter([Permission::PublishStream]), true);
+        assert!(!t.allows(Permission::PublishStream));
+        assert!(!t.can_post());
+    }
+}

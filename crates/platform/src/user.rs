@@ -1,0 +1,115 @@
+//! User profiles and permission-gated data access.
+//!
+//! Step 3 of the paper's malicious-app operation (§2.1): *"The app
+//! thereafter accesses personal information (e.g., birth date) from the
+//! user's profile, which the hackers can potentially use to profit"* —
+//! the paper cites bulk email lists sold at $90 for 11M addresses.
+//!
+//! Profile fields are deterministic functions of the user id (no RNG
+//! state), and every read is gated on the calling app's token actually
+//! carrying the matching permission — the platform-side contract that
+//! makes the permission set a meaningful FRAppE feature.
+
+use osn_types::ids::UserId;
+use osn_types::permission::Permission;
+use serde::{Deserialize, Serialize};
+
+/// A profile field an application may request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProfileField {
+    /// The user's email address (permission `email`).
+    Email,
+    /// Birthday (permission `user_birthday`).
+    Birthday,
+    /// Home town (permission `user_hometown`).
+    Hometown,
+    /// Current location (permission `user_location`).
+    Location,
+    /// Work history (permission `user_work_history`).
+    WorkHistory,
+}
+
+impl ProfileField {
+    /// The permission that gates this field.
+    pub const fn required_permission(self) -> Permission {
+        match self {
+            ProfileField::Email => Permission::Email,
+            ProfileField::Birthday => Permission::UserBirthday,
+            ProfileField::Hometown => Permission::UserHometown,
+            ProfileField::Location => Permission::UserLocation,
+            ProfileField::WorkHistory => Permission::UserWorkHistory,
+        }
+    }
+
+    /// All fields.
+    pub const ALL: [ProfileField; 5] = [
+        ProfileField::Email,
+        ProfileField::Birthday,
+        ProfileField::Hometown,
+        ProfileField::Location,
+        ProfileField::WorkHistory,
+    ];
+}
+
+const HOMETOWNS: &[&str] = &[
+    "Riverside", "Springfield", "Fairview", "Georgetown", "Clinton", "Salem", "Madison",
+    "Arlington", "Ashland", "Dover",
+];
+
+/// Deterministic synthetic value of a profile field for a user.
+///
+/// (The study never needs *real* PII — only that a value exists, is
+/// stable, and is only reachable with the right permission.)
+pub fn profile_value(user: UserId, field: ProfileField) -> String {
+    let u = user.raw();
+    match field {
+        ProfileField::Email => format!("user{u}@example-mail.com"),
+        ProfileField::Birthday => {
+            // a date in 1960-2004, spread deterministically
+            let year = 1960 + (u % 45);
+            let month = 1 + (u / 45) % 12;
+            let day = 1 + (u / 540) % 28;
+            format!("{year:04}-{month:02}-{day:02}")
+        }
+        ProfileField::Hometown => HOMETOWNS[(u % HOMETOWNS.len() as u64) as usize].to_string(),
+        ProfileField::Location => {
+            HOMETOWNS[((u / 7) % HOMETOWNS.len() as u64) as usize].to_string()
+        }
+        ProfileField::WorkHistory => format!("Company {}", u % 997),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_are_deterministic_and_user_specific() {
+        let a = profile_value(UserId(1), ProfileField::Email);
+        let b = profile_value(UserId(1), ProfileField::Email);
+        let c = profile_value(UserId(2), ProfileField::Email);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.contains('@'));
+    }
+
+    #[test]
+    fn birthdays_are_plausible_dates() {
+        for u in [0u64, 1, 44, 45, 1000, 99999] {
+            let bd = profile_value(UserId(u), ProfileField::Birthday);
+            let parts: Vec<u64> = bd.split('-').map(|p| p.parse().unwrap()).collect();
+            assert!((1960..=2004).contains(&parts[0]), "{bd}");
+            assert!((1..=12).contains(&parts[1]), "{bd}");
+            assert!((1..=28).contains(&parts[2]), "{bd}");
+        }
+    }
+
+    #[test]
+    fn every_field_maps_to_a_distinct_permission() {
+        let perms: std::collections::HashSet<_> = ProfileField::ALL
+            .iter()
+            .map(|f| f.required_permission())
+            .collect();
+        assert_eq!(perms.len(), ProfileField::ALL.len());
+    }
+}

@@ -1,0 +1,197 @@
+//! Stratified k-fold cross-validation.
+//!
+//! §5.1: *"In 5-fold cross validation, the dataset is randomly divided into
+//! five segments, and we test on each segment independently using the other
+//! four segments for training."* We stratify the folds (each fold receives
+//! its share of each class) so that heavily imbalanced ratios like 10:1
+//! still leave positives in every fold, and we fit the feature scaler on
+//! the training folds only.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::metrics::ConfusionMatrix;
+use crate::scale::Scaler;
+use crate::smo::{train, SvmParams};
+
+/// Aggregate result of one cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossValReport {
+    /// Confusion matrix summed over all folds (every example is tested
+    /// exactly once).
+    pub confusion: ConfusionMatrix,
+    /// Per-fold confusion matrices, in fold order.
+    pub folds: Vec<ConfusionMatrix>,
+}
+
+impl CrossValReport {
+    /// Overall accuracy across folds.
+    pub fn accuracy(&self) -> f64 {
+        self.confusion.accuracy()
+    }
+
+    /// Overall false-positive rate across folds.
+    pub fn false_positive_rate(&self) -> f64 {
+        self.confusion.false_positive_rate()
+    }
+
+    /// Overall false-negative rate across folds.
+    pub fn false_negative_rate(&self) -> f64 {
+        self.confusion.false_negative_rate()
+    }
+}
+
+/// Builds stratified fold assignments: returns `fold_of[i]` for each example.
+fn stratified_folds(data: &Dataset, k: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut fold_of = vec![0usize; data.len()];
+    for class_indices in [data.positive_indices(), data.negative_indices()] {
+        let mut idx = class_indices;
+        idx.shuffle(&mut rng);
+        for (pos, &i) in idx.iter().enumerate() {
+            fold_of[i] = pos % k;
+        }
+    }
+    fold_of
+}
+
+/// Runs stratified k-fold cross-validation, scaling features inside each
+/// fold (fit on train, apply to test).
+///
+/// # Panics
+/// Panics if `k < 2`, if the dataset is empty, or if either class has fewer
+/// than `k` examples (a fold would otherwise train on a single class).
+pub fn cross_validate(data: &Dataset, params: &SvmParams, k: usize, seed: u64) -> CrossValReport {
+    assert!(k >= 2, "cross-validation needs at least 2 folds");
+    assert!(!data.is_empty(), "cannot cross-validate an empty dataset");
+    let (pos, neg) = data.class_counts();
+    assert!(
+        pos >= k && neg >= k,
+        "need at least k examples of each class (have {pos} positive, {neg} negative, k = {k})"
+    );
+
+    let fold_of = stratified_folds(data, k, seed);
+    let mut total = ConfusionMatrix::default();
+    let mut folds = Vec::with_capacity(k);
+
+    for fold in 0..k {
+        let train_idx: Vec<usize> = (0..data.len()).filter(|&i| fold_of[i] != fold).collect();
+        let test_idx: Vec<usize> = (0..data.len()).filter(|&i| fold_of[i] == fold).collect();
+
+        let train_set = data.subset(&train_idx);
+        let test_set = data.subset(&test_idx);
+
+        let scaler = Scaler::fit(&train_set);
+        let train_scaled = scaler.transform_dataset(&train_set);
+        let model = train(&train_scaled, params);
+
+        let mut fold_cm = ConfusionMatrix::default();
+        for i in 0..test_set.len() {
+            let (x, y) = test_set.example(i);
+            let pred = model.predict(&scaler.transform(x));
+            fold_cm.record(y, pred);
+        }
+        total += fold_cm;
+        folds.push(fold_cm);
+    }
+
+    CrossValReport {
+        confusion: total,
+        folds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Kernel;
+    use rand::Rng;
+
+    fn gaussian_blobs(n_per_class: usize, separation: f64, seed: u64) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n_per_class {
+            // crude gaussian via CLT
+            let noise = |rng: &mut SmallRng| {
+                (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() - 3.0
+            };
+            xs.push(vec![noise(&mut rng) - separation, noise(&mut rng)]);
+            ys.push(-1.0);
+            xs.push(vec![noise(&mut rng) + separation, noise(&mut rng)]);
+            ys.push(1.0);
+        }
+        Dataset::new(xs, ys).unwrap()
+    }
+
+    #[test]
+    fn folds_are_stratified_and_partition() {
+        let data = gaussian_blobs(25, 1.0, 1);
+        let folds = stratified_folds(&data, 5, 42);
+        assert_eq!(folds.len(), data.len());
+        for fold in 0..5 {
+            let members: Vec<usize> =
+                (0..data.len()).filter(|&i| folds[i] == fold).collect();
+            let pos = members.iter().filter(|&&i| data.labels()[i] > 0.0).count();
+            assert_eq!(members.len(), 10, "balanced input → equal folds");
+            assert_eq!(pos, 5, "stratification keeps class balance per fold");
+        }
+    }
+
+    #[test]
+    fn every_example_tested_exactly_once() {
+        let data = gaussian_blobs(20, 2.0, 3);
+        let report = cross_validate(&data, &SvmParams::with_kernel(Kernel::linear()), 5, 9);
+        assert_eq!(report.confusion.total(), data.len());
+        let fold_total: usize = report.folds.iter().map(|f| f.total()).sum();
+        assert_eq!(fold_total, data.len());
+        assert_eq!(report.folds.len(), 5);
+    }
+
+    #[test]
+    fn well_separated_data_scores_high() {
+        let data = gaussian_blobs(50, 4.0, 5);
+        let report = cross_validate(&data, &SvmParams::paper_defaults(2), 5, 17);
+        assert!(
+            report.accuracy() > 0.95,
+            "expected near-perfect CV accuracy, got {}",
+            report.accuracy()
+        );
+    }
+
+    #[test]
+    fn overlapping_data_scores_lower_but_sane() {
+        let data = gaussian_blobs(60, 0.5, 7);
+        let report = cross_validate(&data, &SvmParams::paper_defaults(2), 5, 23);
+        let acc = report.accuracy();
+        assert!(acc > 0.5, "better than chance, got {acc}");
+        assert!(acc < 1.0, "overlap must cause some errors, got {acc}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = gaussian_blobs(20, 1.0, 11);
+        let p = SvmParams::with_kernel(Kernel::rbf(0.5));
+        let a = cross_validate(&data, &p, 5, 99);
+        let b = cross_validate(&data, &p, 5, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k examples of each class")]
+    fn too_few_positives_panics() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.0], vec![5.0]];
+        let ys = vec![1.0, -1.0, -1.0, -1.0, -1.0, -1.0];
+        let data = Dataset::new(xs, ys).unwrap();
+        cross_validate(&data, &SvmParams::with_kernel(Kernel::linear()), 5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn k_of_one_panics() {
+        let data = gaussian_blobs(5, 1.0, 1);
+        cross_validate(&data, &SvmParams::with_kernel(Kernel::linear()), 1, 1);
+    }
+}

@@ -1,0 +1,315 @@
+//! Labelled datasets for binary classification.
+//!
+//! Labels are `+1.0` (positive — in FRAppE, *malicious*) and `-1.0`
+//! (negative — *benign*). The module also implements the class-ratio
+//! subsampling the paper uses for Table 5 ("we sample apps at random from
+//! the D-Complete dataset" at benign:malicious ratios of 1:1 … 10:1).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A dense, labelled binary-classification dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<f64>,
+}
+
+/// Errors constructing a [`Dataset`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// `features` and `labels` have different lengths.
+    LengthMismatch {
+        /// Number of feature rows.
+        features: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// Feature rows have inconsistent dimensionality.
+    RaggedFeatures {
+        /// Dimension of the first row.
+        expected: usize,
+        /// Index of the first offending row.
+        row: usize,
+        /// Its dimension.
+        found: usize,
+    },
+    /// A label other than `+1.0` / `-1.0` was supplied.
+    InvalidLabel {
+        /// Index of the offending label.
+        row: usize,
+        /// Its value.
+        value: f64,
+    },
+    /// A feature value was NaN or infinite.
+    NonFiniteFeature {
+        /// Row of the offending value.
+        row: usize,
+        /// Column of the offending value.
+        col: usize,
+    },
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::LengthMismatch { features, labels } => {
+                write!(f, "{features} feature rows but {labels} labels")
+            }
+            DatasetError::RaggedFeatures {
+                expected,
+                row,
+                found,
+            } => write!(f, "row {row} has {found} features, expected {expected}"),
+            DatasetError::InvalidLabel { row, value } => {
+                write!(f, "label at row {row} is {value}, expected +1 or -1")
+            }
+            DatasetError::NonFiniteFeature { row, col } => {
+                write!(f, "non-finite feature at ({row}, {col})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl Dataset {
+    /// Builds a dataset, validating shape, label domain and finiteness.
+    pub fn new(features: Vec<Vec<f64>>, labels: Vec<f64>) -> Result<Self, DatasetError> {
+        if features.len() != labels.len() {
+            return Err(DatasetError::LengthMismatch {
+                features: features.len(),
+                labels: labels.len(),
+            });
+        }
+        if let Some(first) = features.first() {
+            let expected = first.len();
+            for (row, x) in features.iter().enumerate() {
+                if x.len() != expected {
+                    return Err(DatasetError::RaggedFeatures {
+                        expected,
+                        row,
+                        found: x.len(),
+                    });
+                }
+                for (col, v) in x.iter().enumerate() {
+                    if !v.is_finite() {
+                        return Err(DatasetError::NonFiniteFeature { row, col });
+                    }
+                }
+            }
+        }
+        for (row, &y) in labels.iter().enumerate() {
+            if y != 1.0 && y != -1.0 {
+                return Err(DatasetError::InvalidLabel { row, value: y });
+            }
+        }
+        Ok(Dataset { features, labels })
+    }
+
+    /// An empty dataset of dimension 0.
+    pub fn empty() -> Self {
+        Dataset {
+            features: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality (0 for an empty dataset).
+    pub fn dim(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Feature matrix.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// Label vector (`±1.0`).
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// The `i`-th example.
+    pub fn example(&self, i: usize) -> (&[f64], f64) {
+        (&self.features[i], self.labels[i])
+    }
+
+    /// Indices of positive (+1) examples.
+    pub fn positive_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.labels[i] > 0.0).collect()
+    }
+
+    /// Indices of negative (−1) examples.
+    pub fn negative_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.labels[i] < 0.0).collect()
+    }
+
+    /// Counts of (positives, negatives).
+    pub fn class_counts(&self) -> (usize, usize) {
+        let pos = self.labels.iter().filter(|&&y| y > 0.0).count();
+        (pos, self.len() - pos)
+    }
+
+    /// Returns the sub-dataset at the given indices (rows are cloned).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// Concatenates two datasets of equal dimension.
+    ///
+    /// # Panics
+    /// Panics if dimensions differ and both are non-empty.
+    pub fn concat(&self, other: &Dataset) -> Dataset {
+        if !self.is_empty() && !other.is_empty() {
+            assert_eq!(self.dim(), other.dim(), "dimension mismatch in concat");
+        }
+        let mut features = self.features.clone();
+        features.extend(other.features.iter().cloned());
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        Dataset { features, labels }
+    }
+
+    /// Draws a random sub-dataset with `neg_per_pos` negatives per positive
+    /// (the paper's benign:malicious ratio), keeping as many positives as
+    /// possible. If there are not enough negatives, positives are dropped to
+    /// preserve the requested ratio exactly.
+    ///
+    /// Deterministic for a given `seed`.
+    pub fn sample_with_ratio(&self, neg_per_pos: usize, seed: u64) -> Dataset {
+        assert!(neg_per_pos > 0, "ratio must be at least 1 negative per positive");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pos = self.positive_indices();
+        let mut neg = self.negative_indices();
+        pos.shuffle(&mut rng);
+        neg.shuffle(&mut rng);
+
+        // Largest (p, n) with n = p * ratio, p <= |pos|, n <= |neg|.
+        let p = pos.len().min(neg.len() / neg_per_pos);
+        let n = p * neg_per_pos;
+        let mut idx: Vec<usize> = pos[..p].to_vec();
+        idx.extend_from_slice(&neg[..n]);
+        idx.shuffle(&mut rng);
+        self.subset(&idx)
+    }
+
+    /// Returns a shuffled copy (deterministic for a given `seed`).
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut SmallRng::seed_from_u64(seed));
+        self.subset(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(pos: usize, neg: usize) -> Dataset {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..pos {
+            xs.push(vec![i as f64, 1.0]);
+            ys.push(1.0);
+        }
+        for i in 0..neg {
+            xs.push(vec![i as f64, -1.0]);
+            ys.push(-1.0);
+        }
+        Dataset::new(xs, ys).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            Dataset::new(vec![vec![1.0]], vec![]),
+            Err(DatasetError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![1.0, -1.0]),
+            Err(DatasetError::RaggedFeatures { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(vec![vec![1.0]], vec![0.5]),
+            Err(DatasetError::InvalidLabel { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(vec![vec![f64::NAN]], vec![1.0]),
+            Err(DatasetError::NonFiniteFeature { .. })
+        ));
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = toy(3, 5);
+        assert_eq!(d.len(), 8);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.class_counts(), (3, 5));
+        assert_eq!(d.positive_indices().len(), 3);
+        assert_eq!(d.negative_indices().len(), 5);
+        let (x, y) = d.example(0);
+        assert_eq!(x, &[0.0, 1.0]);
+        assert_eq!(y, 1.0);
+    }
+
+    #[test]
+    fn ratio_sampling_exact_ratio() {
+        let d = toy(100, 1000);
+        let s = d.sample_with_ratio(7, 42);
+        let (p, n) = s.class_counts();
+        assert_eq!(n, 7 * p);
+        assert_eq!(p, 100, "all positives kept when negatives suffice");
+    }
+
+    #[test]
+    fn ratio_sampling_drops_positives_when_negatives_scarce() {
+        let d = toy(100, 30);
+        let s = d.sample_with_ratio(10, 1);
+        let (p, n) = s.class_counts();
+        assert_eq!(p, 3);
+        assert_eq!(n, 30);
+    }
+
+    #[test]
+    fn ratio_sampling_is_deterministic() {
+        let d = toy(20, 60);
+        let a = d.sample_with_ratio(2, 7);
+        let b = d.sample_with_ratio(2, 7);
+        assert_eq!(a, b);
+        let c = d.sample_with_ratio(2, 8);
+        assert_ne!(a, c, "different seed should differ (overwhelmingly likely)");
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let d = toy(5, 5);
+        let s = d.shuffled(3);
+        assert_eq!(s.len(), d.len());
+        assert_eq!(s.class_counts(), d.class_counts());
+    }
+
+    #[test]
+    fn subset_and_concat() {
+        let d = toy(2, 2);
+        let a = d.subset(&[0, 1]);
+        let b = d.subset(&[2, 3]);
+        let back = a.concat(&b);
+        assert_eq!(back, d);
+        assert_eq!(Dataset::empty().concat(&d), d);
+    }
+}

@@ -1,0 +1,125 @@
+//! Grid search over `(C, γ)`.
+//!
+//! The paper fixes libsvm's defaults; the ablation benches (DESIGN.md §4)
+//! ask how sensitive the result is to that choice, which this module
+//! answers by exhaustive search over a small grid scored by k-fold
+//! cross-validation accuracy.
+
+use crate::crossval::{cross_validate, CrossValReport};
+use crate::dataset::Dataset;
+use crate::kernel::Kernel;
+use crate::smo::SvmParams;
+
+/// One evaluated grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPoint {
+    /// Soft-margin cost evaluated.
+    pub c: f64,
+    /// RBF gamma evaluated.
+    pub gamma: f64,
+    /// Cross-validation report at this point.
+    pub report: CrossValReport,
+}
+
+/// Full result of a grid search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSearchResult {
+    /// All evaluated points, in sweep order (C-major).
+    pub points: Vec<GridPoint>,
+}
+
+impl GridSearchResult {
+    /// The point with the highest cross-validation accuracy (ties broken by
+    /// earlier sweep order, i.e. smaller C then smaller gamma).
+    pub fn best(&self) -> &GridPoint {
+        self.points
+            .iter()
+            .max_by(|a, b| {
+                a.report
+                    .accuracy()
+                    .partial_cmp(&b.report.accuracy())
+                    .expect("accuracies are finite")
+                    // max_by keeps the *last* maximal element; invert the
+                    // index order so earlier points win ties.
+                    .then(std::cmp::Ordering::Greater.reverse())
+            })
+            .expect("grid search evaluated at least one point")
+    }
+}
+
+/// Evaluates every `(C, γ)` combination with k-fold CV on RBF kernels.
+///
+/// # Panics
+/// Panics if either grid axis is empty, or on the conditions of
+/// [`cross_validate`].
+pub fn grid_search(
+    data: &Dataset,
+    cs: &[f64],
+    gammas: &[f64],
+    k: usize,
+    seed: u64,
+) -> GridSearchResult {
+    assert!(!cs.is_empty() && !gammas.is_empty(), "empty grid axis");
+    let mut points = Vec::with_capacity(cs.len() * gammas.len());
+    for &c in cs {
+        for &gamma in gammas {
+            let params = SvmParams::with_kernel(Kernel::rbf(gamma)).with_c(c);
+            let report = cross_validate(data, &params, k, seed);
+            points.push(GridPoint { c, gamma, report });
+        }
+    }
+    GridSearchResult { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ring_data(seed: u64) -> Dataset {
+        // Inner disk = +1, outer ring = −1: needs a reasonable gamma.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..60 {
+            let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+            let r_in = rng.gen::<f64>() * 0.5;
+            xs.push(vec![r_in * theta.cos(), r_in * theta.sin()]);
+            ys.push(1.0);
+            let r_out = 1.5 + rng.gen::<f64>() * 0.5;
+            xs.push(vec![r_out * theta.cos(), r_out * theta.sin()]);
+            ys.push(-1.0);
+        }
+        Dataset::new(xs, ys).unwrap()
+    }
+
+    #[test]
+    fn evaluates_full_grid() {
+        let data = ring_data(1);
+        let res = grid_search(&data, &[0.1, 1.0], &[0.5, 1.0, 2.0], 3, 7);
+        assert_eq!(res.points.len(), 6);
+        // sweep order is C-major
+        assert_eq!(res.points[0].c, 0.1);
+        assert_eq!(res.points[0].gamma, 0.5);
+        assert_eq!(res.points[5].c, 1.0);
+        assert_eq!(res.points[5].gamma, 2.0);
+    }
+
+    #[test]
+    fn best_point_separates_rings() {
+        let data = ring_data(2);
+        let res = grid_search(&data, &[1.0, 10.0], &[0.1, 1.0], 3, 7);
+        assert!(
+            res.best().report.accuracy() > 0.9,
+            "ring data should be solvable, best acc {}",
+            res.best().report.accuracy()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid axis")]
+    fn empty_axis_panics() {
+        grid_search(&ring_data(3), &[], &[1.0], 3, 1);
+    }
+}

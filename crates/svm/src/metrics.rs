@@ -1,0 +1,225 @@
+//! Classification metrics.
+//!
+//! The paper evaluates with exactly three numbers (§5.1): *"Accuracy is
+//! defined as the ratio of correctly identified apps ... False positive
+//! (negative) rate is the fraction of benign (malicious) apps incorrectly
+//! classified as malicious (benign)."* [`ConfusionMatrix`] implements those
+//! definitions, plus the standard derived metrics for the extended analyses.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+use serde::{Deserialize, Serialize};
+
+/// A 2×2 confusion matrix for a binary classifier where `+1` is the
+/// *positive* (malicious) class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Malicious apps classified malicious.
+    pub true_positives: usize,
+    /// Benign apps classified malicious.
+    pub false_positives: usize,
+    /// Benign apps classified benign.
+    pub true_negatives: usize,
+    /// Malicious apps classified benign.
+    pub false_negatives: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds a matrix from parallel slices of true and predicted `±1`
+    /// labels.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn from_predictions(truth: &[f64], predicted: &[f64]) -> Self {
+        assert_eq!(truth.len(), predicted.len(), "label/prediction mismatch");
+        let mut m = ConfusionMatrix::default();
+        for (&y, &p) in truth.iter().zip(predicted) {
+            m.record(y, p);
+        }
+        m
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, truth: f64, predicted: f64) {
+        match (truth > 0.0, predicted > 0.0) {
+            (true, true) => self.true_positives += 1,
+            (false, true) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+            (true, false) => self.false_negatives += 1,
+        }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Correct classifications over total (0 observations ⇒ 0).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.true_positives + self.true_negatives) as f64 / total as f64
+    }
+
+    /// Fraction of benign (negative) examples classified malicious — the
+    /// paper's FP rate. 0 when there are no negatives.
+    pub fn false_positive_rate(&self) -> f64 {
+        let negs = self.false_positives + self.true_negatives;
+        if negs == 0 {
+            return 0.0;
+        }
+        self.false_positives as f64 / negs as f64
+    }
+
+    /// Fraction of malicious (positive) examples classified benign — the
+    /// paper's FN rate. 0 when there are no positives.
+    pub fn false_negative_rate(&self) -> f64 {
+        let pos = self.true_positives + self.false_negatives;
+        if pos == 0 {
+            return 0.0;
+        }
+        self.false_negatives as f64 / pos as f64
+    }
+
+    /// TP / (TP + FP); 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let pred_pos = self.true_positives + self.false_positives;
+        if pred_pos == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / pred_pos as f64
+    }
+
+    /// TP / (TP + FN); 0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        1.0 - self.false_negative_rate()
+    }
+
+    /// Harmonic mean of precision and recall (0 if both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+impl AddAssign for ConfusionMatrix {
+    fn add_assign(&mut self, rhs: ConfusionMatrix) {
+        self.true_positives += rhs.true_positives;
+        self.false_positives += rhs.false_positives;
+        self.true_negatives += rhs.true_negatives;
+        self.false_negatives += rhs.false_negatives;
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "acc {:.1}% | FP {:.1}% | FN {:.1}% (tp {} fp {} tn {} fn {})",
+            self.accuracy() * 100.0,
+            self.false_positive_rate() * 100.0,
+            self.false_negative_rate() * 100.0,
+            self.true_positives,
+            self.false_positives,
+            self.true_negatives,
+            self.false_negatives,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_predictions_counts_correctly() {
+        let truth = [1.0, 1.0, -1.0, -1.0, 1.0];
+        let pred = [1.0, -1.0, -1.0, 1.0, 1.0];
+        let m = ConfusionMatrix::from_predictions(&truth, &pred);
+        assert_eq!(m.true_positives, 2);
+        assert_eq!(m.false_negatives, 1);
+        assert_eq!(m.true_negatives, 1);
+        assert_eq!(m.false_positives, 1);
+        assert_eq!(m.total(), 5);
+    }
+
+    #[test]
+    fn paper_metric_definitions() {
+        // 90 benign, 10 malicious; 1 benign flagged, 2 malicious missed.
+        let m = ConfusionMatrix {
+            true_positives: 8,
+            false_negatives: 2,
+            false_positives: 1,
+            true_negatives: 89,
+        };
+        assert!((m.accuracy() - 0.97).abs() < 1e-12);
+        assert!((m.false_positive_rate() - 1.0 / 90.0).abs() < 1e-12);
+        assert!((m.false_negative_rate() - 0.2).abs() < 1e-12);
+        assert!((m.recall() - 0.8).abs() < 1e-12);
+        assert!((m.precision() - 8.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let m = ConfusionMatrix {
+            true_positives: 5,
+            true_negatives: 5,
+            ..Default::default()
+        };
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.false_positive_rate(), 0.0);
+        assert_eq!(m.false_negative_rate(), 0.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_cases_dont_divide_by_zero() {
+        let empty = ConfusionMatrix::default();
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.false_positive_rate(), 0.0);
+        assert_eq!(empty.false_negative_rate(), 0.0);
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates_folds() {
+        let mut total = ConfusionMatrix::default();
+        total += ConfusionMatrix {
+            true_positives: 1,
+            false_positives: 2,
+            true_negatives: 3,
+            false_negatives: 4,
+        };
+        total += ConfusionMatrix {
+            true_positives: 10,
+            false_positives: 20,
+            true_negatives: 30,
+            false_negatives: 40,
+        };
+        assert_eq!(total.true_positives, 11);
+        assert_eq!(total.false_positives, 22);
+        assert_eq!(total.true_negatives, 33);
+        assert_eq!(total.false_negatives, 44);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let m = ConfusionMatrix {
+            true_positives: 1,
+            false_positives: 0,
+            true_negatives: 1,
+            false_negatives: 0,
+        };
+        let s = m.to_string();
+        assert!(s.contains("acc 100.0%"), "got {s}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Trained SVM models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernel::Kernel;
+
+/// A trained C-SVC model.
+///
+/// The decision function is
+///
+/// ```text
+///   f(x) = Σᵢ coefᵢ · K(svᵢ, x) − rho
+/// ```
+///
+/// where `coefᵢ = yᵢ·αᵢ` are the signed dual coefficients of the support
+/// vectors, and the predicted label is `sign(f(x))` (`+1` on ties, which in
+/// FRAppE errs on the side of flagging).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvmModel {
+    kernel: Kernel,
+    support_vectors: Vec<Vec<f64>>,
+    dual_coefs: Vec<f64>,
+    rho: f64,
+}
+
+impl SvmModel {
+    /// Assembles a model from solver output.
+    ///
+    /// # Panics
+    /// Panics if `support_vectors` and `dual_coefs` lengths differ.
+    pub fn new(
+        kernel: Kernel,
+        support_vectors: Vec<Vec<f64>>,
+        dual_coefs: Vec<f64>,
+        rho: f64,
+    ) -> Self {
+        assert_eq!(
+            support_vectors.len(),
+            dual_coefs.len(),
+            "one dual coefficient per support vector"
+        );
+        SvmModel {
+            kernel,
+            support_vectors,
+            dual_coefs,
+            rho,
+        }
+    }
+
+    /// The kernel the model was trained with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Number of support vectors.
+    pub fn support_vector_count(&self) -> usize {
+        self.support_vectors.len()
+    }
+
+    /// Signed dual coefficients (`yᵢ·αᵢ`).
+    pub fn dual_coefs(&self) -> &[f64] {
+        &self.dual_coefs
+    }
+
+    /// The bias term `rho`.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Raw decision value `f(x)`; positive means class `+1`.
+    pub fn decision_value(&self, x: &[f64]) -> f64 {
+        let mut sum = 0.0;
+        for (sv, &coef) in self.support_vectors.iter().zip(&self.dual_coefs) {
+            sum += coef * self.kernel.compute(sv, x);
+        }
+        sum - self.rho
+    }
+
+    /// Predicted label: `+1.0` if `f(x) ≥ 0`, else `-1.0`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.decision_value(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Predicts a batch of examples.
+    pub fn predict_batch<'a, I>(&self, xs: I) -> Vec<f64>
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        xs.into_iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built linear model: f(x) = 1·K(sv1,x) − 1·K(sv2,x) − 0
+    /// with sv1 = (1,0), sv2 = (−1,0)  ⇒  f(x) = 2·x₀.
+    fn hand_model() -> SvmModel {
+        SvmModel::new(
+            Kernel::linear(),
+            vec![vec![1.0, 0.0], vec![-1.0, 0.0]],
+            vec![1.0, -1.0],
+            0.0,
+        )
+    }
+
+    #[test]
+    fn decision_value_matches_hand_computation() {
+        let m = hand_model();
+        assert!((m.decision_value(&[3.0, 5.0]) - 6.0).abs() < 1e-12);
+        assert!((m.decision_value(&[-2.0, 1.0]) + 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_signs() {
+        let m = hand_model();
+        assert_eq!(m.predict(&[0.5, 0.0]), 1.0);
+        assert_eq!(m.predict(&[-0.5, 0.0]), -1.0);
+        // tie goes to +1
+        assert_eq!(m.predict(&[0.0, 9.0]), 1.0);
+    }
+
+    #[test]
+    fn rho_shifts_boundary() {
+        let m = SvmModel::new(
+            Kernel::linear(),
+            vec![vec![1.0, 0.0], vec![-1.0, 0.0]],
+            vec![1.0, -1.0],
+            1.0,
+        );
+        // f(x) = 2x₀ − 1: boundary at x₀ = 0.5
+        assert_eq!(m.predict(&[0.4, 0.0]), -1.0);
+        assert_eq!(m.predict(&[0.6, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn batch_prediction() {
+        let m = hand_model();
+        let a = [1.0, 0.0];
+        let b = [-1.0, 0.0];
+        assert_eq!(m.predict_batch([&a[..], &b[..]]), vec![1.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one dual coefficient per support vector")]
+    fn mismatched_lengths_panic() {
+        SvmModel::new(Kernel::linear(), vec![vec![1.0]], vec![], 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Per-feature min–max scaling to `[-1, 1]`.
+//!
+//! This mirrors libsvm's companion tool `svm-scale`, which the standard
+//! libsvm workflow (and therefore the paper's) applies before training:
+//! RBF kernels are distance-based, so features must share a scale.
+//!
+//! The scaler is **fit on training data only** and then applied to test
+//! data — fitting on the combined set would leak test statistics into
+//! training (the cross-validation driver enforces this discipline).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Fitted per-feature affine transform onto `[-1, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl Scaler {
+    /// Learns per-feature minima and maxima from a dataset.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset (there is nothing to fit).
+    pub fn fit(data: &Dataset) -> Scaler {
+        assert!(!data.is_empty(), "cannot fit a scaler on an empty dataset");
+        let dim = data.dim();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for x in data.features() {
+            for (d, &v) in x.iter().enumerate() {
+                mins[d] = mins[d].min(v);
+                maxs[d] = maxs[d].max(v);
+            }
+        }
+        Scaler { mins, maxs }
+    }
+
+    /// Scales one feature vector. Constant features (min == max) map to 0;
+    /// out-of-range values (possible on test data) extrapolate linearly,
+    /// matching `svm-scale` semantics.
+    ///
+    /// # Panics
+    /// Panics if `x` has the wrong dimensionality.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mins.len(), "dimension mismatch");
+        x.iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                let (lo, hi) = (self.mins[d], self.maxs[d]);
+                if hi <= lo {
+                    0.0
+                } else {
+                    -1.0 + 2.0 * (v - lo) / (hi - lo)
+                }
+            })
+            .collect()
+    }
+
+    /// Scales an entire dataset, preserving labels.
+    pub fn transform_dataset(&self, data: &Dataset) -> Dataset {
+        let features = data.features().iter().map(|x| self.transform(x)).collect();
+        Dataset::new(features, data.labels().to_vec())
+            .expect("scaling preserves shape and produces finite values")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn data(rows: Vec<Vec<f64>>) -> Dataset {
+        let n = rows.len();
+        let labels = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        Dataset::new(rows, labels).unwrap()
+    }
+
+    #[test]
+    fn maps_training_range_to_unit_box() {
+        let d = data(vec![vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 30.0]]);
+        let s = Scaler::fit(&d);
+        assert_eq!(s.transform(&[0.0, 10.0]), vec![-1.0, -1.0]);
+        assert_eq!(s.transform(&[10.0, 30.0]), vec![1.0, 1.0]);
+        assert_eq!(s.transform(&[5.0, 20.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let d = data(vec![vec![7.0, 1.0], vec![7.0, 2.0]]);
+        let s = Scaler::fit(&d);
+        assert_eq!(s.transform(&[7.0, 1.5])[0], 0.0);
+    }
+
+    #[test]
+    fn test_points_extrapolate() {
+        let d = data(vec![vec![0.0], vec![10.0]]);
+        let s = Scaler::fit(&d);
+        assert_eq!(s.transform(&[20.0]), vec![3.0]);
+        assert_eq!(s.transform(&[-10.0]), vec![-3.0]);
+    }
+
+    #[test]
+    fn transform_dataset_preserves_labels() {
+        let d = data(vec![vec![1.0], vec![3.0], vec![2.0]]);
+        let s = Scaler::fit(&d);
+        let t = s.transform_dataset(&d);
+        assert_eq!(t.labels(), d.labels());
+        assert_eq!(t.len(), d.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_fit_panics() {
+        Scaler::fit(&Dataset::empty());
+    }
+
+    proptest! {
+        #[test]
+        fn training_points_land_in_unit_box(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-100.0f64..100.0, 3), 2..20),
+        ) {
+            let d = data(rows.clone());
+            let s = Scaler::fit(&d);
+            for row in &rows {
+                for v in s.transform(row) {
+                    prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&v));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! Sequential Minimal Optimization for the C-SVC dual.
+//!
+//! Solves
+//!
+//! ```text
+//!   min_α  ½ αᵀQα − eᵀα     s.t.  0 ≤ αᵢ ≤ C,  yᵀα = 0
+//! ```
+//!
+//! where `Q_ij = y_i y_j K(x_i, x_j)`, following the structure of libsvm's
+//! solver: maximal-violating-pair working-set selection, the analytic
+//! two-variable subproblem update (with clipping to the box), incremental
+//! gradient maintenance, and a bounded LRU cache of kernel rows.
+//!
+//! Shrinking is intentionally omitted — problem sizes in this reproduction
+//! (≲15K examples, ≤16 features) converge quickly without it, and omitting
+//! it keeps the solver auditable.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::dataset::Dataset;
+use crate::kernel::Kernel;
+use crate::model::SvmModel;
+
+/// Numerical floor for the second-derivative term (libsvm's `TAU`).
+const TAU: f64 = 1e-12;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvmParams {
+    /// Kernel function.
+    pub kernel: Kernel,
+    /// Soft-margin cost (libsvm default, and the paper's setting: 1.0).
+    pub c: f64,
+    /// Per-class cost multiplier for the positive class (libsvm's `-w1`):
+    /// the effective cost for a positive example is `c * weight_pos`.
+    /// Raising it buys recall at the price of false positives — the lever
+    /// behind Table 5's ratio-dependent FP/FN trade-off.
+    pub weight_pos: f64,
+    /// Per-class cost multiplier for the negative class (libsvm's `-w-1`).
+    pub weight_neg: f64,
+    /// KKT-violation stopping tolerance (libsvm default 1e-3).
+    pub eps: f64,
+    /// Hard cap on optimization iterations; `None` uses
+    /// `max(10_000_000, 100·n)`, mirroring libsvm's safeguard.
+    pub max_iter: Option<usize>,
+    /// Maximum number of cached kernel rows (bounds memory at
+    /// `cache_rows · n · 8` bytes).
+    pub cache_rows: usize,
+}
+
+impl SvmParams {
+    /// Parameters with the given kernel and libsvm defaults for the rest.
+    pub fn with_kernel(kernel: Kernel) -> Self {
+        SvmParams {
+            kernel,
+            c: 1.0,
+            weight_pos: 1.0,
+            weight_neg: 1.0,
+            eps: 1e-3,
+            max_iter: None,
+            cache_rows: 4096,
+        }
+    }
+
+    /// The paper's configuration: RBF kernel with `gamma = 1/num_features`,
+    /// `C = 1`.
+    pub fn paper_defaults(num_features: usize) -> Self {
+        Self::with_kernel(Kernel::rbf_default_gamma(num_features))
+    }
+
+    /// Sets the soft-margin cost.
+    pub fn with_c(mut self, c: f64) -> Self {
+        self.c = c;
+        self
+    }
+
+    /// Sets per-class cost multipliers (libsvm's `-wi`).
+    ///
+    /// # Panics
+    /// Panics unless both weights are positive.
+    pub fn with_class_weights(mut self, weight_pos: f64, weight_neg: f64) -> Self {
+        assert!(
+            weight_pos > 0.0 && weight_neg > 0.0,
+            "class weights must be positive"
+        );
+        self.weight_pos = weight_pos;
+        self.weight_neg = weight_neg;
+        self
+    }
+}
+
+/// Bounded insertion-order kernel-row cache.
+///
+/// Rows of `K` (not `Q`; the `y_i y_j` signs are applied by the caller) are
+/// computed lazily and evicted FIFO once `capacity` rows are resident. For
+/// SMO the hot set is the support vectors, which is far smaller than `n`,
+/// so FIFO behaves close to LRU here at a fraction of the bookkeeping.
+struct RowCache {
+    rows: HashMap<usize, Vec<f64>>,
+    order: VecDeque<usize>,
+    capacity: usize,
+}
+
+impl RowCache {
+    fn new(capacity: usize) -> Self {
+        RowCache {
+            rows: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(2), // the update always needs two rows
+        }
+    }
+
+    /// Kernel row `i`, computing it via `compute` on a miss.
+    fn get_or_compute(
+        &mut self,
+        i: usize,
+        compute: impl FnOnce() -> Vec<f64>,
+    ) -> &[f64] {
+        if !self.rows.contains_key(&i) {
+            if self.rows.len() >= self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.rows.remove(&old);
+                }
+            }
+            self.rows.insert(i, compute());
+            self.order.push_back(i);
+        }
+        self.rows.get(&i).expect("row just inserted")
+    }
+}
+
+/// Outcome details of a training run (exposed for tests and benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Optimization iterations performed.
+    pub iterations: usize,
+    /// Whether the KKT tolerance was met (vs. iteration cap hit).
+    pub converged: bool,
+    /// Number of support vectors in the final model.
+    pub support_vectors: usize,
+}
+
+/// Trains a C-SVC on the dataset. See [`train_with_stats`] for solver
+/// diagnostics.
+///
+/// # Panics
+/// Panics if the dataset is empty or contains a single class — callers are
+/// expected to construct meaningful binary problems (the paper's datasets
+/// always contain both classes).
+pub fn train(data: &Dataset, params: &SvmParams) -> SvmModel {
+    train_with_stats(data, params).0
+}
+
+/// Trains a C-SVC, also returning solver statistics.
+pub fn train_with_stats(data: &Dataset, params: &SvmParams) -> (SvmModel, SolveStats) {
+    let n = data.len();
+    assert!(n > 0, "cannot train on an empty dataset");
+    let (pos, neg) = data.class_counts();
+    assert!(
+        pos > 0 && neg > 0,
+        "training requires both classes (got {pos} positive, {neg} negative)"
+    );
+    assert!(params.c > 0.0, "C must be positive");
+
+    let xs = data.features();
+    let ys = data.labels();
+    let eps = params.eps;
+    // Per-example box bound: C_i = C * weight(y_i) (libsvm's -wi).
+    let c_of: Vec<f64> = ys
+        .iter()
+        .map(|&y| {
+            params.c * if y > 0.0 { params.weight_pos } else { params.weight_neg }
+        })
+        .collect();
+    let max_iter = params.max_iter.unwrap_or_else(|| 10_000_000.max(100 * n));
+
+    let mut alpha = vec![0.0f64; n];
+    // G_i = Σ_j Q_ij α_j − 1; with α = 0, G = −1 everywhere.
+    let mut grad = vec![-1.0f64; n];
+    let mut cache = RowCache::new(params.cache_rows);
+
+    let kernel_row = |i: usize| -> Vec<f64> {
+        let xi = &xs[i];
+        xs.iter().map(|xj| params.kernel.compute(xi, xj)).collect()
+    };
+    // Diagonal is needed every selection step; precompute once.
+    let diag: Vec<f64> = (0..n)
+        .map(|i| params.kernel.compute(&xs[i], &xs[i]))
+        .collect();
+
+    let mut iterations = 0usize;
+    let mut converged = false;
+
+    while iterations < max_iter {
+        iterations += 1;
+
+        // --- working-set selection: maximal violating pair ---------------
+        // i = argmax_{t ∈ I_up} −y_t G_t ; j = argmin_{t ∈ I_low} −y_t G_t
+        let mut g_max = f64::NEG_INFINITY;
+        let mut g_min = f64::INFINITY;
+        let mut i_sel = usize::MAX;
+        let mut j_sel = usize::MAX;
+        for t in 0..n {
+            let yt = ys[t];
+            let v = -yt * grad[t];
+            let in_up = (yt > 0.0 && alpha[t] < c_of[t]) || (yt < 0.0 && alpha[t] > 0.0);
+            let in_low = (yt > 0.0 && alpha[t] > 0.0) || (yt < 0.0 && alpha[t] < c_of[t]);
+            if in_up && v > g_max {
+                g_max = v;
+                i_sel = t;
+            }
+            if in_low && v < g_min {
+                g_min = v;
+                j_sel = t;
+            }
+        }
+
+        if g_max - g_min < eps || i_sel == usize::MAX || j_sel == usize::MAX {
+            converged = true;
+            break;
+        }
+        let (i, j) = (i_sel, j_sel);
+
+        // --- two-variable analytic update (libsvm's formulation) ---------
+        let ki: Vec<f64> = cache.get_or_compute(i, || kernel_row(i)).to_vec();
+        let kij = ki[j];
+        let (yi, yj) = (ys[i], ys[j]);
+        let (old_ai, old_aj) = (alpha[i], alpha[j]);
+
+        // Curvature along the feasible direction: ‖φ(xᵢ)−φ(xⱼ)‖², identical
+        // in both label branches (libsvm's QD[i]+QD[j]±2·Q_i[j] both reduce
+        // to this once the y_i y_j sign inside Q is expanded).
+        let mut quad = diag[i] + diag[j] - 2.0 * kij;
+        if quad <= 0.0 {
+            quad = TAU;
+        }
+        let (c_i, c_j) = (c_of[i], c_of[j]);
+        if yi != yj {
+            let delta = (-grad[i] - grad[j]) / quad;
+            let diff = alpha[i] - alpha[j];
+            alpha[i] += delta;
+            alpha[j] += delta;
+            if diff > 0.0 {
+                if alpha[j] < 0.0 {
+                    alpha[j] = 0.0;
+                    alpha[i] = diff;
+                }
+            } else if alpha[i] < 0.0 {
+                alpha[i] = 0.0;
+                alpha[j] = -diff;
+            }
+            if diff > c_i - c_j {
+                if alpha[i] > c_i {
+                    alpha[i] = c_i;
+                    alpha[j] = c_i - diff;
+                }
+            } else if alpha[j] > c_j {
+                alpha[j] = c_j;
+                alpha[i] = c_j + diff;
+            }
+        } else {
+            let delta = (grad[i] - grad[j]) / quad;
+            let sum = alpha[i] + alpha[j];
+            alpha[i] -= delta;
+            alpha[j] += delta;
+            if sum > c_i {
+                if alpha[i] > c_i {
+                    alpha[i] = c_i;
+                    alpha[j] = sum - c_i;
+                }
+            } else if alpha[j] < 0.0 {
+                alpha[j] = 0.0;
+                alpha[i] = sum;
+            }
+            if sum > c_j {
+                if alpha[j] > c_j {
+                    alpha[j] = c_j;
+                    alpha[i] = sum - c_j;
+                }
+            } else if alpha[i] < 0.0 {
+                alpha[i] = 0.0;
+                alpha[j] = sum;
+            }
+        }
+
+        // --- incremental gradient update ---------------------------------
+        let dai = alpha[i] - old_ai;
+        let daj = alpha[j] - old_aj;
+        if dai != 0.0 || daj != 0.0 {
+            let kj: Vec<f64> = cache.get_or_compute(j, || kernel_row(j)).to_vec();
+            for t in 0..n {
+                // Q_ti = y_t y_i K_ti
+                grad[t] += ys[t] * (yi * ki[t] * dai + yj * kj[t] * daj);
+            }
+        }
+    }
+
+    // --- bias (rho) --------------------------------------------------------
+    // For free SVs (0 < α < C), KKT gives rho = y_i G_i; average them.
+    // If none are free, take the midpoint of the feasible interval.
+    let mut n_free = 0usize;
+    let mut sum_free = 0.0f64;
+    let mut ub = f64::INFINITY;
+    let mut lb = f64::NEG_INFINITY;
+    for t in 0..n {
+        let yg = ys[t] * grad[t];
+        let at_upper = alpha[t] >= c_of[t] - 1e-12;
+        let at_lower = alpha[t] <= 1e-12;
+        if at_upper {
+            if ys[t] < 0.0 {
+                ub = ub.min(yg);
+            } else {
+                lb = lb.max(yg);
+            }
+        } else if at_lower {
+            if ys[t] > 0.0 {
+                ub = ub.min(yg);
+            } else {
+                lb = lb.max(yg);
+            }
+        } else {
+            n_free += 1;
+            sum_free += yg;
+        }
+    }
+    let rho = if n_free > 0 {
+        sum_free / n_free as f64
+    } else {
+        (ub + lb) / 2.0
+    };
+
+    // --- extract support vectors -------------------------------------------
+    let mut sv = Vec::new();
+    let mut coef = Vec::new();
+    for t in 0..n {
+        if alpha[t] > 1e-12 {
+            sv.push(xs[t].clone());
+            coef.push(ys[t] * alpha[t]);
+        }
+    }
+    let stats = SolveStats {
+        iterations,
+        converged,
+        support_vectors: sv.len(),
+    };
+    (SvmModel::new(params.kernel, sv, coef, rho), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn separable_2d(n_per_class: usize, gap: f64, seed: u64) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n_per_class {
+            xs.push(vec![rng.gen::<f64>() - gap, rng.gen::<f64>()]);
+            ys.push(-1.0);
+            xs.push(vec![rng.gen::<f64>() + gap, rng.gen::<f64>()]);
+            ys.push(1.0);
+        }
+        Dataset::new(xs, ys).unwrap()
+    }
+
+    #[test]
+    fn linear_separable_perfect_training_accuracy() {
+        let data = separable_2d(50, 1.5, 1);
+        let (model, stats) = train_with_stats(&data, &SvmParams::with_kernel(Kernel::linear()));
+        assert!(stats.converged, "solver did not converge");
+        for i in 0..data.len() {
+            let (x, y) = data.example(i);
+            assert_eq!(model.predict(x), y, "misclassified training point {i}");
+        }
+    }
+
+    #[test]
+    fn rbf_solves_xor() {
+        // XOR is not linearly separable; RBF must nail it.
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+        ];
+        let ys = vec![-1.0, -1.0, 1.0, 1.0];
+        let data = Dataset::new(xs, ys).unwrap();
+        let params = SvmParams::with_kernel(Kernel::rbf(2.0)).with_c(100.0);
+        let model = train(&data, &params);
+        assert_eq!(model.predict(&[0.0, 0.0]), -1.0);
+        assert_eq!(model.predict(&[1.0, 1.0]), -1.0);
+        assert_eq!(model.predict(&[0.0, 1.0]), 1.0);
+        assert_eq!(model.predict(&[1.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn decision_values_have_margin_on_separable_data() {
+        let data = separable_2d(30, 2.0, 7);
+        let model = train(&data, &SvmParams::with_kernel(Kernel::linear()));
+        // Far-away points should have decisively signed decision values.
+        assert!(model.decision_value(&[-3.0, 0.5]) < -1.0);
+        assert!(model.decision_value(&[4.0, 0.5]) > 1.0);
+    }
+
+    #[test]
+    fn support_vectors_are_a_subset() {
+        let data = separable_2d(40, 1.0, 3);
+        let (model, stats) = train_with_stats(&data, &SvmParams::with_kernel(Kernel::linear()));
+        assert_eq!(stats.support_vectors, model.support_vector_count());
+        assert!(model.support_vector_count() >= 2, "need at least one SV per class");
+        assert!(
+            model.support_vector_count() < data.len(),
+            "separable problem must not make everything an SV"
+        );
+    }
+
+    #[test]
+    fn dual_constraint_holds() {
+        // Σ y_i α_i = 0 ⇔ Σ coef_i = 0 (coef = y·α).
+        let data = separable_2d(25, 0.3, 11);
+        let params = SvmParams::with_kernel(Kernel::rbf(1.0));
+        let model = train(&data, &params);
+        let sum: f64 = model.dual_coefs().iter().sum();
+        assert!(sum.abs() < 1e-6, "Σ yα = {sum}");
+    }
+
+    #[test]
+    fn alphas_respect_box_constraint() {
+        let data = separable_2d(25, 0.1, 13); // overlapping -> some α at C
+        let c = 0.5;
+        let params = SvmParams::with_kernel(Kernel::rbf(1.0)).with_c(c);
+        let model = train(&data, &params);
+        for &co in model.dual_coefs() {
+            assert!(co.abs() <= c + 1e-9, "|yα| = {} exceeds C = {c}", co.abs());
+        }
+    }
+
+    #[test]
+    fn noisy_data_still_trains_reasonably() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..200 {
+            let y: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            // 10% label noise on an otherwise separable problem
+            let flip = rng.gen_bool(0.1);
+            let centre = if y > 0.0 { 1.0 } else { -1.0 };
+            xs.push(vec![centre + rng.gen::<f64>() * 0.5, rng.gen::<f64>()]);
+            ys.push(if flip { -y } else { y });
+        }
+        let data = Dataset::new(xs, ys).unwrap();
+        let model = train(&data, &SvmParams::paper_defaults(2));
+        let correct = (0..data.len())
+            .filter(|&i| {
+                let (x, y) = data.example(i);
+                model.predict(x) == y
+            })
+            .count();
+        let acc = correct as f64 / data.len() as f64;
+        assert!(acc > 0.8, "accuracy on noisy data only {acc}");
+    }
+
+    #[test]
+    fn tiny_cache_still_converges_to_same_model() {
+        let data = separable_2d(30, 1.0, 17);
+        let base = SvmParams::with_kernel(Kernel::rbf(1.0));
+        let small_cache = SvmParams {
+            cache_rows: 2,
+            ..base
+        };
+        let m1 = train(&data, &base);
+        let m2 = train(&data, &small_cache);
+        // identical optimization path => identical models
+        assert_eq!(m1.support_vector_count(), m2.support_vector_count());
+        assert!((m1.rho() - m2.rho()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_weights_trade_fn_for_fp() {
+        // Imbalanced, overlapping data: upweighting the positive class
+        // must reduce false negatives (and generally cost false positives).
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..40 {
+            xs.push(vec![0.25 + rng.gen::<f64>(), rng.gen::<f64>()]);
+            ys.push(1.0);
+        }
+        for _ in 0..200 {
+            xs.push(vec![-0.25 - rng.gen::<f64>() + 0.5 * rng.gen::<f64>(), rng.gen::<f64>()]);
+            ys.push(-1.0);
+        }
+        let data = Dataset::new(xs, ys).unwrap();
+
+        let count_errors = |params: &SvmParams| {
+            let model = train(&data, params);
+            let mut fn_ = 0;
+            let mut fp = 0;
+            for i in 0..data.len() {
+                let (x, y) = data.example(i);
+                let p = model.predict(x);
+                if y > 0.0 && p < 0.0 {
+                    fn_ += 1;
+                }
+                if y < 0.0 && p > 0.0 {
+                    fp += 1;
+                }
+            }
+            (fn_, fp)
+        };
+
+        let base = SvmParams::with_kernel(Kernel::rbf(1.0)).with_c(0.05);
+        let weighted = base.with_class_weights(20.0, 1.0);
+        let (fn_base, _) = count_errors(&base);
+        let (fn_weighted, fp_weighted) = count_errors(&weighted);
+        assert!(
+            fn_weighted < fn_base || (fn_base == 0 && fn_weighted == 0),
+            "upweighting positives should cut FN: {fn_base} -> {fn_weighted}"
+        );
+        let _ = fp_weighted;
+    }
+
+    #[test]
+    fn weighted_alphas_respect_per_class_box() {
+        let data = separable_2d(25, 0.1, 13);
+        let c = 0.5;
+        let params = SvmParams::with_kernel(Kernel::rbf(1.0))
+            .with_c(c)
+            .with_class_weights(3.0, 1.0);
+        let model = train(&data, &params);
+        for &co in model.dual_coefs() {
+            // positive coefs (y=+1) bounded by 3C, negative by C
+            if co > 0.0 {
+                assert!(co <= 3.0 * c + 1e-9, "positive alpha {co} exceeds 3C");
+            } else {
+                assert!(-co <= c + 1e-9, "negative alpha {} exceeds C", -co);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "class weights must be positive")]
+    fn zero_weight_panics() {
+        SvmParams::with_kernel(Kernel::linear()).with_class_weights(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_panics() {
+        let data = Dataset::new(vec![vec![1.0], vec![2.0]], vec![1.0, 1.0]).unwrap();
+        train(&data, &SvmParams::with_kernel(Kernel::linear()));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        train(&Dataset::empty(), &SvmParams::with_kernel(Kernel::linear()));
+    }
+}

@@ -1,0 +1,369 @@
+//! Benign application generation.
+//!
+//! Calibrated to the benign columns of Figs. 5–9 and 12: summaries are
+//! mostly complete, 62% request a single permission (with a tail reaching
+//! dozens), 80% redirect to `apps.facebook.com`, profile feeds carry real
+//! user chatter, and only 20% ever post links leaving Facebook.
+
+use fb_platform::app::{AppCategory, AppRegistration};
+use fb_platform::platform::Platform;
+use osn_types::ids::{AppId, UserId};
+use osn_types::permission::{Permission, PermissionSet};
+use osn_types::url::{Domain, Scheme, Url};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use url_services::wot::WotRegistry;
+
+use crate::config::ScenarioConfig;
+use crate::distributions::bounded_pareto;
+use crate::names::benign_name;
+
+/// Extra permissions a benign multi-permission app may request, with
+/// selection weights shaped after Fig. 6's benign bars (offline_access,
+/// email and user_birthday are the big ones after publish_stream).
+const BENIGN_EXTRA_PERMISSIONS: &[(Permission, f64)] = &[
+    (Permission::OfflineAccess, 0.60),
+    (Permission::Email, 0.50),
+    (Permission::UserBirthday, 0.45),
+    (Permission::PublishActions, 0.30),
+    (Permission::UserLocation, 0.25),
+    (Permission::UserPhotos, 0.20),
+    (Permission::UserLikes, 0.18),
+    (Permission::FriendsBirthday, 0.15),
+    (Permission::UserAboutMe, 0.12),
+    (Permission::FriendsPhotos, 0.10),
+    (Permission::UserHometown, 0.08),
+    (Permission::ReadStream, 0.08),
+    (Permission::UserActivities, 0.06),
+    (Permission::FriendsLikes, 0.06),
+    (Permission::UserEvents, 0.05),
+    (Permission::CreateEvent, 0.04),
+    (Permission::RsvpEvent, 0.03),
+    (Permission::UserVideos, 0.03),
+    (Permission::ManageNotifications, 0.02),
+    (Permission::XmppLogin, 0.01),
+];
+
+/// Behavioural spec of one generated benign app.
+#[derive(Debug, Clone)]
+pub struct BenignApp {
+    /// Platform id.
+    pub id: AppId,
+    /// Relative popularity weight (heavy-tailed); drives install counts,
+    /// posting volume and MAU.
+    pub popularity: f64,
+    /// Whether this app ever posts links outside facebook.com (20%).
+    pub external_linker: bool,
+    /// The external site an external-linker posts (its own website).
+    pub site_url: Option<Url>,
+    /// Baseline monthly active users contributed by the world outside the
+    /// simulated population.
+    pub base_mau: f64,
+}
+
+/// Benign chatter templates for wall posts.
+pub const BENIGN_POST_TEMPLATES: &[&str] = &[
+    "just reached a new level, come play with me",
+    "harvested my crops, the farm looks great today",
+    "scored big in today's tournament",
+    "found a rare item, trading anyone?",
+    "daily bonus collected, streak going strong",
+    "my pet needs visitors, stop by",
+    "finished the weekly challenge with friends",
+    "new update looks great, loving the changes",
+];
+
+/// Profile-feed chatter users leave on benign apps' pages.
+const PROFILE_FEED_TEMPLATES: &[&str] = &[
+    "love this app, great job",
+    "when is the next update coming?",
+    "found a bug after the last release",
+    "can you add more levels please",
+    "thanks for fixing the crash",
+];
+
+/// Registers all benign apps and seeds WOT for their domains.
+///
+/// `users` is needed to plant profile-feed chatter (real posts by real
+/// users, which is what the Graph API's `/feed` endpoint serves).
+pub fn generate_benign_apps(
+    platform: &mut Platform,
+    wot: &mut WotRegistry,
+    users: &[UserId],
+    config: &ScenarioConfig,
+) -> Vec<BenignApp> {
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xBE4149);
+    wot.set_score(
+        &Domain::parse("facebook.com").expect("static domain is valid"),
+        94,
+    );
+
+    let mut apps = Vec::with_capacity(config.benign_apps);
+    for i in 0..config.benign_apps {
+        let name = benign_name(i);
+        let slug = format!("app{i}");
+
+        // The first few names are the FarmVille-class giants; force them to
+        // the top of the popularity distribution.
+        let popularity = if i < crate::names::POPULAR_BENIGN_NAMES.len() {
+            10_000.0 - i as f64
+        } else {
+            bounded_pareto(&mut rng, 0.8, 1.0, 5_000.0)
+        };
+
+        // --- summary fields (Fig. 5 rates) ---
+        let description = rng
+            .gen_bool(config.benign_description_rate)
+            .then(|| format!("{name}: the best way to enjoy {slug} with friends"));
+        let company = rng
+            .gen_bool(config.benign_company_rate)
+            .then(|| format!("{} Studios", name.split_whitespace().next().unwrap_or("App")));
+        let category = rng
+            .gen_bool(config.benign_category_rate)
+            .then(|| *AppCategory::ALL.choose(&mut rng).expect("non-empty"));
+
+        // --- permissions (Figs. 6-7) ---
+        let mut permissions = PermissionSet::from_iter([Permission::PublishStream]);
+        if !rng.gen_bool(config.benign_single_permission_rate) {
+            // Multi-permission app: add a heavy-tailed number of extras.
+            let extra_target = bounded_pareto(&mut rng, 1.1, 1.0, 30.0) as usize;
+            let mut added = 0;
+            for &(perm, w) in BENIGN_EXTRA_PERMISSIONS {
+                if added >= extra_target {
+                    break;
+                }
+                if rng.gen_bool(w) {
+                    permissions.insert(perm);
+                    added += 1;
+                }
+            }
+            if added == 0 {
+                permissions.insert(Permission::OfflineAccess);
+            }
+        }
+
+        // --- redirect URI + WOT (Fig. 8) ---
+        let (redirect_uri, site_domain) = if rng.gen_bool(config.benign_facebook_redirect_rate) {
+            (
+                Url::build(
+                    Scheme::Https,
+                    Domain::parse("apps.facebook.com").expect("static domain is valid"),
+                    &slug,
+                ),
+                None,
+            )
+        } else {
+            let domain = Domain::parse(&format!("{slug}-games.com")).expect("generated domain");
+            // own sites mostly reputable, occasionally unknown to WOT
+            if rng.gen_bool(0.85) {
+                wot.set_score(&domain, rng.gen_range(55..=98));
+            }
+            (
+                Url::build(Scheme::Https, domain.clone(), "start"),
+                Some(domain),
+            )
+        };
+
+        let registration = AppRegistration {
+            name: name.clone(),
+            description,
+            company,
+            category,
+            permissions,
+            redirect_uri,
+            client_id_pool: Vec::new(), // honest apps never mismatch (99%)
+            crawlable_install_flow: rng.gen_bool(config.benign_crawlable_rate),
+        };
+        let id = platform
+            .register_app(registration)
+            .expect("generated registration is within limits");
+
+        // --- profile feed (Fig. 9: most benign apps accumulate posts) ---
+        if rng.gen_bool(config.benign_profile_feed_rate) && !users.is_empty() {
+            let n_posts = bounded_pareto(&mut rng, 0.9, 1.0, 300.0) as usize;
+            for _ in 0..n_posts.min(40) {
+                let author = users[rng.gen_range(0..users.len())];
+                let msg = PROFILE_FEED_TEMPLATES
+                    .choose(&mut rng)
+                    .expect("non-empty templates");
+                platform
+                    .post_on_app_profile(id, author, msg, None)
+                    .expect("app and author exist");
+            }
+        }
+
+        let external_linker = rng.gen_bool(config.benign_external_linker_rate);
+        let site_url = external_linker.then(|| {
+            let domain = site_domain
+                .unwrap_or_else(|| Domain::parse(&format!("{slug}-blog.com")).expect("generated"));
+            Url::build(Scheme::Http, domain, "news")
+        });
+
+        let base_mau = popularity / 10_000.0 * config.benign_mau.1
+            + rng.gen_range(config.benign_mau.0..config.benign_mau.0 * 10.0);
+
+        apps.push(BenignApp {
+            id,
+            popularity,
+            external_linker,
+            site_url,
+            base_mau,
+        });
+    }
+    apps
+}
+
+/// Bootstrap installs: every user installs a popularity-weighted sample of
+/// benign apps.
+pub fn bootstrap_installs(
+    platform: &mut Platform,
+    apps: &[BenignApp],
+    users: &[UserId],
+    config: &ScenarioConfig,
+) {
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x1457A11);
+    // Popularity-weighted alias-free sampling: cumulative weights + binary
+    // search. Popularity is heavy-tailed, so the giants get most installs.
+    let mut cumulative = Vec::with_capacity(apps.len());
+    let mut acc = 0.0;
+    for app in apps {
+        acc += app.popularity;
+        cumulative.push(acc);
+    }
+    let total = acc;
+
+    // Every app gets at least one user — the study's D-Total only contains
+    // apps that posted, and an app with no installs can never post.
+    for app in apps {
+        let user = users[rng.gen_range(0..users.len())];
+        let _ = platform.grant_install(user, app.id);
+    }
+
+    for &user in users {
+        let n = rng.gen_range(1..=(config.benign_installs_per_user * 2.0) as usize + 1);
+        for _ in 0..n {
+            let x = rng.gen_range(0.0..total);
+            let idx = cumulative.partition_point(|&c| c < x);
+            let app = &apps[idx.min(apps.len() - 1)];
+            let _ = platform.grant_install(user, app.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build() -> (Platform, Vec<BenignApp>, ScenarioConfig, WotRegistry) {
+        let config = ScenarioConfig::small();
+        let mut platform = Platform::new();
+        let users = platform.add_users(50);
+        let mut wot = WotRegistry::new();
+        let apps = generate_benign_apps(&mut platform, &mut wot, &users, &config);
+        (platform, apps, config, wot)
+    }
+
+    #[test]
+    fn generates_configured_count_with_unique_names() {
+        let (platform, apps, config, _) = build();
+        assert_eq!(apps.len(), config.benign_apps);
+        let names: std::collections::HashSet<&str> = apps
+            .iter()
+            .map(|a| platform.app(a.id).unwrap().name())
+            .collect();
+        assert_eq!(names.len(), apps.len(), "benign names must be unique");
+    }
+
+    #[test]
+    fn summary_rates_roughly_match_config() {
+        let (platform, apps, config, _) = build();
+        let with_desc = apps
+            .iter()
+            .filter(|a| platform.app(a.id).unwrap().registration.description.is_some())
+            .count();
+        let rate = with_desc as f64 / apps.len() as f64;
+        assert!(
+            (rate - config.benign_description_rate).abs() < 0.06,
+            "description rate {rate}, configured {}",
+            config.benign_description_rate
+        );
+    }
+
+    #[test]
+    fn single_permission_rate_matches_and_all_can_post() {
+        let (platform, apps, config, _) = build();
+        let mut single = 0;
+        for a in &apps {
+            let perms = platform.app(a.id).unwrap().permissions();
+            assert!(perms.contains(Permission::PublishStream));
+            if perms.len() == 1 {
+                single += 1;
+            }
+        }
+        let rate = single as f64 / apps.len() as f64;
+        assert!(
+            (rate - config.benign_single_permission_rate).abs() < 0.08,
+            "single-permission rate {rate}"
+        );
+    }
+
+    #[test]
+    fn facebook_redirect_rate_and_wot() {
+        let (platform, apps, config, wot) = build();
+        let fb = apps
+            .iter()
+            .filter(|a| {
+                platform
+                    .app(a.id)
+                    .unwrap()
+                    .registration
+                    .redirect_uri
+                    .is_facebook()
+            })
+            .count();
+        let rate = fb as f64 / apps.len() as f64;
+        assert!(
+            (rate - config.benign_facebook_redirect_rate).abs() < 0.07,
+            "facebook redirect rate {rate}"
+        );
+        assert_eq!(
+            wot.score(&Domain::parse("apps.facebook.com").unwrap()),
+            Some(94)
+        );
+    }
+
+    #[test]
+    fn bootstrap_installs_favour_popular_apps() {
+        let (mut platform, apps, config, _) = build();
+        let users: Vec<UserId> = platform.all_users().collect();
+        bootstrap_installs(&mut platform, &apps, &users, &config);
+        let farmville_installs = platform.app(apps[0].id).unwrap().install_count();
+        let median_app = &apps[apps.len() / 2];
+        let median_installs = platform.app(median_app.id).unwrap().install_count();
+        assert!(
+            farmville_installs > median_installs,
+            "FarmVille ({farmville_installs}) should out-install the median app ({median_installs})"
+        );
+        let total: usize = apps
+            .iter()
+            .map(|a| platform.app(a.id).unwrap().install_count())
+            .sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (p1, a1, _, _) = build();
+        let (p2, a2, _, _) = build();
+        assert_eq!(a1.len(), a2.len());
+        for (x, y) in a1.iter().zip(&a2) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.popularity, y.popularity);
+            assert_eq!(
+                p1.app(x.id).unwrap().registration.description,
+                p2.app(y.id).unwrap().registration.description
+            );
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Scenario configuration.
+//!
+//! Every knob defaults to the paper's reported value (rates, fractions,
+//! error profiles) or to a 1/10 linear scale of the paper's population
+//! (counts). Counts scale; *fractions and external-world absolutes* (click
+//! totals, MAU, WOT scores) do not — see DESIGN.md §1 for the argument.
+
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a synthetic world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Master seed; every derived RNG is seeded from it.
+    pub seed: u64,
+
+    // ------------------------------------------------------------------
+    // Population
+    // ------------------------------------------------------------------
+    /// Simulated users (stand-in for the monitorable window of the real
+    /// platform).
+    pub users: usize,
+    /// Mean number of friends per user (Erdős–Rényi expected degree).
+    pub mean_friends: usize,
+    /// Fraction of users who installed MyPageKeeper (the paper's 2.2M of a
+    /// much larger reachable population).
+    pub monitored_fraction: f64,
+
+    // ------------------------------------------------------------------
+    // Benign applications (rates from Figs. 5–9, 12)
+    // ------------------------------------------------------------------
+    /// Number of benign apps that post during the trace.
+    pub benign_apps: usize,
+    /// P(description configured) for benign apps — paper: 93%.
+    pub benign_description_rate: f64,
+    /// P(company configured) — Fig. 5, ≈81%.
+    pub benign_company_rate: f64,
+    /// P(category configured) — Fig. 5, ≈90%.
+    pub benign_category_rate: f64,
+    /// P(exactly one permission) — paper: 62%.
+    pub benign_single_permission_rate: f64,
+    /// P(redirect URI on apps.facebook.com) — paper: 80%.
+    pub benign_facebook_redirect_rate: f64,
+    /// Fraction of benign apps that ever post external links — paper: 20%
+    /// ("80% of benign apps do not post any external links").
+    pub benign_external_linker_rate: f64,
+    /// P(an app's install flow is automatable) for benign apps,
+    /// calibrated so |D-Inst benign| / |D-Sample benign| ≈ 36%.
+    pub benign_crawlable_rate: f64,
+    /// Daily deletion hazard for benign apps (ToS violations etc.;
+    /// calibrated so ≈3% of benign apps miss from D-Summary).
+    pub benign_daily_deletion_hazard: f64,
+
+    // ------------------------------------------------------------------
+    // Malicious applications (rates from Figs. 5–9, §4)
+    // ------------------------------------------------------------------
+    /// Total malicious apps (13% of all apps at paper scale).
+    pub malicious_apps: usize,
+    /// Number of colluding campaigns (connected components) — paper: 44.
+    pub campaigns: usize,
+    /// Fraction of malicious apps that engage in collusion — paper:
+    /// 6,331 / ~14,300 ≈ 0.44.
+    pub colluding_fraction: f64,
+    /// P(description configured) — paper: 1.4%.
+    pub malicious_description_rate: f64,
+    /// P(company configured) — Fig. 5, ≈4%.
+    pub malicious_company_rate: f64,
+    /// P(category configured) — Fig. 5, ≈6%.
+    pub malicious_category_rate: f64,
+    /// P(exactly one permission) — paper: 97%.
+    pub malicious_single_permission_rate: f64,
+    /// P(client-ID pool is used, i.e. install URL installs a sibling) —
+    /// paper: 78%.
+    pub malicious_client_id_mismatch_rate: f64,
+    /// P(app has any posts in its profile feed) — paper: 3%.
+    pub malicious_profile_feed_rate: f64,
+    /// P(benign app has posts in its profile feed) — Fig. 9 shows most do.
+    pub benign_profile_feed_rate: f64,
+    /// P(install flow automatable) for malicious apps, calibrated so
+    /// |D-Inst malicious| comes out at the paper's ≈8% of D-Sample.
+    pub malicious_crawlable_rate: f64,
+    /// Daily deletion hazard once a malicious app starts posting,
+    /// calibrated so ≈40% survive to the crawl phase and ≈85% are gone by
+    /// validation time.
+    pub malicious_daily_deletion_hazard: f64,
+    /// Number of distinct hosting domains for malicious redirect URIs
+    /// beyond the five the paper names (Table 3's tail).
+    pub extra_hosting_domains: usize,
+    /// Fraction of campaigns whose app names carry version suffixes.
+    pub versioned_campaign_rate: f64,
+    /// Number of typosquatting apps (paper's validation found 5
+    /// 'FarmVile's).
+    pub typosquat_count: usize,
+    /// Number of indirection websites (paper: 103; scales).
+    pub indirection_sites: usize,
+    /// Fraction of indirection sites hosted on the cloud-hosting analog —
+    /// paper: one third on amazonaws.com.
+    pub indirection_cloud_fraction: f64,
+    /// Role mix within colluding apps (Fig. 13): pure promoters 25%.
+    pub promoter_fraction: f64,
+    /// Dual-role apps 16.2% (the rest are pure promotees).
+    pub dual_fraction: f64,
+    /// Fraction of campaigns that MyPageKeeper largely misses (their URLs
+    /// get a near-zero detection probability). These become the "new"
+    /// malicious apps FRAppE discovers in §5.3: paper finds 8,051 new on
+    /// top of 6,273 known ⇒ ≈0.55 of malicious mass is stealthy.
+    pub stealthy_campaign_fraction: f64,
+    /// Detection probability for stealthy campaigns' URLs.
+    pub stealthy_detect_prob: f64,
+
+    // ------------------------------------------------------------------
+    // Timeline
+    // ------------------------------------------------------------------
+    /// Monitoring span in days — paper: nine months.
+    pub monitoring_days: u32,
+    /// Weekly crawl sweeps after monitoring — paper: March–May ≈ 13 weeks.
+    pub crawl_weeks: u32,
+    /// Additional days simulated after the crawl (enforcement keeps
+    /// running) before the §5.3 validation snapshot — paper validated in
+    /// October 2012.
+    pub validation_extra_days: u32,
+    /// Days between MyPageKeeper sweeps.
+    pub sweep_interval_days: u32,
+
+    // ------------------------------------------------------------------
+    // Behaviour
+    // ------------------------------------------------------------------
+    /// Mean benign apps installed per user at bootstrap.
+    pub benign_installs_per_user: f64,
+    /// Expected wall posts per benign app per day, scaled by app
+    /// popularity.
+    pub benign_daily_post_rate: f64,
+    /// Expected posts per active malicious app per day.
+    pub malicious_daily_post_rate: f64,
+    /// P(an exposed friend clicks the link in a malicious post).
+    pub victim_click_prob: f64,
+    /// P(an exposed friend installs the pushed app).
+    pub victim_install_prob: f64,
+    /// P(a victim manually re-shares a scam link) — produces the paper's
+    /// 27% of malicious posts with no app attribution.
+    pub manual_share_prob: f64,
+    /// Expected manual chatter posts per user per day (the 37% of posts
+    /// with no app).
+    pub manual_chatter_rate: f64,
+    /// Fraction of malicious scam links that are shortened — paper: 92% of
+    /// shortened URLs were bit.ly; 80% of indirection links shortened.
+    pub malicious_shorten_rate: f64,
+
+    // ------------------------------------------------------------------
+    // External-world absolutes (NOT scaled)
+    // ------------------------------------------------------------------
+    /// Fraction of malicious apps that post bit.ly links at all — paper:
+    /// 3,805 / 6,273 ≈ 0.61.
+    pub bitly_user_rate: f64,
+    /// Fig. 3 calibration: P(app click total in the low band).
+    pub clicks_low_band_prob: f64,
+    /// Fig. 3: click range of the low band (lo, hi).
+    pub clicks_low_band: (f64, f64),
+    /// Fig. 3: click range of the mid band (40% of apps, 1e5–1e6).
+    pub clicks_mid_band: (f64, f64),
+    /// Fig. 3: click range of the top band (20% of apps, >1e6).
+    pub clicks_top_band: (f64, f64),
+    /// Fig. 4: malicious app base-MAU sampling range for the low band
+    /// (60% of apps below 1000).
+    pub malicious_mau_low: (f64, f64),
+    /// Fig. 4: base-MAU range of the high band (40% of apps ≥ 1000; top
+    /// median 20,000).
+    pub malicious_mau_high: (f64, f64),
+    /// Benign app MAU range (log-uniform; FarmVille-class apps at the top).
+    pub benign_mau: (f64, f64),
+
+    // ------------------------------------------------------------------
+    // MyPageKeeper calibration (§2.2)
+    // ------------------------------------------------------------------
+    /// P(a truly-malicious URL is flagged) for ordinary campaigns.
+    pub mpk_detect_prob: f64,
+    /// P(a benign URL is flagged) — paper: 0.005%.
+    pub mpk_false_flag_prob: f64,
+
+    // ------------------------------------------------------------------
+    // Piggybacking (§6.2)
+    // ------------------------------------------------------------------
+    /// Number of popular apps abused via prompt_feed. Table 9 shows the
+    /// top five; Fig. 16 implies ≈5% of flagged apps are piggybacked, so
+    /// the affected set is larger.
+    pub piggyback_victims: usize,
+    /// Expected piggybacked posts per victim app per day.
+    pub piggyback_daily_rate: f64,
+
+    /// Permille chance that the profile feed of a *deleted* app is still
+    /// retrievable from an earlier crawl pass. Table 1 shows more
+    /// malicious apps with profile feeds (3,227) than with summaries
+    /// (2,528) — feed data outlived some deletions in the paper's archive.
+    pub feed_tombstone_cache_permille: u32,
+}
+
+impl ScenarioConfig {
+    /// Paper-shape configuration at 1/10 population scale. This is the
+    /// configuration the `repro` experiments run.
+    pub fn paper_scale() -> Self {
+        ScenarioConfig {
+            seed: 0xF4A99E,
+            users: 8_000,
+            mean_friends: 18,
+            monitored_fraction: 0.55,
+
+            benign_apps: 9_600,
+            benign_description_rate: 0.93,
+            benign_company_rate: 0.81,
+            benign_category_rate: 0.90,
+            benign_single_permission_rate: 0.62,
+            benign_facebook_redirect_rate: 0.80,
+            benign_external_linker_rate: 0.20,
+            benign_crawlable_rate: 0.37,
+            benign_daily_deletion_hazard: 0.00008,
+
+            malicious_apps: 1_430,
+            campaigns: 44,
+            colluding_fraction: 0.44,
+            malicious_description_rate: 0.014,
+            malicious_company_rate: 0.04,
+            malicious_category_rate: 0.06,
+            malicious_single_permission_rate: 0.97,
+            malicious_client_id_mismatch_rate: 0.78,
+            malicious_profile_feed_rate: 0.03,
+            benign_profile_feed_rate: 0.85,
+            malicious_crawlable_rate: 0.20,
+            malicious_daily_deletion_hazard: 0.0060,
+            extra_hosting_domains: 20,
+            versioned_campaign_rate: 0.25,
+            typosquat_count: 5,
+            indirection_sites: 10,
+            indirection_cloud_fraction: 0.33,
+            promoter_fraction: 0.25,
+            dual_fraction: 0.162,
+            stealthy_campaign_fraction: 0.55,
+            stealthy_detect_prob: 0.02,
+
+            monitoring_days: 270,
+            crawl_weeks: 13,
+            validation_extra_days: 120,
+            sweep_interval_days: 7,
+
+            benign_installs_per_user: 12.0,
+            benign_daily_post_rate: 0.05,
+            malicious_daily_post_rate: 1.2,
+            victim_click_prob: 0.10,
+            victim_install_prob: 0.05,
+            manual_share_prob: 0.05,
+            manual_chatter_rate: 0.15,
+            malicious_shorten_rate: 0.80,
+
+            bitly_user_rate: 0.61,
+            clicks_low_band_prob: 0.40,
+            clicks_low_band: (1e2, 1e5),
+            clicks_mid_band: (1e5, 1e6),
+            clicks_top_band: (1e6, 1.8e6),
+            malicious_mau_low: (1.0, 1e3),
+            malicious_mau_high: (1e3, 3e4),
+            benign_mau: (50.0, 3e6),
+
+            mpk_detect_prob: 0.95,
+            mpk_false_flag_prob: 0.00005,
+
+            piggyback_victims: 35,
+            piggyback_daily_rate: 1.0,
+            feed_tombstone_cache_permille: 200,
+        }
+    }
+
+    /// A fast configuration for tests and examples: same rates, much
+    /// smaller population and a shorter trace (runs in well under a
+    /// second).
+    pub fn small() -> Self {
+        ScenarioConfig {
+            seed: 42,
+            users: 600,
+            mean_friends: 10,
+            benign_apps: 400,
+            malicious_apps: 120,
+            campaigns: 8,
+            indirection_sites: 3,
+            extra_hosting_domains: 6,
+            monitoring_days: 90,
+            crawl_weeks: 4,
+            validation_extra_days: 30,
+            benign_installs_per_user: 6.0,
+            malicious_daily_deletion_hazard: 0.012,
+            piggyback_victims: 8,
+            // the small world's popular apps post less in absolute terms,
+            // so the piggyback trickle must shrink to keep the Fig. 16
+            // low-ratio signature
+            piggyback_daily_rate: 0.3,
+            ..Self::paper_scale()
+        }
+    }
+
+    /// Number of monitored (MyPageKeeper-subscribed) users.
+    pub fn monitored_users(&self) -> usize {
+        (self.users as f64 * self.monitored_fraction).round() as usize
+    }
+
+    /// Number of colluding malicious apps.
+    pub fn colluding_apps(&self) -> usize {
+        (self.malicious_apps as f64 * self.colluding_fraction).round() as usize
+    }
+
+    /// Validates internal consistency; called by the scenario runner.
+    ///
+    /// # Panics
+    /// Panics on inconsistent settings with a message naming the field.
+    pub fn validate(&self) {
+        assert!(self.users > 0, "users must be positive");
+        assert!(self.benign_apps > 0, "benign_apps must be positive");
+        assert!(self.malicious_apps > 0, "malicious_apps must be positive");
+        assert!(self.campaigns > 0, "campaigns must be positive");
+        assert!(
+            self.colluding_apps() >= self.campaigns,
+            "need at least one colluding app per campaign"
+        );
+        assert!(self.monitoring_days > 0, "monitoring_days must be positive");
+        assert!(self.sweep_interval_days > 0, "sweep_interval_days must be positive");
+        for (name, p) in [
+            ("monitored_fraction", self.monitored_fraction),
+            ("benign_description_rate", self.benign_description_rate),
+            ("malicious_client_id_mismatch_rate", self.malicious_client_id_mismatch_rate),
+            ("promoter_fraction", self.promoter_fraction),
+            ("dual_fraction", self.dual_fraction),
+            ("stealthy_campaign_fraction", self.stealthy_campaign_fraction),
+            ("mpk_detect_prob", self.mpk_detect_prob),
+            ("victim_install_prob", self.victim_install_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be a probability, got {p}");
+        }
+        assert!(
+            self.promoter_fraction + self.dual_fraction < 1.0,
+            "promoter + dual fractions must leave room for promotees"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configs_validate() {
+        ScenarioConfig::paper_scale().validate();
+        ScenarioConfig::small().validate();
+    }
+
+    #[test]
+    fn paper_scale_matches_headline_ratios() {
+        let c = ScenarioConfig::paper_scale();
+        // 13% malicious prevalence
+        let prevalence = c.malicious_apps as f64 / (c.malicious_apps + c.benign_apps) as f64;
+        assert!((prevalence - 0.13).abs() < 0.01, "prevalence {prevalence}");
+        assert_eq!(c.campaigns, 44);
+        assert!((c.colluding_apps() as f64 / c.malicious_apps as f64 - 0.44).abs() < 0.01);
+    }
+
+    #[test]
+    fn derived_counts() {
+        let c = ScenarioConfig::small();
+        assert_eq!(c.monitored_users(), 330);
+        assert!(c.colluding_apps() >= c.campaigns);
+    }
+
+    #[test]
+    #[should_panic(expected = "campaigns")]
+    fn zero_campaigns_panics() {
+        let mut c = ScenarioConfig::small();
+        c.campaigns = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn config_roundtrips_through_serde() {
+        let c = ScenarioConfig::paper_scale();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

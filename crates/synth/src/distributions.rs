@@ -1,0 +1,186 @@
+//! Heavy-tailed samplers calibrated to the paper's marginals.
+//!
+//! The observable quantities in the paper are almost all heavy-tailed:
+//! bit.ly clicks per app span 10¹–10⁷ (Fig. 3), MAU spans 10⁰–10⁶ (Fig. 4),
+//! app post counts range from 1 to millions (Tables 2, 9). Two primitives
+//! cover all of them:
+//!
+//! * [`log_uniform`] — uniform in log-space between two bounds; produces
+//!   the near-straight-line CDFs (against a log x-axis) of Figs. 3 and 4.
+//! * [`bounded_pareto`] — a Pareto (power-law) tail truncated to a range;
+//!   produces campaign/popularity size distributions.
+
+use rand::Rng;
+
+/// Samples uniformly in log-space from `[lo, hi]`.
+///
+/// # Panics
+/// Panics unless `0 < lo <= hi`.
+pub fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && lo <= hi, "need 0 < lo <= hi, got [{lo}, {hi}]");
+    if lo == hi {
+        return lo;
+    }
+    let (ln_lo, ln_hi) = (lo.ln(), hi.ln());
+    (ln_lo + rng.gen::<f64>() * (ln_hi - ln_lo)).exp()
+}
+
+/// Samples a bounded Pareto with shape `alpha` on `[lo, hi]` via inverse
+/// transform.
+///
+/// # Panics
+/// Panics unless `0 < lo <= hi` and `alpha > 0`.
+pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && lo <= hi, "need 0 < lo <= hi, got [{lo}, {hi}]");
+    assert!(alpha > 0.0, "alpha must be positive");
+    if lo == hi {
+        return lo;
+    }
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    // inverse CDF of the bounded Pareto
+    (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+}
+
+/// Splits `total` into `parts` positive integer chunks whose sizes follow a
+/// rough power law (largest first). Used for campaign sizing: a few huge
+/// AppNets and a long tail of small ones, like the paper's component sizes
+/// (3484, 770, 589, 296, 247, …, down to singletons).
+///
+/// # Panics
+/// Panics if `parts == 0` or `total < parts`.
+pub fn power_law_partition<R: Rng + ?Sized>(
+    rng: &mut R,
+    total: usize,
+    parts: usize,
+    alpha: f64,
+) -> Vec<usize> {
+    assert!(parts > 0, "need at least one part");
+    assert!(total >= parts, "need total >= parts so every part is non-empty");
+    // Draw part weights from a Pareto, normalize, round, then fix up the sum.
+    let weights: Vec<f64> = (0..parts)
+        .map(|_| bounded_pareto(rng, alpha, 1.0, total as f64))
+        .collect();
+    let sum: f64 = weights.iter().sum();
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / sum) * total as f64).floor().max(1.0) as usize)
+        .collect();
+    // Fix rounding drift while keeping every part >= 1.
+    let mut diff = total as i64 - sizes.iter().sum::<usize>() as i64;
+    let mut i = 0;
+    while diff != 0 {
+        let idx = i % parts;
+        if diff > 0 {
+            sizes[idx] += 1;
+            diff -= 1;
+        } else if sizes[idx] > 1 {
+            sizes[idx] -= 1;
+            diff += 1;
+        }
+        i += 1;
+    }
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+/// Empirical CDF helper: fraction of `values` at or below `x`.
+pub fn ecdf_at(values: &[f64], x: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v <= x).count() as f64 / values.len() as f64
+}
+
+/// Fraction of `values` strictly greater than `x` (CCDF).
+pub fn eccdf_at(values: &[f64], x: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    1.0 - ecdf_at(values, x)
+}
+
+/// Percentile (0–100) of a sample by nearest-rank. Returns 0.0 on empty
+/// input.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn log_uniform_respects_bounds_and_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| log_uniform(&mut rng, 10.0, 1_000_000.0))
+            .collect();
+        assert!(samples.iter().all(|&x| (10.0..=1_000_000.0).contains(&x)));
+        // log-uniform: ~half the mass below the geometric mean sqrt(10 * 1e6) ≈ 3162
+        let below = ecdf_at(&samples, 3162.0);
+        assert!((0.45..0.55).contains(&below), "got {below}");
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds_and_is_heavy_tailed() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| bounded_pareto(&mut rng, 1.2, 1.0, 10_000.0))
+            .collect();
+        assert!(samples.iter().all(|&x| (1.0..=10_000.0).contains(&x)));
+        // most of the mass near the low end
+        assert!(ecdf_at(&samples, 10.0) > 0.8);
+        // but the tail is populated
+        assert!(samples.iter().any(|&x| x > 1000.0));
+    }
+
+    #[test]
+    fn partition_sums_and_is_positive() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for (total, parts) in [(6331, 44), (100, 10), (5, 5), (44, 44)] {
+            let sizes = power_law_partition(&mut rng, total, parts, 0.8);
+            assert_eq!(sizes.len(), parts);
+            assert_eq!(sizes.iter().sum::<usize>(), total);
+            assert!(sizes.iter().all(|&s| s >= 1));
+            assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "sorted desc");
+        }
+    }
+
+    #[test]
+    fn partition_is_skewed() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let sizes = power_law_partition(&mut rng, 6331, 44, 0.7);
+        // the largest component should dwarf the median one, like the
+        // paper's 3484 vs a tail of tiny components
+        assert!(sizes[0] > 10 * sizes[22], "sizes: {:?}", &sizes[..6]);
+    }
+
+    #[test]
+    fn ecdf_and_percentile() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ecdf_at(&v, 2.0), 0.5);
+        assert_eq!(eccdf_at(&v, 2.0), 0.5);
+        assert_eq!(ecdf_at(&v, 0.0), 0.0);
+        assert_eq!(ecdf_at(&v, 9.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo <= hi")]
+    fn log_uniform_rejects_bad_bounds() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        log_uniform(&mut rng, 0.0, 1.0);
+    }
+}

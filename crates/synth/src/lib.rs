@@ -1,0 +1,36 @@
+//! # synth-workload — the synthetic trace behind every experiment
+//!
+//! The paper's dataset is nine months of real Facebook monitoring that no
+//! longer exists and was never public. This crate replaces it with a
+//! **calibrated generative model**: every marginal the paper reports — the
+//! 13% malicious prevalence, the summary-completeness gap (Fig. 5), the
+//! permission-count gap (Figs. 6–7), redirect-domain reputation (Fig. 8,
+//! Table 3), profile-feed emptiness (Fig. 9), name reuse (Figs. 10–11),
+//! external-link ratios (Fig. 12), AppNet structure (§6.1, Figs. 13–15),
+//! bit.ly clicks (Fig. 3), MAU (Fig. 4) and piggybacking (Fig. 16,
+//! Table 9) — is a sampler here, with the paper's numbers as defaults.
+//!
+//! The output of [`scenario::run_scenario`] is a *world*: a populated
+//! [`fb_platform::Platform`], the URL services around it, a MyPageKeeper
+//! instance that monitored it, and the ground truth. Downstream crates
+//! (FRAppE itself, the benches) consume only the world's observables — the
+//! same interface the paper's authors had.
+//!
+//! Everything is seeded and deterministic: same config, same world.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benign;
+pub mod campaign;
+pub mod config;
+pub mod datasets;
+pub mod distributions;
+pub mod names;
+pub mod piggyback;
+pub mod population;
+pub mod scenario;
+
+pub use config::ScenarioConfig;
+pub use datasets::{build_datasets, DatasetBundle, LabeledApps};
+pub use scenario::{run_scenario, GroundTruth, ScenarioWorld};

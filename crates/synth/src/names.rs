@@ -1,0 +1,220 @@
+//! App-name pools.
+//!
+//! The malicious pool is seeded with the actual campaign names the paper
+//! prints (Table 2, §5.3, §6.1), including the typosquats ('FarmVile') and
+//! versioned families ('Profile Watchers v4.32'). The benign pool is the
+//! paper's named popular apps plus a combinatorial generator of distinct,
+//! plausible names (benign names are overwhelmingly unique — Fig. 11).
+
+use rand::Rng;
+
+/// Popular benign apps named in the paper (D-Sample's "most popular benign
+/// apps", plus the Table 9 piggybacking victims).
+pub const POPULAR_BENIGN_NAMES: &[&str] = &[
+    "FarmVille",
+    "Facebook for iPhone",
+    "Mobile",
+    "Facebook for Android",
+    "Zoo World",
+    "Links",
+    "CityVille",
+    "Mafia Wars",
+    "Fortune Cookie",
+    "Words With Friends",
+];
+
+/// Malicious campaign base names seen in the paper.
+pub const MALICIOUS_BASE_NAMES: &[&str] = &[
+    "The App",
+    "What Does Your Name Mean?",
+    "Free Phone Calls",
+    "WhosStalking?",
+    "Past Life",
+    "Death Predictor",
+    "Future Teller",
+    "whats my name means",
+    "What ur name implies!!!",
+    "Name meaning finder",
+    "Name meaning",
+    "Profile Watchers",
+    "How long have you spent logged in?",
+    "What is the sexiest thing about you?",
+    "Which cartoon character are you",
+    "Pr0file stalker",
+    "The Pink Facebook",
+    "La App",
+    "Who viewed your profile?",
+    "Your Top Stalkers",
+    "See who blocked you",
+    "Free 450 Credits",
+];
+
+/// Typosquats of popular apps, as found by the paper's validation ("we
+/// found five apps named 'FarmVile'").
+pub const TYPOSQUAT_NAMES: &[&str] = &[
+    "FarmVile",
+    "Fortune Cookie", // exact copy of a popular benign name (§4.2.1)
+    "CityVile",
+    "Mafia Warz",
+    "FarmVille Bonus",
+];
+
+/// Word lists for generating distinct benign names.
+const ADJECTIVES: &[&str] = &[
+    "Happy", "Daily", "Super", "Magic", "Pocket", "Social", "Crazy", "Epic", "Tiny", "Golden",
+    "Lucky", "Turbo", "Pixel", "Cosmic", "Jolly", "Swift", "Brave", "Clever", "Sunny", "Royal",
+];
+const NOUNS: &[&str] = &[
+    "Farm", "Quiz", "Poker", "Aquarium", "Kitchen", "Racing", "Trivia", "Garden", "Bingo",
+    "Puzzle", "Chess", "Safari", "Bakery", "Castle", "Island", "Galaxy", "Studio", "Pets",
+    "Words", "Tycoon",
+];
+const SUFFIXES: &[&str] = &[
+    "", " World", " Saga", " Mania", " Party", " Life", " Wars", " Story", " Quest", " Blitz",
+];
+
+/// Syllables for coined one-word app names ("Zobiq", "Vantopia", …).
+/// Real benign names mix dictionary words with coinages; the coinages keep
+/// the name population *pairwise dissimilar*, which is what Fig. 10's
+/// benign curve measures (benign names barely cluster even at 0.7).
+const SYL_A: &[&str] = &[
+    "Zo", "Va", "Ki", "Lu", "Mer", "Tan", "Bru", "Fi", "Gor", "Hap", "Jen", "Kel", "Nim",
+    "Oli", "Pex", "Qua", "Rud", "Sel", "Tri", "Wix",
+];
+const SYL_B: &[&str] = &[
+    "biq", "lor", "mex", "dan", "ric", "sto", "vel", "zun", "gra", "pim", "tos", "wak",
+    "nif", "cho", "bel", "dus", "fra", "gim", "hol", "jat",
+];
+const SYL_C: &[&str] = &[
+    "", "ia", "ly", "zy", "go", "eo", "ix", "us", "oo", "ster",
+];
+
+/// Deterministically generates the `i`-th distinct benign app name.
+///
+/// The first [`POPULAR_BENIGN_NAMES`] entries are the paper's named apps.
+/// Beyond those, names alternate between word combinations and coined
+/// pseudo-words, giving a population whose pairwise Damerau–Levenshtein
+/// similarity stays low (benign names are overwhelmingly unique and barely
+/// merge even at similarity threshold 0.7 — §4.2.1).
+pub fn benign_name(i: usize) -> String {
+    if i < POPULAR_BENIGN_NAMES.len() {
+        return POPULAR_BENIGN_NAMES[i].to_string();
+    }
+    let k = i - POPULAR_BENIGN_NAMES.len();
+    let style = k % 2;
+    let k = k / 2;
+    if style == 0 {
+        // word combo: adjective + noun (+ suffix + round number as needed)
+        let combo = k % (ADJECTIVES.len() * NOUNS.len() * SUFFIXES.len());
+        let round = k / (ADJECTIVES.len() * NOUNS.len() * SUFFIXES.len());
+        let adj = ADJECTIVES[combo % ADJECTIVES.len()];
+        let noun = NOUNS[(combo / ADJECTIVES.len()) % NOUNS.len()];
+        let suffix = SUFFIXES[combo / (ADJECTIVES.len() * NOUNS.len())];
+        if round == 0 {
+            format!("{adj} {noun}{suffix}")
+        } else {
+            format!("{adj} {noun}{suffix} {}", round + 1)
+        }
+    } else {
+        // coined word: syllable triple (+ numeric tail beyond the space)
+        let combo = k % (SYL_A.len() * SYL_B.len() * SYL_C.len());
+        let round = k / (SYL_A.len() * SYL_B.len() * SYL_C.len());
+        let a = SYL_A[combo % SYL_A.len()];
+        let b = SYL_B[(combo / SYL_A.len()) % SYL_B.len()];
+        let c = SYL_C[combo / (SYL_A.len() * SYL_B.len())];
+        if round == 0 {
+            format!("{a}{b}{c}")
+        } else {
+            format!("{a}{b}{c} {}", round + 1)
+        }
+    }
+}
+
+/// Picks a malicious base name for campaign `c`, cycling through the pool
+/// (campaign count can exceed the pool; several campaigns sharing a base
+/// name mirrors the paper's cross-campaign name reuse).
+pub fn malicious_base_name(c: usize) -> &'static str {
+    MALICIOUS_BASE_NAMES[c % MALICIOUS_BASE_NAMES.len()]
+}
+
+/// Derives an app name within a campaign: the base name verbatim for most
+/// apps, a versioned variant (`"<base> v<k>"`) when the campaign uses
+/// version families.
+pub fn campaign_app_name<R: Rng + ?Sized>(
+    rng: &mut R,
+    base: &str,
+    versioned: bool,
+    index_in_campaign: usize,
+) -> String {
+    if versioned {
+        let major = index_in_campaign + 1;
+        if rng.gen_bool(0.5) {
+            format!("{base} v{major}")
+        } else {
+            format!("{base} v{major}.{}", rng.gen_range(0..100))
+        }
+    } else {
+        base.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn benign_names_are_distinct_at_scale() {
+        let n = 50_000;
+        let names: HashSet<String> = (0..n).map(benign_name).collect();
+        assert_eq!(names.len(), n, "benign names must be unique");
+    }
+
+    #[test]
+    fn first_benign_names_are_the_papers() {
+        assert_eq!(benign_name(0), "FarmVille");
+        assert_eq!(benign_name(3), "Facebook for Android");
+    }
+
+    #[test]
+    fn malicious_base_cycles() {
+        assert_eq!(malicious_base_name(0), "The App");
+        assert_eq!(
+            malicious_base_name(MALICIOUS_BASE_NAMES.len()),
+            "The App"
+        );
+    }
+
+    #[test]
+    fn versioned_names_share_a_base() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = campaign_app_name(&mut rng, "Profile Watchers", true, 0);
+        let b = campaign_app_name(&mut rng, "Profile Watchers", true, 1);
+        assert!(a.starts_with("Profile Watchers v"));
+        assert!(b.starts_with("Profile Watchers v"));
+        assert_ne!(a, b);
+        let plain = campaign_app_name(&mut rng, "The App", false, 5);
+        assert_eq!(plain, "The App");
+    }
+
+    #[test]
+    fn versioned_names_parse_as_version_families() {
+        // the text-analysis normalizer must recognise what we generate
+        let mut rng = SmallRng::seed_from_u64(2);
+        for i in 0..20 {
+            let name = campaign_app_name(&mut rng, "Profile Watchers", true, i);
+            let split = text_analysis::split_version_suffix(&name);
+            assert_eq!(split.base, "profile watchers", "from {name}");
+            assert!(split.version.is_some(), "from {name}");
+        }
+    }
+
+    #[test]
+    fn typosquats_are_near_popular_names() {
+        // 'FarmVile' must be within similarity 0.85 of 'FarmVille'
+        let sim = text_analysis::name_similarity("FarmVile", "FarmVille");
+        assert!(sim >= 0.85, "got {sim}");
+    }
+}

@@ -1,0 +1,178 @@
+//! App piggybacking attacks (§6.2, Fig. 16, Table 9).
+//!
+//! Hackers lure users into 'Share' flows and then call the unauthenticated
+//! `prompt_feed` API with a *popular* app's ID, so the spam post appears to
+//! come from FarmVille or Facebook for iPhone. The attacked apps are benign
+//! — the paper's whitelist exists precisely to keep them out of the
+//! malicious label set.
+
+use fb_platform::platform::Platform;
+use osn_types::ids::{AppId, UserId};
+use osn_types::url::{Domain, Scheme, Url};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use url_services::shortener::Shortener;
+
+use crate::config::ScenarioConfig;
+
+/// Post texts from Table 9, verbatim.
+pub const PIGGYBACK_POST_TEMPLATES: &[&str] = &[
+    "WOW I just got 5000 Facebook Credits for Free",
+    "Get your FREE 450 FACEBOOK CREDITS",
+    "NFL Playoffs Are Coming! Show Your Team Support!",
+    "WOW! I Just Got a Recharge of Rs 500.",
+    "Get Your Free Facebook Sim Card",
+];
+
+/// Scam hosts from Table 9, verbatim.
+const PIGGYBACK_SCAM_HOSTS: &[&str] = &[
+    "offers5000credit.blogspot.com",
+    "free450offer.blogspot.com",
+    "sportsjerseyfever.com",
+    "ffreerechargeindia.blogspot.com",
+    "freesimcard-offer.info",
+];
+
+/// A planned piggybacking operation.
+#[derive(Debug, Clone)]
+pub struct PiggybackPlan {
+    /// The popular apps whose identity is abused (one scam host each).
+    pub victims: Vec<AppId>,
+    /// Scam landing URLs, parallel to `victims`.
+    pub scam_urls: Vec<Url>,
+    /// Shortened forms actually placed in posts, parallel to `victims`.
+    pub shortened: Vec<Url>,
+}
+
+/// Builds the piggybacking plan over the most popular benign apps.
+pub fn plan_piggyback(
+    popular_apps: &[AppId],
+    shortener: &mut Shortener,
+    config: &ScenarioConfig,
+) -> PiggybackPlan {
+    let victims: Vec<AppId> = popular_apps
+        .iter()
+        .copied()
+        .take(config.piggyback_victims)
+        .collect();
+    let mut scam_urls = Vec::new();
+    let mut shortened = Vec::new();
+    for (i, _) in victims.iter().enumerate() {
+        let host = Domain::parse(PIGGYBACK_SCAM_HOSTS[i % PIGGYBACK_SCAM_HOSTS.len()])
+            .expect("static domain is valid");
+        let url = Url::build(Scheme::Http, host, &format!("claim{i}"));
+        shortened.push(shortener.shorten(&url));
+        scam_urls.push(url);
+    }
+    PiggybackPlan {
+        victims,
+        scam_urls,
+        shortened,
+    }
+}
+
+/// Executes one day of piggybacking: for each victim app, a Poisson-ish
+/// number of `prompt_feed` posts on random users' walls.
+///
+/// Returns the number of posts made.
+pub fn run_piggyback_day(
+    platform: &mut Platform,
+    plan: &PiggybackPlan,
+    users: &[UserId],
+    rng: &mut SmallRng,
+    daily_rate: f64,
+) -> usize {
+    let mut made = 0;
+    for (i, &victim) in plan.victims.iter().enumerate() {
+        // victim app may have been deleted (it should not be — it's benign
+        // and popular — but stay robust)
+        let n = sample_count(rng, daily_rate);
+        for _ in 0..n {
+            if users.is_empty() {
+                break;
+            }
+            let user = users[rng.gen_range(0..users.len())];
+            let msg = PIGGYBACK_POST_TEMPLATES[i % PIGGYBACK_POST_TEMPLATES.len()];
+            let link = plan.shortened[i].clone();
+            if platform
+                .post_via_prompt_feed(victim, user, msg, Some(link))
+                .is_ok()
+            {
+                made += 1;
+            }
+        }
+    }
+    made
+}
+
+/// Samples an integer count with expectation `rate` (Bernoulli remainder on
+/// top of the integer part; adequate for small rates).
+pub(crate) fn sample_count(rng: &mut SmallRng, rate: f64) -> usize {
+    let base = rate.floor() as usize;
+    base + usize::from(rng.gen_bool((rate - base as f64).clamp(0.0, 1.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fb_platform::app::AppRegistration;
+    use fb_platform::post::PostKind;
+    use osn_types::permission::{Permission, PermissionSet};
+    use rand::SeedableRng;
+
+    fn setup() -> (Platform, Vec<AppId>, Vec<UserId>) {
+        let mut p = Platform::new();
+        let users = p.add_users(20);
+        let apps: Vec<AppId> = (0..12)
+            .map(|i| {
+                p.register_app(AppRegistration::simple(
+                    &format!("popular{i}"),
+                    PermissionSet::from_iter([Permission::PublishStream]),
+                    Url::parse(&format!("https://apps.facebook.com/p{i}/")).unwrap(),
+                ))
+                .unwrap()
+            })
+            .collect();
+        (p, apps, users)
+    }
+
+    #[test]
+    fn plan_takes_the_configured_victim_count() {
+        let (_, apps, _) = setup();
+        let mut shortener = Shortener::bitly();
+        let config = ScenarioConfig::small();
+        let plan = plan_piggyback(&apps, &mut shortener, &config);
+        assert_eq!(plan.victims.len(), config.piggyback_victims);
+        assert_eq!(plan.scam_urls.len(), plan.victims.len());
+        assert!(plan.shortened.iter().all(Url::is_shortened));
+    }
+
+    #[test]
+    fn day_run_produces_prompt_feed_posts_attributed_to_victims() {
+        let (mut p, apps, users) = setup();
+        let mut shortener = Shortener::bitly();
+        let config = ScenarioConfig::small();
+        let plan = plan_piggyback(&apps, &mut shortener, &config);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let made = run_piggyback_day(&mut p, &plan, &users, &mut rng, 3.0);
+        assert!(made >= plan.victims.len() * 3);
+        let piggy: Vec<_> = p
+            .posts()
+            .iter()
+            .filter(|post| post.kind == PostKind::PromptFeed)
+            .collect();
+        assert_eq!(piggy.len(), made);
+        for post in piggy {
+            assert!(plan.victims.contains(&post.app.unwrap()));
+            assert!(post.link.as_ref().unwrap().is_shortened());
+        }
+    }
+
+    #[test]
+    fn sample_count_expectation() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let total: usize = (0..10_000).map(|_| sample_count(&mut rng, 1.3)).sum();
+        let mean = total as f64 / 10_000.0;
+        assert!((1.2..1.4).contains(&mean), "mean {mean}");
+    }
+}

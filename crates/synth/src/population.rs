@@ -1,0 +1,95 @@
+//! User population and friendship graph.
+//!
+//! The paper's propagation story runs over the social graph: "an infected
+//! user jeopardizes the safety of all its friends". A sparse random graph
+//! with the configured mean degree is entirely sufficient — none of the
+//! measured quantities depend on higher-order social structure, only on
+//! victims having friends to expose.
+
+use fb_platform::platform::Platform;
+use osn_types::ids::UserId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::config::ScenarioConfig;
+
+/// The generated population.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// Every user.
+    pub users: Vec<UserId>,
+    /// The MyPageKeeper subscribers (a random subset).
+    pub monitored: Vec<UserId>,
+}
+
+/// Creates users, wires a random friendship graph with the configured mean
+/// degree, and picks the monitored subset.
+pub fn generate_population(platform: &mut Platform, config: &ScenarioConfig) -> Population {
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x504F_5055);
+    let users = platform.add_users(config.users);
+
+    // G(n, m) with m = n * mean_degree / 2 undirected edges.
+    let edges = config.users * config.mean_friends / 2;
+    for _ in 0..edges {
+        let a = users[rng.gen_range(0..users.len())];
+        let b = users[rng.gen_range(0..users.len())];
+        platform
+            .befriend(a, b)
+            .expect("users were just created, befriend cannot fail");
+    }
+
+    let mut shuffled = users.clone();
+    shuffled.shuffle(&mut rng);
+    let monitored = shuffled[..config.monitored_users().min(shuffled.len())].to_vec();
+
+    Population { users, monitored }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_has_expected_shape() {
+        let config = ScenarioConfig::small();
+        let mut platform = Platform::new();
+        let pop = generate_population(&mut platform, &config);
+        assert_eq!(pop.users.len(), config.users);
+        assert_eq!(pop.monitored.len(), config.monitored_users());
+        assert_eq!(platform.user_count(), config.users);
+
+        // mean degree in the right ballpark (self-loops/dups shave a bit)
+        let total_degree: usize = pop
+            .users
+            .iter()
+            .map(|&u| platform.friends_of(u).unwrap().len())
+            .sum();
+        let mean = total_degree as f64 / pop.users.len() as f64;
+        assert!(
+            (config.mean_friends as f64 * 0.7..=config.mean_friends as f64 * 1.1)
+                .contains(&mean),
+            "mean degree {mean}, configured {}",
+            config.mean_friends
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = ScenarioConfig::small();
+        let mut p1 = Platform::new();
+        let m1 = generate_population(&mut p1, &config).monitored;
+        let mut p2 = Platform::new();
+        let m2 = generate_population(&mut p2, &config).monitored;
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn monitored_is_a_subset() {
+        let config = ScenarioConfig::small();
+        let mut platform = Platform::new();
+        let pop = generate_population(&mut platform, &config);
+        let all: std::collections::HashSet<_> = pop.users.iter().collect();
+        assert!(pop.monitored.iter().all(|u| all.contains(u)));
+    }
+}

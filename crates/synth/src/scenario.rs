@@ -1,0 +1,871 @@
+//! The scenario driver: nine months of monitoring, three months of
+//! crawling, then the validation window.
+//!
+//! [`run_scenario`] assembles the whole world and advances it day by day:
+//!
+//! 1. **Bootstrap** — population + friendships, benign apps (with installs),
+//!    malicious campaigns, piggybacking plan, WOT seeding, pre-shortened
+//!    campaign links.
+//! 2. **Monitoring phase** (`monitoring_days`) — benign chatter and app
+//!    posts, malicious campaign activity (scam posts, promotion posts,
+//!    viral installs through the client-ID loophole, manual re-shares),
+//!    piggybacked `prompt_feed` posts, platform enforcement (deletions),
+//!    weekly MyPageKeeper sweeps, monthly MAU accounting, bit.ly click
+//!    accumulation.
+//! 3. **Crawl phase** (`crawl_weeks`) — weekly crawls of every app, merged
+//!    lane-wise into a crawl archive (first success wins), while
+//!    enforcement keeps deleting apps — which is what produces Table 1's
+//!    shrinking dataset sizes.
+//! 4. **Validation window** (`validation_extra_days`) — enforcement only;
+//!    the §5.3 "deleted from Facebook graph" check reads the state at the
+//!    end of this window.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use fb_platform::crawler::{Crawler, CrawlerPolicy, PermissionCrawl};
+use fb_platform::graph_api::AppSummary;
+use fb_platform::install::{install_url, run_install_flow};
+use fb_platform::platform::Platform;
+use fb_platform::post::Post;
+use osn_types::ids::{AppId, CampaignId, UserId};
+use osn_types::url::Url;
+use pagekeeper::classifier::CalibratedOracle;
+use pagekeeper::service::MyPageKeeper;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use url_services::redirector::IndirectionSite;
+use url_services::shortener::Shortener;
+use url_services::socialbakers::SocialBakers;
+use url_services::wot::WotRegistry;
+
+use crate::benign::{bootstrap_installs, generate_benign_apps, BenignApp, BENIGN_POST_TEMPLATES};
+use crate::campaign::{
+    generate_malicious, Campaign, MaliciousWorld, PlannedRole, PROMO_POST_TEMPLATES,
+    SCAM_POST_TEMPLATES,
+};
+use crate::config::ScenarioConfig;
+use crate::piggyback::{plan_piggyback, run_piggyback_day, sample_count, PiggybackPlan};
+use crate::population::{generate_population, Population};
+
+/// What is *actually true* in the generated world — the labels no real
+/// measurement study has. Experiments must not leak this into classifiers;
+/// it exists to evaluate them.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// All truly malicious apps.
+    pub malicious: HashSet<AppId>,
+    /// Campaign membership of malicious apps.
+    pub campaign_of: HashMap<AppId, CampaignId>,
+    /// Campaigns that largely evade MyPageKeeper.
+    pub stealthy_campaigns: HashSet<CampaignId>,
+    /// Display forms of all truly-malicious URLs.
+    pub malicious_urls: HashSet<String>,
+    /// The popularity-based whitelist (the paper's manual whitelist of
+    /// popular apps wrongly implicated by piggybacking).
+    pub whitelist: HashSet<AppId>,
+}
+
+/// Crawl results for one app, merged across the weekly sweeps (first
+/// success per lane wins, like the paper's merge of 13 weekly crawls).
+#[derive(Debug, Clone, Default)]
+pub struct MergedCrawl {
+    /// App summary, if any weekly crawl got one.
+    pub summary: Option<AppSummary>,
+    /// Permission-dialog observation, if any crawl got one.
+    pub permissions: Option<PermissionCrawl>,
+    /// Profile feed, if any crawl (or the tombstone cache) got one.
+    pub profile_feed: Option<Vec<Post>>,
+}
+
+/// The fully-simulated world, as handed to experiments.
+pub struct ScenarioWorld {
+    /// Configuration that produced this world.
+    pub config: ScenarioConfig,
+    /// The platform after the full timeline.
+    pub platform: Platform,
+    /// The shortening service (click counts, expansions).
+    pub shortener: Shortener,
+    /// Domain reputation.
+    pub wot: WotRegistry,
+    /// Indirection websites.
+    pub sites: Vec<IndirectionSite>,
+    /// MyPageKeeper after all sweeps.
+    pub mpk: MyPageKeeper,
+    /// Ground truth (for evaluation only).
+    pub truth: GroundTruth,
+    /// Users.
+    pub population: Population,
+    /// Benign app specs.
+    pub benign: Vec<BenignApp>,
+    /// Malicious world (campaigns, roles, sites).
+    pub malicious: MaliciousWorld,
+    /// Piggybacking plan (victim apps, scam links).
+    pub piggyback: PiggybackPlan,
+    /// Merged weekly crawl results per app — crawl phase only. Drives the
+    /// Table 1 D-* dataset construction.
+    pub crawl_archive: BTreeMap<AppId, MergedCrawl>,
+    /// Extended archive additionally merging biweekly monitoring-phase
+    /// crawls: the union of everything the monitoring vantage ever learned
+    /// about each app. §5.3's classification of D-Total∖D-Sample uses
+    /// this — the paper could classify apps that were deleted soon after
+    /// their activity because its nine-month trace had captured them while
+    /// alive.
+    pub extended_archive: BTreeMap<AppId, MergedCrawl>,
+    /// Per-app bit.ly links (the app's own campaign link), for click
+    /// attribution.
+    pub app_bitly_links: HashMap<AppId, Url>,
+    /// Threat-model counters accumulated during the run.
+    pub stats: ScenarioStats,
+    /// The community rating service, fed from the publicly observable
+    /// posts (used by the dataset builder's benign vetting, like the
+    /// paper's Social Bakers selection).
+    pub social_bakers: SocialBakers,
+}
+
+impl ScenarioWorld {
+    /// Apps observed posting at least one monitored wall post — the
+    /// D-Total membership test.
+    pub fn observed_apps(&self) -> Vec<AppId> {
+        let mut seen = HashSet::new();
+        for &pid in self.mpk.monitored_posts() {
+            if let Some(post) = self.platform.post(pid) {
+                if let Some(app) = post.app {
+                    seen.insert(app);
+                }
+            }
+        }
+        let mut v: Vec<AppId> = seen.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Aggregate counters the scenario accumulates while running — the §2.1
+/// threat-model quantities (data harvesting, viral spread through the
+/// client-ID loophole).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScenarioStats {
+    /// Profile fields successfully read by malicious apps (Step 3 of the
+    /// paper's operation model — the data hackers "sell to third parties").
+    pub pii_fields_harvested: u64,
+    /// Viral installs triggered by malicious posts.
+    pub viral_installs: u64,
+    /// Of those, installs that landed on a *different* app than the one
+    /// whose install URL was visited (the §4.1.4 client-ID loophole).
+    pub installs_via_mismatch: u64,
+}
+
+/// Per-app mutable campaign state during the run.
+struct ActiveApp {
+    victims: Vec<UserId>,
+    promo_cursor: usize,
+    clicks_injected: bool,
+}
+
+/// Runs the full scenario. Deterministic for a given config.
+pub fn run_scenario(config: &ScenarioConfig) -> ScenarioWorld {
+    config.validate();
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x5CE4A210);
+
+    // ---------------- bootstrap -------------------------------------------
+    let mut platform = Platform::new();
+    let mut wot = WotRegistry::new();
+    let mut shortener = Shortener::bitly();
+
+    let population = generate_population(&mut platform, config);
+    let benign = generate_benign_apps(&mut platform, &mut wot, &population.users, config);
+    bootstrap_installs(&mut platform, &benign, &population.users, config);
+    let malicious = generate_malicious(&mut platform, &mut wot, &mut shortener, config);
+
+    // Popularity order for whitelist / piggyback victims.
+    let mut by_popularity: Vec<&BenignApp> = benign.iter().collect();
+    by_popularity.sort_by(|a, b| b.popularity.partial_cmp(&a.popularity).expect("finite"));
+    let popular_ids: Vec<AppId> = by_popularity.iter().map(|a| a.id).collect();
+    let whitelist: HashSet<AppId> = popular_ids
+        .iter()
+        .copied()
+        .take((config.piggyback_victims * 2).max(20))
+        .collect();
+
+    let piggyback = plan_piggyback(&popular_ids, &mut shortener, config);
+
+    // Per-app bit.ly links: a personalised variant of a campaign scam URL,
+    // so Fig. 3's per-app click totals are well-defined.
+    let mut app_bitly_links: HashMap<AppId, Url> = HashMap::new();
+    for c in &malicious.campaigns {
+        for &a in &c.apps {
+            if malicious.apps[&a].click_budget.is_some() {
+                let base = &c.scam_urls[0];
+                let personal = base.clone().with_param("r", a.raw());
+                app_bitly_links.insert(a, shortener.shorten(&personal));
+            }
+        }
+    }
+
+    // ---------------- oracle truth ----------------------------------------
+    let mut truth_urls: HashSet<String> = HashSet::new();
+    let mut overrides: HashMap<String, f64> = HashMap::new();
+    let mut stealthy_campaigns = HashSet::new();
+    let register_url = |url: &Url, stealthy: bool,
+                            truth_urls: &mut HashSet<String>,
+                            overrides: &mut HashMap<String, f64>| {
+        let s = url.to_string();
+        if stealthy {
+            overrides.insert(s.clone(), config.stealthy_detect_prob);
+        }
+        truth_urls.insert(s);
+    };
+    for c in &malicious.campaigns {
+        if c.stealthy {
+            stealthy_campaigns.insert(c.id);
+        }
+        for u in c.scam_urls.iter().chain(&c.shortened_scam_urls) {
+            register_url(u, c.stealthy, &mut truth_urls, &mut overrides);
+        }
+        if let Some(entry) = &c.shortened_site_entry {
+            register_url(entry, c.stealthy, &mut truth_urls, &mut overrides);
+        }
+        if let Some(i) = c.indirection_site {
+            register_url(
+                &malicious.sites[i].entry_url().clone(),
+                c.stealthy,
+                &mut truth_urls,
+                &mut overrides,
+            );
+        }
+        for &a in &c.apps {
+            register_url(&install_url(a), c.stealthy, &mut truth_urls, &mut overrides);
+            if let Some(link) = app_bitly_links.get(&a) {
+                register_url(link, c.stealthy, &mut truth_urls, &mut overrides);
+            }
+        }
+    }
+    for u in piggyback.scam_urls.iter().chain(&piggyback.shortened) {
+        register_url(u, false, &mut truth_urls, &mut overrides);
+    }
+
+    let mut oracle = CalibratedOracle::new(
+        truth_urls.clone(),
+        config.mpk_detect_prob,
+        config.mpk_false_flag_prob,
+        config.seed ^ 0x04AC1E,
+    )
+    .with_detect_overrides(overrides);
+
+    let mut mpk = MyPageKeeper::new();
+    mpk.subscribe_all(population.monitored.iter().copied());
+
+    // ---------------- per-app run state ------------------------------------
+    let mut active: BTreeMap<AppId, ActiveApp> = BTreeMap::new();
+    let mut stats = ScenarioStats::default();
+    // installed-user lists for benign apps (platform's HashSet is not
+    // samplable in O(1))
+    let mut benign_installed: HashMap<AppId, Vec<UserId>> = HashMap::new();
+    for app in &benign {
+        let mut users: Vec<UserId> = platform
+            .app(app.id)
+            .expect("registered above")
+            .installed_users
+            .iter()
+            .copied()
+            .collect();
+        users.sort_unstable(); // HashSet order is not deterministic
+        benign_installed.insert(app.id, users);
+    }
+    let mean_popularity: f64 =
+        benign.iter().map(|a| a.popularity).sum::<f64>() / benign.len().max(1) as f64;
+
+    // ---------------- monitoring phase -------------------------------------
+    let monitoring_crawler = Crawler::new(CrawlerPolicy {
+        salt: config.seed ^ 0xE77,
+        ..CrawlerPolicy::default()
+    });
+    let mut extended_archive: BTreeMap<AppId, MergedCrawl> = BTreeMap::new();
+    let merge_crawl = |archive: &mut BTreeMap<AppId, MergedCrawl>,
+                           platform: &Platform,
+                           crawler: &Crawler,
+                           app: AppId| {
+        let outcome = crawler.crawl(platform, app);
+        let merged = archive.entry(app).or_default();
+        if merged.summary.is_none() {
+            merged.summary = outcome.summary;
+        }
+        if merged.permissions.is_none() {
+            merged.permissions = outcome.permissions;
+        }
+        if merged.profile_feed.is_none() {
+            merged.profile_feed = outcome.profile_feed;
+        }
+    };
+
+    for day in 0..config.monitoring_days {
+        run_benign_day(
+            &mut platform,
+            &benign,
+            &benign_installed,
+            mean_popularity,
+            config,
+            &mut rng,
+        );
+        run_malicious_day(
+            &mut platform,
+            &mut shortener,
+            &malicious,
+            &mut active,
+            &app_bitly_links,
+            &population,
+            day,
+            config,
+            &mut rng,
+            &mut stats,
+        );
+        run_piggyback_day(
+            &mut platform,
+            &piggyback,
+            &population.users, // hackers cannot tell who is monitored
+            &mut rng,
+            config.piggyback_daily_rate,
+        );
+        run_chatter_day(&mut platform, &population, config, &mut rng);
+        run_enforcement_day(&mut platform, &malicious, &benign, &active, config, &mut rng);
+        run_mau_injection(&mut platform, &benign, &malicious, config, &mut rng);
+
+        if day % config.sweep_interval_days == 0 {
+            mpk.sweep(&platform, &mut oracle);
+        }
+        if day % 7 == 3 {
+            // weekly monitoring-phase crawls feed the extended archive
+            let apps: Vec<AppId> = platform.apps().map(|a| a.id).collect();
+            for app in apps {
+                merge_crawl(&mut extended_archive, &platform, &monitoring_crawler, app);
+            }
+        }
+        platform.advance_day();
+    }
+    // Final monitoring sweep so the tail of posts is judged.
+    mpk.sweep(&platform, &mut oracle);
+
+    // The community-rating service aggregates the same public posts the
+    // monitoring saw (it crawls app pages and fan engagement).
+    let mut social_bakers = SocialBakers::new();
+    for &pid in mpk.monitored_posts() {
+        if let Some(post) = platform.post(pid) {
+            if let Some(app) = post.app {
+                social_bakers.observe_post(app, post.likes, post.comments);
+            }
+        }
+    }
+
+    // ---------------- crawl phase -------------------------------------------
+    let all_apps: Vec<AppId> = platform.apps().map(|a| a.id).collect();
+    let crawler = Crawler::new(CrawlerPolicy {
+        salt: config.seed,
+        ..CrawlerPolicy::default()
+    });
+    let mut crawl_archive: BTreeMap<AppId, MergedCrawl> = BTreeMap::new();
+    for week in 0..config.crawl_weeks {
+        for &app in &all_apps {
+            merge_crawl(&mut crawl_archive, &platform, &crawler, app);
+            merge_crawl(&mut extended_archive, &platform, &crawler, app);
+        }
+        // a week passes; enforcement and MAU keep running
+        for _ in 0..7 {
+            run_enforcement_day(&mut platform, &malicious, &benign, &active, config, &mut rng);
+            run_mau_injection(&mut platform, &benign, &malicious, config, &mut rng);
+            platform.advance_day();
+        }
+        let _ = week;
+    }
+    // Tombstone cache: some deleted apps' feeds survive in the archive
+    // from pre-deletion passes (see config.feed_tombstone_cache_permille).
+    for (&app, merged) in crawl_archive.iter_mut() {
+        if merged.profile_feed.is_none() {
+            let cache_hit = splitmix(app.raw() ^ config.seed) % 1000
+                < u64::from(config.feed_tombstone_cache_permille);
+            if cache_hit {
+                if let Some(rec) = platform.app(app) {
+                    let feed: Vec<Post> = rec
+                        .profile_feed
+                        .iter()
+                        .filter_map(|&pid| platform.post(pid).cloned())
+                        .collect();
+                    merged.profile_feed = Some(feed);
+                }
+            }
+        }
+    }
+
+    // ---------------- validation window ------------------------------------
+    for _ in 0..config.validation_extra_days {
+        run_enforcement_day(&mut platform, &malicious, &benign, &active, config, &mut rng);
+        platform.advance_day();
+    }
+    platform.finalize_month();
+
+    let truth = GroundTruth {
+        malicious: malicious.apps.keys().copied().collect(),
+        campaign_of: malicious.apps.iter().map(|(&a, s)| (a, s.campaign)).collect(),
+        stealthy_campaigns,
+        malicious_urls: truth_urls,
+        whitelist,
+    };
+
+    ScenarioWorld {
+        config: config.clone(),
+        platform,
+        shortener,
+        wot,
+        sites: malicious.sites.clone(),
+        mpk,
+        truth,
+        population,
+        benign,
+        malicious,
+        piggyback,
+        crawl_archive,
+        extended_archive,
+        app_bitly_links,
+        stats,
+        social_bakers,
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// --------------------------------------------------------------------------
+// daily sub-steps
+// --------------------------------------------------------------------------
+
+fn run_benign_day(
+    platform: &mut Platform,
+    benign: &[BenignApp],
+    installed: &HashMap<AppId, Vec<UserId>>,
+    mean_popularity: f64,
+    config: &ScenarioConfig,
+    rng: &mut SmallRng,
+) {
+    for app in benign {
+        let users = &installed[&app.id];
+        if users.is_empty() {
+            continue;
+        }
+        // Popularity scales volume, but every app posts at least at the
+        // base rate — D-Total only contains apps that posted at all, and
+        // the paper's 111K observed apps all did.
+        let rate = (config.benign_daily_post_rate * app.popularity / mean_popularity)
+            .clamp(config.benign_daily_post_rate, 40.0);
+        let n = sample_count(rng, rate);
+        for _ in 0..n {
+            let user = users[rng.gen_range(0..users.len())];
+            let msg = BENIGN_POST_TEMPLATES[rng.gen_range(0..BENIGN_POST_TEMPLATES.len())];
+            // Link mix: mostly none or internal; external only for linkers.
+            let link = if app.external_linker && rng.gen_bool(0.35) {
+                app.site_url.clone()
+            } else if rng.gen_bool(0.25) {
+                Some(
+                    Url::parse(&format!(
+                        "https://apps.facebook.com/app{}/play",
+                        app.id.raw()
+                    ))
+                    .expect("generated URL is valid"),
+                )
+            } else {
+                None
+            };
+            if let Ok(pid) = platform.post_as_app(app.id, user, msg, link) {
+                // healthy engagement (a MyPageKeeper feature: benign posts
+                // receive more likes/comments)
+                for _ in 0..rng.gen_range(0..8) {
+                    let liker = UserId(rng.gen_range(0..platform.user_count()) as u64);
+                    let _ = platform.like_post(pid, liker);
+                }
+                for _ in 0..rng.gen_range(0..3) {
+                    let commenter = UserId(rng.gen_range(0..platform.user_count()) as u64);
+                    let _ = platform.comment_post(pid, commenter);
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_malicious_day(
+    platform: &mut Platform,
+    shortener: &mut Shortener,
+    malicious: &MaliciousWorld,
+    active: &mut BTreeMap<AppId, ActiveApp>,
+    app_bitly_links: &HashMap<AppId, Url>,
+    population: &Population,
+    day: u32,
+    config: &ScenarioConfig,
+    rng: &mut SmallRng,
+    stats: &mut ScenarioStats,
+) {
+    for campaign in &malicious.campaigns {
+        for &app_id in &campaign.apps {
+            let spec = &malicious.apps[&app_id];
+            if spec.activation_day > day {
+                continue;
+            }
+            if platform.live_app(app_id).is_err() {
+                continue;
+            }
+
+            // Activation: seed victims and inject the app's web-wide click
+            // budget into its bit.ly link.
+            let state = active.entry(app_id).or_insert_with(|| ActiveApp {
+                victims: Vec::new(),
+                promo_cursor: 0,
+                clicks_injected: false,
+            });
+            if state.victims.is_empty() {
+                for _ in 0..rng.gen_range(1..=3) {
+                    let seed_user =
+                        population.monitored[rng.gen_range(0..population.monitored.len())];
+                    if platform.grant_install(seed_user, app_id).is_ok() {
+                        state.victims.push(seed_user);
+                    }
+                }
+            }
+            if !state.clicks_injected {
+                if let (Some(budget), Some(link)) =
+                    (spec.click_budget, app_bitly_links.get(&app_id))
+                {
+                    shortener.record_clicks(link, budget);
+                }
+                state.clicks_injected = true;
+            }
+
+            let n_posts = sample_count(rng, config.malicious_daily_post_rate);
+            for _ in 0..n_posts {
+                post_malicious(
+                    platform,
+                    shortener,
+                    campaign,
+                    malicious,
+                    app_id,
+                    active,
+                    app_bitly_links,
+                    config,
+                    rng,
+                    stats,
+                );
+            }
+        }
+    }
+}
+
+/// One malicious post plus its viral aftermath. Split out so the borrow on
+/// `active` is scoped: we re-borrow entries as installs add victims to
+/// *other* apps of the campaign.
+#[allow(clippy::too_many_arguments)]
+fn post_malicious(
+    platform: &mut Platform,
+    shortener: &mut Shortener,
+    campaign: &Campaign,
+    malicious: &MaliciousWorld,
+    app_id: AppId,
+    active: &mut BTreeMap<AppId, ActiveApp>,
+    app_bitly_links: &HashMap<AppId, Url>,
+    config: &ScenarioConfig,
+    rng: &mut SmallRng,
+    stats: &mut ScenarioStats,
+) {
+    let spec = &malicious.apps[&app_id];
+    let author = {
+        let state = active.get(&app_id).expect("caller ensured activation");
+        if state.victims.is_empty() {
+            return;
+        }
+        state.victims[rng.gen_range(0..state.victims.len())]
+    };
+
+    // Decide content: promotion (for promoters/duals) or scam.
+    let is_promoter = matches!(spec.role, PlannedRole::Promoter | PlannedRole::Dual)
+        && !campaign.promotion_plan.get(&app_id).map_or(true, Vec::is_empty);
+    let promote = is_promoter && rng.gen_bool(0.5);
+
+    let (message, link, install_target) = if promote {
+        let plan = &campaign.promotion_plan[&app_id];
+        let use_site = campaign.shortened_site_entry.is_some()
+            && campaign.site_users.contains(&app_id)
+            && rng.gen_bool(0.8);
+        if use_site {
+            let entry = campaign.shortened_site_entry.clone().expect("checked above");
+            // install lands wherever the site rotates to; approximate with
+            // a random pool member for the viral step
+            let site = &malicious.sites[campaign.indirection_site.expect("paired with entry")];
+            let target = site.targets()[rng.gen_range(0..site.targets().len())];
+            (
+                PROMO_POST_TEMPLATES[rng.gen_range(0..PROMO_POST_TEMPLATES.len())],
+                entry,
+                target,
+            )
+        } else {
+            let state = active.get_mut(&app_id).expect("caller ensured activation");
+            let target = plan[state.promo_cursor % plan.len()];
+            state.promo_cursor += 1;
+            (
+                PROMO_POST_TEMPLATES[rng.gen_range(0..PROMO_POST_TEMPLATES.len())],
+                install_url(target),
+                target,
+            )
+        }
+    } else {
+        let msg = SCAM_POST_TEMPLATES[rng.gen_range(0..SCAM_POST_TEMPLATES.len())];
+        // Only apps in the bit.ly cohort (Fig. 3's 61%) post shortened
+        // links; the rest post raw landing URLs.
+        let link = match app_bitly_links.get(&app_id) {
+            Some(own) if rng.gen_bool(config.malicious_shorten_rate) => own.clone(),
+            _ => campaign.scam_urls[rng.gen_range(0..campaign.scam_urls.len())].clone(),
+        };
+        (msg, link, app_id)
+    };
+
+    let Ok(_pid) = platform.post_as_app(app_id, author, message, Some(link.clone())) else {
+        return;
+    };
+
+    // Viral aftermath: expose the author's friends.
+    let friends: Vec<UserId> = platform
+        .friends_of(author)
+        .map(|f| f.to_vec())
+        .unwrap_or_default();
+    let exposed: Vec<UserId> = friends
+        .choose_multiple(rng, 10.min(friends.len()))
+        .copied()
+        .collect();
+    for friend in exposed {
+        if rng.gen_bool(config.victim_click_prob) && link.is_shortened() {
+            shortener.record_clicks(&link, 1);
+        }
+        if rng.gen_bool(config.victim_install_prob) {
+            if let Ok(outcome) =
+                run_install_flow(platform, install_target, friend, rng.gen::<u64>())
+            {
+                stats.viral_installs += 1;
+                if outcome.client_id_mismatch() {
+                    stats.installs_via_mismatch += 1;
+                }
+                // Step 3 of the operation model: the app server (i.e. the
+                // hacker) immediately harvests whatever its token reaches.
+                for field in fb_platform::user::ProfileField::ALL {
+                    if platform
+                        .read_profile_field(outcome.installed, friend, field)
+                        .is_ok()
+                    {
+                        stats.pii_fields_harvested += 1;
+                    }
+                }
+                active
+                    .entry(outcome.installed)
+                    .or_insert_with(|| ActiveApp {
+                        victims: Vec::new(),
+                        promo_cursor: 0,
+                        clicks_injected: false,
+                    })
+                    .victims
+                    .push(friend);
+            }
+        }
+        if rng.gen_bool(config.manual_share_prob) {
+            let _ = platform.post_manual(
+                friend,
+                "look what I found",
+                Some(link.clone()),
+            );
+        }
+    }
+}
+
+fn run_chatter_day(
+    platform: &mut Platform,
+    population: &Population,
+    config: &ScenarioConfig,
+    rng: &mut SmallRng,
+) {
+    let n = sample_count(
+        rng,
+        config.manual_chatter_rate * population.users.len() as f64 / 10.0,
+    );
+    for _ in 0..n {
+        let user = population.users[rng.gen_range(0..population.users.len())];
+        let _ = platform.post_manual(user, "having a great day with friends", None);
+    }
+}
+
+fn run_enforcement_day(
+    platform: &mut Platform,
+    malicious: &MaliciousWorld,
+    benign: &[BenignApp],
+    active: &BTreeMap<AppId, ActiveApp>,
+    config: &ScenarioConfig,
+    rng: &mut SmallRng,
+) {
+    // Facebook's own detection: active malicious apps face a daily hazard.
+    for &app_id in active.keys() {
+        if malicious.apps.contains_key(&app_id)
+            && platform.live_app(app_id).is_ok()
+            && rng.gen_bool(config.malicious_daily_deletion_hazard)
+        {
+            let _ = platform.delete_app(app_id);
+        }
+    }
+    // Benign apps: rare ToS deletions.
+    if config.benign_daily_deletion_hazard > 0.0 {
+        let expected = config.benign_daily_deletion_hazard * benign.len() as f64;
+        let n = sample_count(rng, expected);
+        for _ in 0..n {
+            let app = benign[rng.gen_range(0..benign.len())].id;
+            if platform.live_app(app).is_ok() {
+                let _ = platform.delete_app(app);
+            }
+        }
+    }
+}
+
+fn run_mau_injection(
+    platform: &mut Platform,
+    benign: &[BenignApp],
+    malicious: &MaliciousWorld,
+    config: &ScenarioConfig,
+    rng: &mut SmallRng,
+) {
+    // Once per 30-day month (on its first day), inject external MAU.
+    if platform.now().days() % 30 != 0 {
+        return;
+    }
+    let _ = config;
+    for app in benign {
+        let noise = rng.gen_range(0.7..1.3);
+        let _ = platform
+            .record_external_engagement(app.id, (app.base_mau * noise) as u64);
+    }
+    for (&id, spec) in &malicious.apps {
+        // Base month-to-month wobble, with occasional viral spikes — the
+        // paper's 'Future Teller' peaked at 13x its median MAU.
+        let mut noise = rng.gen_range(0.4..2.0);
+        if rng.gen_bool(0.15) {
+            noise *= rng.gen_range(3.0..13.0);
+        }
+        let _ = platform.record_external_engagement(id, (spec.base_mau * noise) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The small scenario is the workhorse of the whole workspace's
+    /// integration tests; run it once here and assert world sanity.
+    #[test]
+    fn small_scenario_produces_a_consistent_world() {
+        let config = ScenarioConfig::small();
+        let world = run_scenario(&config);
+
+        // population
+        assert_eq!(world.platform.user_count(), config.users);
+        assert_eq!(world.mpk.subscriber_count(), config.monitored_users());
+
+        // apps
+        assert_eq!(
+            world.platform.app_count(),
+            config.benign_apps + config.malicious_apps
+        );
+        assert_eq!(world.truth.malicious.len(), config.malicious_apps);
+
+        // posting happened and was monitored
+        assert!(world.platform.posts().len() > 1000, "too few posts");
+        assert!(!world.mpk.flagged_posts().is_empty(), "nothing flagged");
+        let observed = world.observed_apps();
+        assert!(observed.len() > 100, "too few observed apps: {}", observed.len());
+
+        // enforcement deleted a nontrivial share of malicious apps
+        let deleted = world.platform.deleted_apps();
+        let mal_deleted = deleted
+            .iter()
+            .filter(|a| world.truth.malicious.contains(a))
+            .count();
+        assert!(
+            mal_deleted * 3 > world.truth.malicious.len(),
+            "expected >1/3 of malicious apps deleted, got {mal_deleted}/{}",
+            world.truth.malicious.len()
+        );
+
+        // crawl archive covers all apps, with lane-wise gaps
+        assert_eq!(world.crawl_archive.len(), world.platform.app_count());
+        let with_summary = world
+            .crawl_archive
+            .values()
+            .filter(|m| m.summary.is_some())
+            .count();
+        assert!(with_summary > 0 && with_summary < world.crawl_archive.len());
+
+        // clicks accumulated on bit.ly links
+        let total_clicks: u64 = world.shortener.links().map(|l| l.clicks).sum();
+        assert!(total_clicks > 100_000, "click injection missing: {total_clicks}");
+    }
+
+    #[test]
+    fn threat_model_stats_accumulate() {
+        let world = run_scenario(&ScenarioConfig::small());
+        assert!(
+            world.stats.viral_installs > 50,
+            "campaigns should spread virally: {}",
+            world.stats.viral_installs
+        );
+        assert!(
+            world.stats.installs_via_mismatch > 0,
+            "the client-ID loophole should fire"
+        );
+        assert!(
+            world.stats.installs_via_mismatch < world.stats.viral_installs,
+            "mismatch installs are a subset of viral installs"
+        );
+        // Most malicious apps request only publish_stream, so harvesting
+        // stays far below one-field-per-install — exactly the §4.1.2
+        // observation that posting permission alone 'is sufficient'.
+        assert!(
+            world.stats.pii_fields_harvested < world.stats.viral_installs,
+            "harvest {} should trail installs {}",
+            world.stats.pii_fields_harvested,
+            world.stats.viral_installs
+        );
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let config = ScenarioConfig::small();
+        let w1 = run_scenario(&config);
+        let w2 = run_scenario(&config);
+        assert_eq!(w1.platform.posts().len(), w2.platform.posts().len());
+        assert_eq!(w1.mpk.flagged_posts(), w2.mpk.flagged_posts());
+        assert_eq!(w1.platform.deleted_apps(), w2.platform.deleted_apps());
+    }
+
+    #[test]
+    fn flagged_posts_skew_malicious() {
+        let config = ScenarioConfig::small();
+        let world = run_scenario(&config);
+        let mut flagged_malicious = 0usize;
+        let mut flagged_benign_attr = 0usize;
+        for &pid in world.mpk.flagged_posts() {
+            let post = world.platform.post(pid).expect("flagged posts exist");
+            match post.app {
+                Some(app) if world.truth.malicious.contains(&app) => flagged_malicious += 1,
+                Some(_) => flagged_benign_attr += 1,
+                None => {}
+            }
+        }
+        assert!(
+            flagged_malicious > flagged_benign_attr,
+            "malicious apps should dominate flags: {flagged_malicious} vs {flagged_benign_attr}"
+        );
+    }
+}

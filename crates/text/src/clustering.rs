@@ -1,0 +1,286 @@
+//! Name-similarity clustering (§4.2.1, Figs. 10–11).
+//!
+//! The paper clusters app names at varying similarity thresholds and reports
+//! (a) the ratio of #clusters to #apps at each threshold (Fig. 10) and
+//! (b) the cluster-size distribution at threshold 1.0 (Fig. 11).
+//!
+//! Clustering is **single-linkage**: any pair of names with similarity at or
+//! above the threshold joins their clusters. We implement it with a
+//! union-find over all pairs, with two optimizations that keep the paper's
+//! 6,273-name datasets (and much larger ones) fast:
+//!
+//! * names that are *exactly equal* are grouped by hash first, and only one
+//!   representative per distinct string enters the pairwise phase;
+//! * pairs whose length difference already rules out the threshold are
+//!   skipped without computing an edit distance
+//!   ([`crate::similarity::length_filter_passes`]).
+
+use std::collections::HashMap;
+
+use crate::similarity::{length_filter_passes, name_similarity};
+use crate::unionfind::UnionFind;
+
+/// Result of clustering `n` items: a cluster id per item plus the member
+/// lists.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// `assignment[i]` is the cluster index of item `i`.
+    pub assignment: Vec<usize>,
+    /// `clusters[c]` lists the item indices in cluster `c`, ascending.
+    pub clusters: Vec<Vec<usize>>,
+}
+
+impl Clustering {
+    fn from_unionfind(mut uf: UnionFind) -> Self {
+        let groups = uf.groups();
+        let mut assignment = vec![0usize; uf.len()];
+        for (c, group) in groups.iter().enumerate() {
+            for &i in group {
+                assignment[i] = c;
+            }
+        }
+        Clustering {
+            assignment,
+            clusters: groups,
+        }
+    }
+
+    /// Number of items clustered.
+    pub fn item_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The Fig. 10 metric: `#clusters / #items`, in `[0, 1]`. A value of 1
+    /// means no two names merged; small values mean heavy name reuse.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.assignment.is_empty() {
+            return 1.0;
+        }
+        self.cluster_count() as f64 / self.item_count() as f64
+    }
+
+    /// Cluster sizes, descending — the Fig. 11 distribution.
+    pub fn sizes_desc(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self.clusters.iter().map(Vec::len).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+
+    /// Fraction of clusters with size strictly greater than `k`
+    /// (the CCDF read off Fig. 11).
+    pub fn ccdf_at(&self, k: usize) -> f64 {
+        if self.clusters.is_empty() {
+            return 0.0;
+        }
+        let over = self.clusters.iter().filter(|c| c.len() > k).count();
+        over as f64 / self.clusters.len() as f64
+    }
+}
+
+/// Groups items by exact string equality (similarity threshold 1.0 on raw
+/// names). O(n) via hashing.
+pub fn cluster_exact<S: AsRef<str>>(names: &[S]) -> Clustering {
+    let mut uf = UnionFind::new(names.len());
+    let mut first_seen: HashMap<&str, usize> = HashMap::new();
+    for (i, name) in names.iter().enumerate() {
+        match first_seen.entry(name.as_ref()) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                uf.union(*e.get(), i);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(i);
+            }
+        }
+    }
+    Clustering::from_unionfind(uf)
+}
+
+/// Single-linkage clustering of names at a similarity threshold in `[0, 1]`.
+///
+/// `threshold = 1.0` is equivalent to [`cluster_exact`] (and takes that fast
+/// path). Lower thresholds additionally merge near-identical names — the
+/// paper sweeps 1.0 down to 0.6.
+pub fn cluster_by_similarity<S: AsRef<str>>(names: &[S], threshold: f64) -> Clustering {
+    assert!(
+        (0.0..=1.0).contains(&threshold),
+        "threshold must be in [0,1], got {threshold}"
+    );
+    if threshold >= 1.0 {
+        return cluster_exact(names);
+    }
+
+    let mut uf = UnionFind::new(names.len());
+
+    // Exact-duplicate fast path: union duplicates, keep one representative.
+    let mut representatives: Vec<usize> = Vec::new();
+    let mut first_seen: HashMap<&str, usize> = HashMap::new();
+    for (i, name) in names.iter().enumerate() {
+        match first_seen.entry(name.as_ref()) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                uf.union(*e.get(), i);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(i);
+                representatives.push(i);
+            }
+        }
+    }
+
+    // Pairwise phase over distinct strings only, sorted by length so the
+    // length filter can break the inner loop early.
+    representatives.sort_by_key(|&i| names[i].as_ref().chars().count());
+    for (a_pos, &i) in representatives.iter().enumerate() {
+        let a = names[i].as_ref();
+        for &j in &representatives[a_pos + 1..] {
+            let b = names[j].as_ref();
+            if !length_filter_passes(a, b, threshold) {
+                // representatives are length-sorted: all further b are at
+                // least as long, so the filter keeps failing.
+                break;
+            }
+            if uf.connected(i, j) {
+                continue;
+            }
+            if name_similarity(a, b) >= threshold {
+                uf.union(i, j);
+            }
+        }
+    }
+
+    Clustering::from_unionfind(uf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_groups_duplicates() {
+        let names = ["The App", "FarmVille", "The App", "The App", "Zoo World"];
+        let c = cluster_exact(&names);
+        assert_eq!(c.item_count(), 5);
+        assert_eq!(c.cluster_count(), 3);
+        assert_eq!(c.assignment[0], c.assignment[2]);
+        assert_eq!(c.assignment[0], c.assignment[3]);
+        assert_ne!(c.assignment[0], c.assignment[1]);
+        assert_eq!(c.sizes_desc(), vec![3, 1, 1]);
+    }
+
+    #[test]
+    fn threshold_one_equals_exact() {
+        let names = ["a", "b", "a", "c", "b", "a"];
+        let exact = cluster_exact(&names);
+        let sim = cluster_by_similarity(&names, 1.0);
+        assert_eq!(exact.assignment, sim.assignment);
+    }
+
+    #[test]
+    fn lower_threshold_merges_typosquats() {
+        let names = ["FarmVille", "FarmVile", "Zoo World"];
+        let strict = cluster_by_similarity(&names, 0.95);
+        assert_eq!(strict.cluster_count(), 3);
+        let loose = cluster_by_similarity(&names, 0.85);
+        assert_eq!(loose.cluster_count(), 2);
+        assert_eq!(loose.assignment[0], loose.assignment[1]);
+    }
+
+    #[test]
+    fn reduction_ratio_semantics() {
+        // 5 apps all named identically -> ratio 1/5 (the paper's "on
+        // average, 5 malicious apps have the same name" observation).
+        let names = ["x y"; 5];
+        let c = cluster_exact(&names);
+        assert!((c.reduction_ratio() - 0.2).abs() < 1e-12);
+        // all distinct -> ratio 1.0
+        let names = ["a1", "b2", "c3"];
+        assert_eq!(cluster_exact(&names).reduction_ratio(), 1.0);
+    }
+
+    #[test]
+    fn ccdf() {
+        let names = ["a", "a", "a", "b", "c"];
+        let c = cluster_exact(&names);
+        // clusters sized 3,1,1 -> fraction > 1 is 1/3; > 2 is 1/3; > 3 is 0
+        assert!((c.ccdf_at(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.ccdf_at(2) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.ccdf_at(3), 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let names: [&str; 0] = [];
+        let c = cluster_by_similarity(&names, 0.8);
+        assert_eq!(c.item_count(), 0);
+        assert_eq!(c.cluster_count(), 0);
+        assert_eq!(c.reduction_ratio(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in [0,1]")]
+    fn invalid_threshold_panics() {
+        cluster_by_similarity(&["a.b"], 1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn clustering_is_a_partition(
+            names in proptest::collection::vec("[a-c]{0,6}", 0..30),
+            t in 0.5f64..=1.0,
+        ) {
+            let c = cluster_by_similarity(&names, t);
+            prop_assert_eq!(c.item_count(), names.len());
+            let total: usize = c.clusters.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, names.len());
+            for (cid, members) in c.clusters.iter().enumerate() {
+                for &m in members {
+                    prop_assert_eq!(c.assignment[m], cid);
+                }
+            }
+        }
+
+        #[test]
+        fn lower_threshold_never_increases_cluster_count(
+            names in proptest::collection::vec("[a-c]{0,5}", 0..25),
+        ) {
+            let hi = cluster_by_similarity(&names, 0.9);
+            let lo = cluster_by_similarity(&names, 0.6);
+            prop_assert!(lo.cluster_count() <= hi.cluster_count());
+        }
+
+        #[test]
+        fn identical_strings_always_cluster(
+            name in "[a-c]{1,5}",
+            copies in 2usize..6,
+            t in 0.5f64..=1.0,
+        ) {
+            let names = vec![name; copies];
+            let c = cluster_by_similarity(&names, t);
+            prop_assert_eq!(c.cluster_count(), 1);
+        }
+
+        #[test]
+        fn pairwise_threshold_pairs_are_merged(
+            names in proptest::collection::vec("[a-b]{0,4}", 2..12),
+            t in 0.5f64..0.99,
+        ) {
+            // Single linkage must at minimum merge every directly-similar pair.
+            let c = cluster_by_similarity(&names, t);
+            for i in 0..names.len() {
+                for j in i + 1..names.len() {
+                    if name_similarity(&names[i], &names[j]) >= t {
+                        prop_assert_eq!(
+                            c.assignment[i], c.assignment[j],
+                            "pair ({}, {}) similar at {} but split", names[i], names[j], t
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Edit distances.
+//!
+//! The paper (§4.2.1) measures app-name similarity with the
+//! **Damerau–Levenshtein** distance, citing Damerau's original technique
+//! \[30\]. Three related distances are provided:
+//!
+//! * [`levenshtein`] — insertions, deletions, substitutions.
+//! * [`osa_distance`] — *optimal string alignment*: adds transposition of
+//!   adjacent characters, but never edits a substring twice. This is the
+//!   variant most libraries mislabel as Damerau–Levenshtein.
+//! * [`damerau_levenshtein`] — the true, unrestricted distance (a metric):
+//!   transpositions may be followed by further edits between the transposed
+//!   characters.
+//!
+//! All three operate on Unicode scalar values, run in `O(|a|·|b|)` time, and
+//! use row-rolling buffers (the true DL keeps the full matrix, as the
+//! algorithm requires lookback).
+
+use std::collections::HashMap;
+
+/// Classic Levenshtein distance (insert / delete / substitute, unit costs).
+///
+/// ```
+/// use text_analysis::levenshtein;
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Optimal-string-alignment distance: Levenshtein plus transposition of two
+/// *adjacent* characters, with the restriction that no substring is edited
+/// more than once.
+///
+/// ```
+/// use text_analysis::osa_distance;
+/// assert_eq!(osa_distance("ca", "ac"), 1); // one transposition
+/// assert_eq!(osa_distance("ca", "abc"), 3); // restriction bites here
+/// ```
+pub fn osa_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+
+    // Three rolling rows: i-2, i-1, i.
+    let mut prev2: Vec<usize> = vec![0; b.len() + 1];
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+
+    for i in 1..=a.len() {
+        cur[0] = i;
+        for j in 1..=b.len() {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut d = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                d = d.min(prev2[j - 2] + 1);
+            }
+            cur[j] = d;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// True (unrestricted) Damerau–Levenshtein distance — the metric the paper
+/// cites for name similarity.
+///
+/// Uses the Lowrance–Wagner dynamic program with an alphabet map of the last
+/// row where each character occurred.
+///
+/// ```
+/// use text_analysis::damerau_levenshtein;
+/// assert_eq!(damerau_levenshtein("FarmVille", "FarmVile"), 1);
+/// assert_eq!(damerau_levenshtein("ca", "abc"), 2); // transpose then insert
+/// ```
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+
+    let max_dist = n + m;
+    // d has an extra border row/column (index 0) holding max_dist sentinels.
+    let w = m + 2;
+    let mut d = vec![0usize; (n + 2) * w];
+    let idx = |i: usize, j: usize| i * w + j;
+
+    d[idx(0, 0)] = max_dist;
+    for i in 0..=n {
+        d[idx(i + 1, 0)] = max_dist;
+        d[idx(i + 1, 1)] = i;
+    }
+    for j in 0..=m {
+        d[idx(0, j + 1)] = max_dist;
+        d[idx(1, j + 1)] = j;
+    }
+
+    // last_row[c] = last (1-based) row index where character c appeared in a
+    let mut last_row: HashMap<char, usize> = HashMap::new();
+
+    for i in 1..=n {
+        // last column in b (1-based) where b[j-1] == a[i-1], seen so far
+        let mut last_col = 0usize;
+        for j in 1..=m {
+            let last_i = *last_row.get(&b[j - 1]).unwrap_or(&0);
+            let last_j = last_col;
+            let cost = if a[i - 1] == b[j - 1] {
+                last_col = j;
+                0
+            } else {
+                1
+            };
+            let substitute = d[idx(i, j)] + cost;
+            let insert = d[idx(i + 1, j)] + 1;
+            let delete = d[idx(i, j + 1)] + 1;
+            let transpose =
+                d[idx(last_i, last_j)] + (i - last_i - 1) + 1 + (j - last_j - 1);
+            d[idx(i + 1, j + 1)] = substitute.min(insert).min(delete).min(transpose);
+        }
+        last_row.insert(a[i - 1], i);
+    }
+    d[idx(n + 1, m + 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn osa_known_values() {
+        assert_eq!(osa_distance("ca", "ac"), 1);
+        // insert 'n', then transpose 'ca' -> 'ac': disjoint edits, cost 2
+        assert_eq!(osa_distance("a cat", "an act"), 2);
+        // OSA cannot edit a substring twice, so "ca"->"abc" costs 3.
+        assert_eq!(osa_distance("ca", "abc"), 3);
+    }
+
+    #[test]
+    fn damerau_known_values() {
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        // True DL allows transposition + insertion between: cost 2.
+        assert_eq!(damerau_levenshtein("ca", "abc"), 2);
+        assert_eq!(damerau_levenshtein("a cat", "an act"), 2);
+        assert_eq!(damerau_levenshtein("", "xyz"), 3);
+        assert_eq!(damerau_levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn paper_typosquat_examples() {
+        // 'FarmVile' typosquats 'FarmVille' at distance 1 (§4.2.1).
+        assert_eq!(damerau_levenshtein("FarmVille", "FarmVile"), 1);
+        // identical copy: 'Fortune Cookie' copies 'Fortune Cookie'.
+        assert_eq!(damerau_levenshtein("Fortune Cookie", "Fortune Cookie"), 0);
+    }
+
+    #[test]
+    fn unicode_safe() {
+        assert_eq!(levenshtein("héllo", "hello"), 1);
+        assert_eq!(damerau_levenshtein("héllo", "hlélo"), 1);
+    }
+
+    fn short_string() -> impl Strategy<Value = String> {
+        proptest::string::string_regex("[a-d]{0,8}").unwrap()
+    }
+
+    proptest! {
+        #[test]
+        fn dl_is_symmetric(a in short_string(), b in short_string()) {
+            prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn dl_identity(a in short_string()) {
+            prop_assert_eq!(damerau_levenshtein(&a, &a), 0);
+        }
+
+        #[test]
+        fn dl_triangle_inequality(
+            a in short_string(),
+            b in short_string(),
+            c in short_string(),
+        ) {
+            let ab = damerau_levenshtein(&a, &b);
+            let bc = damerau_levenshtein(&b, &c);
+            let ac = damerau_levenshtein(&a, &c);
+            prop_assert!(ac <= ab + bc, "triangle violated: {} > {} + {}", ac, ab, bc);
+        }
+
+        #[test]
+        fn dl_at_most_osa_at_most_levenshtein(a in short_string(), b in short_string()) {
+            let lev = levenshtein(&a, &b);
+            let osa = osa_distance(&a, &b);
+            let dl = damerau_levenshtein(&a, &b);
+            prop_assert!(dl <= osa, "dl {} > osa {}", dl, osa);
+            prop_assert!(osa <= lev, "osa {} > lev {}", osa, lev);
+        }
+
+        #[test]
+        fn dl_bounded_by_longer_length(a in short_string(), b in short_string()) {
+            let d = damerau_levenshtein(&a, &b);
+            let max_len = a.chars().count().max(b.chars().count());
+            let min_len = a.chars().count().min(b.chars().count());
+            prop_assert!(d <= max_len);
+            prop_assert!(d >= max_len - min_len);
+        }
+
+        #[test]
+        fn zero_distance_implies_equal(a in short_string(), b in short_string()) {
+            if damerau_levenshtein(&a, &b) == 0 {
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

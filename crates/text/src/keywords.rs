@@ -1,0 +1,158 @@
+//! Spam-keyword detection.
+//!
+//! MyPageKeeper's post classifier (§2.2) uses "the presence of spam keywords
+//! such as 'FREE', 'Deal', and 'Hurry'" as a feature: malicious posts are
+//! more likely to include such keywords. This module provides the lexicon
+//! and a tokenizing matcher (whole-word, case-insensitive).
+
+use std::collections::HashSet;
+
+/// Default lexicon, seeded with the keywords the paper names plus the
+/// lure vocabulary visible in its examples (free iPads, gift cards, survey
+/// scams, "WOW I just got…", recharge scams of Table 9).
+pub const DEFAULT_SPAM_KEYWORDS: &[&str] = &[
+    "free",
+    "deal",
+    "hurry",
+    "wow",
+    "omg",
+    "won",
+    "winner",
+    "prize",
+    "gift",
+    "giftcard",
+    "ipad",
+    "iphone",
+    "credits",
+    "recharge",
+    "offer",
+    "offers",
+    "limited",
+    "claim",
+    "survey",
+    "stalker",
+    "stalking",
+    "shocking",
+    "unbelievable",
+    "exclusive",
+    "cheap",
+    "discount",
+];
+
+/// A compiled spam-keyword lexicon.
+#[derive(Debug, Clone)]
+pub struct SpamLexicon {
+    words: HashSet<String>,
+}
+
+impl SpamLexicon {
+    /// Builds a lexicon from lower-cased keywords.
+    pub fn new<I, S>(keywords: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        SpamLexicon {
+            words: keywords
+                .into_iter()
+                .map(|s| s.as_ref().to_ascii_lowercase())
+                .collect(),
+        }
+    }
+
+    /// Number of keywords in the lexicon.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the lexicon is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Counts distinct lexicon keywords that appear as whole words in
+    /// `text` (case-insensitive; words are maximal alphanumeric runs).
+    pub fn hits(&self, text: &str) -> usize {
+        let mut seen: HashSet<&str> = HashSet::new();
+        for token in tokenize(text) {
+            if let Some(word) = self.words.get(&token) {
+                seen.insert(word.as_str());
+            }
+        }
+        seen.len()
+    }
+
+    /// Whether any lexicon keyword appears in `text`.
+    pub fn matches(&self, text: &str) -> bool {
+        tokenize(text).any(|t| self.words.contains(&t))
+    }
+}
+
+impl Default for SpamLexicon {
+    fn default() -> Self {
+        SpamLexicon::new(DEFAULT_SPAM_KEYWORDS.iter().copied())
+    }
+}
+
+/// Counts spam keywords in `text` using the default lexicon.
+pub fn spam_keyword_hits(text: &str) -> usize {
+    SpamLexicon::default().hits(text)
+}
+
+fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_ascii_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_keywords_case_insensitively() {
+        let lex = SpamLexicon::default();
+        assert!(lex.matches("Get your FREE 450 FACEBOOK CREDITS"));
+        assert!(lex.matches("Hurry, this deal expires!"));
+        assert!(!lex.matches("posting a photo of my cat"));
+    }
+
+    #[test]
+    fn whole_word_only() {
+        let lex = SpamLexicon::new(["free"]);
+        assert!(lex.matches("free stuff"));
+        assert!(!lex.matches("freedom fighters"), "substring must not match");
+        assert!(lex.matches("it's free!"), "punctuation splits tokens");
+    }
+
+    #[test]
+    fn hits_counts_distinct_keywords() {
+        // "free" twice + "credits" once = 2 distinct hits
+        assert_eq!(
+            spam_keyword_hits("FREE free CREDITS for everyone"),
+            2
+        );
+        assert_eq!(spam_keyword_hits("hello world"), 0);
+    }
+
+    #[test]
+    fn table9_posts_are_spammy() {
+        // The actual piggybacked post texts from Table 9 must trip the lexicon.
+        for post in [
+            "WOW I just got 5000 Facebook Credits for Free",
+            "Get your FREE 450 FACEBOOK CREDITS",
+            "WOW! I Just Got a Recharge of Rs 500.",
+            "Get Your Free Facebook Sim Card",
+        ] {
+            assert!(spam_keyword_hits(post) > 0, "no hits in {post:?}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(spam_keyword_hits(""), 0);
+        let empty = SpamLexicon::new(Vec::<String>::new());
+        assert!(empty.is_empty());
+        assert!(!empty.matches("free"));
+    }
+}

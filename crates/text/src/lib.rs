@@ -1,0 +1,37 @@
+//! # text-analysis — string primitives behind FRAppE's name & post features
+//!
+//! The paper leans on text analysis in three places:
+//!
+//! * **App-name similarity** (§4.2.1, Figs. 10–11): names are compared with
+//!   the Damerau–Levenshtein edit distance, normalized by the longer name's
+//!   length, and clustered at varying similarity thresholds. Implemented in
+//!   [`edit_distance`], [`similarity`] and [`clustering`].
+//! * **Typosquatting detection** (§5.3, Table 8): near-identical names to
+//!   popular apps ('FarmVile' vs 'FarmVille'), plus version-suffix families
+//!   ('Profile Watchers v4.32'). Implemented in [`normalize`].
+//! * **Post-text features** (§2.2): MyPageKeeper's post classifier uses spam
+//!   keywords and cross-post message similarity. Implemented in [`keywords`]
+//!   and [`shingles`].
+//!
+//! All algorithms are deterministic and allocation-conscious; the clustering
+//! module scales to the paper's 6,273-name datasets (and far beyond) by
+//! combining an exact-match fast path with banded pairwise comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clustering;
+pub mod edit_distance;
+pub mod keywords;
+pub mod normalize;
+pub mod shingles;
+pub mod similarity;
+pub mod unionfind;
+
+pub use clustering::{cluster_by_similarity, cluster_exact, Clustering};
+pub use edit_distance::{damerau_levenshtein, levenshtein, osa_distance};
+pub use keywords::{spam_keyword_hits, SpamLexicon, DEFAULT_SPAM_KEYWORDS};
+pub use normalize::{normalize_name, split_version_suffix, NormalizedName};
+pub use shingles::{jaccard, shingle_set, ShingleSet};
+pub use similarity::name_similarity;
+pub use unionfind::UnionFind;

@@ -1,0 +1,154 @@
+//! App-name normalization.
+//!
+//! Two normalizations from the paper's validation pipeline (§5.3):
+//!
+//! * **Case/whitespace folding** for exact-name grouping ("627 different
+//!   malicious apps have the same name 'The App'").
+//! * **Version-suffix splitting** for campaign families like
+//!   `'Profile Watchers v4.32'` and `'How long have you spent logged in?
+//!   v8'` — the base name is shared, the trailing version varies.
+
+use serde::{Deserialize, Serialize};
+
+/// A normalized app name, plus the version suffix (if any) that was split
+/// off the raw name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NormalizedName {
+    /// Lower-cased, whitespace-collapsed name with any version suffix
+    /// removed.
+    pub base: String,
+    /// Version suffix found at the end of the raw name (e.g. `"4.32"` from
+    /// `"Profile Watchers v4.32"`), without the leading `v`.
+    pub version: Option<String>,
+}
+
+impl NormalizedName {
+    /// Whether the raw name carried a version suffix.
+    pub fn is_versioned(&self) -> bool {
+        self.version.is_some()
+    }
+}
+
+/// Lower-cases a name and collapses runs of whitespace to single spaces,
+/// trimming the ends. This is the canonical form used for "identical name"
+/// comparisons.
+///
+/// ```
+/// use text_analysis::normalize_name;
+/// assert_eq!(normalize_name("  The   APP "), "the app");
+/// ```
+pub fn normalize_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut pending_space = false;
+    for c in raw.trim().chars() {
+        if c.is_whitespace() {
+            pending_space = true;
+        } else {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            for lc in c.to_lowercase() {
+                out.push(lc);
+            }
+        }
+    }
+    out
+}
+
+/// Splits a trailing version marker off a name.
+///
+/// A version marker is a final whitespace-separated token of the form
+/// `v<digits>` or `v<digits>.<digits>` (case-insensitive). Returns the
+/// normalized base and the version string.
+///
+/// ```
+/// use text_analysis::split_version_suffix;
+/// let n = split_version_suffix("Profile Watchers v4.32");
+/// assert_eq!(n.base, "profile watchers");
+/// assert_eq!(n.version.as_deref(), Some("4.32"));
+/// let n = split_version_suffix("FarmVille");
+/// assert_eq!(n.base, "farmville");
+/// assert_eq!(n.version, None);
+/// ```
+pub fn split_version_suffix(raw: &str) -> NormalizedName {
+    let normalized = normalize_name(raw);
+    if let Some((head, tail)) = normalized.rsplit_once(' ') {
+        if let Some(ver) = parse_version_token(tail) {
+            return NormalizedName {
+                base: head.to_string(),
+                version: Some(ver),
+            };
+        }
+    }
+    NormalizedName {
+        base: normalized,
+        version: None,
+    }
+}
+
+/// Parses a token of the form `v8` / `v4.32`; returns the numeric part.
+fn parse_version_token(token: &str) -> Option<String> {
+    let digits = token.strip_prefix('v')?;
+    if digits.is_empty() {
+        return None;
+    }
+    let mut seen_dot = false;
+    for (i, c) in digits.char_indices() {
+        match c {
+            '0'..='9' => {}
+            '.' if !seen_dot && i > 0 && i + 1 < digits.len() => seen_dot = true,
+            _ => return None,
+        }
+    }
+    Some(digits.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_folds_case_and_whitespace() {
+        assert_eq!(normalize_name("The App"), "the app");
+        assert_eq!(normalize_name("THE  \t APP"), "the app");
+        assert_eq!(normalize_name(""), "");
+        assert_eq!(normalize_name("   "), "");
+    }
+
+    #[test]
+    fn paper_version_examples() {
+        let n = split_version_suffix("Profile Watchers v4.32");
+        assert_eq!(n.base, "profile watchers");
+        assert_eq!(n.version.as_deref(), Some("4.32"));
+        assert!(n.is_versioned());
+
+        let n = split_version_suffix("How long have you spent logged in? v8");
+        assert_eq!(n.base, "how long have you spent logged in?");
+        assert_eq!(n.version.as_deref(), Some("8"));
+    }
+
+    #[test]
+    fn non_versions_left_intact() {
+        for raw in ["FarmVille", "v", "word v", "app vx1", "app v1.2.3", "app v.5", "app v5."] {
+            let n = split_version_suffix(raw);
+            assert!(n.version.is_none(), "{raw:?} wrongly parsed as versioned: {n:?}");
+        }
+    }
+
+    #[test]
+    fn bare_version_token_is_not_split() {
+        // A name that *is only* a version token has nothing to split from.
+        let n = split_version_suffix("v8");
+        assert_eq!(n.base, "v8");
+        assert_eq!(n.version, None);
+    }
+
+    #[test]
+    fn version_families_share_base() {
+        let a = split_version_suffix("Profile Watchers v4.32");
+        let b = split_version_suffix("Profile Watchers V7");
+        assert_eq!(a.base, b.base);
+        assert_ne!(a.version, b.version);
+    }
+}

@@ -1,0 +1,167 @@
+//! Word shingling and Jaccard similarity.
+//!
+//! MyPageKeeper's classifier uses "the similarity of text messages (posts in
+//! a spam campaign tend to have similar text messages across posts
+//! containing the same URL)" (§2.2), and FRAppE's validation uses post
+//! similarity to tie newly-flagged apps to known campaigns (Table 8,
+//! "Posted link similarity"). Campaign posts are near-duplicates with small
+//! edits, which word-level shingles + Jaccard similarity capture robustly.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// A set of hashed word `k`-shingles for one text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShingleSet {
+    shingles: HashSet<u64>,
+    k: usize,
+}
+
+impl ShingleSet {
+    /// Number of distinct shingles.
+    pub fn len(&self) -> usize {
+        self.shingles.len()
+    }
+
+    /// Whether the text produced no shingles (shorter than `k` words).
+    pub fn is_empty(&self) -> bool {
+        self.shingles.is_empty()
+    }
+
+    /// Shingle size this set was built with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Jaccard similarity with another set: `|A∩B| / |A∪B|` in `[0, 1]`.
+    /// Two empty sets are defined as identical (1.0); an empty and a
+    /// non-empty set are disjoint (0.0).
+    pub fn jaccard(&self, other: &ShingleSet) -> f64 {
+        if self.shingles.is_empty() && other.shingles.is_empty() {
+            return 1.0;
+        }
+        let inter = self.shingles.intersection(&other.shingles).count();
+        let union = self.shingles.len() + other.shingles.len() - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+/// Builds the set of hashed word `k`-shingles of `text`.
+///
+/// Words are maximal alphanumeric runs, lower-cased. Texts with fewer than
+/// `k` words but at least one word contribute a single shingle of all their
+/// words, so short spam lines still compare meaningfully.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn shingle_set(text: &str, k: usize) -> ShingleSet {
+    assert!(k > 0, "shingle size must be positive");
+    let words: Vec<String> = text
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
+
+    let mut shingles = HashSet::new();
+    if words.is_empty() {
+        return ShingleSet { shingles, k };
+    }
+    if words.len() < k {
+        shingles.insert(hash_words(&words));
+        return ShingleSet { shingles, k };
+    }
+    for window in words.windows(k) {
+        shingles.insert(hash_words(window));
+    }
+    ShingleSet { shingles, k }
+}
+
+/// Convenience: Jaccard similarity of two texts at shingle size `k`.
+pub fn jaccard(a: &str, b: &str, k: usize) -> f64 {
+    shingle_set(a, k).jaccard(&shingle_set(b, k))
+}
+
+fn hash_words(words: &[String]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for w in words {
+        w.hash(&mut h);
+        0xffu8.hash(&mut h); // separator so ["ab","c"] != ["a","bc"]
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_texts_score_one() {
+        assert_eq!(jaccard("free ipad click here now", "free ipad click here now", 3), 1.0);
+    }
+
+    #[test]
+    fn unrelated_texts_score_zero() {
+        assert_eq!(
+            jaccard("free ipad click here now", "my cat sat on the mat", 3),
+            0.0
+        );
+    }
+
+    #[test]
+    fn campaign_variants_score_high() {
+        // Same spam template with a substituted number — typical campaign edit.
+        let a = "WOW I just got 5000 Facebook Credits for Free";
+        let b = "WOW I just got 4500 Facebook Credits for Free";
+        let s = jaccard(a, b, 2);
+        assert!(s > 0.5, "campaign variants should be similar, got {s}");
+    }
+
+    #[test]
+    fn short_texts_still_comparable() {
+        assert_eq!(jaccard("free ipad", "free ipad", 5), 1.0);
+        assert_eq!(jaccard("free ipad", "cheap pills", 5), 0.0);
+    }
+
+    #[test]
+    fn empty_semantics() {
+        assert_eq!(jaccard("", "", 3), 1.0);
+        assert_eq!(jaccard("", "something here", 3), 0.0);
+        assert!(shingle_set("", 3).is_empty());
+    }
+
+    #[test]
+    fn word_boundary_hashing_is_unambiguous() {
+        // ["ab","c"] must not collide with ["a","bc"].
+        assert_eq!(jaccard("ab c", "a bc", 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shingle size must be positive")]
+    fn zero_k_panics() {
+        shingle_set("x", 0);
+    }
+
+    proptest! {
+        #[test]
+        fn jaccard_in_unit_interval(a in ".{0,40}", b in ".{0,40}", k in 1usize..4) {
+            let s = jaccard(&a, &b, k);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn jaccard_symmetric(a in ".{0,40}", b in ".{0,40}", k in 1usize..4) {
+            prop_assert_eq!(jaccard(&a, &b, k), jaccard(&b, &a, k));
+        }
+
+        #[test]
+        fn self_similarity_is_one(a in ".{0,40}", k in 1usize..4) {
+            prop_assert_eq!(jaccard(&a, &a, k), 1.0);
+        }
+    }
+}

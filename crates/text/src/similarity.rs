@@ -1,0 +1,111 @@
+//! Normalized name similarity.
+//!
+//! §4.2.1: *"To measure the similarity between two app names, we compute the
+//! Damerau-Levenshtein edit distance between the two names and normalize
+//! this distance with the maximum of the lengths of the two names."*
+//!
+//! We follow that definition exactly: `similarity = 1 − DL(a,b) / max(|a|,|b|)`,
+//! so 1.0 means identical names and 0.0 means entirely different.
+
+use crate::edit_distance::damerau_levenshtein;
+
+/// Similarity of two app names in `[0, 1]` per the paper's definition.
+///
+/// Two empty strings are defined to be identical (similarity 1.0).
+///
+/// ```
+/// use text_analysis::name_similarity;
+/// assert_eq!(name_similarity("The App", "The App"), 1.0);
+/// assert!(name_similarity("FarmVille", "FarmVile") > 0.85);
+/// assert!(name_similarity("FarmVille", "Zoo World") < 0.4);
+/// ```
+pub fn name_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - damerau_levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Cheap lower-bound check: can `a` and `b` possibly reach `threshold`
+/// similarity? Since `DL(a,b) ≥ ||a| − |b||`, a length difference alone can
+/// rule a pair out without computing the full distance. Used by the
+/// clustering pass to prune the O(n²) comparison.
+pub fn length_filter_passes(a: &str, b: &str, threshold: f64) -> bool {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max_len = la.max(lb);
+    if max_len == 0 {
+        return true;
+    }
+    let min_dist = la.abs_diff(lb);
+    1.0 - (min_dist as f64 / max_len as f64) >= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_names_have_similarity_one() {
+        assert_eq!(name_similarity("Mafia Wars", "Mafia Wars"), 1.0);
+        assert_eq!(name_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn disjoint_names_have_similarity_zero() {
+        assert_eq!(name_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_zero() {
+        assert_eq!(name_similarity("", "abcd"), 0.0);
+    }
+
+    #[test]
+    fn typosquat_is_high_similarity() {
+        let s = name_similarity("FarmVille", "FarmVile");
+        assert!((0.88..1.0).contains(&s), "got {s}");
+    }
+
+    #[test]
+    fn length_filter_is_sound() {
+        // If the filter rejects, the true similarity must be below threshold.
+        let cases = [("abcdefgh", "ab"), ("x", "xxxxxxxxxx"), ("aa", "aaa")];
+        for (a, b) in cases {
+            for threshold in [0.6, 0.7, 0.8, 0.9, 1.0] {
+                if !length_filter_passes(a, b, threshold) {
+                    assert!(
+                        name_similarity(a, b) < threshold,
+                        "filter wrongly rejected ({a}, {b}) at {threshold}"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn similarity_in_unit_interval(a in "[a-e]{0,10}", b in "[a-e]{0,10}") {
+            let s = name_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn similarity_symmetric(a in "[a-e]{0,10}", b in "[a-e]{0,10}") {
+            prop_assert_eq!(name_similarity(&a, &b), name_similarity(&b, &a));
+        }
+
+        #[test]
+        fn filter_never_rejects_reachable_pairs(
+            a in "[a-c]{0,8}",
+            b in "[a-c]{0,8}",
+            t in 0.0f64..=1.0,
+        ) {
+            if name_similarity(&a, &b) >= t {
+                prop_assert!(length_filter_passes(&a, &b, t));
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Error type shared across the workspace's vocabulary layer.
+
+use std::fmt;
+
+/// Errors produced while constructing or parsing vocabulary types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A permission name not present in the 64-entry catalogue.
+    UnknownPermission(String),
+    /// A string that does not parse as a URL under the subset grammar in
+    /// [`crate::url`].
+    InvalidUrl {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A domain name that violates the hostname grammar.
+    InvalidDomain(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownPermission(name) => write!(f, "unknown permission: {name:?}"),
+            Error::InvalidUrl { input, reason } => {
+                write!(f, "invalid URL {input:?}: {reason}")
+            }
+            Error::InvalidDomain(d) => write!(f, "invalid domain: {d:?}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,151 @@
+//! Strongly-typed identifiers.
+//!
+//! Facebook assigns every application a unique numeric identifier (the paper
+//! calls this the *app ID* and frames its central question as: "given an
+//! app's identity number ... can we detect if the app is malicious?").
+//! We mirror that with newtype wrappers over `u64` so an [`AppId`] can never
+//! be confused with a [`UserId`] at compile time.
+
+use std::fmt;
+use std::num::ParseIntError;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize,
+            Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Wraps a raw numeric identifier.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw numeric identifier.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = ParseIntError;
+
+            /// Parses either a bare number (`"1234"`) or the prefixed display
+            /// form (e.g. `"app:1234"`).
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                let digits = s.strip_prefix($prefix).unwrap_or(s);
+                digits.parse::<u64>().map(Self)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Unique identifier of a third-party application, as assigned by the
+    /// platform at registration time. App *names* are not unique (a fact
+    /// hackers exploit — §4.2.1 of the paper); the ID is the only stable key.
+    AppId,
+    "app:"
+);
+
+id_type!(
+    /// Unique identifier of a platform user account.
+    UserId,
+    "user:"
+);
+
+id_type!(
+    /// Unique identifier of a wall/feed post.
+    PostId,
+    "post:"
+);
+
+id_type!(
+    /// Unique identifier of an OAuth-style access token handed to an
+    /// application server when a user installs the app.
+    TokenId,
+    "token:"
+);
+
+id_type!(
+    /// Unique identifier of a registered web domain in the simulated
+    /// reputation / hosting universe.
+    DomainId,
+    "domain:"
+);
+
+id_type!(
+    /// Identifier of a hacker campaign in the synthetic workload. One
+    /// campaign corresponds to "one hacker controls many malicious apps"
+    /// (an *AppNet* in the paper's terminology).
+    CampaignId,
+    "campaign:"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_prefix() {
+        assert_eq!(AppId(42).to_string(), "app:42");
+        assert_eq!(UserId(7).to_string(), "user:7");
+        assert_eq!(PostId(0).to_string(), "post:0");
+    }
+
+    #[test]
+    fn parses_bare_and_prefixed_forms() {
+        assert_eq!("123".parse::<AppId>().unwrap(), AppId(123));
+        assert_eq!("app:123".parse::<AppId>().unwrap(), AppId(123));
+        assert_eq!("user:9".parse::<UserId>().unwrap(), UserId(9));
+    }
+
+    #[test]
+    fn rejects_wrong_prefix_digits() {
+        assert!("user:x".parse::<UserId>().is_err());
+        assert!("".parse::<AppId>().is_err());
+    }
+
+    #[test]
+    fn roundtrips_through_display() {
+        for raw in [0u64, 1, 42, u64::MAX] {
+            let id = AppId(raw);
+            assert_eq!(id.to_string().parse::<AppId>().unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(AppId(1) < AppId(2));
+        assert_eq!(AppId(5).raw(), 5);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&AppId(77)).unwrap();
+        assert_eq!(json, "77");
+        let back: AppId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, AppId(77));
+    }
+}

@@ -1,0 +1,34 @@
+//! # osn-types — shared vocabulary for the FRAppE reproduction
+//!
+//! This crate defines the plain-data types shared by every other crate in the
+//! workspace: strongly-typed identifiers ([`AppId`], [`UserId`], [`PostId`]),
+//! the 2012-era Facebook permission catalogue ([`Permission`],
+//! [`PermissionSet`]), a small URL model ([`Url`], [`Domain`]) sufficient for
+//! the paper's link analysis, and a discrete simulation clock ([`SimTime`]).
+//!
+//! Nothing in this crate performs I/O or holds mutable global state; it is the
+//! vocabulary layer everything else speaks.
+//!
+//! ## Why a bespoke URL type?
+//!
+//! FRAppE's features only need scheme/host/path/query decomposition, domain
+//! comparison ("is this on `facebook.com`?") and recognising shortened URLs.
+//! A full RFC 3986 parser would be a heavyweight external dependency; the
+//! paper's analysis never needs IRIs, percent-decoding or normalization
+//! subtleties, so [`url::Url`](crate::url) implements exactly the subset the
+//! experiments exercise, with strict well-formedness checks and tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod permission;
+pub mod time;
+pub mod url;
+
+pub use error::{Error, Result};
+pub use ids::{AppId, CampaignId, DomainId, PostId, TokenId, UserId};
+pub use permission::{Permission, PermissionSet};
+pub use time::{SimDuration, SimTime};
+pub use url::{Domain, Url};

@@ -1,0 +1,407 @@
+//! The 2012-era Facebook permission catalogue.
+//!
+//! At installation time every app requests a set of permissions "chosen from
+//! a pool of 64 permissions pre-defined by Facebook" (§4.1.2). This module
+//! reproduces that pool: 22 `user_*` data permissions, their 22 `friends_*`
+//! mirrors, presence permissions, and the extended permissions (including
+//! `publish_stream`, `offline_access` and `email`, the ones the paper's
+//! Fig. 6 reports as most requested).
+//!
+//! [`PermissionSet`] is a 64-bit set — one bit per catalogue entry — so the
+//! entire permission model of an application is a single copyable word, and
+//! FRAppE's "number of permissions requested" feature is a `count_ones`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+
+macro_rules! permissions {
+    ($(($idx:literal, $variant:ident, $api:literal, $class:ident)),+ $(,)?) => {
+        /// One of the 64 permissions an application can request at install
+        /// time.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+        #[allow(missing_docs)] // the API name string documents each variant
+        #[repr(u8)]
+        pub enum Permission {
+            $($variant = $idx),+
+        }
+
+        impl Permission {
+            /// Every permission in the catalogue, in stable bit order.
+            pub const ALL: [Permission; 64] = [$(Permission::$variant),+];
+
+            /// The API-level name of the permission, as it would appear in an
+            /// OAuth scope string (e.g. `"publish_stream"`).
+            pub const fn api_name(self) -> &'static str {
+                match self {
+                    $(Permission::$variant => $api),+
+                }
+            }
+
+            /// Broad class of the permission (used by the synthetic workload
+            /// to build realistic request profiles).
+            pub const fn class(self) -> PermissionClass {
+                match self {
+                    $(Permission::$variant => PermissionClass::$class),+
+                }
+            }
+
+            /// Bit index of the permission inside a [`PermissionSet`].
+            #[inline]
+            pub const fn bit(self) -> u8 {
+                self as u8
+            }
+
+            /// Inverse of [`Permission::bit`]; `None` if out of range.
+            pub const fn from_bit(bit: u8) -> Option<Permission> {
+                if bit < 64 {
+                    Some(Self::ALL[bit as usize])
+                } else {
+                    None
+                }
+            }
+        }
+
+        impl FromStr for Permission {
+            type Err = Error;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                match s {
+                    $($api => Ok(Permission::$variant),)+
+                    other => Err(Error::UnknownPermission(other.to_string())),
+                }
+            }
+        }
+    };
+}
+
+/// Coarse grouping of permissions by what they grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PermissionClass {
+    /// Read access to a field of the installing user's own profile.
+    UserData,
+    /// Read access to the same field on the user's friends' profiles.
+    FriendsData,
+    /// Ability to act on behalf of the user (post, RSVP, manage, …).
+    Action,
+    /// Session/infrastructure capabilities (offline access, XMPP, …).
+    Session,
+}
+
+permissions! {
+    // --- user data ---------------------------------------------------------
+    (0,  UserAboutMe, "user_about_me", UserData),
+    (1,  UserActivities, "user_activities", UserData),
+    (2,  UserBirthday, "user_birthday", UserData),
+    (3,  UserCheckins, "user_checkins", UserData),
+    (4,  UserEducationHistory, "user_education_history", UserData),
+    (5,  UserEvents, "user_events", UserData),
+    (6,  UserGroups, "user_groups", UserData),
+    (7,  UserHometown, "user_hometown", UserData),
+    (8,  UserInterests, "user_interests", UserData),
+    (9,  UserLikes, "user_likes", UserData),
+    (10, UserLocation, "user_location", UserData),
+    (11, UserNotes, "user_notes", UserData),
+    (12, UserOnlinePresence, "user_online_presence", UserData),
+    (13, UserPhotos, "user_photos", UserData),
+    (14, UserQuestions, "user_questions", UserData),
+    (15, UserRelationships, "user_relationships", UserData),
+    (16, UserRelationshipDetails, "user_relationship_details", UserData),
+    (17, UserReligionPolitics, "user_religion_politics", UserData),
+    (18, UserStatus, "user_status", UserData),
+    (19, UserSubscriptions, "user_subscriptions", UserData),
+    (20, UserVideos, "user_videos", UserData),
+    (21, UserWebsite, "user_website", UserData),
+    (22, UserWorkHistory, "user_work_history", UserData),
+    // --- friends data ------------------------------------------------------
+    (23, FriendsAboutMe, "friends_about_me", FriendsData),
+    (24, FriendsActivities, "friends_activities", FriendsData),
+    (25, FriendsBirthday, "friends_birthday", FriendsData),
+    (26, FriendsCheckins, "friends_checkins", FriendsData),
+    (27, FriendsEducationHistory, "friends_education_history", FriendsData),
+    (28, FriendsEvents, "friends_events", FriendsData),
+    (29, FriendsGroups, "friends_groups", FriendsData),
+    (30, FriendsHometown, "friends_hometown", FriendsData),
+    (31, FriendsInterests, "friends_interests", FriendsData),
+    (32, FriendsLikes, "friends_likes", FriendsData),
+    (33, FriendsLocation, "friends_location", FriendsData),
+    (34, FriendsNotes, "friends_notes", FriendsData),
+    (35, FriendsOnlinePresence, "friends_online_presence", FriendsData),
+    (36, FriendsPhotos, "friends_photos", FriendsData),
+    (37, FriendsQuestions, "friends_questions", FriendsData),
+    (38, FriendsRelationships, "friends_relationships", FriendsData),
+    (39, FriendsRelationshipDetails, "friends_relationship_details", FriendsData),
+    (40, FriendsReligionPolitics, "friends_religion_politics", FriendsData),
+    (41, FriendsStatus, "friends_status", FriendsData),
+    (42, FriendsSubscriptions, "friends_subscriptions", FriendsData),
+    (43, FriendsVideos, "friends_videos", FriendsData),
+    (44, FriendsWebsite, "friends_website", FriendsData),
+    (45, FriendsWorkHistory, "friends_work_history", FriendsData),
+    // --- contact / identity ------------------------------------------------
+    (46, Email, "email", UserData),
+    // --- extended: read ----------------------------------------------------
+    (47, ReadFriendlists, "read_friendlists", UserData),
+    (48, ReadInsights, "read_insights", Session),
+    (49, ReadMailbox, "read_mailbox", UserData),
+    (50, ReadRequests, "read_requests", UserData),
+    (51, ReadStream, "read_stream", UserData),
+    // --- extended: act on behalf of the user --------------------------------
+    (52, PublishStream, "publish_stream", Action),
+    (53, PublishActions, "publish_actions", Action),
+    (54, PublishCheckins, "publish_checkins", Action),
+    (55, CreateEvent, "create_event", Action),
+    (56, RsvpEvent, "rsvp_event", Action),
+    (57, ManageFriendlists, "manage_friendlists", Action),
+    (58, ManageNotifications, "manage_notifications", Action),
+    (59, ManagePages, "manage_pages", Action),
+    (60, Sms, "sms", Action),
+    // --- extended: session -------------------------------------------------
+    (61, OfflineAccess, "offline_access", Session),
+    (62, XmppLogin, "xmpp_login", Session),
+    (63, AdsManagement, "ads_management", Session),
+}
+
+impl fmt::Display for Permission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.api_name())
+    }
+}
+
+/// A set of requested permissions, represented as one bit per catalogue
+/// entry.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct PermissionSet(u64);
+
+impl PermissionSet {
+    /// The empty set (an app that requests no permissions at all only gets
+    /// the user's public profile — possible but rare).
+    pub const EMPTY: PermissionSet = PermissionSet(0);
+
+    /// Builds a set from an iterator of permissions.
+    pub fn from_iter<I: IntoIterator<Item = Permission>>(iter: I) -> Self {
+        let mut set = PermissionSet::EMPTY;
+        for p in iter {
+            set.insert(p);
+        }
+        set
+    }
+
+    /// Parses an OAuth-style comma-separated scope string, e.g.
+    /// `"publish_stream,email"`. Unknown permission names are an error.
+    pub fn from_scope_str(scope: &str) -> Result<Self, Error> {
+        let mut set = PermissionSet::EMPTY;
+        for part in scope.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            set.insert(part.parse()?);
+        }
+        Ok(set)
+    }
+
+    /// Renders the set as an OAuth-style scope string in bit order.
+    pub fn to_scope_str(self) -> String {
+        let names: Vec<&str> = self.iter().map(Permission::api_name).collect();
+        names.join(",")
+    }
+
+    /// Adds a permission to the set.
+    #[inline]
+    pub fn insert(&mut self, p: Permission) {
+        self.0 |= 1u64 << p.bit();
+    }
+
+    /// Removes a permission from the set.
+    #[inline]
+    pub fn remove(&mut self, p: Permission) {
+        self.0 &= !(1u64 << p.bit());
+    }
+
+    /// Whether the set contains `p`.
+    #[inline]
+    pub const fn contains(self, p: Permission) -> bool {
+        self.0 & (1u64 << p.bit()) != 0
+    }
+
+    /// Number of permissions in the set — FRAppE's *permission count*
+    /// feature (Table 4).
+    #[inline]
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: PermissionSet) -> PermissionSet {
+        PermissionSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersection(self, other: PermissionSet) -> PermissionSet {
+        PermissionSet(self.0 & other.0)
+    }
+
+    /// Whether every permission in `self` is also in `other`.
+    #[inline]
+    pub const fn is_subset_of(self, other: PermissionSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates the contained permissions in bit order.
+    pub fn iter(self) -> impl Iterator<Item = Permission> {
+        (0u8..64).filter_map(move |bit| {
+            if self.0 & (1u64 << bit) != 0 {
+                Permission::from_bit(bit)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Raw bit representation (stable across runs; used for hashing and
+    /// serialization).
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a set from [`PermissionSet::bits`].
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        PermissionSet(bits)
+    }
+}
+
+impl FromIterator<Permission> for PermissionSet {
+    fn from_iter<I: IntoIterator<Item = Permission>>(iter: I) -> Self {
+        PermissionSet::from_iter(iter)
+    }
+}
+
+impl fmt::Debug for PermissionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for PermissionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_scope_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_exactly_64_entries_in_bit_order() {
+        assert_eq!(Permission::ALL.len(), 64);
+        for (i, p) in Permission::ALL.iter().enumerate() {
+            assert_eq!(p.bit() as usize, i, "bit order broken at {p}");
+            assert_eq!(Permission::from_bit(i as u8), Some(*p));
+        }
+        assert_eq!(Permission::from_bit(64), None);
+    }
+
+    #[test]
+    fn api_names_are_unique() {
+        let mut names: Vec<&str> = Permission::ALL.iter().map(|p| p.api_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 64);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for p in Permission::ALL {
+            assert_eq!(p.api_name().parse::<Permission>().unwrap(), p);
+        }
+        assert!("not_a_permission".parse::<Permission>().is_err());
+    }
+
+    #[test]
+    fn set_insert_remove_contains() {
+        let mut s = PermissionSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Permission::PublishStream);
+        s.insert(Permission::Email);
+        assert!(s.contains(Permission::PublishStream));
+        assert!(s.contains(Permission::Email));
+        assert!(!s.contains(Permission::OfflineAccess));
+        assert_eq!(s.len(), 2);
+        s.remove(Permission::Email);
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(Permission::Email));
+    }
+
+    #[test]
+    fn scope_string_roundtrip() {
+        let s = PermissionSet::from_iter([
+            Permission::PublishStream,
+            Permission::OfflineAccess,
+            Permission::UserBirthday,
+        ]);
+        let scope = s.to_scope_str();
+        let back = PermissionSet::from_scope_str(&scope).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn scope_string_tolerates_whitespace_and_rejects_unknown() {
+        let s = PermissionSet::from_scope_str(" email , publish_stream ").unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(PermissionSet::from_scope_str("email,bogus").is_err());
+    }
+
+    #[test]
+    fn union_intersection_subset() {
+        let a = PermissionSet::from_iter([Permission::Email, Permission::PublishStream]);
+        let b = PermissionSet::from_iter([Permission::PublishStream, Permission::Sms]);
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b).len(), 1);
+        assert!(a.intersection(b).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+        assert!(PermissionSet::EMPTY.is_subset_of(a));
+    }
+
+    #[test]
+    fn full_set_has_64_bits() {
+        let all: PermissionSet = Permission::ALL.into_iter().collect();
+        assert_eq!(all.len(), 64);
+        assert_eq!(all.bits(), u64::MAX);
+        assert_eq!(PermissionSet::from_bits(all.bits()), all);
+    }
+
+    #[test]
+    fn iter_yields_in_bit_order() {
+        let s = PermissionSet::from_iter([Permission::OfflineAccess, Permission::UserAboutMe]);
+        let v: Vec<Permission> = s.iter().collect();
+        assert_eq!(v, vec![Permission::UserAboutMe, Permission::OfflineAccess]);
+    }
+
+    #[test]
+    fn paper_top5_permissions_exist() {
+        // Fig. 6 of the paper: publish_stream, offline_access, user_birthday,
+        // email, publish_actions.
+        for name in [
+            "publish_stream",
+            "offline_access",
+            "user_birthday",
+            "email",
+            "publish_actions",
+        ] {
+            assert!(name.parse::<Permission>().is_ok(), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Discrete simulation time.
+//!
+//! The paper's measurement spans nine months (June 2011 – March 2012) with
+//! weekly profile crawls and a three-month MAU observation window. All of
+//! that is naturally expressed on a **day-granularity clock**: [`SimTime`] is
+//! a day index from the start of the simulation, [`SimDuration`] a span in
+//! days. No wall-clock time is used anywhere in the workspace, which keeps
+//! every experiment deterministic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, measured in whole days since the start of the
+/// observation period (day 0 ≙ the first day of the trace).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u32);
+
+/// A span of simulated time in whole days.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(pub u32);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs a time from a day index.
+    #[inline]
+    pub const fn from_days(days: u32) -> Self {
+        SimTime(days)
+    }
+
+    /// Day index since the simulation origin.
+    #[inline]
+    pub const fn days(self) -> u32 {
+        self.0
+    }
+
+    /// Zero-based index of the 30-day "month" containing this instant.
+    ///
+    /// The paper reports per-month aggregates (e.g. monthly active users);
+    /// we use fixed 30-day months, which is also how Facebook's MAU metric
+    /// is defined ("engaged with the application over the last 30 days").
+    #[inline]
+    pub const fn month(self) -> u32 {
+        self.0 / 30
+    }
+
+    /// Zero-based index of the 7-day week containing this instant
+    /// (profile crawls in the paper happen once a week).
+    #[inline]
+    pub const fn week(self) -> u32 {
+        self.0 / 7
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero if `earlier` is
+    /// in the future.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A span of `n` days.
+    #[inline]
+    pub const fn days(n: u32) -> Self {
+        SimDuration(n)
+    }
+
+    /// A span of `n` 7-day weeks.
+    #[inline]
+    pub const fn weeks(n: u32) -> Self {
+        SimDuration(n * 7)
+    }
+
+    /// A span of `n` 30-day months.
+    #[inline]
+    pub const fn months(n: u32) -> Self {
+        SimDuration(n * 30)
+    }
+
+    /// Length of the span in days.
+    #[inline]
+    pub const fn as_days(self) -> u32 {
+        self.0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "day {}", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}d", self.0)
+    }
+}
+
+/// Iterator over each day in `[start, end)`, used by the scenario driver to
+/// advance the simulated platform one day at a time.
+pub fn each_day(start: SimTime, end: SimTime) -> impl Iterator<Item = SimTime> {
+    (start.0..end.0).map(SimTime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn month_and_week_boundaries() {
+        assert_eq!(SimTime(0).month(), 0);
+        assert_eq!(SimTime(29).month(), 0);
+        assert_eq!(SimTime(30).month(), 1);
+        assert_eq!(SimTime(0).week(), 0);
+        assert_eq!(SimTime(6).week(), 0);
+        assert_eq!(SimTime(7).week(), 1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(10) + SimDuration::weeks(2);
+        assert_eq!(t, SimTime(24));
+        assert_eq!(t - SimDuration::days(4), SimTime(20));
+        assert_eq!(t.since(SimTime(10)), SimDuration(14));
+        // saturates instead of underflowing
+        assert_eq!(SimTime(3) - SimDuration::days(10), SimTime(0));
+        assert_eq!(SimTime(3).since(SimTime(10)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn nine_month_trace_is_270_days() {
+        let start = SimTime::ZERO;
+        let end = start + SimDuration::months(9);
+        assert_eq!(end.days(), 270);
+        assert_eq!(each_day(start, end).count(), 270);
+    }
+
+    #[test]
+    fn add_assign_advances_clock() {
+        let mut t = SimTime::ZERO;
+        t += SimDuration::days(1);
+        t += SimDuration::days(1);
+        assert_eq!(t, SimTime(2));
+    }
+
+    #[test]
+    fn duration_addition() {
+        assert_eq!(
+            SimDuration::weeks(1) + SimDuration::days(3),
+            SimDuration(10)
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! A small, strict URL model.
+//!
+//! FRAppE's link analysis needs exactly four capabilities:
+//!
+//! 1. decompose a link into scheme / host / path / query,
+//! 2. compare hosts at the *registrable domain* level ("is this link
+//!    external to `facebook.com`?" — the external-link feature of §4.2.2),
+//! 3. read query parameters (the `id=` and `client_id=` parameters of app
+//!    installation URLs — §4.1.4),
+//! 4. recognise URL-shortener hosts (92% of shortened URLs in the paper's
+//!    dataset are `bit.ly`; `j.mp` appears in Table 9).
+//!
+//! [`Url`] implements that subset with strict validation, rather than pulling
+//! in a full RFC 3986 parser (see crate docs for the rationale).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+
+/// Hosts operated by URL-shortening services in the 2011/2012 studied period.
+/// `bit.ly` and `j.mp` are both run by Bitly (and both appear in the paper).
+pub const SHORTENER_HOSTS: &[&str] = &[
+    "bit.ly",
+    "j.mp",
+    "goo.gl",
+    "tinyurl.com",
+    "t.co",
+    "ow.ly",
+    "is.gd",
+];
+
+/// A validated DNS hostname.
+///
+/// Stored lower-cased. Only the hostname grammar the experiments need is
+/// enforced: non-empty dot-separated labels of `[a-z0-9-]`, no leading or
+/// trailing hyphen, at least one dot (we never deal in bare TLDs or
+/// localhost).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Domain(String);
+
+impl Domain {
+    /// Parses and validates a hostname, lower-casing it.
+    pub fn parse(s: &str) -> Result<Self, Error> {
+        let lower = s.trim().to_ascii_lowercase();
+        if lower.is_empty() || !lower.contains('.') {
+            return Err(Error::InvalidDomain(s.to_string()));
+        }
+        for label in lower.split('.') {
+            let ok = !label.is_empty()
+                && label.len() <= 63
+                && !label.starts_with('-')
+                && !label.ends_with('-')
+                && label
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-');
+            if !ok {
+                return Err(Error::InvalidDomain(s.to_string()));
+            }
+        }
+        Ok(Domain(lower))
+    }
+
+    /// The full hostname, lower-cased.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The *registrable domain*: the last two labels of the hostname
+    /// (`apps.facebook.com` → `facebook.com`). This is the granularity at
+    /// which the paper's WOT reputation lookups and hosting analysis
+    /// (Table 3) operate. Sufficient for the synthetic universe, which uses
+    /// no multi-label public suffixes.
+    pub fn registrable(&self) -> Domain {
+        let labels: Vec<&str> = self.0.rsplitn(3, '.').collect();
+        if labels.len() <= 2 {
+            self.clone()
+        } else {
+            Domain(format!("{}.{}", labels[1], labels[0]))
+        }
+    }
+
+    /// Whether this host is `facebook.com` or one of its subdomains.
+    pub fn is_facebook(&self) -> bool {
+        self.registrable().as_str() == "facebook.com"
+    }
+
+    /// Whether this host belongs to a known URL-shortening service.
+    pub fn is_shortener(&self) -> bool {
+        SHORTENER_HOSTS.contains(&self.0.as_str())
+    }
+
+    /// Whether this host ends with the given registrable domain
+    /// (`d.suffix_of("amazonaws.com")` is true for
+    /// `s3.amazonaws.com`).
+    pub fn is_under(&self, registrable: &str) -> bool {
+        self.0 == registrable || self.0.ends_with(&format!(".{registrable}"))
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl FromStr for Domain {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Domain::parse(s)
+    }
+}
+
+/// URL scheme; the studied platform only ever serves `http` / `https`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Plain HTTP.
+    Http,
+    /// HTTP over TLS.
+    Https,
+}
+
+impl Scheme {
+    /// Scheme name without the `://` separator.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Scheme::Http => "http",
+            Scheme::Https => "https",
+        }
+    }
+}
+
+/// A parsed URL (see module docs for the supported subset).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Url {
+    scheme: Scheme,
+    host: Domain,
+    /// Path beginning with `/` (`/` when absent from the input).
+    path: String,
+    /// Query parameters in input order, raw (no percent-decoding).
+    query: Vec<(String, String)>,
+}
+
+impl Url {
+    /// Parses a URL string.
+    ///
+    /// Accepts `http://` and `https://` URLs with an optional path, query
+    /// string, and fragment (the fragment is discarded — nothing in the
+    /// paper's analysis reads fragments).
+    pub fn parse(input: &str) -> Result<Self, Error> {
+        let s = input.trim();
+        let (scheme, rest) = if let Some(rest) = s.strip_prefix("https://") {
+            (Scheme::Https, rest)
+        } else if let Some(rest) = s.strip_prefix("http://") {
+            (Scheme::Http, rest)
+        } else {
+            return Err(Error::InvalidUrl {
+                input: input.to_string(),
+                reason: "missing http:// or https:// scheme",
+            });
+        };
+
+        // Strip the fragment first: it may contain '?' per RFC 3986.
+        let rest = rest.split('#').next().unwrap_or(rest);
+
+        let (authority_and_path, query_str) = match rest.split_once('?') {
+            Some((a, q)) => (a, Some(q)),
+            None => (rest, None),
+        };
+
+        let (host_str, path) = match authority_and_path.split_once('/') {
+            Some((h, p)) => (h, format!("/{p}")),
+            None => (authority_and_path, "/".to_string()),
+        };
+
+        if host_str.contains('@') || host_str.contains(':') {
+            return Err(Error::InvalidUrl {
+                input: input.to_string(),
+                reason: "userinfo / explicit ports are not supported",
+            });
+        }
+
+        let host = Domain::parse(host_str).map_err(|_| Error::InvalidUrl {
+            input: input.to_string(),
+            reason: "invalid host",
+        })?;
+
+        let mut query = Vec::new();
+        if let Some(q) = query_str {
+            for pair in q.split('&').filter(|p| !p.is_empty()) {
+                match pair.split_once('=') {
+                    Some((k, v)) => query.push((k.to_string(), v.to_string())),
+                    None => query.push((pair.to_string(), String::new())),
+                }
+            }
+        }
+
+        Ok(Url {
+            scheme,
+            host,
+            path,
+            query,
+        })
+    }
+
+    /// Builds a URL programmatically. `path` is normalized to start with `/`.
+    pub fn build(scheme: Scheme, host: Domain, path: &str) -> Self {
+        let path = if path.starts_with('/') {
+            path.to_string()
+        } else {
+            format!("/{path}")
+        };
+        Url {
+            scheme,
+            host,
+            path,
+            query: Vec::new(),
+        }
+    }
+
+    /// Appends a query parameter, returning `self` for chaining.
+    pub fn with_param(mut self, key: &str, value: impl fmt::Display) -> Self {
+        self.query.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// URL scheme.
+    #[inline]
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Host part.
+    #[inline]
+    pub fn host(&self) -> &Domain {
+        &self.host
+    }
+
+    /// Path part (always begins with `/`).
+    #[inline]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Value of the first query parameter named `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All query parameters in input order.
+    pub fn query_params(&self) -> &[(String, String)] {
+        &self.query
+    }
+
+    /// Whether this link points at `facebook.com` or a subdomain — i.e. is
+    /// *internal*. The complement is the paper's *external link* notion
+    /// (§4.2.2): "every URL pointing to a domain outside of facebook.com".
+    pub fn is_facebook(&self) -> bool {
+        self.host.is_facebook()
+    }
+
+    /// Whether this link points at a known URL-shortening service.
+    pub fn is_shortened(&self) -> bool {
+        self.host.is_shortener()
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}{}", self.scheme.as_str(), self.host, self.path)?;
+        for (i, (k, v)) in self.query.iter().enumerate() {
+            let sep = if i == 0 { '?' } else { '&' };
+            if v.is_empty() {
+                write!(f, "{sep}{k}")?;
+            } else {
+                write!(f, "{sep}{k}={v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Url {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Url::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_url() {
+        let u = Url::parse("https://graph.facebook.com/12345").unwrap();
+        assert_eq!(u.scheme(), Scheme::Https);
+        assert_eq!(u.host().as_str(), "graph.facebook.com");
+        assert_eq!(u.path(), "/12345");
+        assert!(u.query_params().is_empty());
+        assert!(u.is_facebook());
+    }
+
+    #[test]
+    fn parses_query_params() {
+        let u =
+            Url::parse("https://www.facebook.com/apps/application.php?id=42&client_id=43")
+                .unwrap();
+        assert_eq!(u.query_param("id"), Some("42"));
+        assert_eq!(u.query_param("client_id"), Some("43"));
+        assert_eq!(u.query_param("missing"), None);
+    }
+
+    #[test]
+    fn discards_fragment() {
+        let u = Url::parse("http://example.com/page?a=1#frag?bogus").unwrap();
+        assert_eq!(u.path(), "/page");
+        assert_eq!(u.query_param("a"), Some("1"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Url::parse("not a url").is_err());
+        assert!(Url::parse("ftp://example.com/x").is_err());
+        assert!(Url::parse("http:///nopath").is_err());
+        assert!(Url::parse("http://user@example.com/").is_err());
+        assert!(Url::parse("http://example.com:8080/").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "https://bit.ly/oRzBNU",
+            "http://thenamemeans2.com/landing?src=fb&x",
+            "https://apps.facebook.com/mypagekeeper/",
+        ] {
+            let u = Url::parse(s).unwrap();
+            let back = Url::parse(&u.to_string()).unwrap();
+            assert_eq!(u, back, "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn registrable_domain() {
+        let d = Domain::parse("s3.amazonaws.com").unwrap();
+        assert_eq!(d.registrable().as_str(), "amazonaws.com");
+        assert!(d.is_under("amazonaws.com"));
+        assert!(!d.is_under("azonaws.com"), "must match label boundary");
+        let bare = Domain::parse("bit.ly").unwrap();
+        assert_eq!(bare.registrable(), bare);
+    }
+
+    #[test]
+    fn facebook_detection_matches_label_boundaries() {
+        assert!(Domain::parse("facebook.com").unwrap().is_facebook());
+        assert!(Domain::parse("apps.facebook.com").unwrap().is_facebook());
+        assert!(!Domain::parse("notfacebook.com").unwrap().is_facebook());
+        assert!(!Domain::parse("facebook.com.evil.net").unwrap().is_facebook());
+    }
+
+    #[test]
+    fn shortener_detection() {
+        assert!(Url::parse("https://bit.ly/abc").unwrap().is_shortened());
+        assert!(Url::parse("http://j.mp/oRzBNU").unwrap().is_shortened());
+        assert!(!Url::parse("http://example.com/bit.ly").unwrap().is_shortened());
+    }
+
+    #[test]
+    fn domain_validation() {
+        assert!(Domain::parse("EXAMPLE.Com").is_ok()); // case folded
+        assert_eq!(Domain::parse("EXAMPLE.Com").unwrap().as_str(), "example.com");
+        assert!(Domain::parse("nodots").is_err());
+        assert!(Domain::parse("-bad.com").is_err());
+        assert!(Domain::parse("bad-.com").is_err());
+        assert!(Domain::parse("sp ace.com").is_err());
+        assert!(Domain::parse("").is_err());
+        assert!(Domain::parse("a..b").is_err());
+    }
+
+    #[test]
+    fn builder_with_params() {
+        let u = Url::build(
+            Scheme::Https,
+            Domain::parse("graph.facebook.com").unwrap(),
+            "app",
+        )
+        .with_param("id", 99)
+        .with_param("flag", "");
+        assert_eq!(u.to_string(), "https://graph.facebook.com/app?id=99&flag");
+    }
+}

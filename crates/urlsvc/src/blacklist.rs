@@ -1,0 +1,101 @@
+//! URL and domain blacklists.
+//!
+//! MyPageKeeper "applies URL blacklists as well as custom classification
+//! techniques to identify malicious posts" (§2.2). This module provides the
+//! blacklist half: exact-URL entries and registrable-domain entries, the
+//! same two granularities real feeds (Google Safe Browsing, PhishTank,
+//! joewein) operate at.
+
+use std::collections::HashSet;
+
+use osn_types::url::{Domain, Url};
+
+/// A URL/domain blacklist.
+#[derive(Debug, Clone, Default)]
+pub struct Blacklist {
+    exact_urls: HashSet<String>,
+    domains: HashSet<Domain>,
+}
+
+impl Blacklist {
+    /// An empty blacklist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blacklists one exact URL (scheme, host, path and query all matter).
+    pub fn add_url(&mut self, url: &Url) {
+        self.exact_urls.insert(url.to_string());
+    }
+
+    /// Blacklists a whole registrable domain (all its subdomains match).
+    pub fn add_domain(&mut self, domain: &Domain) {
+        self.domains.insert(domain.registrable());
+    }
+
+    /// Whether a URL is blacklisted, either exactly or by domain.
+    pub fn contains(&self, url: &Url) -> bool {
+        self.exact_urls.contains(&url.to_string())
+            || self.domains.contains(&url.host().registrable())
+    }
+
+    /// Whether a domain (or its registrable parent) is blacklisted.
+    pub fn contains_domain(&self, domain: &Domain) -> bool {
+        self.domains.contains(&domain.registrable())
+    }
+
+    /// Number of entries (exact URLs + domains).
+    pub fn len(&self) -> usize {
+        self.exact_urls.len() + self.domains.len()
+    }
+
+    /// Whether the blacklist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.exact_urls.is_empty() && self.domains.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn exact_url_matching() {
+        let mut bl = Blacklist::new();
+        bl.add_url(&u("http://free-offers-sites.blogspot.com/page?x=1"));
+        assert!(bl.contains(&u("http://free-offers-sites.blogspot.com/page?x=1")));
+        assert!(!bl.contains(&u("http://free-offers-sites.blogspot.com/page?x=2")));
+        assert!(!bl.contains(&u("http://free-offers-sites.blogspot.com/other")));
+    }
+
+    #[test]
+    fn domain_matching_covers_subdomains() {
+        let mut bl = Blacklist::new();
+        bl.add_domain(&Domain::parse("technicalyard.com").unwrap());
+        assert!(bl.contains(&u("http://technicalyard.com/install")));
+        assert!(bl.contains(&u("http://www.technicalyard.com/anything?q=1")));
+        assert!(!bl.contains(&u("http://nottechnicalyard.com/")));
+        assert!(bl.contains_domain(&Domain::parse("cdn.technicalyard.com").unwrap()));
+    }
+
+    #[test]
+    fn empty_blacklist_matches_nothing() {
+        let bl = Blacklist::new();
+        assert!(bl.is_empty());
+        assert_eq!(bl.len(), 0);
+        assert!(!bl.contains(&u("http://anything.com/")));
+    }
+
+    #[test]
+    fn len_counts_both_kinds() {
+        let mut bl = Blacklist::new();
+        bl.add_url(&u("http://a.com/x"));
+        bl.add_domain(&Domain::parse("b.com").unwrap());
+        bl.add_domain(&Domain::parse("sub.b.com").unwrap()); // same registrable
+        assert_eq!(bl.len(), 2);
+    }
+}

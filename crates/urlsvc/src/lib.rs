@@ -1,0 +1,37 @@
+//! # url-services — the web around the simulated platform
+//!
+//! FRAppE's measurement pipeline talks to three external web services, all
+//! reproduced here as deterministic in-process simulations:
+//!
+//! * [`shortener`] — a bit.ly-style URL shortener. The paper queries
+//!   bit.ly's API for per-link click counts (Fig. 3) and expands shortened
+//!   URLs to their full targets (§4.2.2, §6.1); both the API and its failure
+//!   modes (unresolvable links) are modelled.
+//! * [`wot`] — a Web-of-Trust-style domain reputation registry mapping
+//!   domains to trust scores 0–100, with "no data" for unknown domains.
+//!   The paper assigns unknown domains a score of −1 (Fig. 8), which
+//!   [`wot::WotRegistry::feature_score`] reproduces.
+//! * [`redirector`] — the indirection websites of §6.1: pages hosted outside
+//!   Facebook whose HTTP redirect target rotates over time across a pool of
+//!   app installation pages ("103 such URLs that point to 4,676 different
+//!   malicious apps over the course of a month").
+//! * [`blacklist`] — URL/domain blacklists of the kind MyPageKeeper consults
+//!   before its own classifier runs.
+//! * [`socialbakers`] — the Social-Bakers-style community rating service
+//!   [19] the paper uses to vet its benign sample ("90% of which have a
+//!   user rating of at least 3 out of 5").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blacklist;
+pub mod redirector;
+pub mod shortener;
+pub mod socialbakers;
+pub mod wot;
+
+pub use blacklist::Blacklist;
+pub use redirector::IndirectionSite;
+pub use shortener::{ShortLink, Shortener};
+pub use socialbakers::SocialBakers;
+pub use wot::WotRegistry;

@@ -1,0 +1,144 @@
+//! Indirection websites — the AppNets' fast-changing redirect layer.
+//!
+//! §6.1(b): *"a post made by a malicious app includes a shortened URL and
+//! that URL, once resolved, points to a website outside Facebook. This
+//! external website forwards users to several different app installation
+//! pages over time."* The paper identified 103 such sites pointing at 4,676
+//! malicious apps, about a third of them hosted on `amazonaws.com`.
+//!
+//! An [`IndirectionSite`] owns an entry URL on some external hosting domain
+//! and a pool of target app installation URLs. Each fetch rotates the
+//! redirect target deterministically (round-robin keyed by fetch count and
+//! day), which reproduces what the paper's instrumented crawler observed by
+//! following each site "100 times a day" for six weeks.
+
+use osn_types::ids::AppId;
+use osn_types::time::SimTime;
+use osn_types::url::{Domain, Scheme, Url};
+
+/// One indirection website.
+#[derive(Debug, Clone)]
+pub struct IndirectionSite {
+    entry: Url,
+    targets: Vec<AppId>,
+    fetches: u64,
+}
+
+impl IndirectionSite {
+    /// Creates a site at `https://<host>/<path>` forwarding to the given
+    /// pool of apps.
+    ///
+    /// # Panics
+    /// Panics if `targets` is empty — a redirector with nowhere to send
+    /// victims is not a thing hackers deploy.
+    pub fn new(host: Domain, path: &str, targets: Vec<AppId>) -> Self {
+        assert!(!targets.is_empty(), "indirection site needs at least one target app");
+        IndirectionSite {
+            entry: Url::build(Scheme::Http, host, path),
+            targets,
+            fetches: 0,
+        }
+    }
+
+    /// The entry URL that appears (usually shortened) inside promoting
+    /// posts.
+    pub fn entry_url(&self) -> &Url {
+        &self.entry
+    }
+
+    /// The pool of promoted apps.
+    pub fn targets(&self) -> &[AppId] {
+        &self.targets
+    }
+
+    /// Number of fetches served so far.
+    pub fn fetch_count(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Serves one fetch at simulated time `now`, returning the app whose
+    /// installation page the visitor is redirected to.
+    ///
+    /// Rotation is deterministic: the target index advances with each fetch
+    /// and with the simulation day, so (a) repeated same-day fetches cycle
+    /// through the pool — which is how the paper's crawler discovered the
+    /// pools — and (b) the mapping drifts day over day ("fast-changing
+    /// indirection").
+    pub fn fetch(&mut self, now: SimTime) -> AppId {
+        let idx = (self.fetches.wrapping_add(u64::from(now.days())))
+            % self.targets.len() as u64;
+        self.fetches += 1;
+        self.targets[idx as usize]
+    }
+
+    /// Read-only view of where a fetch at `now` with the current counter
+    /// *would* land (used by analysis code that must not perturb state).
+    pub fn peek(&self, now: SimTime) -> AppId {
+        let idx = (self.fetches.wrapping_add(u64::from(now.days())))
+            % self.targets.len() as u64;
+        self.targets[idx as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(n_targets: u64) -> IndirectionSite {
+        IndirectionSite::new(
+            Domain::parse("ec2-54-0-0-1.amazonaws.com").unwrap(),
+            "promo",
+            (0..n_targets).map(AppId).collect(),
+        )
+    }
+
+    #[test]
+    fn entry_url_is_external() {
+        let s = site(3);
+        assert!(!s.entry_url().is_facebook());
+        assert!(s.entry_url().host().is_under("amazonaws.com"));
+    }
+
+    #[test]
+    fn repeated_fetches_cycle_entire_pool() {
+        let mut s = site(5);
+        let day = SimTime::from_days(10);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5 {
+            seen.insert(s.fetch(day));
+        }
+        assert_eq!(seen.len(), 5, "a day of crawling discovers the whole pool");
+        assert_eq!(s.fetch_count(), 5);
+    }
+
+    #[test]
+    fn target_changes_across_days_for_fixed_counter() {
+        let s = site(7);
+        let a = s.peek(SimTime::from_days(0));
+        let b = s.peek(SimTime::from_days(1));
+        assert_ne!(a, b, "redirect target must drift over days");
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut s = site(4);
+        let day = SimTime::from_days(2);
+        let p = s.peek(day);
+        assert_eq!(s.fetch(day), p);
+        assert_eq!(s.fetch_count(), 1);
+    }
+
+    #[test]
+    fn single_target_always_lands_there() {
+        let mut s = site(1);
+        for d in 0..10 {
+            assert_eq!(s.fetch(SimTime::from_days(d)), AppId(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn empty_pool_panics() {
+        IndirectionSite::new(Domain::parse("x.com").unwrap(), "p", vec![]);
+    }
+}

@@ -1,0 +1,143 @@
+//! A Social-Bakers-style community app-rating service.
+//!
+//! The paper selects its benign sample using Social Bakers [19], "which
+//! monitors the 'social marketing success' of apps"; 90% of the selected
+//! apps had a community rating of at least 3 out of 5. This module
+//! reproduces that service: it aggregates publicly-observable engagement
+//! (posts and the likes/comments they earn) into a 1–5 star rating, and
+//! only *tracks* apps with enough community signal — scam apps never earn
+//! ratings because nobody genuinely engages with their spam.
+//!
+//! The service sees only public observables (the same posts a monitoring
+//! crawler sees), never ground truth.
+
+use std::collections::HashMap;
+
+use osn_types::ids::AppId;
+
+/// Minimum observed posts before the service publishes a rating.
+const MIN_POSTS_TRACKED: u64 = 5;
+
+/// Accumulated engagement for one app.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Engagement {
+    posts: u64,
+    likes: u64,
+    comments: u64,
+}
+
+/// The rating service.
+#[derive(Debug, Clone, Default)]
+pub struct SocialBakers {
+    apps: HashMap<AppId, Engagement>,
+}
+
+impl SocialBakers {
+    /// An empty service (no apps tracked).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one observed post by `app` with its engagement counters.
+    pub fn observe_post(&mut self, app: AppId, likes: u32, comments: u32) {
+        let e = self.apps.entry(app).or_default();
+        e.posts += 1;
+        e.likes += u64::from(likes);
+        e.comments += u64::from(comments);
+    }
+
+    /// Whether the service tracks (has published a rating for) the app.
+    pub fn is_tracked(&self, app: AppId) -> bool {
+        self.apps
+            .get(&app)
+            .is_some_and(|e| e.posts >= MIN_POSTS_TRACKED)
+    }
+
+    /// Community rating in `[1.0, 5.0]`, or `None` for untracked apps.
+    ///
+    /// Monotone in mean engagement per post: an app whose posts earn no
+    /// likes or comments bottoms out at 1 star; healthy community apps
+    /// (a few likes per post) reach 3+; viral hits saturate at 5.
+    pub fn rating(&self, app: AppId) -> Option<f64> {
+        let e = self.apps.get(&app)?;
+        if e.posts < MIN_POSTS_TRACKED {
+            return None;
+        }
+        let per_post = (e.likes + e.comments) as f64 / e.posts as f64;
+        // 0 engagement -> 1.0; 1/post -> ~3.0; saturates toward 5.0
+        Some(1.0 + 4.0 * (per_post / (per_post + 1.0)))
+    }
+
+    /// The paper's vetting bar: tracked with a rating of at least
+    /// `min_rating` (the paper reports 3/5 for 90% of its benign sample).
+    pub fn is_vetted(&self, app: AppId, min_rating: f64) -> bool {
+        self.rating(app).is_some_and(|r| r >= min_rating)
+    }
+
+    /// Number of tracked apps.
+    pub fn tracked_count(&self) -> usize {
+        self.apps
+            .values()
+            .filter(|e| e.posts >= MIN_POSTS_TRACKED)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untracked_apps_have_no_rating() {
+        let mut sb = SocialBakers::new();
+        assert_eq!(sb.rating(AppId(1)), None);
+        assert!(!sb.is_tracked(AppId(1)));
+        // below the tracking threshold
+        for _ in 0..MIN_POSTS_TRACKED - 1 {
+            sb.observe_post(AppId(1), 10, 2);
+        }
+        assert_eq!(sb.rating(AppId(1)), None);
+        assert!(!sb.is_vetted(AppId(1), 3.0));
+    }
+
+    #[test]
+    fn engaged_apps_rate_well_spammy_apps_rate_poorly() {
+        let mut sb = SocialBakers::new();
+        for _ in 0..20 {
+            sb.observe_post(AppId(1), 5, 2); // healthy community app
+            sb.observe_post(AppId(2), 0, 0); // spam: nobody likes it
+        }
+        let good = sb.rating(AppId(1)).unwrap();
+        let bad = sb.rating(AppId(2)).unwrap();
+        assert!(good > 4.0, "engaged app rated {good}");
+        assert!((bad - 1.0).abs() < 1e-9, "spam app rated {bad}");
+        assert!(sb.is_vetted(AppId(1), 3.0));
+        assert!(!sb.is_vetted(AppId(2), 3.0));
+        assert_eq!(sb.tracked_count(), 2);
+    }
+
+    #[test]
+    fn rating_is_bounded_and_monotone() {
+        let mut sb = SocialBakers::new();
+        let mut prev = 0.0;
+        for (app, likes) in [(10u64, 0u32), (11, 1), (12, 3), (13, 50)] {
+            for _ in 0..10 {
+                sb.observe_post(AppId(app), likes, 0);
+            }
+            let r = sb.rating(AppId(app)).unwrap();
+            assert!((1.0..=5.0).contains(&r));
+            assert!(r >= prev, "rating must grow with engagement");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn moderate_engagement_clears_the_vetting_bar() {
+        // ~1 like per post is a modest but real community -> >= 3 stars
+        let mut sb = SocialBakers::new();
+        for _ in 0..10 {
+            sb.observe_post(AppId(7), 1, 0);
+        }
+        assert!(sb.is_vetted(AppId(7), 3.0));
+    }
+}

@@ -1,0 +1,127 @@
+//! A Web-of-Trust-style domain reputation registry.
+//!
+//! §4.1.3: the paper queries WOT for the trust reputation of every app's
+//! redirect-URI domain. *"WOT assigns a score between 0 and 100 for every
+//! URI, and we assign a score of −1 to the domains for which the WOT score
+//! is not available."* The registry reproduces exactly that contract:
+//! scores are stored per **registrable domain**, lookups on subdomains fall
+//! back to the registrable domain (how WOT's host-level data behaves for
+//! the domains in this study), and unknown domains return `None` /
+//! feature score −1.
+
+use std::collections::HashMap;
+
+use osn_types::url::{Domain, Url};
+
+/// Feature value the paper assigns to domains WOT has never scored.
+pub const UNKNOWN_SCORE: f64 = -1.0;
+
+/// Domain → trust score registry.
+#[derive(Debug, Clone, Default)]
+pub struct WotRegistry {
+    scores: HashMap<Domain, u8>,
+}
+
+impl WotRegistry {
+    /// An empty registry (every domain unknown).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or overwrites) the trust score of a domain. The score is
+    /// stored against the registrable domain.
+    ///
+    /// # Panics
+    /// Panics if `score > 100` (WOT's scale is 0–100).
+    pub fn set_score(&mut self, domain: &Domain, score: u8) {
+        assert!(score <= 100, "WOT scores are 0-100, got {score}");
+        self.scores.insert(domain.registrable(), score);
+    }
+
+    /// Trust score of a domain, if WOT has data for its registrable domain.
+    pub fn score(&self, domain: &Domain) -> Option<u8> {
+        self.scores.get(&domain.registrable()).copied()
+    }
+
+    /// Trust score of a URL's host.
+    pub fn score_url(&self, url: &Url) -> Option<u8> {
+        self.score(url.host())
+    }
+
+    /// The paper's feature encoding: the score as `f64`, or `−1` when WOT
+    /// has no data (Fig. 8 plots exactly this value).
+    pub fn feature_score(&self, domain: &Domain) -> f64 {
+        self.score(domain).map_or(UNKNOWN_SCORE, f64::from)
+    }
+
+    /// Number of scored (registrable) domains.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Domain {
+        Domain::parse(s).unwrap()
+    }
+
+    #[test]
+    fn unknown_domains_score_minus_one() {
+        let wot = WotRegistry::new();
+        assert_eq!(wot.score(&d("nowhere-to-be-found.biz")), None);
+        assert_eq!(wot.feature_score(&d("nowhere-to-be-found.biz")), -1.0);
+    }
+
+    #[test]
+    fn scores_are_stored_and_returned() {
+        let mut wot = WotRegistry::new();
+        wot.set_score(&d("facebook.com"), 94);
+        wot.set_score(&d("thenamemeans2.com"), 3);
+        assert_eq!(wot.score(&d("facebook.com")), Some(94));
+        assert_eq!(wot.feature_score(&d("thenamemeans2.com")), 3.0);
+        assert_eq!(wot.len(), 2);
+    }
+
+    #[test]
+    fn subdomains_inherit_registrable_score() {
+        let mut wot = WotRegistry::new();
+        wot.set_score(&d("facebook.com"), 94);
+        assert_eq!(wot.score(&d("apps.facebook.com")), Some(94));
+        assert_eq!(wot.score(&d("www.facebook.com")), Some(94));
+        // the paper: "80% of benign apps have redirect URIs pointing to the
+        // apps.facebook.com domain and therefore have higher WOT scores"
+        let url = Url::parse("https://apps.facebook.com/farmville/").unwrap();
+        assert_eq!(wot.score_url(&url), Some(94));
+    }
+
+    #[test]
+    fn setting_via_subdomain_scores_registrable() {
+        let mut wot = WotRegistry::new();
+        wot.set_score(&d("cdn.example.com"), 50);
+        assert_eq!(wot.score(&d("example.com")), Some(50));
+        assert_eq!(wot.score(&d("other.example.com")), Some(50));
+    }
+
+    #[test]
+    fn overwrite_updates_score() {
+        let mut wot = WotRegistry::new();
+        wot.set_score(&d("example.com"), 10);
+        wot.set_score(&d("example.com"), 90);
+        assert_eq!(wot.score(&d("example.com")), Some(90));
+        assert_eq!(wot.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "0-100")]
+    fn out_of_range_score_panics() {
+        WotRegistry::new().set_score(&d("x.com"), 101);
+    }
+}

@@ -1,0 +1,92 @@
+//! Watchdog: the FRAppE-Lite-in-a-browser-extension scenario (§5.1).
+//!
+//! ```text
+//! cargo run --release --example watchdog [app_id ...]
+//! ```
+//!
+//! The paper envisions FRAppE Lite "incorporated, for example, into a
+//! browser extension that can evaluate any Facebook application at the
+//! time when a user is considering installing it". This example plays that
+//! role: it trains FRAppE Lite once, then evaluates apps **purely from
+//! on-demand crawls** — no aggregation features, no monitoring history —
+//! and prints a warning verdict with the per-feature evidence.
+
+use frappe::features::on_demand::{extract_on_demand, OnDemandInput};
+use frappe::{AppFeatures, FeatureId, FeatureSet, FrappeModel};
+use osn_types::AppId;
+use synth_workload::scenario::ScenarioWorld;
+use synth_workload::{build_datasets, run_scenario, ScenarioConfig};
+
+/// "Crawl" an app on demand: summary + install dialog + profile feed.
+fn crawl_on_demand(world: &ScenarioWorld, app: AppId) -> AppFeatures {
+    let crawl = world.extended_archive.get(&app);
+    let input = OnDemandInput {
+        summary: crawl.and_then(|c| c.summary.as_ref()),
+        permissions: crawl.and_then(|c| c.permissions.as_ref()),
+        profile_feed: crawl.and_then(|c| c.profile_feed.as_deref()),
+    };
+    AppFeatures {
+        app,
+        on_demand: extract_on_demand(app, &input, &world.wot),
+        aggregation: Default::default(), // a watchdog has no monitoring view
+    }
+}
+
+fn main() {
+    println!("bootstrapping watchdog (simulating platform + training)...");
+    let world = run_scenario(&ScenarioConfig::small());
+    let bundle = build_datasets(&world);
+
+    let mut samples = Vec::new();
+    let mut labels = Vec::new();
+    for &app in &bundle.d_sample.malicious {
+        samples.push(crawl_on_demand(&world, app));
+        labels.push(true);
+    }
+    for &app in &bundle.d_sample.benign {
+        samples.push(crawl_on_demand(&world, app));
+        labels.push(false);
+    }
+    let model = FrappeModel::train(&samples, &labels, FeatureSet::Lite, None);
+    println!("FRAppE Lite ready ({} support vectors)\n", model.support_vector_count());
+
+    // Evaluate the requested app ids, or a default sample of fresh apps.
+    let requested: Vec<AppId> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse::<u64>().ok().map(AppId))
+        .collect();
+    let targets: Vec<AppId> = if requested.is_empty() {
+        bundle
+            .d_total
+            .iter()
+            .copied()
+            .filter(|a| !bundle.d_sample.malicious.contains(a))
+            .filter(|a| !bundle.d_sample.benign.contains(a))
+            .take(5)
+            .collect()
+    } else {
+        requested
+    };
+
+    for app in targets {
+        let name = world
+            .platform
+            .app(app)
+            .map(|r| r.name().to_string())
+            .unwrap_or_else(|| "<unknown app>".into());
+        let row = crawl_on_demand(&world, app);
+        let score = model.decision_value(&row);
+        println!("--- {app} ({name})");
+        for id in FeatureId::ON_DEMAND {
+            match id.raw_value(&row) {
+                Some(v) => println!("    {:<26} {v}", id.name()),
+                None => println!("    {:<26} <unavailable>", id.name()),
+            }
+        }
+        if score >= 0.0 {
+            println!("    verdict: \u{26a0} DO NOT INSTALL (score {score:+.2})\n");
+        } else {
+            println!("    verdict: looks benign (score {score:+.2})\n");
+        }
+    }
+}

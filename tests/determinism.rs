@@ -1,0 +1,48 @@
+//! Reproducibility: the whole pipeline is a pure function of the config.
+
+use synth_workload::{build_datasets, run_scenario, ScenarioConfig};
+
+#[test]
+fn same_config_same_world_same_datasets() {
+    let config = ScenarioConfig::small();
+    let w1 = run_scenario(&config);
+    let w2 = run_scenario(&config);
+
+    assert_eq!(w1.platform.posts().len(), w2.platform.posts().len());
+    assert_eq!(w1.mpk.flagged_posts(), w2.mpk.flagged_posts());
+    assert_eq!(w1.platform.deleted_apps(), w2.platform.deleted_apps());
+    assert_eq!(w1.observed_apps(), w2.observed_apps());
+
+    let b1 = build_datasets(&w1);
+    let b2 = build_datasets(&w2);
+    assert_eq!(b1.d_sample.malicious, b2.d_sample.malicious);
+    assert_eq!(b1.d_sample.benign, b2.d_sample.benign);
+    assert_eq!(b1.d_complete.malicious, b2.d_complete.malicious);
+
+    // crawl archives agree lane-by-lane
+    assert_eq!(w1.crawl_archive.len(), w2.crawl_archive.len());
+    for (a, m1) in &w1.crawl_archive {
+        let m2 = &w2.crawl_archive[a];
+        assert_eq!(m1.summary.is_some(), m2.summary.is_some());
+        assert_eq!(m1.permissions.is_some(), m2.permissions.is_some());
+        assert_eq!(m1.profile_feed.is_some(), m2.profile_feed.is_some());
+    }
+}
+
+#[test]
+fn different_seed_different_world() {
+    let mut config = ScenarioConfig::small();
+    let w1 = run_scenario(&config);
+    config.seed ^= 0xDEAD_BEEF;
+    let w2 = run_scenario(&config);
+    // overwhelmingly unlikely to coincide
+    assert_ne!(w1.mpk.flagged_posts(), w2.mpk.flagged_posts());
+}
+
+#[test]
+fn click_totals_are_stable() {
+    let config = ScenarioConfig::small();
+    let t1: u64 = run_scenario(&config).shortener.links().map(|l| l.clicks).sum();
+    let t2: u64 = run_scenario(&config).shortener.links().map(|l| l.clicks).sum();
+    assert_eq!(t1, t2);
+}

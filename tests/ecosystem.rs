@@ -1,0 +1,103 @@
+//! Ecosystem integration: the collaboration graph extracted from monitored
+//! posts reflects the planned AppNet structure.
+
+use appnet_graph::{
+    classify_roles, connected_components, extract_collaboration_graph, ExtractionContext, Role,
+};
+use fb_platform::Post;
+use synth_workload::{run_scenario, ScenarioConfig, ScenarioWorld};
+
+fn world() -> ScenarioWorld {
+    run_scenario(&ScenarioConfig::small())
+}
+
+fn graph_of(
+    world: &ScenarioWorld,
+) -> (
+    appnet_graph::CollaborationGraph,
+    appnet_graph::extraction::ExtractionStats,
+) {
+    let posts: Vec<&Post> = world
+        .mpk
+        .monitored_posts()
+        .iter()
+        .filter_map(|&pid| world.platform.post(pid))
+        .filter(|p| p.app.is_some())
+        .collect();
+    let ctx = ExtractionContext::new(&world.shortener, world.sites.iter());
+    extract_collaboration_graph(&posts, &ctx)
+}
+
+#[test]
+fn collaboration_graph_contains_only_truly_malicious_apps() {
+    let world = world();
+    let (graph, _) = graph_of(&world);
+    assert!(graph.node_count() > 20, "graph too small: {}", graph.node_count());
+    // Benign apps never post app-install links, so every node must be a
+    // truly malicious app — the paper's premise that collusion is itself
+    // damning.
+    for node in graph.nodes() {
+        assert!(
+            world.truth.malicious.contains(&node),
+            "benign app {node} ended up in the collaboration graph"
+        );
+    }
+}
+
+#[test]
+fn observed_edges_stay_within_campaigns() {
+    let world = world();
+    let (graph, _) = graph_of(&world);
+    for a in graph.nodes() {
+        for b in graph.promotees_of(a) {
+            assert_eq!(
+                world.truth.campaign_of.get(&a),
+                world.truth.campaign_of.get(&b),
+                "promotion edge {a} -> {b} crosses campaigns"
+            );
+        }
+    }
+}
+
+#[test]
+fn role_mix_resembles_fig13() {
+    let world = world();
+    let (graph, _) = graph_of(&world);
+    let roles = classify_roles(&graph);
+    let colluding = roles.colluding_count() as f64;
+    assert!(colluding > 0.0);
+    let promotee_share = roles.count(Role::Promotee) as f64 / colluding;
+    // Fig. 13: promotees are the majority (58.8%) of colluding apps.
+    assert!(
+        (0.35..0.8).contains(&promotee_share),
+        "promotee share {promotee_share}"
+    );
+    assert!(roles.count(Role::Dual) > 0, "no dual-role apps observed");
+}
+
+#[test]
+fn both_promotion_channels_are_observed() {
+    let world = world();
+    let (_, stats) = graph_of(&world);
+    assert!(stats.direct_links > 0, "no direct promotion observed");
+    assert!(stats.indirection_hits > 0, "no indirection promotion observed");
+    assert!(
+        stats.sites_used.len() <= world.sites.len(),
+        "more sites used than exist"
+    );
+    assert!(!stats.site_promotees.is_empty());
+}
+
+#[test]
+fn components_never_exceed_campaign_count() {
+    let world = world();
+    let (graph, _) = graph_of(&world);
+    let components = connected_components(&graph);
+    // Edges stay within campaigns, so observed components can only split
+    // campaigns further, never merge them — but each component must live
+    // inside one campaign.
+    for comp in &components {
+        let c0 = world.truth.campaign_of.get(&comp[0]);
+        assert!(comp.iter().all(|a| world.truth.campaign_of.get(a) == c0));
+    }
+}

@@ -1,0 +1,196 @@
+//! End-to-end integration: scenario → datasets → features → classifier →
+//! new-app pipeline, asserting the paper's qualitative results hold.
+
+use frappe::features::aggregation::{extract_aggregation, KnownMaliciousNames};
+use frappe::features::on_demand::{extract_on_demand, OnDemandInput};
+use frappe::{cross_validate_frappe, AppFeatures, FeatureSet, FrappeModel};
+use osn_types::AppId;
+use synth_workload::scenario::ScenarioWorld;
+use synth_workload::{build_datasets, run_scenario, DatasetBundle, ScenarioConfig};
+
+fn features_of(world: &ScenarioWorld, app: AppId, known: &KnownMaliciousNames) -> AppFeatures {
+    let crawl = world.extended_archive.get(&app);
+    let input = OnDemandInput {
+        summary: crawl.and_then(|c| c.summary.as_ref()),
+        permissions: crawl.and_then(|c| c.permissions.as_ref()),
+        profile_feed: crawl.and_then(|c| c.profile_feed.as_deref()),
+    };
+    let on_demand = extract_on_demand(app, &input, &world.wot);
+    let posts: Vec<&fb_platform::Post> = world
+        .mpk
+        .monitored_posts()
+        .iter()
+        .filter_map(|&pid| world.platform.post(pid))
+        .filter(|p| p.app == Some(app))
+        .collect();
+    let name = world.platform.app(app).map(|r| r.name()).unwrap_or("");
+    let aggregation = extract_aggregation(name, &posts, known, &world.shortener);
+    AppFeatures {
+        app,
+        on_demand,
+        aggregation,
+    }
+}
+
+fn labelled(world: &ScenarioWorld, bundle: &DatasetBundle) -> (Vec<AppFeatures>, Vec<bool>) {
+    let known = KnownMaliciousNames::from_names(
+        bundle
+            .d_sample
+            .malicious
+            .iter()
+            .filter_map(|&a| world.platform.app(a))
+            .map(|r| r.name().to_string()),
+    );
+    let mut samples = Vec::new();
+    let mut labels = Vec::new();
+    for &a in &bundle.d_sample.malicious {
+        samples.push(features_of(world, a, &known));
+        labels.push(true);
+    }
+    for &a in &bundle.d_sample.benign {
+        samples.push(features_of(world, a, &known));
+        labels.push(false);
+    }
+    (samples, labels)
+}
+
+#[test]
+fn frappe_reaches_paper_grade_accuracy_on_the_simulated_world() {
+    let world = run_scenario(&ScenarioConfig::small());
+    let bundle = build_datasets(&world);
+    let (samples, labels) = labelled(&world, &bundle);
+
+    let lite = cross_validate_frappe(&samples, &labels, FeatureSet::Lite, None, 5, 7);
+    assert!(
+        lite.accuracy() > 0.93,
+        "FRAppE Lite accuracy {} below paper-grade",
+        lite.accuracy()
+    );
+
+    let full = cross_validate_frappe(&samples, &labels, FeatureSet::Full, None, 5, 7);
+    assert!(
+        full.accuracy() > 0.95,
+        "FRAppE accuracy {} below paper-grade",
+        full.accuracy()
+    );
+    assert!(
+        full.false_positive_rate() < 0.05,
+        "FRAppE FP rate {} too high",
+        full.false_positive_rate()
+    );
+}
+
+#[test]
+fn robust_feature_subset_still_works() {
+    let world = run_scenario(&ScenarioConfig::small());
+    let bundle = build_datasets(&world);
+    // The robust features (permission count, client-ID mismatch, WOT
+    // score) all come from the permission crawl, so evaluate on D-Inst —
+    // the apps that crawl succeeded for — like the paper's D-Complete run.
+    let known = KnownMaliciousNames::from_names(
+        bundle
+            .d_sample
+            .malicious
+            .iter()
+            .filter_map(|&a| world.platform.app(a))
+            .map(|r| r.name().to_string()),
+    );
+    let mut samples = Vec::new();
+    let mut labels = Vec::new();
+    for &a in &bundle.d_inst.malicious {
+        samples.push(features_of(&world, a, &known));
+        labels.push(true);
+    }
+    for &a in &bundle.d_inst.benign {
+        samples.push(features_of(&world, a, &known));
+        labels.push(false);
+    }
+    let robust = cross_validate_frappe(&samples, &labels, FeatureSet::Robust, None, 5, 7);
+    assert!(
+        robust.accuracy() > 0.85,
+        "robust subset accuracy {} (paper: 98.2%)",
+        robust.accuracy()
+    );
+}
+
+#[test]
+fn new_app_pipeline_finds_unlabelled_malicious_apps_with_high_precision() {
+    let world = run_scenario(&ScenarioConfig::small());
+    let bundle = build_datasets(&world);
+    let (samples, labels) = labelled(&world, &bundle);
+    let model = FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
+
+    let known = KnownMaliciousNames::from_names(
+        bundle
+            .d_sample
+            .malicious
+            .iter()
+            .filter_map(|&a| world.platform.app(a))
+            .map(|r| r.name().to_string()),
+    );
+    let in_sample: std::collections::HashSet<AppId> = bundle
+        .d_sample
+        .malicious
+        .iter()
+        .chain(&bundle.d_sample.benign)
+        .copied()
+        .collect();
+    let candidates: Vec<AppFeatures> = bundle
+        .d_total
+        .iter()
+        .copied()
+        .filter(|a| !in_sample.contains(a))
+        .filter(|a| {
+            world
+                .extended_archive
+                .get(a)
+                .is_some_and(|c| c.summary.is_some())
+        })
+        .map(|a| features_of(&world, a, &known))
+        .collect();
+    let flagged = model.flag_malicious(&candidates);
+
+    assert!(
+        flagged.len() >= 10,
+        "pipeline should surface new malicious apps, found {}",
+        flagged.len()
+    );
+    let hits = flagged
+        .iter()
+        .filter(|a| world.truth.malicious.contains(a))
+        .count();
+    let precision = hits as f64 / flagged.len() as f64;
+    assert!(
+        precision > 0.9,
+        "paper validated 98.5% of flagged apps; precision here {precision}"
+    );
+}
+
+#[test]
+fn dataset_bundle_shapes_follow_table1() {
+    let world = run_scenario(&ScenarioConfig::small());
+    let b = build_datasets(&world);
+    // Containment chain: D-Complete ⊆ D-Inst ⊆ D-Sample ⊆ D-Total.
+    let total: std::collections::HashSet<AppId> = b.d_total.iter().copied().collect();
+    for a in b.d_sample.malicious.iter().chain(&b.d_sample.benign) {
+        assert!(total.contains(a));
+    }
+    let inst: std::collections::HashSet<AppId> = b
+        .d_inst
+        .malicious
+        .iter()
+        .chain(&b.d_inst.benign)
+        .copied()
+        .collect();
+    for a in b.d_complete.malicious.iter().chain(&b.d_complete.benign) {
+        assert!(inst.contains(a), "D-Complete must be inside D-Inst");
+    }
+    // The class asymmetry that drives the whole paper: malicious apps
+    // vanish from crawls far more often than benign ones.
+    let mal_rate = b.d_summary.malicious.len() as f64 / b.d_sample.malicious.len() as f64;
+    let ben_rate = b.d_summary.benign.len() as f64 / b.d_sample.benign.len() as f64;
+    assert!(
+        mal_rate + 0.2 < ben_rate,
+        "summary survival: malicious {mal_rate} vs benign {ben_rate}"
+    );
+}

@@ -1,0 +1,132 @@
+//! The two platform API loopholes the paper documents, verified across
+//! crates: client-ID mismatch (§4.1.4) and prompt_feed piggybacking (§6.2).
+
+use fb_platform::PostKind;
+use pagekeeper::{derive_app_labels, AppLabel};
+use synth_workload::{run_scenario, ScenarioConfig};
+
+#[test]
+fn client_id_mismatch_shows_up_in_crawls_at_the_configured_rate() {
+    let config = ScenarioConfig::small();
+    let world = run_scenario(&config);
+
+    let mut mismatched = 0usize;
+    let mut observed = 0usize;
+    for (&app, crawl) in &world.extended_archive {
+        if !world.truth.malicious.contains(&app) {
+            continue;
+        }
+        if let Some(perm) = &crawl.permissions {
+            observed += 1;
+            if perm.client_id != app {
+                mismatched += 1;
+            }
+        }
+    }
+    assert!(observed > 20, "too few malicious permission crawls: {observed}");
+    let rate = mismatched as f64 / observed as f64;
+    // Paper: 78% of malicious apps use a different client ID. Singleton
+    // standalone apps cannot (no sibling pool), so the observed rate sits
+    // somewhat below the campaign-level configuration.
+    assert!(
+        (0.35..=0.95).contains(&rate),
+        "client-ID mismatch rate {rate} out of plausible range"
+    );
+
+    // ... and benign apps essentially never do (paper: 1%).
+    let mut benign_mismatch = 0usize;
+    let mut benign_observed = 0usize;
+    for (&app, crawl) in &world.extended_archive {
+        if world.truth.malicious.contains(&app) {
+            continue;
+        }
+        if let Some(perm) = &crawl.permissions {
+            benign_observed += 1;
+            benign_mismatch += usize::from(perm.client_id != app);
+        }
+    }
+    assert!(benign_observed > 50);
+    assert_eq!(benign_mismatch, 0, "benign apps must not mismatch");
+}
+
+#[test]
+fn install_flow_spreads_installs_across_campaign_siblings() {
+    let world = run_scenario(&ScenarioConfig::small());
+    // Find a campaign app whose client pool is non-empty; some sibling of
+    // a posting front app should have installs it never earned directly.
+    let mut pooled_apps = 0;
+    for campaign in &world.malicious.campaigns {
+        for &app in &campaign.apps {
+            let rec = world.platform.app(app).expect("registered");
+            if !rec.registration.client_id_pool.is_empty() {
+                pooled_apps += 1;
+            }
+        }
+    }
+    assert!(pooled_apps > 10, "expected widespread client-ID pools");
+}
+
+#[test]
+fn piggybacked_victims_are_rescued_by_the_whitelist() {
+    let world = run_scenario(&ScenarioConfig::small());
+
+    // Raw labelling (no whitelist): victims are wrongly malicious.
+    let raw = derive_app_labels(&world.mpk, &world.platform, &Default::default());
+    let victims: Vec<_> = world
+        .piggyback
+        .victims
+        .iter()
+        .filter(|v| raw.labels.get(v) == Some(&AppLabel::Malicious))
+        .collect();
+    assert!(
+        !victims.is_empty(),
+        "piggybacking should implicate at least one popular app"
+    );
+
+    // All victims are benign in truth...
+    for v in &world.piggyback.victims {
+        assert!(
+            !world.truth.malicious.contains(v),
+            "piggyback victim {v} is supposed to be benign"
+        );
+    }
+
+    // ...and the whitelist repairs the labels.
+    let repaired = derive_app_labels(&world.mpk, &world.platform, &world.truth.whitelist);
+    for v in victims {
+        assert_eq!(
+            repaired.labels.get(v),
+            Some(&AppLabel::Whitelisted),
+            "victim {v} not rescued"
+        );
+    }
+}
+
+#[test]
+fn piggybacked_posts_carry_popular_attribution_without_tokens() {
+    let world = run_scenario(&ScenarioConfig::small());
+    let mut found = 0;
+    let mut tokenless = 0;
+    for post in world.platform.posts() {
+        if post.kind != PostKind::PromptFeed {
+            continue;
+        }
+        let app = post.app.expect("prompt_feed posts carry a claimed app");
+        assert!(
+            world.piggyback.victims.contains(&app),
+            "prompt_feed post attributed to unplanned app {app}"
+        );
+        // Popular apps are widely installed, so some posters coincidentally
+        // hold a token — but the loophole means many posts exist with NO
+        // token between the poster and the claimed app.
+        if world.platform.token(post.author, app).is_none() {
+            tokenless += 1;
+        }
+        found += 1;
+    }
+    assert!(found > 50, "too few piggybacked posts: {found}");
+    assert!(
+        tokenless * 2 > found,
+        "most piggybacked posts should need no token ({tokenless}/{found})"
+    );
+}

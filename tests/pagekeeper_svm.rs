@@ -1,0 +1,85 @@
+//! Cross-crate integration: MyPageKeeper's *real* SVM-based URL classifier
+//! (not the calibrated oracle) trained on the world's early traffic and
+//! evaluated on later traffic.
+//!
+//! This exercises the full §2.2 substrate: per-URL feature aggregation
+//! (spam keywords, cross-post text similarity, likes/comments), blacklist
+//! short-circuit, and SVM classification — demonstrating that the
+//! simulated workload is realistic enough for the *post-level* classifier
+//! to work too, not just the app-level one.
+
+use fb_platform::Post;
+use pagekeeper::classifier::{PostJudge, UrlClassifier};
+use pagekeeper::features::aggregate_by_url;
+use svm::{Kernel, SvmParams};
+use synth_workload::{run_scenario, ScenarioConfig};
+use url_services::blacklist::Blacklist;
+
+#[test]
+fn real_url_classifier_learns_to_separate_campaign_urls() {
+    let world = run_scenario(&ScenarioConfig::small());
+
+    // All monitored wall posts, split in half by time (post ids are
+    // creation-ordered).
+    let mut post_ids: Vec<_> = world.mpk.monitored_posts().iter().copied().collect();
+    post_ids.sort_unstable();
+    let mid = post_ids.len() / 2;
+    let early: Vec<&Post> = post_ids[..mid]
+        .iter()
+        .filter_map(|&pid| world.platform.post(pid))
+        .collect();
+    let late: Vec<&Post> = post_ids[mid..]
+        .iter()
+        .filter_map(|&pid| world.platform.post(pid))
+        .collect();
+
+    // Train on early traffic using truth labels as the training signal
+    // (standing in for the analyst-curated corpus real MyPageKeeper was
+    // bootstrapped from).
+    let early_aggs = aggregate_by_url(&early);
+    let labels: Vec<bool> = early_aggs
+        .iter()
+        .map(|a| world.truth.malicious_urls.contains(&a.url))
+        .collect();
+    assert!(
+        labels.iter().any(|&l| l) && labels.iter().any(|&l| !l),
+        "early traffic must contain both classes"
+    );
+    let mut clf = UrlClassifier::train_from(
+        &early_aggs,
+        &labels,
+        Blacklist::new(),
+        &SvmParams::with_kernel(Kernel::rbf(0.5)),
+    );
+
+    // Evaluate on late traffic.
+    let late_aggs = aggregate_by_url(&late);
+    let mut cm = svm::ConfusionMatrix::default();
+    for agg in &late_aggs {
+        let truth = world.truth.malicious_urls.contains(&agg.url);
+        let verdict = clf.is_malicious_url(agg, &late);
+        cm.record(
+            if truth { 1.0 } else { -1.0 },
+            if verdict { 1.0 } else { -1.0 },
+        );
+    }
+    assert!(
+        cm.total() > 100,
+        "need a meaningful evaluation set, got {}",
+        cm.total()
+    );
+    // The paper reports 97% precision / 0.005% FP for the real service;
+    // our features are a subset, so demand solid-but-not-perfect numbers.
+    assert!(
+        cm.accuracy() > 0.85,
+        "URL classifier accuracy {} too low ({})",
+        cm.accuracy(),
+        cm
+    );
+    assert!(
+        cm.precision() > 0.85,
+        "URL classifier precision {} too low ({})",
+        cm.precision(),
+        cm
+    );
+}

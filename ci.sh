@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repository CI gate: build, test, lint, format. Run before every push.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI green."

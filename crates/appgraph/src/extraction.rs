@@ -162,7 +162,7 @@ mod tests {
     fn direct_links_create_edges() {
         let shortener = Shortener::bitly();
         let ctx = ExtractionContext::new(&shortener, []);
-        let posts = vec![
+        let posts = [
             post(0, Some(1), Some(install_url(AppId(2)))),
             post(1, Some(2), Some(install_url(AppId(3)))),
             post(2, Some(9), None),                     // no link
@@ -182,7 +182,7 @@ mod tests {
         let mut shortener = Shortener::bitly();
         let short = shortener.shorten(&install_url(AppId(7)));
         let ctx = ExtractionContext::new(&shortener, []);
-        let posts = vec![post(0, Some(1), Some(short))];
+        let posts = [post(0, Some(1), Some(short))];
         let refs: Vec<&Post> = posts.iter().collect();
         let (g, stats) = extract_collaboration_graph(&refs, &ctx);
         assert_eq!(stats.direct_links, 1);
@@ -199,7 +199,7 @@ mod tests {
         let mut shortener = Shortener::bitly();
         let short = shortener.shorten(site.entry_url());
         let ctx = ExtractionContext::new(&shortener, [&site]);
-        let posts = vec![post(0, Some(1), Some(short))];
+        let posts = [post(0, Some(1), Some(short))];
         let refs: Vec<&Post> = posts.iter().collect();
         let (g, stats) = extract_collaboration_graph(&refs, &ctx);
         assert_eq!(stats.indirection_hits, 1);
@@ -213,7 +213,7 @@ mod tests {
         let short = shortener.shorten(&install_url(AppId(7)));
         shortener.set_unresolvable(&short);
         let ctx = ExtractionContext::new(&shortener, []);
-        let posts = vec![post(0, Some(1), Some(short))];
+        let posts = [post(0, Some(1), Some(short))];
         let refs: Vec<&Post> = posts.iter().collect();
         let (g, stats) = extract_collaboration_graph(&refs, &ctx);
         assert_eq!(stats.unresolvable, 1);
@@ -224,7 +224,7 @@ mod tests {
     fn ordinary_external_links_are_ignored() {
         let shortener = Shortener::bitly();
         let ctx = ExtractionContext::new(&shortener, []);
-        let posts = vec![post(
+        let posts = [post(
             0,
             Some(1),
             Some(Url::parse("http://some-survey-scam.com/page").unwrap()),

@@ -53,9 +53,7 @@ fn bench_on_demand(c: &mut Criterion) {
 }
 
 fn bench_aggregation(c: &mut Criterion) {
-    let known = KnownMaliciousNames::from_names(
-        (0..1000).map(|i| format!("Malicious App {i}")),
-    );
+    let known = KnownMaliciousNames::from_names((0..1000).map(|i| format!("Malicious App {i}")));
     let shortener = Shortener::bitly();
     c.bench_function("extract_aggregation_no_posts", |b| {
         b.iter(|| extract_aggregation("The App", &[], &known, &shortener));

@@ -1,7 +1,9 @@
 //! Collaboration-graph analytics benchmarks at AppNet scales (§6.1: the
 //! paper's biggest component has 3,484 apps).
 
-use appnet_graph::{classify_roles, connected_components, local_clustering_coefficient, CollaborationGraph};
+use appnet_graph::{
+    classify_roles, connected_components, local_clustering_coefficient, CollaborationGraph,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use osn_types::AppId;
 use rand::rngs::SmallRng;

@@ -8,7 +8,7 @@ fn names(n: usize) -> Vec<String> {
     // realistic mix: heavy reuse + unique tails, like the malicious class
     (0..n)
         .map(|i| match i % 5 {
-            0..=2 => format!("The App"),
+            0..=2 => "The App".to_string(),
             3 => format!("Profile Watchers v{}", i % 97),
             _ => format!("What Does Name {i} Mean?"),
         })

@@ -1,0 +1,187 @@
+//! Load generator for the online serving layer.
+//!
+//! Replays a synthetic scenario's event stream into a `frappe-serve`
+//! instance from a dedicated ingest thread while query threads hammer
+//! `classify`, then prints the run summary and the service's own metrics
+//! snapshot as JSON.
+//!
+//! ```text
+//! cargo run --release -p frappe-bench --bin loadgen -- \
+//!     [--shards N] [--workers N] [--query-threads N] [--queries N] [--paper-scale]
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use frappe::{FeatureSet, FrappeModel};
+use frappe_bench::lab::{Archive, Lab};
+use frappe_serve::{serve_events, FrappeService, ServeConfig, ServeError};
+
+struct Options {
+    shards: usize,
+    workers: usize,
+    query_threads: usize,
+    queries: usize,
+    paper_scale: bool,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        shards: 4,
+        workers: 2,
+        query_threads: 4,
+        queries: 20_000,
+        paper_scale: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut numeric = |name: &str| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a positive number");
+                    std::process::exit(2);
+                })
+        };
+        match arg.as_str() {
+            "--shards" => opts.shards = numeric("--shards"),
+            "--workers" => opts.workers = numeric("--workers"),
+            "--query-threads" => opts.query_threads = numeric("--query-threads"),
+            "--queries" => opts.queries = numeric("--queries"),
+            "--paper-scale" => opts.paper_scale = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: loadgen [--shards N] [--workers N] [--query-threads N] \
+                     [--queries N] [--paper-scale]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_options();
+    println!(
+        "loadgen: shards={} workers={} query-threads={} queries={} scenario={}",
+        opts.shards,
+        opts.workers,
+        opts.query_threads,
+        opts.queries,
+        if opts.paper_scale { "paper" } else { "small" }
+    );
+
+    let lab = if opts.paper_scale {
+        Lab::paper_scale()
+    } else {
+        Lab::small()
+    };
+    let (samples, labels) = lab.labelled_features(
+        &lab.bundle.d_sample.malicious,
+        &lab.bundle.d_sample.benign,
+        Archive::Extended,
+    );
+    let model = FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
+    let events = serve_events(&lab.world);
+    println!(
+        "world ready: {} events, {} labelled apps, {} support vectors",
+        events.len(),
+        samples.len(),
+        model.support_vector_count()
+    );
+
+    let service = Arc::new(FrappeService::new(
+        model,
+        lab.known_malicious_names(),
+        lab.world.shortener.clone(),
+        ServeConfig {
+            shards: opts.shards,
+            workers: opts.workers,
+            ..ServeConfig::default()
+        },
+    ));
+
+    // prime the store with one full replay so every app is classifiable,
+    // then keep the ingest thread replaying for the whole measurement
+    for event in &events {
+        service.ingest(event);
+    }
+    let apps = Arc::new(service.tracked_apps());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ingester = {
+        let service = Arc::clone(&service);
+        let events = events.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut replayed = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for event in &events {
+                    service.ingest(event);
+                    replayed += 1;
+                }
+            }
+            replayed
+        })
+    };
+
+    let issued = Arc::new(AtomicUsize::new(0));
+    let flagged = Arc::new(AtomicU64::new(0));
+    let retries = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..opts.query_threads {
+            let service = Arc::clone(&service);
+            let apps = Arc::clone(&apps);
+            let issued = Arc::clone(&issued);
+            let flagged = Arc::clone(&flagged);
+            let retries = Arc::clone(&retries);
+            scope.spawn(move || loop {
+                let i = issued.fetch_add(1, Ordering::Relaxed);
+                if i >= opts.queries {
+                    break;
+                }
+                let app = apps[i % apps.len()];
+                loop {
+                    match service.classify(app) {
+                        Ok(verdict) => {
+                            if verdict.malicious {
+                                flagged.fetch_add(1, Ordering::Relaxed);
+                            }
+                            break;
+                        }
+                        Err(ServeError::Overloaded { retry_after_ms }) => {
+                            // honour the service's backpressure contract
+                            retries.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_millis(retry_after_ms));
+                        }
+                        Err(err) => panic!("query failed: {err}"),
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let replayed = ingester.join().expect("ingester joins");
+
+    let qps = opts.queries as f64 / elapsed.as_secs_f64();
+    let eps = replayed as f64 / elapsed.as_secs_f64();
+    println!(
+        "\ndone: {} queries in {:.2?} ({qps:.0} q/s) against {:.0} events/s concurrent ingest",
+        opts.queries, elapsed, eps
+    );
+    println!(
+        "verdicts: {} malicious, {} retries after backpressure",
+        flagged.load(Ordering::Relaxed),
+        retries.load(Ordering::Relaxed)
+    );
+    println!(
+        "\nmetrics: {}",
+        serde_json::to_string_pretty(&service.metrics()).expect("metrics serialize")
+    );
+}

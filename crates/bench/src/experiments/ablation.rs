@@ -48,8 +48,7 @@ pub fn ablation_noise(lab: &Lab) -> ExpResult {
             &ab_lab.bundle.d_sample.benign,
             Archive::Extended,
         );
-        let model =
-            frappe::FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
+        let model = frappe::FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
 
         // Score against truth on everything observed but unlabelled.
         let in_sample: std::collections::HashSet<_> = ab_lab
@@ -172,7 +171,7 @@ pub fn ablation_kernel(lab: &Lab) -> ExpResult {
 /// the robust subset should hold up.
 pub fn ablation_evasion(lab: &Lab) -> ExpResult {
     let mut evading = ScenarioConfig::small();
-    evading.seed = lab.world.config.seed ^ 0xE7A_DE;
+    evading.seed = lab.world.config.seed ^ 0xE7ADE;
     // The obfuscations §7 predicts: summary fields filled in, profile
     // feeds populated with dummy posts.
     evading.malicious_description_rate = 0.90;

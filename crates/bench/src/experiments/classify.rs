@@ -3,7 +3,9 @@
 use serde_json::json;
 use svm::CrossValReport;
 
-use frappe::validation::{validate_flagged, ValidationCategory, ValidationContext, ValidationInput};
+use frappe::validation::{
+    validate_flagged, ValidationCategory, ValidationContext, ValidationInput,
+};
 use frappe::{cross_validate_frappe, FeatureId, FeatureSet, FrappeModel};
 
 use crate::lab::{Archive, Lab};
@@ -90,14 +92,8 @@ pub fn table5(lab: &Lab) -> ExpResult {
             ));
             continue;
         }
-        let report = cross_validate_frappe(
-            &samples,
-            &labels,
-            FeatureSet::Lite,
-            Some(ratio),
-            5,
-            CV_SEED,
-        );
+        let report =
+            cross_validate_frappe(&samples, &labels, FeatureSet::Lite, Some(ratio), 5, CV_SEED);
         lines.push(cv_line(&format!("{ratio}:1"), &report));
         rows.push(json!({"ratio": ratio, "report": cv_json(&report)}));
     }
@@ -332,7 +328,10 @@ pub fn table8(lab: &Lab) -> ExpResult {
             "ground-truth precision of flagged set: {}",
             pct(true_hits as f64 / flagged.len().max(1) as f64)
         ),
-        format!("{:<32} {:>10} {:>12}", "criterion", "validated", "cumulative"),
+        format!(
+            "{:<32} {:>10} {:>12}",
+            "criterion", "validated", "cumulative"
+        ),
     ];
     let mut rows_json = Vec::new();
     for cat in ValidationCategory::IN_ORDER {

@@ -63,8 +63,7 @@ pub fn coverage(lab: &Lab) -> ExpResult {
     let frappe_tp = frappe_detected.iter().filter(|a| truth.contains(a)).count();
 
     let recall = |tp: usize| tp as f64 / true_in_view.max(1) as f64;
-    let precision =
-        |tp: usize, total: usize| tp as f64 / total.max(1) as f64;
+    let precision = |tp: usize, total: usize| tp as f64 / total.max(1) as f64;
 
     let lines = vec![
         format!("truly malicious apps in view: {true_in_view}"),

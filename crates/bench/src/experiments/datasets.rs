@@ -14,13 +14,39 @@ pub fn table1(lab: &Lab) -> ExpResult {
     let b = &lab.bundle;
     let rows = [
         ("D-Total", None, b.d_total.len()),
-        ("D-Sample", Some((b.d_sample.benign.len(), b.d_sample.malicious.len())), b.d_sample.len()),
-        ("D-Summary", Some((b.d_summary.benign.len(), b.d_summary.malicious.len())), b.d_summary.len()),
-        ("D-Inst", Some((b.d_inst.benign.len(), b.d_inst.malicious.len())), b.d_inst.len()),
-        ("D-ProfileFeed", Some((b.d_profile_feed.benign.len(), b.d_profile_feed.malicious.len())), b.d_profile_feed.len()),
-        ("D-Complete", Some((b.d_complete.benign.len(), b.d_complete.malicious.len())), b.d_complete.len()),
+        (
+            "D-Sample",
+            Some((b.d_sample.benign.len(), b.d_sample.malicious.len())),
+            b.d_sample.len(),
+        ),
+        (
+            "D-Summary",
+            Some((b.d_summary.benign.len(), b.d_summary.malicious.len())),
+            b.d_summary.len(),
+        ),
+        (
+            "D-Inst",
+            Some((b.d_inst.benign.len(), b.d_inst.malicious.len())),
+            b.d_inst.len(),
+        ),
+        (
+            "D-ProfileFeed",
+            Some((
+                b.d_profile_feed.benign.len(),
+                b.d_profile_feed.malicious.len(),
+            )),
+            b.d_profile_feed.len(),
+        ),
+        (
+            "D-Complete",
+            Some((b.d_complete.benign.len(), b.d_complete.malicious.len())),
+            b.d_complete.len(),
+        ),
     ];
-    let mut lines = vec![format!("{:<15} {:>8} {:>10}", "dataset", "benign", "malicious")];
+    let mut lines = vec![format!(
+        "{:<15} {:>8} {:>10}",
+        "dataset", "benign", "malicious"
+    )];
     let mut j = serde_json::Map::new();
     for (name, split, total) in rows {
         match split {
@@ -146,10 +172,11 @@ pub fn prevalence(lab: &Lab) -> ExpResult {
     let mut flagged_total = 0usize;
     let mut flagged_by_malicious = 0usize;
     let mut flagged_no_app = 0usize;
-    let labelled_set: std::collections::HashSet<_> =
-        lab.bundle.d_sample.malicious.iter().collect();
+    let labelled_set: std::collections::HashSet<_> = lab.bundle.d_sample.malicious.iter().collect();
     for &pid in lab.world.mpk.flagged_posts() {
-        let Some(post) = lab.world.platform.post(pid) else { continue };
+        let Some(post) = lab.world.platform.post(pid) else {
+            continue;
+        };
         flagged_total += 1;
         match post.app {
             Some(a) if labelled_set.contains(&a) => flagged_by_malicious += 1,
@@ -166,9 +193,7 @@ pub fn prevalence(lab: &Lab) -> ExpResult {
             pct(true_malicious_observed as f64 / observed.max(1) as f64),
             pct(true_malicious_observed as f64 / observed.max(1) as f64),
         ),
-        format!(
-            "labelled (MyPageKeeper-flagged) malicious apps: {labelled}"
-        ),
+        format!("labelled (MyPageKeeper-flagged) malicious apps: {labelled}"),
         format!(
             "flagged posts made by labelled malicious apps: {}",
             pct(flagged_by_malicious as f64 / flagged_total.max(1) as f64)

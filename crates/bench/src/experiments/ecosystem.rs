@@ -16,7 +16,12 @@ use crate::render::{cdf_at, pct};
 use super::ExpResult;
 
 /// Builds the collaboration graph from all monitored app posts.
-pub fn build_graph(lab: &Lab) -> (CollaborationGraph, appnet_graph::extraction::ExtractionStats) {
+pub fn build_graph(
+    lab: &Lab,
+) -> (
+    CollaborationGraph,
+    appnet_graph::extraction::ExtractionStats,
+) {
     let posts: Vec<&Post> = lab
         .posts_by_app
         .values()
@@ -60,7 +65,11 @@ pub fn fig1(lab: &Lab) -> ExpResult {
         format!("average collusion degree: {mean_degree:.1}"),
         format!(
             "DOT graph {} ({} bytes)",
-            if wrote { "written to target/repro/fig1.dot" } else { "generation ok (write skipped)" },
+            if wrote {
+                "written to target/repro/fig1.dot"
+            } else {
+                "generation ok (write skipped)"
+            },
             dot.len()
         ),
     ];
@@ -89,9 +98,18 @@ pub fn fig13(lab: &Lab) -> ExpResult {
 
     let lines = vec![
         format!("colluding apps: {colluding}"),
-        format!("pure promoters: {p} ({})", pct(p as f64 / colluding.max(1) as f64)),
-        format!("pure promotees: {t} ({})", pct(t as f64 / colluding.max(1) as f64)),
-        format!("dual role:      {d} ({})", pct(d as f64 / colluding.max(1) as f64)),
+        format!(
+            "pure promoters: {p} ({})",
+            pct(p as f64 / colluding.max(1) as f64)
+        ),
+        format!(
+            "pure promotees: {t} ({})",
+            pct(t as f64 / colluding.max(1) as f64)
+        ),
+        format!(
+            "dual role:      {d} ({})",
+            pct(d as f64 / colluding.max(1) as f64)
+        ),
     ];
     let json = json!({
         "colluding": colluding,
@@ -120,7 +138,10 @@ pub fn fig14(lab: &Lab) -> ExpResult {
     let over074 = 1.0 - cdf_at(&coeffs, 0.74);
     let lines = vec![
         format!("nodes: {}", coeffs.len()),
-        format!("apps with local clustering coefficient > 0.74: {}", pct(over074)),
+        format!(
+            "apps with local clustering coefficient > 0.74: {}",
+            pct(over074)
+        ),
         format!("median coefficient: {:.2}", crate::render::median(&coeffs)),
     ];
     let json = json!({
@@ -219,8 +240,14 @@ pub fn fig16(lab: &Lab) -> ExpResult {
     let below_02 = cdf_at(&ratios, 0.2);
     let lines = vec![
         format!("apps with >= 1 flagged post: {}", ratios.len()),
-        format!("apps with ratio < 0.2 (piggybacked popular apps): {}", pct(below_02)),
-        format!("apps with ratio >= 0.9 (outright malicious): {}", pct(1.0 - cdf_at(&ratios, 0.899))),
+        format!(
+            "apps with ratio < 0.2 (piggybacked popular apps): {}",
+            pct(below_02)
+        ),
+        format!(
+            "apps with ratio >= 0.9 (outright malicious): {}",
+            pct(1.0 - cdf_at(&ratios, 0.899))
+        ),
     ];
     let json = json!({
         "apps_with_flags": ratios.len(),
@@ -253,7 +280,10 @@ pub fn appnets(lab: &Lab) -> ExpResult {
         format!("connected components: {}", components.len()),
         format!("top-5 component sizes: {top5:?}"),
         format!("apps colluding with > 10 others: {}", pct(over10)),
-        format!("max collusions by one app: {}", graph.max_collusion_degree()),
+        format!(
+            "max collusions by one app: {}",
+            graph.max_collusion_degree()
+        ),
         format!(
             "direct promotion: {} promoters -> {} promotees",
             stats.direct_promoters.len(),
@@ -296,7 +326,9 @@ pub fn table9(lab: &Lab) -> ExpResult {
     // Apps with flagged prompt_feed posts, ranked by total observed posts.
     let mut victims: HashMap<osn_types::AppId, (usize, Option<&Post>)> = HashMap::new();
     for &pid in lab.world.mpk.flagged_posts() {
-        let Some(post) = lab.world.platform.post(pid) else { continue };
+        let Some(post) = lab.world.platform.post(pid) else {
+            continue;
+        };
         if post.kind != PostKind::PromptFeed {
             continue;
         }
@@ -314,10 +346,8 @@ pub fn table9(lab: &Lab) -> ExpResult {
             .get(app)
             .map_or(0, |&(_, total)| total);
     }
-    let mut rows: Vec<(osn_types::AppId, usize, Option<&Post>)> = victims
-        .into_iter()
-        .map(|(a, (n, p))| (a, n, p))
-        .collect();
+    let mut rows: Vec<(osn_types::AppId, usize, Option<&Post>)> =
+        victims.into_iter().map(|(a, (n, p))| (a, n, p)).collect();
     rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     rows.truncate(5);
 

@@ -41,7 +41,12 @@ pub fn fig5(lab: &Lab) -> ExpResult {
         format!("{:<12} {:>10} {:>10}", "field", "malicious", "benign"),
         format!("{:<12} {:>10} {:>10}", "category", pct(m_cat), pct(b_cat)),
         format!("{:<12} {:>10} {:>10}", "company", pct(m_com), pct(b_com)),
-        format!("{:<12} {:>10} {:>10}", "description", pct(m_desc), pct(b_desc)),
+        format!(
+            "{:<12} {:>10} {:>10}",
+            "description",
+            pct(m_desc),
+            pct(b_desc)
+        ),
         format!("(over {m_n} malicious / {b_n} benign D-Summary apps)"),
     ];
     let json = json!({
@@ -59,10 +64,7 @@ pub fn fig5(lab: &Lab) -> ExpResult {
     }
 }
 
-fn permission_sets<'a>(
-    lab: &'a Lab,
-    apps: &[osn_types::AppId],
-) -> Vec<osn_types::PermissionSet> {
+fn permission_sets(lab: &Lab, apps: &[osn_types::AppId]) -> Vec<osn_types::PermissionSet> {
     apps.iter()
         .filter_map(|&a| {
             lab.crawl_of(a, Archive::CrawlPhase)
@@ -83,7 +85,12 @@ pub fn fig6(lab: &Lab) -> ExpResult {
         }
         let mut rows: Vec<(String, f64)> = counts
             .into_iter()
-            .map(|(p, n)| (p.api_name().to_string(), n as f64 / sets.len().max(1) as f64))
+            .map(|(p, n)| {
+                (
+                    p.api_name().to_string(),
+                    n as f64 / sets.len().max(1) as f64,
+                )
+            })
             .collect();
         rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
         rows.truncate(5);
@@ -125,8 +132,14 @@ pub fn fig7(lab: &Lab) -> ExpResult {
 
     let one = |v: &[f64]| cdf_at(v, 1.0);
     let mut lines = vec![
-        format!("malicious apps requesting exactly 1 permission: {}", pct(one(&mal))),
-        format!("benign apps requesting exactly 1 permission:    {}", pct(one(&ben))),
+        format!(
+            "malicious apps requesting exactly 1 permission: {}",
+            pct(one(&mal))
+        ),
+        format!(
+            "benign apps requesting exactly 1 permission:    {}",
+            pct(one(&ben))
+        ),
     ];
     for k in [1.0, 2.0, 5.0, 10.0, 20.0] {
         lines.push(format!(
@@ -165,8 +178,16 @@ pub fn fig8(lab: &Lab) -> ExpResult {
     let unknown = |v: &[f64]| v.iter().filter(|&&s| s < 0.0).count() as f64 / v.len().max(1) as f64;
     let below5 = |v: &[f64]| cdf_at(v, 4.999);
     let lines = vec![
-        format!("malicious: WOT unknown {} | score < 5 {}", pct(unknown(&mal)), pct(below5(&mal))),
-        format!("benign:    WOT unknown {} | score < 5 {}", pct(unknown(&ben)), pct(below5(&ben))),
+        format!(
+            "malicious: WOT unknown {} | score < 5 {}",
+            pct(unknown(&mal)),
+            pct(below5(&mal))
+        ),
+        format!(
+            "benign:    WOT unknown {} | score < 5 {}",
+            pct(unknown(&ben)),
+            pct(below5(&ben))
+        ),
         format!(
             "benign apps with score >= 60: {}",
             pct(ccdf_at(&ben, 59.999))
@@ -205,8 +226,14 @@ pub fn fig9(lab: &Lab) -> ExpResult {
 
     let empty = |v: &[f64]| cdf_at(v, 0.0);
     let lines = vec![
-        format!("malicious apps with empty profile feed: {}", pct(empty(&mal))),
-        format!("benign apps with empty profile feed:    {}", pct(empty(&ben))),
+        format!(
+            "malicious apps with empty profile feed: {}",
+            pct(empty(&mal))
+        ),
+        format!(
+            "benign apps with empty profile feed:    {}",
+            pct(empty(&ben))
+        ),
         format!(
             "P(posts > 10): malicious {} | benign {}",
             pct(ccdf_at(&mal, 10.0)),
@@ -278,8 +305,14 @@ pub fn fig11(lab: &Lab) -> ExpResult {
         .unwrap_or_default();
 
     let lines = vec![
-        format!("malicious clusters with > 10 members: {}", pct(mal.ccdf_at(10))),
-        format!("benign clusters with > 10 members:    {}", pct(ben.ccdf_at(10))),
+        format!(
+            "malicious clusters with > 10 members: {}",
+            pct(mal.ccdf_at(10))
+        ),
+        format!(
+            "benign clusters with > 10 members:    {}",
+            pct(ben.ccdf_at(10))
+        ),
         format!("largest malicious name cluster: {biggest} apps named {biggest_name:?}"),
         format!(
             "mean apps per malicious name: {:.1} (benign: {:.1})",
@@ -320,8 +353,14 @@ pub fn fig12(lab: &Lab) -> ExpResult {
     let ben = ratios(&lab.bundle.d_sample.benign);
 
     let lines = vec![
-        format!("benign apps posting no external links:  {}", pct(cdf_at(&ben, 0.0))),
-        format!("malicious apps posting no external links: {}", pct(cdf_at(&mal, 0.0))),
+        format!(
+            "benign apps posting no external links:  {}",
+            pct(cdf_at(&ben, 0.0))
+        ),
+        format!(
+            "malicious apps posting no external links: {}",
+            pct(cdf_at(&mal, 0.0))
+        ),
         format!(
             "malicious apps with ratio >= 0.9 (≈ one external link per post): {}",
             pct(ccdf_at(&mal, 0.899))

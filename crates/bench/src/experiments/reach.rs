@@ -81,7 +81,9 @@ pub fn fig4(lab: &Lab) -> ExpResult {
     let mut medians: Vec<f64> = Vec::new();
     let mut maxes: Vec<f64> = Vec::new();
     for &app in &lab.bundle.d_summary.malicious {
-        let Some(rec) = lab.world.platform.app(app) else { continue };
+        let Some(rec) = lab.world.platform.app(app) else {
+            continue;
+        };
         // Zero months are months the app spent deleted — the paper's
         // crawler saw no MAU value then (the summary query errors), so
         // they are absent observations, not zeros.

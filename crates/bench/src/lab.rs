@@ -41,7 +41,10 @@ impl Lab {
         for &pid in world.mpk.monitored_posts() {
             if let Some(post) = world.platform.post(pid) {
                 if let Some(app) = post.app {
-                    posts_by_app.entry(app).or_default().push(pid.raw() as usize);
+                    posts_by_app
+                        .entry(app)
+                        .or_default()
+                        .push(pid.raw() as usize);
                 }
             }
         }

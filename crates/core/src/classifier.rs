@@ -8,15 +8,18 @@
 //! ratio subsampling of Table 5).
 
 use osn_types::ids::AppId;
-use svm::{
-    cross_validate, train, CrossValReport, Dataset, Scaler, SvmModel, SvmParams,
-};
+use serde::{Deserialize, Serialize};
+use svm::{cross_validate, train, CrossValReport, Dataset, Scaler, SvmModel, SvmParams};
 
 use crate::features::vectorize::{AppFeatures, FeatureSet, Imputation};
 
 /// A trained FRAppE model (any of the paper's variants, per its
 /// [`FeatureSet`]).
-#[derive(Debug, Clone)]
+///
+/// Serializable: a model trained offline on the batch pipeline can be
+/// shipped to the online serving layer (`frappe-serve`) and reloaded
+/// without retraining.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FrappeModel {
     set: FeatureSet,
     imputation: Imputation,
@@ -72,7 +75,9 @@ impl FrappeModel {
 
     /// Raw SVM decision value (positive ⇒ malicious); useful for ranking.
     pub fn decision_value(&self, features: &AppFeatures) -> f64 {
-        let x = self.scaler.transform(&self.imputation.encode(self.set, features));
+        let x = self
+            .scaler
+            .transform(&self.imputation.encode(self.set, features));
         self.model.decision_value(&x)
     }
 
@@ -146,7 +151,11 @@ mod tests {
                 (0.93, 0.62, 0.01)
             };
             let wot = if malicious {
-                if rng.gen_bool(0.8) { -1.0 } else { rng.gen_range(0.0..5.0) }
+                if rng.gen_bool(0.8) {
+                    -1.0
+                } else {
+                    rng.gen_range(0.0..5.0)
+                }
             } else if rng.gen_bool(0.8) {
                 94.0
             } else {
@@ -168,11 +177,7 @@ mod tests {
                     redirect_wot_score: Some(wot),
                 },
                 aggregation: AggregationFeatures {
-                    name_matches_known_malicious: rng.gen_bool(if malicious {
-                        0.87
-                    } else {
-                        0.02
-                    }),
+                    name_matches_known_malicious: rng.gen_bool(if malicious { 0.87 } else { 0.02 }),
                     external_link_ratio: Some(if malicious {
                         rng.gen_range(0.3..1.0)
                     } else if rng.gen_bool(0.8) {
@@ -216,11 +221,7 @@ mod tests {
     fn robust_subset_still_classifies_well() {
         let (samples, labels) = synth_rows(400, 400, 3);
         let robust = cross_validate_frappe(&samples, &labels, FeatureSet::Robust, None, 5, 7);
-        assert!(
-            robust.accuracy() > 0.9,
-            "robust acc {}",
-            robust.accuracy()
-        );
+        assert!(robust.accuracy() > 0.9, "robust acc {}", robust.accuracy());
     }
 
     #[test]
@@ -244,7 +245,11 @@ mod tests {
             5,
             7,
         );
-        assert!(desc.accuracy() > 0.93, "description acc {}", desc.accuracy());
+        assert!(
+            desc.accuracy() > 0.93,
+            "description acc {}",
+            desc.accuracy()
+        );
         assert!(
             desc.accuracy() > company.accuracy(),
             "description ({}) should beat company ({})",
@@ -260,8 +265,7 @@ mod tests {
     #[test]
     fn ratio_subsampling_shifts_toward_fewer_false_positives() {
         let (samples, labels) = synth_rows(1000, 120, 5);
-        let balanced =
-            cross_validate_frappe(&samples, &labels, FeatureSet::Lite, Some(1), 5, 7);
+        let balanced = cross_validate_frappe(&samples, &labels, FeatureSet::Lite, Some(1), 5, 7);
         let skewed = cross_validate_frappe(&samples, &labels, FeatureSet::Lite, Some(7), 5, 7);
         // more benign mass => optimizer favours fewer FPs
         assert!(
@@ -280,14 +284,28 @@ mod tests {
         assert!(model.support_vector_count() > 0);
         let flagged = model.flag_malicious(&samples);
         // most of the malicious half should be flagged
-        let hits = flagged
-            .iter()
-            .filter(|a| a.raw() >= 100)
-            .count();
+        let hits = flagged.iter().filter(|a| a.raw() >= 100).count();
         assert!(hits > 90, "only {hits} of 100 malicious flagged");
         // decision values agree with predictions
         for s in samples.iter().take(20) {
             assert_eq!(model.predict(s), model.decision_value(s) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn serialized_model_predicts_identically() {
+        let (samples, labels) = synth_rows(80, 80, 9);
+        let model = FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
+        let text = serde_json::to_string(&model).unwrap();
+        let back: FrappeModel = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.feature_set(), model.feature_set());
+        assert_eq!(back.support_vector_count(), model.support_vector_count());
+        for s in &samples {
+            assert_eq!(back.predict(s), model.predict(s));
+            assert!(
+                (back.decision_value(s) - model.decision_value(s)).abs() < 1e-12,
+                "decision values must survive the round-trip"
+            );
         }
     }
 

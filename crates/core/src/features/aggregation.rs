@@ -32,7 +32,7 @@ pub struct AggregationFeatures {
 }
 
 /// A set of known-malicious app names, held in normalized form.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KnownMaliciousNames {
     names: HashSet<String>,
 }
@@ -45,8 +45,20 @@ impl KnownMaliciousNames {
         S: AsRef<str>,
     {
         KnownMaliciousNames {
-            names: names.into_iter().map(|n| normalize_name(n.as_ref())).collect(),
+            names: names
+                .into_iter()
+                .map(|n| normalize_name(n.as_ref()))
+                .collect(),
         }
+    }
+
+    /// Adds one raw name (normalizing it). Returns `true` if it was new.
+    ///
+    /// This is how the set grows online: when the serving layer flags an
+    /// app, its name joins the collision list so look-alikes registered
+    /// later are caught immediately (§4.2.1's name-reuse economics).
+    pub fn insert(&mut self, name: &str) -> bool {
+        self.names.insert(normalize_name(name))
     }
 
     /// Whether `name` (raw) collides with a known malicious name.
@@ -141,8 +153,17 @@ mod tests {
     }
 
     #[test]
+    fn insert_normalizes_and_reports_novelty() {
+        let mut known = KnownMaliciousNames::from_names(["The App"]);
+        assert!(!known.insert("THE  app"), "already present after folding");
+        assert!(known.insert("FarmVile"));
+        assert!(known.contains("farmvile"));
+        assert_eq!(known.len(), 2);
+    }
+
+    #[test]
     fn external_ratio_counts_only_offsite_links() {
-        let posts = vec![
+        let posts = [
             post(0, Some(Url::parse("http://scam.com/a").unwrap())),
             post(1, Some(Url::parse("https://apps.facebook.com/x/").unwrap())),
             post(2, None),
@@ -168,25 +189,20 @@ mod tests {
         let unresolvable = shortener.shorten(&Url::parse("http://dead.com/x").unwrap());
         shortener.set_unresolvable(&unresolvable);
 
-        let posts = vec![
+        let posts = [
             post(0, Some(to_facebook)),
             post(1, Some(to_scam)),
             post(2, Some(unresolvable)),
         ];
         let refs: Vec<&Post> = posts.iter().collect();
-        let f = extract_aggregation(
-            "app",
-            &refs,
-            &KnownMaliciousNames::default(),
-            &shortener,
-        );
+        let f = extract_aggregation("app", &refs, &KnownMaliciousNames::default(), &shortener);
         // facebook-bound short link internal; scam + unresolvable external
         assert_eq!(f.external_link_ratio, Some(2.0 / 3.0));
     }
 
     #[test]
     fn benign_shape_zero_ratio() {
-        let posts = vec![post(0, None), post(1, None)];
+        let posts = [post(0, None), post(1, None)];
         let refs: Vec<&Post> = posts.iter().collect();
         let f = extract_aggregation(
             "Happy Farm",

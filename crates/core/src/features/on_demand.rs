@@ -88,8 +88,7 @@ mod tests {
             description: desc.then(|| "a fine app".into()),
             company: company.then(|| "Acme".into()),
             category: category.then(|| "Games".into()),
-            profile_link: Url::parse("https://www.facebook.com/apps/application.php?id=7")
-                .unwrap(),
+            profile_link: Url::parse("https://www.facebook.com/apps/application.php?id=7").unwrap(),
             monthly_active_users: 5,
             created_at: SimTime::ZERO,
         }

@@ -112,9 +112,9 @@ impl FeatureId {
             FeatureId::PermissionCount => f.on_demand.permission_count.map(f64::from),
             FeatureId::ClientIdMismatch => b(f.on_demand.client_id_mismatch),
             FeatureId::WotScore => f.on_demand.redirect_wot_score,
-            FeatureId::NameCollision => {
-                Some(f64::from(u8::from(f.aggregation.name_matches_known_malicious)))
-            }
+            FeatureId::NameCollision => Some(f64::from(u8::from(
+                f.aggregation.name_matches_known_malicious,
+            ))),
             FeatureId::ExternalLinkRatio => f.aggregation.external_link_ratio,
         }
     }
@@ -181,10 +181,8 @@ impl Imputation {
             .iter()
             .chain(FeatureId::AGGREGATION.iter())
             .map(|&id| {
-                let mut observed: Vec<f64> = samples
-                    .iter()
-                    .filter_map(|s| id.raw_value(s))
-                    .collect();
+                let mut observed: Vec<f64> =
+                    samples.iter().filter_map(|s| id.raw_value(s)).collect();
                 let median = if observed.is_empty() {
                     0.0
                 } else {

@@ -172,10 +172,7 @@ impl ValidationReport {
 }
 
 /// Runs all five validation techniques over the flagged apps.
-pub fn validate_flagged(
-    flagged: &[ValidationInput],
-    ctx: &ValidationContext,
-) -> ValidationReport {
+pub fn validate_flagged(flagged: &[ValidationInput], ctx: &ValidationContext) -> ValidationReport {
     let mut report = ValidationReport {
         total: flagged.len(),
         ..ValidationReport::default()
@@ -206,8 +203,7 @@ pub fn validate_flagged(
         let normalized = normalize_name(&input.name);
         let exact_hits = ctx.known_name_counts.get(&normalized).copied().unwrap_or(0);
         let split = split_version_suffix(&input.name);
-        let versioned_hit =
-            split.is_versioned() && ctx.known_versioned_bases.contains(&split.base);
+        let versioned_hit = split.is_versioned() && ctx.known_versioned_bases.contains(&split.base);
         if exact_hits >= 2 || versioned_hit {
             record(
                 &mut report,
@@ -248,10 +244,7 @@ pub fn validate_flagged(
         .iter()
         .filter(|i| !validated.contains(&i.app))
         .collect();
-    let names: Vec<String> = remaining
-        .iter()
-        .map(|i| normalize_name(&i.name))
-        .collect();
+    let names: Vec<String> = remaining.iter().map(|i| normalize_name(&i.name)).collect();
     let clustering = cluster_exact(&names);
     for cluster in &clustering.clusters {
         if cluster.len() >= MANUAL_CLUSTER_MIN {
@@ -356,9 +349,8 @@ mod tests {
     #[test]
     fn manual_step_validates_big_name_clusters() {
         // six apps named identically, nothing else matches
-        let flagged: Vec<ValidationInput> = (0..6)
-            .map(|i| input(i, "Past Life", true, &[]))
-            .collect();
+        let flagged: Vec<ValidationInput> =
+            (0..6).map(|i| input(i, "Past Life", true, &[])).collect();
         let r = validate_flagged(&flagged, &ctx());
         assert_eq!(r.count(ValidationCategory::Manual), 6);
         assert!(r.unknown.is_empty());
@@ -378,7 +370,10 @@ mod tests {
             input(3, "Mystery", true, &[]),                     // unknown
         ];
         let r = validate_flagged(&flagged, &ctx());
-        assert_eq!(r.cumulative_through(ValidationCategory::DeletedFromGraph), 1);
+        assert_eq!(
+            r.cumulative_through(ValidationCategory::DeletedFromGraph),
+            1
+        );
         assert_eq!(r.cumulative_through(ValidationCategory::NameSimilarity), 2);
         assert_eq!(r.cumulative_through(ValidationCategory::Manual), 2);
         assert_eq!(r.total_validated(), 2);

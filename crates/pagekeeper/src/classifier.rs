@@ -51,8 +51,10 @@ impl UrlClassifier {
         params: &SvmParams,
     ) -> Self {
         assert_eq!(aggregates.len(), labels.len(), "one label per aggregate");
-        let features: Vec<Vec<f64>> =
-            aggregates.iter().map(UrlAggregate::feature_vector).collect();
+        let features: Vec<Vec<f64>> = aggregates
+            .iter()
+            .map(UrlAggregate::feature_vector)
+            .collect();
         let ys: Vec<f64> = labels.iter().map(|&m| if m { 1.0 } else { -1.0 }).collect();
         let raw = Dataset::new(features, ys).expect("feature vectors are rectangular and finite");
         let scaler = Scaler::fit(&raw);
@@ -122,7 +124,10 @@ impl CalibratedOracle {
     /// # Panics
     /// Panics if either probability is outside `[0, 1]`.
     pub fn new(truth: HashSet<String>, detect_prob: f64, false_flag_prob: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&detect_prob), "detect_prob out of range");
+        assert!(
+            (0.0..=1.0).contains(&detect_prob),
+            "detect_prob out of range"
+        );
         assert!(
             (0.0..=1.0).contains(&false_flag_prob),
             "false_flag_prob out of range"
@@ -328,8 +333,7 @@ mod tests {
     #[test]
     fn oracle_noise_rates_are_roughly_calibrated() {
         // 2000 malicious URLs at detect_prob 0.9: expect ~1800 flagged.
-        let truth: HashSet<String> =
-            (0..2000).map(|i| format!("http://bad{i}.com/")).collect();
+        let truth: HashSet<String> = (0..2000).map(|i| format!("http://bad{i}.com/")).collect();
         let mut oracle = CalibratedOracle::new(truth.clone(), 0.9, 0.0, 7);
         let mut flagged = 0;
         for url in &truth {
@@ -367,8 +371,9 @@ mod tests {
             mean_likes: 0.0,
             mean_comments: 0.0,
         };
-        let overrides: HashMap<String, f64> =
-            (0..500).map(|i| (format!("http://stealthy{i}.com/"), 0.0)).collect();
+        let overrides: HashMap<String, f64> = (0..500)
+            .map(|i| (format!("http://stealthy{i}.com/"), 0.0))
+            .collect();
         let mut oracle = CalibratedOracle::new(HashSet::new(), 1.0, 0.0, 3)
             .with_detect_overrides(overrides.clone());
         // stealthy URLs (prob 0) never flagged despite being in truth
@@ -377,10 +382,7 @@ mod tests {
         }
         // an ordinary truth URL is impossible here (truth only has overrides),
         // so add one via a fresh oracle
-        let mut oracle2 = CalibratedOracle::perfect(
-            ["http://loud.com/".to_string()].into(),
-            3,
-        );
+        let mut oracle2 = CalibratedOracle::perfect(["http://loud.com/".to_string()].into(), 3);
         assert!(oracle2.is_malicious_url(&agg("http://loud.com/"), &[]));
     }
 
@@ -388,7 +390,6 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn invalid_override_panics() {
         let overrides: HashMap<String, f64> = [("http://x.com/".to_string(), 2.0)].into();
-        let _ = CalibratedOracle::new(HashSet::new(), 1.0, 0.0, 1)
-            .with_detect_overrides(overrides);
+        let _ = CalibratedOracle::new(HashSet::new(), 1.0, 0.0, 1).with_detect_overrides(overrides);
     }
 }

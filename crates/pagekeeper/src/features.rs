@@ -79,18 +79,14 @@ pub fn aggregate_by_url(posts: &[&Post]) -> Vec<UrlAggregate> {
         .map(|(url, idxs)| {
             let msgs: Vec<&str> = idxs.iter().map(|&i| posts[i].message.as_str()).collect();
 
-            let mean_spam = msgs
-                .iter()
-                .map(|m| lexicon.hits(m) as f64)
-                .sum::<f64>()
-                / msgs.len() as f64;
+            let mean_spam =
+                msgs.iter().map(|m| lexicon.hits(m) as f64).sum::<f64>() / msgs.len() as f64;
 
             let mean_sim = if msgs.len() < 2 {
                 1.0
             } else {
                 let capped = &msgs[..msgs.len().min(PAIR_CAP)];
-                let sets: Vec<_> =
-                    capped.iter().map(|m| shingle_set(m, SHINGLE_K)).collect();
+                let sets: Vec<_> = capped.iter().map(|m| shingle_set(m, SHINGLE_K)).collect();
                 let mut total = 0.0;
                 let mut pairs = 0usize;
                 for a in 0..sets.len() {
@@ -102,11 +98,8 @@ pub fn aggregate_by_url(posts: &[&Post]) -> Vec<UrlAggregate> {
                 total / pairs as f64
             };
 
-            let mean_likes = idxs
-                .iter()
-                .map(|&i| f64::from(posts[i].likes))
-                .sum::<f64>()
-                / idxs.len() as f64;
+            let mean_likes =
+                idxs.iter().map(|&i| f64::from(posts[i].likes)).sum::<f64>() / idxs.len() as f64;
             let mean_comments = idxs
                 .iter()
                 .map(|&i| f64::from(posts[i].comments))
@@ -155,7 +148,7 @@ mod tests {
 
     #[test]
     fn groups_by_url_and_skips_linkless() {
-        let posts = vec![
+        let posts = [
             post(0, "free ipad", Some("http://scam.com/a"), 0),
             post(1, "free ipad now", Some("http://scam.com/a"), 0),
             post(2, "holiday photos", None, 10),
@@ -170,37 +163,75 @@ mod tests {
 
     #[test]
     fn campaign_posts_have_high_similarity_and_spam_score() {
-        let posts = vec![
-            post(0, "WOW I just got 5000 Facebook Credits for Free", Some("http://s.com/x"), 0),
-            post(1, "WOW I just got 4000 Facebook Credits for Free", Some("http://s.com/x"), 0),
-            post(2, "WOW I just got 3000 Facebook Credits for Free", Some("http://s.com/x"), 1),
+        let posts = [
+            post(
+                0,
+                "WOW I just got 5000 Facebook Credits for Free",
+                Some("http://s.com/x"),
+                0,
+            ),
+            post(
+                1,
+                "WOW I just got 4000 Facebook Credits for Free",
+                Some("http://s.com/x"),
+                0,
+            ),
+            post(
+                2,
+                "WOW I just got 3000 Facebook Credits for Free",
+                Some("http://s.com/x"),
+                1,
+            ),
         ];
         let refs: Vec<&Post> = posts.iter().collect();
         let aggs = aggregate_by_url(&refs);
         let a = &aggs[0];
-        assert!(a.mean_pairwise_similarity > 0.5, "got {}", a.mean_pairwise_similarity);
+        assert!(
+            a.mean_pairwise_similarity > 0.5,
+            "got {}",
+            a.mean_pairwise_similarity
+        );
         assert!(a.mean_spam_keywords >= 2.0, "got {}", a.mean_spam_keywords);
         assert!(a.mean_likes < 1.0);
     }
 
     #[test]
     fn benign_posts_have_diverse_messages() {
-        let posts = vec![
-            post(0, "check out my farm harvest today", Some("https://apps.facebook.com/farm/"), 12),
-            post(1, "new high score on level nine", Some("https://apps.facebook.com/farm/"), 8),
-            post(2, "does anyone trade seeds?", Some("https://apps.facebook.com/farm/"), 20),
+        let posts = [
+            post(
+                0,
+                "check out my farm harvest today",
+                Some("https://apps.facebook.com/farm/"),
+                12,
+            ),
+            post(
+                1,
+                "new high score on level nine",
+                Some("https://apps.facebook.com/farm/"),
+                8,
+            ),
+            post(
+                2,
+                "does anyone trade seeds?",
+                Some("https://apps.facebook.com/farm/"),
+                20,
+            ),
         ];
         let refs: Vec<&Post> = posts.iter().collect();
         let aggs = aggregate_by_url(&refs);
         let a = &aggs[0];
-        assert!(a.mean_pairwise_similarity < 0.3, "got {}", a.mean_pairwise_similarity);
+        assert!(
+            a.mean_pairwise_similarity < 0.3,
+            "got {}",
+            a.mean_pairwise_similarity
+        );
         assert_eq!(a.mean_spam_keywords, 0.0);
         assert!(a.mean_likes > 5.0);
     }
 
     #[test]
     fn single_post_url_is_self_similar() {
-        let posts = vec![post(0, "unique message", Some("http://one.com/"), 0)];
+        let posts = [post(0, "unique message", Some("http://one.com/"), 0)];
         let refs: Vec<&Post> = posts.iter().collect();
         let aggs = aggregate_by_url(&refs);
         assert_eq!(aggs[0].mean_pairwise_similarity, 1.0);
@@ -208,7 +239,7 @@ mod tests {
 
     #[test]
     fn feature_vector_has_fixed_dimension() {
-        let posts = vec![post(0, "m", Some("http://a.com/"), 2)];
+        let posts = [post(0, "m", Some("http://a.com/"), 2)];
         let refs: Vec<&Post> = posts.iter().collect();
         let v = aggregate_by_url(&refs)[0].feature_vector();
         assert_eq!(v.len(), 5);

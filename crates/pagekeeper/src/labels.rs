@@ -153,8 +153,10 @@ mod tests {
     fn one_flagged_post_marks_app_malicious() {
         let (mut p, users, bad, good, _) = setup();
         let scam = Url::parse("http://scam.com/x").unwrap();
-        p.post_as_app(bad, users[0], "free ipad", Some(scam.clone())).unwrap();
-        p.post_as_app(bad, users[0], "harmless chatter", None).unwrap();
+        p.post_as_app(bad, users[0], "free ipad", Some(scam.clone()))
+            .unwrap();
+        p.post_as_app(bad, users[0], "harmless chatter", None)
+            .unwrap();
         p.post_as_app(good, users[0], "harvest time", None).unwrap();
 
         let mut mpk = MyPageKeeper::new();
@@ -178,7 +180,8 @@ mod tests {
         // A hacker piggybacks a scam post onto the popular app's identity.
         p.post_via_prompt_feed(popular, users[0], "WOW free credits", Some(scam.clone()))
             .unwrap();
-        p.post_as_app(popular, users[1], "my farm is thriving", None).unwrap();
+        p.post_as_app(popular, users[1], "my farm is thriving", None)
+            .unwrap();
 
         let mut mpk = MyPageKeeper::new();
         mpk.subscribe_all(users.iter().copied());

@@ -175,8 +175,10 @@ mod tests {
         p.grant_install(users[0], app).unwrap();
         p.grant_install(users[1], app).unwrap();
         let bad = Url::parse("http://scam.com/win").unwrap();
-        p.post_as_app(app, users[0], "free ipad", Some(bad.clone())).unwrap();
-        p.post_as_app(app, users[1], "free ipad", Some(bad.clone())).unwrap();
+        p.post_as_app(app, users[0], "free ipad", Some(bad.clone()))
+            .unwrap();
+        p.post_as_app(app, users[1], "free ipad", Some(bad.clone()))
+            .unwrap();
 
         let mut mpk = MyPageKeeper::new();
         mpk.subscribe(users[0]); // users[1] not subscribed
@@ -193,7 +195,8 @@ mod tests {
         let (mut p, users, app) = world();
         p.grant_install(users[0], app).unwrap();
         let bad = Url::parse("http://scam.com/win").unwrap();
-        p.post_as_app(app, users[0], "free", Some(bad.clone())).unwrap();
+        p.post_as_app(app, users[0], "free", Some(bad.clone()))
+            .unwrap();
 
         let mut mpk = MyPageKeeper::new();
         mpk.subscribe(users[0]);
@@ -210,7 +213,8 @@ mod tests {
         let (mut p, users, app) = world();
         p.grant_install(users[0], app).unwrap();
         let bad = Url::parse("http://scam.com/win").unwrap();
-        p.post_as_app(app, users[0], "free", Some(bad.clone())).unwrap();
+        p.post_as_app(app, users[0], "free", Some(bad.clone()))
+            .unwrap();
 
         let mut mpk = MyPageKeeper::new();
         mpk.subscribe(users[0]);
@@ -219,10 +223,14 @@ mod tests {
         assert_eq!(oracle.judged_count(), 1);
 
         // same URL posted again later
-        p.post_as_app(app, users[0], "free again", Some(bad)).unwrap();
+        p.post_as_app(app, users[0], "free again", Some(bad))
+            .unwrap();
         let s = mpk.sweep(&p, &mut oracle);
         assert_eq!(s.posts_flagged, 1);
-        assert_eq!(s.urls_judged, 0, "already-flagged URL must not be re-judged");
+        assert_eq!(
+            s.urls_judged, 0,
+            "already-flagged URL must not be re-judged"
+        );
         assert_eq!(oracle.judged_count(), 1);
     }
 
@@ -231,9 +239,11 @@ mod tests {
         let (mut p, users, app) = world();
         p.grant_install(users[0], app).unwrap();
         let bad = Url::parse("http://scam.com/win").unwrap();
-        p.post_as_app(app, users[0], "free", Some(bad.clone())).unwrap();
+        p.post_as_app(app, users[0], "free", Some(bad.clone()))
+            .unwrap();
         // a manual post with the same bad link (no app attribution)
-        p.post_manual(users[0], "look at this", Some(bad.clone())).unwrap();
+        p.post_manual(users[0], "look at this", Some(bad.clone()))
+            .unwrap();
 
         let mut mpk = MyPageKeeper::new();
         mpk.subscribe(users[0]);

@@ -209,7 +209,11 @@ mod tests {
         AppRegistration::simple(
             "Test App",
             PermissionSet::from_iter([Permission::PublishStream]),
-            Url::build(Scheme::Https, Domain::parse("apps.facebook.com").unwrap(), "test"),
+            Url::build(
+                Scheme::Https,
+                Domain::parse("apps.facebook.com").unwrap(),
+                "test",
+            ),
         )
     }
 

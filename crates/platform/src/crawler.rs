@@ -112,7 +112,10 @@ impl Crawler {
         let api = GraphApi::new(platform);
         let at = platform.now();
 
-        let summary = if self.policy.fails(app, 1, self.policy.summary_failure_permille) {
+        let summary = if self
+            .policy
+            .fails(app, 1, self.policy.summary_failure_permille)
+        {
             None
         } else {
             api.app_summary(app).ok()
@@ -129,13 +132,10 @@ impl Crawler {
                 .ok()
                 .filter(|rec| rec.registration.crawlable_install_flow)
                 .map(|rec| {
-                    let client_id =
-                        peek_client_id(platform, app, 0).expect("app checked alive");
+                    let client_id = peek_client_id(platform, app, 0).expect("app checked alive");
                     // The dialog shows the *client* app's requested scopes
                     // and redirect target.
-                    let client = platform
-                        .live_app(client_id)
-                        .unwrap_or(rec);
+                    let client = platform.live_app(client_id).unwrap_or(rec);
                     PermissionCrawl {
                         permissions: client.permissions(),
                         client_id,

@@ -1,0 +1,82 @@
+//! The platform event stream.
+//!
+//! An opt-in tap over the state-changing operations an online monitor
+//! cares about: app registrations, install grants, post creation, and
+//! enforcement deletions. The real counterpart is the firehose a security
+//! app like MyPageKeeper subscribes to; the FRAppE serving layer
+//! (`frappe-serve`) consumes these events to keep its incremental feature
+//! store current without re-crawling.
+//!
+//! The tap is disabled by default — backtesting scenarios that replay
+//! months of activity would otherwise pay for an event log nobody reads.
+//! Call [`crate::platform::Platform::enable_event_log`] before driving
+//! the platform, then drain with
+//! [`crate::platform::Platform::drain_events`].
+
+use osn_types::ids::{AppId, PostId, UserId};
+use osn_types::time::SimTime;
+use osn_types::url::Url;
+use serde::{Deserialize, Serialize};
+
+/// One observable state change on the platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlatformEvent {
+    /// A new application was registered.
+    AppRegistered {
+        /// The new app.
+        app: AppId,
+        /// Its display name (not unique).
+        name: String,
+        /// Registration time.
+        at: SimTime,
+    },
+    /// A user completed an install (token granted).
+    InstallGranted {
+        /// The installed app.
+        app: AppId,
+        /// The installing user.
+        user: UserId,
+        /// Grant time.
+        at: SimTime,
+    },
+    /// A post was created (wall or app-profile).
+    PostCreated {
+        /// The new post.
+        post: PostId,
+        /// Attributed application, if any.
+        app: Option<AppId>,
+        /// The post's link, if any.
+        link: Option<Url>,
+        /// Creation time.
+        at: SimTime,
+    },
+    /// An app was deleted by enforcement.
+    AppDeleted {
+        /// The deleted app.
+        app: AppId,
+        /// Deletion time.
+        at: SimTime,
+    },
+}
+
+impl PlatformEvent {
+    /// The app this event concerns, if any.
+    pub fn app(&self) -> Option<AppId> {
+        match self {
+            PlatformEvent::AppRegistered { app, .. }
+            | PlatformEvent::InstallGranted { app, .. }
+            | PlatformEvent::AppDeleted { app, .. } => Some(*app),
+            PlatformEvent::PostCreated { app, .. } => *app,
+        }
+    }
+
+    /// When the event happened.
+    pub fn at(&self) -> SimTime {
+        match self {
+            PlatformEvent::AppRegistered { at, .. }
+            | PlatformEvent::InstallGranted { at, .. }
+            | PlatformEvent::PostCreated { at, .. }
+            | PlatformEvent::AppDeleted { at, .. } => *at,
+        }
+    }
+}

@@ -160,7 +160,10 @@ mod tests {
         assert_eq!(s.company.as_deref(), Some("Zynga"));
         assert_eq!(s.category.as_deref(), Some("Games"));
         assert_eq!(s.monthly_active_users, 0);
-        assert!(s.profile_link.to_string().contains(&format!("id={}", id.raw())));
+        assert!(s
+            .profile_link
+            .to_string()
+            .contains(&format!("id={}", id.raw())));
         assert!(api.exists(id));
     }
 
@@ -184,12 +187,24 @@ mod tests {
         let u = p.add_users(1)[0];
         p.grant_install(u, id).unwrap();
         // running window: 1 active user, no frozen month yet
-        assert_eq!(GraphApi::new(&p).app_summary(id).unwrap().monthly_active_users, 1);
+        assert_eq!(
+            GraphApi::new(&p)
+                .app_summary(id)
+                .unwrap()
+                .monthly_active_users,
+            1
+        );
         for _ in 0..30 {
             p.advance_day();
         }
         // month 0 frozen with 1
-        assert_eq!(GraphApi::new(&p).app_summary(id).unwrap().monthly_active_users, 1);
+        assert_eq!(
+            GraphApi::new(&p)
+                .app_summary(id)
+                .unwrap()
+                .monthly_active_users,
+            1
+        );
     }
 
     #[test]

@@ -168,7 +168,9 @@ mod tests {
         );
         assert_eq!(parse_install_url(&url), Some(AppId(4242)));
         assert_eq!(
-            parse_install_url(&Url::parse("https://example.com/apps/application.php?id=1").unwrap()),
+            parse_install_url(
+                &Url::parse("https://example.com/apps/application.php?id=1").unwrap()
+            ),
             None
         );
         assert_eq!(
@@ -224,8 +226,12 @@ mod tests {
     fn dead_pool_entries_are_skipped() {
         let mut p = Platform::new();
         let u = p.add_users(1)[0];
-        let s1 = p.register_app(spam_reg("x", external_redirect(1), vec![])).unwrap();
-        let s2 = p.register_app(spam_reg("x", external_redirect(2), vec![])).unwrap();
+        let s1 = p
+            .register_app(spam_reg("x", external_redirect(1), vec![]))
+            .unwrap();
+        let s2 = p
+            .register_app(spam_reg("x", external_redirect(2), vec![]))
+            .unwrap();
         let front = p
             .register_app(spam_reg("x", external_redirect(3), vec![s1, s2]))
             .unwrap();
@@ -240,7 +246,9 @@ mod tests {
     fn fully_dead_pool_falls_back_to_front() {
         let mut p = Platform::new();
         let u = p.add_users(1)[0];
-        let s1 = p.register_app(spam_reg("x", external_redirect(1), vec![])).unwrap();
+        let s1 = p
+            .register_app(spam_reg("x", external_redirect(1), vec![]))
+            .unwrap();
         let front = p
             .register_app(spam_reg("x", external_redirect(3), vec![s1]))
             .unwrap();
@@ -253,7 +261,9 @@ mod tests {
     fn deleted_front_app_errors() {
         let mut p = Platform::new();
         let u = p.add_users(1)[0];
-        let app = p.register_app(spam_reg("x", external_redirect(1), vec![])).unwrap();
+        let app = p
+            .register_app(spam_reg("x", external_redirect(1), vec![]))
+            .unwrap();
         p.delete_app(app).unwrap();
         assert!(run_install_flow(&mut p, app, u, 0).is_err());
     }

@@ -29,6 +29,7 @@
 
 pub mod app;
 pub mod crawler;
+pub mod events;
 pub mod graph_api;
 pub mod install;
 pub mod platform;
@@ -38,6 +39,7 @@ pub mod user;
 
 pub use app::{AppCategory, AppRecord, AppRegistration};
 pub use crawler::{CrawlOutcome, Crawler, CrawlerPolicy, PermissionCrawl};
+pub use events::PlatformEvent;
 pub use graph_api::{AppSummary, GraphApi, GraphApiError};
 pub use install::{install_url, parse_install_url, run_install_flow, InstallOutcome};
 pub use platform::{Platform, PlatformError};

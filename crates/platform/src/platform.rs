@@ -13,6 +13,7 @@ use osn_types::time::SimTime;
 use osn_types::url::Url;
 
 use crate::app::{AppRecord, AppRegistration, SUMMARY_FIELD_MAX};
+use crate::events::PlatformEvent;
 use crate::post::{Post, PostKind};
 use crate::token::AccessToken;
 
@@ -83,12 +84,44 @@ pub struct Platform {
     walls: Vec<Vec<PostId>>,
     tokens: HashMap<(UserId, AppId), AccessToken>,
     next_token_id: u64,
+    /// Opt-in event tap (see [`crate::events`]); `None` = disabled.
+    event_log: Option<Vec<PlatformEvent>>,
 }
 
 impl Platform {
     /// A fresh platform at day 0 with no users or apps.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    // --- event stream ---------------------------------------------------
+
+    /// Turns on the event tap: subsequent registrations, install grants,
+    /// posts, and deletions are recorded for [`Self::drain_events`].
+    pub fn enable_event_log(&mut self) {
+        if self.event_log.is_none() {
+            self.event_log = Some(Vec::new());
+        }
+    }
+
+    /// Whether the event tap is on.
+    pub fn event_log_enabled(&self) -> bool {
+        self.event_log.is_some()
+    }
+
+    /// Takes all events recorded since the last drain (empty when the tap
+    /// is disabled). The tap stays enabled.
+    pub fn drain_events(&mut self) -> Vec<PlatformEvent> {
+        match &mut self.event_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    fn record_event(&mut self, event: PlatformEvent) {
+        if let Some(log) = &mut self.event_log {
+            log.push(event);
+        }
     }
 
     // --- clock ---------------------------------------------------------
@@ -204,7 +237,14 @@ impl Platform {
         }
         let id = AppId(self.next_app_id);
         self.next_app_id += 1;
-        self.apps.insert(id, AppRecord::new(id, registration, self.now));
+        let name = registration.name.clone();
+        self.apps
+            .insert(id, AppRecord::new(id, registration, self.now));
+        self.record_event(PlatformEvent::AppRegistered {
+            app: id,
+            name,
+            at: self.now,
+        });
         Ok(id)
     }
 
@@ -252,13 +292,17 @@ impl Platform {
             .apps
             .get_mut(&id)
             .ok_or(PlatformError::AppNotFound(id))?;
-        if app.deleted_at.is_none() {
+        let newly_deleted = app.deleted_at.is_none();
+        if newly_deleted {
             app.deleted_at = Some(now);
         }
         for token in self.tokens.values_mut() {
             if token.app == id {
                 token.revoked = true;
             }
+        }
+        if newly_deleted {
+            self.record_event(PlatformEvent::AppDeleted { app: id, at: now });
         }
         Ok(())
     }
@@ -285,9 +329,17 @@ impl Platform {
         };
         self.next_token_id += 1;
         self.tokens.insert((user, app_id), token.clone());
-        let app = self.apps.get_mut(&app_id).expect("live_app checked existence");
+        let app = self
+            .apps
+            .get_mut(&app_id)
+            .expect("live_app checked existence");
         app.installed_users.insert(user);
         app.active_this_month.insert(user);
+        self.record_event(PlatformEvent::InstallGranted {
+            app: app_id,
+            user,
+            at: now,
+        });
         Ok(token)
     }
 
@@ -359,7 +411,12 @@ impl Platform {
     }
 
     /// A user posts manually on their own wall (no app attribution).
-    pub fn post_manual(&mut self, user: UserId, message: &str, link: Option<Url>) -> Result<PostId> {
+    pub fn post_manual(
+        &mut self,
+        user: UserId,
+        message: &str,
+        link: Option<Url>,
+    ) -> Result<PostId> {
         self.check_user(user)?;
         Ok(self.push_post(user, user, None, PostKind::Manual, message, link))
     }
@@ -429,6 +486,13 @@ impl Platform {
         });
         let app = self.apps.get_mut(&app_id).expect("checked live above");
         app.profile_feed.push(id);
+        let link = self.posts[id.raw() as usize].link.clone();
+        self.record_event(PlatformEvent::PostCreated {
+            post: id,
+            app: Some(app_id),
+            link,
+            at: self.now,
+        });
         Ok(id)
     }
 
@@ -456,6 +520,13 @@ impl Platform {
             comments: 0,
         });
         self.walls[wall_owner.raw() as usize].push(id);
+        let link = self.posts[id.raw() as usize].link.clone();
+        self.record_event(PlatformEvent::PostCreated {
+            post: id,
+            app,
+            link,
+            at: self.now,
+        });
         id
     }
 
@@ -594,7 +665,9 @@ mod tests {
         assert_eq!(p.wall(users[0]).unwrap(), &[pid]);
 
         // an app without a posting permission cannot post
-        let emailer = p.register_app(reg("emailer", &[Permission::Email])).unwrap();
+        let emailer = p
+            .register_app(reg("emailer", &[Permission::Email]))
+            .unwrap();
         p.grant_install(users[1], emailer).unwrap();
         let err = p.post_as_app(emailer, users[1], "spam", None).unwrap_err();
         assert!(matches!(err, PlatformError::MissingPermission { .. }));
@@ -696,7 +769,10 @@ mod tests {
         r.description = Some("d".repeat(141));
         assert!(matches!(
             p.register_app(r),
-            Err(PlatformError::FieldTooLong { field: "description", .. })
+            Err(PlatformError::FieldTooLong {
+                field: "description",
+                ..
+            })
         ));
     }
 
@@ -729,7 +805,10 @@ mod tests {
         let mut p = Platform::new();
         let users = p.add_users(2);
         let emailer = p
-            .register_app(reg("emailer", &[Permission::PublishStream, Permission::Email]))
+            .register_app(reg(
+                "emailer",
+                &[Permission::PublishStream, Permission::Email],
+            ))
             .unwrap();
         let poster = p
             .register_app(reg("poster", &[Permission::PublishStream]))
@@ -899,5 +978,53 @@ mod tests {
             Err(PlatformError::AppNotFound(_))
         ));
         assert!(p.delete_app(AppId(5)).is_err());
+    }
+
+    #[test]
+    fn event_tap_records_lifecycle_in_order() {
+        let mut p = Platform::new();
+        assert!(!p.event_log_enabled());
+        let users = p.add_users(1);
+        p.enable_event_log();
+        let app = p
+            .register_app(reg("tapped", &[Permission::PublishStream]))
+            .unwrap();
+        p.grant_install(users[0], app).unwrap();
+        let pid = p.post_as_app(app, users[0], "hi", None).unwrap();
+        p.delete_app(app).unwrap();
+        // second delete is idempotent and must not re-emit
+        p.delete_app(app).unwrap();
+
+        let events = p.drain_events();
+        assert_eq!(events.len(), 4);
+        assert!(matches!(
+            &events[0],
+            PlatformEvent::AppRegistered { app: a, name, .. }
+                if *a == app && name == "tapped"
+        ));
+        assert!(matches!(
+            events[1],
+            PlatformEvent::InstallGranted { app: a, user, .. }
+                if a == app && user == users[0]
+        ));
+        assert!(matches!(
+            events[2],
+            PlatformEvent::PostCreated { post, app: Some(a), .. }
+                if post == pid && a == app
+        ));
+        assert!(matches!(
+            events[3],
+            PlatformEvent::AppDeleted { app: a, .. } if a == app
+        ));
+        assert!(p.drain_events().is_empty(), "drain consumes");
+        assert!(p.event_log_enabled(), "drain keeps the tap on");
+    }
+
+    #[test]
+    fn event_tap_disabled_records_nothing() {
+        let (mut p, users, app) = world();
+        p.grant_install(users[0], app).unwrap();
+        p.post_as_app(app, users[0], "hi", None).unwrap();
+        assert!(p.drain_events().is_empty());
     }
 }

@@ -68,7 +68,10 @@ mod tests {
         let t = token(PermissionSet::from_iter([Permission::Email]), false);
         assert!(!t.can_post());
 
-        let t = token(PermissionSet::from_iter([Permission::PublishActions]), false);
+        let t = token(
+            PermissionSet::from_iter([Permission::PublishActions]),
+            false,
+        );
         assert!(t.can_post());
     }
 

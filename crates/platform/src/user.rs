@@ -52,8 +52,16 @@ impl ProfileField {
 }
 
 const HOMETOWNS: &[&str] = &[
-    "Riverside", "Springfield", "Fairview", "Georgetown", "Clinton", "Salem", "Madison",
-    "Arlington", "Ashland", "Dover",
+    "Riverside",
+    "Springfield",
+    "Fairview",
+    "Georgetown",
+    "Clinton",
+    "Salem",
+    "Madison",
+    "Arlington",
+    "Ashland",
+    "Dover",
 ];
 
 /// Deterministic synthetic value of a profile field for a user.

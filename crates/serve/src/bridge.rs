@@ -1,0 +1,91 @@
+//! Scenario → service bridge.
+//!
+//! [`synth_workload::replay_events`] re-expresses a finished world as the
+//! ordered observation stream an online monitor would have seen; this
+//! module translates those observations into [`ServeEvent`]s — computing
+//! the Table 4 on-demand features from each merged crawl exactly as the
+//! batch extractor does — and offers a one-call constructor that stands a
+//! service up over a whole world.
+//!
+//! The translation lives here (not in `synth-workload`) because it needs
+//! `frappe`'s feature extractors, and the core crate already dev-depends
+//! on the synth crate — the dependency must point this way.
+
+use frappe::features::aggregation::KnownMaliciousNames;
+use frappe::{extract_on_demand, FrappeModel, OnDemandInput};
+use synth_workload::{replay_events, ReplayEvent, ScenarioWorld};
+
+use crate::event::ServeEvent;
+use crate::service::{FrappeService, ServeConfig};
+
+/// Translates a world's replay stream into serving input.
+///
+/// Unattributed posts are dropped (no app's features move); merged crawls
+/// become [`ServeEvent::OnDemand`] via the same `extract_on_demand` call
+/// the batch pipeline uses, so downstream snapshots stay bit-identical.
+pub fn serve_events(world: &ScenarioWorld) -> Vec<ServeEvent> {
+    replay_events(world)
+        .into_iter()
+        .filter_map(|event| match event {
+            ReplayEvent::AppRegistered { app, name } => Some(ServeEvent::Registered { app, name }),
+            ReplayEvent::MonitoredPost { post } => post.app.map(|app| ServeEvent::Post {
+                app,
+                link: post.link,
+            }),
+            ReplayEvent::CrawlMerged { app, crawl } => {
+                let input = OnDemandInput {
+                    summary: crawl.summary.as_ref(),
+                    permissions: crawl.permissions.as_ref(),
+                    profile_feed: crawl.profile_feed.as_deref(),
+                };
+                Some(ServeEvent::OnDemand {
+                    app,
+                    features: extract_on_demand(app, &input, &world.wot),
+                })
+            }
+        })
+        .collect()
+}
+
+/// Stands up a service over a completed world: clones the world's
+/// shortener (the service must resolve short links the same way the
+/// batch extractor did) and ingests the full replay stream.
+pub fn service_from_world(
+    world: &ScenarioWorld,
+    model: FrappeModel,
+    known: KnownMaliciousNames,
+    config: ServeConfig,
+) -> FrappeService {
+    let service = FrappeService::new(model, known, world.shortener.clone(), config);
+    for event in serve_events(world) {
+        service.ingest(&event);
+    }
+    service
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synth_workload::{run_scenario, ScenarioConfig};
+
+    #[test]
+    fn every_replayed_observation_keeps_its_app() {
+        let world = run_scenario(&ScenarioConfig::small());
+        let events = serve_events(&world);
+        assert!(!events.is_empty());
+        let registrations = events
+            .iter()
+            .filter(|e| matches!(e, ServeEvent::Registered { .. }))
+            .count();
+        assert_eq!(
+            registrations,
+            world.platform.apps().count(),
+            "one registration per app record, tombstones included"
+        );
+        let crawls = events
+            .iter()
+            .filter(|e| matches!(e, ServeEvent::OnDemand { .. }))
+            .count();
+        assert_eq!(crawls, world.extended_archive.len());
+    }
+}

@@ -1,0 +1,127 @@
+//! The verdict cache.
+//!
+//! Scoring is the expensive step (RBF kernel over every support vector),
+//! so verdicts are memoized — but a verdict is only as fresh as the
+//! evidence it scored. Instead of eagerly purging entries on every
+//! ingest, each cached verdict is stamped with two **generations**:
+//!
+//! * the app's feature-store generation (bumped by every event touching
+//!   the app), and
+//! * the known-malicious-names generation (bumped when the collision
+//!   list grows).
+//!
+//! A lookup hits only when *both* stamps match current reality; stale
+//! entries are overwritten in place the next time the app is scored.
+//! This makes invalidation O(0) on the ingest path — new evidence does
+//! not even have to know the cache exists.
+//!
+//! Sharded like the feature store so cache traffic scales with it.
+
+use std::collections::HashMap;
+
+use osn_types::ids::AppId;
+use parking_lot::RwLock;
+
+use crate::service::Verdict;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    verdict: Verdict,
+    app_generation: u64,
+    known_generation: u64,
+}
+
+/// Generation-stamped verdict memo.
+#[derive(Debug)]
+pub struct VerdictCache {
+    shards: Vec<RwLock<HashMap<AppId, Entry>>>,
+}
+
+impl VerdictCache {
+    /// Creates a cache with `shards` shards (panics if zero).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a cache needs at least one shard");
+        VerdictCache {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard_of(&self, app: AppId) -> &RwLock<HashMap<AppId, Entry>> {
+        &self.shards[(app.raw() as usize) % self.shards.len()]
+    }
+
+    /// Returns the cached verdict iff it was scored at exactly
+    /// (`app_generation`, `known_generation`).
+    pub fn get(&self, app: AppId, app_generation: u64, known_generation: u64) -> Option<Verdict> {
+        let shard = self.shard_of(app).read();
+        let entry = shard.get(&app)?;
+        (entry.app_generation == app_generation && entry.known_generation == known_generation)
+            .then(|| entry.verdict.clone())
+    }
+
+    /// Stores a verdict stamped with the generations it scored.
+    pub fn put(&self, app: AppId, verdict: Verdict, app_generation: u64, known_generation: u64) {
+        self.shard_of(app).write().insert(
+            app,
+            Entry {
+                verdict,
+                app_generation,
+                known_generation,
+            },
+        );
+    }
+
+    /// Number of cached entries (fresh or stale).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(app: AppId, malicious: bool) -> Verdict {
+        Verdict {
+            app,
+            malicious,
+            decision_value: if malicious { 1.5 } else { -1.5 },
+            generation: 1,
+        }
+    }
+
+    #[test]
+    fn hit_requires_both_generations_to_match() {
+        let cache = VerdictCache::new(2);
+        let app = AppId(5);
+        cache.put(app, verdict(app, true), 3, 7);
+        assert!(cache.get(app, 3, 7).is_some());
+        assert!(cache.get(app, 4, 7).is_none(), "new app evidence");
+        assert!(cache.get(app, 3, 8).is_none(), "known-names growth");
+        assert!(cache.get(AppId(6), 3, 7).is_none(), "different app");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn rescoring_overwrites_the_stale_entry() {
+        let cache = VerdictCache::new(1);
+        let app = AppId(9);
+        cache.put(app, verdict(app, false), 1, 1);
+        cache.put(app, verdict(app, true), 2, 1);
+        assert_eq!(cache.len(), 1, "replaced in place");
+        assert!(cache.get(app, 1, 1).is_none());
+        assert!(cache.get(app, 2, 1).unwrap().malicious);
+    }
+
+    #[test]
+    fn empty_cache_reports_empty() {
+        let cache = VerdictCache::new(4);
+        assert!(cache.is_empty());
+        assert_eq!(cache.len(), 0);
+    }
+}

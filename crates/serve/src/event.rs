@@ -1,0 +1,147 @@
+//! The service's input vocabulary.
+//!
+//! [`ServeEvent`] is the narrow waist between evidence sources and the
+//! incremental feature store: everything the store learns arrives as one
+//! of these. Two producers exist today — the live platform tap
+//! ([`fb_platform::PlatformEvent`], via [`ServeEvent::from_platform`])
+//! and the scenario replay bridge ([`crate::bridge::serve_events`]).
+
+use fb_platform::PlatformEvent;
+use frappe::OnDemandFeatures;
+use osn_types::ids::AppId;
+use osn_types::url::Url;
+use serde::{Deserialize, Serialize};
+
+/// One piece of evidence about an app, in arrival order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServeEvent {
+    /// An app was registered under `name`.
+    Registered {
+        /// The new app.
+        app: AppId,
+        /// Its display name (not unique — collisions are a feature!).
+        name: String,
+    },
+    /// The monitoring vantage observed a post attributed to `app`.
+    Post {
+        /// The posting app.
+        app: AppId,
+        /// The post's link, if any.
+        link: Option<Url>,
+    },
+    /// A fresh on-demand crawl of `app` completed; replaces the app's
+    /// Table 4 feature lanes wholesale (a crawl is a full observation,
+    /// not a delta).
+    OnDemand {
+        /// The crawled app.
+        app: AppId,
+        /// The extracted Table 4 features.
+        features: OnDemandFeatures,
+    },
+    /// The platform deleted `app`. Accumulated evidence is *retained*
+    /// (tombstone semantics, matching the batch pipeline, which keeps
+    /// classifying apps it saw before enforcement removed them).
+    Deleted {
+        /// The deleted app.
+        app: AppId,
+    },
+}
+
+impl ServeEvent {
+    /// The app this event concerns.
+    pub fn app(&self) -> AppId {
+        match self {
+            ServeEvent::Registered { app, .. }
+            | ServeEvent::Post { app, .. }
+            | ServeEvent::OnDemand { app, .. }
+            | ServeEvent::Deleted { app } => *app,
+        }
+    }
+
+    /// Converts a platform-tap event into serving input.
+    ///
+    /// Install grants and unattributed posts return `None`: neither moves
+    /// any FRAppE feature, so the store has nothing to learn from them.
+    pub fn from_platform(event: &PlatformEvent) -> Option<ServeEvent> {
+        match event {
+            PlatformEvent::AppRegistered { app, name, .. } => Some(ServeEvent::Registered {
+                app: *app,
+                name: name.clone(),
+            }),
+            PlatformEvent::PostCreated {
+                app: Some(app),
+                link,
+                ..
+            } => Some(ServeEvent::Post {
+                app: *app,
+                link: link.clone(),
+            }),
+            PlatformEvent::PostCreated { app: None, .. } | PlatformEvent::InstallGranted { .. } => {
+                None
+            }
+            PlatformEvent::AppDeleted { app, .. } => Some(ServeEvent::Deleted { app: *app }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_types::ids::{PostId, UserId};
+    use osn_types::time::SimTime;
+
+    #[test]
+    fn platform_events_map_onto_serving_vocabulary() {
+        let reg = PlatformEvent::AppRegistered {
+            app: AppId(3),
+            name: "The App".into(),
+            at: SimTime::ZERO,
+        };
+        assert_eq!(
+            ServeEvent::from_platform(&reg),
+            Some(ServeEvent::Registered {
+                app: AppId(3),
+                name: "The App".into()
+            })
+        );
+
+        let post = PlatformEvent::PostCreated {
+            post: PostId(9),
+            app: Some(AppId(3)),
+            link: None,
+            at: SimTime::ZERO,
+        };
+        assert_eq!(
+            ServeEvent::from_platform(&post),
+            Some(ServeEvent::Post {
+                app: AppId(3),
+                link: None
+            })
+        );
+
+        // organic posts and install grants carry no feature signal
+        let organic = PlatformEvent::PostCreated {
+            post: PostId(10),
+            app: None,
+            link: None,
+            at: SimTime::ZERO,
+        };
+        assert_eq!(ServeEvent::from_platform(&organic), None);
+        let install = PlatformEvent::InstallGranted {
+            app: AppId(3),
+            user: UserId(1),
+            at: SimTime::ZERO,
+        };
+        assert_eq!(ServeEvent::from_platform(&install), None);
+
+        let del = PlatformEvent::AppDeleted {
+            app: AppId(3),
+            at: SimTime::ZERO,
+        };
+        assert_eq!(
+            ServeEvent::from_platform(&del),
+            Some(ServeEvent::Deleted { app: AppId(3) })
+        );
+        assert_eq!(del.app(), Some(AppId(3)));
+    }
+}

@@ -1,0 +1,49 @@
+//! # frappe-serve — FRAppE as an always-on service
+//!
+//! The paper closes by arguing FRAppE should run "as a service to which
+//! one can query any app ID" (§8). The batch pipeline in [`frappe`]
+//! answers that question after the fact, over a finished trace; this
+//! crate answers it **while the trace is happening**: it subscribes to
+//! the platform event stream, folds every observation into per-app
+//! running aggregates, and classifies any app on demand with a
+//! pre-trained [`frappe::FrappeModel`].
+//!
+//! ```text
+//!  platform tap ──► ServeEvent ──► FeatureStore (N shards, RwLock)
+//!  scenario replay ─┘                   │ snapshot
+//!                                       ▼
+//!  classify(app) ─► bounded queue ─► ScorerPool ─► VerdictCache
+//!                      │ full?            │            │ (generation-
+//!                      ▼                  ▼            │  stamped)
+//!                  Overloaded         Verdict ◄────────┘
+//!                  {retry_after}
+//! ```
+//!
+//! The load-bearing invariant is **batch parity**: after ingesting a
+//! world's event stream, every feature snapshot is bit-for-bit equal to
+//! what the offline extractors compute from the same world, so online
+//! verdicts coincide with `FrappeModel::predict` exactly
+//! (`tests/serve_parity.rs`). Incrementality buys speed, never drift.
+//!
+//! Module map: [`event`] is the input vocabulary, [`store`] the sharded
+//! incremental feature state, [`pool`] the scorer workers with
+//! reject-with-retry-after backpressure, [`cache`] the generation-stamped
+//! verdict memo, [`metrics`] the observability layer, [`service`] the
+//! façade, and [`bridge`] the adapter from synthetic scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod cache;
+pub mod event;
+pub mod metrics;
+pub(crate) mod pool;
+pub mod service;
+pub mod store;
+
+pub use bridge::{serve_events, service_from_world};
+pub use event::ServeEvent;
+pub use metrics::{LatencySnapshot, MetricsSnapshot};
+pub use service::{FrappeService, ServeConfig, ServeError, Verdict};
+pub use store::{FeatureSnapshot, FeatureStore};

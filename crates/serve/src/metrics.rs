@@ -1,0 +1,258 @@
+//! Service observability: lock-free counters plus a fixed-bucket latency
+//! histogram, exported as a serde-serializable [`MetricsSnapshot`].
+//!
+//! Everything on the hot path is a relaxed atomic — metrics must never
+//! become the bottleneck they are supposed to diagnose. Snapshots are
+//! *not* a consistent cut (counters are read one by one), which is the
+//! standard trade for zero coordination.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Upper bounds (µs) of the latency buckets; one extra overflow bucket
+/// catches everything slower. Roughly logarithmic from 1µs to 10ms —
+/// in-process scoring lives at the low end, queueing shows up at the top.
+pub const LATENCY_BOUNDS_MICROS: [u64; 13] = [
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000,
+];
+
+const BUCKETS: usize = LATENCY_BOUNDS_MICROS.len() + 1;
+
+/// Query-latency histogram (µs), fixed buckets, relaxed atomics.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    total_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        let idx = LATENCY_BOUNDS_MICROS
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            bounds_micros: LATENCY_BOUNDS_MICROS.to_vec(),
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Exported histogram state. `counts` has one entry per bound plus a
+/// final overflow bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySnapshot {
+    /// Bucket upper bounds in µs (parallel to `counts[..counts.len()-1]`).
+    pub bounds_micros: Vec<u64>,
+    /// Observations per bucket; last entry is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all observed latencies (µs).
+    pub total_micros: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl LatencySnapshot {
+    /// Mean latency in µs (0 if nothing recorded).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (µs) of the bucket containing quantile `q` ∈ [0, 1];
+    /// `None` if empty or the quantile lands in the overflow bucket.
+    pub fn quantile_bound_micros(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return self.bounds_micros.get(i).copied();
+            }
+        }
+        None
+    }
+}
+
+/// Live counters for one service instance.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    events_ingested: AtomicU64,
+    queries_served: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    rejected: AtomicU64,
+    batches_scored: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// One event applied to the feature store.
+    pub fn event_ingested(&self) {
+        self.events_ingested.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One classify call answered (records end-to-end latency).
+    pub fn query_served(&self, latency: Duration) {
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// Verdict answered from cache.
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Verdict had to be scored.
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Query rejected by backpressure.
+    pub fn rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One worker batch drained (of any size ≥ 1).
+    pub fn batch_scored(&self) {
+        self.batches_scored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Exports current values. `queue_depth` is sampled by the caller
+    /// (the service knows its channel; the counters do not).
+    pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let looked_up = hits + misses;
+        MetricsSnapshot {
+            events_ingested: self.events_ingested.load(Ordering::Relaxed),
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_ratio: if looked_up == 0 {
+                0.0
+            } else {
+                hits as f64 / looked_up as f64
+            },
+            rejected: self.rejected.load(Ordering::Relaxed),
+            batches_scored: self.batches_scored.load(Ordering::Relaxed),
+            queue_depth,
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time export of every service metric; serializable for
+/// dashboards and the load generator's report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Events applied to the feature store.
+    pub events_ingested: u64,
+    /// Classify calls answered.
+    pub queries_served: u64,
+    /// Verdicts answered from cache.
+    pub cache_hits: u64,
+    /// Verdicts scored fresh.
+    pub cache_misses: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`, 0 when nothing looked up.
+    pub cache_hit_ratio: f64,
+    /// Queries rejected by backpressure.
+    pub rejected: u64,
+    /// Worker batches drained.
+    pub batches_scored: u64,
+    /// Scoring-queue depth when the snapshot was taken.
+    pub queue_depth: usize,
+    /// Query-latency histogram.
+    pub latency: LatencySnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_ratio_accumulate() {
+        let m = Metrics::default();
+        m.event_ingested();
+        m.event_ingested();
+        m.cache_hit();
+        m.cache_miss();
+        m.cache_miss();
+        m.cache_miss();
+        m.rejected();
+        m.batch_scored();
+        m.query_served(Duration::from_micros(30));
+        let s = m.snapshot(5);
+        assert_eq!(s.events_ingested, 2);
+        assert_eq!(s.queries_served, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 3);
+        assert!((s.cache_hit_ratio - 0.25).abs() < 1e-12);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.batches_scored, 1);
+        assert_eq!(s.queue_depth, 5);
+        assert_eq!(s.latency.count, 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(1)); // bucket 0 (≤1)
+        h.record(Duration::from_micros(30)); // ≤50
+        h.record(Duration::from_micros(30)); // ≤50
+        h.record(Duration::from_micros(9_000)); // ≤10_000
+        h.record(Duration::from_secs(1)); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.counts.iter().sum::<u64>(), 5);
+        assert_eq!(*s.counts.last().unwrap(), 1, "1s lands in overflow");
+        assert_eq!(s.quantile_bound_micros(0.5), Some(50));
+        assert_eq!(
+            s.quantile_bound_micros(1.0),
+            None,
+            "max lives in the unbounded overflow bucket"
+        );
+        assert!(s.mean_micros() > 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let s = LatencyHistogram::default().snapshot();
+        assert_eq!(s.mean_micros(), 0.0);
+        assert_eq!(s.quantile_bound_micros(0.5), None);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let m = Metrics::default();
+        m.query_served(Duration::from_micros(120));
+        m.cache_miss();
+        let s = m.snapshot(0);
+        let text = serde_json::to_string(&s).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+}

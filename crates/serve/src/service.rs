@@ -1,0 +1,439 @@
+//! The service façade: one struct that owns the store, the cache, the
+//! scorer pool, the known-malicious-names list, and the metrics, and
+//! exposes the two verbs that matter — `ingest(event)` and
+//! `classify(app)`.
+//!
+//! ## Concurrency shape
+//!
+//! * **Ingest** is wait-free apart from one shard write lock; it never
+//!   touches the cache (invalidation is by generation stamp, see
+//!   [`crate::cache`]).
+//! * **Classify** goes through the bounded scoring queue. When the queue
+//!   is full the call is *rejected immediately* with
+//!   [`ServeError::Overloaded`] carrying a retry-after hint — the paper's
+//!   "FRAppE as a service" must degrade by shedding queries, not by
+//!   stalling the event stream.
+//! * **Known-name growth** ([`FrappeService::flag_name`]) takes the one
+//!   write lock and bumps the global known-generation, lazily
+//!   invalidating every cached verdict (a new name can flip any app's
+//!   collision bit).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use frappe::features::aggregation::KnownMaliciousNames;
+use frappe::{AppFeatures, FrappeModel};
+use osn_types::ids::AppId;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use url_services::shortener::Shortener;
+
+use crate::cache::VerdictCache;
+use crate::event::ServeEvent;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::pool::ScorerPool;
+use crate::store::{FeatureSnapshot, FeatureStore};
+
+/// Tuning knobs for one service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Feature-store and cache shards (lock granularity).
+    pub shards: usize,
+    /// Scorer threads.
+    pub workers: usize,
+    /// Bounded scoring-queue capacity; beyond it queries are rejected.
+    pub queue_capacity: usize,
+    /// Max requests a worker drains per wake-up.
+    pub batch_size: usize,
+    /// Retry hint handed to rejected callers (ms).
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            workers: 2,
+            queue_capacity: 256,
+            batch_size: 16,
+            retry_after_ms: 5,
+        }
+    }
+}
+
+/// The service's answer for one app.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// The classified app.
+    pub app: AppId,
+    /// FRAppE's call: malicious?
+    pub malicious: bool,
+    /// Raw SVM decision value (positive ⇒ malicious); ranks severity.
+    pub decision_value: f64,
+    /// Feature-store generation the verdict scored — pin it to the
+    /// evidence it was based on.
+    pub generation: u64,
+}
+
+/// Why a classify call did not produce a verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No event has ever mentioned this app.
+    UnknownApp(AppId),
+    /// The scoring queue is full; retry after the hinted delay.
+    Overloaded {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownApp(app) => write!(f, "app {app:?} has never been observed"),
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(f, "scoring queue full; retry after {retry_after_ms}ms")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Everything a scorer worker needs, shared once behind an `Arc`.
+pub(crate) struct ScoreEngine {
+    model: FrappeModel,
+    store: FeatureStore,
+    cache: VerdictCache,
+    known: RwLock<KnownMaliciousNames>,
+    known_generation: AtomicU64,
+    shortener: Shortener,
+    metrics: Metrics,
+}
+
+impl ScoreEngine {
+    /// Cache-or-score one app. Runs on a pool worker.
+    pub(crate) fn score(&self, app: AppId) -> Result<Verdict, ServeError> {
+        // fast path: generation probe + cache lookup, no feature build
+        let app_gen = self
+            .store
+            .generation_of(app)
+            .ok_or(ServeError::UnknownApp(app))?;
+        let known_gen = self.known_generation.load(Ordering::Acquire);
+        if let Some(hit) = self.cache.get(app, app_gen, known_gen) {
+            self.metrics.cache_hit();
+            return Ok(hit);
+        }
+        self.metrics.cache_miss();
+
+        // slow path: snapshot under the known-names read lock so the
+        // generation we stamp matches the set we actually consulted
+        let (snapshot, known_gen) = {
+            let known = self.known.read();
+            let known_gen = self.known_generation.load(Ordering::Acquire);
+            let snapshot = self
+                .store
+                .snapshot(app, &known)
+                .ok_or(ServeError::UnknownApp(app))?;
+            (snapshot, known_gen)
+        };
+        let FeatureSnapshot {
+            features,
+            generation,
+        } = snapshot;
+        let decision_value = self.model.decision_value(&features);
+        let verdict = Verdict {
+            app,
+            malicious: decision_value >= 0.0,
+            decision_value,
+            generation,
+        };
+        self.cache.put(app, verdict.clone(), generation, known_gen);
+        Ok(verdict)
+    }
+
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+/// The online FRAppE classification service.
+///
+/// Dropping the service shuts the scorer pool down (queue closed, workers
+/// joined); in-flight queries get [`ServeError::ShuttingDown`].
+pub struct FrappeService {
+    engine: Arc<ScoreEngine>,
+    pool: ScorerPool,
+    config: ServeConfig,
+}
+
+impl FrappeService {
+    /// Builds a service around a pre-trained model.
+    ///
+    /// `known` seeds the name-collision list (it grows via
+    /// [`flag_name`](Self::flag_name)); `shortener` resolves shortened
+    /// links at ingest, exactly as the batch extractor does.
+    ///
+    /// # Panics
+    /// Panics if `config` has zero shards, workers, queue capacity, or
+    /// batch size.
+    pub fn new(
+        model: FrappeModel,
+        known: KnownMaliciousNames,
+        shortener: Shortener,
+        config: ServeConfig,
+    ) -> Self {
+        assert!(config.workers > 0, "need at least one scorer");
+        assert!(config.queue_capacity > 0, "need a non-empty queue");
+        assert!(config.batch_size > 0, "batches hold at least one request");
+        let engine = Arc::new(ScoreEngine {
+            model,
+            store: FeatureStore::new(config.shards),
+            cache: VerdictCache::new(config.shards),
+            known: RwLock::new(known),
+            known_generation: AtomicU64::new(0),
+            shortener,
+            metrics: Metrics::default(),
+        });
+        let pool = ScorerPool::new(
+            config.workers,
+            config.queue_capacity,
+            config.batch_size,
+            config.retry_after_ms,
+            Arc::clone(&engine),
+        );
+        FrappeService {
+            engine,
+            pool,
+            config,
+        }
+    }
+
+    /// The configuration this instance runs with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Applies one event to the incremental feature store.
+    pub fn ingest(&self, event: &ServeEvent) {
+        self.engine.store.apply(event, &self.engine.shortener);
+        self.engine.metrics.event_ingested();
+    }
+
+    /// Classifies one app, blocking until a scorer answers.
+    ///
+    /// Returns [`ServeError::Overloaded`] *without blocking* when the
+    /// scoring queue is full — the caller owns the retry policy.
+    pub fn classify(&self, app: AppId) -> Result<Verdict, ServeError> {
+        let start = Instant::now();
+        let reply = match self.pool.submit(app) {
+            Ok(reply) => reply,
+            Err(err) => {
+                if matches!(err, ServeError::Overloaded { .. }) {
+                    self.engine.metrics.rejected();
+                }
+                return Err(err);
+            }
+        };
+        let verdict = reply.recv().map_err(|_| ServeError::ShuttingDown)??;
+        self.engine.metrics.query_served(start.elapsed());
+        Ok(verdict)
+    }
+
+    /// Adds an app name to the known-malicious collision list (§4.2.1's
+    /// online growth: flag an app, catch its look-alikes immediately).
+    /// Returns whether the normalized name was new.
+    ///
+    /// Bumps the known-generation, so every cached verdict is invalidated
+    /// lazily — a new name can flip any app's collision feature.
+    pub fn flag_name(&self, name: &str) -> bool {
+        let mut known = self.engine.known.write();
+        let novel = known.insert(name);
+        self.engine.known_generation.fetch_add(1, Ordering::Release);
+        novel
+    }
+
+    /// Current feature row for one app, bypassing the scorer pool.
+    /// This is the parity-test window into the incremental store.
+    pub fn features(&self, app: AppId) -> Option<AppFeatures> {
+        let known = self.engine.known.read();
+        self.engine.store.snapshot(app, &known).map(|s| s.features)
+    }
+
+    /// Apps the store has evidence for, sorted.
+    pub fn tracked_apps(&self) -> Vec<AppId> {
+        self.engine.store.tracked_apps()
+    }
+
+    /// Point-in-time metrics (samples the live queue depth).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.engine.metrics.snapshot(self.pool.queue_depth())
+    }
+
+    #[cfg(test)]
+    pub(crate) fn engine_for_test(&self) -> Arc<ScoreEngine> {
+        Arc::clone(&self.engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frappe::features::aggregation::AggregationFeatures;
+    use frappe::{FeatureSet, OnDemandFeatures};
+
+    fn tiny_model() -> FrappeModel {
+        let benign = AppFeatures {
+            app: AppId(1),
+            on_demand: OnDemandFeatures {
+                has_category: Some(true),
+                has_company: Some(true),
+                has_description: Some(true),
+                has_profile_posts: Some(true),
+                permission_count: Some(6),
+                client_id_mismatch: Some(false),
+                redirect_wot_score: Some(94.0),
+            },
+            aggregation: AggregationFeatures {
+                name_matches_known_malicious: false,
+                external_link_ratio: Some(0.0),
+            },
+        };
+        let malicious = AppFeatures {
+            app: AppId(2),
+            on_demand: OnDemandFeatures {
+                has_category: Some(false),
+                has_company: Some(false),
+                has_description: Some(false),
+                has_profile_posts: Some(false),
+                permission_count: Some(1),
+                client_id_mismatch: Some(true),
+                redirect_wot_score: Some(-1.0),
+            },
+            aggregation: AggregationFeatures {
+                name_matches_known_malicious: true,
+                external_link_ratio: Some(1.0),
+            },
+        };
+        let samples: Vec<AppFeatures> = (0..4).flat_map(|_| [benign, malicious]).collect();
+        let labels: Vec<bool> = (0..4).flat_map(|_| [false, true]).collect();
+        FrappeModel::train(&samples, &labels, FeatureSet::Full, None)
+    }
+
+    fn service() -> FrappeService {
+        FrappeService::new(
+            tiny_model(),
+            KnownMaliciousNames::from_names(["profile viewer"]),
+            Shortener::bitly(),
+            ServeConfig {
+                shards: 2,
+                workers: 2,
+                queue_capacity: 8,
+                batch_size: 4,
+                retry_after_ms: 1,
+            },
+        )
+    }
+
+    fn feed_malicious(svc: &FrappeService, app: AppId) {
+        svc.ingest(&ServeEvent::Registered {
+            app,
+            name: "Profile Viewer".into(),
+        });
+        svc.ingest(&ServeEvent::OnDemand {
+            app,
+            features: OnDemandFeatures {
+                has_category: Some(false),
+                has_company: Some(false),
+                has_description: Some(false),
+                has_profile_posts: Some(false),
+                permission_count: Some(1),
+                client_id_mismatch: Some(true),
+                redirect_wot_score: Some(-1.0),
+            },
+        });
+        for _ in 0..3 {
+            svc.ingest(&ServeEvent::Post {
+                app,
+                link: Some(osn_types::url::Url::parse("http://scam.com/x").unwrap()),
+            });
+        }
+    }
+
+    #[test]
+    fn classify_answers_and_caches() {
+        let svc = service();
+        let app = AppId(7);
+        feed_malicious(&svc, app);
+        let v1 = svc.classify(app).unwrap();
+        assert!(v1.malicious, "textbook-malicious evidence");
+        let v2 = svc.classify(app).unwrap();
+        assert_eq!(v1, v2);
+        let m = svc.metrics();
+        assert_eq!(m.queries_served, 2);
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.cache_hits, 1);
+        assert!((m.cache_hit_ratio - 0.5).abs() < 1e-12);
+        assert_eq!(m.events_ingested, 5);
+    }
+
+    #[test]
+    fn unknown_app_is_an_error_not_a_guess() {
+        let svc = service();
+        assert_eq!(
+            svc.classify(AppId(404)),
+            Err(ServeError::UnknownApp(AppId(404)))
+        );
+    }
+
+    #[test]
+    fn new_evidence_invalidates_the_cached_verdict() {
+        let svc = service();
+        let app = AppId(3);
+        feed_malicious(&svc, app);
+        let _ = svc.classify(app).unwrap();
+        svc.ingest(&ServeEvent::Post { app, link: None }); // bumps generation
+        let _ = svc.classify(app).unwrap();
+        let m = svc.metrics();
+        assert_eq!(m.cache_misses, 2, "second query re-scored");
+        assert_eq!(m.cache_hits, 0);
+    }
+
+    #[test]
+    fn flagging_a_name_flips_lookalikes_and_invalidates() {
+        let svc = service();
+        let app = AppId(11);
+        svc.ingest(&ServeEvent::Registered {
+            app,
+            name: "Totally Fine Game".into(),
+        });
+        let before = svc.features(app).unwrap();
+        assert!(!before.aggregation.name_matches_known_malicious);
+        let _ = svc.classify(app).unwrap();
+
+        assert!(svc.flag_name("TOTALLY  fine game"));
+        assert!(!svc.flag_name("totally fine game"), "already known");
+        let after = svc.features(app).unwrap();
+        assert!(after.aggregation.name_matches_known_malicious);
+
+        let _ = svc.classify(app).unwrap();
+        let m = svc.metrics();
+        assert_eq!(m.cache_misses, 2, "known-generation bump evicted");
+    }
+
+    #[test]
+    fn tracked_apps_are_sorted() {
+        let svc = service();
+        for raw in [9u64, 2, 5] {
+            svc.ingest(&ServeEvent::Registered {
+                app: AppId(raw),
+                name: format!("app {raw}"),
+            });
+        }
+        assert_eq!(svc.tracked_apps(), vec![AppId(2), AppId(5), AppId(9)]);
+    }
+}

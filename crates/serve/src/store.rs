@@ -1,0 +1,349 @@
+//! The incremental feature store.
+//!
+//! Per-app running aggregates, updated in O(1) per event, sharded N ways
+//! so ingest and query threads contend only when they touch the same
+//! shard. Each shard is a `parking_lot::RwLock<HashMap<AppId, AppState>>`;
+//! an app lives on shard `app.raw() % N` (app ids are dense, so the
+//! modulo spreads load evenly).
+//!
+//! The store's contract is *bit-for-bit batch parity*: a
+//! [`snapshot`](FeatureStore::snapshot) taken after ingesting a world's
+//! event stream equals what the offline pipeline computes from the same
+//! world — same integer counts, same `f64` division, same normalization.
+//! `tests/serve_parity.rs` enforces this for every app of a seeded
+//! scenario.
+//!
+//! Every mutation bumps the app's **generation**. Generations order
+//! evidence per app and drive the verdict cache: a verdict is valid only
+//! for the exact generation it scored (see [`crate::cache`]).
+
+use std::collections::HashMap;
+
+use frappe::features::aggregation::KnownMaliciousNames;
+use frappe::{AggregationFeatures, AppFeatures, OnDemandFeatures};
+use osn_types::ids::AppId;
+use osn_types::url::Url;
+use parking_lot::RwLock;
+use url_services::shortener::Shortener;
+
+use crate::event::ServeEvent;
+
+/// Running per-app aggregates (one entry per app ever seen).
+#[derive(Debug, Clone, Default)]
+struct AppState {
+    name: String,
+    post_count: u64,
+    external_links: u64,
+    on_demand: OnDemandFeatures,
+    deleted: bool,
+    generation: u64,
+}
+
+/// A point-in-time feature reading, tagged with the generation it
+/// reflects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureSnapshot {
+    /// The app's complete FRAppE feature row.
+    pub features: AppFeatures,
+    /// Store generation the row was derived from.
+    pub generation: u64,
+}
+
+/// The sharded incremental feature store.
+#[derive(Debug)]
+pub struct FeatureStore {
+    shards: Vec<RwLock<HashMap<AppId, AppState>>>,
+}
+
+/// Mirrors `extract_aggregation`'s internal/external decision exactly:
+/// shortened links are expanded first, unresolvable short links count as
+/// external (they leave facebook.com by construction).
+fn link_is_external(link: &Url, shortener: &Shortener) -> bool {
+    if link.is_shortened() {
+        match shortener.expand(link) {
+            Some(target) => !target.is_facebook(),
+            None => true,
+        }
+    } else {
+        !link.is_facebook()
+    }
+}
+
+impl FeatureStore {
+    /// Creates a store with `shards` shards.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a store needs at least one shard");
+        FeatureStore {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, app: AppId) -> &RwLock<HashMap<AppId, AppState>> {
+        &self.shards[(app.raw() as usize) % self.shards.len()]
+    }
+
+    /// Applies one event; external-vs-internal link decisions go through
+    /// `shortener` at ingest time so queries never pay for expansion.
+    /// Returns the new generation of the touched app.
+    pub fn apply(&self, event: &ServeEvent, shortener: &Shortener) -> u64 {
+        let mut shard = self.shard_of(event.app()).write();
+        let state = shard.entry(event.app()).or_default();
+        match event {
+            ServeEvent::Registered { name, .. } => {
+                state.name = name.clone();
+            }
+            ServeEvent::Post { link, .. } => {
+                state.post_count += 1;
+                if let Some(link) = link {
+                    if link_is_external(link, shortener) {
+                        state.external_links += 1;
+                    }
+                }
+            }
+            ServeEvent::OnDemand { features, .. } => {
+                state.on_demand = *features;
+            }
+            ServeEvent::Deleted { .. } => {
+                // tombstone: evidence (and the name) stays queryable
+                state.deleted = true;
+            }
+        }
+        state.generation += 1;
+        state.generation
+    }
+
+    /// The app's current generation, or `None` if never seen. Cheap —
+    /// used by the cache fast path before building a full snapshot.
+    pub fn generation_of(&self, app: AppId) -> Option<u64> {
+        self.shard_of(app).read().get(&app).map(|s| s.generation)
+    }
+
+    /// Whether the platform has deleted this app (tombstoned entry).
+    pub fn is_deleted(&self, app: AppId) -> bool {
+        self.shard_of(app)
+            .read()
+            .get(&app)
+            .is_some_and(|s| s.deleted)
+    }
+
+    /// Derives the full FRAppE feature row for one app.
+    ///
+    /// The name-collision feature is evaluated against `known` *now*, so
+    /// growing the known-malicious set retroactively flips snapshots —
+    /// exactly the batch semantics, where `extract_aggregation` sees the
+    /// final set.
+    pub fn snapshot(&self, app: AppId, known: &KnownMaliciousNames) -> Option<FeatureSnapshot> {
+        let shard = self.shard_of(app).read();
+        let state = shard.get(&app)?;
+        let external_link_ratio = if state.post_count == 0 {
+            None
+        } else {
+            Some(state.external_links as f64 / state.post_count as f64)
+        };
+        Some(FeatureSnapshot {
+            features: AppFeatures {
+                app,
+                on_demand: state.on_demand,
+                aggregation: AggregationFeatures {
+                    name_matches_known_malicious: known.contains(&state.name),
+                    external_link_ratio,
+                },
+            },
+            generation: state.generation,
+        })
+    }
+
+    /// Total apps tracked (sums shard sizes; O(shards)).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether no app has been seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// All tracked app ids, sorted (diagnostics / load generation).
+    pub fn tracked_apps(&self) -> Vec<AppId> {
+        let mut apps: Vec<AppId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().copied().collect::<Vec<_>>())
+            .collect();
+        apps.sort_unstable();
+        apps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fb_platform::post::{Post, PostKind};
+    use frappe::features::aggregation::extract_aggregation;
+    use osn_types::ids::{PostId, UserId};
+    use osn_types::time::SimTime;
+
+    fn post(id: u64, app: AppId, link: Option<Url>) -> Post {
+        Post {
+            id: PostId(id),
+            wall_owner: UserId(0),
+            author: UserId(0),
+            app: Some(app),
+            profile_of: None,
+            kind: PostKind::App,
+            message: "m".into(),
+            link,
+            created_at: SimTime::ZERO,
+            likes: 0,
+            comments: 0,
+        }
+    }
+
+    #[test]
+    fn incremental_counts_match_batch_extraction() {
+        let app = AppId(7);
+        let mut shortener = Shortener::bitly();
+        let short_scam = shortener.shorten(&Url::parse("http://scam.com/s").unwrap());
+        let dead = shortener.shorten(&Url::parse("http://dead.com/x").unwrap());
+        shortener.set_unresolvable(&dead);
+        let posts = vec![
+            post(0, app, Some(Url::parse("http://scam.com/a").unwrap())),
+            post(
+                1,
+                app,
+                Some(Url::parse("https://apps.facebook.com/x/").unwrap()),
+            ),
+            post(2, app, None),
+            post(3, app, Some(short_scam)),
+            post(4, app, Some(dead)),
+        ];
+        let known = KnownMaliciousNames::from_names(["profile viewer"]);
+
+        let store = FeatureStore::new(3);
+        store.apply(
+            &ServeEvent::Registered {
+                app,
+                name: "Profile  VIEWER".into(),
+            },
+            &shortener,
+        );
+        for p in &posts {
+            store.apply(
+                &ServeEvent::Post {
+                    app,
+                    link: p.link.clone(),
+                },
+                &shortener,
+            );
+        }
+
+        let refs: Vec<&Post> = posts.iter().collect();
+        let batch = extract_aggregation("Profile  VIEWER", &refs, &known, &shortener);
+        let snap = store.snapshot(app, &known).unwrap();
+        assert_eq!(snap.features.aggregation, batch);
+        assert_eq!(snap.features.aggregation.external_link_ratio, Some(0.6));
+        assert!(snap.features.aggregation.name_matches_known_malicious);
+        assert_eq!(snap.generation, 6, "one bump per event");
+    }
+
+    #[test]
+    fn unseen_apps_have_no_snapshot_and_no_generation() {
+        let store = FeatureStore::new(2);
+        assert!(store.generation_of(AppId(1)).is_none());
+        assert!(store
+            .snapshot(AppId(1), &KnownMaliciousNames::default())
+            .is_none());
+        assert!(store.is_empty());
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn deletion_tombstones_but_keeps_evidence() {
+        let store = FeatureStore::new(1);
+        let shortener = Shortener::bitly();
+        let app = AppId(4);
+        store.apply(
+            &ServeEvent::Registered {
+                app,
+                name: "Gone Soon".into(),
+            },
+            &shortener,
+        );
+        store.apply(&ServeEvent::Post { app, link: None }, &shortener);
+        let before = store.generation_of(app).unwrap();
+        store.apply(&ServeEvent::Deleted { app }, &shortener);
+        assert!(store.is_deleted(app));
+        assert_eq!(store.generation_of(app), Some(before + 1));
+        let snap = store
+            .snapshot(app, &KnownMaliciousNames::from_names(["gone soon"]))
+            .unwrap();
+        assert!(snap.features.aggregation.name_matches_known_malicious);
+        assert_eq!(snap.features.aggregation.external_link_ratio, Some(0.0));
+    }
+
+    #[test]
+    fn on_demand_lanes_replace_wholesale() {
+        let store = FeatureStore::new(2);
+        let shortener = Shortener::bitly();
+        let app = AppId(9);
+        let first = OnDemandFeatures {
+            has_description: Some(true),
+            permission_count: Some(3),
+            ..Default::default()
+        };
+        let second = OnDemandFeatures {
+            has_description: Some(false),
+            ..Default::default()
+        };
+        store.apply(
+            &ServeEvent::OnDemand {
+                app,
+                features: first,
+            },
+            &shortener,
+        );
+        store.apply(
+            &ServeEvent::OnDemand {
+                app,
+                features: second,
+            },
+            &shortener,
+        );
+        let snap = store
+            .snapshot(app, &KnownMaliciousNames::default())
+            .unwrap();
+        assert_eq!(snap.features.on_demand, second);
+        assert_eq!(
+            snap.features.on_demand.permission_count, None,
+            "a later crawl that missed the permission lane unsets it"
+        );
+    }
+
+    #[test]
+    fn apps_spread_across_shards() {
+        let store = FeatureStore::new(4);
+        let shortener = Shortener::bitly();
+        for i in 0..40 {
+            store.apply(
+                &ServeEvent::Registered {
+                    app: AppId(i),
+                    name: format!("app {i}"),
+                },
+                &shortener,
+            );
+        }
+        assert_eq!(store.len(), 40);
+        assert_eq!(store.tracked_apps().len(), 40);
+        for shard in &store.shards {
+            assert_eq!(shard.read().len(), 10, "dense ids balance perfectly");
+        }
+    }
+}

@@ -115,9 +115,7 @@ mod tests {
         let mut ys = Vec::new();
         for _ in 0..n_per_class {
             // crude gaussian via CLT
-            let noise = |rng: &mut SmallRng| {
-                (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() - 3.0
-            };
+            let noise = |rng: &mut SmallRng| (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() - 3.0;
             xs.push(vec![noise(&mut rng) - separation, noise(&mut rng)]);
             ys.push(-1.0);
             xs.push(vec![noise(&mut rng) + separation, noise(&mut rng)]);
@@ -132,8 +130,7 @@ mod tests {
         let folds = stratified_folds(&data, 5, 42);
         assert_eq!(folds.len(), data.len());
         for fold in 0..5 {
-            let members: Vec<usize> =
-                (0..data.len()).filter(|&i| folds[i] == fold).collect();
+            let members: Vec<usize> = (0..data.len()).filter(|&i| folds[i] == fold).collect();
             let pos = members.iter().filter(|&&i| data.labels()[i] > 0.0).count();
             assert_eq!(members.len(), 10, "balanced input → equal folds");
             assert_eq!(pos, 5, "stratification keeps class balance per fold");
@@ -182,7 +179,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least k examples of each class")]
     fn too_few_positives_panics() {
-        let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.0], vec![5.0]];
+        let xs = vec![
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![3.0],
+            vec![4.0],
+            vec![5.0],
+        ];
         let ys = vec![1.0, -1.0, -1.0, -1.0, -1.0, -1.0];
         let data = Dataset::new(xs, ys).unwrap();
         cross_validate(&data, &SvmParams::with_kernel(Kernel::linear()), 5, 1);

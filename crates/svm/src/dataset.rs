@@ -192,7 +192,10 @@ impl Dataset {
     ///
     /// Deterministic for a given `seed`.
     pub fn sample_with_ratio(&self, neg_per_pos: usize, seed: u64) -> Dataset {
-        assert!(neg_per_pos > 0, "ratio must be at least 1 negative per positive");
+        assert!(
+            neg_per_pos > 0,
+            "ratio must be at least 1 negative per positive"
+        );
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut pos = self.positive_indices();
         let mut neg = self.negative_indices();

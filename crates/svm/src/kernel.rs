@@ -148,7 +148,7 @@ mod tests {
             coef0: 0.0,
         };
         let v = k.compute(&[100.0], &[100.0]);
-        assert!(v <= 1.0 && v >= -1.0);
+        assert!((-1.0..=1.0).contains(&v));
     }
 
     fn vec3() -> impl Strategy<Value = Vec<f64>> {

@@ -111,11 +111,7 @@ impl RowCache {
     }
 
     /// Kernel row `i`, computing it via `compute` on a miss.
-    fn get_or_compute(
-        &mut self,
-        i: usize,
-        compute: impl FnOnce() -> Vec<f64>,
-    ) -> &[f64] {
+    fn get_or_compute(&mut self, i: usize, compute: impl FnOnce() -> Vec<f64>) -> &[f64] {
         if !self.rows.contains_key(&i) {
             if self.rows.len() >= self.capacity {
                 if let Some(old) = self.order.pop_front() {
@@ -169,7 +165,12 @@ pub fn train_with_stats(data: &Dataset, params: &SvmParams) -> (SvmModel, SolveS
     let c_of: Vec<f64> = ys
         .iter()
         .map(|&y| {
-            params.c * if y > 0.0 { params.weight_pos } else { params.weight_neg }
+            params.c
+                * if y > 0.0 {
+                    params.weight_pos
+                } else {
+                    params.weight_neg
+                }
         })
         .collect();
     let max_iter = params.max_iter.unwrap_or_else(|| 10_000_000.max(100 * n));
@@ -409,7 +410,10 @@ mod tests {
         let data = separable_2d(40, 1.0, 3);
         let (model, stats) = train_with_stats(&data, &SvmParams::with_kernel(Kernel::linear()));
         assert_eq!(stats.support_vectors, model.support_vector_count());
-        assert!(model.support_vector_count() >= 2, "need at least one SV per class");
+        assert!(
+            model.support_vector_count() >= 2,
+            "need at least one SV per class"
+        );
         assert!(
             model.support_vector_count() < data.len(),
             "separable problem must not make everything an SV"
@@ -489,7 +493,10 @@ mod tests {
             ys.push(1.0);
         }
         for _ in 0..200 {
-            xs.push(vec![-0.25 - rng.gen::<f64>() + 0.5 * rng.gen::<f64>(), rng.gen::<f64>()]);
+            xs.push(vec![
+                -0.25 - rng.gen::<f64>() + 0.5 * rng.gen::<f64>(),
+                rng.gen::<f64>(),
+            ]);
             ys.push(-1.0);
         }
         let data = Dataset::new(xs, ys).unwrap();

@@ -116,9 +116,12 @@ pub fn generate_benign_apps(
         let description = rng
             .gen_bool(config.benign_description_rate)
             .then(|| format!("{name}: the best way to enjoy {slug} with friends"));
-        let company = rng
-            .gen_bool(config.benign_company_rate)
-            .then(|| format!("{} Studios", name.split_whitespace().next().unwrap_or("App")));
+        let company = rng.gen_bool(config.benign_company_rate).then(|| {
+            format!(
+                "{} Studios",
+                name.split_whitespace().next().unwrap_or("App")
+            )
+        });
         let category = rng
             .gen_bool(config.benign_category_rate)
             .then(|| *AppCategory::ALL.choose(&mut rng).expect("non-empty"));
@@ -280,7 +283,14 @@ mod tests {
         let (platform, apps, config, _) = build();
         let with_desc = apps
             .iter()
-            .filter(|a| platform.app(a.id).unwrap().registration.description.is_some())
+            .filter(|a| {
+                platform
+                    .app(a.id)
+                    .unwrap()
+                    .registration
+                    .description
+                    .is_some()
+            })
             .count();
         let rate = with_desc as f64 / apps.len() as f64;
         assert!(

@@ -186,9 +186,8 @@ pub fn generate_malicious(
         .map(|d| Domain::parse(d).expect("static domain is valid"))
         .collect();
     for i in 0..config.extra_hosting_domains {
-        hosting_domains.push(
-            Domain::parse(&format!("freeapps-host{i}.info")).expect("generated domain"),
-        );
+        hosting_domains
+            .push(Domain::parse(&format!("freeapps-host{i}.info")).expect("generated domain"));
     }
     // Exactly one in five hosting domains has (poor) WOT data; the other
     // 80% are unknown to WOT, matching Fig. 8's malicious curve.
@@ -212,7 +211,7 @@ pub fn generate_malicious(
         left -= config.typosquat_count;
     }
     while left > 0 {
-        let g = rng.gen_range(1..=8).min(left);
+        let g = rng.gen_range(1..=8usize).min(left);
         standalone_groups.push(g);
         left -= g;
     }
@@ -225,13 +224,14 @@ pub fn generate_malicious(
     let mut sites: Vec<IndirectionSite> = Vec::new();
 
     // Indirection sites go to the largest campaigns.
-    let site_campaigns: Vec<usize> = (0..config.indirection_sites.min(colluding_campaigns))
-        .collect();
+    let site_campaigns: Vec<usize> =
+        (0..config.indirection_sites.min(colluding_campaigns)).collect();
 
     for (c_idx, &size) in sizes.iter().enumerate() {
         let cid = CampaignId(c_idx as u64);
         let is_colluding = c_idx < colluding_campaigns && size >= 2;
-        let is_typosquat_pre = c_idx == colluding_campaigns && config.typosquat_count > 0 && standalone > 0;
+        let is_typosquat_pre =
+            c_idx == colluding_campaigns && config.typosquat_count > 0 && standalone > 0;
         // The typosquat group is always stealthy: the paper only discovered
         // the five 'FarmVile's through FRAppE's validation, so they must
         // not be pre-labelled by MyPageKeeper.
@@ -252,7 +252,7 @@ pub fn generate_malicious(
             let mut remaining = size;
             while remaining > 0 {
                 let c = if rng.gen_bool(0.15) {
-                    rng.gen_range(15..=28)
+                    rng.gen_range(15..=28usize)
                 } else {
                     rng.gen_range(3..=9)
                 }
@@ -279,9 +279,7 @@ pub fn generate_malicious(
             .collect();
         // 45% of cells have no dual core: their promotees hang off
         // unconnected promoters, which supplies Fig. 14's low-LCC mass.
-        let cell_has_core: Vec<bool> = (0..n_cells)
-            .map(|_| rng.gen_bool(0.55))
-            .collect();
+        let cell_has_core: Vec<bool> = (0..n_cells).map(|_| rng.gen_bool(0.55)).collect();
 
         // Register apps.
         let mut app_ids = Vec::with_capacity(size);
@@ -315,8 +313,7 @@ pub fn generate_malicious(
             } else {
                 pick_hosting_domain(&mut rng, &hosting_domains)
             };
-            let redirect_uri =
-                Url::build(Scheme::Http, domain, &format!("inst/c{c_idx}a{k}"));
+            let redirect_uri = Url::build(Scheme::Http, domain, &format!("inst/c{c_idx}a{k}"));
 
             let registration = AppRegistration {
                 name,
@@ -339,13 +336,10 @@ pub fn generate_malicious(
         if app_ids.len() >= 2 {
             for &id in &app_ids {
                 if rng.gen_bool(config.malicious_client_id_mismatch_rate) {
-                    let mut pool: Vec<AppId> = app_ids
-                        .iter()
-                        .copied()
-                        .filter(|&s| s != id)
-                        .collect();
+                    let mut pool: Vec<AppId> =
+                        app_ids.iter().copied().filter(|&s| s != id).collect();
                     pool.shuffle(&mut rng);
-                    pool.truncate(rng.gen_range(2..=5).min(pool.len()));
+                    pool.truncate(rng.gen_range(2..=5usize).min(pool.len()));
                     if !pool.is_empty() {
                         set_client_pool(platform, id, pool);
                     }
@@ -374,7 +368,7 @@ pub fn generate_malicious(
                     .map(|(_, &id)| id)
                     .collect()
             };
-            for cell in 0..n_cells {
+            for (cell, &has_core) in cell_has_core.iter().enumerate() {
                 let members = members_of(cell);
                 let c = members.len();
                 // Partition the cell into duals / promoters / promotees.
@@ -382,7 +376,7 @@ pub fn generate_malicious(
                     (0, 0)
                 } else if c <= 3 {
                     (c, 0) // a tiny mutual ring
-                } else if cell_has_core[cell] {
+                } else if has_core {
                     let d = ((c as f64 * 0.162).round() as usize).clamp(2, c - 2);
                     let p = ((c as f64 * 0.25).round() as usize).clamp(1, c - d - 1);
                     (d, p)
@@ -414,8 +408,7 @@ pub fn generate_malicious(
 
                 // dual core: complete mutual promotion
                 for &a in duals {
-                    let targets: Vec<AppId> =
-                        duals.iter().copied().filter(|&b| b != a).collect();
+                    let targets: Vec<AppId> = duals.iter().copied().filter(|&b| b != a).collect();
                     promotion_plan.entry(a).or_default().extend(targets);
                 }
                 // promoters: push the whole core, plus a promotee or two
@@ -442,7 +435,7 @@ pub fn generate_malicious(
                     let k = if rng.gen_bool(0.45) {
                         1
                     } else {
-                        rng.gen_range(2..=3).min(sponsors.len())
+                        rng.gen_range(2..=3usize).min(sponsors.len())
                     };
                     let mut picks = sponsors.clone();
                     picks.shuffle(&mut rng);
@@ -459,12 +452,7 @@ pub fn generate_malicious(
                 let sponsor = prev
                     .iter()
                     .copied()
-                    .find(|id| {
-                        matches!(
-                            roles[id],
-                            PlannedRole::Dual | PlannedRole::Promoter
-                        )
-                    })
+                    .find(|id| matches!(roles[id], PlannedRole::Dual | PlannedRole::Promoter))
                     .or_else(|| prev.first().copied());
                 if let (Some(s), Some(&t)) = (sponsor, cur.first()) {
                     if s != t {
@@ -496,39 +484,38 @@ pub fn generate_malicious(
         }
 
         // Indirection site for the largest campaigns.
-        let (indirection_site, shortened_site_entry) = if site_campaigns.contains(&c_idx)
-            && !promotees.is_empty()
-        {
-            let cloud = rng.gen_bool(config.indirection_cloud_fraction);
-            let host = if cloud {
-                Domain::parse(&format!("ec2-52-{c_idx}-promo.amazonaws.com"))
-                    .expect("generated domain")
+        let (indirection_site, shortened_site_entry) =
+            if site_campaigns.contains(&c_idx) && !promotees.is_empty() {
+                let cloud = rng.gen_bool(config.indirection_cloud_fraction);
+                let host = if cloud {
+                    Domain::parse(&format!("ec2-52-{c_idx}-promo.amazonaws.com"))
+                        .expect("generated domain")
+                } else {
+                    campaign_domain.clone()
+                };
+                // Pool: the campaign's dual cliques plus the star-shaped
+                // (core-less) cells' promotees. Including the duals is what
+                // gives the ecosystem the paper's huge collusion degrees (the
+                // site wires every user to every pool member) while the
+                // clique structure keeps Fig. 14's clustering mass high.
+                let mut pool: Vec<AppId> = all_duals
+                    .iter()
+                    .chain(coreless_promotees.iter())
+                    .copied()
+                    .collect();
+                if pool.is_empty() {
+                    pool = promotees.clone();
+                }
+                pool.shuffle(&mut rng);
+                let keep = (pool.len() as f64 * rng.gen_range(0.7..1.0)).ceil() as usize;
+                pool.truncate(keep.max(1));
+                let site = IndirectionSite::new(host, &format!("go{c_idx}"), pool);
+                let short_entry = shortener.shorten(site.entry_url());
+                sites.push(site);
+                (Some(sites.len() - 1), Some(short_entry))
             } else {
-                campaign_domain.clone()
+                (None, None)
             };
-            // Pool: the campaign's dual cliques plus the star-shaped
-            // (core-less) cells' promotees. Including the duals is what
-            // gives the ecosystem the paper's huge collusion degrees (the
-            // site wires every user to every pool member) while the
-            // clique structure keeps Fig. 14's clustering mass high.
-            let mut pool: Vec<AppId> = all_duals
-                .iter()
-                .chain(coreless_promotees.iter())
-                .copied()
-                .collect();
-            if pool.is_empty() {
-                pool = promotees.clone();
-            }
-            pool.shuffle(&mut rng);
-            let keep = (pool.len() as f64 * rng.gen_range(0.7..1.0)).ceil() as usize;
-            pool.truncate(keep.max(1));
-            let site = IndirectionSite::new(host, &format!("go{c_idx}"), pool);
-            let short_entry = shortener.shorten(site.entry_url());
-            sites.push(site);
-            (Some(sites.len() - 1), Some(short_entry))
-        } else {
-            (None, None)
-        };
         let site_users: Vec<AppId> = if indirection_site.is_some() {
             // Star-cell promoters always route through the site; half the
             // duals do too (promoting the whole pool keeps the cliques
@@ -551,9 +538,7 @@ pub fn generate_malicious(
         // Profile feeds: the 3% exception, advertising scam URLs (§4.1.5).
         for &id in &app_ids {
             if rng.gen_bool(config.malicious_profile_feed_rate) && platform.user_count() > 0 {
-                let poster = osn_types::ids::UserId(
-                    rng.gen_range(0..platform.user_count()) as u64
-                );
+                let poster = osn_types::ids::UserId(rng.gen_range(0..platform.user_count()) as u64);
                 let n = rng.gen_range(1..=10);
                 for _ in 0..n {
                     let url = &scam_urls[rng.gen_range(0..scam_urls.len())];
@@ -570,9 +555,17 @@ pub fn generate_malicious(
         // Per-app dynamics spec.
         for &id in &app_ids {
             let base_mau = if rng.gen_bool(0.6) {
-                log_uniform(&mut rng, config.malicious_mau_low.0, config.malicious_mau_low.1)
+                log_uniform(
+                    &mut rng,
+                    config.malicious_mau_low.0,
+                    config.malicious_mau_low.1,
+                )
             } else {
-                log_uniform(&mut rng, config.malicious_mau_high.0, config.malicious_mau_high.1)
+                log_uniform(
+                    &mut rng,
+                    config.malicious_mau_high.0,
+                    config.malicious_mau_high.1,
+                )
             };
             let click_budget = rng.gen_bool(config.bitly_user_rate).then(|| {
                 let r: f64 = rng.gen();
@@ -672,7 +665,11 @@ mod tests {
         assert!(promotees > duals);
         // every colluding campaign of size >= 2 has a promotion plan
         for c in colluding.iter().filter(|c| c.apps.len() >= 2) {
-            assert!(!c.promotion_plan.is_empty(), "campaign {:?} has no plan", c.id);
+            assert!(
+                !c.promotion_plan.is_empty(),
+                "campaign {:?} has no plan",
+                c.id
+            );
         }
     }
 
@@ -736,7 +733,10 @@ mod tests {
                 let pool = &platform.app(a).unwrap().registration.client_id_pool;
                 if !pool.is_empty() {
                     mismatched += 1;
-                    assert!(pool.iter().all(|p| members.contains(p)), "pool crosses campaigns");
+                    assert!(
+                        pool.iter().all(|p| members.contains(p)),
+                        "pool crosses campaigns"
+                    );
                     assert!(!pool.contains(&a), "pool contains self");
                 }
             }

@@ -318,18 +318,30 @@ impl ScenarioConfig {
             "need at least one colluding app per campaign"
         );
         assert!(self.monitoring_days > 0, "monitoring_days must be positive");
-        assert!(self.sweep_interval_days > 0, "sweep_interval_days must be positive");
+        assert!(
+            self.sweep_interval_days > 0,
+            "sweep_interval_days must be positive"
+        );
         for (name, p) in [
             ("monitored_fraction", self.monitored_fraction),
             ("benign_description_rate", self.benign_description_rate),
-            ("malicious_client_id_mismatch_rate", self.malicious_client_id_mismatch_rate),
+            (
+                "malicious_client_id_mismatch_rate",
+                self.malicious_client_id_mismatch_rate,
+            ),
             ("promoter_fraction", self.promoter_fraction),
             ("dual_fraction", self.dual_fraction),
-            ("stealthy_campaign_fraction", self.stealthy_campaign_fraction),
+            (
+                "stealthy_campaign_fraction",
+                self.stealthy_campaign_fraction,
+            ),
             ("mpk_detect_prob", self.mpk_detect_prob),
             ("victim_install_prob", self.victim_install_prob),
         ] {
-            assert!((0.0..=1.0).contains(&p), "{name} must be a probability, got {p}");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be a probability, got {p}"
+            );
         }
         assert!(
             self.promoter_fraction + self.dual_fraction < 1.0,

@@ -40,7 +40,12 @@ impl LabeledApps {
 
     fn retained(&self, keep: impl Fn(AppId) -> bool) -> LabeledApps {
         LabeledApps {
-            malicious: self.malicious.iter().copied().filter(|&a| keep(a)).collect(),
+            malicious: self
+                .malicious
+                .iter()
+                .copied()
+                .filter(|&a| keep(a))
+                .collect(),
             benign: self.benign.iter().copied().filter(|&a| keep(a)).collect(),
         }
     }
@@ -71,7 +76,10 @@ pub struct DatasetBundle {
 /// signals are public observables — ground truth is never consulted.
 fn is_vetted(world: &ScenarioWorld, app: AppId) -> bool {
     world.social_bakers.is_vetted(app, 3.0)
-        && world.platform.app(app).is_some_and(|rec| rec.max_mau() >= 50)
+        && world
+            .platform
+            .app(app)
+            .is_some_and(|rec| rec.max_mau() >= 50)
 }
 
 /// Builds the bundle from a finished scenario.
@@ -97,8 +105,7 @@ pub fn build_datasets(world: &ScenarioWorld) -> DatasetBundle {
     // best-known apps are chosen first, then fill with top unvetted
     // posters (the paper's "top 523 applications in terms of number of
     // posts").
-    let post_count =
-        |a: &AppId| labels.post_counts.get(a).map_or(0, |&(_, total)| total);
+    let post_count = |a: &AppId| labels.post_counts.get(a).map_or(0, |&(_, total)| total);
     vetted.sort_by_key(|a| (std::cmp::Reverse(post_count(a)), *a));
     let mut benign: Vec<AppId> = vetted.iter().copied().take(malicious.len()).collect();
     if benign.len() < malicious.len() {

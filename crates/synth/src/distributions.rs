@@ -57,7 +57,10 @@ pub fn power_law_partition<R: Rng + ?Sized>(
     alpha: f64,
 ) -> Vec<usize> {
     assert!(parts > 0, "need at least one part");
-    assert!(total >= parts, "need total >= parts so every part is non-empty");
+    assert!(
+        total >= parts,
+        "need total >= parts so every part is non-empty"
+    );
     // Draw part weights from a Pareto, normalize, round, then fix up the sum.
     let weights: Vec<f64> = (0..parts)
         .map(|_| bounded_pareto(rng, alpha, 1.0, total as f64))

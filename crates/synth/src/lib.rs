@@ -29,8 +29,10 @@ pub mod distributions;
 pub mod names;
 pub mod piggyback;
 pub mod population;
+pub mod replay;
 pub mod scenario;
 
 pub use config::ScenarioConfig;
 pub use datasets::{build_datasets, DatasetBundle, LabeledApps};
+pub use replay::{replay_events, ReplayEvent};
 pub use scenario::{run_scenario, GroundTruth, ScenarioWorld};

@@ -66,8 +66,8 @@ const ADJECTIVES: &[&str] = &[
 ];
 const NOUNS: &[&str] = &[
     "Farm", "Quiz", "Poker", "Aquarium", "Kitchen", "Racing", "Trivia", "Garden", "Bingo",
-    "Puzzle", "Chess", "Safari", "Bakery", "Castle", "Island", "Galaxy", "Studio", "Pets",
-    "Words", "Tycoon",
+    "Puzzle", "Chess", "Safari", "Bakery", "Castle", "Island", "Galaxy", "Studio", "Pets", "Words",
+    "Tycoon",
 ];
 const SUFFIXES: &[&str] = &[
     "", " World", " Saga", " Mania", " Party", " Life", " Wars", " Story", " Quest", " Blitz",
@@ -78,16 +78,14 @@ const SUFFIXES: &[&str] = &[
 /// the name population *pairwise dissimilar*, which is what Fig. 10's
 /// benign curve measures (benign names barely cluster even at 0.7).
 const SYL_A: &[&str] = &[
-    "Zo", "Va", "Ki", "Lu", "Mer", "Tan", "Bru", "Fi", "Gor", "Hap", "Jen", "Kel", "Nim",
-    "Oli", "Pex", "Qua", "Rud", "Sel", "Tri", "Wix",
+    "Zo", "Va", "Ki", "Lu", "Mer", "Tan", "Bru", "Fi", "Gor", "Hap", "Jen", "Kel", "Nim", "Oli",
+    "Pex", "Qua", "Rud", "Sel", "Tri", "Wix",
 ];
 const SYL_B: &[&str] = &[
-    "biq", "lor", "mex", "dan", "ric", "sto", "vel", "zun", "gra", "pim", "tos", "wak",
-    "nif", "cho", "bel", "dus", "fra", "gim", "hol", "jat",
+    "biq", "lor", "mex", "dan", "ric", "sto", "vel", "zun", "gra", "pim", "tos", "wak", "nif",
+    "cho", "bel", "dus", "fra", "gim", "hol", "jat",
 ];
-const SYL_C: &[&str] = &[
-    "", "ia", "ly", "zy", "go", "eo", "ix", "us", "oo", "ster",
-];
+const SYL_C: &[&str] = &["", "ia", "ly", "zy", "go", "eo", "ix", "us", "oo", "ster"];
 
 /// Deterministically generates the `i`-th distinct benign app name.
 ///
@@ -181,10 +179,7 @@ mod tests {
     #[test]
     fn malicious_base_cycles() {
         assert_eq!(malicious_base_name(0), "The App");
-        assert_eq!(
-            malicious_base_name(MALICIOUS_BASE_NAMES.len()),
-            "The App"
-        );
+        assert_eq!(malicious_base_name(MALICIOUS_BASE_NAMES.len()), "The App");
     }
 
     #[test]

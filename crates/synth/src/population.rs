@@ -67,8 +67,7 @@ mod tests {
             .sum();
         let mean = total_degree as f64 / pop.users.len() as f64;
         assert!(
-            (config.mean_friends as f64 * 0.7..=config.mean_friends as f64 * 1.1)
-                .contains(&mean),
+            (config.mean_friends as f64 * 0.7..=config.mean_friends as f64 * 1.1).contains(&mean),
             "mean degree {mean}, configured {}",
             config.mean_friends
         );

@@ -1,0 +1,150 @@
+//! Event replay: a finished [`ScenarioWorld`] re-expressed as the ordered
+//! event stream an *online* monitor would have seen while the scenario
+//! ran.
+//!
+//! The batch pipeline looks at the world after the fact; the serving layer
+//! (`frappe-serve`) instead consumes events one at a time and keeps
+//! incremental state. This module derives that stream from a completed
+//! world, in a causally-valid deterministic order:
+//!
+//! 1. **Registrations** — every app ever registered (including ones later
+//!    deleted), in `AppId` order. App ids are assigned at registration
+//!    time, so id order respects registration order, and every app
+//!    precedes all of its posts.
+//! 2. **Monitored posts** — the posts MyPageKeeper's subscriber base
+//!    observed, in `PostId` order (post ids are dense and chronological).
+//!    These are exactly the posts the batch aggregation features are
+//!    computed from, so an incremental consumer that counts them
+//!    reproduces `extract_aggregation` bit for bit.
+//! 3. **Merged crawls** — one event per app in the extended crawl archive
+//!    (`AppId` order), carrying the lane-merged crawl result. The crawl
+//!    phase follows the monitoring phase in the scenario timeline, so
+//!    these come last.
+//!
+//! Same world ⇒ same event vector; the stream is safe to use in
+//! determinism-sensitive tests.
+
+use fb_platform::post::Post;
+use osn_types::ids::AppId;
+
+use crate::scenario::{MergedCrawl, ScenarioWorld};
+
+/// One observation from the monitoring vantage point, in replay order.
+#[derive(Debug, Clone)]
+pub enum ReplayEvent {
+    /// An app was registered (name as the platform recorded it).
+    AppRegistered {
+        /// The app.
+        app: AppId,
+        /// Its display name (not unique).
+        name: String,
+    },
+    /// A monitored wall post (app-attributed or not).
+    MonitoredPost {
+        /// The full post as monitored.
+        post: Post,
+    },
+    /// The lane-merged crawl observations for an app.
+    CrawlMerged {
+        /// The crawled app.
+        app: AppId,
+        /// Merged crawl lanes (first success per lane).
+        crawl: MergedCrawl,
+    },
+}
+
+/// Derives the ordered event stream for a completed world.
+pub fn replay_events(world: &ScenarioWorld) -> Vec<ReplayEvent> {
+    let mut events = Vec::new();
+
+    for record in world.platform.apps() {
+        events.push(ReplayEvent::AppRegistered {
+            app: record.id,
+            name: record.name().to_string(),
+        });
+    }
+
+    let mut monitored: Vec<&Post> = world
+        .mpk
+        .monitored_posts()
+        .iter()
+        .filter_map(|&pid| world.platform.post(pid))
+        .collect();
+    monitored.sort_unstable_by_key(|p| p.id);
+    events.extend(
+        monitored
+            .into_iter()
+            .map(|p| ReplayEvent::MonitoredPost { post: p.clone() }),
+    );
+
+    for (&app, crawl) in &world.extended_archive {
+        events.push(ReplayEvent::CrawlMerged {
+            app,
+            crawl: crawl.clone(),
+        });
+    }
+
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+    use crate::scenario::run_scenario;
+    use std::collections::HashSet;
+
+    #[test]
+    fn replay_is_deterministic_and_causally_ordered() {
+        let config = ScenarioConfig::small();
+        let world = run_scenario(&config);
+        let events = replay_events(&world);
+        let again = replay_events(&run_scenario(&config));
+        assert_eq!(events.len(), again.len());
+
+        // registrations strictly precede any post or crawl event
+        let first_non_registration = events
+            .iter()
+            .position(|e| !matches!(e, ReplayEvent::AppRegistered { .. }))
+            .unwrap_or(events.len());
+        let mut registered = HashSet::new();
+        let mut last_post = None;
+        for (i, event) in events.iter().enumerate() {
+            match event {
+                ReplayEvent::AppRegistered { app, .. } => {
+                    assert!(i < first_non_registration);
+                    registered.insert(*app);
+                }
+                ReplayEvent::MonitoredPost { post } => {
+                    if let Some(app) = post.app {
+                        assert!(
+                            registered.contains(&app),
+                            "post before registration of {app}"
+                        );
+                    }
+                    if let Some(prev) = last_post {
+                        assert!(post.id > prev, "posts must replay in id order");
+                    }
+                    last_post = Some(post.id);
+                }
+                ReplayEvent::CrawlMerged { app, .. } => {
+                    assert!(registered.contains(app));
+                }
+            }
+        }
+
+        // the stream carries exactly the monitored posts
+        let post_count = events
+            .iter()
+            .filter(|e| matches!(e, ReplayEvent::MonitoredPost { .. }))
+            .count();
+        assert_eq!(post_count, world.mpk.monitored_posts().len());
+
+        // one crawl event per extended-archive entry
+        let crawl_count = events
+            .iter()
+            .filter(|e| matches!(e, ReplayEvent::CrawlMerged { .. }))
+            .count();
+        assert_eq!(crawl_count, world.extended_archive.len());
+    }
+}

@@ -207,9 +207,10 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioWorld {
     let mut truth_urls: HashSet<String> = HashSet::new();
     let mut overrides: HashMap<String, f64> = HashMap::new();
     let mut stealthy_campaigns = HashSet::new();
-    let register_url = |url: &Url, stealthy: bool,
-                            truth_urls: &mut HashSet<String>,
-                            overrides: &mut HashMap<String, f64>| {
+    let register_url = |url: &Url,
+                        stealthy: bool,
+                        truth_urls: &mut HashSet<String>,
+                        overrides: &mut HashMap<String, f64>| {
         let s = url.to_string();
         if stealthy {
             overrides.insert(s.clone(), config.stealthy_detect_prob);
@@ -283,9 +284,9 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioWorld {
     });
     let mut extended_archive: BTreeMap<AppId, MergedCrawl> = BTreeMap::new();
     let merge_crawl = |archive: &mut BTreeMap<AppId, MergedCrawl>,
-                           platform: &Platform,
-                           crawler: &Crawler,
-                           app: AppId| {
+                       platform: &Platform,
+                       crawler: &Crawler,
+                       app: AppId| {
         let outcome = crawler.crawl(platform, app);
         let merged = archive.entry(app).or_default();
         if merged.summary.is_none() {
@@ -328,7 +329,14 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioWorld {
             config.piggyback_daily_rate,
         );
         run_chatter_day(&mut platform, &population, config, &mut rng);
-        run_enforcement_day(&mut platform, &malicious, &benign, &active, config, &mut rng);
+        run_enforcement_day(
+            &mut platform,
+            &malicious,
+            &benign,
+            &active,
+            config,
+            &mut rng,
+        );
         run_mau_injection(&mut platform, &benign, &malicious, config, &mut rng);
 
         if day % config.sweep_interval_days == 0 {
@@ -371,7 +379,14 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioWorld {
         }
         // a week passes; enforcement and MAU keep running
         for _ in 0..7 {
-            run_enforcement_day(&mut platform, &malicious, &benign, &active, config, &mut rng);
+            run_enforcement_day(
+                &mut platform,
+                &malicious,
+                &benign,
+                &active,
+                config,
+                &mut rng,
+            );
             run_mau_injection(&mut platform, &benign, &malicious, config, &mut rng);
             platform.advance_day();
         }
@@ -398,14 +413,25 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioWorld {
 
     // ---------------- validation window ------------------------------------
     for _ in 0..config.validation_extra_days {
-        run_enforcement_day(&mut platform, &malicious, &benign, &active, config, &mut rng);
+        run_enforcement_day(
+            &mut platform,
+            &malicious,
+            &benign,
+            &active,
+            config,
+            &mut rng,
+        );
         platform.advance_day();
     }
     platform.finalize_month();
 
     let truth = GroundTruth {
         malicious: malicious.apps.keys().copied().collect(),
-        campaign_of: malicious.apps.iter().map(|(&a, s)| (a, s.campaign)).collect(),
+        campaign_of: malicious
+            .apps
+            .iter()
+            .map(|(&a, s)| (a, s.campaign))
+            .collect(),
         stealthy_campaigns,
         malicious_urls: truth_urls,
         whitelist,
@@ -588,7 +614,10 @@ fn post_malicious(
 
     // Decide content: promotion (for promoters/duals) or scam.
     let is_promoter = matches!(spec.role, PlannedRole::Promoter | PlannedRole::Dual)
-        && !campaign.promotion_plan.get(&app_id).map_or(true, Vec::is_empty);
+        && !campaign
+            .promotion_plan
+            .get(&app_id)
+            .is_none_or(Vec::is_empty);
     let promote = is_promoter && rng.gen_bool(0.5);
 
     let (message, link, install_target) = if promote {
@@ -597,7 +626,10 @@ fn post_malicious(
             && campaign.site_users.contains(&app_id)
             && rng.gen_bool(0.8);
         if use_site {
-            let entry = campaign.shortened_site_entry.clone().expect("checked above");
+            let entry = campaign
+                .shortened_site_entry
+                .clone()
+                .expect("checked above");
             // install lands wherever the site rotates to; approximate with
             // a random pool member for the viral step
             let site = &malicious.sites[campaign.indirection_site.expect("paired with entry")];
@@ -675,11 +707,7 @@ fn post_malicious(
             }
         }
         if rng.gen_bool(config.manual_share_prob) {
-            let _ = platform.post_manual(
-                friend,
-                "look what I found",
-                Some(link.clone()),
-            );
+            let _ = platform.post_manual(friend, "look what I found", Some(link.clone()));
         }
     }
 }
@@ -738,14 +766,13 @@ fn run_mau_injection(
     rng: &mut SmallRng,
 ) {
     // Once per 30-day month (on its first day), inject external MAU.
-    if platform.now().days() % 30 != 0 {
+    if !platform.now().days().is_multiple_of(30) {
         return;
     }
     let _ = config;
     for app in benign {
         let noise = rng.gen_range(0.7..1.3);
-        let _ = platform
-            .record_external_engagement(app.id, (app.base_mau * noise) as u64);
+        let _ = platform.record_external_engagement(app.id, (app.base_mau * noise) as u64);
     }
     for (&id, spec) in &malicious.apps {
         // Base month-to-month wobble, with occasional viral spikes — the
@@ -784,7 +811,11 @@ mod tests {
         assert!(world.platform.posts().len() > 1000, "too few posts");
         assert!(!world.mpk.flagged_posts().is_empty(), "nothing flagged");
         let observed = world.observed_apps();
-        assert!(observed.len() > 100, "too few observed apps: {}", observed.len());
+        assert!(
+            observed.len() > 100,
+            "too few observed apps: {}",
+            observed.len()
+        );
 
         // enforcement deleted a nontrivial share of malicious apps
         let deleted = world.platform.deleted_apps();
@@ -809,7 +840,10 @@ mod tests {
 
         // clicks accumulated on bit.ly links
         let total_clicks: u64 = world.shortener.links().map(|l| l.clicks).sum();
-        assert!(total_clicks > 100_000, "click injection missing: {total_clicks}");
+        assert!(
+            total_clicks > 100_000,
+            "click injection missing: {total_clicks}"
+        );
     }
 
     #[test]

@@ -144,8 +144,7 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
             let substitute = d[idx(i, j)] + cost;
             let insert = d[idx(i + 1, j)] + 1;
             let delete = d[idx(i, j + 1)] + 1;
-            let transpose =
-                d[idx(last_i, last_j)] + (i - last_i - 1) + 1 + (j - last_j - 1);
+            let transpose = d[idx(last_i, last_j)] + (i - last_i - 1) + 1 + (j - last_j - 1);
             d[idx(i + 1, j + 1)] = substitute.min(insert).min(delete).min(transpose);
         }
         last_row.insert(a[i - 1], i);

@@ -128,10 +128,7 @@ mod tests {
     #[test]
     fn hits_counts_distinct_keywords() {
         // "free" twice + "credits" once = 2 distinct hits
-        assert_eq!(
-            spam_keyword_hits("FREE free CREDITS for everyone"),
-            2
-        );
+        assert_eq!(spam_keyword_hits("FREE free CREDITS for everyone"), 2);
         assert_eq!(spam_keyword_hits("hello world"), 0);
     }
 

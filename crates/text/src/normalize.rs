@@ -130,9 +130,20 @@ mod tests {
 
     #[test]
     fn non_versions_left_intact() {
-        for raw in ["FarmVille", "v", "word v", "app vx1", "app v1.2.3", "app v.5", "app v5."] {
+        for raw in [
+            "FarmVille",
+            "v",
+            "word v",
+            "app vx1",
+            "app v1.2.3",
+            "app v.5",
+            "app v5.",
+        ] {
             let n = split_version_suffix(raw);
-            assert!(n.version.is_none(), "{raw:?} wrongly parsed as versioned: {n:?}");
+            assert!(
+                n.version.is_none(),
+                "{raw:?} wrongly parsed as versioned: {n:?}"
+            );
         }
     }
 

@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn identical_texts_score_one() {
-        assert_eq!(jaccard("free ipad click here now", "free ipad click here now", 3), 1.0);
+        assert_eq!(
+            jaccard("free ipad click here now", "free ipad click here now", 3),
+            1.0
+        );
     }
 
     #[test]

@@ -172,9 +172,7 @@ impl fmt::Display for Permission {
 
 /// A set of requested permissions, represented as one bit per catalogue
 /// entry.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct PermissionSet(u64);
 
@@ -182,15 +180,6 @@ impl PermissionSet {
     /// The empty set (an app that requests no permissions at all only gets
     /// the user's public profile — possible but rare).
     pub const EMPTY: PermissionSet = PermissionSet(0);
-
-    /// Builds a set from an iterator of permissions.
-    pub fn from_iter<I: IntoIterator<Item = Permission>>(iter: I) -> Self {
-        let mut set = PermissionSet::EMPTY;
-        for p in iter {
-            set.insert(p);
-        }
-        set
-    }
 
     /// Parses an OAuth-style comma-separated scope string, e.g.
     /// `"publish_stream,email"`. Unknown permission names are an error.
@@ -284,7 +273,11 @@ impl PermissionSet {
 
 impl FromIterator<Permission> for PermissionSet {
     fn from_iter<I: IntoIterator<Item = Permission>>(iter: I) -> Self {
-        PermissionSet::from_iter(iter)
+        let mut set = PermissionSet::EMPTY;
+        for p in iter {
+            set.insert(p);
+        }
+        set
     }
 }
 

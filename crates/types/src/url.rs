@@ -313,8 +313,7 @@ mod tests {
     #[test]
     fn parses_query_params() {
         let u =
-            Url::parse("https://www.facebook.com/apps/application.php?id=42&client_id=43")
-                .unwrap();
+            Url::parse("https://www.facebook.com/apps/application.php?id=42&client_id=43").unwrap();
         assert_eq!(u.query_param("id"), Some("42"));
         assert_eq!(u.query_param("client_id"), Some("43"));
         assert_eq!(u.query_param("missing"), None);
@@ -364,20 +363,27 @@ mod tests {
         assert!(Domain::parse("facebook.com").unwrap().is_facebook());
         assert!(Domain::parse("apps.facebook.com").unwrap().is_facebook());
         assert!(!Domain::parse("notfacebook.com").unwrap().is_facebook());
-        assert!(!Domain::parse("facebook.com.evil.net").unwrap().is_facebook());
+        assert!(!Domain::parse("facebook.com.evil.net")
+            .unwrap()
+            .is_facebook());
     }
 
     #[test]
     fn shortener_detection() {
         assert!(Url::parse("https://bit.ly/abc").unwrap().is_shortened());
         assert!(Url::parse("http://j.mp/oRzBNU").unwrap().is_shortened());
-        assert!(!Url::parse("http://example.com/bit.ly").unwrap().is_shortened());
+        assert!(!Url::parse("http://example.com/bit.ly")
+            .unwrap()
+            .is_shortened());
     }
 
     #[test]
     fn domain_validation() {
         assert!(Domain::parse("EXAMPLE.Com").is_ok()); // case folded
-        assert_eq!(Domain::parse("EXAMPLE.Com").unwrap().as_str(), "example.com");
+        assert_eq!(
+            Domain::parse("EXAMPLE.Com").unwrap().as_str(),
+            "example.com"
+        );
         assert!(Domain::parse("nodots").is_err());
         assert!(Domain::parse("-bad.com").is_err());
         assert!(Domain::parse("bad-.com").is_err());

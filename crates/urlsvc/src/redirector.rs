@@ -32,7 +32,10 @@ impl IndirectionSite {
     /// Panics if `targets` is empty — a redirector with nowhere to send
     /// victims is not a thing hackers deploy.
     pub fn new(host: Domain, path: &str, targets: Vec<AppId>) -> Self {
-        assert!(!targets.is_empty(), "indirection site needs at least one target app");
+        assert!(
+            !targets.is_empty(),
+            "indirection site needs at least one target app"
+        );
         IndirectionSite {
             entry: Url::build(Scheme::Http, host, path),
             targets,
@@ -65,8 +68,7 @@ impl IndirectionSite {
     /// pools — and (b) the mapping drifts day over day ("fast-changing
     /// indirection").
     pub fn fetch(&mut self, now: SimTime) -> AppId {
-        let idx = (self.fetches.wrapping_add(u64::from(now.days())))
-            % self.targets.len() as u64;
+        let idx = (self.fetches.wrapping_add(u64::from(now.days()))) % self.targets.len() as u64;
         self.fetches += 1;
         self.targets[idx as usize]
     }
@@ -74,8 +76,7 @@ impl IndirectionSite {
     /// Read-only view of where a fetch at `now` with the current counter
     /// *would* land (used by analysis code that must not perturb state).
     pub fn peek(&self, now: SimTime) -> AppId {
-        let idx = (self.fetches.wrapping_add(u64::from(now.days())))
-            % self.targets.len() as u64;
+        let idx = (self.fetches.wrapping_add(u64::from(now.days()))) % self.targets.len() as u64;
         self.targets[idx as usize]
     }
 }

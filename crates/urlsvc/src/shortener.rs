@@ -140,7 +140,9 @@ impl Shortener {
     /// The click-count API: total clicks for a short URL, `None` if the
     /// link does not exist.
     pub fn click_count(&self, short: &Url) -> Option<u64> {
-        Self::code_of(short).and_then(|c| self.links.get(c)).map(|l| l.clicks)
+        Self::code_of(short)
+            .and_then(|c| self.links.get(c))
+            .map(|l| l.clicks)
     }
 
     /// The expansion API: the full target URL, `None` if the link does not

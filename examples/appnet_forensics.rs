@@ -46,7 +46,10 @@ fn main() {
     // Components (§6.1).
     let components = connected_components(&graph);
     let sizes: Vec<usize> = components.iter().take(5).map(Vec::len).collect();
-    println!("\nconnected components: {} (top sizes {sizes:?})", components.len());
+    println!(
+        "\nconnected components: {} (top sizes {sizes:?})",
+        components.len()
+    );
 
     // Roles (Fig. 13).
     let roles = classify_roles(&graph);

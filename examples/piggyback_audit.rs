@@ -25,8 +25,8 @@ fn main() {
 
     println!("\napps with >= 1 flagged post, by malicious-post ratio:");
     println!(
-        "{:<30} {:>7} {:>8} {:>8}  {}",
-        "app", "posts", "flagged", "ratio", "diagnosis"
+        "{:<30} {:>7} {:>8} {:>8}  diagnosis",
+        "app", "posts", "flagged", "ratio"
     );
 
     let mut rows: Vec<_> = labels
@@ -64,17 +64,12 @@ fn main() {
     // Show the smoking gun for each victim: a flagged prompt_feed post.
     println!("\nevidence (flagged prompt_feed posts carrying the victims' identity):");
     for app in &victims {
-        let Some(pid) = world
-            .mpk
-            .flagged_posts()
-            .iter()
-            .find(|&&pid| {
-                world
-                    .platform
-                    .post(pid)
-                    .is_some_and(|p| p.app == Some(*app) && p.kind == PostKind::PromptFeed)
-            })
-        else {
+        let Some(pid) = world.mpk.flagged_posts().iter().find(|&&pid| {
+            world
+                .platform
+                .post(pid)
+                .is_some_and(|p| p.app == Some(*app) && p.kind == PostKind::PromptFeed)
+        }) else {
             continue;
         };
         let post = world.platform.post(*pid).expect("flagged post exists");
@@ -82,7 +77,10 @@ fn main() {
         println!(
             "  {name:<26} {:?} -> {}",
             post.message,
-            post.link.as_ref().map(ToString::to_string).unwrap_or_default()
+            post.link
+                .as_ref()
+                .map(ToString::to_string)
+                .unwrap_or_default()
         );
     }
 
@@ -104,5 +102,8 @@ fn main() {
             )
         })
         .count();
-    println!("whitelist repair: {rescued} of {} victims rescued from mislabelling", victims.len());
+    println!(
+        "whitelist repair: {rescued} of {} victims rescued from mislabelling",
+        victims.len()
+    );
 }

@@ -95,9 +95,8 @@ fn main() {
 
     // 4. Ask the paper's question for a few apps we know the truth about.
     println!("\n{:<46} {:>10} {:>10}", "app", "verdict", "truth");
-    let out_of_sample = |a: &AppId| {
-        !bundle.d_sample.malicious.contains(a) && !bundle.d_sample.benign.contains(a)
-    };
+    let out_of_sample =
+        |a: &AppId| !bundle.d_sample.malicious.contains(a) && !bundle.d_sample.benign.contains(a);
     let mut probes: Vec<AppId> = bundle
         .d_total
         .iter()

@@ -48,7 +48,10 @@ fn main() {
         labels.push(false);
     }
     let model = FrappeModel::train(&samples, &labels, FeatureSet::Lite, None);
-    println!("FRAppE Lite ready ({} support vectors)\n", model.support_vector_count());
+    println!(
+        "FRAppE Lite ready ({} support vectors)\n",
+        model.support_vector_count()
+    );
 
     // Evaluate the requested app ids, or a default sample of fresh apps.
     let requested: Vec<AppId> = std::env::args()

@@ -42,7 +42,15 @@ fn different_seed_different_world() {
 #[test]
 fn click_totals_are_stable() {
     let config = ScenarioConfig::small();
-    let t1: u64 = run_scenario(&config).shortener.links().map(|l| l.clicks).sum();
-    let t2: u64 = run_scenario(&config).shortener.links().map(|l| l.clicks).sum();
+    let t1: u64 = run_scenario(&config)
+        .shortener
+        .links()
+        .map(|l| l.clicks)
+        .sum();
+    let t2: u64 = run_scenario(&config)
+        .shortener
+        .links()
+        .map(|l| l.clicks)
+        .sum();
     assert_eq!(t1, t2);
 }

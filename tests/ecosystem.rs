@@ -32,7 +32,11 @@ fn graph_of(
 fn collaboration_graph_contains_only_truly_malicious_apps() {
     let world = world();
     let (graph, _) = graph_of(&world);
-    assert!(graph.node_count() > 20, "graph too small: {}", graph.node_count());
+    assert!(
+        graph.node_count() > 20,
+        "graph too small: {}",
+        graph.node_count()
+    );
     // Benign apps never post app-install links, so every node must be a
     // truly malicious app — the paper's premise that collusion is itself
     // damning.
@@ -80,7 +84,10 @@ fn both_promotion_channels_are_observed() {
     let world = world();
     let (_, stats) = graph_of(&world);
     assert!(stats.direct_links > 0, "no direct promotion observed");
-    assert!(stats.indirection_hits > 0, "no indirection promotion observed");
+    assert!(
+        stats.indirection_hits > 0,
+        "no indirection promotion observed"
+    );
     assert!(
         stats.sites_used.len() <= world.sites.len(),
         "more sites used than exist"

@@ -23,7 +23,10 @@ fn client_id_mismatch_shows_up_in_crawls_at_the_configured_rate() {
             }
         }
     }
-    assert!(observed > 20, "too few malicious permission crawls: {observed}");
+    assert!(
+        observed > 20,
+        "too few malicious permission crawls: {observed}"
+    );
     let rate = mismatched as f64 / observed as f64;
     // Paper: 78% of malicious apps use a different client ID. Singleton
     // standalone apps cannot (no sibling pool), so the observed rate sits

@@ -1,0 +1,565 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the subset the workspace uses: the `proptest!` test macro,
+//! `prop_assert!` / `prop_assert_eq!`, `prop_oneof!`, `Just`, `any::<T>()`,
+//! ranges and `&str` regex literals as strategies, tuple strategies,
+//! `prop_map`, `proptest::collection::vec`, and
+//! `proptest::string::string_regex`. Unlike real proptest there is no
+//! shrinking: each `#[test]` runs a fixed number of deterministic random
+//! cases and reports the first failing case's values by panicking.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Failure raised by `prop_assert!` family; aborts the current case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed-assertion error with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// How values are produced. Object-safe; combinators require `Sized`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Marker strategy for `any::<T>()`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The full range of `T` as a strategy.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut SmallRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        // signed, spread over a few orders of magnitude; always finite
+        let unit: f64 = rng.gen();
+        let mag: f64 = rng.gen_range(-6.0..6.0);
+        (unit - 0.5) * 2.0 * 10f64.powf(mag)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A) (A, B) (A, B, C) (A, B, C, D));
+
+/// `&str` literals act as regex strategies (see [`string::string_regex`]).
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"))
+            .generate(rng)
+    }
+}
+
+/// One of several strategies, chosen uniformly. Built by `prop_oneof!`.
+pub struct Union<T> {
+    cases: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given cases (must be non-empty).
+    pub fn new(cases: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!cases.is_empty(), "prop_oneof! needs at least one case");
+        Union { cases }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        let idx = rng.gen_range(0..self.cases.len());
+        self.cases[idx].generate(rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// Element-count specification accepted by [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: vectors of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// String strategies (`proptest::string`).
+pub mod string {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// One regex atom with its repetition bounds.
+    #[derive(Debug, Clone)]
+    struct Piece {
+        /// Candidate characters (`None` = any printable ASCII, for `.`).
+        class: Option<Vec<char>>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching a small regex subset:
+    /// sequences of `.` / `[a-z...]` / literal chars, each optionally
+    /// followed by `{m}`, `{m,n}`, `?`, `*`, or `+`.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    /// Compiles `pattern` into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let class = match chars[i] {
+                '.' => {
+                    i += 1;
+                    None
+                }
+                '[' => {
+                    let mut set = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (lo, hi) = (chars[i], chars[i + 2]);
+                            if lo > hi {
+                                return Err(format!("bad range {lo}-{hi}"));
+                            }
+                            set.extend(lo..=hi);
+                            i += 3;
+                        } else {
+                            set.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    if i >= chars.len() {
+                        return Err("unterminated character class".into());
+                    }
+                    i += 1; // ']'
+                    if set.is_empty() {
+                        return Err("empty character class".into());
+                    }
+                    Some(set)
+                }
+                '\\' => {
+                    i += 1;
+                    if i >= chars.len() {
+                        return Err("dangling escape".into());
+                    }
+                    let c = chars[i];
+                    i += 1;
+                    Some(vec![c])
+                }
+                c => {
+                    i += 1;
+                    Some(vec![c])
+                }
+            };
+            // optional quantifier
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .ok_or("unterminated {} quantifier")?
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        if let Some((lo, hi)) = body.split_once(',') {
+                            let lo: usize =
+                                lo.trim().parse().map_err(|e| format!("{e}"))?;
+                            let hi: usize =
+                                hi.trim().parse().map_err(|e| format!("{e}"))?;
+                            (lo, hi)
+                        } else {
+                            let n: usize =
+                                body.trim().parse().map_err(|e| format!("{e}"))?;
+                            (n, n)
+                        }
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            if min > max {
+                return Err(format!("bad quantifier {{{min},{max}}}"));
+            }
+            pieces.push(Piece { class, min, max });
+        }
+        Ok(RegexGeneratorStrategy { pieces })
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut SmallRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let count = rng.gen_range(piece.min..=piece.max);
+                for _ in 0..count {
+                    let c = match &piece.class {
+                        Some(set) => set[rng.gen_range(0..set.len())],
+                        // '.': any printable ASCII
+                        None => char::from(rng.gen_range(0x20u8..=0x7e)),
+                    };
+                    out.push(c);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Number of random cases each `proptest!` test runs.
+pub const CASES: u64 = 64;
+
+/// Drives one property across [`CASES`] deterministic cases.
+/// Used by the `proptest!` macro expansion; panics on the first failure.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut SmallRng) -> Result<(), TestCaseError>,
+{
+    // deterministic per-test seed so failures reproduce
+    let mut seed = 0xf2a9_u64;
+    for b in name.bytes() {
+        seed = seed.wrapping_mul(31).wrapping_add(u64::from(b));
+    }
+    for case_idx in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (case_idx.wrapping_mul(0x9e37)));
+        if let Err(e) = case(&mut rng) {
+            panic!("property {name} failed at case {case_idx}/{CASES}: {e}");
+        }
+    }
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// runs its body over [`CASES`] generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Asserts within a `proptest!` body; failure aborts just this case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality within a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l == *__r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Uniformly picks one of several same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut __cases: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,
+        > = ::std::vec::Vec::new();
+        $(__cases.push(::std::boxed::Box::new($strat));)+
+        $crate::Union::new(__cases)
+    }};
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Any, Just, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_shapes() {
+        let strat = crate::string::string_regex("[a-c]{0,6}").unwrap();
+        let mut rng = rand::SeedableRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+        let dot = crate::string::string_regex(".{0,40}").unwrap();
+        for _ in 0..50 {
+            let s = dot.generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        /// Doc comments and multiple tests per block must parse.
+        #[test]
+        fn ranges_hold(n in 1usize..40, f in 0.5f64..=1.0) {
+            prop_assert!((1..40).contains(&n));
+            prop_assert!((0.5..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_of_tuples(edges in crate::collection::vec((0usize..40, 0usize..40), 0..60)) {
+            prop_assert!(edges.len() < 60);
+            for (a, b) in edges {
+                prop_assert!(a < 40 && b < 40);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            any::<u8>().prop_map(u32::from),
+            Just(900u32),
+            (any::<u8>(), any::<u8>()).prop_map(|(a, b)| u32::from(a) + u32::from(b)),
+        ]) {
+            prop_assert!(v <= 900, "v was {}", v);
+        }
+
+        #[test]
+        fn str_literals_are_strategies(s in "[a-e]{0,10}") {
+            prop_assert!(s.len() <= 10);
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the vendored `serde`
+//! stand-in's simplified data model (everything goes through
+//! `serde::Value`). Implemented directly on `proc_macro::TokenStream` —
+//! the build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable.
+//!
+//! Supported input shapes (everything the workspace derives on):
+//! * structs with named fields,
+//! * tuple structs (single-field newtypes serialize transparently, which
+//!   also covers `#[serde(transparent)]`),
+//! * unit structs,
+//! * enums with unit variants (optionally with explicit discriminants),
+//!   tuple variants, and struct variants — externally tagged, like serde.
+//!
+//! Generic types are intentionally unsupported and produce a compile
+//! error naming this limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error tokens parse")
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, shape) = match parse_item(&tokens) {
+        Ok(parsed) => parsed,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match (&shape, mode) {
+        (Shape::NamedStruct { fields }, Mode::Serialize) => gen_named_ser(&name, fields),
+        (Shape::NamedStruct { fields }, Mode::Deserialize) => gen_named_de(&name, fields),
+        (Shape::TupleStruct { arity }, Mode::Serialize) => gen_tuple_ser(&name, *arity),
+        (Shape::TupleStruct { arity }, Mode::Deserialize) => gen_tuple_de(&name, *arity),
+        (Shape::UnitStruct, Mode::Serialize) => gen_unit_ser(&name),
+        (Shape::UnitStruct, Mode::Deserialize) => gen_unit_de(&name),
+        (Shape::Enum { variants }, Mode::Serialize) => gen_enum_ser(&name, variants),
+        (Shape::Enum { variants }, Mode::Deserialize) => gen_enum_de(&name, variants),
+    };
+    match body.parse() {
+        Ok(ts) => ts,
+        Err(e) => compile_error(&format!("serde_derive stand-in generated bad code: {e}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    tokens: &'a [TokenTree],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(tokens: &'a [TokenTree]) -> Self {
+        Cursor { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&'a TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a TokenTree> {
+        let t = self.tokens.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    /// Skips `#[...]` attribute groups (including doc comments).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if let Some(TokenTree::Group(_)) = self.peek() {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skips tokens until a `,` at angle-bracket depth 0, consuming the
+    /// comma. Used to skip field types and enum discriminants.
+    fn skip_to_field_end(&mut self) {
+        let mut angle_depth: i32 = 0;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        self.pos += 1;
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn ident_string(tok: Option<&TokenTree>) -> Option<String> {
+    match tok {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse_item(tokens: &[TokenTree]) -> Result<(String, Shape), String> {
+    let mut cur = Cursor::new(tokens);
+    cur.skip_attributes();
+    cur.skip_visibility();
+
+    let keyword = ident_string(cur.next()).ok_or("expected `struct` or `enum`")?;
+    let name = ident_string(cur.next()).ok_or("expected item name")?;
+
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the serde stand-in derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok((name, Shape::NamedStruct { fields: parse_named_fields(&inner)? }))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok((name, Shape::TupleStruct { arity: count_tuple_fields(&inner) }))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            _ => Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok((name, Shape::Enum { variants: parse_variants(&inner)? }))
+            }
+            _ => Err(format!("expected enum body for `{name}`")),
+        },
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut cur = Cursor::new(tokens);
+    let mut fields = Vec::new();
+    loop {
+        cur.skip_attributes();
+        cur.skip_visibility();
+        let Some(field) = ident_string(cur.next()) else { break };
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{field}`")),
+        }
+        cur.skip_to_field_end();
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    let mut cur = Cursor::new(tokens);
+    let mut count = 0;
+    loop {
+        cur.skip_attributes();
+        cur.skip_visibility();
+        if cur.peek().is_none() {
+            break;
+        }
+        count += 1;
+        cur.skip_to_field_end();
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(tokens);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attributes();
+        let Some(name) = ident_string(cur.next()) else { break };
+        let payload = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                cur.pos += 1;
+                Payload::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                cur.pos += 1;
+                Payload::Struct(parse_named_fields(&inner)?)
+            }
+            _ => Payload::Unit,
+        };
+        // Skip a trailing discriminant (`= 3`) and the separating comma.
+        cur.skip_to_field_end();
+        variants.push(Variant { name, payload });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// code generation
+// ---------------------------------------------------------------------------
+
+fn ser_header(name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n"
+    )
+}
+
+fn de_header(name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n"
+    )
+}
+
+const FOOTER: &str = "\n    }\n}\n";
+
+fn gen_named_ser(name: &str, fields: &[String]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::serialize(&self.{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "{}        ::serde::Value::Object(::std::vec![{}]){}",
+        ser_header(name),
+        entries.join(", "),
+        FOOTER
+    )
+}
+
+fn gen_named_de(name: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize(\
+                     __value.get_field({f:?}).unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| ::serde::Error(\
+                         ::std::format!(\"{name}.{f}: {{e}}\")))?"
+            )
+        })
+        .collect();
+    format!(
+        "{}        match __value {{\n\
+                     ::serde::Value::Object(_) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                     other => ::std::result::Result::Err(::serde::Error(\
+                         ::std::format!(\"{name}: expected object, got {{}}\", other.kind()))),\n\
+                 }}{}",
+        de_header(name),
+        inits.join(", "),
+        FOOTER
+    )
+}
+
+fn gen_tuple_ser(name: &str, arity: usize) -> String {
+    let body = if arity == 1 {
+        // Newtype structs serialize transparently (as in serde); this also
+        // covers `#[serde(transparent)]`.
+        "        ::serde::Serialize::serialize(&self.0)".to_string()
+    } else {
+        let items: Vec<String> = (0..arity)
+            .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+            .collect();
+        format!("        ::serde::Value::Array(::std::vec![{}])", items.join(", "))
+    };
+    format!("{}{}{}", ser_header(name), body, FOOTER)
+}
+
+fn gen_tuple_de(name: &str, arity: usize) -> String {
+    let body = if arity == 1 {
+        format!(
+            "        ::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::deserialize(__value)?))"
+        )
+    } else {
+        let items: Vec<String> = (0..arity)
+            .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+            .collect();
+        format!(
+            "        match __value {{\n\
+                         ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                             ::std::result::Result::Ok({name}({})),\n\
+                         other => ::std::result::Result::Err(::serde::Error(\
+                             ::std::format!(\"{name}: expected {arity}-element array, got {{}}\", \
+                                            other.kind()))),\n\
+                     }}",
+            items.join(", ")
+        )
+    };
+    format!("{}{}{}", de_header(name), body, FOOTER)
+}
+
+fn gen_unit_ser(name: &str) -> String {
+    format!("{}        ::serde::Value::Null{}", ser_header(name), FOOTER)
+}
+
+fn gen_unit_de(name: &str) -> String {
+    format!(
+        "{}        {{ let _ = __value; ::std::result::Result::Ok({name}) }}{}",
+        de_header(name),
+        FOOTER
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.payload {
+                Payload::Unit => format!(
+                    "{name}::{vname} => ::serde::Value::String(\
+                         ::std::string::String::from({vname:?}))"
+                ),
+                Payload::Tuple(1) => format!(
+                    "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from({vname:?}), \
+                         ::serde::Serialize::serialize(__f0))])"
+                ),
+                Payload::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let sers: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::serialize({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Value::Array(::std::vec![{}]))])",
+                        binds.join(", "),
+                        sers.join(", ")
+                    )
+                }
+                Payload::Struct(fields) => {
+                    let binds = fields.join(", ");
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::serialize({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Value::Object(::std::vec![{}]))])",
+                        entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "{}        match self {{\n            {}\n        }}{}",
+        ser_header(name),
+        arms.join(",\n            "),
+        FOOTER
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.payload, Payload::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            format!("{vname:?} => ::std::result::Result::Ok({name}::{vname})")
+        })
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.payload {
+                Payload::Unit => None,
+                Payload::Tuple(1) => Some(format!(
+                    "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize(__payload)?))"
+                )),
+                Payload::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => match __payload {{\n\
+                             ::serde::Value::Array(__items) if __items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{vname}({})),\n\
+                             other => ::std::result::Result::Err(::serde::Error(\
+                                 ::std::format!(\"{name}::{vname}: expected {n}-element array, \
+                                                got {{}}\", other.kind()))),\n\
+                         }}",
+                        items.join(", ")
+                    ))
+                }
+                Payload::Struct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::deserialize(\
+                                     __payload.get_field({f:?})\
+                                         .unwrap_or(&::serde::Value::Null))?"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }})",
+                        inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    let mut body = String::from("        match __value {\n");
+    if !unit_arms.is_empty() {
+        body.push_str(&format!(
+            "            ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                             {},\n\
+                             other => ::std::result::Result::Err(::serde::Error(\
+                                 ::std::format!(\"{name}: unknown variant {{other:?}}\"))),\n\
+                         }},\n",
+            unit_arms.join(",\n                ")
+        ));
+    }
+    if !data_arms.is_empty() {
+        body.push_str(&format!(
+            "            ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                             let (__tag, __payload) = &__entries[0];\n\
+                             match __tag.as_str() {{\n\
+                                 {},\n\
+                                 other => ::std::result::Result::Err(::serde::Error(\
+                                     ::std::format!(\"{name}: unknown variant {{other:?}}\"))),\n\
+                             }}\n\
+                         }},\n",
+            data_arms.join(",\n                    ")
+        ));
+    }
+    body.push_str(&format!(
+        "            other => ::std::result::Result::Err(::serde::Error(\
+             ::std::format!(\"{name}: unexpected {{}}\", other.kind()))),\n        }}"
+    ));
+    format!("{}{}{}", de_header(name), body, FOOTER)
+}

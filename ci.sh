@@ -9,6 +9,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q -p frappe-obs"
+cargo test -q -p frappe-obs
+
+echo "==> cargo build -p frappe-obs --no-default-features (instrumentation off)"
+cargo build -p frappe-obs --no-default-features
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

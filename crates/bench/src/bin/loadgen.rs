@@ -7,8 +7,15 @@
 //!
 //! ```text
 //! cargo run --release -p frappe-bench --bin loadgen -- \
-//!     [--shards N] [--workers N] [--query-threads N] [--queries N] [--paper-scale]
+//!     [--shards N] [--workers N] [--query-threads N] [--queries N] [--paper-scale] \
+//!     [--linear] [--profile] [--metrics-out PATH]
 //! ```
+//!
+//! On exit the run always prints the service registry as Prometheus text;
+//! `--metrics-out` additionally dumps it as JSONL, `--profile` enables the
+//! span profiler and prints the per-stage table, and `--linear` swaps the
+//! RBF kernel for a linear one so every fresh verdict lands in the audit
+//! log with per-feature contributions.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -16,7 +23,9 @@ use std::time::{Duration, Instant};
 
 use frappe::{FeatureSet, FrappeModel};
 use frappe_bench::lab::{Archive, Lab};
+use frappe_obs::AuditLog;
 use frappe_serve::{serve_events, FrappeService, ServeConfig, ServeError};
+use svm::{Kernel, SvmParams};
 
 struct Options {
     shards: usize,
@@ -24,6 +33,9 @@ struct Options {
     query_threads: usize,
     queries: usize,
     paper_scale: bool,
+    linear: bool,
+    profile: bool,
+    metrics_out: Option<String>,
 }
 
 fn parse_options() -> Options {
@@ -33,6 +45,9 @@ fn parse_options() -> Options {
         query_threads: 4,
         queries: 20_000,
         paper_scale: false,
+        linear: false,
+        profile: false,
+        metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,11 +66,20 @@ fn parse_options() -> Options {
             "--query-threads" => opts.query_threads = numeric("--query-threads"),
             "--queries" => opts.queries = numeric("--queries"),
             "--paper-scale" => opts.paper_scale = true,
+            "--linear" => opts.linear = true,
+            "--profile" => opts.profile = true,
+            "--metrics-out" => {
+                opts.metrics_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--metrics-out needs a path");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: loadgen [--shards N] [--workers N] [--query-threads N] \
-                     [--queries N] [--paper-scale]"
+                     [--queries N] [--paper-scale] [--linear] [--profile] \
+                     [--metrics-out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -66,13 +90,17 @@ fn parse_options() -> Options {
 
 fn main() {
     let opts = parse_options();
+    if opts.profile {
+        frappe_obs::set_spans_enabled(true);
+    }
     println!(
-        "loadgen: shards={} workers={} query-threads={} queries={} scenario={}",
+        "loadgen: shards={} workers={} query-threads={} queries={} scenario={} kernel={}",
         opts.shards,
         opts.workers,
         opts.query_threads,
         opts.queries,
-        if opts.paper_scale { "paper" } else { "small" }
+        if opts.paper_scale { "paper" } else { "small" },
+        if opts.linear { "linear" } else { "rbf" }
     );
 
     let lab = if opts.paper_scale {
@@ -85,7 +113,10 @@ fn main() {
         &lab.bundle.d_sample.benign,
         Archive::Extended,
     );
-    let model = FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
+    let params = opts
+        .linear
+        .then(|| SvmParams::with_kernel(Kernel::linear()));
+    let model = FrappeModel::train(&samples, &labels, FeatureSet::Full, params);
     let events = serve_events(&lab.world);
     println!(
         "world ready: {} events, {} labelled apps, {} support vectors",
@@ -104,6 +135,10 @@ fn main() {
             ..ServeConfig::default()
         },
     ));
+    // With a linear kernel every fresh verdict is explainable; the log
+    // stays empty under RBF (explain() returns None) but costs nothing.
+    let audit = Arc::new(AuditLog::default());
+    service.set_audit_log(Arc::clone(&audit));
 
     // prime the store with one full replay so every app is classifiable,
     // then keep the ingest thread replaying for the whole measurement
@@ -184,4 +219,39 @@ fn main() {
         "\nmetrics: {}",
         serde_json::to_string_pretty(&service.metrics()).expect("metrics serialize")
     );
+
+    // service.metrics() above refreshed the queue-depth gauge, so the
+    // registry snapshot below is current.
+    let registry = service.obs_registry().snapshot();
+    if let Some(path) = &opts.metrics_out {
+        match std::fs::write(path, registry.to_jsonl()) {
+            Ok(()) => eprintln!("wrote metrics JSONL to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    println!("\nprometheus:\n{}", registry.to_prometheus_text());
+
+    let records = audit.snapshot();
+    if records.is_empty() {
+        println!("audit: no records (run with --linear for per-feature contributions)");
+    } else {
+        let consistent = records.iter().all(|r| r.is_consistent(1e-6));
+        println!(
+            "audit: {} records (contribution sums match decision values: {consistent}), first 3:",
+            records.len()
+        );
+        for record in records.iter().take(3) {
+            println!(
+                "{}",
+                serde_json::to_string(record).expect("audit record serializes")
+            );
+        }
+    }
+
+    if opts.profile {
+        println!(
+            "\nper-stage profile:\n{}",
+            frappe_obs::Profiler::global().snapshot().render()
+        );
+    }
 }

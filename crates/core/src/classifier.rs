@@ -7,6 +7,7 @@
 //! cross-validation protocol of §5.1 (including the benign:malicious
 //! ratio subsampling of Table 5).
 
+use frappe_obs::{AuditRecord, AuditSource, FeatureContribution};
 use osn_types::ids::AppId;
 use serde::{Deserialize, Serialize};
 use svm::{cross_validate, train, CrossValReport, Dataset, Scaler, SvmModel, SvmParams};
@@ -86,8 +87,45 @@ impl FrappeModel {
         self.decision_value(features) >= 0.0
     }
 
+    /// Per-feature decomposition of the decision value, for linear-kernel
+    /// models only.
+    ///
+    /// Each contribution is `wⱼ · xⱼ` over the *scaled, imputed* input
+    /// (the value the weight is actually applied to), so
+    /// `bias + Σⱼ contributionⱼ` reconstructs [`Self::decision_value`] up
+    /// to floating-point reassociation. Returns `None` for non-linear
+    /// kernels (the paper's RBF default included), which have no exact
+    /// per-feature additive form.
+    pub fn explain(&self, features: &AppFeatures) -> Option<Explanation> {
+        let weights = self.model.linear_weights()?;
+        let x = self
+            .scaler
+            .transform(&self.imputation.encode(self.set, features));
+        let names = self.set.features();
+        debug_assert_eq!(weights.len(), names.len());
+        let contributions: Vec<FeatureContribution> = names
+            .iter()
+            .zip(weights.iter().zip(&x))
+            .map(|(id, (&weight, &value))| FeatureContribution {
+                feature: id.name().to_owned(),
+                weight,
+                value,
+                contribution: weight * value,
+            })
+            .collect();
+        let decision_value = self.model.decision_value(&x);
+        Some(Explanation {
+            app: features.app,
+            decision_value,
+            malicious: decision_value >= 0.0,
+            bias: -self.model.rho(),
+            contributions,
+        })
+    }
+
     /// Classifies a batch, returning the apps flagged malicious.
     pub fn flag_malicious(&self, candidates: &[AppFeatures]) -> Vec<AppId> {
+        let _span = frappe_obs::span("classify/batch");
         let mut flagged: Vec<AppId> = candidates
             .iter()
             .filter(|f| self.predict(f))
@@ -100,6 +138,50 @@ impl FrappeModel {
     /// Number of support vectors (diagnostics/benching).
     pub fn support_vector_count(&self) -> usize {
         self.model.support_vector_count()
+    }
+}
+
+/// An explained verdict: the paper's "top distinguishing features" table
+/// (§5.3) computed for one concrete app instead of over the whole corpus.
+///
+/// Produced by [`FrappeModel::explain`]; convert with
+/// [`Explanation::into_audit_record`] to feed an [`frappe_obs::AuditLog`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// The app the verdict is about.
+    pub app: AppId,
+    /// The SVM decision value (positive ⇒ malicious).
+    pub decision_value: f64,
+    /// `decision_value >= 0.0`, matching [`FrappeModel::predict`].
+    pub malicious: bool,
+    /// `-rho`: the constant term of the linear decision function.
+    pub bias: f64,
+    /// One term per feature, in the model's [`FeatureSet`] order.
+    pub contributions: Vec<FeatureContribution>,
+}
+
+impl Explanation {
+    /// `bias + Σ contributions` — reconstructs the decision value.
+    pub fn contribution_sum(&self) -> f64 {
+        self.bias
+            + self
+                .contributions
+                .iter()
+                .map(|c| c.contribution)
+                .sum::<f64>()
+    }
+
+    /// Repackage as an audit-log record.
+    pub fn into_audit_record(self, source: AuditSource, generation: Option<u64>) -> AuditRecord {
+        AuditRecord {
+            app: self.app.raw(),
+            source,
+            decision_value: self.decision_value,
+            malicious: self.malicious,
+            bias: self.bias,
+            contributions: self.contributions,
+            generation,
+        }
     }
 }
 
@@ -307,6 +389,49 @@ mod tests {
                 "decision values must survive the round-trip"
             );
         }
+    }
+
+    #[test]
+    fn linear_explanations_sum_to_decision_value() {
+        let (samples, labels) = synth_rows(120, 120, 10);
+        let params = SvmParams::with_kernel(svm::Kernel::linear());
+        let model = FrappeModel::train(&samples, &labels, FeatureSet::Full, Some(params));
+        for s in &samples {
+            let ex = model.explain(s).expect("linear model explains");
+            assert_eq!(ex.app, s.app);
+            assert_eq!(ex.contributions.len(), FeatureSet::Full.dim());
+            let dv = model.decision_value(s);
+            assert!(
+                (ex.contribution_sum() - dv).abs() < 1e-9 * dv.abs().max(1.0),
+                "bias + Σ contributions = {} but decision value = {dv}",
+                ex.contribution_sum()
+            );
+            assert_eq!(ex.malicious, model.predict(s));
+        }
+    }
+
+    #[test]
+    fn explanation_converts_to_audit_record() {
+        let (samples, labels) = synth_rows(60, 60, 12);
+        let params = SvmParams::with_kernel(svm::Kernel::linear());
+        let model = FrappeModel::train(&samples, &labels, FeatureSet::Lite, Some(params));
+        let record = model
+            .explain(&samples[0])
+            .expect("linear model explains")
+            .into_audit_record(frappe_obs::AuditSource::Batch, None);
+        assert_eq!(record.app, samples[0].app.raw());
+        assert!(record.is_consistent(1e-9));
+        assert_eq!(record.generation, None);
+    }
+
+    #[test]
+    fn rbf_models_do_not_explain() {
+        let (samples, labels) = synth_rows(60, 60, 11);
+        let model = FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
+        assert!(
+            model.explain(&samples[0]).is_none(),
+            "paper-default RBF kernel has no per-feature decomposition"
+        );
     }
 
     #[test]

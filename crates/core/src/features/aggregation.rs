@@ -87,6 +87,7 @@ pub fn extract_aggregation(
     known: &KnownMaliciousNames,
     shortener: &Shortener,
 ) -> AggregationFeatures {
+    let _span = frappe_obs::span("features/aggregation");
     let name_matches = known.contains(app_name);
 
     let external_link_ratio = if posts.is_empty() {

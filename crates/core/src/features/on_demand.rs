@@ -60,6 +60,7 @@ pub fn extract_on_demand(
     input: &OnDemandInput<'_>,
     wot: &WotRegistry,
 ) -> OnDemandFeatures {
+    let _span = frappe_obs::span("features/on_demand");
     let summary = input.summary;
     OnDemandFeatures {
         has_category: summary.map(|s| s.category.is_some()),

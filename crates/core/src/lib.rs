@@ -81,7 +81,7 @@ pub mod classifier;
 pub mod features;
 pub mod validation;
 
-pub use classifier::{cross_validate_frappe, FrappeModel};
+pub use classifier::{cross_validate_frappe, Explanation, FrappeModel};
 pub use features::aggregation::{extract_aggregation, AggregationFeatures};
 pub use features::on_demand::{extract_on_demand, OnDemandFeatures, OnDemandInput};
 pub use features::vectorize::{AppFeatures, FeatureId, FeatureSet, Imputation};

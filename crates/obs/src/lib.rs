@@ -1,0 +1,40 @@
+//! # frappe-obs — workspace observability
+//!
+//! The paper is a measurement study: §4–§6 are tables of counts, rates,
+//! and per-feature evidence. This crate gives the reproduction's pipeline
+//! (crawler → pagekeeper → feature extraction → SVM → serve) the same
+//! accounting discipline at runtime, in three layers:
+//!
+//! * [`metrics`] + [`registry`] — atomic counters, gauges, and
+//!   fixed-bucket histograms behind named `Arc` handles; registration
+//!   takes a short lock once, recording is lock-free and allocation-free.
+//!   Snapshots export as Prometheus text or JSONL.
+//! * [`span`] — RAII scoped timers with `outer/inner` path nesting,
+//!   aggregated into a bounded per-stage profile table. Gated twice: the
+//!   `instrument` cargo feature compiles spans out entirely, and a
+//!   runtime toggle (env var [`ENV_TOGGLE`], or [`set_spans_enabled`])
+//!   reduces a disabled span to one relaxed atomic load.
+//! * [`audit`] — structured verdict records carrying per-feature
+//!   contributions (`weight × value`) that sum, with the bias, back to
+//!   the decision value. Linear kernels only; producers skip records for
+//!   kernels that do not decompose.
+//!
+//! Consumers share the process-wide [`Registry::global`] and
+//! [`Profiler::global`], or create private instances where isolation
+//! matters (each `frappe-serve` service owns its registry so concurrent
+//! services — and tests — never share counters).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use audit::{AuditLog, AuditRecord, AuditSource, FeatureContribution};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{MetricSnapshot, MetricValue, Registry, RegistrySnapshot};
+pub use span::{
+    set_spans_enabled, span, spans_enabled, ProfileSnapshot, Profiler, Span, StageRow, ENV_TOGGLE,
+};

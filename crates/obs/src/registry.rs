@@ -1,0 +1,281 @@
+//! Named metric registry with Prometheus text and JSONL exporters.
+//!
+//! A [`Registry`] hands out `Arc` handles to instruments keyed by name.
+//! Callers register once (taking a short lock) and then record through
+//! the handle with no registry involvement, so the hot path stays
+//! lock-free. One process-wide registry is available via
+//! [`Registry::global`]; subsystems that need isolated counting (e.g. one
+//! serving instance per test) create their own with [`Registry::new`].
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A collection of named instruments.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry shared by all instrumented crates.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Get or create the counter registered under `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock();
+        let metric = metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
+        match metric {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Get or create the gauge registered under `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock();
+        let metric = metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
+        match metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Get or create the histogram registered under `name` with the given
+    /// finite bucket bounds.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind, or
+    /// as a histogram with different bounds.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock();
+        let metric = metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))));
+        match metric {
+            Metric::Histogram(h) => {
+                assert!(
+                    h.bounds() == bounds,
+                    "metric {name:?} already registered with different bounds"
+                );
+                Arc::clone(h)
+            }
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Point-in-time copy of every registered instrument, sorted by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let metrics = self.metrics.lock();
+        RegistrySnapshot {
+            metrics: metrics
+                .iter()
+                .map(|(name, metric)| MetricSnapshot {
+                    name: name.clone(),
+                    value: match metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One instrument's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Kind-tagged value.
+    pub value: MetricValue,
+}
+
+/// The value side of a [`MetricSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Instantaneous level.
+    Gauge(i64),
+    /// Bucketed distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// All registered instruments at one point in time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Per-instrument snapshots, sorted by name.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Render in the Prometheus text exposition format (one `# TYPE`
+    /// header per metric; histograms expand to cumulative `_bucket`
+    /// series plus `_sum` and `_count`).
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            let name = sanitize_metric_name(&m.name);
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cumulative = 0u64;
+                    for (i, &c) in h.counts.iter().enumerate() {
+                        cumulative += c;
+                        match h.bounds.get(i) {
+                            Some(b) => {
+                                let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cumulative}");
+                            }
+                            None => {
+                                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                            }
+                        }
+                    }
+                    let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as JSONL: one JSON object per metric per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            let line = serde_json::to_string(m).expect("metric snapshot serializes");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Map a registry name onto the Prometheus identifier charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn sanitize_metric_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("requests");
+        let b = r.counter("requests");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("requests").get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn prometheus_text_has_cumulative_buckets() {
+        let r = Registry::new();
+        r.counter("hits").add(3);
+        r.gauge("depth").set(-2);
+        let h = r.histogram("lat", &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5_000);
+        let text = r.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE hits counter\nhits 3"));
+        assert!(text.contains("# TYPE depth gauge\ndepth -2"));
+        assert!(text.contains("lat_bucket{le=\"10\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"100\"} 2"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_sum 5055"));
+        assert!(text.contains("lat_count 3"));
+    }
+
+    #[test]
+    fn jsonl_is_one_parsable_object_per_line() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        r.gauge("b").set(4);
+        r.histogram("c", &[1]).observe(2);
+        let jsonl = r.snapshot().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            let parsed: MetricSnapshot = serde_json::from_str(line).expect("each line parses back");
+            assert!(!parsed.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn sanitizes_awkward_names() {
+        assert_eq!(sanitize_metric_name("serve/score.p99"), "serve_score_p99");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+    }
+}

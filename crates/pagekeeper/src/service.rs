@@ -97,6 +97,7 @@ impl MyPageKeeper {
     /// re-judging ("once a URL is identified as malicious, MyPageKeeper
     /// marks all posts containing the URL as malicious").
     pub fn sweep(&mut self, platform: &Platform, judge: &mut dyn PostJudge) -> SweepStats {
+        let _span = frappe_obs::span("pagekeeper/sweep");
         let all_posts = platform.posts();
         let new_posts = &all_posts[self.next_post_cursor.min(all_posts.len())..];
         self.next_post_cursor = all_posts.len();
@@ -131,6 +132,16 @@ impl MyPageKeeper {
                 }
             }
         }
+        let registry = frappe_obs::Registry::global();
+        registry
+            .counter("pagekeeper_posts_seen")
+            .add(stats.posts_seen as u64);
+        registry
+            .counter("pagekeeper_urls_judged")
+            .add(stats.urls_judged as u64);
+        registry
+            .counter("pagekeeper_posts_flagged")
+            .add(stats.posts_flagged as u64);
         stats
     }
 

@@ -109,6 +109,7 @@ impl Crawler {
 
     /// Crawls one app: summary, permission dialog, and profile feed.
     pub fn crawl(&self, platform: &Platform, app: AppId) -> CrawlOutcome {
+        let _span = frappe_obs::span("crawler/crawl");
         let api = GraphApi::new(platform);
         let at = platform.now();
 

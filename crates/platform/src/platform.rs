@@ -134,6 +134,7 @@ impl Platform {
     /// Advances the clock by one day, freezing per-app MAU counters when a
     /// 30-day month boundary is crossed.
     pub fn advance_day(&mut self) {
+        let _span = frappe_obs::span("platform/advance_day");
         let old_month = self.now.month();
         self.now = SimTime::from_days(self.now.days() + 1);
         if self.now.month() != old_month {

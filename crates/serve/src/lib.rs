@@ -28,8 +28,12 @@
 //! Module map: [`event`] is the input vocabulary, [`store`] the sharded
 //! incremental feature state, [`pool`] the scorer workers with
 //! reject-with-retry-after backpressure, [`cache`] the generation-stamped
-//! verdict memo, [`metrics`] the observability layer, [`service`] the
-//! façade, and [`bridge`] the adapter from synthetic scenarios.
+//! verdict memo, [`metrics`] the observability layer (a thin view over a
+//! per-instance [`frappe_obs::Registry`], exportable as Prometheus text
+//! or JSONL), [`service`] the façade, and [`bridge`] the adapter from
+//! synthetic scenarios. The service can also stream explained verdicts
+//! into an [`frappe_obs::AuditLog`]
+//! (see [`FrappeService::set_audit_log`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,14 +1,24 @@
-//! Service observability: lock-free counters plus a fixed-bucket latency
-//! histogram, exported as a serde-serializable [`MetricsSnapshot`].
+//! Service observability, served from the shared [`frappe_obs`] registry.
 //!
-//! Everything on the hot path is a relaxed atomic — metrics must never
-//! become the bottleneck they are supposed to diagnose. Snapshots are
-//! *not* a consistent cut (counters are read one by one), which is the
-//! standard trade for zero coordination.
+//! The instruments themselves live in [`frappe_obs`]: relaxed-atomic
+//! counters, a queue-depth gauge, and a fixed-bucket latency histogram —
+//! metrics must never become the bottleneck they are supposed to
+//! diagnose. This module binds them under well-known `serve_*` names and
+//! keeps the original [`MetricsSnapshot`] export as a thin view, so
+//! existing consumers (the load generator, the parity tests) see the
+//! same serde shape while new consumers read the registry directly in
+//! Prometheus text or JSONL form.
+//!
+//! Each [`Metrics`] owns its own [`Registry`] by default: service
+//! instances (and tests) count independently instead of bleeding into a
+//! process-wide namespace. Snapshots are *not* a consistent cut (counters
+//! are read one by one), which is the standard trade for zero
+//! coordination.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
+use frappe_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 use serde::{Deserialize, Serialize};
 
 /// Upper bounds (µs) of the latency buckets; one extra overflow bucket
@@ -17,43 +27,6 @@ use serde::{Deserialize, Serialize};
 pub const LATENCY_BOUNDS_MICROS: [u64; 13] = [
     1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000,
 ];
-
-const BUCKETS: usize = LATENCY_BOUNDS_MICROS.len() + 1;
-
-/// Query-latency histogram (µs), fixed buckets, relaxed atomics.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    total_micros: AtomicU64,
-    count: AtomicU64,
-}
-
-impl LatencyHistogram {
-    /// Records one observation.
-    pub fn record(&self, latency: Duration) {
-        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
-        let idx = LATENCY_BOUNDS_MICROS
-            .iter()
-            .position(|&bound| micros <= bound)
-            .unwrap_or(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.total_micros.fetch_add(micros, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn snapshot(&self) -> LatencySnapshot {
-        LatencySnapshot {
-            bounds_micros: LATENCY_BOUNDS_MICROS.to_vec(),
-            counts: self
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
-            total_micros: self.total_micros.load(Ordering::Relaxed),
-            count: self.count.load(Ordering::Relaxed),
-        }
-    }
-}
 
 /// Exported histogram state. `counts` has one entry per bound plus a
 /// final overflow bucket.
@@ -70,6 +43,16 @@ pub struct LatencySnapshot {
 }
 
 impl LatencySnapshot {
+    /// View of a registry histogram snapshot under the legacy field names.
+    pub fn from_histogram(h: &HistogramSnapshot) -> Self {
+        LatencySnapshot {
+            bounds_micros: h.bounds.clone(),
+            counts: h.counts.clone(),
+            total_micros: h.sum,
+            count: h.count,
+        }
+    }
+
     /// Mean latency in µs (0 if nothing recorded).
     pub fn mean_micros(&self) -> f64 {
         if self.count == 0 {
@@ -79,77 +62,108 @@ impl LatencySnapshot {
         }
     }
 
-    /// Upper bound (µs) of the bucket containing quantile `q` ∈ [0, 1];
-    /// `None` if empty or the quantile lands in the overflow bucket.
+    /// Upper bound (µs) of the bucket containing quantile `q` ∈ [0, 1].
+    ///
+    /// A quantile landing in the unbounded overflow bucket reports the
+    /// last *finite* bound — the histogram cannot resolve beyond its top
+    /// edge, so it answers with the tightest bound it can defend rather
+    /// than refusing. `None` only when the histogram is empty.
     pub fn quantile_bound_micros(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
+        if self.count == 0 || self.bounds_micros.is_empty() {
             return None;
         }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
-            if seen >= rank.max(1) {
-                return self.bounds_micros.get(i).copied();
+            if seen >= rank {
+                let i = i.min(self.bounds_micros.len() - 1);
+                return Some(self.bounds_micros[i]);
             }
         }
-        None
+        self.bounds_micros.last().copied()
     }
 }
 
-/// Live counters for one service instance.
-#[derive(Debug, Default)]
+/// Live instruments for one service instance, registered under `serve_*`
+/// names in the instance's [`Registry`].
 pub struct Metrics {
-    events_ingested: AtomicU64,
-    queries_served: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    rejected: AtomicU64,
-    batches_scored: AtomicU64,
-    latency: LatencyHistogram,
+    registry: Arc<Registry>,
+    events_ingested: Arc<Counter>,
+    queries_served: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    rejected: Arc<Counter>,
+    batches_scored: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    latency: Arc<Histogram>,
 }
 
 impl Metrics {
+    /// Binds the service instruments in `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Metrics {
+            events_ingested: registry.counter("serve_events_ingested"),
+            queries_served: registry.counter("serve_queries_served"),
+            cache_hits: registry.counter("serve_cache_hits"),
+            cache_misses: registry.counter("serve_cache_misses"),
+            rejected: registry.counter("serve_rejected"),
+            batches_scored: registry.counter("serve_batches_scored"),
+            queue_depth: registry.gauge("serve_queue_depth"),
+            latency: registry.histogram("serve_query_latency_micros", &LATENCY_BOUNDS_MICROS),
+            registry,
+        }
+    }
+
+    /// The registry backing these instruments (for Prometheus/JSONL
+    /// export alongside anything else registered there).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
     /// One event applied to the feature store.
     pub fn event_ingested(&self) {
-        self.events_ingested.fetch_add(1, Ordering::Relaxed);
+        self.events_ingested.inc();
     }
 
     /// One classify call answered (records end-to-end latency).
     pub fn query_served(&self, latency: Duration) {
-        self.queries_served.fetch_add(1, Ordering::Relaxed);
-        self.latency.record(latency);
+        self.queries_served.inc();
+        self.latency.observe_duration_micros(latency);
     }
 
     /// Verdict answered from cache.
     pub fn cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.inc();
     }
 
     /// Verdict had to be scored.
     pub fn cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.inc();
     }
 
     /// Query rejected by backpressure.
     pub fn rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
 
     /// One worker batch drained (of any size ≥ 1).
     pub fn batch_scored(&self) {
-        self.batches_scored.fetch_add(1, Ordering::Relaxed);
+        self.batches_scored.inc();
     }
 
     /// Exports current values. `queue_depth` is sampled by the caller
-    /// (the service knows its channel; the counters do not).
+    /// (the service knows its channel; the counters do not) and is also
+    /// published to the `serve_queue_depth` gauge.
     pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
-        let hits = self.cache_hits.load(Ordering::Relaxed);
-        let misses = self.cache_misses.load(Ordering::Relaxed);
+        self.queue_depth
+            .set(queue_depth.min(i64::MAX as usize) as i64);
+        let hits = self.cache_hits.get();
+        let misses = self.cache_misses.get();
         let looked_up = hits + misses;
         MetricsSnapshot {
-            events_ingested: self.events_ingested.load(Ordering::Relaxed),
-            queries_served: self.queries_served.load(Ordering::Relaxed),
+            events_ingested: self.events_ingested.get(),
+            queries_served: self.queries_served.get(),
             cache_hits: hits,
             cache_misses: misses,
             cache_hit_ratio: if looked_up == 0 {
@@ -157,11 +171,18 @@ impl Metrics {
             } else {
                 hits as f64 / looked_up as f64
             },
-            rejected: self.rejected.load(Ordering::Relaxed),
-            batches_scored: self.batches_scored.load(Ordering::Relaxed),
+            rejected: self.rejected.get(),
+            batches_scored: self.batches_scored.get(),
             queue_depth,
-            latency: self.latency.snapshot(),
+            latency: LatencySnapshot::from_histogram(&self.latency.snapshot()),
         }
+    }
+}
+
+impl Default for Metrics {
+    /// Instruments bound in a fresh private registry.
+    fn default() -> Self {
+        Metrics::new(Arc::new(Registry::new()))
     }
 }
 
@@ -219,28 +240,44 @@ mod tests {
 
     #[test]
     fn histogram_buckets_and_quantiles() {
-        let h = LatencyHistogram::default();
-        h.record(Duration::from_micros(1)); // bucket 0 (≤1)
-        h.record(Duration::from_micros(30)); // ≤50
-        h.record(Duration::from_micros(30)); // ≤50
-        h.record(Duration::from_micros(9_000)); // ≤10_000
-        h.record(Duration::from_secs(1)); // overflow
-        let s = h.snapshot();
+        let m = Metrics::default();
+        m.query_served(Duration::from_micros(1)); // bucket 0 (≤1)
+        m.query_served(Duration::from_micros(30)); // ≤50
+        m.query_served(Duration::from_micros(30)); // ≤50
+        m.query_served(Duration::from_micros(9_000)); // ≤10_000
+        m.query_served(Duration::from_secs(1)); // overflow
+        let s = m.snapshot(0).latency;
         assert_eq!(s.count, 5);
         assert_eq!(s.counts.iter().sum::<u64>(), 5);
         assert_eq!(*s.counts.last().unwrap(), 1, "1s lands in overflow");
         assert_eq!(s.quantile_bound_micros(0.5), Some(50));
         assert_eq!(
             s.quantile_bound_micros(1.0),
-            None,
-            "max lives in the unbounded overflow bucket"
+            Some(10_000),
+            "overflow quantiles clamp to the last finite bound"
         );
         assert!(s.mean_micros() > 0.0);
     }
 
     #[test]
+    fn overflow_quantile_regression() {
+        // regression: a quantile landing in the +Inf bucket used to come
+        // back as None; it must clamp to the last finite bound instead.
+        let m = Metrics::default();
+        m.query_served(Duration::from_micros(5));
+        m.query_served(Duration::from_secs(2)); // overflow bucket
+        let s = m.snapshot(0).latency;
+        assert_eq!(s.quantile_bound_micros(0.5), Some(5));
+        assert_eq!(
+            s.quantile_bound_micros(0.99),
+            Some(*LATENCY_BOUNDS_MICROS.last().unwrap())
+        );
+        assert_eq!(s.quantile_bound_micros(1.0), Some(10_000));
+    }
+
+    #[test]
     fn empty_histogram_is_well_defined() {
-        let s = LatencyHistogram::default().snapshot();
+        let s = Metrics::default().snapshot(0).latency;
         assert_eq!(s.mean_micros(), 0.0);
         assert_eq!(s.quantile_bound_micros(0.5), None);
     }
@@ -254,5 +291,18 @@ mod tests {
         let text = serde_json::to_string(&s).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn registry_sees_the_same_counts() {
+        let m = Metrics::default();
+        m.event_ingested();
+        m.query_served(Duration::from_micros(40));
+        let _ = m.snapshot(3); // publishes the queue-depth gauge
+        let text = m.registry().snapshot().to_prometheus_text();
+        assert!(text.contains("serve_events_ingested 1"));
+        assert!(text.contains("serve_queries_served 1"));
+        assert!(text.contains("serve_queue_depth 3"));
+        assert!(text.contains("serve_query_latency_micros_count 1"));
     }
 }

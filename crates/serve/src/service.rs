@@ -24,6 +24,7 @@ use std::time::Instant;
 
 use frappe::features::aggregation::KnownMaliciousNames;
 use frappe::{AppFeatures, FrappeModel};
+use frappe_obs::{AuditLog, AuditSource, Registry};
 use osn_types::ids::AppId;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -113,11 +114,13 @@ pub(crate) struct ScoreEngine {
     known_generation: AtomicU64,
     shortener: Shortener,
     metrics: Metrics,
+    audit: RwLock<Option<Arc<AuditLog>>>,
 }
 
 impl ScoreEngine {
     /// Cache-or-score one app. Runs on a pool worker.
     pub(crate) fn score(&self, app: AppId) -> Result<Verdict, ServeError> {
+        let _span = frappe_obs::span("serve/score");
         // fast path: generation probe + cache lookup, no feature build
         let app_gen = self
             .store
@@ -152,6 +155,14 @@ impl ScoreEngine {
             decision_value,
             generation,
         };
+        // Fresh scores are auditable: linear models decompose into
+        // per-feature contributions (cache hits replay an already-audited
+        // score, so they do not re-emit).
+        if let Some(log) = self.audit.read().clone() {
+            if let Some(explanation) = self.model.explain(&features) {
+                log.record(explanation.into_audit_record(AuditSource::Online, Some(generation)));
+            }
+        }
         self.cache.put(app, verdict.clone(), generation, known_gen);
         Ok(verdict)
     }
@@ -198,6 +209,7 @@ impl FrappeService {
             known_generation: AtomicU64::new(0),
             shortener,
             metrics: Metrics::default(),
+            audit: RwLock::new(None),
         });
         let pool = ScorerPool::new(
             config.workers,
@@ -220,6 +232,7 @@ impl FrappeService {
 
     /// Applies one event to the incremental feature store.
     pub fn ingest(&self, event: &ServeEvent) {
+        let _span = frappe_obs::span("serve/ingest");
         self.engine.store.apply(event, &self.engine.shortener);
         self.engine.metrics.event_ingested();
     }
@@ -272,6 +285,27 @@ impl FrappeService {
     /// Point-in-time metrics (samples the live queue depth).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.engine.metrics.snapshot(self.pool.queue_depth())
+    }
+
+    /// The instance's metric registry, for Prometheus-text or JSONL
+    /// export. Call [`Self::metrics`] first to refresh the queue-depth
+    /// gauge if you need it current.
+    pub fn obs_registry(&self) -> &Arc<Registry> {
+        self.engine.metrics.registry()
+    }
+
+    /// Attach an audit sink: every *freshly scored* verdict (cache misses
+    /// only) emits a per-feature contribution record, provided the model
+    /// has a linear kernel. Non-linear models (the paper's RBF default)
+    /// emit nothing — their decision values have no exact per-feature
+    /// decomposition.
+    pub fn set_audit_log(&self, log: Arc<AuditLog>) {
+        *self.engine.audit.write() = Some(log);
+    }
+
+    /// Detach the audit sink, returning it if one was attached.
+    pub fn take_audit_log(&self) -> Option<Arc<AuditLog>> {
+        self.engine.audit.write().take()
     }
 
     #[cfg(test)]
@@ -423,6 +457,34 @@ mod tests {
         let _ = svc.classify(app).unwrap();
         let m = svc.metrics();
         assert_eq!(m.cache_misses, 2, "known-generation bump evicted");
+    }
+
+    #[test]
+    fn rbf_service_emits_no_audit_records() {
+        // tiny_model trains the paper-default RBF kernel, which has no
+        // per-feature decomposition — the sink must stay silent.
+        let svc = service();
+        let log = Arc::new(AuditLog::default());
+        svc.set_audit_log(Arc::clone(&log));
+        let app = AppId(21);
+        feed_malicious(&svc, app);
+        let _ = svc.classify(app).unwrap();
+        assert!(log.is_empty());
+        assert!(svc.take_audit_log().is_some());
+        assert!(svc.take_audit_log().is_none());
+    }
+
+    #[test]
+    fn registry_export_tracks_service_counters() {
+        let svc = service();
+        let app = AppId(31);
+        feed_malicious(&svc, app);
+        let _ = svc.classify(app).unwrap();
+        let _ = svc.metrics();
+        let text = svc.obs_registry().snapshot().to_prometheus_text();
+        assert!(text.contains("serve_events_ingested 5"));
+        assert!(text.contains("serve_queries_served 1"));
+        assert!(text.contains("serve_query_latency_micros_count 1"));
     }
 
     #[test]

@@ -67,6 +67,26 @@ impl SvmModel {
         self.rho
     }
 
+    /// Primal weight vector `w = Σᵢ coefᵢ·svᵢ`, defined for linear
+    /// kernels only (`f(x) = w·x − rho`).
+    ///
+    /// This is what makes verdicts explainable: each `wⱼ·xⱼ` term is one
+    /// feature's contribution to the decision value. Non-linear kernels
+    /// have no finite-dimensional `w`, so they return `None`.
+    pub fn linear_weights(&self) -> Option<Vec<f64>> {
+        if self.kernel != Kernel::Linear {
+            return None;
+        }
+        let dim = self.support_vectors.first().map_or(0, Vec::len);
+        let mut w = vec![0.0; dim];
+        for (sv, &coef) in self.support_vectors.iter().zip(&self.dual_coefs) {
+            for (wj, &xj) in w.iter_mut().zip(sv) {
+                *wj += coef * xj;
+            }
+        }
+        Some(w)
+    }
+
     /// Raw decision value `f(x)`; positive means class `+1`.
     pub fn decision_value(&self, x: &[f64]) -> f64 {
         let mut sum = 0.0;
@@ -150,5 +170,31 @@ mod tests {
     #[should_panic(expected = "one dual coefficient per support vector")]
     fn mismatched_lengths_panic() {
         SvmModel::new(Kernel::linear(), vec![vec![1.0]], vec![], 0.0);
+    }
+
+    #[test]
+    fn linear_weights_reproduce_decision_value() {
+        let m = SvmModel::new(
+            Kernel::linear(),
+            vec![vec![1.0, 2.0], vec![-0.5, 1.0]],
+            vec![0.75, -1.25],
+            0.125,
+        );
+        let w = m.linear_weights().expect("linear model has weights");
+        for x in [[0.3, -0.7], [2.0, 4.5], [-1.0, 0.0]] {
+            let via_w = w[0] * x[0] + w[1] * x[1] - m.rho();
+            assert!((via_w - m.decision_value(&x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nonlinear_kernels_have_no_weights() {
+        let m = SvmModel::new(
+            Kernel::Rbf { gamma: 0.5 },
+            vec![vec![1.0, 0.0]],
+            vec![1.0],
+            0.0,
+        );
+        assert!(m.linear_weights().is_none());
     }
 }

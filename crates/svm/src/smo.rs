@@ -149,6 +149,7 @@ pub fn train(data: &Dataset, params: &SvmParams) -> SvmModel {
 
 /// Trains a C-SVC, also returning solver statistics.
 pub fn train_with_stats(data: &Dataset, params: &SvmParams) -> (SvmModel, SolveStats) {
+    let _span = frappe_obs::span("svm/train");
     let n = data.len();
     assert!(n > 0, "cannot train on an empty dataset");
     let (pos, neg) = data.class_counts();
@@ -344,6 +345,14 @@ pub fn train_with_stats(data: &Dataset, params: &SvmParams) -> (SvmModel, SolveS
         converged,
         support_vectors: sv.len(),
     };
+    let registry = frappe_obs::Registry::global();
+    registry.counter("svm_train_runs").inc();
+    registry
+        .counter("svm_train_iterations")
+        .add(iterations as u64);
+    registry
+        .counter("svm_train_support_vectors")
+        .add(sv.len() as u64);
     (SvmModel::new(params.kernel, sv, coef, rho), stats)
 }
 

@@ -165,10 +165,12 @@ struct ActiveApp {
 
 /// Runs the full scenario. Deterministic for a given config.
 pub fn run_scenario(config: &ScenarioConfig) -> ScenarioWorld {
+    let _scenario_span = frappe_obs::span("scenario");
     config.validate();
     let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x5CE4A210);
 
     // ---------------- bootstrap -------------------------------------------
+    let bootstrap_span = frappe_obs::span("bootstrap");
     let mut platform = Platform::new();
     let mut wot = WotRegistry::new();
     let mut shortener = Shortener::bitly();
@@ -300,50 +302,69 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioWorld {
         }
     };
 
+    drop(bootstrap_span);
+
     for day in 0..config.monitoring_days {
-        run_benign_day(
-            &mut platform,
-            &benign,
-            &benign_installed,
-            mean_popularity,
-            config,
-            &mut rng,
-        );
-        run_malicious_day(
-            &mut platform,
-            &mut shortener,
-            &malicious,
-            &mut active,
-            &app_bitly_links,
-            &population,
-            day,
-            config,
-            &mut rng,
-            &mut stats,
-        );
-        run_piggyback_day(
-            &mut platform,
-            &piggyback,
-            &population.users, // hackers cannot tell who is monitored
-            &mut rng,
-            config.piggyback_daily_rate,
-        );
-        run_chatter_day(&mut platform, &population, config, &mut rng);
-        run_enforcement_day(
-            &mut platform,
-            &malicious,
-            &benign,
-            &active,
-            config,
-            &mut rng,
-        );
-        run_mau_injection(&mut platform, &benign, &malicious, config, &mut rng);
+        let _day_span = frappe_obs::span("day");
+        {
+            let _s = frappe_obs::span("benign");
+            run_benign_day(
+                &mut platform,
+                &benign,
+                &benign_installed,
+                mean_popularity,
+                config,
+                &mut rng,
+            );
+        }
+        {
+            let _s = frappe_obs::span("malicious");
+            run_malicious_day(
+                &mut platform,
+                &mut shortener,
+                &malicious,
+                &mut active,
+                &app_bitly_links,
+                &population,
+                day,
+                config,
+                &mut rng,
+                &mut stats,
+            );
+        }
+        {
+            let _s = frappe_obs::span("piggyback");
+            run_piggyback_day(
+                &mut platform,
+                &piggyback,
+                &population.users, // hackers cannot tell who is monitored
+                &mut rng,
+                config.piggyback_daily_rate,
+            );
+        }
+        {
+            let _s = frappe_obs::span("chatter");
+            run_chatter_day(&mut platform, &population, config, &mut rng);
+        }
+        {
+            let _s = frappe_obs::span("enforcement");
+            run_enforcement_day(
+                &mut platform,
+                &malicious,
+                &benign,
+                &active,
+                config,
+                &mut rng,
+            );
+            run_mau_injection(&mut platform, &benign, &malicious, config, &mut rng);
+        }
 
         if day % config.sweep_interval_days == 0 {
             mpk.sweep(&platform, &mut oracle);
         }
         if day % 7 == 3 {
             // weekly monitoring-phase crawls feed the extended archive
+            let _s = frappe_obs::span("weekly_crawl");
             let apps: Vec<AppId> = platform.apps().map(|a| a.id).collect();
             for app in apps {
                 merge_crawl(&mut extended_archive, &platform, &monitoring_crawler, app);
@@ -366,6 +387,7 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioWorld {
     }
 
     // ---------------- crawl phase -------------------------------------------
+    let crawl_phase_span = frappe_obs::span("crawl_phase");
     let all_apps: Vec<AppId> = platform.apps().map(|a| a.id).collect();
     let crawler = Crawler::new(CrawlerPolicy {
         salt: config.seed,
@@ -411,7 +433,10 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioWorld {
         }
     }
 
+    drop(crawl_phase_span);
+
     // ---------------- validation window ------------------------------------
+    let _validation_span = frappe_obs::span("validation");
     for _ in 0..config.validation_extra_days {
         run_enforcement_day(
             &mut platform,

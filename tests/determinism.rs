@@ -39,6 +39,46 @@ fn different_seed_different_world() {
     assert_ne!(w1.mpk.flagged_posts(), w2.mpk.flagged_posts());
 }
 
+/// Observability must be read-only: spans measure time, metrics count
+/// events, and neither feeds back into the simulation. Enabling the
+/// profiler must therefore leave every experiment output untouched.
+#[test]
+fn instrumentation_does_not_change_outputs() {
+    let config = ScenarioConfig::small();
+
+    frappe_obs::set_spans_enabled(false);
+    let plain = run_scenario(&config);
+
+    frappe_obs::set_spans_enabled(true);
+    let instrumented = run_scenario(&config);
+    let profile = frappe_obs::Profiler::global().snapshot();
+    frappe_obs::set_spans_enabled(false);
+
+    // the profiler actually saw the run...
+    assert!(
+        profile.stages.iter().any(|s| s.path == "scenario"),
+        "spans were enabled, the scenario stage should be profiled"
+    );
+
+    // ...and the run itself is bit-for-bit the same world
+    assert_eq!(
+        plain.platform.posts().len(),
+        instrumented.platform.posts().len()
+    );
+    assert_eq!(plain.mpk.flagged_posts(), instrumented.mpk.flagged_posts());
+    assert_eq!(
+        plain.platform.deleted_apps(),
+        instrumented.platform.deleted_apps()
+    );
+    assert_eq!(plain.observed_apps(), instrumented.observed_apps());
+
+    let b1 = build_datasets(&plain);
+    let b2 = build_datasets(&instrumented);
+    assert_eq!(b1.d_sample.malicious, b2.d_sample.malicious);
+    assert_eq!(b1.d_sample.benign, b2.d_sample.benign);
+    assert_eq!(b1.d_complete.malicious, b2.d_complete.malicious);
+}
+
 #[test]
 fn click_totals_are_stable() {
     let config = ScenarioConfig::small();

@@ -12,11 +12,20 @@ cargo test -q
 echo "==> cargo test -q -p frappe-obs"
 cargo test -q -p frappe-obs
 
+echo "==> cargo test -q -p frappe-serve --test catalog_parity (shard sweep 1/4/16)"
+# The randomized parity property test sweeps shard counts {1, 4, 16}
+# internally (SHARD_COUNTS in tests/catalog_parity.rs); run it explicitly
+# so a catalog/serve drift fails fast with its own banner.
+cargo test -q -p frappe-serve --test catalog_parity
+
 echo "==> cargo build -p frappe-obs --no-default-features (instrumentation off)"
 cargo build -p frappe-obs --no-default-features
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+echo "==> cargo doc --workspace --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> cargo fmt --check"
 cargo fmt --check

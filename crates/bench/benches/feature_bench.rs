@@ -60,6 +60,22 @@ fn bench_aggregation(c: &mut Criterion) {
     });
 }
 
+fn bench_incremental_update(c: &mut Criterion) {
+    // The serving store's per-event cost: one FeatureDelta folded through
+    // every catalog updater. This is the O(1)-per-event claim under test.
+    let shortener = Shortener::bitly();
+    let link = Url::parse("http://scam.example.com/payload").unwrap();
+    c.bench_function("feature_state_apply_post_delta", |b| {
+        let mut state = frappe::FeatureState::default();
+        b.iter(|| {
+            state.apply(
+                &frappe::FeatureDelta::Post { link: Some(&link) },
+                &shortener,
+            )
+        });
+    });
+}
+
 fn bench_encoding(c: &mut Criterion) {
     let s = summary();
     let p = perm_crawl();
@@ -80,5 +96,11 @@ fn bench_encoding(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_on_demand, bench_aggregation, bench_encoding);
+criterion_group!(
+    benches,
+    bench_on_demand,
+    bench_aggregation,
+    bench_incremental_update,
+    bench_encoding
+);
 criterion_main!(benches);

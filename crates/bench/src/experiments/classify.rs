@@ -47,15 +47,18 @@ pub fn table4(lab: &Lab) -> ExpResult {
         "feature (Table 4)", "observed for (of D-Sample)"
     )];
     let mut j = Vec::new();
-    for id in FeatureId::ON_DEMAND {
-        let observed = samples.iter().filter(|s| id.raw_value(s).is_some()).count();
+    for def in frappe::catalog::on_demand() {
+        let observed = samples
+            .iter()
+            .filter(|s| def.raw_value(s).is_some())
+            .count();
         lines.push(format!(
             "{:<28} {:>14} / {}",
-            id.name(),
+            def.name,
             observed,
             samples.len()
         ));
-        j.push(json!({"feature": id.name(), "observed": observed, "total": samples.len()}));
+        j.push(json!({"feature": def.name, "observed": observed, "total": samples.len()}));
     }
     ExpResult {
         id: "table4",
@@ -117,7 +120,8 @@ pub fn table6(lab: &Lab) -> ExpResult {
     );
     let mut lines = Vec::new();
     let mut rows = Vec::new();
-    for id in FeatureId::ON_DEMAND {
+    for def in frappe::catalog::on_demand() {
+        let id = def.id;
         // The paper's single-feature numbers (e.g. permission count:
         // 73.3% accuracy, 49.3% FP) are only reachable at a balanced
         // class ratio — at the natural ~4.6:1 the optimizer would predict
@@ -154,7 +158,8 @@ pub fn table7(lab: &Lab) -> ExpResult {
     );
     let mut lines = Vec::new();
     let mut j = Vec::new();
-    for id in FeatureId::AGGREGATION {
+    for def in frappe::catalog::aggregation() {
+        let id = def.id;
         let mal_mean = mean_over(&samples, &labels, true, id);
         let ben_mean = mean_over(&samples, &labels, false, id);
         lines.push(format!(

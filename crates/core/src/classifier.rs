@@ -96,6 +96,12 @@ impl FrappeModel {
     /// to floating-point reassociation. Returns `None` for non-linear
     /// kernels (the paper's RBF default included), which have no exact
     /// per-feature additive form.
+    ///
+    /// Contribution ordering and feature names both come from the
+    /// [feature catalog](crate::features::catalog::CATALOG) via
+    /// [`FeatureSet::features`] — the same single order used by encoding
+    /// and min–max scaling, so `contributions[j]` always describes the
+    /// lane the SVM's `weights[j]` was trained on.
     pub fn explain(&self, features: &AppFeatures) -> Option<Explanation> {
         let weights = self.model.linear_weights()?;
         let x = self

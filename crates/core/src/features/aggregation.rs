@@ -81,6 +81,13 @@ impl KnownMaliciousNames {
 ///
 /// `posts` are the monitored posts made *by this app*; `shortener` expands
 /// shortened links before the internal/external decision.
+///
+/// This is a thin fold over the [catalog](super::catalog): each
+/// aggregation [`FeatureDef`](super::catalog::FeatureDef)'s batch hook
+/// runs its *own incremental updater* over the post list, so batch and
+/// online extraction execute literally the same per-feature code (the
+/// internal/external link decision included — see
+/// [`catalog::link_is_external`](super::catalog::link_is_external)).
 pub fn extract_aggregation(
     app_name: &str,
     posts: &[&Post],
@@ -88,33 +95,22 @@ pub fn extract_aggregation(
     shortener: &Shortener,
 ) -> AggregationFeatures {
     let _span = frappe_obs::span("features/aggregation");
-    let name_matches = known.contains(app_name);
-
-    let external_link_ratio = if posts.is_empty() {
-        None
-    } else {
-        let mut external = 0usize;
-        for post in posts {
-            let Some(link) = &post.link else { continue };
-            let is_external = if link.is_shortened() {
-                match shortener.expand(link) {
-                    Some(target) => !target.is_facebook(),
-                    None => true, // a short link is itself off-facebook
-                }
-            } else {
-                !link.is_facebook()
-            };
-            if is_external {
-                external += 1;
-            }
-        }
-        Some(external as f64 / posts.len() as f64)
+    let ctx = super::catalog::BatchCtx {
+        app: osn_types::ids::AppId(0), // aggregation lanes never read it
+        on_demand: super::on_demand::OnDemandInput::default(),
+        wot: None,
+        aggregation: Some(super::catalog::AggregationInput {
+            app_name,
+            posts,
+            known,
+            shortener,
+        }),
     };
-
-    AggregationFeatures {
-        name_matches_known_malicious: name_matches,
-        external_link_ratio,
+    let mut row = super::vectorize::AppFeatures::default();
+    for def in super::catalog::aggregation() {
+        def.fold_batch(&ctx, &mut row);
     }
+    row.aggregation
 }
 
 #[cfg(test)]

@@ -1,0 +1,1007 @@
+//! The feature catalog: **one definition per FRAppE feature**.
+//!
+//! FRAppE's entire contribution is nine features — seven on-demand
+//! (§4.1, Table 4) and two aggregation-based (§4.2, Table 7). Before this
+//! module existed, each feature's semantics were spread over four
+//! unconnected places: the batch extractors, the encoding/imputation
+//! tables in [`vectorize`](super::vectorize), an incremental
+//! re-implementation in the serving layer, and the name/ordering tables
+//! used by explanations and experiment output. The catalog collapses all
+//! of that into a single constant, [`CATALOG`]: one [`FeatureDef`] per
+//! feature, carrying everything any consumer needs —
+//!
+//! * **identity** — [`FeatureId`], canonical display name, a stable
+//!   snake_case key for metric names, an observability lane, and the
+//!   paper citation;
+//! * **batch fold** — how to derive the feature from platform artifacts
+//!   (Graph-API summary, permission crawl, profile feed, monitored
+//!   posts);
+//! * **incremental update** — an O(1) fold of one [`FeatureDelta`]
+//!   (a `ServeEvent`-shaped observation) into a [`FeatureState`]
+//!   accumulator, plus the **read** that turns accumulated state back
+//!   into the feature lane;
+//! * **encode rule** — the raw (possibly-missing) numeric value used by
+//!   [`Imputation::encode`](super::vectorize::Imputation::encode);
+//! * **robustness class** — which of the paper's classifiers
+//!   (Lite / Full / Robust / Obfuscatable, §5.1 and §7) the feature
+//!   belongs to.
+//!
+//! **Parity by construction.** The batch folds of the two aggregation
+//! features are implemented *by running their own incremental updaters*
+//! over the post list, and the serving layer's [`FeatureState`] runs the
+//! very same updaters over the live event stream — so online/offline
+//! agreement is no longer a promise enforced by an integration test; both
+//! paths literally execute the same per-feature code. The only per-feature
+//! logic outside this module is trivially a delegation to it.
+//!
+//! To **add a feature**: add a [`FeatureId`] variant (at the end, so
+//! existing encodings keep their order), write one `FeatureDef` block
+//! here, and append it to [`CATALOG`]. Every consumer — encoding,
+//! imputation, scaling order, the serving store, explanations, metrics,
+//! experiment tables — picks it up without further edits (see DESIGN.md
+//! §8).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard};
+
+use fb_platform::post::Post;
+use osn_types::ids::AppId;
+use osn_types::url::Url;
+use url_services::shortener::Shortener;
+use url_services::wot::WotRegistry;
+
+use super::aggregation::KnownMaliciousNames;
+use super::on_demand::{OnDemandFeatures, OnDemandInput};
+use super::vectorize::{AppFeatures, FeatureId, FeatureSet};
+
+// ---------------------------------------------------------------------------
+// classification of features
+// ---------------------------------------------------------------------------
+
+/// The paper's two feature families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureFamily {
+    /// §4.1, Table 4 — obtainable for a bare app ID at decision time.
+    /// These are exactly the FRAppE *Lite* features.
+    OnDemand,
+    /// §4.2, Table 7 — require a monitoring vantage point observing many
+    /// apps across users and time (MyPageKeeper, or Facebook itself).
+    Aggregation,
+}
+
+/// §7's robustness classes: how cheaply a hacker can obfuscate a feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Robustness {
+    /// "The reputation of redirect URIs, the number of required
+    /// permissions, and the use of different client IDs in app
+    /// installation URLs" — hackers cannot fake these without giving up
+    /// the attack's mechanics. Members of [`FeatureSet::Robust`].
+    Robust,
+    /// "Hackers can easily fill in this information into the summary …
+    /// \[and\] begin making dummy posts in the profile pages." Members of
+    /// [`FeatureSet::Obfuscatable`].
+    Obfuscatable,
+    /// Aggregation features sit outside §7's on-demand split: obfuscating
+    /// them means abandoning name-reuse economics or posting behaviour,
+    /// which the paper treats separately.
+    Monitored,
+}
+
+// ---------------------------------------------------------------------------
+// batch inputs
+// ---------------------------------------------------------------------------
+
+/// Inputs for the aggregation-feature batch fold: the monitoring
+/// vantage's knowledge about one app.
+#[derive(Debug, Clone, Copy)]
+pub struct AggregationInput<'a> {
+    /// The app's display name, as the platform recorded it.
+    pub app_name: &'a str,
+    /// The monitored posts made *by this app*.
+    pub posts: &'a [&'a Post],
+    /// The known-malicious name set in force at extraction time.
+    pub known: &'a KnownMaliciousNames,
+    /// Expands shortened links before the internal/external decision.
+    pub shortener: &'a Shortener,
+}
+
+/// Everything a batch fold may consume. The two halves are independently
+/// optional so the public extractors can fold only their own family; a
+/// fold whose inputs are absent leaves its lane at the unobserved
+/// default.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchCtx<'a> {
+    /// The app being extracted (the client-ID mismatch feature compares
+    /// against it).
+    pub app: AppId,
+    /// Crawled on-demand artifacts (summary / permission dialog / feed).
+    pub on_demand: OnDemandInput<'a>,
+    /// Domain reputation, needed by the WOT-score lane.
+    pub wot: Option<&'a WotRegistry>,
+    /// Monitoring-vantage inputs, needed by the aggregation lanes.
+    pub aggregation: Option<AggregationInput<'a>>,
+}
+
+// ---------------------------------------------------------------------------
+// incremental state
+// ---------------------------------------------------------------------------
+
+/// One `ServeEvent`-shaped observation about an app, borrowed. This is
+/// the delta vocabulary of the incremental updaters; the serving layer's
+/// `ServeEvent` converts into it losslessly.
+#[derive(Debug, Clone, Copy)]
+pub enum FeatureDelta<'a> {
+    /// The app was registered under (or renamed to) `name`.
+    Registered {
+        /// Display name as the platform recorded it.
+        name: &'a str,
+    },
+    /// The monitoring vantage observed one post attributed to the app.
+    Post {
+        /// The post's link, if any.
+        link: Option<&'a Url>,
+    },
+    /// A fresh on-demand crawl completed; replaces the Table 4 lanes
+    /// wholesale (a crawl is a full observation, not a delta).
+    OnDemand {
+        /// The extracted Table 4 features.
+        features: &'a OnDemandFeatures,
+    },
+    /// The platform deleted the app. Aggregation evidence is retained
+    /// (tombstone semantics), but the on-demand lanes become unobserved:
+    /// a deleted app has no summary, feed, or install dialog left to
+    /// crawl, so batch *re-extraction* would see `None` in every lane and
+    /// the incremental state must agree.
+    Deleted,
+}
+
+/// Per-app running aggregates — the accumulator every feature's
+/// incremental updater folds into. O(1) space per app, O(1) update per
+/// delta.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureState {
+    /// Display name from the last `Registered` delta.
+    pub name: String,
+    /// Monitored posts attributed to the app.
+    pub post_count: u64,
+    /// Of those, posts whose link resolves off facebook.com.
+    pub external_links: u64,
+    /// Last wholesale on-demand observation (lanes cleared on deletion).
+    pub on_demand: OnDemandFeatures,
+    /// Tombstone: the platform deleted this app.
+    pub deleted: bool,
+}
+
+impl FeatureState {
+    /// Folds one delta through every catalog feature's incremental
+    /// updater. O(1): the catalog is a constant-size array.
+    pub fn apply(&mut self, delta: &FeatureDelta<'_>, shortener: &Shortener) {
+        if matches!(delta, FeatureDelta::Deleted) {
+            self.deleted = true;
+        }
+        for def in &CATALOG {
+            def.apply_delta(self, delta, shortener);
+        }
+    }
+
+    /// Derives the full feature row from accumulated state by running
+    /// every catalog feature's read. The name-collision lane is evaluated
+    /// against `known` *now*, matching batch semantics (the batch
+    /// extractor sees the final set).
+    pub fn snapshot(&self, app: AppId, known: &KnownMaliciousNames) -> AppFeatures {
+        let ctx = ReadCtx { known };
+        let mut row = AppFeatures {
+            app,
+            ..AppFeatures::default()
+        };
+        for def in &CATALOG {
+            def.read_state(self, &ctx, &mut row);
+        }
+        row
+    }
+}
+
+/// Context for reading accumulated state back into feature lanes.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadCtx<'a> {
+    /// The known-malicious name set in force at read time.
+    pub known: &'a KnownMaliciousNames,
+}
+
+// ---------------------------------------------------------------------------
+// the definition record
+// ---------------------------------------------------------------------------
+
+/// One feature, defined once. See the module docs for the role of each
+/// hook; the hooks are plain `fn` pointers so [`CATALOG`] can be a
+/// `const`.
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureDef {
+    /// Stable identity (Table 6's per-feature experiments key off it).
+    pub id: FeatureId,
+    /// Canonical display name (explanations, experiment tables).
+    pub name: &'static str,
+    /// Stable snake_case key — metric names and machine-readable output.
+    pub key: &'static str,
+    /// Observability lane (span / metric namespace) for this feature.
+    pub lane: &'static str,
+    /// Where the paper defines the feature.
+    pub citation: &'static str,
+    /// On-demand (Table 4) or aggregation (Table 7).
+    pub family: FeatureFamily,
+    /// §7 robustness class.
+    pub robustness: Robustness,
+    batch: fn(&BatchCtx<'_>, &mut AppFeatures),
+    update: fn(&mut FeatureState, &FeatureDelta<'_>, &Shortener),
+    read: fn(&FeatureState, &ReadCtx<'_>, &mut AppFeatures),
+    raw: fn(&AppFeatures) -> Option<f64>,
+}
+
+impl FeatureDef {
+    /// Derives this feature's lane of `row` from batch artifacts. A fold
+    /// whose inputs are absent from `ctx` leaves the lane unobserved.
+    pub fn fold_batch(&self, ctx: &BatchCtx<'_>, row: &mut AppFeatures) {
+        (self.batch)(ctx, row);
+    }
+
+    /// Folds one observation delta into accumulated state; O(1).
+    pub fn apply_delta(&self, state: &mut FeatureState, delta: &FeatureDelta<'_>, s: &Shortener) {
+        (self.update)(state, delta, s);
+    }
+
+    /// Reads this feature's lane of `row` out of accumulated state.
+    pub fn read_state(&self, state: &FeatureState, ctx: &ReadCtx<'_>, row: &mut AppFeatures) {
+        (self.read)(state, ctx, row);
+    }
+
+    /// Raw (possibly missing) numeric value of this feature in a row —
+    /// the value [`Imputation::encode`](super::vectorize::Imputation)
+    /// feeds (after fill-in) to scaling and the SVM.
+    pub fn raw_value(&self, row: &AppFeatures) -> Option<f64> {
+        (self.raw)(row)
+    }
+}
+
+impl FeatureId {
+    /// Position of this feature in [`CATALOG`] (Table 4 order, then
+    /// Table 7 order) — also its lane index in every encoded vector that
+    /// includes it.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// This feature's catalog definition.
+    pub fn def(self) -> &'static FeatureDef {
+        let def = &CATALOG[self.index()];
+        debug_assert!(def.id == self, "catalog order must match FeatureId order");
+        def
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared helpers (the only copies of per-feature math)
+// ---------------------------------------------------------------------------
+
+/// Internal/external decision for one posted link, shared by the batch
+/// fold and the incremental updater of the external-link-ratio feature:
+/// shortened links are expanded first (mirroring the paper's bit.ly
+/// resolution step); unresolvable short links count as external — they
+/// leave facebook.com by construction.
+pub fn link_is_external(link: &Url, shortener: &Shortener) -> bool {
+    if link.is_shortened() {
+        match shortener.expand(link) {
+            Some(target) => !target.is_facebook(),
+            None => true,
+        }
+    } else {
+        !link.is_facebook()
+    }
+}
+
+fn bool_lane(v: bool) -> f64 {
+    f64::from(u8::from(v))
+}
+
+// ---------------------------------------------------------------------------
+// the nine features
+// ---------------------------------------------------------------------------
+
+macro_rules! summary_lane {
+    ($fn_batch:ident, $fn_update:ident, $fn_read:ident, $fn_raw:ident,
+     $lane:ident, $source:expr) => {
+        fn $fn_batch(ctx: &BatchCtx<'_>, row: &mut AppFeatures) {
+            row.on_demand.$lane = ctx.on_demand.summary.map($source);
+        }
+        fn $fn_update(state: &mut FeatureState, delta: &FeatureDelta<'_>, _s: &Shortener) {
+            match delta {
+                FeatureDelta::OnDemand { features } => state.on_demand.$lane = features.$lane,
+                FeatureDelta::Deleted => state.on_demand.$lane = None,
+                _ => {}
+            }
+        }
+        fn $fn_read(state: &FeatureState, _ctx: &ReadCtx<'_>, row: &mut AppFeatures) {
+            row.on_demand.$lane = state.on_demand.$lane;
+        }
+        fn $fn_raw(row: &AppFeatures) -> Option<f64> {
+            row.on_demand.$lane.map(bool_lane)
+        }
+    };
+}
+
+summary_lane!(
+    category_batch,
+    category_update,
+    category_read,
+    category_raw,
+    has_category,
+    |s| s.category.is_some()
+);
+
+/// §4.1.1, Table 4 — is a category specified in the app summary?
+pub const CATEGORY: FeatureDef = FeatureDef {
+    id: FeatureId::Category,
+    name: "Category specified?",
+    key: "category",
+    lane: "features/on_demand/category",
+    citation: "§4.1.1, Table 4",
+    family: FeatureFamily::OnDemand,
+    robustness: Robustness::Obfuscatable,
+    batch: category_batch,
+    update: category_update,
+    read: category_read,
+    raw: category_raw,
+};
+
+summary_lane!(
+    company_batch,
+    company_update,
+    company_read,
+    company_raw,
+    has_company,
+    |s| s.company.is_some()
+);
+
+/// §4.1.1, Table 4 — is a company name specified in the app summary?
+pub const COMPANY: FeatureDef = FeatureDef {
+    id: FeatureId::Company,
+    name: "Company specified?",
+    key: "company",
+    lane: "features/on_demand/company",
+    citation: "§4.1.1, Table 4",
+    family: FeatureFamily::OnDemand,
+    robustness: Robustness::Obfuscatable,
+    batch: company_batch,
+    update: company_update,
+    read: company_read,
+    raw: company_raw,
+};
+
+summary_lane!(
+    description_batch,
+    description_update,
+    description_read,
+    description_raw,
+    has_description,
+    |s| s.description.is_some()
+);
+
+/// §4.1.1, Table 4 — is a description specified? The single strongest
+/// feature: 97.8% accuracy alone (Table 6).
+pub const DESCRIPTION: FeatureDef = FeatureDef {
+    id: FeatureId::Description,
+    name: "Description specified?",
+    key: "description",
+    lane: "features/on_demand/description",
+    citation: "§4.1.1, Table 4 (Table 6: 97.8% alone)",
+    family: FeatureFamily::OnDemand,
+    robustness: Robustness::Obfuscatable,
+    batch: description_batch,
+    update: description_update,
+    read: description_read,
+    raw: description_raw,
+};
+
+fn profile_posts_batch(ctx: &BatchCtx<'_>, row: &mut AppFeatures) {
+    row.on_demand.has_profile_posts = ctx.on_demand.profile_feed.map(|feed| !feed.is_empty());
+}
+fn profile_posts_update(state: &mut FeatureState, delta: &FeatureDelta<'_>, _s: &Shortener) {
+    match delta {
+        FeatureDelta::OnDemand { features } => {
+            state.on_demand.has_profile_posts = features.has_profile_posts;
+        }
+        FeatureDelta::Deleted => state.on_demand.has_profile_posts = None,
+        _ => {}
+    }
+}
+fn profile_posts_read(state: &FeatureState, _ctx: &ReadCtx<'_>, row: &mut AppFeatures) {
+    row.on_demand.has_profile_posts = state.on_demand.has_profile_posts;
+}
+fn profile_posts_raw(row: &AppFeatures) -> Option<f64> {
+    row.on_demand.has_profile_posts.map(bool_lane)
+}
+
+/// §4.1.5, Table 4 — any posts in the app's profile page? 97% of
+/// malicious apps have none.
+pub const PROFILE_POSTS: FeatureDef = FeatureDef {
+    id: FeatureId::ProfilePosts,
+    name: "Posts in profile?",
+    key: "profile_posts",
+    lane: "features/on_demand/profile_posts",
+    citation: "§4.1.5, Table 4",
+    family: FeatureFamily::OnDemand,
+    robustness: Robustness::Obfuscatable,
+    batch: profile_posts_batch,
+    update: profile_posts_update,
+    read: profile_posts_read,
+    raw: profile_posts_raw,
+};
+
+fn permission_count_batch(ctx: &BatchCtx<'_>, row: &mut AppFeatures) {
+    row.on_demand.permission_count = ctx.on_demand.permissions.map(|p| p.permissions.len());
+}
+fn permission_count_update(state: &mut FeatureState, delta: &FeatureDelta<'_>, _s: &Shortener) {
+    match delta {
+        FeatureDelta::OnDemand { features } => {
+            state.on_demand.permission_count = features.permission_count;
+        }
+        FeatureDelta::Deleted => state.on_demand.permission_count = None,
+        _ => {}
+    }
+}
+fn permission_count_read(state: &FeatureState, _ctx: &ReadCtx<'_>, row: &mut AppFeatures) {
+    row.on_demand.permission_count = state.on_demand.permission_count;
+}
+fn permission_count_raw(row: &AppFeatures) -> Option<f64> {
+    row.on_demand.permission_count.map(f64::from)
+}
+
+/// §4.1.2, Table 4 — number of permissions requested at install. 97% of
+/// malicious apps request exactly one (`publish_stream`).
+pub const PERMISSION_COUNT: FeatureDef = FeatureDef {
+    id: FeatureId::PermissionCount,
+    name: "Permission count",
+    key: "permission_count",
+    lane: "features/on_demand/permission_count",
+    citation: "§4.1.2, Table 4",
+    family: FeatureFamily::OnDemand,
+    robustness: Robustness::Robust,
+    batch: permission_count_batch,
+    update: permission_count_update,
+    read: permission_count_read,
+    raw: permission_count_raw,
+};
+
+fn client_id_mismatch_batch(ctx: &BatchCtx<'_>, row: &mut AppFeatures) {
+    row.on_demand.client_id_mismatch = ctx.on_demand.permissions.map(|p| p.client_id != ctx.app);
+}
+fn client_id_mismatch_update(state: &mut FeatureState, delta: &FeatureDelta<'_>, _s: &Shortener) {
+    match delta {
+        FeatureDelta::OnDemand { features } => {
+            state.on_demand.client_id_mismatch = features.client_id_mismatch;
+        }
+        FeatureDelta::Deleted => state.on_demand.client_id_mismatch = None,
+        _ => {}
+    }
+}
+fn client_id_mismatch_read(state: &FeatureState, _ctx: &ReadCtx<'_>, row: &mut AppFeatures) {
+    row.on_demand.client_id_mismatch = state.on_demand.client_id_mismatch;
+}
+fn client_id_mismatch_raw(row: &AppFeatures) -> Option<f64> {
+    row.on_demand.client_id_mismatch.map(bool_lane)
+}
+
+/// §4.1.4, Table 4 — does the install dialog's `client_id` differ from
+/// the app's own ID? True for 78% of malicious apps.
+pub const CLIENT_ID_MISMATCH: FeatureDef = FeatureDef {
+    id: FeatureId::ClientIdMismatch,
+    name: "Client ID is same?",
+    key: "client_id_mismatch",
+    lane: "features/on_demand/client_id_mismatch",
+    citation: "§4.1.4, Table 4",
+    family: FeatureFamily::OnDemand,
+    robustness: Robustness::Robust,
+    batch: client_id_mismatch_batch,
+    update: client_id_mismatch_update,
+    read: client_id_mismatch_read,
+    raw: client_id_mismatch_raw,
+};
+
+fn wot_score_batch(ctx: &BatchCtx<'_>, row: &mut AppFeatures) {
+    row.on_demand.redirect_wot_score = match (ctx.on_demand.permissions, ctx.wot) {
+        (Some(p), Some(wot)) => Some(wot.feature_score(p.redirect_uri.host())),
+        _ => None,
+    };
+}
+fn wot_score_update(state: &mut FeatureState, delta: &FeatureDelta<'_>, _s: &Shortener) {
+    match delta {
+        FeatureDelta::OnDemand { features } => {
+            state.on_demand.redirect_wot_score = features.redirect_wot_score;
+        }
+        FeatureDelta::Deleted => state.on_demand.redirect_wot_score = None,
+        _ => {}
+    }
+}
+fn wot_score_read(state: &FeatureState, _ctx: &ReadCtx<'_>, row: &mut AppFeatures) {
+    row.on_demand.redirect_wot_score = state.on_demand.redirect_wot_score;
+}
+fn wot_score_raw(row: &AppFeatures) -> Option<f64> {
+    row.on_demand.redirect_wot_score
+}
+
+/// §4.1.3, Table 4 — WOT trust score of the redirect-URI domain; −1 when
+/// WOT has no data (true for 80% of malicious apps' domains).
+pub const WOT_SCORE: FeatureDef = FeatureDef {
+    id: FeatureId::WotScore,
+    name: "WOT trust score",
+    key: "wot_score",
+    lane: "features/on_demand/wot_score",
+    citation: "§4.1.3, Table 4",
+    family: FeatureFamily::OnDemand,
+    robustness: Robustness::Robust,
+    batch: wot_score_batch,
+    update: wot_score_update,
+    read: wot_score_read,
+    raw: wot_score_raw,
+};
+
+fn name_collision_batch(ctx: &BatchCtx<'_>, row: &mut AppFeatures) {
+    let Some(agg) = &ctx.aggregation else { return };
+    // Parity by construction: the batch fold IS the incremental path —
+    // one Registered delta, then the shared read.
+    let mut state = FeatureState::default();
+    name_collision_update(
+        &mut state,
+        &FeatureDelta::Registered { name: agg.app_name },
+        agg.shortener,
+    );
+    name_collision_read(&state, &ReadCtx { known: agg.known }, row);
+}
+fn name_collision_update(state: &mut FeatureState, delta: &FeatureDelta<'_>, _s: &Shortener) {
+    if let FeatureDelta::Registered { name } = delta {
+        state.name.clear();
+        state.name.push_str(name);
+    }
+}
+fn name_collision_read(state: &FeatureState, ctx: &ReadCtx<'_>, row: &mut AppFeatures) {
+    row.aggregation.name_matches_known_malicious = ctx.known.contains(&state.name);
+}
+fn name_collision_raw(row: &AppFeatures) -> Option<f64> {
+    Some(bool_lane(row.aggregation.name_matches_known_malicious))
+}
+
+/// §4.2.1, Table 7 — is the app's name identical (after normalization) to
+/// a known malicious app's? 87% of malicious apps share a name with
+/// another.
+pub const NAME_COLLISION: FeatureDef = FeatureDef {
+    id: FeatureId::NameCollision,
+    name: "App name similarity",
+    key: "name_collision",
+    lane: "features/aggregation/name_collision",
+    citation: "§4.2.1, Table 7",
+    family: FeatureFamily::Aggregation,
+    robustness: Robustness::Monitored,
+    batch: name_collision_batch,
+    update: name_collision_update,
+    read: name_collision_read,
+    raw: name_collision_raw,
+};
+
+fn external_link_ratio_batch(ctx: &BatchCtx<'_>, row: &mut AppFeatures) {
+    let Some(agg) = &ctx.aggregation else { return };
+    // Parity by construction: fold every monitored post through the same
+    // O(1) updater the serving layer runs, then the shared read.
+    let mut state = FeatureState::default();
+    for post in agg.posts {
+        external_link_ratio_update(
+            &mut state,
+            &FeatureDelta::Post {
+                link: post.link.as_ref(),
+            },
+            agg.shortener,
+        );
+    }
+    external_link_ratio_read(&state, &ReadCtx { known: agg.known }, row);
+}
+fn external_link_ratio_update(state: &mut FeatureState, delta: &FeatureDelta<'_>, s: &Shortener) {
+    if let FeatureDelta::Post { link } = delta {
+        state.post_count += 1;
+        if let Some(link) = link {
+            if link_is_external(link, s) {
+                state.external_links += 1;
+            }
+        }
+    }
+}
+fn external_link_ratio_read(state: &FeatureState, _ctx: &ReadCtx<'_>, row: &mut AppFeatures) {
+    row.aggregation.external_link_ratio = if state.post_count == 0 {
+        None
+    } else {
+        Some(state.external_links as f64 / state.post_count as f64)
+    };
+}
+fn external_link_ratio_raw(row: &AppFeatures) -> Option<f64> {
+    row.aggregation.external_link_ratio
+}
+
+/// §4.2.2, Table 7 — external links ÷ posts observed, `None` with no
+/// posts. 80% of benign apps post none; malicious apps average one per
+/// post. Shortened links are expanded first (bit.ly resolution).
+pub const EXTERNAL_LINK_RATIO: FeatureDef = FeatureDef {
+    id: FeatureId::ExternalLinkRatio,
+    name: "External link to post ratio",
+    key: "external_link_ratio",
+    lane: "features/aggregation/external_link_ratio",
+    citation: "§4.2.2, Table 7",
+    family: FeatureFamily::Aggregation,
+    robustness: Robustness::Monitored,
+    batch: external_link_ratio_batch,
+    update: external_link_ratio_update,
+    read: external_link_ratio_read,
+    raw: external_link_ratio_raw,
+};
+
+/// **The catalog**: every FRAppE feature, in Table 4 order followed by
+/// Table 7 order. This ordering is load-bearing — it is the lane order of
+/// every encoded vector, of min–max scaling, of SVM weights, and of
+/// per-feature explanation terms.
+pub const CATALOG: [FeatureDef; 9] = [
+    CATEGORY,
+    COMPANY,
+    DESCRIPTION,
+    PROFILE_POSTS,
+    PERMISSION_COUNT,
+    CLIENT_ID_MISMATCH,
+    WOT_SCORE,
+    NAME_COLLISION,
+    EXTERNAL_LINK_RATIO,
+];
+
+// ---------------------------------------------------------------------------
+// derived views
+// ---------------------------------------------------------------------------
+
+/// All features, in catalog order.
+pub fn all() -> impl Iterator<Item = &'static FeatureDef> {
+    CATALOG.iter()
+}
+
+/// The Table 4 (on-demand) features, in catalog order.
+pub fn on_demand() -> impl Iterator<Item = &'static FeatureDef> {
+    CATALOG
+        .iter()
+        .filter(|d| d.family == FeatureFamily::OnDemand)
+}
+
+/// The Table 7 (aggregation) features, in catalog order.
+pub fn aggregation() -> impl Iterator<Item = &'static FeatureDef> {
+    CATALOG
+        .iter()
+        .filter(|d| d.family == FeatureFamily::Aggregation)
+}
+
+/// Whether `def` participates in `set`.
+pub fn set_contains(set: FeatureSet, def: &FeatureDef) -> bool {
+    match set {
+        FeatureSet::Lite => def.family == FeatureFamily::OnDemand,
+        FeatureSet::Full => true,
+        FeatureSet::Robust => def.robustness == Robustness::Robust,
+        FeatureSet::Obfuscatable => def.robustness == Robustness::Obfuscatable,
+        FeatureSet::Single(id) => def.id == id,
+    }
+}
+
+/// The member features of `set`, in catalog order — the single source of
+/// lane ordering for encoding, scaling, and explanation.
+pub fn members(set: FeatureSet) -> Vec<FeatureId> {
+    CATALOG
+        .iter()
+        .filter(|d| set_contains(set, d))
+        .map(|d| d.id)
+        .collect()
+}
+
+/// Derives a full feature row from batch artifacts by folding every
+/// catalog feature. Lanes whose inputs are absent from `ctx` stay
+/// unobserved — the same partial-crawl semantics the per-family
+/// extractors have.
+pub fn extract_row(ctx: &BatchCtx<'_>) -> AppFeatures {
+    let mut row = AppFeatures {
+        app: ctx.app,
+        ..AppFeatures::default()
+    };
+    for def in &CATALOG {
+        def.fold_batch(ctx, &mut row);
+    }
+    row
+}
+
+// ---------------------------------------------------------------------------
+// shared known-malicious-name state
+// ---------------------------------------------------------------------------
+
+/// The known-malicious name set as **shared, versioned state**.
+///
+/// The name-collision feature is the one FRAppE feature whose value
+/// depends on evolving side state rather than per-app evidence. When the
+/// batch pipeline and the serving layer each hold their *own copy* of the
+/// set, a name flagged mid-stream flips the online collision bit but not
+/// the batch one — an asymmetry that silently breaks parity. This handle
+/// fixes that structurally: every consumer reads the same state, and a
+/// monotonic generation counter lets caches (the serving layer's verdict
+/// cache) invalidate lazily when the set grows.
+#[derive(Debug, Clone, Default)]
+pub struct SharedKnownNames {
+    inner: Arc<SharedKnownInner>,
+}
+
+#[derive(Debug, Default)]
+struct SharedKnownInner {
+    names: RwLock<KnownMaliciousNames>,
+    generation: AtomicU64,
+}
+
+impl SharedKnownNames {
+    /// Wraps a seed set into a shared handle (generation 0).
+    pub fn new(seed: KnownMaliciousNames) -> Self {
+        SharedKnownNames {
+            inner: Arc::new(SharedKnownInner {
+                names: RwLock::new(seed),
+                generation: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Adds one raw name (normalizing it) and bumps the generation.
+    /// Returns whether the normalized name was new. Every reader — batch
+    /// or online — observes the insertion from this call onward.
+    pub fn insert(&self, name: &str) -> bool {
+        let mut names = self
+            .inner
+            .names
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let novel = names.insert(name);
+        // Bumped while the write lock is held, so (set, generation) pairs
+        // observed through `with` are always consistent.
+        self.inner.generation.fetch_add(1, Ordering::Release);
+        novel
+    }
+
+    /// Monotonic version of the set; bumps on every [`insert`](Self::insert).
+    pub fn generation(&self) -> u64 {
+        self.inner.generation.load(Ordering::Acquire)
+    }
+
+    /// Runs `f` over a consistent `(set, generation)` pair.
+    pub fn with<R>(&self, f: impl FnOnce(&KnownMaliciousNames, u64) -> R) -> R {
+        let names = self
+            .inner
+            .names
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        let generation = self.inner.generation.load(Ordering::Acquire);
+        f(&names, generation)
+    }
+
+    /// Read guard over the set (for batch extraction over many apps).
+    pub fn read(&self) -> RwLockReadGuard<'_, KnownMaliciousNames> {
+        self.inner
+            .names
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Whether `name` (raw) collides with a known malicious name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.read().contains(name)
+    }
+
+    /// Number of known names.
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.read().is_empty()
+    }
+}
+
+impl From<KnownMaliciousNames> for SharedKnownNames {
+    fn from(seed: KnownMaliciousNames) -> Self {
+        SharedKnownNames::new(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_types::ids::{PostId, UserId};
+    use osn_types::time::SimTime;
+
+    #[test]
+    fn catalog_order_matches_feature_id_order() {
+        for (i, def) in CATALOG.iter().enumerate() {
+            assert_eq!(def.id.index(), i, "{} out of order", def.name);
+            assert_eq!(def.id.def().key, def.key, "def() resolves to the entry");
+        }
+    }
+
+    #[test]
+    fn families_partition_the_catalog() {
+        assert_eq!(on_demand().count(), 7, "Table 4 has seven features");
+        assert_eq!(aggregation().count(), 2, "Table 7 has two");
+        assert_eq!(all().count(), 9);
+        // family membership and Lite membership are the same thing
+        for def in all() {
+            assert_eq!(
+                set_contains(FeatureSet::Lite, def),
+                def.family == FeatureFamily::OnDemand
+            );
+            assert!(set_contains(FeatureSet::Full, def));
+        }
+    }
+
+    #[test]
+    fn robustness_classes_match_section7() {
+        let robust: Vec<&str> = members(FeatureSet::Robust)
+            .into_iter()
+            .map(|id| id.def().key)
+            .collect();
+        assert_eq!(
+            robust,
+            vec!["permission_count", "client_id_mismatch", "wot_score"]
+        );
+        let obfuscatable: Vec<&str> = members(FeatureSet::Obfuscatable)
+            .into_iter()
+            .map(|id| id.def().key)
+            .collect();
+        assert_eq!(
+            obfuscatable,
+            vec!["category", "company", "description", "profile_posts"]
+        );
+    }
+
+    #[test]
+    fn keys_names_and_lanes_are_distinct() {
+        for accessor in [
+            (|d: &FeatureDef| d.key) as fn(&FeatureDef) -> &'static str,
+            |d: &FeatureDef| d.name,
+            |d: &FeatureDef| d.lane,
+        ] {
+            let mut values: Vec<&str> = all().map(accessor).collect();
+            values.sort_unstable();
+            values.dedup();
+            assert_eq!(values.len(), CATALOG.len());
+        }
+    }
+
+    #[test]
+    fn every_citation_names_its_table() {
+        for def in all() {
+            let table = match def.family {
+                FeatureFamily::OnDemand => "Table 4",
+                FeatureFamily::Aggregation => "Table 7",
+            };
+            assert!(
+                def.citation.contains(table),
+                "{} cites {:?}",
+                def.name,
+                def.citation
+            );
+        }
+    }
+
+    fn post(id: u64, link: Option<Url>) -> Post {
+        Post {
+            id: PostId(id),
+            wall_owner: UserId(0),
+            author: UserId(0),
+            app: Some(AppId(1)),
+            profile_of: None,
+            kind: fb_platform::post::PostKind::App,
+            message: "m".into(),
+            link,
+            created_at: SimTime::ZERO,
+            likes: 0,
+            comments: 0,
+        }
+    }
+
+    #[test]
+    fn incremental_fold_equals_batch_fold_per_feature() {
+        let mut shortener = Shortener::bitly();
+        let short = shortener.shorten(&Url::parse("http://scam.com/x").unwrap());
+        let posts = [
+            post(0, Some(Url::parse("http://scam.com/a").unwrap())),
+            post(1, Some(Url::parse("https://apps.facebook.com/x/").unwrap())),
+            post(2, None),
+            post(3, Some(short)),
+        ];
+        let refs: Vec<&Post> = posts.iter().collect();
+        let known = KnownMaliciousNames::from_names(["the app"]);
+
+        // batch fold
+        let ctx = BatchCtx {
+            app: AppId(1),
+            on_demand: OnDemandInput::default(),
+            wot: None,
+            aggregation: Some(AggregationInput {
+                app_name: "The  APP",
+                posts: &refs,
+                known: &known,
+                shortener: &shortener,
+            }),
+        };
+        let batch = extract_row(&ctx);
+
+        // incremental fold over the equivalent delta stream
+        let mut state = FeatureState::default();
+        state.apply(&FeatureDelta::Registered { name: "The  APP" }, &shortener);
+        for p in &posts {
+            state.apply(
+                &FeatureDelta::Post {
+                    link: p.link.as_ref(),
+                },
+                &shortener,
+            );
+        }
+        let online = state.snapshot(AppId(1), &known);
+
+        assert_eq!(batch, online);
+        assert!(batch.aggregation.name_matches_known_malicious);
+        assert_eq!(batch.aggregation.external_link_ratio, Some(0.5));
+    }
+
+    #[test]
+    fn deletion_clears_on_demand_lanes_but_keeps_aggregation_evidence() {
+        let shortener = Shortener::bitly();
+        let mut state = FeatureState::default();
+        state.apply(&FeatureDelta::Registered { name: "Gone Soon" }, &shortener);
+        state.apply(
+            &FeatureDelta::OnDemand {
+                features: &OnDemandFeatures {
+                    has_description: Some(true),
+                    permission_count: Some(1),
+                    ..OnDemandFeatures::default()
+                },
+            },
+            &shortener,
+        );
+        state.apply(&FeatureDelta::Post { link: None }, &shortener);
+        state.apply(&FeatureDelta::Deleted, &shortener);
+
+        assert!(state.deleted);
+        let known = KnownMaliciousNames::from_names(["gone soon"]);
+        let row = state.snapshot(AppId(9), &known);
+        // on-demand lanes unobserved — exactly what re-crawling a deleted
+        // app yields in batch
+        assert_eq!(row.on_demand, OnDemandFeatures::default());
+        // aggregation evidence retained (tombstone semantics)
+        assert!(row.aggregation.name_matches_known_malicious);
+        assert_eq!(row.aggregation.external_link_ratio, Some(0.0));
+    }
+
+    #[test]
+    fn shared_known_names_version_and_share_state() {
+        let shared = SharedKnownNames::new(KnownMaliciousNames::from_names(["the app"]));
+        let other_handle = shared.clone();
+        assert_eq!(shared.generation(), 0);
+        assert_eq!(shared.len(), 1);
+        assert!(!shared.is_empty());
+
+        assert!(shared.insert("Farm Vile"));
+        assert_eq!(shared.generation(), 1);
+        assert!(other_handle.contains("FARM  vile"), "clones share state");
+
+        assert!(!shared.insert("farm vile"), "already known after folding");
+        assert_eq!(shared.generation(), 2, "even no-op inserts version");
+
+        shared.with(|names, generation| {
+            assert_eq!(names.len(), 2);
+            assert_eq!(generation, 2);
+        });
+        let from: SharedKnownNames = KnownMaliciousNames::default().into();
+        assert!(from.is_empty());
+    }
+}

@@ -2,15 +2,20 @@
 //!
 //! FRAppE's two feature families, exactly as the paper partitions them:
 //!
+//! * [`catalog`] — **the single source of truth**: one [`catalog::FeatureDef`]
+//!   per Table 4/7 feature, carrying its identity, batch fold, incremental
+//!   update, encode rule, and robustness class. Everything below derives
+//!   from it.
 //! * [`on_demand`] — "features that one can obtain on-demand given the
-//!   application's ID" (§4.1, Table 4).
+//!   application's ID" (§4.1, Table 4); a thin fold over the catalog.
 //! * [`aggregation`] — "features \[that\] are gathered by entities that
 //!   monitor the posting behavior of several applications across users and
-//!   across time" (§4.2, Table 7).
+//!   across time" (§4.2, Table 7); a thin fold over the catalog.
 //! * [`vectorize`] — feature-set selection (Lite / Full / Robust / single
 //!   feature), missing-lane imputation, and the numeric encoding fed to
-//!   the SVM.
+//!   the SVM, with membership/ordering/encode rules taken from the catalog.
 
 pub mod aggregation;
+pub mod catalog;
 pub mod on_demand;
 pub mod vectorize;

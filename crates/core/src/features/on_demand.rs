@@ -55,24 +55,31 @@ pub struct OnDemandFeatures {
 }
 
 /// Extracts the Table 4 features for one app.
+///
+/// This is a thin fold over the [catalog](super::catalog): each on-demand
+/// [`FeatureDef`](super::catalog::FeatureDef)'s batch hook derives its own
+/// lane from the crawl artifacts. The per-feature semantics live there,
+/// nowhere else.
 pub fn extract_on_demand(
     app: AppId,
     input: &OnDemandInput<'_>,
     wot: &WotRegistry,
 ) -> OnDemandFeatures {
     let _span = frappe_obs::span("features/on_demand");
-    let summary = input.summary;
-    OnDemandFeatures {
-        has_category: summary.map(|s| s.category.is_some()),
-        has_company: summary.map(|s| s.company.is_some()),
-        has_description: summary.map(|s| s.description.is_some()),
-        has_profile_posts: input.profile_feed.map(|feed| !feed.is_empty()),
-        permission_count: input.permissions.map(|p| p.permissions.len()),
-        client_id_mismatch: input.permissions.map(|p| p.client_id != app),
-        redirect_wot_score: input
-            .permissions
-            .map(|p| wot.feature_score(p.redirect_uri.host())),
+    let ctx = super::catalog::BatchCtx {
+        app,
+        on_demand: *input,
+        wot: Some(wot),
+        aggregation: None,
+    };
+    let mut row = super::vectorize::AppFeatures {
+        app,
+        ..Default::default()
+    };
+    for def in super::catalog::on_demand() {
+        def.fold_batch(&ctx, &mut row);
     }
+    row.on_demand
 }
 
 #[cfg(test)]

@@ -52,71 +52,17 @@ pub enum FeatureId {
 }
 
 impl FeatureId {
-    /// The on-demand features, in Table 4 order.
-    pub const ON_DEMAND: [FeatureId; 7] = [
-        FeatureId::Category,
-        FeatureId::Company,
-        FeatureId::Description,
-        FeatureId::ProfilePosts,
-        FeatureId::PermissionCount,
-        FeatureId::ClientIdMismatch,
-        FeatureId::WotScore,
-    ];
-
-    /// The aggregation features, in Table 7 order.
-    pub const AGGREGATION: [FeatureId; 2] =
-        [FeatureId::NameCollision, FeatureId::ExternalLinkRatio];
-
-    /// §7's obfuscation-robust subset: "the reputation of redirect URIs,
-    /// the number of required permissions, and the use of different client
-    /// IDs in app installation URLs".
-    pub const ROBUST: [FeatureId; 3] = [
-        FeatureId::PermissionCount,
-        FeatureId::ClientIdMismatch,
-        FeatureId::WotScore,
-    ];
-
-    /// §7's easily-obfuscated features: "hackers can easily fill in this
-    /// information into the summary ... \[and\] begin making dummy posts in
-    /// the profile pages".
-    pub const OBFUSCATABLE: [FeatureId; 4] = [
-        FeatureId::Category,
-        FeatureId::Company,
-        FeatureId::Description,
-        FeatureId::ProfilePosts,
-    ];
-
-    /// Human-readable name (used in experiment output).
-    pub const fn name(self) -> &'static str {
-        match self {
-            FeatureId::Category => "Category specified?",
-            FeatureId::Company => "Company specified?",
-            FeatureId::Description => "Description specified?",
-            FeatureId::ProfilePosts => "Posts in profile?",
-            FeatureId::PermissionCount => "Permission count",
-            FeatureId::ClientIdMismatch => "Client ID is same?",
-            FeatureId::WotScore => "WOT trust score",
-            FeatureId::NameCollision => "App name similarity",
-            FeatureId::ExternalLinkRatio => "External link to post ratio",
-        }
+    /// Human-readable name (used in experiment output). Sourced from the
+    /// [catalog](super::catalog::CATALOG) — the single definition of each
+    /// feature's identity.
+    pub fn name(self) -> &'static str {
+        self.def().name
     }
 
-    /// Raw (possibly missing) value of this feature in a row.
+    /// Raw (possibly missing) value of this feature in a row, delegated
+    /// to the [catalog](super::catalog::CATALOG) definition's encode rule.
     pub fn raw_value(self, f: &AppFeatures) -> Option<f64> {
-        let b = |v: Option<bool>| v.map(|x| f64::from(u8::from(x)));
-        match self {
-            FeatureId::Category => b(f.on_demand.has_category),
-            FeatureId::Company => b(f.on_demand.has_company),
-            FeatureId::Description => b(f.on_demand.has_description),
-            FeatureId::ProfilePosts => b(f.on_demand.has_profile_posts),
-            FeatureId::PermissionCount => f.on_demand.permission_count.map(f64::from),
-            FeatureId::ClientIdMismatch => b(f.on_demand.client_id_mismatch),
-            FeatureId::WotScore => f.on_demand.redirect_wot_score,
-            FeatureId::NameCollision => Some(f64::from(u8::from(
-                f.aggregation.name_matches_known_malicious,
-            ))),
-            FeatureId::ExternalLinkRatio => f.aggregation.external_link_ratio,
-        }
+        self.def().raw_value(f)
     }
 }
 
@@ -136,19 +82,11 @@ pub enum FeatureSet {
 }
 
 impl FeatureSet {
-    /// The member features, in stable order.
+    /// The member features, in stable (catalog) order. Membership and
+    /// ordering both come from the
+    /// [catalog](super::catalog::members) — there is no second table.
     pub fn features(self) -> Vec<FeatureId> {
-        match self {
-            FeatureSet::Lite => FeatureId::ON_DEMAND.to_vec(),
-            FeatureSet::Full => FeatureId::ON_DEMAND
-                .iter()
-                .chain(FeatureId::AGGREGATION.iter())
-                .copied()
-                .collect(),
-            FeatureSet::Robust => FeatureId::ROBUST.to_vec(),
-            FeatureSet::Obfuscatable => FeatureId::OBFUSCATABLE.to_vec(),
-            FeatureSet::Single(id) => vec![id],
-        }
+        super::catalog::members(self)
     }
 
     /// Dimensionality of the encoded vector.
@@ -166,21 +104,16 @@ pub struct Imputation {
 impl Imputation {
     /// All-zero imputation (useful when rows are known complete).
     pub fn zeroes() -> Self {
-        let values = FeatureId::ON_DEMAND
-            .iter()
-            .chain(FeatureId::AGGREGATION.iter())
-            .map(|&id| (id, 0.0))
-            .collect();
+        let values = super::catalog::all().map(|def| (def.id, 0.0)).collect();
         Imputation { values }
     }
 
     /// Fits per-feature medians over the observed values of a training
     /// sample. Features never observed in the sample impute to 0.
     pub fn fit_medians(samples: &[AppFeatures]) -> Self {
-        let values = FeatureId::ON_DEMAND
-            .iter()
-            .chain(FeatureId::AGGREGATION.iter())
-            .map(|&id| {
+        let values = super::catalog::all()
+            .map(|def| def.id)
+            .map(|id| {
                 let mut observed: Vec<f64> =
                     samples.iter().filter_map(|s| id.raw_value(s)).collect();
                 let median = if observed.is_empty() {
@@ -290,13 +223,21 @@ mod tests {
 
     #[test]
     fn every_feature_has_a_distinct_name() {
-        let mut names: Vec<&str> = FeatureId::ON_DEMAND
-            .iter()
-            .chain(FeatureId::AGGREGATION.iter())
-            .map(|f| f.name())
+        let mut names: Vec<&str> = crate::features::catalog::all()
+            .map(|def| def.id.name())
             .collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn full_set_order_is_catalog_order() {
+        // load-bearing: encode order == scaling order == weight order
+        let features = FeatureSet::Full.features();
+        for (i, id) in features.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+        assert_eq!(features.len(), 9);
     }
 }

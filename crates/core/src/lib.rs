@@ -83,6 +83,10 @@ pub mod validation;
 
 pub use classifier::{cross_validate_frappe, Explanation, FrappeModel};
 pub use features::aggregation::{extract_aggregation, AggregationFeatures};
+pub use features::catalog::{
+    self, BatchCtx, FeatureDef, FeatureDelta, FeatureFamily, FeatureState, Robustness,
+    SharedKnownNames, CATALOG,
+};
 pub use features::on_demand::{extract_on_demand, OnDemandFeatures, OnDemandInput};
 pub use features::vectorize::{AppFeatures, FeatureId, FeatureSet, Imputation};
 pub use validation::{validate_flagged, ValidationCategory, ValidationInput, ValidationReport};

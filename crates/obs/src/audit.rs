@@ -25,7 +25,10 @@ pub enum AuditSource {
 /// One feature's term in a linear decision function.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FeatureContribution {
-    /// Feature name (matches `FeatureId::name`).
+    /// Canonical feature name. This crate stores whatever the producer
+    /// passes; in this workspace producers take it from the feature
+    /// catalog (`frappe::catalog`), so names and record order match the
+    /// encoder's lane order exactly.
     pub feature: String,
     /// Learned weight for this feature.
     pub weight: f64,

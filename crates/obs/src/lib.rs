@@ -9,7 +9,7 @@
 //!   fixed-bucket histograms behind named `Arc` handles; registration
 //!   takes a short lock once, recording is lock-free and allocation-free.
 //!   Snapshots export as Prometheus text or JSONL.
-//! * [`span`] — RAII scoped timers with `outer/inner` path nesting,
+//! * [`mod@span`] — RAII scoped timers with `outer/inner` path nesting,
 //!   aggregated into a bounded per-stage profile table. Gated twice: the
 //!   `instrument` cargo feature compiles spans out entirely, and a
 //!   runtime toggle (env var [`ENV_TOGGLE`], or [`set_spans_enabled`])

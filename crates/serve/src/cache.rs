@@ -47,7 +47,7 @@ impl VerdictCache {
     }
 
     fn shard_of(&self, app: AppId) -> &RwLock<HashMap<AppId, Entry>> {
-        &self.shards[(app.raw() as usize) % self.shards.len()]
+        &self.shards[crate::store::shard_index(app, self.shards.len())]
     }
 
     /// Returns the cached verdict iff it was scored at exactly

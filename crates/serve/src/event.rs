@@ -38,9 +38,11 @@ pub enum ServeEvent {
         /// The extracted Table 4 features.
         features: OnDemandFeatures,
     },
-    /// The platform deleted `app`. Accumulated evidence is *retained*
+    /// The platform deleted `app`. Aggregation evidence is *retained*
     /// (tombstone semantics, matching the batch pipeline, which keeps
-    /// classifying apps it saw before enforcement removed them).
+    /// classifying apps it saw before enforcement removed them), while
+    /// the on-demand lanes become unobserved — a deleted app has nothing
+    /// left to crawl (see [`frappe::FeatureDelta::Deleted`]).
     Deleted {
         /// The deleted app.
         app: AppId,
@@ -55,6 +57,21 @@ impl ServeEvent {
             | ServeEvent::Post { app, .. }
             | ServeEvent::OnDemand { app, .. }
             | ServeEvent::Deleted { app } => *app,
+        }
+    }
+
+    /// This event as a borrowed [`frappe::FeatureDelta`] — the catalog's
+    /// delta vocabulary, which the store folds through every feature's
+    /// incremental updater. The mapping is lossless: each variant maps to
+    /// the delta of the same shape.
+    pub fn as_delta(&self) -> frappe::FeatureDelta<'_> {
+        match self {
+            ServeEvent::Registered { name, .. } => frappe::FeatureDelta::Registered { name },
+            ServeEvent::Post { link, .. } => frappe::FeatureDelta::Post {
+                link: link.as_ref(),
+            },
+            ServeEvent::OnDemand { features, .. } => frappe::FeatureDelta::OnDemand { features },
+            ServeEvent::Deleted { .. } => frappe::FeatureDelta::Deleted,
         }
     }
 

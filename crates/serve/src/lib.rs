@@ -26,7 +26,7 @@
 //! (`tests/serve_parity.rs`). Incrementality buys speed, never drift.
 //!
 //! Module map: [`event`] is the input vocabulary, [`store`] the sharded
-//! incremental feature state, [`pool`] the scorer workers with
+//! incremental feature state, `pool` (private) the scorer workers with
 //! reject-with-retry-after backpressure, [`cache`] the generation-stamped
 //! verdict memo, [`metrics`] the observability layer (a thin view over a
 //! per-instance [`frappe_obs::Registry`], exportable as Prometheus text

@@ -97,10 +97,16 @@ pub struct Metrics {
     batches_scored: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     latency: Arc<Histogram>,
+    /// One counter per catalog feature, in catalog order: how often that
+    /// lane was unobserved (imputed) in a freshly scored row.
+    feature_unobserved: Vec<Arc<Counter>>,
 }
 
 impl Metrics {
-    /// Binds the service instruments in `registry`.
+    /// Binds the service instruments in `registry`. The per-feature
+    /// `serve_feature_unobserved_*` counter names are derived from the
+    /// [feature catalog](frappe::features::catalog)'s stable keys — no
+    /// hand-maintained metric-name list.
     pub fn new(registry: Arc<Registry>) -> Self {
         Metrics {
             events_ingested: registry.counter("serve_events_ingested"),
@@ -111,6 +117,9 @@ impl Metrics {
             batches_scored: registry.counter("serve_batches_scored"),
             queue_depth: registry.gauge("serve_queue_depth"),
             latency: registry.histogram("serve_query_latency_micros", &LATENCY_BOUNDS_MICROS),
+            feature_unobserved: frappe::catalog::all()
+                .map(|def| registry.counter(&format!("serve_feature_unobserved_{}", def.key)))
+                .collect(),
             registry,
         }
     }
@@ -150,6 +159,18 @@ impl Metrics {
     /// One worker batch drained (of any size ≥ 1).
     pub fn batch_scored(&self) {
         self.batches_scored.inc();
+    }
+
+    /// Records which lanes of a freshly scored row were unobserved
+    /// (scored from imputation instead of evidence), one counter per
+    /// catalog feature. The unobserved test is the catalog's own encode
+    /// rule, so these counters can never disagree with what the model saw.
+    pub fn lanes_unobserved(&self, features: &frappe::AppFeatures) {
+        for (def, counter) in frappe::catalog::all().zip(&self.feature_unobserved) {
+            if def.raw_value(features).is_none() {
+                counter.inc();
+            }
+        }
     }
 
     /// Exports current values. `queue_depth` is sampled by the caller
@@ -280,6 +301,27 @@ mod tests {
         let s = Metrics::default().snapshot(0).latency;
         assert_eq!(s.mean_micros(), 0.0);
         assert_eq!(s.quantile_bound_micros(0.5), None);
+    }
+
+    #[test]
+    fn unobserved_lane_counters_follow_the_catalog() {
+        let m = Metrics::default();
+        // default row: every on-demand lane and the link ratio unobserved;
+        // name collision is always observed (it is a plain bool)
+        m.lanes_unobserved(&frappe::AppFeatures::default());
+        let text = m.registry().snapshot().to_prometheus_text();
+        for def in frappe::catalog::all() {
+            let expected = if def.id == frappe::FeatureId::NameCollision {
+                0
+            } else {
+                1
+            };
+            assert!(
+                text.contains(&format!("serve_feature_unobserved_{} {expected}", def.key)),
+                "missing per-feature counter for {}:\n{text}",
+                def.key
+            );
+        }
     }
 
     #[test]

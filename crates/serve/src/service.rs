@@ -18,12 +18,11 @@
 //!   invalidating every cached verdict (a new name can flip any app's
 //!   collision bit).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use frappe::features::aggregation::KnownMaliciousNames;
-use frappe::{AppFeatures, FrappeModel};
+use frappe::{AppFeatures, FrappeModel, SharedKnownNames};
 use frappe_obs::{AuditLog, AuditSource, Registry};
 use osn_types::ids::AppId;
 use parking_lot::RwLock;
@@ -110,8 +109,7 @@ pub(crate) struct ScoreEngine {
     model: FrappeModel,
     store: FeatureStore,
     cache: VerdictCache,
-    known: RwLock<KnownMaliciousNames>,
-    known_generation: AtomicU64,
+    known: SharedKnownNames,
     shortener: Shortener,
     metrics: Metrics,
     audit: RwLock<Option<Arc<AuditLog>>>,
@@ -126,7 +124,7 @@ impl ScoreEngine {
             .store
             .generation_of(app)
             .ok_or(ServeError::UnknownApp(app))?;
-        let known_gen = self.known_generation.load(Ordering::Acquire);
+        let known_gen = self.known.generation();
         if let Some(hit) = self.cache.get(app, app_gen, known_gen) {
             self.metrics.cache_hit();
             return Ok(hit);
@@ -135,19 +133,14 @@ impl ScoreEngine {
 
         // slow path: snapshot under the known-names read lock so the
         // generation we stamp matches the set we actually consulted
-        let (snapshot, known_gen) = {
-            let known = self.known.read();
-            let known_gen = self.known_generation.load(Ordering::Acquire);
-            let snapshot = self
-                .store
-                .snapshot(app, &known)
-                .ok_or(ServeError::UnknownApp(app))?;
-            (snapshot, known_gen)
-        };
+        let (snapshot, known_gen) = self
+            .known
+            .with(|known, known_gen| (self.store.snapshot(app, known), known_gen));
         let FeatureSnapshot {
             features,
             generation,
-        } = snapshot;
+        } = snapshot.ok_or(ServeError::UnknownApp(app))?;
+        self.metrics.lanes_unobserved(&features);
         let decision_value = self.model.decision_value(&features);
         let verdict = Verdict {
             app,
@@ -205,8 +198,7 @@ impl FrappeService {
             model,
             store: FeatureStore::new(config.shards),
             cache: VerdictCache::new(config.shards),
-            known: RwLock::new(known),
-            known_generation: AtomicU64::new(0),
+            known: SharedKnownNames::new(known),
             shortener,
             metrics: Metrics::default(),
             audit: RwLock::new(None),
@@ -264,17 +256,25 @@ impl FrappeService {
     /// Bumps the known-generation, so every cached verdict is invalidated
     /// lazily — a new name can flip any app's collision feature.
     pub fn flag_name(&self, name: &str) -> bool {
-        let mut known = self.engine.known.write();
-        let novel = known.insert(name);
-        self.engine.known_generation.fetch_add(1, Ordering::Release);
-        novel
+        self.engine.known.insert(name)
+    }
+
+    /// Shared handle to the known-malicious name set the service scores
+    /// against. Batch extraction over the same corpus should read through
+    /// this handle (not a private copy), so a name flagged mid-stream
+    /// flips the collision feature identically on both paths — the
+    /// asymmetry `tests/serve_parity.rs` guards against.
+    pub fn known_names(&self) -> SharedKnownNames {
+        self.engine.known.clone()
     }
 
     /// Current feature row for one app, bypassing the scorer pool.
     /// This is the parity-test window into the incremental store.
     pub fn features(&self, app: AppId) -> Option<AppFeatures> {
-        let known = self.engine.known.read();
-        self.engine.store.snapshot(app, &known).map(|s| s.features)
+        self.engine
+            .known
+            .with(|known, _| self.engine.store.snapshot(app, known))
+            .map(|s| s.features)
     }
 
     /// Apps the store has evidence for, sorted.

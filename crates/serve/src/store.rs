@@ -3,15 +3,21 @@
 //! Per-app running aggregates, updated in O(1) per event, sharded N ways
 //! so ingest and query threads contend only when they touch the same
 //! shard. Each shard is a `parking_lot::RwLock<HashMap<AppId, AppState>>`;
-//! an app lives on shard `app.raw() % N` (app ids are dense, so the
-//! modulo spreads load evenly).
+//! an app's shard comes from `shard_index` (crate-private), a seeded
+//! FxHash-style mixer — deterministic across runs and processes
+//! (snapshot determinism), but
+//! unlike the old `app.raw() % N` rule it also spreads *clustered* id
+//! ranges (stride-allocated or partner-prefixed ids) evenly.
 //!
-//! The store's contract is *bit-for-bit batch parity*: a
-//! [`snapshot`](FeatureStore::snapshot) taken after ingesting a world's
-//! event stream equals what the offline pipeline computes from the same
-//! world — same integer counts, same `f64` division, same normalization.
-//! `tests/serve_parity.rs` enforces this for every app of a seeded
-//! scenario.
+//! All per-feature math lives in the
+//! [feature catalog](frappe::features::catalog): [`FeatureStore::apply`]
+//! converts each event into a [`frappe::FeatureDelta`] and folds it
+//! through [`frappe::FeatureState::apply`], and
+//! [`FeatureStore::snapshot`] reads the row back with
+//! [`frappe::FeatureState::snapshot`]. This file owns sharding, locking,
+//! and generations — nothing feature-specific. Batch parity is therefore
+//! structural: the offline extractors fold the *same* catalog updaters
+//! (see `tests/serve_parity.rs` and `tests/catalog_parity.rs`).
 //!
 //! Every mutation bumps the app's **generation**. Generations order
 //! evidence per app and drive the verdict cache: a verdict is valid only
@@ -20,9 +26,8 @@
 use std::collections::HashMap;
 
 use frappe::features::aggregation::KnownMaliciousNames;
-use frappe::{AggregationFeatures, AppFeatures, OnDemandFeatures};
+use frappe::{AppFeatures, FeatureState};
 use osn_types::ids::AppId;
-use osn_types::url::Url;
 use parking_lot::RwLock;
 use url_services::shortener::Shortener;
 
@@ -31,11 +36,7 @@ use crate::event::ServeEvent;
 /// Running per-app aggregates (one entry per app ever seen).
 #[derive(Debug, Clone, Default)]
 struct AppState {
-    name: String,
-    post_count: u64,
-    external_links: u64,
-    on_demand: OnDemandFeatures,
-    deleted: bool,
+    features: FeatureState,
     generation: u64,
 }
 
@@ -49,24 +50,28 @@ pub struct FeatureSnapshot {
     pub generation: u64,
 }
 
+/// Maps an app id onto one of `shards` shards.
+///
+/// A seeded FxHash-style round (rotate–xor–multiply with the FxHash
+/// 64-bit constant) followed by an xorshift-multiply finalizer, so high
+/// input bits reach the low output bits. Pure arithmetic on the id and a
+/// compile-time seed: the same app lands on the same shard in every run
+/// and every process, preserving snapshot determinism — no
+/// `RandomState`-style per-process seeding.
+pub(crate) fn shard_index(app: AppId, shards: usize) -> usize {
+    const SEED: u64 = 0x9E37_79B9_7F4A_7C15; // golden-ratio seed
+    const FX: u64 = 0x517C_C1B7_2722_0A95; // FxHash 64-bit multiplier
+    let mut h = (SEED.rotate_left(5) ^ app.raw()).wrapping_mul(FX);
+    h ^= h >> 32;
+    h = h.wrapping_mul(FX);
+    h ^= h >> 32;
+    (h % shards as u64) as usize
+}
+
 /// The sharded incremental feature store.
 #[derive(Debug)]
 pub struct FeatureStore {
     shards: Vec<RwLock<HashMap<AppId, AppState>>>,
-}
-
-/// Mirrors `extract_aggregation`'s internal/external decision exactly:
-/// shortened links are expanded first, unresolvable short links count as
-/// external (they leave facebook.com by construction).
-fn link_is_external(link: &Url, shortener: &Shortener) -> bool {
-    if link.is_shortened() {
-        match shortener.expand(link) {
-            Some(target) => !target.is_facebook(),
-            None => true,
-        }
-    } else {
-        !link.is_facebook()
-    }
 }
 
 impl FeatureStore {
@@ -87,35 +92,17 @@ impl FeatureStore {
     }
 
     fn shard_of(&self, app: AppId) -> &RwLock<HashMap<AppId, AppState>> {
-        &self.shards[(app.raw() as usize) % self.shards.len()]
+        &self.shards[shard_index(app, self.shards.len())]
     }
 
-    /// Applies one event; external-vs-internal link decisions go through
-    /// `shortener` at ingest time so queries never pay for expansion.
-    /// Returns the new generation of the touched app.
+    /// Applies one event by folding it through every catalog feature's
+    /// incremental updater; external-vs-internal link decisions go
+    /// through `shortener` at ingest time so queries never pay for
+    /// expansion. Returns the new generation of the touched app.
     pub fn apply(&self, event: &ServeEvent, shortener: &Shortener) -> u64 {
         let mut shard = self.shard_of(event.app()).write();
         let state = shard.entry(event.app()).or_default();
-        match event {
-            ServeEvent::Registered { name, .. } => {
-                state.name = name.clone();
-            }
-            ServeEvent::Post { link, .. } => {
-                state.post_count += 1;
-                if let Some(link) = link {
-                    if link_is_external(link, shortener) {
-                        state.external_links += 1;
-                    }
-                }
-            }
-            ServeEvent::OnDemand { features, .. } => {
-                state.on_demand = *features;
-            }
-            ServeEvent::Deleted { .. } => {
-                // tombstone: evidence (and the name) stays queryable
-                state.deleted = true;
-            }
-        }
+        state.features.apply(&event.as_delta(), shortener);
         state.generation += 1;
         state.generation
     }
@@ -131,10 +118,11 @@ impl FeatureStore {
         self.shard_of(app)
             .read()
             .get(&app)
-            .is_some_and(|s| s.deleted)
+            .is_some_and(|s| s.features.deleted)
     }
 
-    /// Derives the full FRAppE feature row for one app.
+    /// Derives the full FRAppE feature row for one app by running every
+    /// catalog feature's read over the accumulated [`FeatureState`].
     ///
     /// The name-collision feature is evaluated against `known` *now*, so
     /// growing the known-malicious set retroactively flips snapshots —
@@ -143,20 +131,8 @@ impl FeatureStore {
     pub fn snapshot(&self, app: AppId, known: &KnownMaliciousNames) -> Option<FeatureSnapshot> {
         let shard = self.shard_of(app).read();
         let state = shard.get(&app)?;
-        let external_link_ratio = if state.post_count == 0 {
-            None
-        } else {
-            Some(state.external_links as f64 / state.post_count as f64)
-        };
         Some(FeatureSnapshot {
-            features: AppFeatures {
-                app,
-                on_demand: state.on_demand,
-                aggregation: AggregationFeatures {
-                    name_matches_known_malicious: known.contains(&state.name),
-                    external_link_ratio,
-                },
-            },
+            features: state.features.snapshot(app, known),
             generation: state.generation,
         })
     }
@@ -188,8 +164,10 @@ mod tests {
     use super::*;
     use fb_platform::post::{Post, PostKind};
     use frappe::features::aggregation::extract_aggregation;
+    use frappe::OnDemandFeatures;
     use osn_types::ids::{PostId, UserId};
     use osn_types::time::SimTime;
+    use osn_types::url::Url;
 
     fn post(id: u64, app: AppId, link: Option<Url>) -> Post {
         Post {
@@ -277,6 +255,17 @@ mod tests {
             },
             &shortener,
         );
+        store.apply(
+            &ServeEvent::OnDemand {
+                app,
+                features: OnDemandFeatures {
+                    has_description: Some(false),
+                    permission_count: Some(1),
+                    ..Default::default()
+                },
+            },
+            &shortener,
+        );
         store.apply(&ServeEvent::Post { app, link: None }, &shortener);
         let before = store.generation_of(app).unwrap();
         store.apply(&ServeEvent::Deleted { app }, &shortener);
@@ -285,8 +274,12 @@ mod tests {
         let snap = store
             .snapshot(app, &KnownMaliciousNames::from_names(["gone soon"]))
             .unwrap();
+        // aggregation evidence survives deletion...
         assert!(snap.features.aggregation.name_matches_known_malicious);
         assert_eq!(snap.features.aggregation.external_link_ratio, Some(0.0));
+        // ...but the on-demand lanes go unobserved, matching what a fresh
+        // batch crawl of a deleted app would extract
+        assert_eq!(snap.features.on_demand, OnDemandFeatures::default());
     }
 
     #[test]
@@ -342,8 +335,64 @@ mod tests {
         }
         assert_eq!(store.len(), 40);
         assert_eq!(store.tracked_apps().len(), 40);
+        let mean = 40 / store.shard_count();
         for shard in &store.shards {
-            assert_eq!(shard.read().len(), 10, "dense ids balance perfectly");
+            let n = shard.read().len();
+            assert!(n > 0, "no shard may sit empty on dense ids");
+            assert!(
+                n <= 2 * mean,
+                "shard holds {n}, 2x-uniform bound is {}",
+                2 * mean
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_app_ids_stay_within_2x_of_uniform() {
+        // The pathological input for the old `app.raw() % N` rule: ids
+        // allocated on a stride that is a multiple of the shard count.
+        // Under modulo sharding every one of these lands on shard 0.
+        let shards = 16usize;
+        for (stride, offset) in [(16u64, 0u64), (64, 3), (1 << 20, 7)] {
+            let store = FeatureStore::new(shards);
+            let shortener = Shortener::bitly();
+            let n = 256u64;
+            for i in 0..n {
+                store.apply(
+                    &ServeEvent::Registered {
+                        app: AppId(offset + i * stride),
+                        name: format!("app {i}"),
+                    },
+                    &shortener,
+                );
+            }
+            let mean = n as usize / shards;
+            let mut occupied = 0;
+            for shard in &store.shards {
+                let got = shard.read().len();
+                assert!(
+                    got <= 2 * mean,
+                    "stride {stride}: shard occupancy {got} exceeds 2x uniform ({})",
+                    2 * mean
+                );
+                occupied += usize::from(got > 0);
+            }
+            assert!(
+                occupied > shards / 2,
+                "stride {stride}: only {occupied}/{shards} shards used"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_index_is_deterministic_and_in_range() {
+        for shards in [1usize, 4, 16, 31] {
+            for raw in [0u64, 1, 42, u64::MAX, 1 << 33] {
+                let a = shard_index(AppId(raw), shards);
+                let b = shard_index(AppId(raw), shards);
+                assert_eq!(a, b, "same app, same shard, every time");
+                assert!(a < shards);
+            }
         }
     }
 }

@@ -7,6 +7,13 @@
 //! The scaler is **fit on training data only** and then applied to test
 //! data — fitting on the combined set would leak test statistics into
 //! training (the cross-validation driver enforces this discipline).
+//!
+//! Lane order is owned by the caller: this crate is feature-agnostic and
+//! scales whatever columns it is handed, positionally. In this workspace
+//! the caller is `frappe`, whose encoder emits lanes in feature-catalog
+//! order (`frappe::catalog::CATALOG`), so lane *j* here is catalog entry
+//! *j* of the active `FeatureSet` — the same ordering the audit log and
+//! `FrappeModel::explain` report.
 
 use serde::{Deserialize, Serialize};
 

@@ -18,7 +18,7 @@
 //! * [`blacklist`] — URL/domain blacklists of the kind MyPageKeeper consults
 //!   before its own classifier runs.
 //! * [`socialbakers`] — the Social-Bakers-style community rating service
-//!   [19] the paper uses to vet its benign sample ("90% of which have a
+//!   \[19\] the paper uses to vet its benign sample ("90% of which have a
 //!   user rating of at least 3 out of 5").
 
 #![forbid(unsafe_code)]

@@ -1,6 +1,6 @@
 //! A Social-Bakers-style community app-rating service.
 //!
-//! The paper selects its benign sample using Social Bakers [19], "which
+//! The paper selects its benign sample using Social Bakers \[19\], "which
 //! monitors the 'social marketing success' of apps"; 90% of the selected
 //! apps had a community rating of at least 3 out of 5. This module
 //! reproduces that service: it aggregates publicly-observable engagement

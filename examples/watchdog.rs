@@ -12,7 +12,7 @@
 //! and prints a warning verdict with the per-feature evidence.
 
 use frappe::features::on_demand::{extract_on_demand, OnDemandInput};
-use frappe::{AppFeatures, FeatureId, FeatureSet, FrappeModel};
+use frappe::{AppFeatures, FeatureSet, FrappeModel};
 use osn_types::AppId;
 use synth_workload::scenario::ScenarioWorld;
 use synth_workload::{build_datasets, run_scenario, ScenarioConfig};
@@ -80,10 +80,10 @@ fn main() {
         let row = crawl_on_demand(&world, app);
         let score = model.decision_value(&row);
         println!("--- {app} ({name})");
-        for id in FeatureId::ON_DEMAND {
-            match id.raw_value(&row) {
-                Some(v) => println!("    {:<26} {v}", id.name()),
-                None => println!("    {:<26} <unavailable>", id.name()),
+        for def in frappe::catalog::on_demand() {
+            match def.raw_value(&row) {
+                Some(v) => println!("    {:<26} {v}", def.name),
+                None => println!("    {:<26} <unavailable>", def.name),
             }
         }
         if score >= 0.0 {

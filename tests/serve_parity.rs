@@ -145,6 +145,55 @@ fn online_verdicts_match_batch_predictions() {
 }
 
 #[test]
+fn mid_stream_flag_reaches_batch_through_the_shared_handle() {
+    // Regression for the known-names asymmetry: batch extraction used to
+    // need a manually mirrored copy of the name set (see the test below,
+    // kept as the legacy spelling). With `FrappeService::known_names`
+    // both paths observe the *same* state object, so a name inserted
+    // mid-stream flips the collision feature identically on both paths
+    // with no mirroring step anywhere.
+    let world = run_scenario(&ScenarioConfig::small());
+    let seed = known_names(&world);
+    let model = train_on_world(&world, &seed);
+    let service = service_from_world(&world, model, seed, ServeConfig::default());
+    let shared = service.known_names();
+
+    let fresh = world
+        .platform
+        .apps()
+        .find(|r| !shared.contains(r.name()))
+        .expect("some app name is not yet known-malicious");
+
+    // before the flag: both paths agree the name is clean
+    let before_online = service.features(fresh.id).unwrap();
+    let before_batch = shared.with(|known, _| batch_features(&world, fresh.id, known));
+    assert_eq!(before_online, before_batch);
+    assert!(!before_online.aggregation.name_matches_known_malicious);
+
+    let generation_before = shared.generation();
+    assert!(service.flag_name(fresh.name()));
+    assert_eq!(shared.generation(), generation_before + 1);
+
+    // after: the one insert is visible to both paths — nothing was copied
+    for record in world.platform.apps() {
+        let online = service.features(record.id).unwrap();
+        let batch = shared.with(|known, _| batch_features(&world, record.id, known));
+        assert_eq!(
+            online, batch,
+            "post-flag feature drift for app {:?}",
+            record.id
+        );
+    }
+    assert!(
+        service
+            .features(fresh.id)
+            .unwrap()
+            .aggregation
+            .name_matches_known_malicious
+    );
+}
+
+#[test]
 fn flagging_a_name_online_matches_batch_with_the_grown_set() {
     let world = run_scenario(&ScenarioConfig::small());
     let mut known = known_names(&world);

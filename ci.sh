@@ -21,6 +21,16 @@ cargo test -q -p frappe-serve --test catalog_parity
 echo "==> cargo build -p frappe-obs --no-default-features (instrumentation off)"
 cargo build -p frappe-obs --no-default-features
 
+echo "==> determinism suite under FRAPPE_JOBS=1 and FRAPPE_JOBS=8"
+# The frappe-jobs contract: bit-identical results at any thread count.
+# Run the suite at both extremes of the env override so the serial path
+# and the full fan-out are both exercised end to end.
+FRAPPE_JOBS=1 cargo test -q -p frappe --test determinism
+FRAPPE_JOBS=8 cargo test -q -p frappe --test determinism
+
+echo "==> training bench, quick mode (serial vs parallel, BENCH_training.json)"
+cargo run --release -p frappe-bench --bin repro -- --small --bench-out BENCH_training.json
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -40,5 +40,32 @@ fn bench_classify(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scenario, bench_classify);
+/// Batch feature extraction, serial vs parallel, over every observed app
+/// in the small world — the `frappe::extract_batch` fan-out the lab and
+/// `repro` use.
+fn bench_batch_extraction(c: &mut Criterion) {
+    let lab = Lab::small();
+    let known = lab.known_malicious_names();
+    let apps: Vec<osn_types::AppId> = lab.bundle.d_total.clone();
+    let mut group = c.benchmark_group("feature_extraction_batch");
+    group.sample_size(10);
+    for threads in [1usize, 8] {
+        let pool = frappe_jobs::JobPool::with_threads(threads);
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                frappe::extract_batch_with(&pool, &apps, |&a| {
+                    lab.features_of(a, Archive::Extended, &known)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scenario,
+    bench_classify,
+    bench_batch_extraction
+);
 criterion_main!(benches);

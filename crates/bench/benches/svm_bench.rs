@@ -2,9 +2,11 @@
 //! dataset sizes the paper's cross-validation operates on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frappe_jobs::JobPool;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use svm::{train, Dataset, Kernel, SvmParams};
+use svm::smo::train_with_stats;
+use svm::{grid_search_on, train, Dataset, Kernel, SvmParams};
 
 /// Paper-shaped, 7-dimensional, noisily-separable data.
 fn synth(n: usize, seed: u64) -> Dataset {
@@ -50,5 +52,51 @@ fn bench_prediction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_training, bench_prediction);
+/// Serial vs parallel `(C, γ)` grid search — the tentpole speedup. The
+/// thread counts bracket the determinism suite's {1, 8}; on a single-core
+/// runner the two collapse to the same wall-clock by design.
+fn bench_grid_search(c: &mut Criterion) {
+    let data = synth(150, 45);
+    let cs = [0.5, 1.0, 2.0];
+    let gammas = [0.1, 0.2, 0.4];
+    let mut group = c.benchmark_group("grid_search_3x3x3fold");
+    group.sample_size(10);
+    for threads in [1usize, 8] {
+        let pool = JobPool::with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &pool, |b, pool| {
+            b.iter(|| grid_search_on(pool, &data, &cs, &gammas, 3, 7));
+        });
+    }
+    group.finish();
+}
+
+/// SMO iteration throughput — what the allocation-free row-cache hot loop
+/// buys. Criterion reports wall-clock per solve; divide by the printed
+/// iteration count for iterations/sec.
+fn bench_smo_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smo_iterations");
+    group.sample_size(10);
+    for &n in &[500usize, 1000] {
+        let data = synth(n, 46);
+        let params = SvmParams::paper_defaults(7);
+        let (_, stats) = train_with_stats(&data, &params);
+        println!(
+            "smo_iterations/{n}: {} iterations per solve \
+             (cache {} hits / {} misses / {} evictions)",
+            stats.iterations, stats.cache.hits, stats.cache.misses, stats.cache.evictions
+        );
+        group.bench_with_input(BenchmarkId::new("solve", n), &data, |b, data| {
+            b.iter(|| train_with_stats(data, &params));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_training,
+    bench_prediction,
+    bench_grid_search,
+    bench_smo_iterations
+);
 criterion_main!(benches);

@@ -25,75 +25,85 @@ pub fn ablation_noise(lab: &Lab) -> ExpResult {
         "{:<24} {:>8} {:>10} {:>8} {:>8}",
         "oracle calibration", "labelled", "truth-acc", "FP", "FN"
     )];
-    let mut rows = Vec::new();
-    for (tag, detect, false_flag) in [
+    // Each calibration runs its own scenario + training + scoring from its
+    // own seed — fully independent, so the sweep fans out on the jobs pool
+    // and reassembles in calibration order.
+    let calibrations = [
         ("perfect (1.0 / 0)", 1.0, 0.0),
         ("paper (0.95 / 5e-5)", 0.95, 0.00005),
         ("degraded (0.75 / 1e-3)", 0.75, 0.001),
         ("poor (0.55 / 5e-3)", 0.55, 0.005),
-    ] {
-        let mut config = ScenarioConfig::small();
-        config.seed = lab.world.config.seed ^ 0xA015E;
-        config.mpk_detect_prob = detect;
-        config.mpk_false_flag_prob = false_flag;
-        let world = run_scenario(&config);
-        let bundle = build_datasets(&world);
-        let ab_lab = Lab::rebuild_indices(Lab {
-            world,
-            bundle,
-            posts_by_app: Default::default(),
-        });
-        let (samples, labels) = ab_lab.labelled_features(
-            &ab_lab.bundle.d_sample.malicious,
-            &ab_lab.bundle.d_sample.benign,
-            Archive::Extended,
-        );
-        let model = frappe::FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
-
-        // Score against truth on everything observed but unlabelled.
-        let in_sample: std::collections::HashSet<_> = ab_lab
-            .bundle
-            .d_sample
-            .malicious
-            .iter()
-            .chain(&ab_lab.bundle.d_sample.benign)
-            .copied()
-            .collect();
-        let known = ab_lab.known_malicious_names();
-        let mut cm = svm::ConfusionMatrix::default();
-        for &app in &ab_lab.bundle.d_total {
-            if in_sample.contains(&app) {
-                continue;
-            }
-            let has_summary = ab_lab
-                .crawl_of(app, Archive::Extended)
-                .is_some_and(|c| c.summary.is_some());
-            if !has_summary {
-                continue;
-            }
-            let row = ab_lab.features_of(app, Archive::Extended, &known);
-            let predicted = model.predict(&row);
-            let truth = ab_lab.world.truth.malicious.contains(&app);
-            cm.record(
-                if truth { 1.0 } else { -1.0 },
-                if predicted { 1.0 } else { -1.0 },
+    ];
+    let per_calibration =
+        frappe_jobs::par_map_indexed(&calibrations, |_, &(tag, detect, false_flag)| {
+            let mut config = ScenarioConfig::small();
+            config.seed = lab.world.config.seed ^ 0xA015E;
+            config.mpk_detect_prob = detect;
+            config.mpk_false_flag_prob = false_flag;
+            let world = run_scenario(&config);
+            let bundle = build_datasets(&world);
+            let ab_lab = Lab::rebuild_indices(Lab {
+                world,
+                bundle,
+                posts_by_app: Default::default(),
+            });
+            let (samples, labels) = ab_lab.labelled_features(
+                &ab_lab.bundle.d_sample.malicious,
+                &ab_lab.bundle.d_sample.benign,
+                Archive::Extended,
             );
-        }
-        lines.push(format!(
-            "{tag:<24} {:>8} {:>10} {:>8} {:>8}",
-            samples.len(),
-            pct(cm.accuracy()),
-            pct(cm.false_positive_rate()),
-            pct(cm.false_negative_rate())
-        ));
-        rows.push(json!({
-            "detect_prob": detect,
-            "false_flag_prob": false_flag,
-            "labelled_sample": samples.len(),
-            "truth_accuracy": cm.accuracy(),
-            "fp_rate": cm.false_positive_rate(),
-            "fn_rate": cm.false_negative_rate(),
-        }));
+            let model = frappe::FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
+
+            // Score against truth on everything observed but unlabelled.
+            let in_sample: std::collections::HashSet<_> = ab_lab
+                .bundle
+                .d_sample
+                .malicious
+                .iter()
+                .chain(&ab_lab.bundle.d_sample.benign)
+                .copied()
+                .collect();
+            let known = ab_lab.known_malicious_names();
+            let mut cm = svm::ConfusionMatrix::default();
+            for &app in &ab_lab.bundle.d_total {
+                if in_sample.contains(&app) {
+                    continue;
+                }
+                let has_summary = ab_lab
+                    .crawl_of(app, Archive::Extended)
+                    .is_some_and(|c| c.summary.is_some());
+                if !has_summary {
+                    continue;
+                }
+                let row = ab_lab.features_of(app, Archive::Extended, &known);
+                let predicted = model.predict(&row);
+                let truth = ab_lab.world.truth.malicious.contains(&app);
+                cm.record(
+                    if truth { 1.0 } else { -1.0 },
+                    if predicted { 1.0 } else { -1.0 },
+                );
+            }
+            let line = format!(
+                "{tag:<24} {:>8} {:>10} {:>8} {:>8}",
+                samples.len(),
+                pct(cm.accuracy()),
+                pct(cm.false_positive_rate()),
+                pct(cm.false_negative_rate())
+            );
+            let row = json!({
+                "detect_prob": detect,
+                "false_flag_prob": false_flag,
+                "labelled_sample": samples.len(),
+                "truth_accuracy": cm.accuracy(),
+                "fp_rate": cm.false_positive_rate(),
+                "fn_rate": cm.false_negative_rate(),
+            });
+            (line, row)
+        });
+    let mut rows = Vec::new();
+    for (line, row) in per_calibration {
+        lines.push(line);
+        rows.push(row);
     }
     ExpResult {
         id: "ablation-noise",
@@ -132,28 +142,35 @@ pub fn ablation_kernel(lab: &Lab) -> ExpResult {
         "{:<16} {:>10} {:>8} {:>8}",
         "kernel", "accuracy", "FP", "FN"
     )];
-    let mut rows = Vec::new();
-    for (tag, kernel) in kernels {
-        let imputation = frappe::Imputation::fit_medians(&samples);
-        let xs: Vec<Vec<f64>> = samples
-            .iter()
-            .map(|s| imputation.encode(FeatureSet::Full, s))
-            .collect();
-        let ys: Vec<f64> = labels.iter().map(|&m| if m { 1.0 } else { -1.0 }).collect();
-        let data = svm::Dataset::new(xs, ys).expect("encoded rows are valid");
+    // Imputation + encoding don't depend on the kernel: fit and encode
+    // once, then sweep the kernels in parallel against the shared dataset.
+    let imputation = frappe::Imputation::fit_medians(&samples);
+    let xs: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|s| imputation.encode(FeatureSet::Full, s))
+        .collect();
+    let ys: Vec<f64> = labels.iter().map(|&m| if m { 1.0 } else { -1.0 }).collect();
+    let data = svm::Dataset::new(xs, ys).expect("encoded rows are valid");
+    let per_kernel = frappe_jobs::par_map_indexed(&kernels, |_, &(tag, kernel)| {
         let report = svm::cross_validate(&data, &SvmParams::with_kernel(kernel), 5, CV_SEED);
-        lines.push(format!(
+        let line = format!(
             "{tag:<16} {:>10} {:>8} {:>8}",
             pct(report.accuracy()),
             pct(report.false_positive_rate()),
             pct(report.false_negative_rate())
-        ));
-        rows.push(json!({
+        );
+        let row = json!({
             "kernel": tag,
             "accuracy": report.accuracy(),
             "fp_rate": report.false_positive_rate(),
             "fn_rate": report.false_negative_rate(),
-        }));
+        });
+        (line, row)
+    });
+    let mut rows = Vec::new();
+    for (line, row) in per_kernel {
+        lines.push(line);
+        rows.push(row);
     }
     ExpResult {
         id: "ablation-kernel",
@@ -188,36 +205,46 @@ pub fn ablation_evasion(lab: &Lab) -> ExpResult {
         "{:<28} {:>12} {:>12}",
         "feature set", "baseline", "evading hackers"
     )];
+    // Flatten the (feature set × world config) nesting into four
+    // independent world-build + CV tasks sharing one fan-out; results
+    // come back in combo order, so the per-set pairing below is stable.
+    let combos: Vec<(FeatureSet, &ScenarioConfig)> = [FeatureSet::Obfuscatable, FeatureSet::Robust]
+        .iter()
+        .flat_map(|&set| [(set, &baseline_cfg), (set, &evading)])
+        .collect();
+    let accuracies = frappe_jobs::par_map_indexed(&combos, |_, &(set, cfg)| {
+        let world = run_scenario(cfg);
+        let bundle = build_datasets(&world);
+        let ab_lab = Lab::rebuild_indices(Lab {
+            world,
+            bundle,
+            posts_by_app: Default::default(),
+        });
+        let (all_samples, all_labels) = ab_lab.labelled_features(
+            &ab_lab.bundle.d_sample.malicious,
+            &ab_lab.bundle.d_sample.benign,
+            Archive::Extended,
+        );
+        // Compare both feature sets on the same apps: those whose
+        // permission crawl succeeded (the robust features live there).
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        for (s, &l) in all_samples.iter().zip(&all_labels) {
+            if s.on_demand.permission_count.is_some() {
+                samples.push(*s);
+                labels.push(l);
+            }
+        }
+        let report = cross_validate_frappe(&samples, &labels, set, None, 5, CV_SEED);
+        report.accuracy()
+    });
     let mut rows = Vec::new();
     let mut measured: Vec<(String, f64, f64)> = Vec::new();
-    for set in [FeatureSet::Obfuscatable, FeatureSet::Robust] {
-        let mut accs = Vec::new();
-        for cfg in [&baseline_cfg, &evading] {
-            let world = run_scenario(cfg);
-            let bundle = build_datasets(&world);
-            let ab_lab = Lab::rebuild_indices(Lab {
-                world,
-                bundle,
-                posts_by_app: Default::default(),
-            });
-            let (all_samples, all_labels) = ab_lab.labelled_features(
-                &ab_lab.bundle.d_sample.malicious,
-                &ab_lab.bundle.d_sample.benign,
-                Archive::Extended,
-            );
-            // Compare both feature sets on the same apps: those whose
-            // permission crawl succeeded (the robust features live there).
-            let mut samples = Vec::new();
-            let mut labels = Vec::new();
-            for (s, &l) in all_samples.iter().zip(&all_labels) {
-                if s.on_demand.permission_count.is_some() {
-                    samples.push(*s);
-                    labels.push(l);
-                }
-            }
-            let report = cross_validate_frappe(&samples, &labels, set, None, 5, CV_SEED);
-            accs.push(report.accuracy());
-        }
+    for (i, set) in [FeatureSet::Obfuscatable, FeatureSet::Robust]
+        .iter()
+        .enumerate()
+    {
+        let (baseline, evaded) = (accuracies[2 * i], accuracies[2 * i + 1]);
         let tag = match set {
             FeatureSet::Obfuscatable => "obfuscatable (summary+feed)",
             FeatureSet::Robust => "robust subset (3)",
@@ -225,11 +252,11 @@ pub fn ablation_evasion(lab: &Lab) -> ExpResult {
         };
         lines.push(format!(
             "{tag:<28} {:>12} {:>12}",
-            pct(accs[0]),
-            pct(accs[1])
+            pct(baseline),
+            pct(evaded)
         ));
-        measured.push((tag.to_string(), accs[0], accs[1]));
-        rows.push(json!({"set": tag, "baseline": accs[0], "evading": accs[1]}));
+        measured.push((tag.to_string(), baseline, evaded));
+        rows.push(json!({"set": tag, "baseline": baseline, "evading": evaded}));
     }
     let lite_drop = measured[0].1 - measured[0].2;
     let robust_drop = measured[1].1 - measured[1].2;

@@ -85,20 +85,31 @@ pub fn table5(lab: &Lab) -> ExpResult {
     let mut rows = Vec::new();
     let pos = labels.iter().filter(|&&l| l).count();
     let neg = labels.len() - pos;
-    for ratio in [1usize, 4, 7, 10] {
+    // Each ratio is an independent CV run: fan the sweep out on the jobs
+    // pool; results come back in ratio order, so the rendered table is
+    // identical to the serial loop's.
+    let ratios = [1usize, 4, 7, 10];
+    let per_ratio = frappe_jobs::par_map_indexed(&ratios, |_, &ratio| {
         // Subsampling at high ratios can exhaust a class on small worlds;
         // a stratified 5-fold CV needs at least 5 examples per class.
         let sampled_pos = pos.min(neg / ratio);
         if sampled_pos < 5 {
-            lines.push(format!(
+            let line = format!(
                 "{ratio}:1         (skipped: only {sampled_pos} malicious apps at this ratio)"
-            ));
-            continue;
+            );
+            return (line, None);
         }
         let report =
             cross_validate_frappe(&samples, &labels, FeatureSet::Lite, Some(ratio), 5, CV_SEED);
-        lines.push(cv_line(&format!("{ratio}:1"), &report));
-        rows.push(json!({"ratio": ratio, "report": cv_json(&report)}));
+        let line = cv_line(&format!("{ratio}:1"), &report);
+        (
+            line,
+            Some(json!({"ratio": ratio, "report": cv_json(&report)})),
+        )
+    });
+    for (line, row) in per_ratio {
+        lines.push(line);
+        rows.extend(row);
     }
     ExpResult {
         id: "table5",
@@ -118,9 +129,10 @@ pub fn table6(lab: &Lab) -> ExpResult {
         &lab.bundle.d_complete.benign,
         Archive::CrawlPhase,
     );
-    let mut lines = Vec::new();
-    let mut rows = Vec::new();
-    for def in frappe::catalog::on_demand() {
+    // One independent single-feature CV run per Table 4 feature: sweep
+    // them on the jobs pool, reassembled in catalog order.
+    let defs: Vec<&frappe::FeatureDef> = frappe::catalog::on_demand().collect();
+    let per_feature = frappe_jobs::par_map_indexed(&defs, |_, def| {
         let id = def.id;
         // The paper's single-feature numbers (e.g. permission count:
         // 73.3% accuracy, 49.3% FP) are only reachable at a balanced
@@ -134,9 +146,11 @@ pub fn table6(lab: &Lab) -> ExpResult {
             5,
             CV_SEED,
         );
-        lines.push(cv_line(id.name(), &report));
-        rows.push(json!({"feature": id.name(), "report": cv_json(&report)}));
-    }
+        let line = cv_line(id.name(), &report);
+        let row = json!({"feature": id.name(), "report": cv_json(&report)});
+        (line, row)
+    });
+    let (lines, rows): (Vec<String>, Vec<serde_json::Value>) = per_feature.into_iter().unzip();
     ExpResult {
         id: "table6",
         title: "Table 6: classification accuracy with individual features".into(),

@@ -177,16 +177,16 @@ impl Lab {
         }
     }
 
-    /// Extracts feature rows for a list of apps.
+    /// Extracts feature rows for a list of apps, in parallel on the
+    /// `FRAPPE_JOBS`-sized pool (order-preserving; see
+    /// [`frappe::extract_batch`]).
     pub fn features_for(
         &self,
         apps: &[AppId],
         archive: Archive,
         known: &KnownMaliciousNames,
     ) -> Vec<AppFeatures> {
-        apps.iter()
-            .map(|&a| self.features_of(a, archive, known))
-            .collect()
+        frappe::extract_batch(apps, |&a| self.features_of(a, archive, known))
     }
 
     /// Feature rows + boolean labels for the labelled split of a dataset
@@ -262,6 +262,33 @@ mod tests {
             / ben.len() as f64;
         assert!(mal_desc < 0.2, "malicious description rate {mal_desc}");
         assert!(ben_desc > 0.7, "benign description rate {ben_desc}");
+    }
+
+    #[test]
+    fn features_for_parallel_matches_serial() {
+        let lab = Lab::small();
+        let known = lab.known_malicious_names();
+        let apps: Vec<AppId> = lab
+            .bundle
+            .d_complete
+            .malicious
+            .iter()
+            .chain(&lab.bundle.d_complete.benign)
+            .copied()
+            .collect();
+        let serial: Vec<AppFeatures> = apps
+            .iter()
+            .map(|&a| lab.features_of(a, Archive::CrawlPhase, &known))
+            .collect();
+        for threads in [1, 2, 8] {
+            let pool = frappe_jobs::JobPool::with_threads(threads);
+            let parallel = frappe::extract_batch_with(&pool, &apps, |&a| {
+                lab.features_of(a, Archive::CrawlPhase, &known)
+            });
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+        // the public entry point matches too (env-sized pool)
+        assert_eq!(lab.features_for(&apps, Archive::CrawlPhase, &known), serial);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 pub mod experiments;
 pub mod lab;
 pub mod render;
+pub mod trainbench;
 
 pub use experiments::{registry, ExpResult};
 pub use lab::Lab;
+pub use trainbench::TrainingBenchReport;

@@ -130,12 +130,19 @@ impl FrappeModel {
     }
 
     /// Classifies a batch, returning the apps flagged malicious.
+    ///
+    /// Candidates are scored in parallel on the `FRAPPE_JOBS`-sized pool;
+    /// each verdict is a pure function of one row, and the flagged set is
+    /// assembled in candidate order before sorting, so the result is
+    /// identical at any thread count.
     pub fn flag_malicious(&self, candidates: &[AppFeatures]) -> Vec<AppId> {
         let _span = frappe_obs::span("classify/batch");
+        let verdicts = frappe_jobs::par_map_indexed(candidates, |_, f| self.predict(f));
         let mut flagged: Vec<AppId> = candidates
             .iter()
-            .filter(|f| self.predict(f))
-            .map(|f| f.app)
+            .zip(verdicts)
+            .filter(|&(_, malicious)| malicious)
+            .map(|(f, _)| f.app)
             .collect();
         flagged.sort_unstable();
         flagged

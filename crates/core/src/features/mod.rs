@@ -14,8 +14,12 @@
 //! * [`vectorize`] — feature-set selection (Lite / Full / Robust / single
 //!   feature), missing-lane imputation, and the numeric encoding fed to
 //!   the SVM, with membership/ordering/encode rules taken from the catalog.
+//! * [`batch`] — order-preserving parallel extraction over many apps on a
+//!   `frappe-jobs` pool (rows are independent pure functions of their
+//!   inputs, so the result is bit-identical at any thread count).
 
 pub mod aggregation;
+pub mod batch;
 pub mod catalog;
 pub mod on_demand;
 pub mod vectorize;

@@ -83,6 +83,7 @@ pub mod validation;
 
 pub use classifier::{cross_validate_frappe, Explanation, FrappeModel};
 pub use features::aggregation::{extract_aggregation, AggregationFeatures};
+pub use features::batch::{extract_batch, extract_batch_with};
 pub use features::catalog::{
     self, BatchCtx, FeatureDef, FeatureDelta, FeatureFamily, FeatureState, Robustness,
     SharedKnownNames, CATALOG,

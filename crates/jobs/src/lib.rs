@@ -1,0 +1,282 @@
+//! # frappe-jobs — deterministic parallel compute for the training pipeline
+//!
+//! The offline half of this repository (SMO training, k-fold
+//! cross-validation, `(C, γ)` grid search, batch feature extraction, the
+//! per-ratio experiment sweeps) decomposes into **seed-isolated tasks**:
+//! every (grid point, fold) pair, every feature row, every sweep entry is a
+//! pure function of its inputs, sharing nothing mutable with its siblings.
+//! This crate exploits that with one tiny primitive, [`JobPool::run`]: an
+//! *ordered fan-out/fan-in* over a scoped worker pool.
+//!
+//! ## Determinism contract
+//!
+//! `pool.run(n, f)` returns exactly `(0..n).map(f).collect()` — **bit for
+//! bit, for any thread count**. Workers claim task indices from an atomic
+//! cursor (so scheduling is racy), but every result is delivered tagged
+//! with its index over a crossbeam fan-in channel and written into its
+//! ordered slot; reduction order on the caller side is therefore always
+//! index order, independent of completion order. Nothing about the task
+//! decomposition is allowed to depend on which thread ran a task — the
+//! determinism suite (`tests/determinism.rs`) enforces this for grid
+//! search, cross-validation and batch extraction at thread counts
+//! {1, 2, 8}.
+//!
+//! ## Nested parallelism policy
+//!
+//! Call sites do not coordinate: `grid_search` fans out over points ×
+//! folds while an experiment sweep may already have fanned out over
+//! ratios. To keep the machine from oversubscribing, a `run` invoked
+//! *from inside a worker* executes inline on that worker thread (tracked
+//! by a thread-local flag). Only the outermost level fans out, so the
+//! total thread count is bounded by one pool regardless of nesting depth.
+//! Hot nested loops that want parallelism at the *inner* level (grid
+//! search) flatten their nesting into a single task list instead.
+//!
+//! ## Sizing
+//!
+//! [`JobPool::from_env`] honours the `FRAPPE_JOBS` environment variable
+//! (a positive thread count) and otherwise uses
+//! `std::thread::available_parallelism()`. `FRAPPE_JOBS=1` forces the
+//! serial path everywhere — CI runs the determinism suite under both
+//! `FRAPPE_JOBS=1` and `FRAPPE_JOBS=8` to pin the contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Set while the current thread is executing tasks for some pool;
+    /// nested `run` calls go inline instead of spawning a second level.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Name of the thread-count override environment variable.
+pub const ENV_THREADS: &str = "FRAPPE_JOBS";
+
+/// A sizing handle for scoped parallel execution.
+///
+/// The pool is cheap to construct and holds no threads while idle: each
+/// [`run`](JobPool::run) spawns scoped workers, joins them before
+/// returning, and the calling thread itself works the task list (so
+/// `threads == 1` never spawns at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobPool {
+    threads: usize,
+}
+
+impl JobPool {
+    /// A pool with an explicit thread count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        JobPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized from `FRAPPE_JOBS`, falling back to the machine's
+    /// available parallelism. Invalid or non-positive values of the
+    /// variable are ignored.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(ENV_THREADS)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+        JobPool { threads }
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0), f(1), …, f(tasks - 1)` across the pool and returns the
+    /// results **in index order** — bit-identical to the serial
+    /// `(0..tasks).map(f).collect()` for any thread count.
+    ///
+    /// Runs inline (no spawning) when the pool has one thread, when there
+    /// is at most one task, or when called from inside another `run`
+    /// (see the crate docs on nested parallelism).
+    ///
+    /// # Panics
+    /// Propagates the first panic raised by `f` after joining workers.
+    pub fn run<R, F>(&self, tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let registry = frappe_obs::Registry::global();
+        registry.counter("jobs_runs").inc();
+        registry.counter("jobs_tasks").add(tasks as u64);
+        let workers = self.threads.min(tasks);
+        if workers <= 1 || IN_WORKER.with(Cell::get) {
+            registry.counter("jobs_inline_runs").inc();
+            return (0..tasks).map(f).collect();
+        }
+        let _span = frappe_obs::span("jobs/fan_out");
+        registry.counter("jobs_fan_outs").inc();
+
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+        let work = |tx: crossbeam::channel::Sender<(usize, R)>| {
+            let was_worker = IN_WORKER.with(|w| w.replace(true));
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            }
+            IN_WORKER.with(|w| w.set(was_worker));
+        };
+
+        std::thread::scope(|scope| {
+            let work = &work;
+            // workers 1..N are spawned; the calling thread is worker 0
+            for _ in 1..workers {
+                let tx = tx.clone();
+                scope.spawn(move || work(tx));
+            }
+            work(tx);
+        });
+        // the scope joined every worker and all senders are dropped, so
+        // the channel now holds exactly one result per task
+        let mut slots: Vec<Option<R>> = (0..tasks).map(|_| None).collect();
+        for (i, result) in rx.try_iter() {
+            debug_assert!(slots[i].is_none(), "task {i} produced twice");
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every task index was claimed exactly once"))
+            .collect()
+    }
+
+    /// Maps `f` over a slice with the item index, preserving order:
+    /// equivalent to `items.iter().enumerate().map(|(i, x)| f(i, x))`.
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run(items.len(), |i| f(i, &items[i]))
+    }
+}
+
+impl Default for JobPool {
+    fn default() -> Self {
+        JobPool::from_env()
+    }
+}
+
+/// Convenience: [`JobPool::par_map_indexed`] on the env-sized pool.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    JobPool::from_env().par_map_indexed(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_index_order_for_all_thread_counts() {
+        let serial: Vec<u64> = (0..97u64).map(|i| i * i + 3).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = JobPool::with_threads(threads);
+            let got = pool.run(97, |i| (i as u64) * (i as u64) + 3);
+            assert_eq!(got, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let pool = JobPool::with_threads(8);
+        let out = pool.run(1000, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn par_map_indexed_matches_serial_enumerate() {
+        let items: Vec<String> = (0..40).map(|i| format!("app-{i}")).collect();
+        let serial: Vec<String> = items
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{i}:{s}"))
+            .collect();
+        let got = JobPool::with_threads(4).par_map_indexed(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, serial);
+    }
+
+    #[test]
+    fn nested_runs_execute_inline_without_oversubscription() {
+        // outer fan-out × inner run: the inner level must not spawn, and
+        // results must still be exactly the serial composition
+        let pool = JobPool::with_threads(4);
+        let got = pool.run(6, |outer| {
+            let inner = JobPool::with_threads(4).run(5, move |i| outer * 10 + i);
+            inner.iter().sum::<usize>()
+        });
+        let want: Vec<usize> = (0..6)
+            .map(|outer| (0..5).map(|i| outer * 10 + i).sum())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zero_and_one_task_edge_cases() {
+        let pool = JobPool::with_threads(8);
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(JobPool::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn env_override_controls_sizing() {
+        // `set_var` is safe in edition 2021; the determinism contract makes
+        // a concurrent reader harmless (any thread count, same results).
+        std::env::set_var(ENV_THREADS, "3");
+        assert_eq!(JobPool::from_env().threads(), 3);
+        std::env::set_var(ENV_THREADS, "not-a-number");
+        assert!(JobPool::from_env().threads() >= 1);
+        std::env::set_var(ENV_THREADS, "0");
+        assert!(JobPool::from_env().threads() >= 1);
+        std::env::remove_var(ENV_THREADS);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        // The panic surfaces either with the task's own message (caller
+        // thread hit it) or as std's "a scoped thread panicked" (spawned
+        // worker hit it) — which one is a scheduling race, so we only
+        // assert that `run` does not swallow it.
+        let pool = JobPool::with_threads(2);
+        let _ = pool.run(8, |i| {
+            if i == 5 {
+                panic!("task panic propagates");
+            }
+            i
+        });
+    }
+}

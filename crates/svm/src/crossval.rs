@@ -7,6 +7,7 @@
 //! still leave positives in every fold, and we fit the feature scaler on
 //! the training folds only.
 
+use frappe_jobs::JobPool;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -44,7 +45,7 @@ impl CrossValReport {
 }
 
 /// Builds stratified fold assignments: returns `fold_of[i]` for each example.
-fn stratified_folds(data: &Dataset, k: usize, seed: u64) -> Vec<usize> {
+pub(crate) fn stratified_folds(data: &Dataset, k: usize, seed: u64) -> Vec<usize> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut fold_of = vec![0usize; data.len()];
     for class_indices in [data.positive_indices(), data.negative_indices()] {
@@ -57,13 +58,9 @@ fn stratified_folds(data: &Dataset, k: usize, seed: u64) -> Vec<usize> {
     fold_of
 }
 
-/// Runs stratified k-fold cross-validation, scaling features inside each
-/// fold (fit on train, apply to test).
-///
-/// # Panics
-/// Panics if `k < 2`, if the dataset is empty, or if either class has fewer
-/// than `k` examples (a fold would otherwise train on a single class).
-pub fn cross_validate(data: &Dataset, params: &SvmParams, k: usize, seed: u64) -> CrossValReport {
+/// Shared precondition checks for [`cross_validate`] and
+/// [`grid_search`](crate::grid::grid_search).
+pub(crate) fn check_cv_preconditions(data: &Dataset, k: usize) {
     assert!(k >= 2, "cross-validation needs at least 2 folds");
     assert!(!data.is_empty(), "cannot cross-validate an empty dataset");
     let (pos, neg) = data.class_counts();
@@ -71,32 +68,70 @@ pub fn cross_validate(data: &Dataset, params: &SvmParams, k: usize, seed: u64) -
         pos >= k && neg >= k,
         "need at least k examples of each class (have {pos} positive, {neg} negative, k = {k})"
     );
+}
 
-    let fold_of = stratified_folds(data, k, seed);
-    let mut total = ConfusionMatrix::default();
-    let mut folds = Vec::with_capacity(k);
+/// One independent cross-validation task: trains on every fold but `fold`
+/// (scaler fitted on the training folds only) and scores the held-out
+/// fold. Pure in `(data, params, fold_of, fold)` — the unit of
+/// parallelism for both [`cross_validate`] and grid search.
+pub(crate) fn cv_fold(
+    data: &Dataset,
+    params: &SvmParams,
+    fold_of: &[usize],
+    fold: usize,
+) -> ConfusionMatrix {
+    let train_idx: Vec<usize> = (0..data.len()).filter(|&i| fold_of[i] != fold).collect();
+    let test_idx: Vec<usize> = (0..data.len()).filter(|&i| fold_of[i] == fold).collect();
 
-    for fold in 0..k {
-        let train_idx: Vec<usize> = (0..data.len()).filter(|&i| fold_of[i] != fold).collect();
-        let test_idx: Vec<usize> = (0..data.len()).filter(|&i| fold_of[i] == fold).collect();
+    let train_set = data.subset(&train_idx);
+    let test_set = data.subset(&test_idx);
 
-        let train_set = data.subset(&train_idx);
-        let test_set = data.subset(&test_idx);
+    let scaler = Scaler::fit(&train_set);
+    let train_scaled = scaler.transform_dataset(&train_set);
+    let model = train(&train_scaled, params);
 
-        let scaler = Scaler::fit(&train_set);
-        let train_scaled = scaler.transform_dataset(&train_set);
-        let model = train(&train_scaled, params);
-
-        let mut fold_cm = ConfusionMatrix::default();
-        for i in 0..test_set.len() {
-            let (x, y) = test_set.example(i);
-            let pred = model.predict(&scaler.transform(x));
-            fold_cm.record(y, pred);
-        }
-        total += fold_cm;
-        folds.push(fold_cm);
+    let mut fold_cm = ConfusionMatrix::default();
+    for i in 0..test_set.len() {
+        let (x, y) = test_set.example(i);
+        let pred = model.predict(&scaler.transform(x));
+        fold_cm.record(y, pred);
     }
+    fold_cm
+}
 
+/// Runs stratified k-fold cross-validation, scaling features inside each
+/// fold (fit on train, apply to test). Folds are evaluated in parallel on
+/// the `FRAPPE_JOBS`-sized pool; see [`cross_validate_on`] for the
+/// determinism contract.
+///
+/// # Panics
+/// Panics if `k < 2`, if the dataset is empty, or if either class has fewer
+/// than `k` examples (a fold would otherwise train on a single class).
+pub fn cross_validate(data: &Dataset, params: &SvmParams, k: usize, seed: u64) -> CrossValReport {
+    cross_validate_on(&JobPool::from_env(), data, params, k, seed)
+}
+
+/// [`cross_validate`] on an explicit pool.
+///
+/// Each fold is a seed-isolated task (fold assignment is fixed up front
+/// from `seed`; training/scoring of one fold touches nothing shared), so
+/// the report is **bit-identical for any thread count** — fold results
+/// are reassembled and summed in fold order regardless of completion
+/// order.
+pub fn cross_validate_on(
+    pool: &JobPool,
+    data: &Dataset,
+    params: &SvmParams,
+    k: usize,
+    seed: u64,
+) -> CrossValReport {
+    check_cv_preconditions(data, k);
+    let fold_of = stratified_folds(data, k, seed);
+    let folds = pool.run(k, |fold| cv_fold(data, params, &fold_of, fold));
+    let mut total = ConfusionMatrix::default();
+    for &fold_cm in &folds {
+        total += fold_cm;
+    }
     CrossValReport {
         confusion: total,
         folds,
@@ -174,6 +209,17 @@ mod tests {
         let a = cross_validate(&data, &p, 5, 99);
         let b = cross_validate(&data, &p, 5, 99);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_folds_match_serial_bit_for_bit() {
+        let data = gaussian_blobs(25, 0.8, 13);
+        let p = SvmParams::with_kernel(Kernel::rbf(0.5));
+        let serial = cross_validate_on(&JobPool::with_threads(1), &data, &p, 5, 42);
+        for threads in [2, 5, 8] {
+            let parallel = cross_validate_on(&JobPool::with_threads(threads), &data, &p, 5, 42);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -4,10 +4,23 @@
 //! ask how sensitive the result is to that choice, which this module
 //! answers by exhaustive search over a small grid scored by k-fold
 //! cross-validation accuracy.
+//!
+//! The search is embarrassingly parallel twice over — across grid points
+//! *and* across folds within a point. Rather than nest two fan-outs (and
+//! oversubscribe the machine), [`grid_search_on`] flattens the nesting
+//! into one task list of `points × folds` independent `(params, fold)`
+//! jobs sharing a single [`JobPool`], then reassembles per-point reports
+//! in sweep order. Fold assignments depend only on `(data, k, seed)`, so
+//! they are computed once and shared by every point — exactly what the
+//! serial path produced when each point re-derived them from the same
+//! seed.
 
-use crate::crossval::{cross_validate, CrossValReport};
+use frappe_jobs::JobPool;
+
+use crate::crossval::{check_cv_preconditions, cv_fold, stratified_folds, CrossValReport};
 use crate::dataset::Dataset;
 use crate::kernel::Kernel;
+use crate::metrics::ConfusionMatrix;
 use crate::smo::SvmParams;
 
 /// One evaluated grid point.
@@ -29,29 +42,30 @@ pub struct GridSearchResult {
 }
 
 impl GridSearchResult {
-    /// The point with the highest cross-validation accuracy (ties broken by
-    /// earlier sweep order, i.e. smaller C then smaller gamma).
+    /// The point with the highest cross-validation accuracy. Ties are
+    /// broken by earlier sweep order (smaller C, then smaller gamma):
+    /// only a *strictly* better accuracy displaces the incumbent.
     pub fn best(&self) -> &GridPoint {
-        self.points
-            .iter()
-            .max_by(|a, b| {
-                a.report
-                    .accuracy()
-                    .partial_cmp(&b.report.accuracy())
-                    .expect("accuracies are finite")
-                    // max_by keeps the *last* maximal element; invert the
-                    // index order so earlier points win ties.
-                    .then(std::cmp::Ordering::Greater.reverse())
-            })
-            .expect("grid search evaluated at least one point")
+        let (first, rest) = self
+            .points
+            .split_first()
+            .expect("grid search evaluated at least one point");
+        rest.iter().fold(first, |best, point| {
+            if point.report.accuracy() > best.report.accuracy() {
+                point
+            } else {
+                best
+            }
+        })
     }
 }
 
-/// Evaluates every `(C, γ)` combination with k-fold CV on RBF kernels.
+/// Evaluates every `(C, γ)` combination with k-fold CV on RBF kernels,
+/// in parallel on the `FRAPPE_JOBS`-sized pool (see [`grid_search_on`]).
 ///
 /// # Panics
 /// Panics if either grid axis is empty, or on the conditions of
-/// [`cross_validate`].
+/// [`cross_validate`](crate::crossval::cross_validate).
 pub fn grid_search(
     data: &Dataset,
     cs: &[f64],
@@ -59,15 +73,59 @@ pub fn grid_search(
     k: usize,
     seed: u64,
 ) -> GridSearchResult {
+    grid_search_on(&JobPool::from_env(), data, cs, gammas, k, seed)
+}
+
+/// [`grid_search`] on an explicit pool.
+///
+/// All `points × folds` tasks share the one pool (no nested fan-out), and
+/// every task is a pure function of `(data, c, gamma, fold_of, fold)`, so
+/// the result is **bit-identical for any thread count**: fold confusion
+/// matrices are reassembled per point and summed in fold order, points in
+/// C-major sweep order.
+pub fn grid_search_on(
+    pool: &JobPool,
+    data: &Dataset,
+    cs: &[f64],
+    gammas: &[f64],
+    k: usize,
+    seed: u64,
+) -> GridSearchResult {
     assert!(!cs.is_empty() && !gammas.is_empty(), "empty grid axis");
-    let mut points = Vec::with_capacity(cs.len() * gammas.len());
-    for &c in cs {
-        for &gamma in gammas {
-            let params = SvmParams::with_kernel(Kernel::rbf(gamma)).with_c(c);
-            let report = cross_validate(data, &params, k, seed);
-            points.push(GridPoint { c, gamma, report });
-        }
-    }
+    check_cv_preconditions(data, k);
+    let _span = frappe_obs::span("svm/grid_search");
+
+    let combos: Vec<(f64, f64)> = cs
+        .iter()
+        .flat_map(|&c| gammas.iter().map(move |&gamma| (c, gamma)))
+        .collect();
+    // Folds depend only on (data, k, seed): identical at every point.
+    let fold_of = stratified_folds(data, k, seed);
+
+    let fold_cms = pool.run(combos.len() * k, |task| {
+        let (c, gamma) = combos[task / k];
+        let params = SvmParams::with_kernel(Kernel::rbf(gamma)).with_c(c);
+        cv_fold(data, &params, &fold_of, task % k)
+    });
+
+    let points = combos
+        .iter()
+        .zip(fold_cms.chunks_exact(k))
+        .map(|(&(c, gamma), folds)| {
+            let mut total = ConfusionMatrix::default();
+            for &fold_cm in folds {
+                total += fold_cm;
+            }
+            GridPoint {
+                c,
+                gamma,
+                report: CrossValReport {
+                    confusion: total,
+                    folds: folds.to_vec(),
+                },
+            }
+        })
+        .collect();
     GridSearchResult { points }
 }
 
@@ -115,6 +173,96 @@ mod tests {
             "ring data should be solvable, best acc {}",
             res.best().report.accuracy()
         );
+    }
+
+    #[test]
+    fn best_breaks_ties_toward_the_earliest_sweep_point() {
+        // Hand-built result with identical accuracies everywhere: the
+        // earliest point (smallest C, then smallest gamma) must win.
+        // accuracy = correct / 10
+        let report = |correct: usize| CrossValReport {
+            confusion: ConfusionMatrix {
+                true_positives: correct,
+                false_positives: 0,
+                true_negatives: 0,
+                false_negatives: 10 - correct,
+            },
+            folds: vec![],
+        };
+        let result = GridSearchResult {
+            points: vec![
+                GridPoint {
+                    c: 0.1,
+                    gamma: 0.5,
+                    report: report(4),
+                },
+                GridPoint {
+                    c: 0.1,
+                    gamma: 1.0,
+                    report: report(6),
+                },
+                GridPoint {
+                    c: 1.0,
+                    gamma: 0.5,
+                    report: report(6),
+                },
+            ],
+        };
+        let best = result.best();
+        assert_eq!(
+            (best.c, best.gamma),
+            (0.1, 1.0),
+            "equal accuracies: the earliest maximal point wins, not the last"
+        );
+    }
+
+    #[test]
+    fn whole_grid_tied_returns_the_first_point() {
+        let flat = CrossValReport {
+            confusion: ConfusionMatrix {
+                true_positives: 5,
+                false_positives: 0,
+                true_negatives: 5,
+                false_negatives: 0,
+            },
+            folds: vec![],
+        };
+        let result = GridSearchResult {
+            points: (0..4)
+                .map(|i| GridPoint {
+                    c: i as f64,
+                    gamma: 1.0,
+                    report: flat.clone(),
+                })
+                .collect(),
+        };
+        assert_eq!(result.best().c, 0.0);
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial_bit_for_bit() {
+        let data = ring_data(5);
+        let cs = [0.5, 1.0, 5.0];
+        let gammas = [0.25, 1.0];
+        let serial = grid_search_on(&JobPool::with_threads(1), &data, &cs, &gammas, 3, 11);
+        for threads in [2, 4, 8] {
+            let pool = JobPool::with_threads(threads);
+            let parallel = grid_search_on(&pool, &data, &cs, &gammas, 3, 11);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn flattened_grid_matches_per_point_cross_validation() {
+        // the flattened points×folds decomposition must reproduce exactly
+        // what independent cross_validate calls at each point produce
+        let data = ring_data(9);
+        let res = grid_search(&data, &[0.5, 2.0], &[0.5, 1.5], 3, 23);
+        for point in &res.points {
+            let params = SvmParams::with_kernel(Kernel::rbf(point.gamma)).with_c(point.c);
+            let direct = crate::crossval::cross_validate(&data, &params, 3, 23);
+            assert_eq!(point.report, direct, "C={} gamma={}", point.c, point.gamma);
+        }
     }
 
     #[test]

@@ -18,10 +18,12 @@
 //! * [`dataset`] — labelled datasets, class-ratio subsampling (the paper's
 //!   1:1 / 4:1 / 7:1 / 10:1 benign-to-malicious sweeps) and shuffling.
 //! * [`crossval`] — stratified k-fold cross-validation (the paper uses
-//!   5-fold throughout).
+//!   5-fold throughout); folds run in parallel on a `frappe-jobs` pool
+//!   with bit-identical results at any thread count.
 //! * [`metrics`] — confusion matrices and the three metrics the paper
 //!   reports: accuracy, false-positive rate and false-negative rate.
-//! * [`grid`] — grid search over `(C, γ)` for the ablation benches.
+//! * [`grid`] — grid search over `(C, γ)` for the ablation benches,
+//!   parallel over the flattened points × folds task list.
 //!
 //! ## Quick example
 //!
@@ -52,11 +54,11 @@ pub mod model;
 pub mod scale;
 pub mod smo;
 
-pub use crossval::{cross_validate, CrossValReport};
+pub use crossval::{cross_validate, cross_validate_on, CrossValReport};
 pub use dataset::Dataset;
-pub use grid::{grid_search, GridPoint, GridSearchResult};
+pub use grid::{grid_search, grid_search_on, GridPoint, GridSearchResult};
 pub use kernel::Kernel;
 pub use metrics::ConfusionMatrix;
 pub use model::SvmModel;
 pub use scale::Scaler;
-pub use smo::{train, SvmParams};
+pub use smo::{train, CacheStats, SvmParams};

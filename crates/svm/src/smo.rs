@@ -15,7 +15,7 @@
 //! (≲15K examples, ≤16 features) converge quickly without it, and omitting
 //! it keeps the solver auditable.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use crate::dataset::Dataset;
 use crate::kernel::Kernel;
@@ -89,39 +89,132 @@ impl SvmParams {
     }
 }
 
-/// Bounded insertion-order kernel-row cache.
+/// Hit/miss/eviction counts of the kernel-row cache over one solve
+/// (exposed through [`SolveStats`] and the `svm_row_cache_*` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Row requests served from a resident row.
+    pub hits: u64,
+    /// Row requests that had to compute the kernel row.
+    pub misses: u64,
+    /// Resident rows displaced to make room (always ≤ `misses`).
+    pub evictions: u64,
+}
+
+/// Sentinel for "no slot" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+/// Bounded true-LRU kernel-row cache with slot-indexed storage.
 ///
-/// Rows of `K` (not `Q`; the `y_i y_j` signs are applied by the caller) are
-/// computed lazily and evicted FIFO once `capacity` rows are resident. For
-/// SMO the hot set is the support vectors, which is far smaller than `n`,
-/// so FIFO behaves close to LRU here at a fraction of the bookkeeping.
+/// Rows of `K` (not `Q`; the `y_i y_j` signs are applied by the caller)
+/// are computed lazily into fixed *slots*; a doubly-linked list threaded
+/// through the slots (index-based, `head` = most recent) gives O(1)
+/// touch-on-hit and O(1) least-recently-used eviction. Returning slot
+/// indices instead of row references lets the solver hold **two** rows
+/// borrowed at once ([`RowCache::pair`]), which is what makes the SMO
+/// gradient update copy-free. Evicting recycles the displaced slot's
+/// buffer in place, so a warmed-up solve never allocates per iteration.
 struct RowCache {
-    rows: HashMap<usize, Vec<f64>>,
-    order: VecDeque<usize>,
+    /// example index → slot, for resident rows
+    map: HashMap<usize, usize>,
+    /// slot → example index currently held
+    keys: Vec<usize>,
+    /// slot → kernel row (buffers are recycled across evictions)
+    rows: Vec<Vec<f64>>,
+    /// intrusive LRU list: slot → neighbour slots (NIL-terminated)
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    /// most-recently-used slot (NIL while empty)
+    head: usize,
+    /// least-recently-used slot (NIL while empty)
+    tail: usize,
     capacity: usize,
+    stats: CacheStats,
 }
 
 impl RowCache {
     fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2); // the update always needs two rows
         RowCache {
-            rows: HashMap::new(),
-            order: VecDeque::new(),
-            capacity: capacity.max(2), // the update always needs two rows
+            map: HashMap::with_capacity(capacity),
+            keys: Vec::with_capacity(capacity),
+            rows: Vec::with_capacity(capacity),
+            prev: Vec::with_capacity(capacity),
+            next: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            stats: CacheStats::default(),
         }
     }
 
-    /// Kernel row `i`, computing it via `compute` on a miss.
-    fn get_or_compute(&mut self, i: usize, compute: impl FnOnce() -> Vec<f64>) -> &[f64] {
-        if !self.rows.contains_key(&i) {
-            if self.rows.len() >= self.capacity {
-                if let Some(old) = self.order.pop_front() {
-                    self.rows.remove(&old);
-                }
-            }
-            self.rows.insert(i, compute());
-            self.order.push_back(i);
+    fn detach(&mut self, slot: usize) {
+        let (p, n) = (self.prev[slot], self.next[slot]);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.next[p] = n;
         }
-        self.rows.get(&i).expect("row just inserted")
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.prev[n] = p;
+        }
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.prev[slot] = NIL;
+        self.next[slot] = self.head;
+        if self.head != NIL {
+            self.prev[self.head] = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// The slot holding kernel row `i`, filling one (recycling the LRU
+    /// slot's buffer once full) on a miss. Touches the slot to
+    /// most-recently-used either way.
+    fn slot_for(&mut self, i: usize, fill: impl FnOnce(&mut Vec<f64>)) -> usize {
+        if let Some(&slot) = self.map.get(&i) {
+            self.stats.hits += 1;
+            if self.head != slot {
+                self.detach(slot);
+                self.attach_front(slot);
+            }
+            return slot;
+        }
+        self.stats.misses += 1;
+        let slot = if self.rows.len() < self.capacity {
+            let slot = self.rows.len();
+            self.keys.push(i);
+            self.rows.push(Vec::new());
+            self.prev.push(NIL);
+            self.next.push(NIL);
+            self.attach_front(slot);
+            slot
+        } else {
+            self.stats.evictions += 1;
+            let slot = self.tail;
+            self.detach(slot);
+            self.map.remove(&self.keys[slot]);
+            self.keys[slot] = i;
+            // recycle the evicted row's buffer: clear keeps the
+            // allocation, so the warm path never touches the heap
+            self.rows[slot].clear();
+            self.attach_front(slot);
+            slot
+        };
+        self.map.insert(i, slot);
+        fill(&mut self.rows[slot]);
+        slot
+    }
+
+    /// Two resident rows borrowed simultaneously.
+    fn pair(&self, a: usize, b: usize) -> (&[f64], &[f64]) {
+        (&self.rows[a], &self.rows[b])
     }
 }
 
@@ -134,6 +227,8 @@ pub struct SolveStats {
     pub converged: bool,
     /// Number of support vectors in the final model.
     pub support_vectors: usize,
+    /// Kernel-row cache behaviour over the solve.
+    pub cache: CacheStats,
 }
 
 /// Trains a C-SVC on the dataset. See [`train_with_stats`] for solver
@@ -181,9 +276,12 @@ pub fn train_with_stats(data: &Dataset, params: &SvmParams) -> (SvmModel, SolveS
     let mut grad = vec![-1.0f64; n];
     let mut cache = RowCache::new(params.cache_rows);
 
-    let kernel_row = |i: usize| -> Vec<f64> {
+    // Fills `buf` with kernel row `i` in place; `clear` + exact-size
+    // `extend` reuse the buffer's allocation on recycled cache slots.
+    let fill_row = |i: usize, buf: &mut Vec<f64>| {
+        buf.clear();
         let xi = &xs[i];
-        xs.iter().map(|xj| params.kernel.compute(xi, xj)).collect()
+        buf.extend(xs.iter().map(|xj| params.kernel.compute(xi, xj)));
     };
     // Diagonal is needed every selection step; precompute once.
     let diag: Vec<f64> = (0..n)
@@ -224,7 +322,13 @@ pub fn train_with_stats(data: &Dataset, params: &SvmParams) -> (SvmModel, SolveS
         let (i, j) = (i_sel, j_sel);
 
         // --- two-variable analytic update (libsvm's formulation) ---------
-        let ki: Vec<f64> = cache.get_or_compute(i, || kernel_row(i)).to_vec();
+        // Resolve both rows up front as slot indices: `slot_for(i)` makes
+        // slot_i most-recently-used, so with capacity ≥ 2 the `j` fill can
+        // never evict it, and `pair` then borrows both rows copy-free for
+        // the whole update (the allocation-free hot loop).
+        let slot_i = cache.slot_for(i, |buf| fill_row(i, buf));
+        let slot_j = cache.slot_for(j, |buf| fill_row(j, buf));
+        let (ki, kj) = cache.pair(slot_i, slot_j);
         let kij = ki[j];
         let (yi, yj) = (ys[i], ys[j]);
         let (old_ai, old_aj) = (alpha[i], alpha[j]);
@@ -289,10 +393,13 @@ pub fn train_with_stats(data: &Dataset, params: &SvmParams) -> (SvmModel, SolveS
         let dai = alpha[i] - old_ai;
         let daj = alpha[j] - old_aj;
         if dai != 0.0 || daj != 0.0 {
-            let kj: Vec<f64> = cache.get_or_compute(j, || kernel_row(j)).to_vec();
-            for t in 0..n {
-                // Q_ti = y_t y_i K_ti
-                grad[t] += ys[t] * (yi * ki[t] * dai + yj * kj[t] * daj);
+            // Q_ti = y_t y_i K_ti; the y_i α-delta products are constant
+            // across the loop, so fold them once and the update is a pure
+            // fused pass over the two borrowed rows.
+            let wi = yi * dai;
+            let wj = yj * daj;
+            for ((g, &yt), (&kit, &kjt)) in grad.iter_mut().zip(ys).zip(ki.iter().zip(kj.iter())) {
+                *g += yt * (wi * kit + wj * kjt);
             }
         }
     }
@@ -344,6 +451,7 @@ pub fn train_with_stats(data: &Dataset, params: &SvmParams) -> (SvmModel, SolveS
         iterations,
         converged,
         support_vectors: sv.len(),
+        cache: cache.stats,
     };
     let registry = frappe_obs::Registry::global();
     registry.counter("svm_train_runs").inc();
@@ -353,6 +461,13 @@ pub fn train_with_stats(data: &Dataset, params: &SvmParams) -> (SvmModel, SolveS
     registry
         .counter("svm_train_support_vectors")
         .add(sv.len() as u64);
+    registry.counter("svm_row_cache_hits").add(cache.stats.hits);
+    registry
+        .counter("svm_row_cache_misses")
+        .add(cache.stats.misses);
+    registry
+        .counter("svm_row_cache_evictions")
+        .add(cache.stats.evictions);
     (SvmModel::new(params.kernel, sv, coef, rho), stats)
 }
 
@@ -554,6 +669,69 @@ mod tests {
                 assert!(-co <= c + 1e-9, "negative alpha {} exceeds C", -co);
             }
         }
+    }
+
+    #[test]
+    fn row_cache_is_true_lru_with_touch_on_hit() {
+        let mut cache = RowCache::new(2);
+        let fill = |v: f64| move |buf: &mut Vec<f64>| buf.extend_from_slice(&[v]);
+        let s0 = cache.slot_for(0, fill(0.0));
+        let _ = cache.slot_for(1, fill(1.0));
+        // touch row 0: it becomes MRU, so inserting row 2 must evict row 1
+        let s0_again = cache.slot_for(0, |_| panic!("row 0 is resident"));
+        assert_eq!(s0, s0_again);
+        let _ = cache.slot_for(2, fill(2.0));
+        assert!(cache.map.contains_key(&0), "touched row survives eviction");
+        assert!(!cache.map.contains_key(&1), "LRU row was evicted");
+        assert_eq!(
+            cache.stats,
+            CacheStats {
+                hits: 1,
+                misses: 3,
+                evictions: 1,
+            }
+        );
+        // a FIFO cache would have evicted row 0 here instead
+        let _ = cache.slot_for(0, |_| panic!("row 0 must still be resident"));
+        assert_eq!(cache.stats.hits, 2);
+    }
+
+    #[test]
+    fn eviction_recycles_slot_buffers_in_place() {
+        let mut cache = RowCache::new(2);
+        let a = cache.slot_for(0, |buf| buf.extend_from_slice(&[1.0, 2.0]));
+        let _ = cache.slot_for(1, |buf| buf.extend_from_slice(&[3.0, 4.0]));
+        // capacity exhausted: row 2 reuses row 0's slot (the LRU)
+        let recycled = cache.slot_for(2, |buf| {
+            assert!(buf.is_empty(), "fill callbacks receive a cleared buffer");
+            buf.extend_from_slice(&[5.0, 6.0]);
+        });
+        assert_eq!(recycled, a, "evicted slot index is reused");
+        assert_eq!(cache.pair(recycled, recycled).0, &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn solve_stats_expose_cache_behaviour() {
+        let data = separable_2d(30, 1.0, 17);
+        // ample cache: every miss is a cold fill, never an eviction
+        let (_, stats) = train_with_stats(&data, &SvmParams::with_kernel(Kernel::rbf(1.0)));
+        assert!(stats.cache.misses > 0, "first touches miss");
+        assert!(stats.cache.hits > 0, "SMO re-selects hot rows");
+        assert_eq!(stats.cache.evictions, 0, "cache larger than the problem");
+        assert!(stats.cache.misses <= data.len() as u64);
+
+        // starved cache: evictions must appear, and the model is unchanged
+        let starved = SvmParams {
+            cache_rows: 2,
+            ..SvmParams::with_kernel(Kernel::rbf(1.0))
+        };
+        let (_, tiny) = train_with_stats(&data, &starved);
+        assert!(tiny.cache.evictions > 0, "capacity 2 must evict");
+        assert!(tiny.cache.evictions <= tiny.cache.misses);
+        assert_eq!(
+            stats.iterations, tiny.iterations,
+            "cache size is invisible to the optimizer"
+        );
     }
 
     #[test]

@@ -1,6 +1,34 @@
 //! Reproducibility: the whole pipeline is a pure function of the config.
+//!
+//! The second half of this suite pins the `frappe-jobs` determinism
+//! contract: grid search, cross-validation and batch feature extraction
+//! return **bit-identical** results at thread counts {1, 2, 8} and under
+//! the `FRAPPE_JOBS` override. CI runs the whole suite twice, once with
+//! `FRAPPE_JOBS=1` and once with `FRAPPE_JOBS=8`.
 
+use frappe_jobs::JobPool;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use svm::{cross_validate_on, grid_search_on, Dataset, Kernel, SvmParams};
 use synth_workload::{build_datasets, run_scenario, ScenarioConfig};
+
+/// Noisily separable 5-dimensional training data.
+fn training_data(n: usize, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let malicious = i % 2 == 0;
+        let centre = if malicious { 0.8 } else { -0.8 };
+        xs.push(
+            (0..5)
+                .map(|_| centre + rng.gen::<f64>() * 2.0 - 1.0)
+                .collect::<Vec<f64>>(),
+        );
+        ys.push(if malicious { 1.0 } else { -1.0 });
+    }
+    Dataset::new(xs, ys).expect("generated data is valid")
+}
 
 #[test]
 fn same_config_same_world_same_datasets() {
@@ -77,6 +105,96 @@ fn instrumentation_does_not_change_outputs() {
     assert_eq!(b1.d_sample.malicious, b2.d_sample.malicious);
     assert_eq!(b1.d_sample.benign, b2.d_sample.benign);
     assert_eq!(b1.d_complete.malicious, b2.d_complete.malicious);
+}
+
+#[test]
+fn cross_validation_bit_identical_across_thread_counts() {
+    let data = training_data(100, 7);
+    let params = SvmParams::with_kernel(Kernel::rbf(0.5));
+    let reference = cross_validate_on(&JobPool::with_threads(1), &data, &params, 5, 42);
+    for threads in [2usize, 8] {
+        let pool = JobPool::with_threads(threads);
+        let report = cross_validate_on(&pool, &data, &params, 5, 42);
+        assert_eq!(report, reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn grid_search_bit_identical_across_thread_counts() {
+    let data = training_data(80, 11);
+    let cs = [0.5, 1.0, 2.0];
+    let gammas = [0.1, 0.5];
+    let reference = grid_search_on(&JobPool::with_threads(1), &data, &cs, &gammas, 3, 9);
+    for threads in [2usize, 8] {
+        let pool = JobPool::with_threads(threads);
+        let result = grid_search_on(&pool, &data, &cs, &gammas, 3, 9);
+        assert_eq!(result, reference, "threads = {threads}");
+    }
+    // per-point reports are themselves fold-complete and ordered
+    assert_eq!(reference.points.len(), cs.len() * gammas.len());
+    for point in &reference.points {
+        assert_eq!(point.report.folds.len(), 3);
+    }
+}
+
+#[test]
+fn batch_extraction_bit_identical_across_thread_counts() {
+    // Real extraction over a real (synthetic) world: one on-demand feature
+    // row per observed app, then the encoded f64 vectors the SVM consumes.
+    let world = run_scenario(&ScenarioConfig::small());
+    let apps = world.observed_apps();
+    assert!(apps.len() > 10, "world too small to exercise the fan-out");
+    let extract = |a: &osn_types::AppId| {
+        let crawl = world.crawl_archive.get(a);
+        let input = frappe::OnDemandInput {
+            summary: crawl.and_then(|c| c.summary.as_ref()),
+            permissions: crawl.and_then(|c| c.permissions.as_ref()),
+            profile_feed: crawl.and_then(|c| c.profile_feed.as_deref()),
+        };
+        frappe::extract_on_demand(*a, &input, &world.wot)
+    };
+    let reference = frappe::extract_batch_with(&JobPool::with_threads(1), &apps, extract);
+    for threads in [2usize, 8] {
+        let pool = JobPool::with_threads(threads);
+        let rows = frappe::extract_batch_with(&pool, &apps, extract);
+        assert_eq!(rows, reference, "threads = {threads}");
+    }
+
+    // The numeric encoding downstream is bit-identical too.
+    let samples: Vec<frappe::AppFeatures> = apps
+        .iter()
+        .zip(&reference)
+        .map(|(&app, od)| frappe::AppFeatures {
+            app,
+            on_demand: *od,
+            aggregation: frappe::AggregationFeatures::default(),
+        })
+        .collect();
+    let imputation = frappe::Imputation::fit_medians(&samples);
+    let encode = |s: &frappe::AppFeatures| imputation.encode(frappe::FeatureSet::Lite, s);
+    let encoded_serial = frappe::extract_batch_with(&JobPool::with_threads(1), &samples, encode);
+    let encoded_parallel = frappe::extract_batch_with(&JobPool::with_threads(8), &samples, encode);
+    for (a, b) in encoded_serial.iter().zip(&encoded_parallel) {
+        assert_eq!(a.len(), b.len());
+        for (&va, &vb) in a.iter().zip(b) {
+            assert_eq!(va.to_bits(), vb.to_bits(), "encoded lanes differ bitwise");
+        }
+    }
+}
+
+#[test]
+fn frappe_jobs_env_override_is_invisible_in_results() {
+    // Whatever FRAPPE_JOBS says, the env-sized entry points must agree
+    // with the explicit 1-thread pool bit for bit.
+    let data = training_data(60, 13);
+    let params = SvmParams::with_kernel(Kernel::rbf(0.5));
+    let reference = cross_validate_on(&JobPool::with_threads(1), &data, &params, 5, 3);
+    for setting in ["1", "8"] {
+        std::env::set_var(frappe_jobs::ENV_THREADS, setting);
+        let report = svm::cross_validate(&data, &params, 5, 3);
+        assert_eq!(report, reference, "FRAPPE_JOBS = {setting}");
+    }
+    std::env::remove_var(frappe_jobs::ENV_THREADS);
 }
 
 #[test]

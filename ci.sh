@@ -28,8 +28,22 @@ echo "==> determinism suite under FRAPPE_JOBS=1 and FRAPPE_JOBS=8"
 FRAPPE_JOBS=1 cargo test -q -p frappe --test determinism
 FRAPPE_JOBS=8 cargo test -q -p frappe --test determinism
 
+echo "==> lifecycle suite (both obs configs, FRAPPE_JOBS=1 and FRAPPE_JOBS=8)"
+# Shadow-evaluated hot swap, drift detection, and the checkpoint
+# roundtrip on a fresh temp dir — with span instrumentation compiled in
+# and out, and retraining at both pool extremes (the suite's
+# retraining_is_bit_identical_across_pool_sizes covers 1-vs-8 explicitly;
+# the env override makes the default-pool paths match too).
+cargo test -q -p frappe-lifecycle
+cargo test -q -p frappe-lifecycle --no-default-features
+FRAPPE_JOBS=1 cargo test -q -p frappe-lifecycle --test lifecycle
+FRAPPE_JOBS=8 cargo test -q -p frappe-lifecycle --test lifecycle
+
 echo "==> training bench, quick mode (serial vs parallel, BENCH_training.json)"
 cargo run --release -p frappe-bench --bin repro -- --small --bench-out BENCH_training.json
+
+echo "==> lifecycle bench, quick mode (retrain/swap/shadow, BENCH_lifecycle.json)"
+cargo run --release -p frappe-bench --bin repro -- --small --lifecycle-bench-out BENCH_lifecycle.json
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

@@ -8,14 +8,17 @@
 //! ```text
 //! cargo run --release -p frappe-bench --bin loadgen -- \
 //!     [--shards N] [--workers N] [--query-threads N] [--queries N] [--paper-scale] \
-//!     [--linear] [--profile] [--metrics-out PATH]
+//!     [--linear] [--profile] [--metrics-out PATH] [--swap-every N]
 //! ```
 //!
 //! On exit the run always prints the service registry as Prometheus text;
 //! `--metrics-out` additionally dumps it as JSONL, `--profile` enables the
 //! span profiler and prints the per-stage table, and `--linear` swaps the
 //! RBF kernel for a linear one so every fresh verdict lands in the audit
-//! log with per-feature contributions.
+//! log with per-feature contributions. `--swap-every N` hot-swaps the
+//! live model every N queries (alternating the full-batch model with one
+//! trained on half the data, each at a fresh version), exercising the
+//! lifecycle layer's epoch-pointer swap under full query load.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -36,6 +39,7 @@ struct Options {
     linear: bool,
     profile: bool,
     metrics_out: Option<String>,
+    swap_every: Option<usize>,
 }
 
 fn parse_options() -> Options {
@@ -48,6 +52,7 @@ fn parse_options() -> Options {
         linear: false,
         profile: false,
         metrics_out: None,
+        swap_every: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,6 +70,7 @@ fn parse_options() -> Options {
             "--workers" => opts.workers = numeric("--workers"),
             "--query-threads" => opts.query_threads = numeric("--query-threads"),
             "--queries" => opts.queries = numeric("--queries"),
+            "--swap-every" => opts.swap_every = Some(numeric("--swap-every")),
             "--paper-scale" => opts.paper_scale = true,
             "--linear" => opts.linear = true,
             "--profile" => opts.profile = true,
@@ -79,7 +85,7 @@ fn parse_options() -> Options {
                 eprintln!(
                     "usage: loadgen [--shards N] [--workers N] [--query-threads N] \
                      [--queries N] [--paper-scale] [--linear] [--profile] \
-                     [--metrics-out PATH]"
+                     [--metrics-out PATH] [--swap-every N]"
                 );
                 std::process::exit(2);
             }
@@ -117,6 +123,15 @@ fn main() {
         .linear
         .then(|| SvmParams::with_kernel(Kernel::linear()));
     let model = FrappeModel::train(&samples, &labels, FeatureSet::Full, params);
+    // Under --swap-every, alternate the live model with a sibling trained
+    // on every other labelled row — distinct enough that swaps matter,
+    // close enough that verdict quality stays sane mid-run.
+    let swap_models = opts.swap_every.map(|_| {
+        let half_samples: Vec<_> = samples.iter().step_by(2).cloned().collect();
+        let half_labels: Vec<bool> = labels.iter().step_by(2).copied().collect();
+        let half = FrappeModel::train(&half_samples, &half_labels, FeatureSet::Full, params);
+        [Arc::new(model.clone()), Arc::new(half)]
+    });
     let events = serve_events(&lab.world);
     println!(
         "world ready: {} events, {} labelled apps, {} support vectors",
@@ -167,6 +182,7 @@ fn main() {
     let issued = Arc::new(AtomicUsize::new(0));
     let flagged = Arc::new(AtomicU64::new(0));
     let retries = Arc::new(AtomicU64::new(0));
+    let swap_version = Arc::new(AtomicU64::new(1));
     let start = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..opts.query_threads {
@@ -175,10 +191,20 @@ fn main() {
             let issued = Arc::clone(&issued);
             let flagged = Arc::clone(&flagged);
             let retries = Arc::clone(&retries);
+            let swap_models = swap_models.clone();
+            let swap_version = Arc::clone(&swap_version);
             scope.spawn(move || loop {
                 let i = issued.fetch_add(1, Ordering::Relaxed);
                 if i >= opts.queries {
                     break;
+                }
+                if let (Some(every), Some(models)) = (opts.swap_every, &swap_models) {
+                    // Whichever query thread lands on the boundary swaps;
+                    // the version counter keeps epochs strictly increasing.
+                    if i > 0 && i.is_multiple_of(every) {
+                        let v = swap_version.fetch_add(1, Ordering::Relaxed) + 1;
+                        service.swap_model(Arc::clone(&models[(v % 2) as usize]), v);
+                    }
                 }
                 let app = apps[i % apps.len()];
                 loop {
@@ -215,6 +241,13 @@ fn main() {
         flagged.load(Ordering::Relaxed),
         retries.load(Ordering::Relaxed)
     );
+    if opts.swap_every.is_some() {
+        let m = service.metrics();
+        println!(
+            "hot swaps under load: {} (serving model version {})",
+            m.model_swaps, m.model_version
+        );
+    }
     println!(
         "\nmetrics: {}",
         serde_json::to_string_pretty(&service.metrics()).expect("metrics serialize")

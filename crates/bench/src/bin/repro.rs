@@ -7,6 +7,8 @@
 //! repro --small <ids|all>     # use the fast test-scale world
 //! repro --profile <ids|all>   # also print the per-stage span profile
 //! repro --bench-out FILE      # time serial-vs-parallel training, write JSON
+//! repro --lifecycle-bench-out FILE
+//!                             # time retrain / hot-swap / shadow, write JSON
 //! ```
 
 use std::fmt::Write as _;
@@ -22,6 +24,7 @@ fn main() {
     let mut profile = false;
     let mut seed: Option<u64> = None;
     let mut bench_out: Option<String> = None;
+    let mut lifecycle_bench_out: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args_iter = args.into_iter();
     while let Some(arg) = args_iter.next() {
@@ -31,6 +34,13 @@ fn main() {
                 Some(path) => bench_out = Some(path),
                 None => {
                     eprintln!("--bench-out expects a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--lifecycle-bench-out" => match args_iter.next() {
+                Some(path) => lifecycle_bench_out = Some(path),
+                None => {
+                    eprintln!("--lifecycle-bench-out expects a file path");
                     std::process::exit(2);
                 }
             },
@@ -74,12 +84,36 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        if ids.is_empty() && lifecycle_bench_out.is_none() {
+            return;
+        }
+    }
+    // The lifecycle benchmark builds its own small world; like the
+    // training bench it runs standalone and exits early if asked alone.
+    if let Some(path) = &lifecycle_bench_out {
+        eprintln!(
+            "timing retrain / hot-swap / shadow ({} mode)...",
+            if small { "quick" } else { "full" }
+        );
+        let report = frappe_bench::lifebench::run(small);
+        println!("{}", report.render());
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
         if ids.is_empty() {
             return;
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: repro [--small] [--profile] [--seed N] [--bench-out FILE] <experiment ...|all|list>");
+        eprintln!(
+            "usage: repro [--small] [--profile] [--seed N] [--bench-out FILE] \
+             [--lifecycle-bench-out FILE] <experiment ...|all|list>"
+        );
         eprintln!(
             "experiments: {}",
             registry()

@@ -20,9 +20,11 @@
 
 pub mod experiments;
 pub mod lab;
+pub mod lifebench;
 pub mod render;
 pub mod trainbench;
 
 pub use experiments::{registry, ExpResult};
 pub use lab::Lab;
+pub use lifebench::LifecycleBenchReport;
 pub use trainbench::TrainingBenchReport;

@@ -7,6 +7,9 @@
 //! cross-validation protocol of §5.1 (including the benign:malicious
 //! ratio subsampling of Table 5).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
 use frappe_obs::{AuditRecord, AuditSource, FeatureContribution};
 use osn_types::ids::AppId;
 use serde::{Deserialize, Serialize};
@@ -152,6 +155,161 @@ impl FrappeModel {
     pub fn support_vector_count(&self) -> usize {
         self.model.support_vector_count()
     }
+
+    /// Reassembles a model from its four components (checkpoint restore).
+    /// The inverse of the component accessors below; no validation beyond
+    /// what the components themselves enforce, so only feed it parts that
+    /// came out of a trained model.
+    pub fn from_parts(
+        set: FeatureSet,
+        imputation: Imputation,
+        scaler: Scaler,
+        model: SvmModel,
+    ) -> Self {
+        FrappeModel {
+            set,
+            imputation,
+            scaler,
+            model,
+        }
+    }
+
+    /// The fitted imputation table (checkpoint serialization).
+    pub fn imputation(&self) -> &Imputation {
+        &self.imputation
+    }
+
+    /// The fitted min–max scaler (checkpoint serialization).
+    pub fn scaler(&self) -> &Scaler {
+        &self.scaler
+    }
+
+    /// The trained SVM decision function (checkpoint serialization).
+    pub fn svm_model(&self) -> &SvmModel {
+        &self.model
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared, hot-swappable model state
+// ---------------------------------------------------------------------------
+
+/// One immutable `(version, epoch, model)` triple: a model as installed at
+/// a particular point in a [`SharedModel`]'s history.
+///
+/// `version` is the registry-assigned identity of the model (stable across
+/// promote/rollback — rolling back to version 3 re-installs version 3);
+/// `epoch` is the handle-local swap counter (strictly increasing on every
+/// swap, including rollbacks), which is what verdict caches stamp — two
+/// installs of the same version are still different epochs, so verdicts
+/// scored before a rollback can never be served after it.
+#[derive(Debug, Clone)]
+pub struct VersionedModel {
+    version: u64,
+    epoch: u64,
+    model: Arc<FrappeModel>,
+}
+
+impl VersionedModel {
+    /// Registry-assigned model version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Swap counter at install time (0 for the seed model).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The model itself.
+    pub fn model(&self) -> &Arc<FrappeModel> {
+        &self.model
+    }
+}
+
+/// The trained model as **shared, hot-swappable state**: an atomic
+/// epoch-pointer that a serving layer scores through while a lifecycle
+/// layer retrains, promotes, and rolls back behind it.
+///
+/// Mirrors [`SharedKnownNames`](crate::features::catalog::SharedKnownNames):
+/// clones share one slot, a swap is one pointer write under a short lock,
+/// and a monotonic epoch counter lets verdict caches invalidate lazily —
+/// a swap is O(0) on every cached verdict, exactly like new evidence.
+#[derive(Debug, Clone)]
+pub struct SharedModel {
+    inner: Arc<SharedModelInner>,
+}
+
+#[derive(Debug)]
+struct SharedModelInner {
+    current: RwLock<Arc<VersionedModel>>,
+    // mirror of current.epoch, readable without the lock: the serve fast
+    // path probes this on every score
+    epoch: AtomicU64,
+}
+
+impl SharedModel {
+    /// Installs `model` as `version` at epoch 0.
+    pub fn new(model: FrappeModel, version: u64) -> Self {
+        SharedModel {
+            inner: Arc::new(SharedModelInner {
+                current: RwLock::new(Arc::new(VersionedModel {
+                    version,
+                    epoch: 0,
+                    model: Arc::new(model),
+                })),
+                epoch: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The installed `(version, epoch, model)` triple, consistent by
+    /// construction (one immutable `Arc` behind one pointer read).
+    pub fn current(&self) -> Arc<VersionedModel> {
+        Arc::clone(
+            &self
+                .inner
+                .current
+                .read()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    /// Current swap counter without taking the lock — the cache-probe
+    /// fast path. Bumps on every [`swap`](Self::swap).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    /// Registry-assigned version of the installed model.
+    pub fn version(&self) -> u64 {
+        self.current().version
+    }
+
+    /// Atomically installs `model` as `version`, returning the triple it
+    /// replaced. The epoch bumps under the write lock, so `current()`
+    /// never observes a torn `(version, epoch)` pair.
+    pub fn swap(&self, model: Arc<FrappeModel>, version: u64) -> Arc<VersionedModel> {
+        let mut slot = self
+            .inner
+            .current
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let next = Arc::new(VersionedModel {
+            version,
+            epoch: slot.epoch + 1,
+            model,
+        });
+        self.inner.epoch.store(next.epoch, Ordering::Release);
+        std::mem::replace(&mut *slot, next)
+    }
+
+    /// Whether two handles share the same slot (clones of one
+    /// `SharedModel`). A lifecycle layer uses this to refuse wiring a
+    /// registry to a service that scores through a *different* handle.
+    pub fn ptr_eq(&self, other: &SharedModel) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
 }
 
 /// An explained verdict: the paper's "top distinguishing features" table
@@ -184,7 +342,9 @@ impl Explanation {
                 .sum::<f64>()
     }
 
-    /// Repackage as an audit-log record.
+    /// Repackage as an audit-log record. `model_version` starts unset;
+    /// producers that score through a [`SharedModel`] stamp it before
+    /// recording.
     pub fn into_audit_record(self, source: AuditSource, generation: Option<u64>) -> AuditRecord {
         AuditRecord {
             app: self.app.raw(),
@@ -194,6 +354,7 @@ impl Explanation {
             bias: self.bias,
             contributions: self.contributions,
             generation,
+            model_version: None,
         }
     }
 }
@@ -445,6 +606,52 @@ mod tests {
             model.explain(&samples[0]).is_none(),
             "paper-default RBF kernel has no per-feature decomposition"
         );
+    }
+
+    #[test]
+    fn from_parts_roundtrips_the_component_accessors() {
+        let (samples, labels) = synth_rows(80, 80, 13);
+        let model = FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
+        let rebuilt = FrappeModel::from_parts(
+            model.feature_set(),
+            model.imputation().clone(),
+            model.scaler().clone(),
+            model.svm_model().clone(),
+        );
+        for s in &samples {
+            assert_eq!(
+                rebuilt.decision_value(s).to_bits(),
+                model.decision_value(s).to_bits(),
+                "component roundtrip must be bit-exact"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_model_swaps_bump_the_epoch_and_share_state() {
+        let (samples, labels) = synth_rows(60, 60, 14);
+        let a = FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
+        let b = FrappeModel::train(&samples, &labels, FeatureSet::Robust, None);
+
+        let shared = SharedModel::new(a, 1);
+        let other_handle = shared.clone();
+        assert_eq!(shared.epoch(), 0);
+        assert_eq!(shared.version(), 1);
+        assert_eq!(shared.current().model().feature_set(), FeatureSet::Full);
+
+        let old = shared.swap(Arc::new(b), 2);
+        assert_eq!(old.version(), 1);
+        assert_eq!(old.epoch(), 0);
+        assert_eq!(other_handle.epoch(), 1, "clones share the slot");
+        assert_eq!(other_handle.version(), 2);
+
+        // rolling back to the old version is a new epoch: stamps from the
+        // first install can never validate a cache entry again
+        let rolled = shared.swap(Arc::clone(old.model()), old.version());
+        assert_eq!(rolled.version(), 2);
+        assert_eq!(shared.version(), 1);
+        assert_eq!(shared.epoch(), 2);
+        assert_eq!(shared.current().epoch(), 2);
     }
 
     #[test]

@@ -700,6 +700,53 @@ pub fn members(set: FeatureSet) -> Vec<FeatureId> {
         .collect()
 }
 
+/// Looks a feature up by its stable snake_case key.
+pub fn by_key(key: &str) -> Option<&'static FeatureDef> {
+    CATALOG.iter().find(|d| d.key == key)
+}
+
+/// A deterministic fingerprint of the catalog's *identity*: each
+/// feature's position, key, name, lane, citation, family, and robustness
+/// class, folded through 64-bit FNV-1a in catalog order.
+///
+/// Model checkpoints embed this hash so a serialized model refuses to
+/// load against a catalog whose lane ordering or membership has changed —
+/// lane order is load-bearing (it is the encode/scale/weight order), and
+/// a silent mismatch would mis-wire every weight. The hash covers only
+/// compile-time identity fields, so it is stable across processes and
+/// platforms.
+pub fn schema_hash() -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut fold = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        // field separator, so ("ab", "c") never collides with ("a", "bc")
+        hash ^= 0xff;
+        hash = hash.wrapping_mul(PRIME);
+    };
+    for (index, def) in CATALOG.iter().enumerate() {
+        fold(&(index as u64).to_le_bytes());
+        fold(def.key.as_bytes());
+        fold(def.name.as_bytes());
+        fold(def.lane.as_bytes());
+        fold(def.citation.as_bytes());
+        fold(match def.family {
+            FeatureFamily::OnDemand => b"on_demand",
+            FeatureFamily::Aggregation => b"aggregation",
+        });
+        fold(match def.robustness {
+            Robustness::Robust => b"robust",
+            Robustness::Obfuscatable => b"obfuscatable",
+            Robustness::Monitored => b"monitored",
+        });
+    }
+    hash
+}
+
 /// Derives a full feature row from batch artifacts by folding every
 /// catalog feature. Lanes whose inputs are absent from `ctx` stay
 /// unobserved — the same partial-crawl semantics the per-family
@@ -860,6 +907,21 @@ mod tests {
             obfuscatable,
             vec!["category", "company", "description", "profile_posts"]
         );
+    }
+
+    #[test]
+    fn by_key_resolves_every_catalog_entry() {
+        for def in all() {
+            assert_eq!(by_key(def.key).expect("key resolves").id, def.id);
+        }
+        assert!(by_key("no_such_feature").is_none());
+    }
+
+    #[test]
+    fn schema_hash_is_stable_and_nonzero() {
+        let h = schema_hash();
+        assert_ne!(h, 0);
+        assert_eq!(h, schema_hash(), "pure function of the const catalog");
     }
 
     #[test]

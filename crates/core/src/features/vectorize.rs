@@ -128,6 +128,19 @@ impl Imputation {
         Imputation { values }
     }
 
+    /// Reassembles an imputation table from `(feature, fill)` pairs
+    /// (checkpoint restore). The inverse of [`values`](Self::values);
+    /// features absent from `values` impute to 0, matching
+    /// [`value_for`](Self::value_for).
+    pub fn from_values(values: Vec<(FeatureId, f64)>) -> Self {
+        Imputation { values }
+    }
+
+    /// The fitted `(feature, fill)` pairs, in catalog order.
+    pub fn values(&self) -> &[(FeatureId, f64)] {
+        &self.values
+    }
+
     /// Fill value for a feature.
     pub fn value_for(&self, id: FeatureId) -> f64 {
         self.values

@@ -81,7 +81,9 @@ pub mod classifier;
 pub mod features;
 pub mod validation;
 
-pub use classifier::{cross_validate_frappe, Explanation, FrappeModel};
+pub use classifier::{
+    cross_validate_frappe, Explanation, FrappeModel, SharedModel, VersionedModel,
+};
 pub use features::aggregation::{extract_aggregation, AggregationFeatures};
 pub use features::batch::{extract_batch, extract_batch_with};
 pub use features::catalog::{

@@ -1,0 +1,592 @@
+//! Versioned model registry with an atomic epoch-pointer handle.
+//!
+//! The registry owns the lineage of every model a deployment has ever
+//! considered — who trained it, on how much data, with what seed, how it
+//! cross-validated, and which version it was retrained from — and wraps
+//! the [`frappe::SharedModel`] handle that `frappe-serve` scores through.
+//! Promotion and rollback are therefore *one pointer swap*: the handle's
+//! epoch bump lazily invalidates every cached verdict (the serve cache
+//! stamps entries with the model epoch), so no swap can serve a verdict
+//! computed by a previous model.
+//!
+//! Two counters with different jobs:
+//!
+//! * **version** — registry identity. Assigned once at registration,
+//!   stable forever: rolling back to v1 serves v1, not "v3 that happens
+//!   to equal v1". Verdicts and audit records carry it.
+//! * **epoch** — the handle's swap counter. Strictly increasing on every
+//!   install, *including* rollbacks, so cache entries from before a
+//!   rollback stay dead.
+//!
+//! The registry persists to a directory: one [`crate::checkpoint`] file
+//! per version plus a `lineage.json` manifest, so a restarted deployment
+//! reloads its full history and resumes at the same active version.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+use frappe::{FrappeModel, SharedModel, VersionedModel};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use svm::CrossValReport;
+
+use crate::checkpoint::{self, CheckpointError};
+
+/// Cross-validation summary attached to a model's lineage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CvMetrics {
+    /// Pooled k-fold accuracy.
+    pub accuracy: f64,
+    /// Pooled false-positive rate (benign flagged malicious).
+    pub false_positive_rate: f64,
+    /// Pooled false-negative rate (malicious missed).
+    pub false_negative_rate: f64,
+}
+
+impl From<&CrossValReport> for CvMetrics {
+    fn from(report: &CrossValReport) -> Self {
+        CvMetrics {
+            accuracy: report.accuracy(),
+            false_positive_rate: report.false_positive_rate(),
+            false_negative_rate: report.false_negative_rate(),
+        }
+    }
+}
+
+/// Where a registered model came from — the caller-supplied half of its
+/// lineage. The registry fills in the version and schema hash itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelSource {
+    /// Version this model was retrained from, if any.
+    pub parent: Option<u64>,
+    /// RNG seed of the training run (fold shuffling etc.).
+    pub seed: u64,
+    /// Number of labelled samples it was trained on.
+    pub training_size: usize,
+    /// Cross-validation metrics from the training run.
+    pub cv: Option<CvMetrics>,
+}
+
+/// Full provenance of a registered model version.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelLineage {
+    /// Registry version (1-based, assigned at registration).
+    pub version: u64,
+    /// Version this model was retrained from, if any.
+    pub parent: Option<u64>,
+    /// RNG seed of the training run.
+    pub seed: u64,
+    /// Number of labelled samples it was trained on.
+    pub training_size: usize,
+    /// Feature-catalog schema hash at registration time.
+    pub schema_hash: u64,
+    /// Cross-validation metrics from the training run.
+    pub cv: Option<CvMetrics>,
+}
+
+/// Where a version sits in the promote/retire state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelStatus {
+    /// Currently installed in the scoring handle.
+    Active,
+    /// Registered as a candidate; may be shadow-scoring live traffic.
+    Shadow,
+    /// Was active once, then promoted past or rolled back from.
+    Retired,
+}
+
+/// Why a registry operation failed.
+#[derive(Debug)]
+pub enum LifecycleError {
+    /// No model registered under that version.
+    UnknownVersion(u64),
+    /// Promoting the version that is already active is a no-op the caller
+    /// probably didn't mean.
+    AlreadyActive(u64),
+    /// Rollback with no previously-active version to return to.
+    NoPreviousVersion,
+    /// Checkpoint persistence failed.
+    Checkpoint(CheckpointError),
+    /// Registry manifest was missing or malformed.
+    Manifest(String),
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifecycleError::UnknownVersion(v) => write!(f, "no model registered as version {v}"),
+            LifecycleError::AlreadyActive(v) => write!(f, "version {v} is already active"),
+            LifecycleError::NoPreviousVersion => {
+                write!(f, "no previously-active version to roll back to")
+            }
+            LifecycleError::Checkpoint(err) => write!(f, "checkpoint persistence failed: {err}"),
+            LifecycleError::Manifest(what) => write!(f, "registry manifest error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LifecycleError::Checkpoint(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for LifecycleError {
+    fn from(err: CheckpointError) -> Self {
+        LifecycleError::Checkpoint(err)
+    }
+}
+
+struct Entry {
+    model: Arc<FrappeModel>,
+    lineage: ModelLineage,
+    status: ModelStatus,
+}
+
+struct Inner {
+    entries: BTreeMap<u64, Entry>,
+    next_version: u64,
+    active: u64,
+    /// Previously-active versions, oldest first — the rollback stack.
+    history: Vec<u64>,
+}
+
+/// The versioned model registry.
+///
+/// Thread-safe; the scoring handle it wraps is lock-free on the read
+/// path (serve probes the epoch with one atomic load).
+pub struct ModelRegistry {
+    handle: SharedModel,
+    inner: Mutex<Inner>,
+}
+
+/// On-disk manifest, one row per version (checkpoints live alongside).
+#[derive(Serialize, Deserialize)]
+struct Manifest {
+    active: u64,
+    history: Vec<u64>,
+    next_version: u64,
+    entries: Vec<ManifestEntry>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ManifestEntry {
+    lineage: ModelLineage,
+    status: ModelStatus,
+}
+
+fn checkpoint_name(version: u64) -> String {
+    format!("model-v{version}.ckpt")
+}
+
+impl ModelRegistry {
+    /// Creates a registry with `seed_model` installed as version 1.
+    pub fn new(seed_model: FrappeModel, source: ModelSource) -> Self {
+        let model = Arc::new(seed_model);
+        let lineage = ModelLineage {
+            version: 1,
+            parent: source.parent,
+            seed: source.seed,
+            training_size: source.training_size,
+            schema_hash: frappe::catalog::schema_hash(),
+            cv: source.cv,
+        };
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            1,
+            Entry {
+                model: Arc::clone(&model),
+                lineage,
+                status: ModelStatus::Active,
+            },
+        );
+        ModelRegistry {
+            handle: SharedModel::new(Arc::try_unwrap(model).unwrap_or_else(|m| (*m).clone()), 1),
+            inner: Mutex::new(Inner {
+                entries,
+                next_version: 2,
+                active: 1,
+                history: Vec::new(),
+            }),
+        }
+    }
+
+    /// The scoring handle; give this to
+    /// [`frappe_serve::FrappeService::with_shared_model`] so promotions
+    /// here swap the model the service scores with.
+    pub fn handle(&self) -> SharedModel {
+        self.handle.clone()
+    }
+
+    /// The currently-active version.
+    pub fn active_version(&self) -> u64 {
+        self.inner.lock().active
+    }
+
+    /// Registers a candidate model (status [`ModelStatus::Shadow`]) and
+    /// returns its assigned version.
+    pub fn register(&self, model: Arc<FrappeModel>, source: ModelSource) -> u64 {
+        let mut inner = self.inner.lock();
+        let version = inner.next_version;
+        inner.next_version += 1;
+        let lineage = ModelLineage {
+            version,
+            parent: source.parent,
+            seed: source.seed,
+            training_size: source.training_size,
+            schema_hash: frappe::catalog::schema_hash(),
+            cv: source.cv,
+        };
+        inner.entries.insert(
+            version,
+            Entry {
+                model,
+                lineage,
+                status: ModelStatus::Shadow,
+            },
+        );
+        version
+    }
+
+    /// Promotes `version` to active through the registry's own handle.
+    pub fn promote(&self, version: u64) -> Result<Arc<VersionedModel>, LifecycleError> {
+        self.promote_with(version, |model, v| self.handle.swap(model, v))
+    }
+
+    /// Promotes `version`, routing the pointer swap through `swap` — a
+    /// [`LifecycleManager`](crate::manager::LifecycleManager) passes the
+    /// service's [`swap_model`](frappe_serve::FrappeService::swap_model)
+    /// here so serve's swap counter and version gauge fire too.
+    ///
+    /// Returns the displaced [`VersionedModel`] (the previous pointer).
+    pub fn promote_with(
+        &self,
+        version: u64,
+        swap: impl FnOnce(Arc<FrappeModel>, u64) -> Arc<VersionedModel>,
+    ) -> Result<Arc<VersionedModel>, LifecycleError> {
+        let mut inner = self.inner.lock();
+        if inner.active == version {
+            return Err(LifecycleError::AlreadyActive(version));
+        }
+        let model = Arc::clone(
+            &inner
+                .entries
+                .get(&version)
+                .ok_or(LifecycleError::UnknownVersion(version))?
+                .model,
+        );
+        let previous = inner.active;
+        if let Some(entry) = inner.entries.get_mut(&previous) {
+            entry.status = ModelStatus::Retired;
+        }
+        inner
+            .entries
+            .get_mut(&version)
+            .expect("looked up above")
+            .status = ModelStatus::Active;
+        inner.history.push(previous);
+        inner.active = version;
+        Ok(swap(model, version))
+    }
+
+    /// Rolls back to the previously-active version through the registry's
+    /// own handle. Returns the version rolled back *to*.
+    pub fn rollback(&self) -> Result<u64, LifecycleError> {
+        self.rollback_with(|model, v| self.handle.swap(model, v))
+    }
+
+    /// Rolls back to the previously-active version, routing the pointer
+    /// swap through `swap` (see [`Self::promote_with`]).
+    ///
+    /// The restored model is re-installed at a **new epoch**, so verdicts
+    /// cached before the rollback are still invalidated — serving "the
+    /// same model as before" is not the same as serving its stale cache.
+    pub fn rollback_with(
+        &self,
+        swap: impl FnOnce(Arc<FrappeModel>, u64) -> Arc<VersionedModel>,
+    ) -> Result<u64, LifecycleError> {
+        let mut inner = self.inner.lock();
+        let target = inner
+            .history
+            .pop()
+            .ok_or(LifecycleError::NoPreviousVersion)?;
+        let model = Arc::clone(
+            &inner
+                .entries
+                .get(&target)
+                .ok_or(LifecycleError::UnknownVersion(target))?
+                .model,
+        );
+        let displaced = inner.active;
+        if let Some(entry) = inner.entries.get_mut(&displaced) {
+            entry.status = ModelStatus::Retired;
+        }
+        inner
+            .entries
+            .get_mut(&target)
+            .expect("looked up above")
+            .status = ModelStatus::Active;
+        inner.active = target;
+        swap(model, target);
+        Ok(target)
+    }
+
+    /// The model registered under `version`.
+    pub fn model(&self, version: u64) -> Result<Arc<FrappeModel>, LifecycleError> {
+        self.inner
+            .lock()
+            .entries
+            .get(&version)
+            .map(|e| Arc::clone(&e.model))
+            .ok_or(LifecycleError::UnknownVersion(version))
+    }
+
+    /// Lineage of `version`.
+    pub fn lineage(&self, version: u64) -> Result<ModelLineage, LifecycleError> {
+        self.inner
+            .lock()
+            .entries
+            .get(&version)
+            .map(|e| e.lineage.clone())
+            .ok_or(LifecycleError::UnknownVersion(version))
+    }
+
+    /// Status of `version`.
+    pub fn status(&self, version: u64) -> Result<ModelStatus, LifecycleError> {
+        self.inner
+            .lock()
+            .entries
+            .get(&version)
+            .map(|e| e.status)
+            .ok_or(LifecycleError::UnknownVersion(version))
+    }
+
+    /// All registered versions, ascending.
+    pub fn versions(&self) -> Vec<u64> {
+        self.inner.lock().entries.keys().copied().collect()
+    }
+
+    /// Persists the registry: one checkpoint per version plus a
+    /// `lineage.json` manifest, all under `dir` (created if absent).
+    pub fn save_to_dir(&self, dir: &Path) -> Result<(), LifecycleError> {
+        std::fs::create_dir_all(dir).map_err(CheckpointError::Io)?;
+        let inner = self.inner.lock();
+        for (version, entry) in &inner.entries {
+            checkpoint::save_model(&dir.join(checkpoint_name(*version)), &entry.model)?;
+        }
+        let manifest = Manifest {
+            active: inner.active,
+            history: inner.history.clone(),
+            next_version: inner.next_version,
+            entries: inner
+                .entries
+                .values()
+                .map(|e| ManifestEntry {
+                    lineage: e.lineage.clone(),
+                    status: e.status,
+                })
+                .collect(),
+        };
+        let json = serde_json::to_string_pretty(&manifest)
+            .map_err(|e| LifecycleError::Manifest(e.to_string()))?;
+        let path = dir.join("lineage.json");
+        let tmp = dir.join("lineage.json.tmp");
+        std::fs::write(&tmp, json).map_err(CheckpointError::Io)?;
+        std::fs::rename(&tmp, &path).map_err(CheckpointError::Io)?;
+        Ok(())
+    }
+
+    /// Reloads a registry saved by [`Self::save_to_dir`]. Every
+    /// checkpoint is schema-checked on load, so a registry written under
+    /// a different feature catalog is refused rather than mis-wired.
+    pub fn load_from_dir(dir: &Path) -> Result<Self, LifecycleError> {
+        let manifest_text =
+            std::fs::read_to_string(dir.join("lineage.json")).map_err(CheckpointError::Io)?;
+        let manifest: Manifest = serde_json::from_str(&manifest_text)
+            .map_err(|e| LifecycleError::Manifest(e.to_string()))?;
+        let mut entries = BTreeMap::new();
+        let mut active_model: Option<Arc<FrappeModel>> = None;
+        for row in manifest.entries {
+            let version = row.lineage.version;
+            let model = Arc::new(checkpoint::load_model(&dir.join(checkpoint_name(version)))?);
+            if version == manifest.active {
+                active_model = Some(Arc::clone(&model));
+            }
+            entries.insert(
+                version,
+                Entry {
+                    model,
+                    lineage: row.lineage,
+                    status: row.status,
+                },
+            );
+        }
+        let active_model = active_model.ok_or_else(|| {
+            LifecycleError::Manifest(format!(
+                "active version {} has no manifest entry",
+                manifest.active
+            ))
+        })?;
+        Ok(ModelRegistry {
+            handle: SharedModel::new(
+                Arc::try_unwrap(active_model).unwrap_or_else(|m| (*m).clone()),
+                manifest.active,
+            ),
+            inner: Mutex::new(Inner {
+                entries,
+                next_version: manifest.next_version,
+                active: manifest.active,
+                history: manifest.history,
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::write_model;
+    use frappe::{AggregationFeatures, AppFeatures, FeatureSet, OnDemandFeatures};
+    use osn_types::ids::AppId;
+
+    fn row(malicious: bool, app: u64) -> AppFeatures {
+        AppFeatures {
+            app: AppId(app),
+            on_demand: OnDemandFeatures {
+                has_category: Some(!malicious),
+                has_company: Some(!malicious),
+                has_description: Some(!malicious),
+                has_profile_posts: Some(!malicious),
+                permission_count: Some(if malicious { 1 } else { 6 }),
+                client_id_mismatch: Some(malicious),
+                redirect_wot_score: Some(if malicious { -1.0 } else { 94.0 }),
+            },
+            aggregation: AggregationFeatures {
+                name_matches_known_malicious: malicious,
+                external_link_ratio: Some(if malicious { 1.0 } else { 0.0 }),
+            },
+        }
+    }
+
+    fn model(invert: bool) -> FrappeModel {
+        let samples: Vec<AppFeatures> =
+            (0..4).flat_map(|i| [row(false, i), row(true, i)]).collect();
+        let labels: Vec<bool> = (0..4)
+            .flat_map(|_| if invert { [true, false] } else { [false, true] })
+            .collect();
+        FrappeModel::train(&samples, &labels, FeatureSet::Full, None)
+    }
+
+    fn registry() -> ModelRegistry {
+        ModelRegistry::new(
+            model(false),
+            ModelSource {
+                seed: 7,
+                training_size: 8,
+                ..ModelSource::default()
+            },
+        )
+    }
+
+    #[test]
+    fn register_promote_rollback_walks_the_state_machine() {
+        let reg = registry();
+        assert_eq!(reg.active_version(), 1);
+        assert_eq!(reg.status(1).unwrap(), ModelStatus::Active);
+
+        let v2 = reg.register(
+            Arc::new(model(true)),
+            ModelSource {
+                parent: Some(1),
+                seed: 8,
+                training_size: 8,
+                cv: None,
+            },
+        );
+        assert_eq!(v2, 2);
+        assert_eq!(reg.status(2).unwrap(), ModelStatus::Shadow);
+        assert_eq!(reg.lineage(2).unwrap().parent, Some(1));
+
+        let displaced = reg.promote(2).unwrap();
+        assert_eq!(displaced.version(), 1);
+        assert_eq!(reg.active_version(), 2);
+        assert_eq!(reg.status(1).unwrap(), ModelStatus::Retired);
+        assert_eq!(reg.handle().version(), 2);
+        let epoch_after_promote = reg.handle().epoch();
+
+        let back = reg.rollback().unwrap();
+        assert_eq!(back, 1);
+        assert_eq!(reg.active_version(), 1);
+        assert_eq!(reg.status(1).unwrap(), ModelStatus::Active);
+        assert_eq!(reg.status(2).unwrap(), ModelStatus::Retired);
+        assert_eq!(reg.handle().version(), 1);
+        assert!(
+            reg.handle().epoch() > epoch_after_promote,
+            "rollback re-installs at a NEW epoch so pre-rollback verdicts stay dead"
+        );
+    }
+
+    #[test]
+    fn bad_transitions_are_typed_errors() {
+        let reg = registry();
+        assert!(matches!(
+            reg.promote(1),
+            Err(LifecycleError::AlreadyActive(1))
+        ));
+        assert!(matches!(
+            reg.promote(9),
+            Err(LifecycleError::UnknownVersion(9))
+        ));
+        assert!(matches!(
+            reg.rollback(),
+            Err(LifecycleError::NoPreviousVersion)
+        ));
+        assert!(matches!(
+            reg.model(9),
+            Err(LifecycleError::UnknownVersion(9))
+        ));
+    }
+
+    #[test]
+    fn save_and_reload_preserve_models_lineage_and_active_pointer() {
+        let reg = registry();
+        let v2 = reg.register(
+            Arc::new(model(true)),
+            ModelSource {
+                parent: Some(1),
+                seed: 8,
+                training_size: 8,
+                cv: Some(CvMetrics {
+                    accuracy: 0.99,
+                    false_positive_rate: 0.01,
+                    false_negative_rate: 0.02,
+                }),
+            },
+        );
+        reg.promote(v2).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("frappe-registry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        reg.save_to_dir(&dir).unwrap();
+        let reloaded = ModelRegistry::load_from_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        assert_eq!(reloaded.active_version(), 2);
+        assert_eq!(reloaded.versions(), vec![1, 2]);
+        assert_eq!(reloaded.status(1).unwrap(), ModelStatus::Retired);
+        assert_eq!(reloaded.lineage(2).unwrap().cv.unwrap().accuracy, 0.99);
+        for v in [1, 2] {
+            assert_eq!(
+                write_model(&reloaded.model(v).unwrap()),
+                write_model(&reg.model(v).unwrap()),
+                "reloaded v{v} is byte-identical"
+            );
+        }
+        assert_eq!(reloaded.rollback().unwrap(), 1, "history survives reload");
+    }
+}

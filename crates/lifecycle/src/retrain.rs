@@ -1,0 +1,181 @@
+//! The retraining driver.
+//!
+//! Turns a fresh batch of PageKeeper-style labels into a candidate model
+//! plus the lineage a [`ModelRegistry`](crate::registry::ModelRegistry)
+//! entry needs: fit imputation medians, min–max scaling, and the paper's
+//! RBF SVM (`C = 1`, `gamma = 1/dim`) on the labelled rows, and
+//! cross-validate k-fold with the fold trainings fanned across a
+//! [`frappe_jobs::JobPool`].
+//!
+//! Determinism is non-negotiable here: the fold protocol is seeded and
+//! each fold is an isolated task, so the same inputs produce a
+//! **byte-identical checkpoint and bit-identical CV metrics at any
+//! thread count** (`FRAPPE_JOBS=1` vs `=8` — asserted in
+//! `tests/lifecycle.rs`). A retrain that depended on scheduling would
+//! make promotion decisions unreproducible.
+
+use frappe::{AppFeatures, FeatureSet, FrappeModel, Imputation};
+use frappe_jobs::JobPool;
+use svm::{cross_validate_on, Dataset, SvmParams};
+
+use crate::registry::{CvMetrics, ModelSource};
+
+/// How to retrain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrainConfig {
+    /// Feature set of the candidate (default [`FeatureSet::Full`]).
+    pub set: FeatureSet,
+    /// Cross-validation folds (default 5, the paper's protocol).
+    pub folds: usize,
+    /// Seed for fold shuffling.
+    pub seed: u64,
+}
+
+impl Default for RetrainConfig {
+    fn default() -> Self {
+        RetrainConfig {
+            set: FeatureSet::Full,
+            folds: 5,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A trained candidate plus the evidence about it.
+#[derive(Debug, Clone)]
+pub struct RetrainOutcome {
+    /// The candidate model, trained on the full labelled batch.
+    pub model: FrappeModel,
+    /// K-fold cross-validation metrics from the same batch.
+    pub cv: CvMetrics,
+    /// Number of labelled rows it was trained on.
+    pub training_size: usize,
+    /// Seed the run used (copied from the config, for lineage).
+    pub seed: u64,
+}
+
+impl RetrainOutcome {
+    /// Packages the outcome as the [`ModelSource`] half of a registry
+    /// entry, naming the version it retrains from.
+    pub fn source(&self, parent: Option<u64>) -> ModelSource {
+        ModelSource {
+            parent,
+            seed: self.seed,
+            training_size: self.training_size,
+            cv: Some(self.cv),
+        }
+    }
+}
+
+/// [`retrain_on`] with a pool sized by the `FRAPPE_JOBS` environment
+/// variable (see [`JobPool::from_env`]).
+pub fn retrain(samples: &[AppFeatures], labels: &[bool], config: &RetrainConfig) -> RetrainOutcome {
+    retrain_on(&JobPool::from_env(), samples, labels, config)
+}
+
+/// Retrains a candidate on `samples`/`labels`, cross-validating on
+/// `pool`. Bit-identical outcome for any pool size.
+///
+/// # Panics
+/// Panics if the batch is empty, single-class, or too small for the
+/// configured fold count (each class needs ≥ `folds` members) — a batch
+/// like that cannot yield a promotable model, and silently training one
+/// anyway would poison the registry.
+pub fn retrain_on(
+    pool: &JobPool,
+    samples: &[AppFeatures],
+    labels: &[bool],
+    config: &RetrainConfig,
+) -> RetrainOutcome {
+    assert_eq!(samples.len(), labels.len(), "one label per sample");
+    let params = SvmParams::paper_defaults(config.set.dim());
+
+    // CV on the exact numeric dataset the final model will see.
+    let imputation = Imputation::fit_medians(samples);
+    let xs: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|s| imputation.encode(config.set, s))
+        .collect();
+    let ys: Vec<f64> = labels.iter().map(|&m| if m { 1.0 } else { -1.0 }).collect();
+    let data = Dataset::new(xs, ys).expect("encoded features are rectangular and finite");
+    let report = cross_validate_on(pool, &data, &params, config.folds, config.seed);
+
+    let model = FrappeModel::train(samples, labels, config.set, Some(params));
+    RetrainOutcome {
+        model,
+        cv: CvMetrics::from(&report),
+        training_size: samples.len(),
+        seed: config.seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::write_model;
+    use frappe::{AggregationFeatures, OnDemandFeatures};
+    use osn_types::ids::AppId;
+
+    fn row(malicious: bool, app: u64) -> AppFeatures {
+        // Mildly noisy so CV folds are non-trivial.
+        let wobble = (app % 3) as f64;
+        AppFeatures {
+            app: AppId(app),
+            on_demand: OnDemandFeatures {
+                has_category: Some(!malicious),
+                has_company: Some(!malicious),
+                has_description: Some(!malicious || app % 7 == 0),
+                has_profile_posts: Some(!malicious),
+                permission_count: Some(if malicious { 1 + (app % 2) as u32 } else { 5 }),
+                client_id_mismatch: Some(malicious && app % 5 != 0),
+                redirect_wot_score: Some(if malicious {
+                    5.0 + wobble
+                } else {
+                    90.0 - wobble
+                }),
+            },
+            aggregation: AggregationFeatures {
+                name_matches_known_malicious: malicious,
+                external_link_ratio: Some(if malicious { 0.9 } else { 0.05 }),
+            },
+        }
+    }
+
+    fn batch(n: u64) -> (Vec<AppFeatures>, Vec<bool>) {
+        let samples: Vec<AppFeatures> = (0..n)
+            .flat_map(|i| [row(false, 2 * i), row(true, 2 * i + 1)])
+            .collect();
+        let labels: Vec<bool> = (0..n).flat_map(|_| [false, true]).collect();
+        (samples, labels)
+    }
+
+    #[test]
+    fn retrain_learns_and_reports_cv() {
+        let (samples, labels) = batch(30);
+        let out = retrain_on(
+            &JobPool::with_threads(2),
+            &samples,
+            &labels,
+            &RetrainConfig::default(),
+        );
+        assert_eq!(out.training_size, 60);
+        assert!(out.cv.accuracy > 0.9, "cv accuracy {}", out.cv.accuracy);
+        for (s, &label) in samples.iter().zip(&labels) {
+            assert_eq!(out.model.predict(s), label);
+        }
+        let source = out.source(Some(1));
+        assert_eq!(source.parent, Some(1));
+        assert_eq!(source.training_size, 60);
+        assert_eq!(source.cv.unwrap(), out.cv);
+    }
+
+    #[test]
+    fn outcome_is_bit_identical_across_pool_sizes() {
+        let (samples, labels) = batch(25);
+        let config = RetrainConfig::default();
+        let a = retrain_on(&JobPool::with_threads(1), &samples, &labels, &config);
+        let b = retrain_on(&JobPool::with_threads(8), &samples, &labels, &config);
+        assert_eq!(write_model(&a.model), write_model(&b.model));
+        assert_eq!(a.cv, b.cv);
+    }
+}

@@ -56,6 +56,10 @@ pub struct AuditRecord {
     /// Feature-store generation the score was computed against
     /// (online verdicts only).
     pub generation: Option<u64>,
+    /// Version of the model that produced the verdict (online verdicts
+    /// only) — keeps audit trails attributable across hot swaps.
+    #[serde(default)]
+    pub model_version: Option<u64>,
 }
 
 impl AuditRecord {
@@ -182,6 +186,7 @@ mod tests {
                 },
             ],
             generation: None,
+            model_version: None,
         }
     }
 

@@ -2,22 +2,34 @@
 //!
 //! Scoring is the expensive step (RBF kernel over every support vector),
 //! so verdicts are memoized — but a verdict is only as fresh as the
-//! evidence it scored. Instead of eagerly purging entries on every
-//! ingest, each cached verdict is stamped with two **generations**:
+//! evidence *and the model* it scored. Instead of eagerly purging entries
+//! on every ingest, each cached verdict is stamped with three
+//! **generations**:
 //!
 //! * the app's feature-store generation (bumped by every event touching
-//!   the app), and
+//!   the app),
 //! * the known-malicious-names generation (bumped when the collision
-//!   list grows).
+//!   list grows), and
+//! * the model epoch (bumped by every hot swap — promotion or rollback —
+//!   of the [`frappe::SharedModel`] the service scores through).
 //!
-//! A lookup hits only when *both* stamps match current reality; stale
-//! entries are overwritten in place the next time the app is scored.
-//! This makes invalidation O(0) on the ingest path — new evidence does
-//! not even have to know the cache exists.
+//! A lookup hits only when *all three* stamps match current reality;
+//! stale entries are overwritten in place the next time the app is
+//! scored. This makes invalidation O(0) on the ingest path *and* on the
+//! model-swap path — new evidence and new models alike do not even have
+//! to know the cache exists. The model-epoch stamp closes the staleness
+//! hazard a two-stamp cache had: before it, anything that changed scoring
+//! other than a store or known-names bump (i.e. a model swap) would keep
+//! serving the old model's verdicts.
+//!
+//! [`clear`](VerdictCache::clear) exists for callers that want eager
+//! reclamation (dropping a retired model's entries instead of waiting for
+//! overwrite); evictions are counted so operators can see it happen.
 //!
 //! Sharded like the feature store so cache traffic scales with it.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use osn_types::ids::AppId;
 use parking_lot::RwLock;
@@ -29,12 +41,14 @@ struct Entry {
     verdict: Verdict,
     app_generation: u64,
     known_generation: u64,
+    model_epoch: u64,
 }
 
 /// Generation-stamped verdict memo.
 #[derive(Debug)]
 pub struct VerdictCache {
     shards: Vec<RwLock<HashMap<AppId, Entry>>>,
+    evictions: AtomicU64,
 }
 
 impl VerdictCache {
@@ -43,6 +57,7 @@ impl VerdictCache {
         assert!(shards > 0, "a cache needs at least one shard");
         VerdictCache {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -51,24 +66,61 @@ impl VerdictCache {
     }
 
     /// Returns the cached verdict iff it was scored at exactly
-    /// (`app_generation`, `known_generation`).
-    pub fn get(&self, app: AppId, app_generation: u64, known_generation: u64) -> Option<Verdict> {
+    /// (`app_generation`, `known_generation`, `model_epoch`).
+    pub fn get(
+        &self,
+        app: AppId,
+        app_generation: u64,
+        known_generation: u64,
+        model_epoch: u64,
+    ) -> Option<Verdict> {
         let shard = self.shard_of(app).read();
         let entry = shard.get(&app)?;
-        (entry.app_generation == app_generation && entry.known_generation == known_generation)
+        (entry.app_generation == app_generation
+            && entry.known_generation == known_generation
+            && entry.model_epoch == model_epoch)
             .then(|| entry.verdict.clone())
     }
 
     /// Stores a verdict stamped with the generations it scored.
-    pub fn put(&self, app: AppId, verdict: Verdict, app_generation: u64, known_generation: u64) {
+    pub fn put(
+        &self,
+        app: AppId,
+        verdict: Verdict,
+        app_generation: u64,
+        known_generation: u64,
+        model_epoch: u64,
+    ) {
         self.shard_of(app).write().insert(
             app,
             Entry {
                 verdict,
                 app_generation,
                 known_generation,
+                model_epoch,
             },
         );
+    }
+
+    /// Drops every entry (fresh or stale), returning how many were
+    /// evicted; the count also accumulates into
+    /// [`evictions`](Self::evictions). Stale entries normally die by
+    /// overwrite — this is for eager reclamation after a model retires.
+    pub fn clear(&self) -> usize {
+        let mut dropped = 0usize;
+        for shard in &self.shards {
+            let mut map = shard.write();
+            dropped += map.len();
+            map.clear();
+        }
+        self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Total entries evicted by [`clear`](Self::clear) over this cache's
+    /// lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Number of cached entries (fresh or stale).
@@ -92,18 +144,20 @@ mod tests {
             malicious,
             decision_value: if malicious { 1.5 } else { -1.5 },
             generation: 1,
+            model_version: 1,
         }
     }
 
     #[test]
-    fn hit_requires_both_generations_to_match() {
+    fn hit_requires_all_three_generations_to_match() {
         let cache = VerdictCache::new(2);
         let app = AppId(5);
-        cache.put(app, verdict(app, true), 3, 7);
-        assert!(cache.get(app, 3, 7).is_some());
-        assert!(cache.get(app, 4, 7).is_none(), "new app evidence");
-        assert!(cache.get(app, 3, 8).is_none(), "known-names growth");
-        assert!(cache.get(AppId(6), 3, 7).is_none(), "different app");
+        cache.put(app, verdict(app, true), 3, 7, 2);
+        assert!(cache.get(app, 3, 7, 2).is_some());
+        assert!(cache.get(app, 4, 7, 2).is_none(), "new app evidence");
+        assert!(cache.get(app, 3, 8, 2).is_none(), "known-names growth");
+        assert!(cache.get(app, 3, 7, 3).is_none(), "model hot swap");
+        assert!(cache.get(AppId(6), 3, 7, 2).is_none(), "different app");
         assert_eq!(cache.len(), 1);
     }
 
@@ -111,11 +165,27 @@ mod tests {
     fn rescoring_overwrites_the_stale_entry() {
         let cache = VerdictCache::new(1);
         let app = AppId(9);
-        cache.put(app, verdict(app, false), 1, 1);
-        cache.put(app, verdict(app, true), 2, 1);
+        cache.put(app, verdict(app, false), 1, 1, 0);
+        cache.put(app, verdict(app, true), 2, 1, 0);
         assert_eq!(cache.len(), 1, "replaced in place");
-        assert!(cache.get(app, 1, 1).is_none());
-        assert!(cache.get(app, 2, 1).unwrap().malicious);
+        assert!(cache.get(app, 1, 1, 0).is_none());
+        assert!(cache.get(app, 2, 1, 0).unwrap().malicious);
+    }
+
+    #[test]
+    fn clear_drops_everything_and_counts_evictions() {
+        let cache = VerdictCache::new(4);
+        for raw in 0..10u64 {
+            let app = AppId(raw);
+            cache.put(app, verdict(app, false), 1, 1, 0);
+        }
+        assert_eq!(cache.len(), 10);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.clear(), 10);
+        assert!(cache.is_empty());
+        assert_eq!(cache.evictions(), 10);
+        assert_eq!(cache.clear(), 0, "second clear finds nothing");
+        assert_eq!(cache.evictions(), 10);
     }
 
     #[test]
@@ -123,5 +193,6 @@ mod tests {
         let cache = VerdictCache::new(4);
         assert!(cache.is_empty());
         assert_eq!(cache.len(), 0);
+        assert_eq!(cache.evictions(), 0);
     }
 }

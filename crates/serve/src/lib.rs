@@ -34,6 +34,13 @@
 //! synthetic scenarios. The service can also stream explained verdicts
 //! into an [`frappe_obs::AuditLog`]
 //! (see [`FrappeService::set_audit_log`]).
+//!
+//! The service scores through a [`frappe::SharedModel`] epoch-pointer,
+//! so a lifecycle layer (`frappe-lifecycle`) can retrain, hot-swap,
+//! and roll back models behind a running instance
+//! ([`FrappeService::swap_model`]); every verdict is stamped with the
+//! model version that produced it, and the cache's model-epoch stamp
+//! guarantees no swap ever serves a stale verdict.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -95,6 +95,9 @@ pub struct Metrics {
     cache_misses: Arc<Counter>,
     rejected: Arc<Counter>,
     batches_scored: Arc<Counter>,
+    model_swaps: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    model_version: Arc<Gauge>,
     queue_depth: Arc<Gauge>,
     latency: Arc<Histogram>,
     /// One counter per catalog feature, in catalog order: how often that
@@ -115,6 +118,9 @@ impl Metrics {
             cache_misses: registry.counter("serve_cache_misses"),
             rejected: registry.counter("serve_rejected"),
             batches_scored: registry.counter("serve_batches_scored"),
+            model_swaps: registry.counter("serve_model_swaps"),
+            cache_evictions: registry.counter("serve_cache_evictions"),
+            model_version: registry.gauge("serve_model_version"),
             queue_depth: registry.gauge("serve_queue_depth"),
             latency: registry.histogram("serve_query_latency_micros", &LATENCY_BOUNDS_MICROS),
             feature_unobserved: frappe::catalog::all()
@@ -161,6 +167,24 @@ impl Metrics {
         self.batches_scored.inc();
     }
 
+    /// Publishes the version of the model currently scoring (set at
+    /// construction and on every swap).
+    pub fn set_model_version(&self, version: u64) {
+        self.model_version.set(version.min(i64::MAX as u64) as i64);
+    }
+
+    /// One hot swap of the scoring model (promotion or rollback); also
+    /// republishes the version gauge.
+    pub fn model_swapped(&self, new_version: u64) {
+        self.model_swaps.inc();
+        self.set_model_version(new_version);
+    }
+
+    /// `n` verdicts eagerly evicted from the cache.
+    pub fn cache_evicted(&self, n: u64) {
+        self.cache_evictions.add(n);
+    }
+
     /// Records which lanes of a freshly scored row were unobserved
     /// (scored from imputation instead of evidence), one counter per
     /// catalog feature. The unobserved test is the catalog's own encode
@@ -194,6 +218,9 @@ impl Metrics {
             },
             rejected: self.rejected.get(),
             batches_scored: self.batches_scored.get(),
+            model_version: self.model_version.get().max(0) as u64,
+            model_swaps: self.model_swaps.get(),
+            cache_evictions: self.cache_evictions.get(),
             queue_depth,
             latency: LatencySnapshot::from_histogram(&self.latency.snapshot()),
         }
@@ -225,6 +252,13 @@ pub struct MetricsSnapshot {
     pub rejected: u64,
     /// Worker batches drained.
     pub batches_scored: u64,
+    /// Version of the model currently scoring.
+    pub model_version: u64,
+    /// Hot swaps of the scoring model (promotions + rollbacks).
+    pub model_swaps: u64,
+    /// Verdicts eagerly evicted from the cache (lazy invalidation by
+    /// generation stamp is not counted here — those die by overwrite).
+    pub cache_evictions: u64,
     /// Scoring-queue depth when the snapshot was taken.
     pub queue_depth: usize,
     /// Query-latency histogram.
@@ -247,6 +281,9 @@ mod tests {
         m.rejected();
         m.batch_scored();
         m.query_served(Duration::from_micros(30));
+        m.set_model_version(1);
+        m.model_swapped(2);
+        m.cache_evicted(4);
         let s = m.snapshot(5);
         assert_eq!(s.events_ingested, 2);
         assert_eq!(s.queries_served, 1);
@@ -255,6 +292,9 @@ mod tests {
         assert!((s.cache_hit_ratio - 0.25).abs() < 1e-12);
         assert_eq!(s.rejected, 1);
         assert_eq!(s.batches_scored, 1);
+        assert_eq!(s.model_version, 2, "swap republished the gauge");
+        assert_eq!(s.model_swaps, 1);
+        assert_eq!(s.cache_evictions, 4);
         assert_eq!(s.queue_depth, 5);
         assert_eq!(s.latency.count, 1);
     }

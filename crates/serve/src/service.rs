@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use frappe::features::aggregation::KnownMaliciousNames;
-use frappe::{AppFeatures, FrappeModel, SharedKnownNames};
+use frappe::{AppFeatures, FrappeModel, SharedKnownNames, SharedModel, VersionedModel};
 use frappe_obs::{AuditLog, AuditSource, Registry};
 use osn_types::ids::AppId;
 use parking_lot::RwLock;
@@ -74,6 +74,9 @@ pub struct Verdict {
     /// Feature-store generation the verdict scored — pin it to the
     /// evidence it was based on.
     pub generation: u64,
+    /// Registry version of the model that scored it — pins the verdict
+    /// to the model across hot swaps.
+    pub model_version: u64,
 }
 
 /// Why a classify call did not produce a verdict.
@@ -106,7 +109,7 @@ impl std::error::Error for ServeError {}
 
 /// Everything a scorer worker needs, shared once behind an `Arc`.
 pub(crate) struct ScoreEngine {
-    model: FrappeModel,
+    model: SharedModel,
     store: FeatureStore,
     cache: VerdictCache,
     known: SharedKnownNames,
@@ -125,14 +128,18 @@ impl ScoreEngine {
             .generation_of(app)
             .ok_or(ServeError::UnknownApp(app))?;
         let known_gen = self.known.generation();
-        if let Some(hit) = self.cache.get(app, app_gen, known_gen) {
+        let model_epoch = self.model.epoch();
+        if let Some(hit) = self.cache.get(app, app_gen, known_gen, model_epoch) {
             self.metrics.cache_hit();
             return Ok(hit);
         }
         self.metrics.cache_miss();
 
-        // slow path: snapshot under the known-names read lock so the
-        // generation we stamp matches the set we actually consulted
+        // slow path: pin the model once (version, epoch, and weights stay
+        // consistent even if a swap lands mid-score), then snapshot under
+        // the known-names read lock so the generation we stamp matches
+        // the set we actually consulted
+        let vm = self.model.current();
         let (snapshot, known_gen) = self
             .known
             .with(|known, known_gen| (self.store.snapshot(app, known), known_gen));
@@ -141,22 +148,27 @@ impl ScoreEngine {
             generation,
         } = snapshot.ok_or(ServeError::UnknownApp(app))?;
         self.metrics.lanes_unobserved(&features);
-        let decision_value = self.model.decision_value(&features);
+        let decision_value = vm.model().decision_value(&features);
         let verdict = Verdict {
             app,
             malicious: decision_value >= 0.0,
             decision_value,
             generation,
+            model_version: vm.version(),
         };
         // Fresh scores are auditable: linear models decompose into
         // per-feature contributions (cache hits replay an already-audited
         // score, so they do not re-emit).
         if let Some(log) = self.audit.read().clone() {
-            if let Some(explanation) = self.model.explain(&features) {
-                log.record(explanation.into_audit_record(AuditSource::Online, Some(generation)));
+            if let Some(explanation) = vm.model().explain(&features) {
+                let mut record =
+                    explanation.into_audit_record(AuditSource::Online, Some(generation));
+                record.model_version = Some(vm.version());
+                log.record(record);
             }
         }
-        self.cache.put(app, verdict.clone(), generation, known_gen);
+        self.cache
+            .put(app, verdict.clone(), generation, known_gen, vm.epoch());
         Ok(verdict)
     }
 
@@ -191,6 +203,24 @@ impl FrappeService {
         shortener: Shortener,
         config: ServeConfig,
     ) -> Self {
+        Self::with_shared_model(SharedModel::new(model, 1), known, shortener, config)
+    }
+
+    /// Builds a service that scores through an externally owned
+    /// [`SharedModel`] handle — the lifecycle layer's entry point. A
+    /// registry keeps a clone of the handle and promotes or rolls back by
+    /// swapping it; the service observes every swap through the epoch
+    /// stamp, so no cached verdict survives a swap.
+    ///
+    /// # Panics
+    /// Panics if `config` has zero shards, workers, queue capacity, or
+    /// batch size.
+    pub fn with_shared_model(
+        model: SharedModel,
+        known: KnownMaliciousNames,
+        shortener: Shortener,
+        config: ServeConfig,
+    ) -> Self {
         assert!(config.workers > 0, "need at least one scorer");
         assert!(config.queue_capacity > 0, "need a non-empty queue");
         assert!(config.batch_size > 0, "batches hold at least one request");
@@ -203,6 +233,7 @@ impl FrappeService {
             metrics: Metrics::default(),
             audit: RwLock::new(None),
         });
+        engine.metrics.set_model_version(engine.model.version());
         let pool = ScorerPool::new(
             config.workers,
             config.queue_capacity,
@@ -257,6 +288,34 @@ impl FrappeService {
     /// lazily — a new name can flip any app's collision feature.
     pub fn flag_name(&self, name: &str) -> bool {
         self.engine.known.insert(name)
+    }
+
+    /// Hot-swaps the scoring model (a promotion or a rollback), returning
+    /// the displaced `(version, epoch, model)` triple. The epoch bump
+    /// lazily invalidates every cached verdict — in-flight scores finish
+    /// on whichever model they pinned, but their cache entries can never
+    /// satisfy a post-swap lookup. Also republishes the model-version
+    /// gauge and bumps the swap counter.
+    pub fn swap_model(&self, model: Arc<FrappeModel>, version: u64) -> Arc<VersionedModel> {
+        let old = self.engine.model.swap(model, version);
+        self.engine.metrics.model_swapped(version);
+        old
+    }
+
+    /// The shared model handle the service scores through. A lifecycle
+    /// registry holds a clone and swaps it; swaps through either handle
+    /// are observed identically.
+    pub fn model_handle(&self) -> SharedModel {
+        self.engine.model.clone()
+    }
+
+    /// Eagerly drops every cached verdict (fresh or stale), returning the
+    /// eviction count. Stale entries normally die lazily by stamp
+    /// mismatch; this reclaims their memory after a model retires.
+    pub fn clear_verdict_cache(&self) -> usize {
+        let dropped = self.engine.cache.clear();
+        self.engine.metrics.cache_evicted(dropped as u64);
+        dropped
     }
 
     /// Shared handle to the known-malicious name set the service scores
@@ -320,7 +379,7 @@ mod tests {
     use frappe::features::aggregation::AggregationFeatures;
     use frappe::{FeatureSet, OnDemandFeatures};
 
-    fn tiny_model() -> FrappeModel {
+    fn prototypes() -> (AppFeatures, AppFeatures) {
         let benign = AppFeatures {
             app: AppId(1),
             on_demand: OnDemandFeatures {
@@ -353,8 +412,22 @@ mod tests {
                 external_link_ratio: Some(1.0),
             },
         };
+        (benign, malicious)
+    }
+
+    fn tiny_model() -> FrappeModel {
+        let (benign, malicious) = prototypes();
         let samples: Vec<AppFeatures> = (0..4).flat_map(|_| [benign, malicious]).collect();
         let labels: Vec<bool> = (0..4).flat_map(|_| [false, true]).collect();
+        FrappeModel::train(&samples, &labels, FeatureSet::Full, None)
+    }
+
+    /// Same prototypes, labels flipped: calls textbook-malicious apps
+    /// benign. Swapping to it must visibly change verdicts.
+    fn inverted_model() -> FrappeModel {
+        let (benign, malicious) = prototypes();
+        let samples: Vec<AppFeatures> = (0..4).flat_map(|_| [benign, malicious]).collect();
+        let labels: Vec<bool> = (0..4).flat_map(|_| [true, false]).collect();
         FrappeModel::train(&samples, &labels, FeatureSet::Full, None)
     }
 
@@ -457,6 +530,49 @@ mod tests {
         let _ = svc.classify(app).unwrap();
         let m = svc.metrics();
         assert_eq!(m.cache_misses, 2, "known-generation bump evicted");
+    }
+
+    #[test]
+    fn mid_stream_model_swap_serves_no_stale_verdicts() {
+        let svc = service();
+        let app = AppId(41);
+        feed_malicious(&svc, app);
+        let v1 = svc.classify(app).unwrap();
+        assert!(v1.malicious, "incumbent flags the evidence");
+        assert_eq!(v1.model_version, 1);
+        let _ = svc.classify(app).unwrap(); // warm hit on the incumbent
+
+        let old = svc.swap_model(Arc::new(inverted_model()), 2);
+        assert_eq!(old.version(), 1);
+        assert_eq!(old.epoch(), 0);
+
+        let v2 = svc.classify(app).unwrap();
+        assert_eq!(
+            v2.model_version, 2,
+            "post-swap verdict carries the new version"
+        );
+        assert!(!v2.malicious, "the inverted model flips the call");
+        let m = svc.metrics();
+        assert_eq!(m.cache_misses, 2, "the swap forced a re-score");
+        assert_eq!(
+            m.cache_hits, 1,
+            "only the pre-swap hit; zero stale hits after"
+        );
+        assert_eq!(m.model_swaps, 1);
+        assert_eq!(m.model_version, 2);
+    }
+
+    #[test]
+    fn clearing_the_cache_counts_evictions() {
+        let svc = service();
+        for raw in [51u64, 52, 53] {
+            let app = AppId(raw);
+            feed_malicious(&svc, app);
+            let _ = svc.classify(app).unwrap();
+        }
+        assert_eq!(svc.clear_verdict_cache(), 3);
+        assert_eq!(svc.clear_verdict_cache(), 0, "already empty");
+        assert_eq!(svc.metrics().cache_evictions, 3);
     }
 
     #[test]

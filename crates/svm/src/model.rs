@@ -57,6 +57,15 @@ impl SvmModel {
         self.support_vectors.len()
     }
 
+    /// The support vectors themselves (row-major, one `Vec` per vector).
+    ///
+    /// Exposed so model checkpoints can serialize the decision function
+    /// exactly; pair each row with the matching entry of
+    /// [`dual_coefs`](Self::dual_coefs).
+    pub fn support_vectors(&self) -> &[Vec<f64>] {
+        &self.support_vectors
+    }
+
     /// Signed dual coefficients (`yᵢ·αᵢ`).
     pub fn dual_coefs(&self) -> &[f64] {
         &self.dual_coefs

@@ -27,6 +27,26 @@ pub struct Scaler {
 }
 
 impl Scaler {
+    /// Reassembles a scaler from previously fitted bounds (checkpoint
+    /// restore). The inverse of [`mins`](Self::mins)/[`maxs`](Self::maxs).
+    ///
+    /// # Panics
+    /// Panics if the two vectors differ in length.
+    pub fn from_bounds(mins: Vec<f64>, maxs: Vec<f64>) -> Scaler {
+        assert_eq!(mins.len(), maxs.len(), "one (min, max) pair per lane");
+        Scaler { mins, maxs }
+    }
+
+    /// Fitted per-lane minima, in lane order.
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Fitted per-lane maxima, in lane order.
+    pub fn maxs(&self) -> &[f64] {
+        &self.maxs
+    }
+
     /// Learns per-feature minima and maxima from a dataset.
     ///
     /// # Panics

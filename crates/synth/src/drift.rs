@@ -1,0 +1,78 @@
+//! Drift scenarios: the §7 adaptation attack as a workload.
+//!
+//! §7 of the paper asks what happens *after* FRAppE deploys: hackers can
+//! cheaply fill in the summary fields the classifier keys on (add a
+//! description, a company, a category, seed the profile feed) while the
+//! robust features — permission count, client-ID mismatch, redirect
+//! reputation — are structurally expensive to fake. These two configs
+//! make that forecast a reproducible workload for the lifecycle layer's
+//! drift detector:
+//!
+//! * [`stationary_config`] — the standard small world with a caller
+//!   -chosen seed: the same population the baseline was fitted on, drawn
+//!   again. A drift detector must stay quiet here.
+//! * [`drifting_config`] — the same world after the summary-filling
+//!   adaptation: malicious apps now configure their summary fields at
+//!   near-benign rates, so the obfuscatable lanes' distributions shift
+//!   hard while the robust lanes stay put. A drift detector must fire
+//!   here, and only on the obfuscatable lanes.
+
+use crate::config::ScenarioConfig;
+
+/// The standard small world under a caller-chosen seed — the "nothing
+/// changed" control arm of a drift experiment.
+pub fn stationary_config(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        ..ScenarioConfig::small()
+    }
+}
+
+/// The small world after the adaptation §7 forecasts: a surge of new
+/// campaigns (three times the malicious app mass, twice the campaigns)
+/// whose apps fill in description/company/category and seed their
+/// profile feeds at near-benign rates. The per-app *robust* feature
+/// rates — single-permission, client-ID mismatch — are untouched: the
+/// shift a detector sees is the population moving, exactly the kind of
+/// change a frozen model silently degrades under.
+pub fn drifting_config(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        malicious_apps: 360,
+        campaigns: 16,
+        malicious_description_rate: 0.85,
+        malicious_company_rate: 0.70,
+        malicious_category_rate: 0.80,
+        malicious_profile_feed_rate: 0.70,
+        ..ScenarioConfig::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_configs_validate() {
+        stationary_config(7).validate();
+        drifting_config(7).validate();
+    }
+
+    #[test]
+    fn drifting_touches_only_obfuscatable_knobs() {
+        let base = stationary_config(9);
+        let drifted = drifting_config(9);
+        assert!(drifted.malicious_apps > 2 * base.malicious_apps, "surge");
+        assert!(drifted.malicious_description_rate > base.malicious_description_rate);
+        assert!(drifted.malicious_profile_feed_rate > base.malicious_profile_feed_rate);
+        // Robust lanes must be untouched — drift should not leak into them.
+        assert_eq!(
+            drifted.malicious_single_permission_rate,
+            base.malicious_single_permission_rate
+        );
+        assert_eq!(
+            drifted.malicious_client_id_mismatch_rate,
+            base.malicious_client_id_mismatch_rate
+        );
+    }
+}

@@ -26,6 +26,7 @@ pub mod campaign;
 pub mod config;
 pub mod datasets;
 pub mod distributions;
+pub mod drift;
 pub mod names;
 pub mod piggyback;
 pub mod population;
@@ -34,5 +35,6 @@ pub mod scenario;
 
 pub use config::ScenarioConfig;
 pub use datasets::{build_datasets, DatasetBundle, LabeledApps};
+pub use drift::{drifting_config, stationary_config};
 pub use replay::{replay_events, ReplayEvent};
 pub use scenario::{run_scenario, GroundTruth, ScenarioWorld};

@@ -39,11 +39,21 @@ cargo test -q -p frappe-lifecycle --no-default-features
 FRAPPE_JOBS=1 cargo test -q -p frappe-lifecycle --test lifecycle
 FRAPPE_JOBS=8 cargo test -q -p frappe-lifecycle --test lifecycle
 
+echo "==> network edge suite (epoll reactor, HTTP routes, 429 shed, fenced hot swap)"
+# Real sockets on an ephemeral loopback port: byte-identical verdicts
+# vs in-process classify, the deterministic 429 + Retry-After contract,
+# and a promote/rollback under concurrent socket load fenced by the
+# drain protocol (zero drops, zero stale bodies).
+cargo test -q -p frappe-net --test edge
+
 echo "==> training bench, quick mode (serial vs parallel, BENCH_training.json)"
 cargo run --release -p frappe-bench --bin repro -- --small --bench-out BENCH_training.json
 
 echo "==> lifecycle bench, quick mode (retrain/swap/shadow, BENCH_lifecycle.json)"
 cargo run --release -p frappe-bench --bin repro -- --small --lifecycle-bench-out BENCH_lifecycle.json
+
+echo "==> edge bench, quick mode (socket ingest/classify/shed/drain, BENCH_edge.json)"
+cargo run --release -p frappe-bench --bin repro -- --small --edge-bench-out BENCH_edge.json
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

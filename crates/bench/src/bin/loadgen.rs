@@ -8,7 +8,8 @@
 //! ```text
 //! cargo run --release -p frappe-bench --bin loadgen -- \
 //!     [--shards N] [--workers N] [--query-threads N] [--queries N] [--paper-scale] \
-//!     [--linear] [--profile] [--metrics-out PATH] [--swap-every N]
+//!     [--linear] [--profile] [--metrics-out PATH] [--swap-every N] \
+//!     [--connect ADDR|self] [--rate N] [--seed N]
 //! ```
 //!
 //! On exit the run always prints the service registry as Prometheus text;
@@ -19,15 +20,30 @@
 //! live model every N queries (alternating the full-batch model with one
 //! trained on half the data, each at a fresh version), exercising the
 //! lifecycle layer's epoch-pointer swap under full query load.
+//!
+//! `--connect` switches to **socket mode**: instead of calling the
+//! service in-process, loadgen drives a `frappe-net` edge over real TCP
+//! connections — NDJSON event ingest through `POST /v1/events`, then an
+//! open-loop classify workload with seeded exponential inter-arrival
+//! times (`--rate` requests/s across `--query-threads` connections,
+//! `--seed` for the arrival RNG), reporting p50/p99/p999 latency and the
+//! `429` shed rate. `--connect self` hosts the edge in-process on an
+//! ephemeral loopback port; any other value is dialled as `host:port`.
 
+use std::collections::BTreeSet;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use frappe::{FeatureSet, FrappeModel};
+use frappe_bench::edgebench::{quantile_us, EdgeClient};
 use frappe_bench::lab::{Archive, Lab};
+use frappe_net::{NetConfig, Server};
 use frappe_obs::AuditLog;
-use frappe_serve::{serve_events, FrappeService, ServeConfig, ServeError};
+use frappe_serve::{serve_events, FrappeService, ServeConfig, ServeError, ServeEvent};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use svm::{Kernel, SvmParams};
 
 struct Options {
@@ -40,6 +56,9 @@ struct Options {
     profile: bool,
     metrics_out: Option<String>,
     swap_every: Option<usize>,
+    connect: Option<String>,
+    rate: f64,
+    seed: u64,
 }
 
 fn parse_options() -> Options {
@@ -53,6 +72,9 @@ fn parse_options() -> Options {
         profile: false,
         metrics_out: None,
         swap_every: None,
+        connect: None,
+        rate: 2000.0,
+        seed: 7,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -71,6 +93,23 @@ fn parse_options() -> Options {
             "--query-threads" => opts.query_threads = numeric("--query-threads"),
             "--queries" => opts.queries = numeric("--queries"),
             "--swap-every" => opts.swap_every = Some(numeric("--swap-every")),
+            "--seed" => opts.seed = numeric("--seed") as u64,
+            "--rate" => {
+                opts.rate = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r: &f64| r > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--rate needs a positive number of requests/s");
+                        std::process::exit(2);
+                    });
+            }
+            "--connect" => {
+                opts.connect = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--connect needs an address (host:port) or `self`");
+                    std::process::exit(2);
+                }));
+            }
             "--paper-scale" => opts.paper_scale = true,
             "--linear" => opts.linear = true,
             "--profile" => opts.profile = true,
@@ -85,7 +124,8 @@ fn parse_options() -> Options {
                 eprintln!(
                     "usage: loadgen [--shards N] [--workers N] [--query-threads N] \
                      [--queries N] [--paper-scale] [--linear] [--profile] \
-                     [--metrics-out PATH] [--swap-every N]"
+                     [--metrics-out PATH] [--swap-every N] \
+                     [--connect ADDR|self] [--rate N] [--seed N]"
                 );
                 std::process::exit(2);
             }
@@ -94,10 +134,202 @@ fn parse_options() -> Options {
     opts
 }
 
+/// Socket mode: ingest the scenario's events over `POST /v1/events`,
+/// then run an open-loop classify workload with seeded exponential
+/// inter-arrival times against a real `frappe-net` edge.
+fn run_connect(opts: &Options, target: &str) {
+    let lab = if opts.paper_scale {
+        Lab::paper_scale()
+    } else {
+        Lab::small()
+    };
+    let events = serve_events(&lab.world);
+
+    // `self` hosts the edge in-process (full stack: model training,
+    // service, epoll loop); anything else is dialled as host:port and
+    // only needs the event stream.
+    let hosted: Option<(Server, Arc<FrappeService>)> = if target == "self" {
+        let (samples, labels) = lab.labelled_features(
+            &lab.bundle.d_sample.malicious,
+            &lab.bundle.d_sample.benign,
+            Archive::Extended,
+        );
+        let model = FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
+        let service = Arc::new(FrappeService::new(
+            model,
+            lab.known_malicious_names(),
+            lab.world.shortener.clone(),
+            ServeConfig {
+                shards: opts.shards,
+                workers: opts.workers,
+                ..ServeConfig::default()
+            },
+        ));
+        let server = Server::bind(Arc::clone(&service), "127.0.0.1:0", NetConfig::default())
+            .expect("bind the edge on loopback");
+        Some((server, service))
+    } else {
+        None
+    };
+    let addr: SocketAddr = match &hosted {
+        Some((server, _)) => server.local_addr(),
+        None => target
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut addrs| addrs.next())
+            .unwrap_or_else(|| {
+                eprintln!("--connect: cannot resolve {target:?} (expected host:port or `self`)");
+                std::process::exit(2);
+            }),
+    };
+    println!(
+        "connect mode: edge at {addr} ({}), {} events to ingest",
+        if hosted.is_some() {
+            "self-hosted"
+        } else {
+            "external"
+        },
+        events.len()
+    );
+
+    // Ingest over the socket in NDJSON batches.
+    let mut feeder = EdgeClient::connect(addr).expect("connect ingest client");
+    let t = Instant::now();
+    for chunk in events.chunks(400) {
+        let body = chunk
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("events serialize"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let (status, body) = feeder.post("/v1/events", &body).expect("ingest batch");
+        assert_eq!(status, 202, "ingest must be accepted: {body}");
+    }
+    let ingest_wall = t.elapsed().as_secs_f64();
+    println!(
+        "ingested {} events in {:.2}s ({:.0} events/s over the socket)",
+        events.len(),
+        ingest_wall,
+        events.len() as f64 / ingest_wall.max(1e-9)
+    );
+
+    // Candidate apps: everything the stream mentioned minus deletions,
+    // then a one-request probe keeps only the classifiable ones (the
+    // probe doubles as a cache warm-up).
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    for event in &events {
+        match event {
+            ServeEvent::Registered { app, .. }
+            | ServeEvent::Post { app, .. }
+            | ServeEvent::OnDemand { app, .. } => {
+                seen.insert(app.raw());
+            }
+            ServeEvent::Deleted { app } => {
+                seen.remove(&app.raw());
+            }
+        }
+    }
+    let mut apps: Vec<u64> = Vec::new();
+    for app in seen {
+        let (status, _) = feeder
+            .get(&format!("/v1/classify/{app}"))
+            .expect("probe classify");
+        if status == 200 {
+            apps.push(app);
+        }
+    }
+    assert!(!apps.is_empty(), "no classifiable apps behind {addr}");
+    println!("{} classifiable apps behind the edge", apps.len());
+
+    // Open loop: each connection schedules arrivals on its own seeded
+    // exponential clock at rate/threads, so the offered load is `--rate`
+    // regardless of how fast the edge answers.
+    let threads = opts.query_threads;
+    let per_conn = (opts.queries / threads).max(1);
+    let per_conn_rate = opts.rate / threads as f64;
+    let issued = threads * per_conn;
+    println!(
+        "offering {:.0} req/s across {threads} connections ({issued} requests, seed {})...",
+        opts.rate, opts.seed
+    );
+    let t = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(issued);
+    let mut responses_429 = 0usize;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let apps = &apps;
+            let seed = opts.seed;
+            handles.push(scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (tid as u64).wrapping_mul(0x9e37));
+                let mut client = EdgeClient::connect(addr).expect("connect query client");
+                let start = Instant::now();
+                let mut due_s = 0.0f64;
+                let mut lat = Vec::with_capacity(per_conn);
+                let mut shed = 0usize;
+                for i in 0..per_conn {
+                    let u: f64 = rng.gen();
+                    due_s += -(1.0 - u).ln() / per_conn_rate;
+                    let due = Duration::from_secs_f64(due_s);
+                    let elapsed = start.elapsed();
+                    if due > elapsed {
+                        std::thread::sleep(due - elapsed);
+                    }
+                    let app = apps[(tid + i * threads) % apps.len()];
+                    let t = Instant::now();
+                    let (status, _) = client
+                        .get(&format!("/v1/classify/{app}"))
+                        .expect("classify over the socket");
+                    match status {
+                        200 => lat.push(t.elapsed().as_micros() as u64),
+                        429 => shed += 1,
+                        other => panic!("unexpected classify status {other}"),
+                    }
+                }
+                (lat, shed)
+            }));
+        }
+        for handle in handles {
+            let (lat, shed) = handle.join().expect("query thread joins");
+            latencies.extend(lat);
+            responses_429 += shed;
+        }
+    });
+    let wall = t.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    println!(
+        "\ndone: {issued} requests in {wall:.2}s ({:.0} req/s achieved vs {:.0} offered)",
+        issued as f64 / wall.max(1e-9),
+        opts.rate
+    );
+    println!(
+        "latency: p50 {:.0} us, p99 {:.0} us, p999 {:.0} us over {} answered; \
+         {responses_429} x 429 ({:.4} shed rate)",
+        quantile_us(&latencies, 0.50),
+        quantile_us(&latencies, 0.99),
+        quantile_us(&latencies, 0.999),
+        latencies.len(),
+        responses_429 as f64 / issued.max(1) as f64,
+    );
+
+    if let Some((_, service)) = &hosted {
+        // The self-hosted edge shares its service's registry, so the
+        // net_* connection metrics ride along in the same snapshot.
+        let _ = service.metrics(); // refresh the queue-depth gauge
+        println!(
+            "\nprometheus:\n{}",
+            service.obs_registry().snapshot().to_prometheus_text()
+        );
+    }
+}
+
 fn main() {
     let opts = parse_options();
     if opts.profile {
         frappe_obs::set_spans_enabled(true);
+    }
+    if let Some(target) = opts.connect.clone() {
+        run_connect(&opts, &target);
+        return;
     }
     println!(
         "loadgen: shards={} workers={} query-threads={} queries={} scenario={} kernel={}",

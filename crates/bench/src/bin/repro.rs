@@ -9,6 +9,7 @@
 //! repro --bench-out FILE      # time serial-vs-parallel training, write JSON
 //! repro --lifecycle-bench-out FILE
 //!                             # time retrain / hot-swap / shadow, write JSON
+//! repro --edge-bench-out FILE # time the network edge over real sockets
 //! ```
 
 use std::fmt::Write as _;
@@ -25,6 +26,7 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut bench_out: Option<String> = None;
     let mut lifecycle_bench_out: Option<String> = None;
+    let mut edge_bench_out: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args_iter = args.into_iter();
     while let Some(arg) = args_iter.next() {
@@ -41,6 +43,13 @@ fn main() {
                 Some(path) => lifecycle_bench_out = Some(path),
                 None => {
                     eprintln!("--lifecycle-bench-out expects a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--edge-bench-out" => match args_iter.next() {
+                Some(path) => edge_bench_out = Some(path),
+                None => {
+                    eprintln!("--edge-bench-out expects a file path");
                     std::process::exit(2);
                 }
             },
@@ -84,7 +93,7 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        if ids.is_empty() && lifecycle_bench_out.is_none() {
+        if ids.is_empty() && lifecycle_bench_out.is_none() && edge_bench_out.is_none() {
             return;
         }
     }
@@ -105,6 +114,27 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        if ids.is_empty() && edge_bench_out.is_none() {
+            return;
+        }
+    }
+    // The edge benchmark hosts its own server on an ephemeral loopback
+    // port; same standalone-and-exit-early contract as the other two.
+    if let Some(path) = &edge_bench_out {
+        eprintln!(
+            "timing the network edge over loopback sockets ({} mode)...",
+            if small { "quick" } else { "full" }
+        );
+        let report = frappe_bench::edgebench::run(small);
+        println!("{}", report.render());
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
         if ids.is_empty() {
             return;
         }
@@ -112,7 +142,8 @@ fn main() {
     if ids.is_empty() {
         eprintln!(
             "usage: repro [--small] [--profile] [--seed N] [--bench-out FILE] \
-             [--lifecycle-bench-out FILE] <experiment ...|all|list>"
+             [--lifecycle-bench-out FILE] [--edge-bench-out FILE] \
+             <experiment ...|all|list>"
         );
         eprintln!(
             "experiments: {}",

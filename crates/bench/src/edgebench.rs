@@ -1,0 +1,478 @@
+//! Network-edge wall-clock benchmark: what `frappe-net` delivers over
+//! real loopback sockets.
+//!
+//! Like [`crate::trainbench`] and [`crate::lifebench`], this module
+//! produces one machine-readable [`EdgeBenchReport`] that `repro
+//! --edge-bench-out` serializes to `BENCH_edge.json`:
+//!
+//! * **ingest** — NDJSON `POST /v1/events` replay of the small world's
+//!   full event stream, in events per second over the socket;
+//! * **classify** — concurrent keep-alive connections hammering
+//!   `GET /v1/classify/{app}`, with the merged latency distribution
+//!   (p50/p99/p999) and the `429` shed count/rate the clients observed;
+//! * **shed** — the accept gate's canned-`503` fast path, measured as
+//!   connection rejections per second against a 1-connection edge;
+//! * **drain** — the quiesce-for-hot-swap protocol, timed over many
+//!   drain/resume cycles while a background client keeps one classify
+//!   in flight.
+//!
+//! Honesty note: every number is whatever *this machine* delivers over
+//! loopback — `threads_available` is recorded alongside, and a 1-core
+//! box serializes the client threads against the event loop.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use frappe::{FeatureSet, FrappeModel};
+use frappe_net::{NetConfig, Server};
+use frappe_serve::{serve_events, FrappeService, ServeConfig};
+use serde::{Deserialize, Serialize};
+use synth_workload::ScenarioConfig;
+
+use crate::lab::{Archive, Lab};
+
+/// A minimal blocking HTTP/1.1 client over one keep-alive connection —
+/// just enough protocol for the edge's routes (status + content-length
+/// framed bodies). Shared by this benchmark and `loadgen --connect`.
+pub struct EdgeClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl EdgeClient {
+    /// Connects to the edge with a generous read timeout (drains can
+    /// legitimately hold a response back for a moment).
+    pub fn connect(addr: SocketAddr) -> io::Result<EdgeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let _ = stream.set_nodelay(true);
+        Ok(EdgeClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// One `GET`, returning `(status, body)`.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path, "")
+    }
+
+    /// One `POST` with an opaque body, returning `(status, body)`.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request("POST", path, body)
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(head_len) = self
+                .buf
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+                .map(|i| i + 4)
+            {
+                let head = String::from_utf8_lossy(&self.buf[..head_len - 4]).into_owned();
+                let mut lines = head.split("\r\n");
+                let status: u16 = lines
+                    .next()
+                    .and_then(|l| l.split(' ').nth(1))
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+                let content_length: usize = lines
+                    .filter_map(|l| l.split_once(':'))
+                    .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+                    .and_then(|(_, v)| v.trim().parse().ok())
+                    .unwrap_or(0);
+                while self.buf.len() < head_len + content_length {
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(io::ErrorKind::UnexpectedEof.into());
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                let body = String::from_utf8_lossy(&self.buf[head_len..head_len + content_length])
+                    .into_owned();
+                self.buf.drain(..head_len + content_length);
+                return Ok((status, body));
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// `p`-th quantile of an already-sorted latency vector, in microseconds.
+pub fn quantile_us(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64
+}
+
+/// Socket-ingest throughput: the small world's event stream replayed as
+/// NDJSON batches through `POST /v1/events`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IngestBench {
+    /// Events replayed.
+    pub events: usize,
+    /// NDJSON batches (requests) they were split into.
+    pub batches: usize,
+    /// Wall-clock of the replay, milliseconds.
+    pub wall_ms: f64,
+    /// Events ingested per second, over the socket.
+    pub events_per_sec: f64,
+}
+
+/// Concurrent classify latency over real connections.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassifyBench {
+    /// Concurrent keep-alive connections.
+    pub connections: usize,
+    /// Total requests issued across all connections.
+    pub requests: usize,
+    /// Wall-clock of the run, milliseconds.
+    pub wall_ms: f64,
+    /// Requests served per second (all connections together).
+    pub requests_per_sec: f64,
+    /// Median response latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile response latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile response latency, microseconds.
+    pub p999_us: f64,
+    /// `429 Too Many Requests` responses observed (shed load).
+    pub responses_429: usize,
+    /// `responses_429 / requests`.
+    pub rate_429: f64,
+}
+
+/// Accept-gate shedding: rejections per second from a full edge.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShedBench {
+    /// Connection attempts against the full edge.
+    pub attempts: usize,
+    /// Attempts answered with the canned `503` and closed.
+    pub rejected: usize,
+    /// Rejections per second (the canned-response fast path).
+    pub rejects_per_sec: f64,
+}
+
+/// Drain/resume latency while a background client keeps traffic coming.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DrainBench {
+    /// Drain/resume cycles timed.
+    pub drains: usize,
+    /// Mean drain latency, microseconds.
+    pub mean_us: f64,
+    /// 99th-percentile drain latency, microseconds.
+    pub p99_us: f64,
+    /// Worst drain latency, microseconds.
+    pub max_us: f64,
+    /// Requests the background client completed during the cycles.
+    pub background_requests: usize,
+}
+
+/// The full edge benchmark report (`BENCH_edge.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdgeBenchReport {
+    /// `std::thread::available_parallelism()` on the measuring machine —
+    /// read this before reading any throughput.
+    pub threads_available: usize,
+    /// Quick mode (CI-sized sweeps) or the full configuration.
+    pub quick: bool,
+    /// NDJSON ingest throughput over the socket.
+    pub ingest: IngestBench,
+    /// Concurrent classify latency and 429 shed rate.
+    pub classify: ClassifyBench,
+    /// Accept-gate rejection throughput.
+    pub shed: ShedBench,
+    /// Drain protocol latency under background load.
+    pub drain: DrainBench,
+}
+
+/// Runs the edge benchmark on the small deterministic world. `quick`
+/// shrinks request and cycle counts to CI size.
+pub fn run(quick: bool) -> EdgeBenchReport {
+    let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (connections, requests_per_conn, drains, shed_attempts) = if quick {
+        (4usize, 100usize, 25usize, 200usize)
+    } else {
+        (8, 2000, 200, 2000)
+    };
+
+    let lab = Lab::build(&ScenarioConfig::small());
+    let (samples, labels) = lab.labelled_features(
+        &lab.bundle.d_sample.malicious,
+        &lab.bundle.d_sample.benign,
+        Archive::Extended,
+    );
+    let model = FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
+    let service = Arc::new(FrappeService::new(
+        model.clone(),
+        lab.known_malicious_names(),
+        lab.world.shortener.clone(),
+        ServeConfig::default(),
+    ));
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0", NetConfig::default())
+        .expect("bind the edge on loopback");
+    let addr = server.local_addr();
+
+    // Ingest: the whole event stream as NDJSON batches over one
+    // connection. The store behind the socket is the same one the
+    // classify phase reads from.
+    let events = serve_events(&lab.world);
+    let lines: Vec<String> = events
+        .iter()
+        .map(|e| serde_json::to_string(e).expect("events serialize"))
+        .collect();
+    let mut feeder = EdgeClient::connect(addr).expect("connect ingest client");
+    let t = Instant::now();
+    let mut batches = 0usize;
+    for chunk in lines.chunks(400) {
+        let (status, body) = feeder
+            .post("/v1/events", &chunk.join("\n"))
+            .expect("ingest batch");
+        assert_eq!(status, 202, "ingest must be accepted: {body}");
+        batches += 1;
+    }
+    let wall = t.elapsed().as_secs_f64();
+    let ingest = IngestBench {
+        events: events.len(),
+        batches,
+        wall_ms: wall * 1e3,
+        events_per_sec: events.len() as f64 / wall.max(1e-9),
+    };
+
+    // Classify: `connections` threads, one keep-alive connection each,
+    // rotating through every tracked app. 429s are counted, not retried
+    // — the shed answer is itself a served response.
+    let apps: Vec<u64> = service.tracked_apps().iter().map(|a| a.raw()).collect();
+    assert!(!apps.is_empty(), "ingest must leave classifiable apps");
+    let t = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(connections * requests_per_conn);
+    let mut responses_429 = 0usize;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..connections {
+            let apps = &apps;
+            handles.push(scope.spawn(move || {
+                let mut client = EdgeClient::connect(addr).expect("connect query client");
+                let mut lat = Vec::with_capacity(requests_per_conn);
+                let mut shed = 0usize;
+                for i in 0..requests_per_conn {
+                    let app = apps[(c + i * connections) % apps.len()];
+                    let t = Instant::now();
+                    let (status, _) = client
+                        .get(&format!("/v1/classify/{app}"))
+                        .expect("classify over the socket");
+                    let us = t.elapsed().as_micros() as u64;
+                    match status {
+                        200 => lat.push(us),
+                        429 => shed += 1,
+                        other => panic!("unexpected classify status {other}"),
+                    }
+                }
+                (lat, shed)
+            }));
+        }
+        for handle in handles {
+            let (lat, shed) = handle.join().expect("query thread joins");
+            latencies.extend(lat);
+            responses_429 += shed;
+        }
+    });
+    let wall = t.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let requests = connections * requests_per_conn;
+    let classify = ClassifyBench {
+        connections,
+        requests,
+        wall_ms: wall * 1e3,
+        requests_per_sec: requests as f64 / wall.max(1e-9),
+        p50_us: quantile_us(&latencies, 0.50),
+        p99_us: quantile_us(&latencies, 0.99),
+        p999_us: quantile_us(&latencies, 0.999),
+        responses_429,
+        rate_429: responses_429 as f64 / requests.max(1) as f64,
+    };
+
+    // Shed: a second edge capped at one connection, its only slot held
+    // by a parked client, so every further connect is answered by the
+    // accept gate's canned 503 and closed.
+    let shed_service = Arc::new(FrappeService::new(
+        model,
+        lab.known_malicious_names(),
+        lab.world.shortener.clone(),
+        ServeConfig::default(),
+    ));
+    let shed_server = Server::bind(
+        Arc::clone(&shed_service),
+        "127.0.0.1:0",
+        NetConfig {
+            max_connections: 1,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind the shed edge");
+    let shed_addr = shed_server.local_addr();
+    let mut parked = EdgeClient::connect(shed_addr).expect("park the only slot");
+    let (status, _) = parked.get("/healthz").expect("parked probe");
+    assert_eq!(status, 200, "the parked connection holds a live slot");
+    let t = Instant::now();
+    let mut rejected = 0usize;
+    for _ in 0..shed_attempts {
+        let mut client = EdgeClient::connect(shed_addr).expect("connect past the gate");
+        match client.read_response() {
+            Ok((503, _)) => rejected += 1,
+            Ok((status, _)) => panic!("gate answered {status}, expected 503"),
+            // the gate may close before the canned bytes are observed
+            Err(_) => {}
+        }
+    }
+    let wall = t.elapsed().as_secs_f64();
+    let shed = ShedBench {
+        attempts: shed_attempts,
+        rejected,
+        rejects_per_sec: rejected as f64 / wall.max(1e-9),
+    };
+    drop(parked);
+    drop(shed_server);
+
+    // Drain: cycle the quiesce protocol on the main edge while one
+    // background client keeps classify traffic in flight, so each drain
+    // pays the real cost of waiting out in-flight work.
+    let stop = Arc::new(AtomicBool::new(false));
+    let background_requests = Arc::new(AtomicU64::new(0));
+    let handle = server.handle();
+    let mut drain_us: Vec<u64> = Vec::with_capacity(drains);
+    std::thread::scope(|scope| {
+        let stop_bg = Arc::clone(&stop);
+        let count = Arc::clone(&background_requests);
+        let apps = &apps;
+        scope.spawn(move || {
+            let mut client = EdgeClient::connect(addr).expect("connect background client");
+            let mut i = 0usize;
+            while !stop_bg.load(Ordering::Relaxed) {
+                let app = apps[i % apps.len()];
+                let (status, _) = client
+                    .get(&format!("/v1/classify/{app}"))
+                    .expect("background classify");
+                assert!(status == 200 || status == 429, "background got {status}");
+                count.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        });
+        for _ in 0..drains {
+            let waited = handle.drain();
+            handle.resume();
+            drain_us.push(waited.as_micros() as u64);
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    drain_us.sort_unstable();
+    let drain = DrainBench {
+        drains,
+        mean_us: drain_us.iter().sum::<u64>() as f64 / drains.max(1) as f64,
+        p99_us: quantile_us(&drain_us, 0.99),
+        max_us: quantile_us(&drain_us, 1.0),
+        background_requests: background_requests.load(Ordering::Relaxed) as usize,
+    };
+
+    EdgeBenchReport {
+        threads_available,
+        quick,
+        ingest,
+        classify,
+        shed,
+        drain,
+    }
+}
+
+impl EdgeBenchReport {
+    /// Human-readable summary (what `repro --edge-bench-out` prints).
+    pub fn render(&self) -> String {
+        format!(
+            "edge bench ({} mode, {} threads available)\n\
+             ingest       {} events in {} batches: {:.1} ms ({:.0} events/s over the socket)\n\
+             classify     {} connections x {} requests: {:.0} req/s; \
+             p50 {:.0} us, p99 {:.0} us, p999 {:.0} us; {} x 429 ({:.4} rate)\n\
+             shed         {}/{} connects rejected by the accept gate ({:.0} rejects/s)\n\
+             drain        {} cycles under load: mean {:.0} us, p99 {:.0} us, max {:.0} us \
+             ({} background requests completed)",
+            if self.quick { "quick" } else { "full" },
+            self.threads_available,
+            self.ingest.events,
+            self.ingest.batches,
+            self.ingest.wall_ms,
+            self.ingest.events_per_sec,
+            self.classify.connections,
+            self.classify.requests / self.classify.connections.max(1),
+            self.classify.requests_per_sec,
+            self.classify.p50_us,
+            self.classify.p99_us,
+            self.classify.p999_us,
+            self.classify.responses_429,
+            self.classify.rate_429,
+            self.shed.rejected,
+            self.shed.attempts,
+            self.shed.rejects_per_sec,
+            self.drain.drains,
+            self.drain.mean_us,
+            self.drain.p99_us,
+            self.drain.max_us,
+            self.drain.background_requests,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_runs_and_roundtrips() {
+        let report = run(true);
+        assert!(report.ingest.events > 0);
+        assert!(report.ingest.events_per_sec > 0.0);
+        assert_eq!(report.classify.requests, 400);
+        assert!(report.classify.p50_us > 0.0);
+        assert!(report.classify.p999_us >= report.classify.p99_us);
+        assert!(report.classify.p99_us >= report.classify.p50_us);
+        assert!(report.shed.rejected > 0);
+        assert!(report.shed.rejected <= report.shed.attempts);
+        assert_eq!(report.drain.drains, 25);
+        assert!(report.drain.background_requests > 0);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: EdgeBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.classify.requests, report.classify.requests);
+        assert_eq!(back.drain.drains, report.drain.drains);
+        assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn quantiles_pick_sane_points() {
+        let sorted: Vec<u64> = (1..=1000).collect();
+        assert_eq!(quantile_us(&sorted, 0.0), 1.0);
+        assert_eq!(quantile_us(&sorted, 0.5), 501.0);
+        assert_eq!(quantile_us(&sorted, 1.0), 1000.0);
+        assert_eq!(quantile_us(&[], 0.5), 0.0);
+    }
+}

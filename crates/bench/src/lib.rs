@@ -18,12 +18,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod edgebench;
 pub mod experiments;
 pub mod lab;
 pub mod lifebench;
 pub mod render;
 pub mod trainbench;
 
+pub use edgebench::EdgeBenchReport;
 pub use experiments::{registry, ExpResult};
 pub use lab::Lab;
 pub use lifebench::LifecycleBenchReport;

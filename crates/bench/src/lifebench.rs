@@ -42,8 +42,12 @@ pub struct RetrainBench {
     pub serial_ms: f64,
     /// Wall-clock of the parallel retrain, milliseconds.
     pub parallel_ms: f64,
-    /// Thread count of the parallel run.
+    /// Thread count of the parallel run (after the machine clamp).
     pub parallel_threads: usize,
+    /// How the "parallel" retrain actually executed — `"parallel(N)"`,
+    /// or `"serial"` when the machine clamp degraded it to the inline
+    /// path (single-core CI boxes; see [`JobPool::for_machine`]).
+    pub parallel_mode: String,
     /// `serial_ms / parallel_ms`.
     pub speedup: f64,
     /// Whether the two retrains produced byte-identical checkpoints.
@@ -130,21 +134,19 @@ pub fn run(quick: bool) -> LifecycleBenchReport {
     let t = Instant::now();
     let serial = retrain_on(&JobPool::with_threads(1), &samples, &labels, &config);
     let serial_ms = t.elapsed().as_secs_f64() * 1e3;
-    let parallel_threads = 8;
+    // request 8 threads, take what the machine honestly has — a 1-core
+    // box runs this serially and says so in `parallel_mode`
+    let pool = JobPool::for_machine(8);
     let t = Instant::now();
-    let parallel = retrain_on(
-        &JobPool::with_threads(parallel_threads),
-        &samples,
-        &labels,
-        &config,
-    );
+    let parallel = retrain_on(&pool, &samples, &labels, &config);
     let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
     let retrain = RetrainBench {
         examples: samples.len(),
         folds: config.folds,
         serial_ms,
         parallel_ms,
-        parallel_threads,
+        parallel_threads: pool.threads(),
+        parallel_mode: pool.mode(),
         speedup: serial_ms / parallel_ms.max(1e-9),
         identical: write_model(&serial.model) == write_model(&parallel.model),
         cv_accuracy: serial.cv.accuracy,
@@ -262,7 +264,7 @@ impl LifecycleBenchReport {
         format!(
             "lifecycle bench ({} mode, {} threads available)\n\
              retrain      {} examples x {} folds: serial {:.0} ms, \
-             {} threads {:.0} ms, speedup {:.2}x, identical: {}, cv acc {:.3}\n\
+             {} {:.0} ms, speedup {:.2}x, identical: {}, cv acc {:.3}\n\
              hot swap     {} swaps: mean {:.2} us, p99 {:.2} us, max {:.2} us; \
              post-swap rescore of {} apps {:.1} ms cold vs {:.1} ms warm\n\
              shadow       {} queries: {:.1} ms plain vs {:.1} ms shadowed \
@@ -272,7 +274,7 @@ impl LifecycleBenchReport {
             self.retrain.examples,
             self.retrain.folds,
             self.retrain.serial_ms,
-            self.retrain.parallel_threads,
+            self.retrain.parallel_mode,
             self.retrain.parallel_ms,
             self.retrain.speedup,
             self.retrain.identical,
@@ -305,6 +307,11 @@ mod tests {
         assert!(report.swap.swaps > 0);
         assert!(report.swap.cold_sweep_ms > 0.0);
         assert!(report.shadow.queries > 0);
+        assert!(
+            report.retrain.parallel_mode == "serial"
+                || report.retrain.parallel_mode
+                    == format!("parallel({})", report.retrain.parallel_threads)
+        );
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: LifecycleBenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.swap.swaps, report.swap.swaps);

@@ -37,8 +37,12 @@ pub struct GridBench {
     pub serial_ms: f64,
     /// Wall-clock of the parallel run, milliseconds.
     pub parallel_ms: f64,
-    /// Thread count of the parallel run.
+    /// Thread count of the parallel run (after the machine clamp).
     pub parallel_threads: usize,
+    /// How the "parallel" run actually executed — `"parallel(N)"`, or
+    /// `"serial"` when the machine clamp degraded it to the inline path
+    /// (single-core CI boxes; see [`JobPool::for_machine`]).
+    pub parallel_mode: String,
     /// `serial_ms / parallel_ms`.
     pub speedup: f64,
     /// Whether serial and parallel results compared equal (`==` over the
@@ -114,16 +118,11 @@ pub fn run(quick: bool) -> TrainingBenchReport {
     let serial = grid_search_on(&JobPool::with_threads(1), &data, cs, gammas, folds, 7);
     let serial_ms = t.elapsed().as_secs_f64() * 1e3;
 
-    let parallel_threads = 8;
+    // request 8 threads, take what the machine honestly has — a 1-core
+    // box runs this serially and says so in `parallel_mode`
+    let pool = JobPool::for_machine(8);
     let t = Instant::now();
-    let parallel = grid_search_on(
-        &JobPool::with_threads(parallel_threads),
-        &data,
-        cs,
-        gammas,
-        folds,
-        7,
-    );
+    let parallel = grid_search_on(&pool, &data, cs, gammas, folds, 7);
     let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
 
     let grid = GridBench {
@@ -132,7 +131,8 @@ pub fn run(quick: bool) -> TrainingBenchReport {
         examples: n,
         serial_ms,
         parallel_ms,
-        parallel_threads,
+        parallel_threads: pool.threads(),
+        parallel_mode: pool.mode(),
         speedup: serial_ms / parallel_ms.max(1e-9),
         identical: serial == parallel,
     };
@@ -167,7 +167,7 @@ impl TrainingBenchReport {
         format!(
             "training bench ({} mode, {} threads available)\n\
              grid search  {} points x {} folds on {} examples: \
-             serial {:.0} ms, {} threads {:.0} ms, speedup {:.2}x, identical: {}\n\
+             serial {:.0} ms, {} {:.0} ms, speedup {:.2}x, identical: {}\n\
              smo solve    {} examples: {} iterations in {:.0} ms \
              ({:.0} iter/s; cache {} hits / {} misses / {} evictions)",
             if self.quick { "quick" } else { "full" },
@@ -176,7 +176,7 @@ impl TrainingBenchReport {
             self.grid.folds,
             self.grid.examples,
             self.grid.serial_ms,
-            self.grid.parallel_threads,
+            self.grid.parallel_mode,
             self.grid.parallel_ms,
             self.grid.speedup,
             self.grid.identical,
@@ -205,9 +205,15 @@ mod tests {
         assert!(report.grid.serial_ms > 0.0);
         assert!(report.smo.iterations > 0);
         assert!(report.smo.cache_misses > 0);
+        assert!(
+            report.grid.parallel_mode == "serial"
+                || report.grid.parallel_mode
+                    == format!("parallel({})", report.grid.parallel_threads)
+        );
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: TrainingBenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.grid.points, report.grid.points);
+        assert_eq!(back.grid.parallel_mode, report.grid.parallel_mode);
         assert!(!report.render().is_empty());
     }
 }

@@ -88,9 +88,39 @@ impl JobPool {
         JobPool { threads }
     }
 
+    /// A pool that *wants* `requested` threads but will not oversubscribe
+    /// the machine: an explicit `FRAPPE_JOBS` override wins outright (the
+    /// determinism suite depends on forcing exact counts), otherwise
+    /// `requested` is clamped to `available_parallelism()`. On a
+    /// single-core box this degrades to a 1-thread pool, i.e. the inline
+    /// serial path — benchmarks built on it record [`mode`](Self::mode)
+    /// so a "parallel" number measured serially is labelled as such.
+    pub fn for_machine(requested: usize) -> Self {
+        if let Some(forced) = std::env::var(ENV_THREADS)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return JobPool::with_threads(forced);
+        }
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        JobPool::with_threads(requested.max(1).min(available))
+    }
+
     /// The configured thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Human-readable execution mode — `"serial"` for a 1-thread pool
+    /// (every `run` goes inline, no spawning), `"parallel(N)"` otherwise.
+    /// Benchmark reports record this next to their timings.
+    pub fn mode(&self) -> String {
+        if self.threads == 1 {
+            "serial".to_string()
+        } else {
+            format!("parallel({})", self.threads)
+        }
     }
 
     /// Runs `f(0), f(1), …, f(tasks - 1)` across the pool and returns the
@@ -252,6 +282,14 @@ mod tests {
     }
 
     #[test]
+    fn mode_labels_serial_and_parallel_pools() {
+        assert_eq!(JobPool::with_threads(1).mode(), "serial");
+        assert_eq!(JobPool::with_threads(4).mode(), "parallel(4)");
+    }
+
+    // NOTE: this is the only test allowed to touch FRAPPE_JOBS — tests
+    // run concurrently in one process, so a second mutator would race.
+    #[test]
     fn env_override_controls_sizing() {
         // `set_var` is safe in edition 2021; the determinism contract makes
         // a concurrent reader harmless (any thread count, same results).
@@ -261,7 +299,20 @@ mod tests {
         assert!(JobPool::from_env().threads() >= 1);
         std::env::set_var(ENV_THREADS, "0");
         assert!(JobPool::from_env().threads() >= 1);
+
+        // for_machine: the explicit override beats the machine clamp …
+        std::env::set_var(ENV_THREADS, "5");
+        assert_eq!(JobPool::for_machine(2).threads(), 5);
         std::env::remove_var(ENV_THREADS);
+
+        // … and without one, the request is clamped to the box
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let pool = JobPool::for_machine(8);
+        assert_eq!(pool.threads(), 8.min(available));
+        assert_eq!(JobPool::for_machine(0).threads(), 1, "clamped up");
+        if available == 1 {
+            assert_eq!(pool.mode(), "serial", "1-core boxes degrade to inline");
+        }
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod shadow;
 
 pub use checkpoint::{load_model, parse_model, save_model, write_model, CheckpointError};
 pub use drift::{DriftConfig, DriftDetector, DriftReport, LanePsi};
-pub use manager::{LifecycleManager, PromotionOutcome};
+pub use manager::{LifecycleManager, PromotionOutcome, SwapFence};
 pub use registry::{
     CvMetrics, LifecycleError, ModelLineage, ModelRegistry, ModelSource, ModelStatus,
 };

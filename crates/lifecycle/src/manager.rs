@@ -45,6 +45,22 @@ pub enum PromotionOutcome {
     NoShadow,
 }
 
+/// A barrier a transport edge can put around the model swap itself.
+///
+/// The epoch-pointer swap is atomic for *scoring* (in-flight scores pin
+/// the model they started on), but a network edge additionally wants no
+/// response to be mid-flight across the swap — its drain protocol stops
+/// accepting, flushes every in-flight response, runs the swap, then
+/// resumes. Installing the edge as the manager's fence
+/// ([`LifecycleManager::set_swap_fence`]) routes every promotion and
+/// rollback through that protocol; without a fence, swaps run bare.
+pub trait SwapFence: Send + Sync {
+    /// Runs `swap` inside the fence. Implementations must call `swap`
+    /// exactly once, even when their quiesce step fails or times out —
+    /// skipping it would silently drop a promotion.
+    fn fenced(&self, swap: &mut dyn FnMut());
+}
+
 struct ShadowSlot {
     state: ShadowState,
     model: Arc<FrappeModel>,
@@ -69,6 +85,7 @@ pub struct LifecycleManager {
     gate: PromotionGate,
     shadow: Mutex<Option<ShadowSlot>>,
     drift: Mutex<DriftDetector>,
+    fence: Mutex<Option<Arc<dyn SwapFence>>>,
     metrics: LifecycleMetrics,
 }
 
@@ -110,7 +127,41 @@ impl LifecycleManager {
             gate,
             shadow: Mutex::new(None),
             drift: Mutex::new(drift),
+            fence: Mutex::new(None),
             metrics,
+        }
+    }
+
+    /// Installs a [`SwapFence`] that every promotion and rollback runs
+    /// inside (e.g. a network edge's drain/resume cycle). Returns the
+    /// previously installed fence, if any.
+    pub fn set_swap_fence(&self, fence: Arc<dyn SwapFence>) -> Option<Arc<dyn SwapFence>> {
+        self.fence.lock().replace(fence)
+    }
+
+    /// Removes the installed fence, returning it.
+    pub fn take_swap_fence(&self) -> Option<Arc<dyn SwapFence>> {
+        self.fence.lock().take()
+    }
+
+    /// Runs `swap` through the installed fence (or bare when none is
+    /// installed), handing back what `swap` produced.
+    fn fenced_swap<R>(&self, swap: impl FnOnce() -> R) -> R {
+        let fence = self.fence.lock().clone();
+        match fence {
+            None => swap(),
+            Some(fence) => {
+                // `fenced` takes FnMut so it stays object-safe; route the
+                // one-shot closure and its result through Options.
+                let mut swap = Some(swap);
+                let mut result = None;
+                fence.fenced(&mut || {
+                    if let Some(swap) = swap.take() {
+                        result = Some(swap());
+                    }
+                });
+                result.expect("a SwapFence must invoke the swap exactly once")
+            }
         }
     }
 
@@ -189,9 +240,11 @@ impl LifecycleManager {
             return PromotionOutcome::Held(decision.holds);
         }
         let version = report.version;
-        self.registry
-            .promote_with(version, |model, v| self.service.swap_model(model, v))
-            .expect("a shadow slot always holds a registered, non-active version");
+        self.fenced_swap(|| {
+            self.registry
+                .promote_with(version, |model, v| self.service.swap_model(model, v))
+        })
+        .expect("a shadow slot always holds a registered, non-active version");
         *slot = None;
         self.metrics.promotions.inc();
         self.metrics
@@ -206,9 +259,10 @@ impl LifecycleManager {
     /// before the rollback can never be served. Returns the version
     /// rolled back to.
     pub fn rollback(&self) -> Result<u64, LifecycleError> {
-        let version = self
-            .registry
-            .rollback_with(|model, v| self.service.swap_model(model, v))?;
+        let version = self.fenced_swap(|| {
+            self.registry
+                .rollback_with(|model, v| self.service.swap_model(model, v))
+        })?;
         self.metrics.rollbacks.inc();
         self.metrics
             .active_version

@@ -56,5 +56,5 @@ pub mod store;
 pub use bridge::{serve_events, service_from_world};
 pub use event::ServeEvent;
 pub use metrics::{LatencySnapshot, MetricsSnapshot};
-pub use service::{FrappeService, ServeConfig, ServeError, Verdict};
+pub use service::{ErrorEnvelope, FrappeService, PendingVerdict, ServeConfig, ServeError, Verdict};
 pub use store::{FeatureSnapshot, FeatureStore};

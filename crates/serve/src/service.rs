@@ -21,6 +21,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use crossbeam::channel::{Receiver, TryRecvError};
 use frappe::features::aggregation::KnownMaliciousNames;
 use frappe::{AppFeatures, FrappeModel, SharedKnownNames, SharedModel, VersionedModel};
 use frappe_obs::{AuditLog, AuditSource, Registry};
@@ -80,7 +81,12 @@ pub struct Verdict {
 }
 
 /// Why a classify call did not produce a verdict.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Serializes externally tagged — `{"UnknownApp": 404}`,
+/// `{"Overloaded": {"retry_after_ms": 5}}`, `"ShuttingDown"` — which is
+/// the wire format the network edge's [`ErrorEnvelope`] carries; the
+/// envelope test pins it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ServeError {
     /// No event has ever mentioned this app.
     UnknownApp(AppId),
@@ -91,6 +97,41 @@ pub enum ServeError {
     },
     /// The service is shutting down.
     ShuttingDown,
+}
+
+/// The stable JSON error body every transport shares: the HTTP edge
+/// (`frappe-net`) writes it, `loadgen --connect` parses it back, and the
+/// wire format is pinned by a unit test here so neither can drift.
+///
+/// `retry_after_ms` is hoisted to the top level for [`ServeError::Overloaded`]
+/// (and `null` otherwise) so a client can honour backpressure without
+/// knowing the full error vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorEnvelope {
+    /// The error, externally tagged (see [`ServeError`]).
+    pub error: ServeError,
+    /// Copy of the retry hint when the error is `Overloaded`.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ErrorEnvelope {
+    /// Wraps an error, hoisting the retry hint.
+    pub fn new(error: ServeError) -> Self {
+        let retry_after_ms = match &error {
+            ServeError::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        };
+        ErrorEnvelope {
+            error,
+            retry_after_ms,
+        }
+    }
+}
+
+impl From<ServeError> for ErrorEnvelope {
+    fn from(error: ServeError) -> Self {
+        ErrorEnvelope::new(error)
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -177,6 +218,49 @@ impl ScoreEngine {
     }
 }
 
+/// A classification submitted to the scorer pool but not yet answered.
+///
+/// The handle is how a non-blocking caller (the network edge's event
+/// loop) rides the pool: [`poll`](Self::poll) checks for the verdict
+/// without blocking, [`wait`](Self::wait) parks until it arrives. Either
+/// way the query-latency histogram is fed exactly once, measured from
+/// submission. Dropping the handle abandons the query (the worker's
+/// reply goes nowhere, which is fine).
+pub struct PendingVerdict {
+    reply: Receiver<Result<Verdict, ServeError>>,
+    engine: Arc<ScoreEngine>,
+    start: Instant,
+}
+
+impl PendingVerdict {
+    fn settle(&self, outcome: &Result<Verdict, ServeError>) {
+        if outcome.is_ok() {
+            self.engine.metrics().query_served(self.start.elapsed());
+        }
+    }
+
+    /// The verdict, if a scorer has answered; `None` while it is still in
+    /// the queue or being scored. A pool that shut down mid-flight
+    /// surfaces [`ServeError::ShuttingDown`].
+    pub fn poll(&mut self) -> Option<Result<Verdict, ServeError>> {
+        match self.reply.try_recv() {
+            Ok(outcome) => {
+                self.settle(&outcome);
+                Some(outcome)
+            }
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
+    }
+
+    /// Blocks until the verdict arrives.
+    pub fn wait(self) -> Result<Verdict, ServeError> {
+        let outcome = self.reply.recv().map_err(|_| ServeError::ShuttingDown)?;
+        self.settle(&outcome);
+        outcome
+    }
+}
+
 /// The online FRAppE classification service.
 ///
 /// Dropping the service shuts the scorer pool down (queue closed, workers
@@ -195,8 +279,9 @@ impl FrappeService {
     /// links at ingest, exactly as the batch extractor does.
     ///
     /// # Panics
-    /// Panics if `config` has zero shards, workers, queue capacity, or
-    /// batch size.
+    /// Panics if `config` has zero shards, queue capacity, or batch size
+    /// (zero workers is allowed; see
+    /// [`with_shared_model`](Self::with_shared_model)).
     pub fn new(
         model: FrappeModel,
         known: KnownMaliciousNames,
@@ -212,16 +297,19 @@ impl FrappeService {
     /// swapping it; the service observes every swap through the epoch
     /// stamp, so no cached verdict survives a swap.
     ///
+    /// `workers == 0` is allowed as a deliberately *stalled* pool:
+    /// requests queue but are never drained, which is the deterministic
+    /// way to exercise the backpressure path (the edge integration test
+    /// saturates a one-slot queue this way).
+    ///
     /// # Panics
-    /// Panics if `config` has zero shards, workers, queue capacity, or
-    /// batch size.
+    /// Panics if `config` has zero shards, queue capacity, or batch size.
     pub fn with_shared_model(
         model: SharedModel,
         known: KnownMaliciousNames,
         shortener: Shortener,
         config: ServeConfig,
     ) -> Self {
-        assert!(config.workers > 0, "need at least one scorer");
         assert!(config.queue_capacity > 0, "need a non-empty queue");
         assert!(config.batch_size > 0, "batches hold at least one request");
         let engine = Arc::new(ScoreEngine {
@@ -265,6 +353,18 @@ impl FrappeService {
     /// Returns [`ServeError::Overloaded`] *without blocking* when the
     /// scoring queue is full — the caller owns the retry policy.
     pub fn classify(&self, app: AppId) -> Result<Verdict, ServeError> {
+        self.classify_nonblocking(app)?.wait()
+    }
+
+    /// Submits a classification without waiting for the answer.
+    ///
+    /// This is the entry point for callers that must never park — the
+    /// network edge's reactor submits here and polls the returned
+    /// [`PendingVerdict`] from its event loop. Queue-full rejection is
+    /// identical to [`classify`](Self::classify): immediate
+    /// [`ServeError::Overloaded`] with the retry hint, counted in the
+    /// rejected metric.
+    pub fn classify_nonblocking(&self, app: AppId) -> Result<PendingVerdict, ServeError> {
         let start = Instant::now();
         let reply = match self.pool.submit(app) {
             Ok(reply) => reply,
@@ -275,9 +375,19 @@ impl FrappeService {
                 return Err(err);
             }
         };
-        let verdict = reply.recv().map_err(|_| ServeError::ShuttingDown)??;
-        self.engine.metrics.query_served(start.elapsed());
-        Ok(verdict)
+        Ok(PendingVerdict {
+            reply,
+            engine: Arc::clone(&self.engine),
+            start,
+        })
+    }
+
+    /// Requests currently waiting in the scoring queue (not yet picked up
+    /// by a worker). The network edge reads this to decide when to pause
+    /// connection reads; unlike [`metrics`](Self::metrics) it samples one
+    /// channel length and builds nothing.
+    pub fn queue_depth(&self) -> usize {
+        self.pool.queue_depth()
     }
 
     /// Adds an app name to the known-malicious collision list (§4.2.1's
@@ -601,6 +711,90 @@ mod tests {
         assert!(text.contains("serve_events_ingested 5"));
         assert!(text.contains("serve_queries_served 1"));
         assert!(text.contains("serve_query_latency_micros_count 1"));
+    }
+
+    /// The envelope is a wire contract between the HTTP edge and every
+    /// client (`loadgen --connect`, curl users): these exact byte strings
+    /// are what travels, so a serde or field-order change here is a
+    /// breaking API change and must fail loudly.
+    #[test]
+    fn error_envelope_wire_format_is_pinned() {
+        let overloaded = ErrorEnvelope::new(ServeError::Overloaded { retry_after_ms: 7 });
+        let json = serde_json::to_string(&overloaded).unwrap();
+        assert_eq!(
+            json,
+            r#"{"error":{"Overloaded":{"retry_after_ms":7}},"retry_after_ms":7}"#
+        );
+        assert_eq!(
+            serde_json::from_str::<ErrorEnvelope>(&json).unwrap(),
+            overloaded
+        );
+
+        let unknown = ErrorEnvelope::new(ServeError::UnknownApp(AppId(404)));
+        let json = serde_json::to_string(&unknown).unwrap();
+        assert_eq!(
+            json,
+            r#"{"error":{"UnknownApp":404},"retry_after_ms":null}"#
+        );
+        assert_eq!(
+            serde_json::from_str::<ErrorEnvelope>(&json).unwrap(),
+            unknown
+        );
+
+        let down = ErrorEnvelope::new(ServeError::ShuttingDown);
+        let json = serde_json::to_string(&down).unwrap();
+        assert_eq!(json, r#"{"error":"ShuttingDown","retry_after_ms":null}"#);
+        assert_eq!(serde_json::from_str::<ErrorEnvelope>(&json).unwrap(), down);
+    }
+
+    #[test]
+    fn nonblocking_classify_polls_to_the_same_verdict() {
+        let svc = service();
+        let app = AppId(61);
+        feed_malicious(&svc, app);
+        let blocking = svc.classify(app).unwrap();
+        let mut pending = svc.classify_nonblocking(app).unwrap();
+        let polled = loop {
+            if let Some(outcome) = pending.poll() {
+                break outcome.unwrap();
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(polled, blocking, "cache answers both paths identically");
+        assert_eq!(svc.metrics().queries_served, 2, "both paths feed latency");
+    }
+
+    #[test]
+    fn zero_workers_is_a_stalled_pool() {
+        let svc = FrappeService::new(
+            tiny_model(),
+            KnownMaliciousNames::default(),
+            Shortener::bitly(),
+            ServeConfig {
+                shards: 1,
+                workers: 0,
+                queue_capacity: 1,
+                batch_size: 1,
+                retry_after_ms: 9,
+            },
+        );
+        let app = AppId(71);
+        svc.ingest(&ServeEvent::Registered {
+            app,
+            name: "stuck".into(),
+        });
+        let mut first = svc.classify_nonblocking(app).expect("one slot admits");
+        assert!(
+            first.poll().is_none(),
+            "nothing ever drains a 0-worker pool"
+        );
+        assert_eq!(
+            svc.classify_nonblocking(app).err(),
+            Some(ServeError::Overloaded { retry_after_ms: 9 }),
+            "the queue saturates deterministically"
+        );
+        assert_eq!(svc.queue_depth(), 1);
+        assert_eq!(svc.metrics().rejected, 1);
     }
 
     #[test]

@@ -1,0 +1,501 @@
+//! End-to-end tests of the network edge (`frappe-net`) over real
+//! sockets on an ephemeral loopback port:
+//!
+//! * every route answers, and HTTP-ingested events feed the same store
+//!   HTTP classifies read from;
+//! * verdicts served over the socket are **byte-identical** to
+//!   in-process [`FrappeService::classify`], under concurrent clients;
+//! * a saturated scorer pool yields a deterministic `429` with a
+//!   `Retry-After` header and the pinned [`ErrorEnvelope`] body;
+//! * a lifecycle hot-swap (promote, then rollback) fenced by the edge's
+//!   drain protocol loses **zero** responses under mid-load traffic, and
+//!   every response body is one of the known-good per-version strings —
+//!   nothing stale, nothing garbled.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use frappe::features::aggregation::{AggregationFeatures, KnownMaliciousNames};
+use frappe::{AppFeatures, FeatureSet, FrappeModel, OnDemandFeatures};
+use frappe_lifecycle::{
+    DriftConfig, DriftDetector, LifecycleManager, ModelRegistry, ModelSource, PromotionGate,
+    PromotionOutcome,
+};
+use frappe_net::{NetConfig, Server};
+use frappe_serve::{FrappeService, ServeConfig, ServeEvent};
+use osn_types::ids::AppId;
+use url_services::shortener::Shortener;
+
+// ---------------------------------------------------------------- fixtures
+
+fn prototypes() -> (AppFeatures, AppFeatures) {
+    let benign = AppFeatures {
+        app: AppId(1),
+        on_demand: OnDemandFeatures {
+            has_category: Some(true),
+            has_company: Some(true),
+            has_description: Some(true),
+            has_profile_posts: Some(true),
+            permission_count: Some(6),
+            client_id_mismatch: Some(false),
+            redirect_wot_score: Some(94.0),
+        },
+        aggregation: AggregationFeatures {
+            name_matches_known_malicious: false,
+            external_link_ratio: Some(0.0),
+        },
+    };
+    let malicious = AppFeatures {
+        app: AppId(2),
+        on_demand: OnDemandFeatures {
+            has_category: Some(false),
+            has_company: Some(false),
+            has_description: Some(false),
+            has_profile_posts: Some(false),
+            permission_count: Some(1),
+            client_id_mismatch: Some(true),
+            redirect_wot_score: Some(-1.0),
+        },
+        aggregation: AggregationFeatures {
+            name_matches_known_malicious: true,
+            external_link_ratio: Some(1.0),
+        },
+    };
+    (benign, malicious)
+}
+
+fn tiny_model() -> FrappeModel {
+    let (benign, malicious) = prototypes();
+    let samples: Vec<AppFeatures> = (0..4).flat_map(|_| [benign, malicious]).collect();
+    let labels: Vec<bool> = (0..4).flat_map(|_| [false, true]).collect();
+    FrappeModel::train(&samples, &labels, FeatureSet::Full, None)
+}
+
+fn service_with(config: ServeConfig) -> FrappeService {
+    FrappeService::new(
+        tiny_model(),
+        KnownMaliciousNames::from_names(["profile viewer"]),
+        Shortener::bitly(),
+        config,
+    )
+}
+
+/// Feeds one app's evidence; `shady` picks the malicious prototype and
+/// `posts` varies the evidence volume so apps get distinct verdicts.
+fn feed_app(service: &FrappeService, app: AppId, shady: bool, posts: usize) {
+    let name = if shady {
+        "Profile Viewer".to_string()
+    } else {
+        format!("wholesome game {}", app.raw())
+    };
+    service.ingest(&ServeEvent::Registered { app, name });
+    let (benign, malicious) = prototypes();
+    let features = if shady {
+        malicious.on_demand
+    } else {
+        benign.on_demand
+    };
+    service.ingest(&ServeEvent::OnDemand { app, features });
+    for i in 0..posts {
+        let link = if shady {
+            Some(osn_types::url::Url::parse("http://scam.example/x").unwrap())
+        } else {
+            (i % 2 == 0).then(|| osn_types::url::Url::parse("http://fine.example/y").unwrap())
+        };
+        service.ingest(&ServeEvent::Post { app, link });
+    }
+}
+
+// ----------------------------------------------------- tiny blocking client
+
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+struct HttpResponse {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl HttpResponse {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("response bodies are UTF-8")
+    }
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to the edge");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let _ = stream.set_nodelay(true);
+        Client {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, method: &str, path: &str, body: &str) {
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream
+            .write_all(request.as_bytes())
+            .expect("write request");
+    }
+
+    fn read_response(&mut self) -> HttpResponse {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(head_len) = self
+                .buf
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+                .map(|i| i + 4)
+            {
+                let head = String::from_utf8(self.buf[..head_len - 4].to_vec()).unwrap();
+                let mut lines = head.split("\r\n");
+                let status_line = lines.next().unwrap();
+                let status: u16 = status_line
+                    .split(' ')
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("bad status line: {status_line}"));
+                let headers: Vec<(String, String)> = lines
+                    .filter_map(|l| l.split_once(':'))
+                    .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+                    .collect();
+                let content_length: usize = headers
+                    .iter()
+                    .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+                    .map(|(_, v)| v.parse().expect("numeric content-length"))
+                    .unwrap_or(0);
+                if self.buf.len() >= head_len + content_length {
+                    let body = self.buf[head_len..head_len + content_length].to_vec();
+                    self.buf.drain(..head_len + content_length);
+                    return HttpResponse {
+                        status,
+                        headers,
+                        body,
+                    };
+                }
+            }
+            let n = self.stream.read(&mut chunk).expect("read response");
+            assert!(n > 0, "server closed mid-response");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> HttpResponse {
+        self.send(method, path, body);
+        self.read_response()
+    }
+
+    fn get(&mut self, path: &str) -> HttpResponse {
+        self.request("GET", path, "")
+    }
+}
+
+// ------------------------------------------------------------------- tests
+
+#[test]
+fn every_route_answers_and_http_ingest_feeds_http_classify() {
+    let service = Arc::new(service_with(ServeConfig::default()));
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr());
+
+    let health = client.get("/healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body_str(), r#"{"status":"ok"}"#);
+
+    // ingest over HTTP: NDJSON of the real ServeEvent wire format
+    let app = AppId(42);
+    let events = [
+        ServeEvent::Registered {
+            app,
+            name: "Profile Viewer".into(),
+        },
+        ServeEvent::OnDemand {
+            app,
+            features: prototypes().1.on_demand,
+        },
+        ServeEvent::Post {
+            app,
+            link: Some(osn_types::url::Url::parse("http://scam.example/z").unwrap()),
+        },
+    ];
+    let ndjson: String = events
+        .iter()
+        .map(|e| serde_json::to_string(e).unwrap() + "\n")
+        .collect();
+    let ingested = client.request("POST", "/v1/events", &ndjson);
+    assert_eq!(ingested.status, 202);
+    assert_eq!(ingested.body_str(), r#"{"ingested":3}"#);
+
+    // the events just ingested answer a classify on the same connection
+    let verdict = client.get("/v1/classify/app:42");
+    assert_eq!(verdict.status, 200);
+    let in_process = service.classify(app).unwrap();
+    assert_eq!(
+        verdict.body_str(),
+        serde_json::to_string(&in_process).unwrap(),
+        "HTTP body is byte-identical to the in-process verdict"
+    );
+
+    // unknown app: 404 with the pinned envelope
+    let unknown = client.get("/v1/classify/999");
+    assert_eq!(unknown.status, 404);
+    assert_eq!(
+        unknown.body_str(),
+        r#"{"error":{"UnknownApp":999},"retry_after_ms":null}"#
+    );
+
+    // bad NDJSON is all-or-nothing: 400, nothing ingested
+    let before = service.metrics().events_ingested;
+    let bad = client.request(
+        "POST",
+        "/v1/events",
+        "{\"Registered\":{\"app\":1,\"name\":\"x\"}}\nnot json\n",
+    );
+    assert_eq!(bad.status, 400);
+    assert!(bad.body_str().contains("line 2"));
+    assert_eq!(service.metrics().events_ingested, before, "nothing moved");
+
+    // metrics scrape shows serve *and* edge counters in one text
+    let metrics = client.get("/metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body_str().contains("serve_events_ingested 3"));
+    assert!(metrics.body_str().contains("net_conns_accepted 1"));
+    assert!(metrics.body_str().contains("net_http_requests"));
+
+    // routing edges
+    assert_eq!(client.get("/nope").status, 404);
+    assert_eq!(client.request("DELETE", "/healthz", "").status, 405);
+    assert_eq!(client.get("/v1/classify/not-a-number").status, 400);
+
+    // wrong HTTP version: 505 and the connection closes
+    let mut old = Client::connect(server.local_addr());
+    old.stream
+        .write_all(b"GET /healthz HTTP/1.0\r\n\r\n")
+        .unwrap();
+    let response = old.read_response();
+    assert_eq!(response.status, 505);
+    assert_eq!(response.header("connection"), Some("close"));
+}
+
+#[test]
+fn concurrent_socket_verdicts_are_byte_identical_to_in_process() {
+    let service = Arc::new(service_with(ServeConfig::default()));
+    let apps: Vec<AppId> = (1..=8).map(AppId).collect();
+    for (i, &app) in apps.iter().enumerate() {
+        feed_app(&service, app, i % 2 == 0, 1 + i % 4);
+    }
+    let expected: Vec<String> = apps
+        .iter()
+        .map(|&app| serde_json::to_string(&service.classify(app).unwrap()).unwrap())
+        .collect();
+
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let expected = Arc::new(expected);
+    let apps = Arc::new(apps);
+
+    let clients: Vec<_> = (0..4)
+        .map(|worker| {
+            let (expected, apps) = (Arc::clone(&expected), Arc::clone(&apps));
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                for round in 0..20 {
+                    for (i, app) in apps.iter().enumerate() {
+                        // exercise both accepted id spellings
+                        let path = if (round + i + worker) % 2 == 0 {
+                            format!("/v1/classify/app:{}", app.raw())
+                        } else {
+                            format!("/v1/classify/{}", app.raw())
+                        };
+                        let response = client.get(&path);
+                        assert_eq!(response.status, 200);
+                        assert_eq!(
+                            response.body_str(),
+                            expected[i],
+                            "socket verdict differs from in-process for {app:?}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+}
+
+#[test]
+fn saturated_scorer_pool_answers_429_with_retry_after() {
+    // workers = 0 is a deliberately stalled pool: the single queue slot
+    // fills on the first classify and never drains, so the second
+    // classify is rejected deterministically.
+    let service = Arc::new(service_with(ServeConfig {
+        shards: 1,
+        workers: 0,
+        queue_capacity: 1,
+        batch_size: 1,
+        retry_after_ms: 9,
+    }));
+    feed_app(&service, AppId(7), true, 2);
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0", NetConfig::default()).unwrap();
+
+    let mut stuck = Client::connect(server.local_addr());
+    stuck.send("GET", "/v1/classify/7", "");
+    // wait until the first request owns the queue slot
+    while service.queue_depth() == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let mut shed = Client::connect(server.local_addr());
+    let response = shed.get("/v1/classify/7");
+    assert_eq!(response.status, 429);
+    assert_eq!(
+        response.header("retry-after"),
+        Some("1"),
+        "9ms rounds up to the 1-second header floor"
+    );
+    assert_eq!(
+        response.body_str(),
+        r#"{"error":{"Overloaded":{"retry_after_ms":9}},"retry_after_ms":9}"#
+    );
+
+    let snapshot = service.obs_registry().snapshot().to_prometheus_text();
+    assert!(snapshot.contains("net_http_429 1"), "{snapshot}");
+    assert!(
+        snapshot.contains("net_read_stalls 1"),
+        "the shed connection is read-paused: {snapshot}"
+    );
+    assert_eq!(service.metrics().rejected, 1);
+}
+
+#[test]
+fn fenced_hot_swap_under_load_drops_and_stales_nothing() {
+    // Registry-backed service: promotions swap the model the edge serves.
+    let incumbent = tiny_model();
+    let candidate = Arc::new(tiny_model()); // identical weights, new version
+    let registry = ModelRegistry::new(incumbent, ModelSource::default());
+    let service = Arc::new(FrappeService::with_shared_model(
+        registry.handle(),
+        KnownMaliciousNames::from_names(["profile viewer"]),
+        Shortener::bitly(),
+        ServeConfig::default(),
+    ));
+    let apps: Vec<AppId> = (1..=6).map(AppId).collect();
+    for (i, &app) in apps.iter().enumerate() {
+        feed_app(&service, app, i % 2 == 0, 1 + i % 3);
+    }
+
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let manager = LifecycleManager::new(
+        Arc::clone(&service),
+        registry,
+        PromotionGate {
+            min_scored: 100,
+            ..PromotionGate::default()
+        },
+        DriftDetector::new(DriftConfig::default()),
+    );
+    // THE point of this test: the edge's drain protocol fences the swap
+    manager.set_swap_fence(Arc::new(server.handle()));
+
+    // shadow the candidate and let it earn its promotion on live queries
+    manager.begin_shadow(Arc::clone(&candidate), ModelSource::default());
+    for i in 0..120 {
+        let app = apps[i % apps.len()];
+        let label = i % 2 == 0; // matches feed_app's shady pattern
+        manager.classify_labelled(app, Some(label)).unwrap();
+    }
+
+    // known-good response bodies for the incumbent (version 1)
+    let v1: Vec<String> = apps
+        .iter()
+        .map(|&app| serde_json::to_string(&service.classify(app).unwrap()).unwrap())
+        .collect();
+
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 240;
+    let progress = Arc::new(AtomicUsize::new(0));
+    let apps = Arc::new(apps);
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let (progress, apps) = (Arc::clone(&progress), Arc::clone(&apps));
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut bodies = Vec::with_capacity(REQUESTS);
+                for i in 0..REQUESTS {
+                    let app = apps[i % apps.len()];
+                    let response = client.get(&format!("/v1/classify/{}", app.raw()));
+                    assert_eq!(response.status, 200, "{}", response.body_str());
+                    bodies.push((i % apps.len(), response.body_str().to_string()));
+                    progress.fetch_add(1, Ordering::Relaxed);
+                }
+                bodies
+            })
+        })
+        .collect();
+
+    let wait_until = |count: usize| {
+        while progress.load(Ordering::Relaxed) < count {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    };
+
+    // promote mid-load (drain → swap → resume), grab version-2 bodies,
+    // then roll back mid-load too
+    wait_until(CLIENTS * REQUESTS / 4);
+    let outcome = manager.try_promote();
+    assert_eq!(outcome, PromotionOutcome::Promoted(2));
+    let v2: Vec<String> = apps
+        .iter()
+        .map(|&app| serde_json::to_string(&service.classify(app).unwrap()).unwrap())
+        .collect();
+    wait_until(CLIENTS * REQUESTS / 2);
+    assert_eq!(manager.rollback().unwrap(), 1);
+
+    for client in clients {
+        let bodies = client.join().expect("client thread");
+        assert_eq!(bodies.len(), REQUESTS, "zero dropped responses");
+        for (app_idx, body) in bodies {
+            assert!(
+                body == v1[app_idx] || body == v2[app_idx],
+                "response is neither version's known-good body (stale or \
+                 garbled): {body}"
+            );
+        }
+    }
+
+    // every verdict after the dust settles matches in-process exactly
+    let mut client = Client::connect(addr);
+    for (i, &app) in apps.iter().enumerate() {
+        let response = client.get(&format!("/v1/classify/{}", app.raw()));
+        assert_eq!(response.body_str(), v1[i], "post-rollback parity");
+    }
+
+    let snapshot = service.obs_registry().snapshot().to_prometheus_text();
+    assert!(snapshot.contains("net_drains 2"), "{snapshot}");
+    assert!(snapshot.contains("lifecycle_promotions 1"));
+    assert!(snapshot.contains("lifecycle_rollbacks 1"));
+    let metrics = service.metrics();
+    assert_eq!(metrics.model_swaps, 2);
+}

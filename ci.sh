@@ -21,6 +21,15 @@ cargo test -q -p frappe-serve --test catalog_parity
 echo "==> cargo build -p frappe-obs --no-default-features (instrumentation off)"
 cargo build -p frappe-obs --no-default-features
 
+echo "==> trace suite (both obs feature configs)"
+# Request tracing, tail sampling, and SLO windows must behave the same
+# with span instrumentation compiled in and out — the trace collector is
+# independent of the span profiler.
+cargo test -q -p frappe-obs trace
+cargo test -q -p frappe-obs slo
+cargo test -q -p frappe-obs --no-default-features trace
+cargo test -q -p frappe-obs --no-default-features slo
+
 echo "==> determinism suite under FRAPPE_JOBS=1 and FRAPPE_JOBS=8"
 # The frappe-jobs contract: bit-identical results at any thread count.
 # Run the suite at both extremes of the env override so the serial path
@@ -45,6 +54,12 @@ echo "==> network edge suite (epoll reactor, HTTP routes, 429 shed, fenced hot s
 # and a promote/rollback under concurrent socket load fenced by the
 # drain protocol (zero drops, zero stale bodies).
 cargo test -q -p frappe-net --test edge
+
+echo "==> end-to-end trace suite (socket accept to verdict, shed/swap tail sampling)"
+# A 429-shed request and a request in flight across a fenced promote are
+# ALWAYS tail-sampled, with causally ordered spans from socket accept to
+# response write; tracing on vs off leaves verdict bytes bit-identical.
+cargo test -q -p frappe-net --test trace
 
 echo "==> training bench, quick mode (serial vs parallel, BENCH_training.json)"
 cargo run --release -p frappe-bench --bin repro -- --small --bench-out BENCH_training.json

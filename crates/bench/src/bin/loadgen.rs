@@ -8,8 +8,8 @@
 //! ```text
 //! cargo run --release -p frappe-bench --bin loadgen -- \
 //!     [--shards N] [--workers N] [--query-threads N] [--queries N] [--paper-scale] \
-//!     [--linear] [--profile] [--metrics-out PATH] [--swap-every N] \
-//!     [--connect ADDR|self] [--rate N] [--seed N]
+//!     [--linear] [--profile] [--metrics-out PATH] [--trace-out PATH] \
+//!     [--swap-every N] [--connect ADDR|self] [--rate N] [--seed N]
 //! ```
 //!
 //! On exit the run always prints the service registry as Prometheus text;
@@ -20,6 +20,9 @@
 //! live model every N queries (alternating the full-batch model with one
 //! trained on half the data, each at a fresh version), exercising the
 //! lifecycle layer's epoch-pointer swap under full query load.
+//! `--trace-out PATH` attaches a request-trace collector (default head
+//! sampling plus tail keeps) and dumps the kept traces as JSONL on exit;
+//! against an external edge it fetches `GET /v1/traces` instead.
 //!
 //! `--connect` switches to **socket mode**: instead of calling the
 //! service in-process, loadgen drives a `frappe-net` edge over real TCP
@@ -40,7 +43,7 @@ use frappe::{FeatureSet, FrappeModel};
 use frappe_bench::edgebench::{quantile_us, EdgeClient};
 use frappe_bench::lab::{Archive, Lab};
 use frappe_net::{NetConfig, Server};
-use frappe_obs::AuditLog;
+use frappe_obs::{AuditLog, TraceCollector, TraceConfig};
 use frappe_serve::{serve_events, FrappeService, ServeConfig, ServeError, ServeEvent};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -55,6 +58,7 @@ struct Options {
     linear: bool,
     profile: bool,
     metrics_out: Option<String>,
+    trace_out: Option<String>,
     swap_every: Option<usize>,
     connect: Option<String>,
     rate: f64,
@@ -71,6 +75,7 @@ fn parse_options() -> Options {
         linear: false,
         profile: false,
         metrics_out: None,
+        trace_out: None,
         swap_every: None,
         connect: None,
         rate: 2000.0,
@@ -119,12 +124,18 @@ fn parse_options() -> Options {
                     std::process::exit(2);
                 }));
             }
+            "--trace-out" => {
+                opts.trace_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out needs a path");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: loadgen [--shards N] [--workers N] [--query-threads N] \
                      [--queries N] [--paper-scale] [--linear] [--profile] \
-                     [--metrics-out PATH] [--swap-every N] \
+                     [--metrics-out PATH] [--trace-out PATH] [--swap-every N] \
                      [--connect ADDR|self] [--rate N] [--seed N]"
                 );
                 std::process::exit(2);
@@ -165,6 +176,10 @@ fn run_connect(opts: &Options, target: &str) {
                 ..ServeConfig::default()
             },
         ));
+        if opts.trace_out.is_some() {
+            // Before bind, so the edge mints the trace at the socket.
+            service.set_trace_collector(TraceCollector::new(TraceConfig::default()));
+        }
         let server = Server::bind(Arc::clone(&service), "127.0.0.1:0", NetConfig::default())
             .expect("bind the edge on loopback");
         Some((server, service))
@@ -311,6 +326,38 @@ fn run_connect(opts: &Options, target: &str) {
         responses_429 as f64 / issued.max(1) as f64,
     );
 
+    if let Some(path) = &opts.trace_out {
+        // Self-hosted: read the collector directly. External edge: ask
+        // it for its export over the socket.
+        let jsonl = match &hosted {
+            Some((_, service)) => service
+                .trace_collector()
+                .map(|tc| tc.export_jsonl())
+                .unwrap_or_default(),
+            None => {
+                let mut client = EdgeClient::connect(addr).expect("connect trace reader");
+                match client.get("/v1/traces") {
+                    Ok((200, body)) => body,
+                    Ok((status, _)) => {
+                        eprintln!("edge answered {status} for /v1/traces (tracing disabled?)");
+                        String::new()
+                    }
+                    Err(e) => {
+                        eprintln!("could not fetch /v1/traces: {e}");
+                        String::new()
+                    }
+                }
+            }
+        };
+        match std::fs::write(path, &jsonl) {
+            Ok(()) => eprintln!(
+                "wrote {} kept traces to {path}",
+                jsonl.lines().filter(|l| !l.is_empty()).count()
+            ),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+
     if let Some((_, service)) = &hosted {
         // The self-hosted edge shares its service's registry, so the
         // net_* connection metrics ride along in the same snapshot.
@@ -386,6 +433,9 @@ fn main() {
     // stays empty under RBF (explain() returns None) but costs nothing.
     let audit = Arc::new(AuditLog::default());
     service.set_audit_log(Arc::clone(&audit));
+    if opts.trace_out.is_some() {
+        service.set_trace_collector(TraceCollector::new(TraceConfig::default()));
+    }
 
     // prime the store with one full replay so every app is classifiable,
     // then keep the ingest thread replaying for the whole measurement
@@ -492,6 +542,18 @@ fn main() {
         match std::fs::write(path, registry.to_jsonl()) {
             Ok(()) => eprintln!("wrote metrics JSONL to {path}"),
             Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        if let Some(collector) = service.trace_collector() {
+            let stats = collector.stats();
+            match std::fs::write(path, collector.export_jsonl()) {
+                Ok(()) => eprintln!(
+                    "wrote trace JSONL to {path} ({} started, {} kept: {} head + {} tail)",
+                    stats.started, stats.kept, stats.head_kept, stats.tail_kept
+                ),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
         }
     }
     println!("\nprometheus:\n{}", registry.to_prometheus_text());

@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use frappe::{FeatureSet, FrappeModel};
 use frappe_net::{NetConfig, Server};
+use frappe_obs::{TraceCollector, TraceConfig};
 use frappe_serve::{serve_events, FrappeService, ServeConfig};
 use serde::{Deserialize, Serialize};
 use synth_workload::ScenarioConfig;
@@ -174,6 +175,27 @@ pub struct ShedBench {
     pub rejects_per_sec: f64,
 }
 
+/// Tracing overhead: the classify phase re-run against a second edge
+/// whose collector traces every request end to end, compared against the
+/// untraced main run. The acceptance bar is a p99 within a few percent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceOverheadBench {
+    /// Head-sampling rate the traced edge ran with (1 in `head_every`).
+    pub head_every: u64,
+    /// Untraced classify p50, microseconds (the main classify phase).
+    pub untraced_p50_us: f64,
+    /// Untraced classify p99, microseconds.
+    pub untraced_p99_us: f64,
+    /// Traced classify p50, microseconds.
+    pub traced_p50_us: f64,
+    /// Traced classify p99, microseconds.
+    pub traced_p99_us: f64,
+    /// `traced_p99_us / untraced_p99_us` — 1.0 means free.
+    pub p99_overhead_ratio: f64,
+    /// Kept traces reported by `GET /v1/traces` after the run.
+    pub kept_traces: usize,
+}
+
 /// Drain/resume latency while a background client keeps traffic coming.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DrainBench {
@@ -201,10 +223,70 @@ pub struct EdgeBenchReport {
     pub ingest: IngestBench,
     /// Concurrent classify latency and 429 shed rate.
     pub classify: ClassifyBench,
+    /// The same classify phase against a tracing edge, with the overhead
+    /// it cost relative to the untraced run.
+    pub trace: TraceOverheadBench,
     /// Accept-gate rejection throughput.
     pub shed: ShedBench,
     /// Drain protocol latency under background load.
     pub drain: DrainBench,
+}
+
+/// The concurrent classify phase: `connections` threads, one keep-alive
+/// connection each, rotating through `apps`. 429s are counted, not
+/// retried — the shed answer is itself a served response.
+fn classify_phase(
+    addr: SocketAddr,
+    apps: &[u64],
+    connections: usize,
+    requests_per_conn: usize,
+) -> ClassifyBench {
+    let t = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(connections * requests_per_conn);
+    let mut responses_429 = 0usize;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..connections {
+            handles.push(scope.spawn(move || {
+                let mut client = EdgeClient::connect(addr).expect("connect query client");
+                let mut lat = Vec::with_capacity(requests_per_conn);
+                let mut shed = 0usize;
+                for i in 0..requests_per_conn {
+                    let app = apps[(c + i * connections) % apps.len()];
+                    let t = Instant::now();
+                    let (status, _) = client
+                        .get(&format!("/v1/classify/{app}"))
+                        .expect("classify over the socket");
+                    let us = t.elapsed().as_micros() as u64;
+                    match status {
+                        200 => lat.push(us),
+                        429 => shed += 1,
+                        other => panic!("unexpected classify status {other}"),
+                    }
+                }
+                (lat, shed)
+            }));
+        }
+        for handle in handles {
+            let (lat, shed) = handle.join().expect("query thread joins");
+            latencies.extend(lat);
+            responses_429 += shed;
+        }
+    });
+    let wall = t.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let requests = connections * requests_per_conn;
+    ClassifyBench {
+        connections,
+        requests,
+        wall_ms: wall * 1e3,
+        requests_per_sec: requests as f64 / wall.max(1e-9),
+        p50_us: quantile_us(&latencies, 0.50),
+        p99_us: quantile_us(&latencies, 0.99),
+        p999_us: quantile_us(&latencies, 0.999),
+        responses_429,
+        rate_429: responses_429 as f64 / requests.max(1) as f64,
+    }
 }
 
 /// Runs the edge benchmark on the small deterministic world. `quick`
@@ -265,53 +347,48 @@ pub fn run(quick: bool) -> EdgeBenchReport {
     // — the shed answer is itself a served response.
     let apps: Vec<u64> = service.tracked_apps().iter().map(|a| a.raw()).collect();
     assert!(!apps.is_empty(), "ingest must leave classifiable apps");
-    let t = Instant::now();
-    let mut latencies: Vec<u64> = Vec::with_capacity(connections * requests_per_conn);
-    let mut responses_429 = 0usize;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for c in 0..connections {
-            let apps = &apps;
-            handles.push(scope.spawn(move || {
-                let mut client = EdgeClient::connect(addr).expect("connect query client");
-                let mut lat = Vec::with_capacity(requests_per_conn);
-                let mut shed = 0usize;
-                for i in 0..requests_per_conn {
-                    let app = apps[(c + i * connections) % apps.len()];
-                    let t = Instant::now();
-                    let (status, _) = client
-                        .get(&format!("/v1/classify/{app}"))
-                        .expect("classify over the socket");
-                    let us = t.elapsed().as_micros() as u64;
-                    match status {
-                        200 => lat.push(us),
-                        429 => shed += 1,
-                        other => panic!("unexpected classify status {other}"),
-                    }
-                }
-                (lat, shed)
-            }));
-        }
-        for handle in handles {
-            let (lat, shed) = handle.join().expect("query thread joins");
-            latencies.extend(lat);
-            responses_429 += shed;
-        }
-    });
-    let wall = t.elapsed().as_secs_f64();
-    latencies.sort_unstable();
-    let requests = connections * requests_per_conn;
-    let classify = ClassifyBench {
-        connections,
-        requests,
-        wall_ms: wall * 1e3,
-        requests_per_sec: requests as f64 / wall.max(1e-9),
-        p50_us: quantile_us(&latencies, 0.50),
-        p99_us: quantile_us(&latencies, 0.99),
-        p999_us: quantile_us(&latencies, 0.999),
-        responses_429,
-        rate_429: responses_429 as f64 / requests.max(1) as f64,
+    let classify = classify_phase(addr, &apps, connections, requests_per_conn);
+
+    // Trace overhead: the identical classify phase against a second edge
+    // over the same replayed world, whose collector (attached before
+    // bind) traces every request socket-to-verdict at the default head
+    // sampling rate.
+    let traced_service = Arc::new(FrappeService::new(
+        model.clone(),
+        lab.known_malicious_names(),
+        lab.world.shortener.clone(),
+        ServeConfig::default(),
+    ));
+    traced_service.set_trace_collector(TraceCollector::new(TraceConfig::default()));
+    let traced_server = Server::bind(
+        Arc::clone(&traced_service),
+        "127.0.0.1:0",
+        NetConfig::default(),
+    )
+    .expect("bind the traced edge");
+    let traced_addr = traced_server.local_addr();
+    let mut feeder = EdgeClient::connect(traced_addr).expect("connect traced ingest client");
+    for chunk in lines.chunks(400) {
+        let (status, _) = feeder
+            .post("/v1/events", &chunk.join("\n"))
+            .expect("traced ingest batch");
+        assert_eq!(status, 202);
+    }
+    let traced_classify = classify_phase(traced_addr, &apps, connections, requests_per_conn);
+    let mut prober = EdgeClient::connect(traced_addr).expect("connect trace reader");
+    let (status, traces_body) = prober.get("/v1/traces").expect("fetch kept traces");
+    assert_eq!(status, 200, "the traced edge serves its trace export");
+    let trace = TraceOverheadBench {
+        head_every: TraceConfig::default().head_every,
+        untraced_p50_us: classify.p50_us,
+        untraced_p99_us: classify.p99_us,
+        traced_p50_us: traced_classify.p50_us,
+        traced_p99_us: traced_classify.p99_us,
+        p99_overhead_ratio: traced_classify.p99_us / classify.p99_us.max(1.0),
+        kept_traces: traces_body.lines().filter(|l| !l.is_empty()).count(),
     };
+    drop(prober);
+    drop(traced_server);
 
     // Shed: a second edge capped at one connection, its only slot held
     // by a parked client, so every further connect is answered by the
@@ -401,6 +478,7 @@ pub fn run(quick: bool) -> EdgeBenchReport {
         quick,
         ingest,
         classify,
+        trace,
         shed,
         drain,
     }
@@ -414,6 +492,8 @@ impl EdgeBenchReport {
              ingest       {} events in {} batches: {:.1} ms ({:.0} events/s over the socket)\n\
              classify     {} connections x {} requests: {:.0} req/s; \
              p50 {:.0} us, p99 {:.0} us, p999 {:.0} us; {} x 429 ({:.4} rate)\n\
+             trace        traced p50 {:.0} us, p99 {:.0} us vs untraced p99 {:.0} us \
+             ({:.3}x p99, 1/{} head sampling, {} traces kept)\n\
              shed         {}/{} connects rejected by the accept gate ({:.0} rejects/s)\n\
              drain        {} cycles under load: mean {:.0} us, p99 {:.0} us, max {:.0} us \
              ({} background requests completed)",
@@ -431,6 +511,12 @@ impl EdgeBenchReport {
             self.classify.p999_us,
             self.classify.responses_429,
             self.classify.rate_429,
+            self.trace.traced_p50_us,
+            self.trace.traced_p99_us,
+            self.trace.untraced_p99_us,
+            self.trace.p99_overhead_ratio,
+            self.trace.head_every,
+            self.trace.kept_traces,
             self.shed.rejected,
             self.shed.attempts,
             self.shed.rejects_per_sec,
@@ -456,6 +542,13 @@ mod tests {
         assert!(report.classify.p50_us > 0.0);
         assert!(report.classify.p999_us >= report.classify.p99_us);
         assert!(report.classify.p99_us >= report.classify.p50_us);
+        assert!(report.trace.traced_p50_us > 0.0);
+        assert!(report.trace.p99_overhead_ratio > 0.0);
+        assert!(
+            report.trace.kept_traces > 0,
+            "400 traced requests at 1/{} head sampling keep something",
+            report.trace.head_every
+        );
         assert!(report.shed.rejected > 0);
         assert!(report.shed.rejected <= report.shed.attempts);
         assert_eq!(report.drain.drains, 25);

@@ -25,7 +25,7 @@
 use std::sync::Arc;
 
 use frappe::FrappeModel;
-use frappe_obs::{Counter, Gauge};
+use frappe_obs::{Counter, Gauge, LifecycleEvent};
 use frappe_serve::{FrappeService, ServeError, Verdict};
 use osn_types::ids::AppId;
 use parking_lot::Mutex;
@@ -240,6 +240,15 @@ impl LifecycleManager {
             return PromotionOutcome::Held(decision.holds);
         }
         let version = report.version;
+        // Announce before the fence runs: every request still in flight
+        // while the edge drains for the swap gets flagged (and therefore
+        // tail-sampled) by the trace collector.
+        if let Some(trace) = self.service.trace_collector() {
+            trace.lifecycle_event(
+                LifecycleEvent::Promote,
+                &format!("promote shadow version {version}"),
+            );
+        }
         self.fenced_swap(|| {
             self.registry
                 .promote_with(version, |model, v| self.service.swap_model(model, v))
@@ -259,6 +268,14 @@ impl LifecycleManager {
     /// before the rollback can never be served. Returns the version
     /// rolled back to.
     pub fn rollback(&self) -> Result<u64, LifecycleError> {
+        // As with promotion: flag in-flight requests before the fence so
+        // the collector tail-samples everything the rollback touched.
+        if let Some(trace) = self.service.trace_collector() {
+            trace.lifecycle_event(
+                LifecycleEvent::Rollback,
+                &format!("rollback from version {}", self.registry.active_version()),
+            );
+        }
         let version = self.fenced_swap(|| {
             self.registry
                 .rollback_with(|model, v| self.service.swap_model(model, v))
@@ -287,6 +304,20 @@ impl LifecycleManager {
             .set((report.max_psi() * 1000.0).round().min(i64::MAX as f64) as i64);
         if report.is_drifted() {
             self.metrics.drift_triggers.inc();
+            // Raise a trace alarm carrying exemplar trace IDs from the
+            // window the drift was computed over, so an operator can jump
+            // from "PSI fired" straight to concrete traced requests.
+            if let Some(trace) = self.service.trace_collector() {
+                trace.alarm(
+                    "psi_drift",
+                    &format!(
+                        "max_psi={:.3} lanes={}",
+                        report.max_psi(),
+                        report.drifted.join(",")
+                    ),
+                    8,
+                );
+            }
         }
         report
     }

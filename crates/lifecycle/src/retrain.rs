@@ -124,10 +124,10 @@ mod tests {
             on_demand: OnDemandFeatures {
                 has_category: Some(!malicious),
                 has_company: Some(!malicious),
-                has_description: Some(!malicious || app % 7 == 0),
+                has_description: Some(!malicious || app.is_multiple_of(7)),
                 has_profile_posts: Some(!malicious),
                 permission_count: Some(if malicious { 1 + (app % 2) as u32 } else { 5 }),
-                client_id_mismatch: Some(malicious && app % 5 != 0),
+                client_id_mismatch: Some(malicious && !app.is_multiple_of(5)),
                 redirect_wot_score: Some(if malicious {
                     5.0 + wobble
                 } else {

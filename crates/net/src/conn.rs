@@ -23,6 +23,7 @@ use std::io::{self, Read as _, Write as _};
 use std::net::TcpStream;
 use std::time::Instant;
 
+use frappe_obs::{SpanId, TraceHandle};
 use frappe_serve::PendingVerdict;
 
 use crate::http::{Limits, RequestParser};
@@ -40,7 +41,23 @@ pub(crate) enum Phase {
         keep_alive: bool,
         /// When the request finished parsing (feeds the latency histogram).
         started: Instant,
+        /// The request's trace (handle + root span); handed back to the
+        /// loop with the verdict so the response write is traced too.
+        trace: Option<(TraceHandle, SpanId)>,
     },
+}
+
+/// A response whose bytes are enqueued but not yet flushed, with the
+/// trace waiting on that flush. `target` is the connection's cumulative
+/// enqueued-byte watermark at which this response is fully on the wire —
+/// the trace's `edge/write` span (and the trace itself) finishes when
+/// `flushed_total` reaches it.
+pub(crate) struct PendingWrite {
+    pub(crate) handle: TraceHandle,
+    pub(crate) root: SpanId,
+    pub(crate) write_span: SpanId,
+    pub(crate) outcome: String,
+    pub(crate) target: u64,
 }
 
 /// One accepted connection.
@@ -60,6 +77,18 @@ pub(crate) struct Conn {
     /// Close once `out` is flushed.
     pub(crate) closing: bool,
     pub(crate) phase: Phase,
+    /// When the socket was accepted — the first traced request records
+    /// the accept→parse gap as a retroactive `edge/accept` span.
+    pub(crate) accepted_at: Instant,
+    /// Whether the accept span has been recorded (once per connection).
+    pub(crate) accept_traced: bool,
+    /// Cumulative bytes ever enqueued into `out`.
+    pub(crate) enqueued_total: u64,
+    /// Cumulative bytes ever flushed to the socket.
+    pub(crate) flushed_total: u64,
+    /// Traces waiting for their response bytes to hit the wire, in
+    /// enqueue order (watermarks are monotone).
+    pub(crate) write_traces: Vec<PendingWrite>,
 }
 
 /// What a socket-facing step did.
@@ -84,6 +113,38 @@ impl Conn {
             paused: false,
             closing: false,
             phase: Phase::Idle,
+            accepted_at: Instant::now(),
+            accept_traced: false,
+            enqueued_total: 0,
+            flushed_total: 0,
+            write_traces: Vec::new(),
+        }
+    }
+
+    /// Finishes every trace whose response bytes are now fully flushed
+    /// (the write span ends at the moment the last byte left the
+    /// buffer). Call after each successful flush.
+    pub(crate) fn complete_flushed_writes(&mut self) {
+        while self
+            .write_traces
+            .first()
+            .is_some_and(|w| w.target <= self.flushed_total)
+        {
+            let w = self.write_traces.remove(0);
+            w.handle.end_span(w.write_span);
+            w.handle.end_span(w.root);
+            w.handle.finish(&w.outcome);
+        }
+    }
+
+    /// Finishes every still-pending write trace as `aborted` — the peer
+    /// vanished (or the loop is shutting down) before the response made
+    /// it out.
+    pub(crate) fn abort_write_traces(&mut self) {
+        for w in self.write_traces.drain(..) {
+            w.handle.end_span(w.write_span);
+            w.handle.end_span(w.root);
+            w.handle.finish("aborted");
         }
     }
 

@@ -339,7 +339,7 @@ mod tests {
             max_body_bytes: 16,
         };
         let mut p = RequestParser::new(limits);
-        p.push(&vec![b'a'; 65]); // no \r\n\r\n yet, already over budget
+        p.push(&[b'a'; 65]); // no \r\n\r\n yet, already over budget
         assert_eq!(p.next_request(), Err(HttpError::HeadTooLarge));
 
         let mut p = RequestParser::new(limits);

@@ -53,12 +53,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use frappe_lifecycle::SwapFence;
-use frappe_obs::{Counter, Gauge, Histogram};
+use frappe_obs::{
+    Clock, Counter, Gauge, Histogram, LifecycleEvent, SloConfig, SloWindow, SpanId, TraceCollector,
+    TraceFlag, TraceHandle, WallClock,
+};
 use frappe_serve::metrics::LATENCY_BOUNDS_MICROS;
 use frappe_serve::{ErrorEnvelope, FrappeService, PendingVerdict, ServeError, ServeEvent, Verdict};
 use osn_types::ids::AppId;
 
-use crate::conn::{Conn, IoStep, Phase};
+use crate::conn::{Conn, IoStep, PendingWrite, Phase};
 use crate::http::{Limits, Method, Request, Response};
 use crate::reactor::{Reactor, Readiness, Waker};
 
@@ -166,6 +169,7 @@ pub struct EdgeHandle {
     waker: Waker,
     drains: Arc<Counter>,
     drain_micros: Arc<Histogram>,
+    trace: Option<TraceCollector>,
 }
 
 impl EdgeHandle {
@@ -176,6 +180,11 @@ impl EdgeHandle {
     /// [`resume`](Self::resume).
     pub fn drain(&self) -> Duration {
         let start = Instant::now();
+        if let Some(tc) = &self.trace {
+            // every in-flight trace gets flagged + the event appended,
+            // so exported traces show what they straddled
+            tc.lifecycle_event(LifecycleEvent::DrainBegin, "edge drain");
+        }
         let mut state = self.shared.state.lock().expect("edge state lock");
         if state.command == Command::Running {
             state.command = Command::Draining;
@@ -202,6 +211,9 @@ impl EdgeHandle {
     /// Reopens the edge after a [`drain`](Self::drain): accepting
     /// restarts and buffered requests resume.
     pub fn resume(&self) {
+        if let Some(tc) = &self.trace {
+            tc.lifecycle_event(LifecycleEvent::DrainEnd, "edge resume");
+        }
         let mut state = self.shared.state.lock().expect("edge state lock");
         if state.command == Command::Draining {
             state.command = Command::Running;
@@ -256,12 +268,37 @@ impl Server {
         let waker = reactor.waker();
         let shared = Arc::new(Shared::default());
         let metrics = NetMetrics::new(service.obs_registry());
+        // The collector attached to the service (if any) becomes the
+        // edge's tracer: captured at bind, so attach it *before* binding.
+        let trace = service.trace_collector();
         let handle = EdgeHandle {
             shared: Arc::clone(&shared),
             waker: waker.clone(),
             drains: Arc::clone(&metrics.drains),
             drain_micros: Arc::clone(&metrics.drain_micros),
+            trace: trace.clone(),
         };
+
+        // SLO windows share the collector's clock so traced tests can
+        // drive both deterministically; untraced edges run on wall time.
+        let slo_clock: Arc<dyn Clock> = trace
+            .as_ref()
+            .map(TraceCollector::clock)
+            .unwrap_or_else(|| Arc::new(WallClock::new()));
+        let slo_1m = SloWindow::new(
+            SloConfig {
+                window_secs: 60,
+                ..SloConfig::default()
+            },
+            Arc::clone(&slo_clock),
+        );
+        let slo_5m = SloWindow::new(
+            SloConfig {
+                window_secs: 300,
+                ..SloConfig::default()
+            },
+            slo_clock,
+        );
 
         let queue_capacity = service.config().queue_capacity;
         let retry_after_ms = service.config().retry_after_ms;
@@ -283,6 +320,9 @@ impl Server {
             accept_ready: true, // connections may predate registration
             paused_any: false,
             metrics,
+            trace,
+            slo_1m,
+            slo_5m,
         };
         let thread = std::thread::Builder::new()
             .name("frappe-net".into())
@@ -384,6 +424,11 @@ struct EventLoop {
     paused_any: bool,
     metrics: NetMetrics,
     overload_response: Vec<u8>,
+    /// Request tracer (the service's collector, captured at bind).
+    trace: Option<TraceCollector>,
+    /// Rolling SLO windows fed by every completed response.
+    slo_1m: SloWindow,
+    slo_5m: SloWindow,
 }
 
 impl EventLoop {
@@ -431,7 +476,8 @@ impl EventLoop {
             }
         }
         for idx in 0..self.conns.len() {
-            if let Some(conn) = self.conns[idx].take() {
+            if let Some(mut conn) = self.conns[idx].take() {
+                conn.abort_write_traces();
                 self.reactor.deregister(conn.stream.as_raw_fd());
             }
         }
@@ -463,6 +509,14 @@ impl EventLoop {
                         // A fresh socket's buffer swallows this small
                         // write, so best-effort is near-certain delivery.
                         self.metrics.rejected.inc();
+                        if let Some(tc) = &self.trace {
+                            // no connection ever exists, so the trace is
+                            // born finished — and always tail-kept
+                            let t = tc.begin("edge");
+                            t.flag(TraceFlag::ShedAcceptGate);
+                            t.event("accept_gate", format!("active={}", self.active));
+                            t.finish("503");
+                        }
                         let _ = stream.set_nonblocking(true);
                         let _ = io::Write::write(&mut &stream, &self.overload_response);
                         continue;
@@ -502,6 +556,9 @@ impl EventLoop {
         let gone = self.pump_conn(&mut conn, running);
         let finished = conn.closing && conn.is_quiesced();
         if gone || finished {
+            // a vanished peer leaves responses unflushed; their traces
+            // still finish (as `aborted`) so nothing dangles
+            conn.abort_write_traces();
             self.reactor.deregister(conn.stream.as_raw_fd());
             self.free.push(idx);
             self.active -= 1;
@@ -515,7 +572,7 @@ impl EventLoop {
     fn pump_conn(&mut self, conn: &mut Conn, running: bool) -> bool {
         if conn.writable && conn.has_pending_output() {
             match conn.flush_out() {
-                IoStep::Progress(n) => self.metrics.bytes_written.add(n as u64),
+                IoStep::Progress(n) => self.flushed(conn, n),
                 IoStep::Gone => return true,
             }
         }
@@ -524,12 +581,13 @@ impl EventLoop {
             pending,
             keep_alive,
             started,
+            trace,
         } = &mut conn.phase
         {
             if let Some(outcome) = pending.poll() {
-                let (keep_alive, started) = (*keep_alive, *started);
+                let (keep_alive, started, trace) = (*keep_alive, *started, trace.take());
                 let response = self.verdict_response(outcome);
-                self.enqueue(conn, response, keep_alive, Some(started));
+                self.enqueue(conn, response, keep_alive, Some(started), trace);
             }
         }
 
@@ -546,11 +604,19 @@ impl EventLoop {
 
         if conn.writable && conn.has_pending_output() {
             match conn.flush_out() {
-                IoStep::Progress(n) => self.metrics.bytes_written.add(n as u64),
+                IoStep::Progress(n) => self.flushed(conn, n),
                 IoStep::Gone => return true,
             }
         }
         false
+    }
+
+    /// Books `n` flushed bytes: byte counter, watermark, and any traces
+    /// whose responses just made it fully onto the wire.
+    fn flushed(&self, conn: &mut Conn, n: usize) {
+        self.metrics.bytes_written.add(n as u64);
+        conn.flushed_total += n as u64;
+        conn.complete_flushed_writes();
     }
 
     /// Parses and serves buffered requests, bounded by the pipelining
@@ -568,12 +634,13 @@ impl EventLoop {
                 Ok(Some(request)) => {
                     let started = Instant::now();
                     self.metrics.requests.inc();
-                    match self.route(&request) {
+                    let trace = self.begin_request_trace(conn, &request);
+                    match self.route(&request, trace.as_ref()) {
                         Routed::Done {
                             response,
                             pause_reads,
                         } => {
-                            self.enqueue(conn, response, request.keep_alive, Some(started));
+                            self.enqueue(conn, response, request.keep_alive, Some(started), trace);
                             if pause_reads {
                                 // ring 2: this client just got a 429 —
                                 // stop reading it until the queue recovers
@@ -587,6 +654,7 @@ impl EventLoop {
                                 pending,
                                 keep_alive: request.keep_alive,
                                 started,
+                                trace,
                             };
                         }
                     }
@@ -600,14 +668,41 @@ impl EventLoop {
                         serde_json::to_string(err.detail()).expect("strings serialize")
                     );
                     let response = Response::json(status, body.into_bytes());
-                    self.enqueue(conn, response, false, None);
+                    self.enqueue(conn, response, false, None, None);
                     break;
                 }
             }
         }
     }
 
-    fn route(&self, request: &Request) -> Routed {
+    /// Mints the request's trace (when a collector is attached): a
+    /// retroactive `edge/accept` span on the connection's first request,
+    /// then the open `edge/request` root span everything downstream
+    /// parents under.
+    fn begin_request_trace(
+        &self,
+        conn: &mut Conn,
+        request: &Request,
+    ) -> Option<(TraceHandle, SpanId)> {
+        let tc = self.trace.as_ref()?;
+        let handle = tc.begin("edge");
+        if !conn.accept_traced {
+            conn.accept_traced = true;
+            let now = handle.now_micros();
+            let elapsed = u64::try_from(conn.accepted_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+            handle.span_at("edge/accept", None, now.saturating_sub(elapsed), now);
+        }
+        let root = handle.start_span("edge/request", None);
+        let verb = match request.method {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Other => "?",
+        };
+        handle.event("http_request", format!("{verb} {}", request.path));
+        Some((handle, root))
+    }
+
+    fn route(&self, request: &Request, trace: Option<&(TraceHandle, SpanId)>) -> Routed {
         let done = |response| Routed::Done {
             response,
             pause_reads: false,
@@ -616,9 +711,23 @@ impl EventLoop {
             (Method::Get, "/healthz") => done(Response::json(200, &br#"{"status":"ok"}"#[..])),
             (Method::Get, "/metrics") => {
                 let _ = self.service.metrics(); // refreshes the queue-depth gauge
-                let text = self.service.obs_registry().snapshot().to_prometheus_text();
+                let registry = self.service.obs_registry();
+                if let Some(tc) = &self.trace {
+                    tc.publish_metrics(registry);
+                }
+                self.slo_1m.publish(registry, "1m");
+                self.slo_5m.publish(registry, "5m");
+                let text = registry.snapshot().to_prometheus_text();
                 done(Response::text(200, text.into_bytes()))
             }
+            (Method::Get, "/v1/traces") => done(match &self.trace {
+                Some(tc) => Response::text(200, tc.export_jsonl().into_bytes()),
+                None => Response::json(404, &br#"{"error":"tracing disabled"}"#[..]),
+            }),
+            (Method::Get, "/v1/traces/chrome") => done(match &self.trace {
+                Some(tc) => Response::json(200, tc.export_chrome_trace().into_bytes()),
+                None => Response::json(404, &br#"{"error":"tracing disabled"}"#[..]),
+            }),
             (Method::Post, "/v1/events") => done(self.ingest_events(&request.body)),
             (Method::Get, path) if path.starts_with("/v1/classify/") => {
                 let raw = &path["/v1/classify/".len()..];
@@ -630,7 +739,8 @@ impl EventLoop {
                     );
                     return done(Response::json(400, body.into_bytes()));
                 };
-                match self.service.classify_nonblocking(app) {
+                let edge_trace = trace.map(|(handle, root)| (handle.clone(), Some(*root)));
+                match self.service.classify_traced(app, edge_trace) {
                     Ok(pending) => Routed::Score(pending),
                     Err(err) => {
                         let pause_reads = matches!(err, ServeError::Overloaded { .. });
@@ -644,10 +754,12 @@ impl EventLoop {
                     }
                 }
             }
-            (_, "/healthz" | "/metrics" | "/v1/events") => done(Response::json(
-                405,
-                &br#"{"error":"method not allowed"}"#[..],
-            )),
+            (_, "/healthz" | "/metrics" | "/v1/events" | "/v1/traces" | "/v1/traces/chrome") => {
+                done(Response::json(
+                    405,
+                    &br#"{"error":"method not allowed"}"#[..],
+                ))
+            }
             (_, path) if path.starts_with("/v1/classify/") => done(Response::json(
                 405,
                 &br#"{"error":"method not allowed"}"#[..],
@@ -712,6 +824,7 @@ impl EventLoop {
         mut response: Response,
         keep_alive: bool,
         started: Option<Instant>,
+        trace: Option<(TraceHandle, SpanId)>,
     ) {
         if !keep_alive {
             response.close = true;
@@ -719,12 +832,37 @@ impl EventLoop {
         if response.close {
             conn.closing = true;
         }
+        let status = response.status;
+        let before = conn.out.len();
         response.write_into(&mut conn.out);
+        conn.enqueued_total += (conn.out.len() - before) as u64;
         conn.phase = Phase::Idle;
         if let Some(started) = started {
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            // latency bucket exemplars name a real traced request
+            let exemplar = trace.as_ref().map_or(0, |(h, _)| h.id().as_u64());
             self.metrics
                 .request_latency
-                .observe(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+                .observe_with_exemplar(micros, exemplar);
+            // "bad" for SLO purposes: shed (429) or server-side failure
+            let bad = status == 429 || status >= 500;
+            self.slo_1m.record(micros, bad);
+            self.slo_5m.record(micros, bad);
+        }
+        if let Some((handle, root)) = trace {
+            if status == 429 {
+                handle.flag(TraceFlag::Shed429);
+            }
+            // the response is buffered, not yet on the wire: the trace
+            // finishes when the flush watermark passes `target`
+            let write_span = handle.start_span("edge/write", Some(root));
+            conn.write_traces.push(PendingWrite {
+                handle,
+                root,
+                write_span,
+                outcome: status.to_string(),
+                target: conn.enqueued_total,
+            });
         }
     }
 

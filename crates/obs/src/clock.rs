@@ -1,0 +1,108 @@
+//! Injectable time source for exporters and the trace collector.
+//!
+//! Everything in this crate that needs a timestamp asks a [`Clock`]
+//! instead of reading wall time directly. Production code hands in a
+//! [`WallClock`]; tests (and, later, the virtual-clock soak harness of
+//! ROADMAP item 5) hand in a [`ManualClock`] so exported bytes are
+//! fully deterministic — same inputs, same output, byte for byte.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic microsecond clock.
+///
+/// Implementations must be monotonic (never go backwards) but the epoch
+/// is theirs to choose; consumers only compare and subtract timestamps
+/// taken from the *same* clock.
+pub trait Clock: Send + Sync {
+    /// Current time in microseconds since this clock's epoch.
+    fn now_micros(&self) -> u64;
+}
+
+/// Real time, measured as microseconds since the clock was created.
+///
+/// Built on [`Instant`], so it is monotonic and immune to wall-clock
+/// adjustments. Two `WallClock`s have different epochs — share one
+/// handle rather than constructing per call site.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+}
+
+/// A clock that only moves when told to — the deterministic test double.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    micros: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `micros`.
+    pub fn at(micros: u64) -> Self {
+        Self {
+            micros: AtomicU64::new(micros),
+        }
+    }
+
+    /// Jump to an absolute time. Saturates monotonically: moving
+    /// backwards is ignored rather than honoured.
+    pub fn set(&self, micros: u64) {
+        self.micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Advance by `delta` microseconds.
+    pub fn advance(&self, delta: u64) {
+        self.micros.fetch_add(delta, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_forward_on_set() {
+        let c = ManualClock::at(100);
+        assert_eq!(c.now_micros(), 100);
+        c.advance(50);
+        assert_eq!(c.now_micros(), 150);
+        c.set(120); // backwards — ignored
+        assert_eq!(c.now_micros(), 150);
+        c.set(500);
+        assert_eq!(c.now_micros(), 500);
+    }
+}

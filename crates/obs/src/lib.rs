@@ -18,6 +18,16 @@
 //!   contributions (`weight × value`) that sum, with the bias, back to
 //!   the decision value. Linear kernels only; producers skip records for
 //!   kernels that do not decompose.
+//! * [`trace`] — per-request traces with causally-linked spans, minted
+//!   at the edge and finished at response write. Deterministic head
+//!   sampling plus always-keep tail sampling (429s, sheds, stale-epoch
+//!   retries, p99+ latency, requests straddling a promote/rollback/
+//!   drain) into a bounded ring, exported as JSONL or Chrome
+//!   `trace_event` JSON.
+//! * [`slo`] — rolling per-second windows turning request outcomes into
+//!   burn-rate and error-budget-remaining gauges (`slo_*`).
+//! * [`clock`] — the injectable time source everything above stamps
+//!   with, so exports are byte-deterministic under a [`ManualClock`].
 //!
 //! Consumers share the process-wide [`Registry::global`] and
 //! [`Profiler::global`], or create private instances where isolation
@@ -28,13 +38,22 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod clock;
 pub mod metrics;
 pub mod registry;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
 pub use audit::{AuditLog, AuditRecord, AuditSource, FeatureContribution};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
-pub use registry::{MetricSnapshot, MetricValue, Registry, RegistrySnapshot};
+pub use clock::{Clock, ManualClock, WallClock};
+pub use metrics::{Counter, ExemplarSnapshot, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{escape_label_value, MetricSnapshot, MetricValue, Registry, RegistrySnapshot};
+pub use slo::{SloConfig, SloReport, SloWindow};
 pub use span::{
     set_spans_enabled, span, spans_enabled, ProfileSnapshot, Profiler, Span, StageRow, ENV_TOGGLE,
+};
+pub use trace::{
+    AlarmRecord, CompletedSpan, CompletedTrace, LifecycleEvent, SpanId, TraceCollector,
+    TraceConfig, TraceEvent, TraceFlag, TraceHandle, TraceId, TraceStats,
 };

@@ -81,6 +81,11 @@ impl Gauge {
 pub struct Histogram {
     bounds: Box<[u64]>,
     buckets: Box<[AtomicU64]>,
+    // Per-bucket exemplar slots: the most recent (value, trace id)
+    // observed into the bucket via `observe_with_exemplar`. An id of 0
+    // means "no exemplar yet".
+    exemplar_values: Box<[AtomicU64]>,
+    exemplar_ids: Box<[AtomicU64]>,
     sum: AtomicU64,
     count: AtomicU64,
 }
@@ -97,9 +102,13 @@ impl Histogram {
             "histogram bounds must be strictly ascending"
         );
         let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        let exemplar_values = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        let exemplar_ids = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
         Self {
             bounds: bounds.into(),
             buckets,
+            exemplar_values,
+            exemplar_ids,
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
         }
@@ -112,14 +121,33 @@ impl Histogram {
 
     /// Record one observation.
     pub fn observe(&self, value: u64) {
+        self.bucket_for(value);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one observation and attach `trace_id` as the bucket's
+    /// exemplar (latest writer wins; an id of 0 records no exemplar).
+    /// Lets a scraped histogram answer "show me a real request that
+    /// landed in this latency bucket".
+    pub fn observe_with_exemplar(&self, value: u64, trace_id: u64) {
+        let idx = self.bucket_for(value);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if trace_id != 0 {
+            self.exemplar_values[idx].store(value, Ordering::Relaxed);
+            self.exemplar_ids[idx].store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    fn bucket_for(&self, value: u64) -> usize {
         let idx = self
             .bounds
             .iter()
             .position(|&b| value <= b)
             .unwrap_or(self.bounds.len());
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        idx
     }
 
     /// Record a duration in whole microseconds.
@@ -129,6 +157,18 @@ impl Histogram {
 
     /// Point-in-time copy of the bucket counts.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let exemplars = self
+            .exemplar_ids
+            .iter()
+            .zip(self.exemplar_values.iter())
+            .map(|(id, value)| {
+                let trace_id = id.load(Ordering::Relaxed);
+                (trace_id != 0).then(|| ExemplarSnapshot {
+                    value: value.load(Ordering::Relaxed),
+                    trace_id,
+                })
+            })
+            .collect();
         HistogramSnapshot {
             bounds: self.bounds.to_vec(),
             counts: self
@@ -136,10 +176,20 @@ impl Histogram {
                 .iter()
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
+            exemplars,
             sum: self.sum.load(Ordering::Relaxed),
             count: self.count.load(Ordering::Relaxed),
         }
     }
+}
+
+/// One bucket's exemplar: a real observation and the trace that made it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExemplarSnapshot {
+    /// The observed value.
+    pub value: u64,
+    /// The trace id attached to the observation.
+    pub trace_id: u64,
 }
 
 /// Serializable copy of a [`Histogram`]'s state.
@@ -152,6 +202,9 @@ pub struct HistogramSnapshot {
     pub bounds: Vec<u64>,
     /// Per-bucket observation counts (last entry = overflow bucket).
     pub counts: Vec<u64>,
+    /// Per-bucket exemplars, aligned with `counts` (`None` for buckets
+    /// that never saw an exemplar-carrying observation).
+    pub exemplars: Vec<Option<ExemplarSnapshot>>,
     /// Sum of all observed values.
     pub sum: u64,
     /// Total number of observations.
@@ -260,5 +313,36 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn unsorted_bounds_rejected() {
         let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn exemplars_track_latest_per_bucket() {
+        let h = Histogram::new(&[10, 100]);
+        h.observe(5); // no exemplar
+        assert!(h.snapshot().exemplars.iter().all(Option::is_none));
+
+        h.observe_with_exemplar(7, 0x11);
+        h.observe_with_exemplar(9, 0x22); // same bucket, latest wins
+        h.observe_with_exemplar(5_000, 0x33); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(
+            s.exemplars[0],
+            Some(ExemplarSnapshot {
+                value: 9,
+                trace_id: 0x22
+            })
+        );
+        assert_eq!(s.exemplars[1], None);
+        assert_eq!(
+            s.exemplars[2],
+            Some(ExemplarSnapshot {
+                value: 5_000,
+                trace_id: 0x33
+            })
+        );
+        assert_eq!(s.count, 4);
+        let roundtrip: HistogramSnapshot =
+            serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(roundtrip, s);
     }
 }

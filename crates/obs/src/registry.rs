@@ -1,11 +1,19 @@
 //! Named metric registry with Prometheus text and JSONL exporters.
 //!
-//! A [`Registry`] hands out `Arc` handles to instruments keyed by name.
-//! Callers register once (taking a short lock) and then record through
-//! the handle with no registry involvement, so the hot path stays
-//! lock-free. One process-wide registry is available via
-//! [`Registry::global`]; subsystems that need isolated counting (e.g. one
-//! serving instance per test) create their own with [`Registry::new`].
+//! A [`Registry`] hands out `Arc` handles to instruments keyed by name
+//! plus an optional label set. Callers register once (taking a short
+//! lock) and then record through the handle with no registry
+//! involvement, so the hot path stays lock-free. One process-wide
+//! registry is available via [`Registry::global`]; subsystems that need
+//! isolated counting (e.g. one serving instance per test) create their
+//! own with [`Registry::new`].
+//!
+//! Label values are escaped per the Prometheus text exposition rules
+//! (`\` → `\\`, `"` → `\"`, newline → `\n`) — the encoding is pinned
+//! byte-exactly by a test below. The JSONL exporter can stamp every
+//! line with a timestamp from an injected [`Clock`], never from a raw
+//! wall-time read, so exports are byte-deterministic under a
+//! [`ManualClock`](crate::ManualClock).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -14,6 +22,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::clock::Clock;
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 
 #[derive(Clone)]
@@ -33,10 +42,22 @@ impl Metric {
     }
 }
 
+type MetricKey = (String, Vec<(String, String)>);
+
+fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    (
+        name.to_owned(),
+        labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect(),
+    )
+}
+
 /// A collection of named instruments.
 #[derive(Default)]
 pub struct Registry {
-    metrics: Mutex<BTreeMap<String, Metric>>,
+    metrics: Mutex<BTreeMap<MetricKey, Metric>>,
 }
 
 impl Registry {
@@ -51,14 +72,24 @@ impl Registry {
         GLOBAL.get_or_init(Registry::new)
     }
 
-    /// Get or create the counter registered under `name`.
+    /// Get or create the counter registered under `name` (no labels).
     ///
     /// # Panics
     /// If `name` is already registered as a different instrument kind.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Get or create the counter registered under `name` with the given
+    /// label set. Each distinct label set is its own instrument in the
+    /// same family.
+    ///
+    /// # Panics
+    /// If the same name + labels is registered as a different kind.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         let mut metrics = self.metrics.lock();
         let metric = metrics
-            .entry(name.to_owned())
+            .entry(key(name, labels))
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
         match metric {
             Metric::Counter(c) => Arc::clone(c),
@@ -66,14 +97,23 @@ impl Registry {
         }
     }
 
-    /// Get or create the gauge registered under `name`.
+    /// Get or create the gauge registered under `name` (no labels).
     ///
     /// # Panics
     /// If `name` is already registered as a different instrument kind.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get or create the gauge registered under `name` with the given
+    /// label set.
+    ///
+    /// # Panics
+    /// If the same name + labels is registered as a different kind.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let mut metrics = self.metrics.lock();
         let metric = metrics
-            .entry(name.to_owned())
+            .entry(key(name, labels))
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
         match metric {
             Metric::Gauge(g) => Arc::clone(g),
@@ -81,16 +121,31 @@ impl Registry {
         }
     }
 
-    /// Get or create the histogram registered under `name` with the given
-    /// finite bucket bounds.
+    /// Get or create the histogram registered under `name` (no labels)
+    /// with the given finite bucket bounds.
     ///
     /// # Panics
     /// If `name` is already registered as a different instrument kind, or
     /// as a histogram with different bounds.
     pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        self.histogram_with(name, &[], bounds)
+    }
+
+    /// Get or create the histogram registered under `name` with the
+    /// given label set and finite bucket bounds.
+    ///
+    /// # Panics
+    /// If the same name + labels is registered as a different kind, or
+    /// as a histogram with different bounds.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+    ) -> Arc<Histogram> {
         let mut metrics = self.metrics.lock();
         let metric = metrics
-            .entry(name.to_owned())
+            .entry(key(name, labels))
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))));
         match metric {
             Metric::Histogram(h) => {
@@ -104,14 +159,16 @@ impl Registry {
         }
     }
 
-    /// Point-in-time copy of every registered instrument, sorted by name.
+    /// Point-in-time copy of every registered instrument, sorted by
+    /// name then label set.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let metrics = self.metrics.lock();
         RegistrySnapshot {
             metrics: metrics
                 .iter()
-                .map(|(name, metric)| MetricSnapshot {
+                .map(|((name, labels), metric)| MetricSnapshot {
                     name: name.clone(),
+                    labels: labels.clone(),
                     value: match metric {
                         Metric::Counter(c) => MetricValue::Counter(c.get()),
                         Metric::Gauge(g) => MetricValue::Gauge(g.get()),
@@ -128,6 +185,8 @@ impl Registry {
 pub struct MetricSnapshot {
     /// Registered metric name.
     pub name: String,
+    /// Label pairs (empty for unlabelled instruments).
+    pub labels: Vec<(String, String)>,
     /// Kind-tagged value.
     pub value: MetricValue,
 }
@@ -146,40 +205,58 @@ pub enum MetricValue {
 /// All registered instruments at one point in time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RegistrySnapshot {
-    /// Per-instrument snapshots, sorted by name.
+    /// Per-instrument snapshots, sorted by name then labels.
     pub metrics: Vec<MetricSnapshot>,
 }
 
 impl RegistrySnapshot {
     /// Render in the Prometheus text exposition format (one `# TYPE`
-    /// header per metric; histograms expand to cumulative `_bucket`
-    /// series plus `_sum` and `_count`).
+    /// header per metric family; histograms expand to cumulative
+    /// `_bucket` series plus `_sum` and `_count`; bucket exemplars
+    /// render in the OpenMetrics `# {trace_id="…"} value` form).
     pub fn to_prometheus_text(&self) -> String {
         let mut out = String::new();
+        let mut last_family: Option<&str> = None;
         for m in &self.metrics {
             let name = sanitize_metric_name(&m.name);
+            let labels = render_labels(&m.labels);
+            if last_family != Some(m.name.as_str()) {
+                let kind = match &m.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_family = Some(m.name.as_str());
+            }
             match &m.value {
                 MetricValue::Counter(v) => {
-                    let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+                    let _ = writeln!(out, "{name}{labels} {v}");
                 }
                 MetricValue::Gauge(v) => {
-                    let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+                    let _ = writeln!(out, "{name}{labels} {v}");
                 }
                 MetricValue::Histogram(h) => {
-                    let _ = writeln!(out, "# TYPE {name} histogram");
                     let mut cumulative = 0u64;
                     for (i, &c) in h.counts.iter().enumerate() {
                         cumulative += c;
-                        match h.bounds.get(i) {
-                            Some(b) => {
-                                let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cumulative}");
-                            }
-                            None => {
-                                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-                            }
+                        let le = match h.bounds.get(i) {
+                            Some(b) => b.to_string(),
+                            None => "+Inf".to_owned(),
+                        };
+                        let bucket_labels = render_bucket_labels(&m.labels, &le);
+                        let _ = write!(out, "{name}_bucket{bucket_labels} {cumulative}");
+                        if let Some(Some(ex)) = h.exemplars.get(i) {
+                            let _ = write!(
+                                out,
+                                " # {{trace_id=\"{:016x}\"}} {}",
+                                ex.trace_id, ex.value
+                            );
                         }
+                        out.push('\n');
                     }
-                    let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+                    let _ = writeln!(out, "{name}_sum{labels} {}", h.sum);
+                    let _ = writeln!(out, "{name}_count{labels} {}", h.count);
                 }
             }
         }
@@ -196,6 +273,66 @@ impl RegistrySnapshot {
         }
         out
     }
+
+    /// Render as JSONL with a `ts_micros` field on every line, stamped
+    /// once from the injected clock. No wall time is read here — hand
+    /// in a [`ManualClock`](crate::ManualClock) and the output is
+    /// byte-deterministic.
+    pub fn to_jsonl_stamped(&self, clock: &dyn Clock) -> String {
+        let ts_micros = clock.now_micros();
+        let mut out = String::new();
+        for m in &self.metrics {
+            let line = serde_json::to_string(m).expect("metric snapshot serializes");
+            // Splice the timestamp in as the first field of each object.
+            let rest = line.strip_prefix('{').unwrap_or(&line);
+            let _ = writeln!(out, "{{\"ts_micros\":{ts_micros},{rest}");
+        }
+        out
+    }
+}
+
+/// Render `{k="v",…}` with escaped values, or nothing when unlabelled.
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}=\"{}\"",
+            sanitize_metric_name(k),
+            escape_label_value(v)
+        );
+    }
+    out.push('}');
+    out
+}
+
+/// Bucket labels: the instrument's own labels plus the `le` bound.
+fn render_bucket_labels(labels: &[(String, String)], le: &str) -> String {
+    let mut all: Vec<(String, String)> = labels.to_vec();
+    all.push(("le".to_owned(), le.to_owned()));
+    render_labels(&all)
+}
+
+/// Escape a label value per the Prometheus text format: backslash,
+/// double-quote, and newline get backslash escapes; everything else
+/// passes through.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 /// Map a registry name onto the Prometheus identifier charset
@@ -220,6 +357,7 @@ fn sanitize_metric_name(name: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::ManualClock;
 
     #[test]
     fn get_or_create_returns_same_instrument() {
@@ -229,6 +367,21 @@ mod tests {
         a.inc();
         b.add(2);
         assert_eq!(r.counter("requests").get(), 3);
+    }
+
+    #[test]
+    fn label_sets_are_distinct_instruments_in_one_family() {
+        let r = Registry::new();
+        r.counter_with("hits", &[("route", "/a")]).inc();
+        r.counter_with("hits", &[("route", "/b")]).add(2);
+        assert_eq!(r.counter_with("hits", &[("route", "/a")]).get(), 1);
+        assert_eq!(r.counter_with("hits", &[("route", "/b")]).get(), 2);
+        let text = r.snapshot().to_prometheus_text();
+        assert_eq!(
+            text.matches("# TYPE hits counter").count(),
+            1,
+            "one TYPE header per family"
+        );
     }
 
     #[test]
@@ -259,6 +412,29 @@ mod tests {
     }
 
     #[test]
+    fn label_value_escaping_is_pinned_byte_exact() {
+        let r = Registry::new();
+        r.counter_with("odd", &[("path", "a\\b\"c\nd")]).add(7);
+        r.gauge_with("level", &[("zone", "eu-west"), ("tier", "\"hot\"")])
+            .set(3);
+        let h = r.histogram_with("lat", &[("op", "score\\")], &[10]);
+        h.observe(4);
+        h.observe_with_exemplar(99, 0xabc);
+        assert_eq!(
+            r.snapshot().to_prometheus_text(),
+            "# TYPE lat histogram\n\
+             lat_bucket{op=\"score\\\\\",le=\"10\"} 1\n\
+             lat_bucket{op=\"score\\\\\",le=\"+Inf\"} 2 # {trace_id=\"0000000000000abc\"} 99\n\
+             lat_sum{op=\"score\\\\\"} 103\n\
+             lat_count{op=\"score\\\\\"} 2\n\
+             # TYPE level gauge\n\
+             level{zone=\"eu-west\",tier=\"\\\"hot\\\"\"} 3\n\
+             # TYPE odd counter\n\
+             odd{path=\"a\\\\b\\\"c\\nd\"} 7\n"
+        );
+    }
+
+    #[test]
     fn jsonl_is_one_parsable_object_per_line() {
         let r = Registry::new();
         r.counter("a").inc();
@@ -271,6 +447,20 @@ mod tests {
             let parsed: MetricSnapshot = serde_json::from_str(line).expect("each line parses back");
             assert!(!parsed.name.is_empty());
         }
+    }
+
+    #[test]
+    fn stamped_jsonl_is_byte_deterministic_under_a_manual_clock() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        let clock = ManualClock::at(1_234_567);
+        let first = r.snapshot().to_jsonl_stamped(&clock);
+        let second = r.snapshot().to_jsonl_stamped(&clock);
+        assert_eq!(first, second);
+        assert_eq!(
+            first,
+            "{\"ts_micros\":1234567,\"name\":\"a\",\"labels\":[],\"value\":{\"Counter\":1}}\n"
+        );
     }
 
     #[test]

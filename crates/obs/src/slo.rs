@@ -1,0 +1,317 @@
+//! Sliding-window SLO accounting: burn rates and error-budget gauges.
+//!
+//! Lifetime counters answer "how many ever"; an on-call needs "how fast
+//! am I spending my error budget *right now*". An [`SloWindow`] keeps
+//! one slot per second over a rolling window, each slot holding request
+//! / bad-request / slow-request counts and a latency sum. Slots are
+//! lazily recycled as the injected [`Clock`] advances, so recording is
+//! one short per-slot lock and no background thread exists.
+//!
+//! Definitions (all integer math, reported in ppm / milli units):
+//!
+//! * **bad ratio** = `bad / requests` — a request is *bad* when the
+//!   caller says so (the edge counts 429 sheds and 5xx).
+//! * **slow ratio** = `slow / requests` with `slow` meaning latency ≥
+//!   [`SloConfig::latency_slo_us`].
+//! * **burn rate** = `observed ratio / budget ratio`. Burn 1.0 (1000
+//!   milli) spends exactly the budget; >1 is how many times faster than
+//!   sustainable the budget is burning (the Google SRE workbook's
+//!   multiwindow alert quantity).
+//! * **budget remaining** = `1 − consumed/allowed` over this window,
+//!   clamped to `[0, 1]`, in ppm.
+//!
+//! Publish to a [`Registry`] with a `window` label (e.g. `1m`, `5m`) so
+//! one family carries every window: `slo_burn_rate_milli{window="1m"}`.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::Clock;
+use crate::registry::Registry;
+
+/// SLO targets for one window.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Window width in seconds (one accounting slot per second).
+    pub window_secs: u64,
+    /// Allowed bad-request fraction, in parts per million
+    /// (`1_000` = 99.9% availability target).
+    pub bad_budget_ppm: u64,
+    /// Latency at or above this many microseconds counts as slow.
+    pub latency_slo_us: u64,
+    /// Allowed slow-request fraction, in parts per million.
+    pub slow_budget_ppm: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        Self {
+            window_secs: 60,
+            bad_budget_ppm: 1_000,
+            latency_slo_us: 10_000,
+            slow_budget_ppm: 10_000,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Slot {
+    epoch_sec: u64,
+    requests: u64,
+    bad: u64,
+    slow: u64,
+    latency_sum_us: u64,
+}
+
+/// One rolling window of per-second SLO accounting.
+pub struct SloWindow {
+    config: SloConfig,
+    clock: Arc<dyn Clock>,
+    slots: Vec<Mutex<Slot>>,
+}
+
+/// Point-in-time aggregate over an [`SloWindow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SloReport {
+    /// Window width in seconds.
+    pub window_secs: u64,
+    /// Requests observed inside the window.
+    pub requests: u64,
+    /// Bad requests inside the window.
+    pub bad: u64,
+    /// Slow requests inside the window.
+    pub slow: u64,
+    /// Sum of latencies inside the window (microseconds).
+    pub latency_sum_us: u64,
+    /// `bad / requests` in ppm (0 when idle).
+    pub bad_ratio_ppm: u64,
+    /// `slow / requests` in ppm (0 when idle).
+    pub slow_ratio_ppm: u64,
+    /// Availability burn rate ×1000 (1000 = burning exactly at budget).
+    pub bad_burn_rate_milli: u64,
+    /// Latency burn rate ×1000.
+    pub slow_burn_rate_milli: u64,
+    /// Error budget remaining this window, ppm of budget, clamped.
+    pub budget_remaining_ppm: u64,
+}
+
+impl SloWindow {
+    /// A window on the given clock.
+    pub fn new(config: SloConfig, clock: Arc<dyn Clock>) -> Self {
+        let secs = config.window_secs.max(1) as usize;
+        Self {
+            config,
+            clock,
+            slots: (0..secs).map(|_| Mutex::new(Slot::default())).collect(),
+        }
+    }
+
+    /// Record one finished request.
+    pub fn record(&self, latency_us: u64, bad: bool) {
+        let sec = self.clock.now_micros() / 1_000_000;
+        let idx = (sec % self.slots.len() as u64) as usize;
+        let mut slot = self.slots[idx].lock();
+        if slot.epoch_sec != sec {
+            *slot = Slot {
+                epoch_sec: sec,
+                ..Slot::default()
+            };
+        }
+        slot.requests += 1;
+        slot.latency_sum_us += latency_us;
+        if bad {
+            slot.bad += 1;
+        }
+        if latency_us >= self.config.latency_slo_us {
+            slot.slow += 1;
+        }
+    }
+
+    /// Aggregate the slots still inside the window.
+    pub fn report(&self) -> SloReport {
+        let now_sec = self.clock.now_micros() / 1_000_000;
+        let width = self.slots.len() as u64;
+        let oldest = now_sec.saturating_sub(width.saturating_sub(1));
+        let mut requests = 0u64;
+        let mut bad = 0u64;
+        let mut slow = 0u64;
+        let mut latency_sum_us = 0u64;
+        for slot in &self.slots {
+            let slot = slot.lock();
+            if slot.epoch_sec >= oldest && slot.epoch_sec <= now_sec {
+                requests += slot.requests;
+                bad += slot.bad;
+                slow += slot.slow;
+                latency_sum_us += slot.latency_sum_us;
+            }
+        }
+        let ratio_ppm = |n: u64| {
+            n.saturating_mul(1_000_000)
+                .checked_div(requests)
+                .unwrap_or(0)
+        };
+        let bad_ratio_ppm = ratio_ppm(bad);
+        let slow_ratio_ppm = ratio_ppm(slow);
+        let burn_milli = |ratio_ppm: u64, budget_ppm: u64| {
+            match ratio_ppm.saturating_mul(1_000).checked_div(budget_ppm) {
+                Some(burn) => burn,
+                // zero budget: any violation burns infinitely fast
+                None if ratio_ppm == 0 => 0,
+                None => u64::MAX,
+            }
+        };
+        let bad_burn_rate_milli = burn_milli(bad_ratio_ppm, self.config.bad_budget_ppm);
+        // Budget remaining: the window allows `budget_ppm * requests /
+        // 1e6` bad requests; report the unconsumed fraction of that.
+        let budget_remaining_ppm = {
+            let allowed_ppm_requests = self.config.bad_budget_ppm.saturating_mul(requests);
+            let consumed_ppm_requests = bad.saturating_mul(1_000_000);
+            if allowed_ppm_requests == 0 {
+                if bad == 0 {
+                    1_000_000
+                } else {
+                    0
+                }
+            } else if consumed_ppm_requests >= allowed_ppm_requests {
+                0
+            } else {
+                ((allowed_ppm_requests - consumed_ppm_requests) as u128 * 1_000_000
+                    / allowed_ppm_requests as u128) as u64
+            }
+        };
+        SloReport {
+            window_secs: width,
+            requests,
+            bad,
+            slow,
+            latency_sum_us,
+            bad_ratio_ppm,
+            slow_ratio_ppm,
+            bad_burn_rate_milli,
+            slow_burn_rate_milli: burn_milli(slow_ratio_ppm, self.config.slow_budget_ppm),
+            budget_remaining_ppm,
+        }
+    }
+
+    /// Publish this window's report as `slo_*` gauges labelled
+    /// `{window="<label>"}` (call at scrape time).
+    pub fn publish(&self, registry: &Registry, label: &str) {
+        let r = self.report();
+        let labels: &[(&str, &str)] = &[("window", label)];
+        let clamp = |v: u64| v.min(i64::MAX as u64) as i64;
+        registry
+            .gauge_with("slo_requests_window", labels)
+            .set(clamp(r.requests));
+        registry
+            .gauge_with("slo_bad_window", labels)
+            .set(clamp(r.bad));
+        registry
+            .gauge_with("slo_slow_window", labels)
+            .set(clamp(r.slow));
+        registry
+            .gauge_with("slo_burn_rate_milli", labels)
+            .set(clamp(r.bad_burn_rate_milli));
+        registry
+            .gauge_with("slo_latency_burn_rate_milli", labels)
+            .set(clamp(r.slow_burn_rate_milli));
+        registry
+            .gauge_with("slo_budget_remaining_ppm", labels)
+            .set(clamp(r.budget_remaining_ppm));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn window(cfg: SloConfig) -> (SloWindow, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::at(0));
+        (
+            SloWindow::new(cfg, Arc::clone(&clock) as Arc<dyn Clock>),
+            clock,
+        )
+    }
+
+    #[test]
+    fn burn_rate_is_observed_over_budget() {
+        let (w, clock) = window(SloConfig {
+            window_secs: 10,
+            bad_budget_ppm: 10_000, // 1%
+            latency_slo_us: 1_000,
+            slow_budget_ppm: 100_000, // 10%
+        });
+        for i in 0..100 {
+            // 2 bad out of 100 = 2% = 2x budget; 20 slow = 20% = 2x.
+            w.record(if i < 20 { 1_000 } else { 10 }, i < 2);
+            clock.advance(10_000); // 100 requests over 1 second
+        }
+        let r = w.report();
+        assert_eq!(r.requests, 100);
+        assert_eq!(r.bad, 2);
+        assert_eq!(r.slow, 20);
+        assert_eq!(r.bad_ratio_ppm, 20_000);
+        assert_eq!(r.bad_burn_rate_milli, 2_000);
+        assert_eq!(r.slow_burn_rate_milli, 2_000);
+        assert_eq!(
+            r.budget_remaining_ppm, 0,
+            "2x burn exhausts the window budget"
+        );
+    }
+
+    #[test]
+    fn old_slots_age_out_as_the_clock_advances() {
+        let (w, clock) = window(SloConfig {
+            window_secs: 5,
+            ..SloConfig::default()
+        });
+        w.record(10, true);
+        assert_eq!(w.report().bad, 1);
+        clock.advance(4_000_000);
+        assert_eq!(w.report().bad, 1, "still inside the 5s window");
+        clock.advance(2_000_000);
+        let r = w.report();
+        assert_eq!(r.requests, 0, "aged out");
+        assert_eq!(
+            r.budget_remaining_ppm, 1_000_000,
+            "idle window = full budget"
+        );
+        assert_eq!(r.bad_burn_rate_milli, 0);
+    }
+
+    #[test]
+    fn budget_remaining_scales_linearly_with_consumption() {
+        let (w, _clock) = window(SloConfig {
+            window_secs: 60,
+            bad_budget_ppm: 100_000, // 10%: 1000 requests allow 100 bad
+            ..SloConfig::default()
+        });
+        for i in 0..1_000 {
+            w.record(10, i < 25); // consumed a quarter of the budget
+        }
+        let r = w.report();
+        assert_eq!(r.budget_remaining_ppm, 750_000);
+        assert_eq!(r.bad_burn_rate_milli, 250);
+    }
+
+    #[test]
+    fn publish_writes_labelled_gauges() {
+        let (w, _clock) = window(SloConfig::default());
+        w.record(10, false);
+        let registry = Registry::new();
+        w.publish(&registry, "1m");
+        assert_eq!(
+            registry
+                .gauge_with("slo_requests_window", &[("window", "1m")])
+                .get(),
+            1
+        );
+        assert_eq!(
+            registry
+                .gauge_with("slo_budget_remaining_ppm", &[("window", "1m")])
+                .get(),
+            1_000_000
+        );
+    }
+}

@@ -44,6 +44,22 @@ struct Entry {
     model_epoch: u64,
 }
 
+/// Outcome of a stamped cache probe (see [`VerdictCache::lookup`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheLookup {
+    /// Entry present with all three stamps matching — the verdict.
+    Hit(Verdict),
+    /// No entry for the app at all.
+    MissCold,
+    /// Entry present but stamped under older generations.
+    MissStale {
+        /// True when the model epoch specifically moved (a hot swap
+        /// invalidated the entry), as opposed to only store/known-names
+        /// growth.
+        epoch_stale: bool,
+    },
+}
+
 /// Generation-stamped verdict memo.
 #[derive(Debug)]
 pub struct VerdictCache {
@@ -74,12 +90,38 @@ impl VerdictCache {
         known_generation: u64,
         model_epoch: u64,
     ) -> Option<Verdict> {
+        match self.lookup(app, app_generation, known_generation, model_epoch) {
+            CacheLookup::Hit(verdict) => Some(verdict),
+            _ => None,
+        }
+    }
+
+    /// Like [`get`](Self::get) but a miss says *why*: no entry at all
+    /// (cold) or an entry whose stamps no longer match — and, for stale
+    /// entries, whether the model epoch specifically moved (a hot swap
+    /// invalidated it). The tracing layer tail-samples stale-epoch
+    /// rescores, so the distinction is observable, not just diagnostic.
+    pub fn lookup(
+        &self,
+        app: AppId,
+        app_generation: u64,
+        known_generation: u64,
+        model_epoch: u64,
+    ) -> CacheLookup {
         let shard = self.shard_of(app).read();
-        let entry = shard.get(&app)?;
-        (entry.app_generation == app_generation
+        let Some(entry) = shard.get(&app) else {
+            return CacheLookup::MissCold;
+        };
+        if entry.app_generation == app_generation
             && entry.known_generation == known_generation
-            && entry.model_epoch == model_epoch)
-            .then(|| entry.verdict.clone())
+            && entry.model_epoch == model_epoch
+        {
+            CacheLookup::Hit(entry.verdict.clone())
+        } else {
+            CacheLookup::MissStale {
+                epoch_stale: entry.model_epoch != model_epoch,
+            }
+        }
     }
 
     /// Stores a verdict stamped with the generations it scored.

@@ -54,6 +54,7 @@ pub mod service;
 pub mod store;
 
 pub use bridge::{serve_events, service_from_world};
+pub use cache::CacheLookup;
 pub use event::ServeEvent;
 pub use metrics::{LatencySnapshot, MetricsSnapshot};
 pub use service::{ErrorEnvelope, FrappeService, PendingVerdict, ServeConfig, ServeError, Verdict};

@@ -94,6 +94,7 @@ pub struct Metrics {
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     rejected: Arc<Counter>,
+    stale_epoch_rescores: Arc<Counter>,
     batches_scored: Arc<Counter>,
     model_swaps: Arc<Counter>,
     cache_evictions: Arc<Counter>,
@@ -117,6 +118,7 @@ impl Metrics {
             cache_hits: registry.counter("serve_cache_hits"),
             cache_misses: registry.counter("serve_cache_misses"),
             rejected: registry.counter("serve_rejected"),
+            stale_epoch_rescores: registry.counter("serve_stale_epoch_rescores"),
             batches_scored: registry.counter("serve_batches_scored"),
             model_swaps: registry.counter("serve_model_swaps"),
             cache_evictions: registry.counter("serve_cache_evictions"),
@@ -143,8 +145,17 @@ impl Metrics {
 
     /// One classify call answered (records end-to-end latency).
     pub fn query_served(&self, latency: Duration) {
+        self.query_served_traced(latency, 0);
+    }
+
+    /// Like [`query_served`](Self::query_served), additionally attaching
+    /// `trace_id` as the latency bucket's exemplar (0 = no exemplar) —
+    /// the scraped histogram can then name a real traced request that
+    /// landed in each bucket.
+    pub fn query_served_traced(&self, latency: Duration, trace_id: u64) {
         self.queries_served.inc();
-        self.latency.observe_duration_micros(latency);
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.latency.observe_with_exemplar(micros, trace_id);
     }
 
     /// Verdict answered from cache.
@@ -160,6 +171,12 @@ impl Metrics {
     /// Query rejected by backpressure.
     pub fn rejected(&self) {
         self.rejected.inc();
+    }
+
+    /// A cache miss whose entry existed but was minted under an older
+    /// model epoch — the re-score a hot swap forced.
+    pub fn stale_epoch_rescore(&self) {
+        self.stale_epoch_rescores.inc();
     }
 
     /// One worker batch drained (of any size ≥ 1).

@@ -22,12 +22,15 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use osn_types::ids::AppId;
 
-use crate::service::{ScoreEngine, ServeError, Verdict};
+use crate::service::{ScoreEngine, ServeError, TraceCtx, Verdict};
 
 /// One queued classification request.
 struct Request {
     app: AppId,
     reply: Sender<Result<Verdict, ServeError>>,
+    /// Trace context riding with the request across the pool boundary;
+    /// the worker records the queue-wait and scoring spans into it.
+    trace: Option<TraceCtx>,
 }
 
 /// Fixed-size pool of scorer threads behind a bounded queue.
@@ -72,11 +75,13 @@ impl ScorerPool {
     pub(crate) fn submit(
         &self,
         app: AppId,
+        trace: Option<TraceCtx>,
     ) -> Result<Receiver<Result<Verdict, ServeError>>, ServeError> {
         let (reply_tx, reply_rx) = bounded(1);
         let request = Request {
             app,
             reply: reply_tx,
+            trace,
         };
         let tx = self.tx.as_ref().ok_or(ServeError::ShuttingDown)?;
         match tx.try_send(request) {
@@ -116,8 +121,9 @@ fn worker_loop(rx: Receiver<Request>, engine: Arc<ScoreEngine>, batch_size: usiz
         }
         engine.metrics().batch_scored();
         for request in batch.drain(..) {
+            let outcome = engine.score_traced(request.app, request.trace.as_ref());
             // a caller that gave up (dropped the receiver) is fine to ignore
-            let _ = request.reply.send(engine.score(request.app));
+            let _ = request.reply.send(outcome);
         }
     }
 }
@@ -175,9 +181,9 @@ mod tests {
         // a stalled pool: zero workers, capacity 1 — the second submit
         // must be shed immediately with the configured retry hint
         let stalled = ScorerPool::new(0, 1, 4, 3, svc.engine_for_test());
-        let first = stalled.submit(AppId(1));
+        let first = stalled.submit(AppId(1), None);
         assert!(first.is_ok(), "capacity 1 admits one request");
-        match stalled.submit(AppId(1)) {
+        match stalled.submit(AppId(1), None) {
             Err(ServeError::Overloaded { retry_after_ms }) => assert_eq!(retry_after_ms, 3),
             other => panic!("expected Overloaded, got {other:?}"),
         }

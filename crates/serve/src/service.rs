@@ -24,13 +24,13 @@ use std::time::Instant;
 use crossbeam::channel::{Receiver, TryRecvError};
 use frappe::features::aggregation::KnownMaliciousNames;
 use frappe::{AppFeatures, FrappeModel, SharedKnownNames, SharedModel, VersionedModel};
-use frappe_obs::{AuditLog, AuditSource, Registry};
+use frappe_obs::{AuditLog, AuditSource, Registry, SpanId, TraceCollector, TraceFlag, TraceHandle};
 use osn_types::ids::AppId;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use url_services::shortener::Shortener;
 
-use crate::cache::VerdictCache;
+use crate::cache::{CacheLookup, VerdictCache};
 use crate::event::ServeEvent;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::pool::ScorerPool;
@@ -148,6 +148,18 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Trace context that rides a queued request across the pool boundary.
+///
+/// `submitted_us` is stamped (on the collector clock) when the request
+/// enters the queue, so the worker can record the queue-wait as a
+/// retroactive span; `parent` is the span the serve-side spans hang off
+/// (the edge's request span, or the self-minted classify root).
+pub(crate) struct TraceCtx {
+    pub(crate) handle: TraceHandle,
+    pub(crate) parent: Option<SpanId>,
+    pub(crate) submitted_us: u64,
+}
+
 /// Everything a scorer worker needs, shared once behind an `Arc`.
 pub(crate) struct ScoreEngine {
     model: SharedModel,
@@ -157,11 +169,40 @@ pub(crate) struct ScoreEngine {
     shortener: Shortener,
     metrics: Metrics,
     audit: RwLock<Option<Arc<AuditLog>>>,
+    trace: RwLock<Option<TraceCollector>>,
 }
 
 impl ScoreEngine {
-    /// Cache-or-score one app. Runs on a pool worker.
-    pub(crate) fn score(&self, app: AppId) -> Result<Verdict, ServeError> {
+    /// Cache-or-score one app, recording serve-side spans into the
+    /// request's trace when one rides along. Runs on a pool worker.
+    pub(crate) fn score_traced(
+        &self,
+        app: AppId,
+        trace: Option<&TraceCtx>,
+    ) -> Result<Verdict, ServeError> {
+        let score_span = trace.map(|ctx| {
+            // the time between submit and this wake-up is queue wait
+            ctx.handle.span_at(
+                "serve/queue",
+                ctx.parent,
+                ctx.submitted_us,
+                ctx.handle.now_micros(),
+            );
+            ctx.handle.start_span("serve/score", ctx.parent)
+        });
+        let outcome = self.score_inner(app, trace, score_span);
+        if let (Some(ctx), Some(span)) = (trace, score_span) {
+            ctx.handle.end_span(span);
+        }
+        outcome
+    }
+
+    fn score_inner(
+        &self,
+        app: AppId,
+        trace: Option<&TraceCtx>,
+        score_span: Option<SpanId>,
+    ) -> Result<Verdict, ServeError> {
         let _span = frappe_obs::span("serve/score");
         // fast path: generation probe + cache lookup, no feature build
         let app_gen = self
@@ -170,16 +211,49 @@ impl ScoreEngine {
             .ok_or(ServeError::UnknownApp(app))?;
         let known_gen = self.known.generation();
         let model_epoch = self.model.epoch();
-        if let Some(hit) = self.cache.get(app, app_gen, known_gen, model_epoch) {
-            self.metrics.cache_hit();
-            return Ok(hit);
+        match self.cache.lookup(app, app_gen, known_gen, model_epoch) {
+            CacheLookup::Hit(hit) => {
+                self.metrics.cache_hit();
+                if let Some(ctx) = trace {
+                    ctx.handle
+                        .event("cache_hit", format!("gen={app_gen} epoch={model_epoch}"));
+                }
+                return Ok(hit);
+            }
+            CacheLookup::MissCold => {
+                self.metrics.cache_miss();
+                if let Some(ctx) = trace {
+                    ctx.handle.event("cache_miss", "cold");
+                }
+            }
+            CacheLookup::MissStale { epoch_stale } => {
+                self.metrics.cache_miss();
+                if epoch_stale {
+                    self.metrics.stale_epoch_rescore();
+                }
+                if let Some(ctx) = trace {
+                    // a stale-epoch re-score is tail-sampling-interesting:
+                    // it is the request that pays for a hot swap
+                    if epoch_stale {
+                        ctx.handle.flag(TraceFlag::StaleEpoch);
+                    }
+                    ctx.handle.event(
+                        "cache_miss",
+                        if epoch_stale {
+                            "stale_epoch"
+                        } else {
+                            "stale_generation"
+                        },
+                    );
+                }
+            }
         }
-        self.metrics.cache_miss();
 
         // slow path: pin the model once (version, epoch, and weights stay
         // consistent even if a swap lands mid-score), then snapshot under
         // the known-names read lock so the generation we stamp matches
         // the set we actually consulted
+        let eval_span = trace.map(|ctx| ctx.handle.start_span("serve/model_eval", score_span));
         let vm = self.model.current();
         let (snapshot, known_gen) = self
             .known
@@ -187,9 +261,20 @@ impl ScoreEngine {
         let FeatureSnapshot {
             features,
             generation,
-        } = snapshot.ok_or(ServeError::UnknownApp(app))?;
+        } = match snapshot {
+            Some(snapshot) => snapshot,
+            None => {
+                if let (Some(ctx), Some(span)) = (trace, eval_span) {
+                    ctx.handle.end_span(span);
+                }
+                return Err(ServeError::UnknownApp(app));
+            }
+        };
         self.metrics.lanes_unobserved(&features);
         let decision_value = vm.model().decision_value(&features);
+        if let (Some(ctx), Some(span)) = (trace, eval_span) {
+            ctx.handle.end_span(span);
+        }
         let verdict = Verdict {
             app,
             malicious: decision_value >= 0.0,
@@ -230,12 +315,51 @@ pub struct PendingVerdict {
     reply: Receiver<Result<Verdict, ServeError>>,
     engine: Arc<ScoreEngine>,
     start: Instant,
+    trace: Option<PendingTrace>,
+}
+
+/// The trace attached to a pending classification, if any.
+///
+/// `owned == true` means the service minted it (in-process caller, no
+/// edge) and must finish it at settle time; `false` means an edge handed
+/// its own trace in and will finish it after the response is written.
+struct PendingTrace {
+    handle: TraceHandle,
+    root: Option<SpanId>,
+    owned: bool,
 }
 
 impl PendingVerdict {
     fn settle(&self, outcome: &Result<Verdict, ServeError>) {
         if outcome.is_ok() {
-            self.engine.metrics().query_served(self.start.elapsed());
+            let exemplar = self.trace.as_ref().map_or(0, |t| t.handle.id().as_u64());
+            self.engine
+                .metrics()
+                .query_served_traced(self.start.elapsed(), exemplar);
+        }
+        if let Some(t) = &self.trace {
+            match outcome {
+                Ok(v) => t.handle.event(
+                    "verdict",
+                    format!(
+                        "malicious={} model_version={}",
+                        v.malicious, v.model_version
+                    ),
+                ),
+                Err(e) => t.handle.event("serve_error", e.to_string()),
+            }
+            if t.owned {
+                if let Some(root) = t.root {
+                    t.handle.end_span(root);
+                }
+                let outcome = match outcome {
+                    Ok(_) => "ok",
+                    Err(ServeError::UnknownApp(_)) => "unknown_app",
+                    Err(ServeError::Overloaded { .. }) => "overloaded",
+                    Err(ServeError::ShuttingDown) => "shutting_down",
+                };
+                t.handle.finish(outcome);
+            }
         }
     }
 
@@ -258,6 +382,23 @@ impl PendingVerdict {
         let outcome = self.reply.recv().map_err(|_| ServeError::ShuttingDown)?;
         self.settle(&outcome);
         outcome
+    }
+}
+
+impl Drop for PendingVerdict {
+    /// An abandoned query (handle dropped before the verdict) still
+    /// closes its self-minted trace so the collector never accumulates
+    /// forever-open traces. Settled traces are already finished — the
+    /// idempotent `finish` makes this a no-op then.
+    fn drop(&mut self) {
+        if let Some(t) = &self.trace {
+            if t.owned && !t.handle.is_finished() {
+                if let Some(root) = t.root {
+                    t.handle.end_span(root);
+                }
+                t.handle.finish("abandoned");
+            }
+        }
     }
 }
 
@@ -320,6 +461,7 @@ impl FrappeService {
             shortener,
             metrics: Metrics::default(),
             audit: RwLock::new(None),
+            trace: RwLock::new(None),
         });
         engine.metrics.set_model_version(engine.model.version());
         let pool = ScorerPool::new(
@@ -365,12 +507,69 @@ impl FrappeService {
     /// [`ServeError::Overloaded`] with the retry hint, counted in the
     /// rejected metric.
     pub fn classify_nonblocking(&self, app: AppId) -> Result<PendingVerdict, ServeError> {
+        self.classify_traced(app, None)
+    }
+
+    /// [`classify_nonblocking`](Self::classify_nonblocking) with explicit
+    /// trace plumbing. The edge passes its own `(handle, parent span)` so
+    /// serve-side spans (`serve/queue`, `serve/score`, `serve/model_eval`)
+    /// land causally under the edge's request span; with `None` and a
+    /// collector attached (see
+    /// [`set_trace_collector`](Self::set_trace_collector)) the service
+    /// mints a `classify` trace of its own and finishes it when the
+    /// verdict settles.
+    ///
+    /// A query shed with [`ServeError::Overloaded`] always flags the
+    /// trace [`Shed429`](frappe_obs::TraceFlag::Shed429), so shed
+    /// requests are tail-sampled no matter what the head-sampling rate
+    /// says.
+    pub fn classify_traced(
+        &self,
+        app: AppId,
+        edge_trace: Option<(TraceHandle, Option<SpanId>)>,
+    ) -> Result<PendingVerdict, ServeError> {
         let start = Instant::now();
-        let reply = match self.pool.submit(app) {
+        let trace = match edge_trace {
+            Some((handle, parent)) => Some(PendingTrace {
+                handle,
+                root: parent,
+                owned: false,
+            }),
+            None => self.engine.trace.read().clone().map(|collector| {
+                let handle = collector.begin("classify");
+                let root = handle.start_span("serve/classify", None);
+                PendingTrace {
+                    handle,
+                    root: Some(root),
+                    owned: true,
+                }
+            }),
+        };
+        let ctx = trace.as_ref().map(|t| TraceCtx {
+            handle: t.handle.clone(),
+            parent: t.root,
+            submitted_us: t.handle.now_micros(),
+        });
+        let reply = match self.pool.submit(app, ctx) {
             Ok(reply) => reply,
             Err(err) => {
                 if matches!(err, ServeError::Overloaded { .. }) {
                     self.engine.metrics.rejected();
+                }
+                if let Some(t) = &trace {
+                    if matches!(err, ServeError::Overloaded { .. }) {
+                        t.handle.flag(TraceFlag::Shed429);
+                    }
+                    t.handle.event("shed", err.to_string());
+                    if t.owned {
+                        if let Some(root) = t.root {
+                            t.handle.end_span(root);
+                        }
+                        t.handle.finish(match err {
+                            ServeError::Overloaded { .. } => "overloaded",
+                            _ => "shutting_down",
+                        });
+                    }
                 }
                 return Err(err);
             }
@@ -379,6 +578,7 @@ impl FrappeService {
             reply,
             engine: Arc::clone(&self.engine),
             start,
+            trace,
         })
     }
 
@@ -477,6 +677,27 @@ impl FrappeService {
         self.engine.audit.write().take()
     }
 
+    /// Attach a trace collector: every in-process
+    /// [`classify`](Self::classify) /
+    /// [`classify_nonblocking`](Self::classify_nonblocking) call mints a
+    /// `classify` trace (edges pass their own trace through
+    /// [`classify_traced`](Self::classify_traced) instead and are
+    /// unaffected). Tracing only observes — verdicts are bit-identical
+    /// with and without a collector attached.
+    pub fn set_trace_collector(&self, collector: TraceCollector) {
+        *self.engine.trace.write() = Some(collector);
+    }
+
+    /// The attached trace collector, if any (clones share state).
+    pub fn trace_collector(&self) -> Option<TraceCollector> {
+        self.engine.trace.read().clone()
+    }
+
+    /// Detach the trace collector, returning it if one was attached.
+    pub fn take_trace_collector(&self) -> Option<TraceCollector> {
+        self.engine.trace.write().take()
+    }
+
     #[cfg(test)]
     pub(crate) fn engine_for_test(&self) -> Arc<ScoreEngine> {
         Arc::clone(&self.engine)
@@ -488,6 +709,7 @@ mod tests {
     use super::*;
     use frappe::features::aggregation::AggregationFeatures;
     use frappe::{FeatureSet, OnDemandFeatures};
+    use frappe_obs::TraceConfig;
 
     fn prototypes() -> (AppFeatures, AppFeatures) {
         let benign = AppFeatures {
@@ -807,5 +1029,108 @@ mod tests {
             });
         }
         assert_eq!(svc.tracked_apps(), vec![AppId(2), AppId(5), AppId(9)]);
+    }
+
+    #[test]
+    fn traced_classify_records_causal_spans_and_cache_events() {
+        let svc = service();
+        let tc = TraceCollector::new(TraceConfig {
+            head_every: 1, // keep everything — this test is about structure
+            slow_us: 0,
+            ..TraceConfig::default()
+        });
+        svc.set_trace_collector(tc.clone());
+        let app = AppId(81);
+        feed_malicious(&svc, app);
+        let v1 = svc.classify(app).unwrap();
+        let v2 = svc.classify(app).unwrap();
+        assert_eq!(v1, v2, "tracing only observes");
+
+        let kept = tc.snapshot();
+        assert_eq!(kept.len(), 2);
+        let fresh = &kept[0];
+        assert_eq!(fresh.kind, "classify");
+        assert_eq!(fresh.outcome, "ok");
+        let root = fresh.span("serve/classify").unwrap();
+        let queue = fresh.span("serve/queue").unwrap();
+        let score = fresh.span("serve/score").unwrap();
+        let eval = fresh.span("serve/model_eval").unwrap();
+        assert_eq!(queue.parent, Some(root.id));
+        assert_eq!(score.parent, Some(root.id));
+        assert_eq!(eval.parent, Some(score.id), "model eval nests under score");
+        assert!(fresh
+            .events
+            .iter()
+            .any(|e| e.name == "cache_miss" && e.detail == "cold"));
+        assert!(fresh.events.iter().any(|e| e.name == "verdict"));
+        assert!(kept[1].events.iter().any(|e| e.name == "cache_hit"));
+
+        // the settled latency observation carried the trace id, so the
+        // scraped histogram names a real request per bucket
+        let text = svc.obs_registry().snapshot().to_prometheus_text();
+        assert!(
+            text.contains("# {trace_id="),
+            "latency bucket exemplar rendered:\n{text}"
+        );
+    }
+
+    #[test]
+    fn shed_queries_are_always_tail_sampled() {
+        let svc = FrappeService::new(
+            tiny_model(),
+            KnownMaliciousNames::default(),
+            Shortener::bitly(),
+            ServeConfig {
+                shards: 1,
+                workers: 0, // stalled pool: the second submit must shed
+                queue_capacity: 1,
+                batch_size: 1,
+                retry_after_ms: 9,
+            },
+        );
+        let tc = TraceCollector::new(TraceConfig {
+            head_every: 0, // tail-only: nothing survives without a flag
+            slow_us: 0,
+            ..TraceConfig::default()
+        });
+        svc.set_trace_collector(tc.clone());
+        let app = AppId(91);
+        svc.ingest(&ServeEvent::Registered {
+            app,
+            name: "stuck".into(),
+        });
+        let first = svc.classify_nonblocking(app).expect("one slot admits");
+        assert_eq!(
+            svc.classify_nonblocking(app).err(),
+            Some(ServeError::Overloaded { retry_after_ms: 9 })
+        );
+        let kept = tc.snapshot();
+        assert_eq!(kept.len(), 1, "only the shed query is kept");
+        assert!(kept[0].has_flag(TraceFlag::Shed429));
+        assert_eq!(kept[0].outcome, "overloaded");
+        drop(first); // abandoned and unflagged — sampling drops it
+        assert_eq!(tc.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn stale_epoch_rescore_is_tail_sampled_after_a_swap() {
+        let svc = service();
+        let tc = TraceCollector::new(TraceConfig {
+            head_every: 0,
+            slow_us: 0,
+            ..TraceConfig::default()
+        });
+        svc.set_trace_collector(tc.clone());
+        let app = AppId(95);
+        feed_malicious(&svc, app);
+        let _ = svc.classify(app).unwrap(); // cold miss: no flag, dropped
+        svc.swap_model(Arc::new(inverted_model()), 2);
+        let _ = svc.classify(app).unwrap(); // pays for the swap: tail-kept
+        let kept = tc.snapshot();
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].has_flag(TraceFlag::StaleEpoch));
+        assert!(kept[0].events.iter().any(|e| e.detail == "stale_epoch"));
+        let text = svc.obs_registry().snapshot().to_prometheus_text();
+        assert!(text.contains("serve_stale_epoch_rescores 1"));
     }
 }

@@ -212,3 +212,59 @@ fn click_totals_are_stable() {
         .sum();
     assert_eq!(t1, t2);
 }
+
+#[test]
+fn trace_sampling_keeps_an_identical_set_at_any_thread_count() {
+    use frappe_obs::{ManualClock, TraceCollector, TraceConfig};
+    use std::sync::Arc;
+
+    // Head sampling is a pure function of (trace id, seed), so for a
+    // fixed event stream the kept set must be identical however many
+    // threads finish the traces — the same contract `frappe-jobs` pins
+    // for training, applied to observability. CI re-runs this suite
+    // under FRAPPE_JOBS=1 and FRAPPE_JOBS=8; the explicit sweep below
+    // makes the property hold regardless of the env.
+    const TRACES: u64 = 1000;
+    let kept_ids = |threads: usize| -> Vec<u64> {
+        let collector = TraceCollector::with_clock(
+            TraceConfig {
+                capacity: 1024,
+                head_every: 8,
+                seed: 99,
+                slow_us: 0,
+                ..TraceConfig::default()
+            },
+            Arc::new(ManualClock::at(0)),
+        );
+        // Begin sequentially so ids are assigned 0..TRACES in order —
+        // the "event stream" — then finish from `threads` workers in
+        // whatever order the scheduler picks.
+        let handles: Vec<_> = (0..TRACES).map(|_| collector.begin("load")).collect();
+        std::thread::scope(|scope| {
+            for chunk in handles.chunks(TRACES as usize / threads + 1) {
+                scope.spawn(move || {
+                    for handle in chunk {
+                        let span = handle.start_span("work", None);
+                        handle.event("step", "done");
+                        handle.end_span(span);
+                        handle.finish("ok");
+                    }
+                });
+            }
+        });
+        let mut ids: Vec<u64> = collector.snapshot().iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        ids
+    };
+
+    let serial = kept_ids(1);
+    assert!(!serial.is_empty(), "1 in 8 of 1000 traces keeps something");
+    assert!(serial.len() < TRACES as usize, "sampling actually drops");
+    for threads in [2, 8] {
+        assert_eq!(
+            kept_ids(threads),
+            serial,
+            "kept set diverged at {threads} threads"
+        );
+    }
+}

@@ -311,6 +311,104 @@ fn checkpoints_roundtrip_byte_identically_on_a_fresh_temp_dir() {
 }
 
 #[test]
+fn lifecycle_transitions_flag_in_flight_traces_and_drift_alarms_carry_exemplars() {
+    use frappe_obs::{TraceCollector, TraceConfig, TraceFlag};
+
+    // Service over the drifting-campaign world; drift baseline frozen on
+    // a stationary draw, so `check_drift` genuinely fires (same signal
+    // the detector-level test proves).
+    let base_world = run_scenario(&stationary_config(42));
+    let (base_rows, _) = labelled_rows(&base_world, &known_names(&base_world));
+
+    let world = run_scenario(&drifting_config(4242));
+    let known = known_names(&world);
+    let (samples, labels) = labelled_rows(&world, &known);
+    let apps: Vec<AppId> = samples.iter().map(|s| s.app).collect();
+    let incumbent = FrappeModel::train(&samples, &labels, frappe::FeatureSet::Full, None);
+    let (service, registry) = lifecycle_stack(&world, incumbent.clone(), known);
+
+    // Tail-only sampling: nothing is kept unless something flags it.
+    let collector = TraceCollector::new(TraceConfig {
+        head_every: 0,
+        slow_us: 0,
+        ..TraceConfig::default()
+    });
+    service.set_trace_collector(collector.clone());
+
+    let manager = LifecycleManager::new(
+        Arc::clone(&service),
+        registry,
+        // The gate is not under test here — let everything through.
+        PromotionGate {
+            min_scored: 10,
+            max_disagreement_rate: 1.0,
+            max_false_positive_increase: 1.0,
+            max_false_negative_increase: 1.0,
+        },
+        DriftDetector::new(DriftConfig {
+            min_samples: 10,
+            ..DriftConfig::default()
+        }),
+    );
+    manager.refit_drift_baseline(&base_rows);
+    manager.begin_shadow(Arc::new(incumbent), ModelSource::default());
+    for &app in apps.iter().take(50) {
+        manager.classify(app).expect("tracked app");
+    }
+
+    // A query whose verdict is still unsettled when the promote lands is
+    // flagged (and therefore tail-sampled) even with head sampling off.
+    let in_flight = service.classify_nonblocking(apps[0]).expect("accepted");
+    assert_eq!(manager.try_promote(), PromotionOutcome::Promoted(2));
+    in_flight.wait().expect("scored across the swap");
+
+    let in_flight = service.classify_nonblocking(apps[1]).expect("accepted");
+    let rolled = manager.rollback().expect("history has v1");
+    assert_eq!(rolled, 1);
+    in_flight.wait().expect("scored across the rollback");
+
+    let kept = collector.snapshot();
+    let swap = kept
+        .iter()
+        .find(|t| t.has_flag(TraceFlag::InFlightSwap))
+        .expect("the promote-straddling trace is always kept");
+    assert!(
+        swap.events.iter().any(|e| e.name == "lifecycle/promote"),
+        "the trace records the transition it straddled: {:?}",
+        swap.events
+    );
+    let rollback = kept
+        .iter()
+        .find(|t| t.has_flag(TraceFlag::InFlightRollback))
+        .expect("the rollback-straddling trace is always kept");
+    assert!(rollback
+        .events
+        .iter()
+        .any(|e| e.name == "lifecycle/rollback"));
+
+    // Drift over the stationary baseline fires, and the alarm carries
+    // exemplar trace ids pointing at recently kept traces.
+    let report = manager.check_drift();
+    assert!(report.is_drifted(), "max PSI {}", report.max_psi());
+    let alarms = collector.alarms();
+    assert_eq!(alarms.len(), 1);
+    assert_eq!(alarms[0].name, "psi_drift");
+    assert!(alarms[0].detail.starts_with("max_psi="));
+    assert!(
+        alarms[0].exemplar_trace_ids.contains(&swap.id),
+        "exemplars point at kept traces: {:?}",
+        alarms[0].exemplar_trace_ids
+    );
+    assert_eq!(
+        service
+            .obs_registry()
+            .counter("lifecycle_drift_triggers")
+            .get(),
+        1
+    );
+}
+
+#[test]
 fn retraining_is_bit_identical_across_pool_sizes() {
     let world = run_scenario(&ScenarioConfig::small());
     let known = known_names(&world);

@@ -12,9 +12,10 @@ cargo test -q
 echo "==> cargo test -q -p frappe-obs"
 cargo test -q -p frappe-obs
 
-echo "==> cargo test -q -p frappe-serve --test catalog_parity (shard sweep 1/4/16)"
+echo "==> cargo test -q -p frappe-serve --test catalog_parity (shard sweep 1/4/16, groups 1/2/4/8)"
 # The randomized parity property test sweeps shard counts {1, 4, 16}
-# internally (SHARD_COUNTS in tests/catalog_parity.rs); run it explicitly
+# internally (SHARD_COUNTS in tests/catalog_parity.rs) and the router
+# test sweeps group counts {1, 2, 4, 8} (GROUP_COUNTS); run it explicitly
 # so a catalog/serve drift fails fast with its own banner.
 cargo test -q -p frappe-serve --test catalog_parity
 
@@ -48,6 +49,18 @@ cargo test -q -p frappe-lifecycle --no-default-features
 FRAPPE_JOBS=1 cargo test -q -p frappe-lifecycle --test lifecycle
 FRAPPE_JOBS=8 cargo test -q -p frappe-lifecycle --test lifecycle
 
+echo "==> shard-group suite (fenced multi-group swaps, shared known-names flips) at K=1 and K=4"
+# The shared-nothing deployment: a fenced promote/rollback must land on
+# every group atomically under load, and a mid-stream known-names flip
+# must reach every group exactly like a single service. Run at the
+# degenerate single-group shape and a genuinely partitioned one, with
+# span instrumentation compiled in and out.
+FRAPPE_SHARD_GROUPS=1 cargo test -q -p frappe-lifecycle --test shard
+FRAPPE_SHARD_GROUPS=4 cargo test -q -p frappe-lifecycle --test shard
+FRAPPE_SHARD_GROUPS=4 cargo test -q -p frappe-lifecycle --no-default-features --test shard
+FRAPPE_JOBS=1 FRAPPE_SHARD_GROUPS=4 cargo test -q -p frappe-lifecycle --test shard
+FRAPPE_JOBS=8 FRAPPE_SHARD_GROUPS=4 cargo test -q -p frappe-lifecycle --test shard
+
 echo "==> network edge suite (epoll reactor, HTTP routes, 429 shed, fenced hot swap)"
 # Real sockets on an ephemeral loopback port: byte-identical verdicts
 # vs in-process classify, the deterministic 429 + Retry-After contract,
@@ -69,6 +82,9 @@ cargo run --release -p frappe-bench --bin repro -- --small --lifecycle-bench-out
 
 echo "==> edge bench, quick mode (socket ingest/classify/shed/drain, BENCH_edge.json)"
 cargo run --release -p frappe-bench --bin repro -- --small --edge-bench-out BENCH_edge.json
+
+echo "==> shard bench, quick mode (group scaling + zero-stale swap leg, BENCH_shard.json)"
+cargo run --release -p frappe-bench --bin repro -- --small --shard-bench-out BENCH_shard.json
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

@@ -9,8 +9,17 @@
 //! cargo run --release -p frappe-bench --bin loadgen -- \
 //!     [--shards N] [--workers N] [--query-threads N] [--queries N] [--paper-scale] \
 //!     [--linear] [--profile] [--metrics-out PATH] [--trace-out PATH] \
-//!     [--swap-every N] [--connect ADDR|self] [--rate N] [--seed N]
+//!     [--swap-every N] [--shard-groups K] [--connect ADDR|self] [--rate N] [--seed N]
 //! ```
+//!
+//! `--shard-groups K` deploys the serving layer as K shared-nothing
+//! shard groups behind a hashing `ShardRouter` instead of one
+//! `FrappeService` — in both in-process and `--connect self` modes.
+//! Ingest then goes through bounded per-group mailboxes (loadgen honours
+//! the reject-with-retry-after contract), the exit metrics are the
+//! merged whole-deployment scrape, and `--swap-every` exercises the
+//! shared control plane's globally atomic hot swap. The audit log is a
+//! single-service feature and is skipped when sharded.
 //!
 //! On exit the run always prints the service registry as Prometheus text;
 //! `--metrics-out` additionally dumps it as JSONL, `--profile` enables the
@@ -44,7 +53,10 @@ use frappe_bench::edgebench::{quantile_us, EdgeClient};
 use frappe_bench::lab::{Archive, Lab};
 use frappe_net::{NetConfig, Server};
 use frappe_obs::{AuditLog, TraceCollector, TraceConfig};
-use frappe_serve::{serve_events, FrappeService, ServeConfig, ServeError, ServeEvent};
+use frappe_serve::{
+    serve_events, FrappeService, ScoringBackend, ServeConfig, ServeError, ServeEvent, ShardConfig,
+    ShardRouter,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use svm::{Kernel, SvmParams};
@@ -60,6 +72,7 @@ struct Options {
     metrics_out: Option<String>,
     trace_out: Option<String>,
     swap_every: Option<usize>,
+    shard_groups: Option<usize>,
     connect: Option<String>,
     rate: f64,
     seed: u64,
@@ -77,6 +90,7 @@ fn parse_options() -> Options {
         metrics_out: None,
         trace_out: None,
         swap_every: None,
+        shard_groups: None,
         connect: None,
         rate: 2000.0,
         seed: 7,
@@ -98,6 +112,7 @@ fn parse_options() -> Options {
             "--query-threads" => opts.query_threads = numeric("--query-threads"),
             "--queries" => opts.queries = numeric("--queries"),
             "--swap-every" => opts.swap_every = Some(numeric("--swap-every")),
+            "--shard-groups" => opts.shard_groups = Some(numeric("--shard-groups")),
             "--seed" => opts.seed = numeric("--seed") as u64,
             "--rate" => {
                 opts.rate = args
@@ -136,13 +151,74 @@ fn parse_options() -> Options {
                     "usage: loadgen [--shards N] [--workers N] [--query-threads N] \
                      [--queries N] [--paper-scale] [--linear] [--profile] \
                      [--metrics-out PATH] [--trace-out PATH] [--swap-every N] \
-                     [--connect ADDR|self] [--rate N] [--seed N]"
+                     [--shard-groups K] [--connect ADDR|self] [--rate N] [--seed N]"
                 );
                 std::process::exit(2);
             }
         }
     }
     opts
+}
+
+/// Per-group serving knobs from the CLI (the whole config under one
+/// service; each group's copy under `--shard-groups`).
+fn serve_config(opts: &Options) -> ServeConfig {
+    ServeConfig {
+        shards: opts.shards,
+        workers: opts.workers,
+        ..ServeConfig::default()
+    }
+}
+
+/// Builds the serving backend the options ask for: one `FrappeService`,
+/// or K shared-nothing shard groups behind the hashing router. The audit
+/// log is a single-service hook (the backend trait has no audit verb),
+/// so it only attaches to the unsharded shape.
+fn build_backend(
+    opts: &Options,
+    model: FrappeModel,
+    lab: &Lab,
+    audit: Option<&Arc<AuditLog>>,
+) -> Arc<dyn ScoringBackend> {
+    match opts.shard_groups {
+        Some(groups) => Arc::new(ShardRouter::new(
+            model,
+            lab.known_malicious_names(),
+            lab.world.shortener.clone(),
+            ShardConfig {
+                groups,
+                mailbox_capacity: 4096,
+                group: serve_config(opts),
+            },
+        )),
+        None => {
+            let service = Arc::new(FrappeService::new(
+                model,
+                lab.known_malicious_names(),
+                lab.world.shortener.clone(),
+                serve_config(opts),
+            ));
+            if let Some(audit) = audit {
+                service.set_audit_log(Arc::clone(audit));
+            }
+            service
+        }
+    }
+}
+
+/// Forwards one event into the backend, honouring the backpressure
+/// contract: a full group mailbox answers `Overloaded` with a retry
+/// hint (a single service never rejects ingest).
+fn ingest_backend(service: &dyn ScoringBackend, event: &ServeEvent) {
+    loop {
+        match service.ingest_event(event) {
+            Ok(()) => return,
+            Err(ServeError::Overloaded { retry_after_ms }) => {
+                std::thread::sleep(Duration::from_millis(retry_after_ms));
+            }
+            Err(err) => panic!("ingest failed: {err}"),
+        }
+    }
 }
 
 /// Socket mode: ingest the scenario's events over `POST /v1/events`,
@@ -159,28 +235,19 @@ fn run_connect(opts: &Options, target: &str) {
     // `self` hosts the edge in-process (full stack: model training,
     // service, epoll loop); anything else is dialled as host:port and
     // only needs the event stream.
-    let hosted: Option<(Server, Arc<FrappeService>)> = if target == "self" {
+    let hosted: Option<(Server, Arc<dyn ScoringBackend>)> = if target == "self" {
         let (samples, labels) = lab.labelled_features(
             &lab.bundle.d_sample.malicious,
             &lab.bundle.d_sample.benign,
             Archive::Extended,
         );
         let model = FrappeModel::train(&samples, &labels, FeatureSet::Full, None);
-        let service = Arc::new(FrappeService::new(
-            model,
-            lab.known_malicious_names(),
-            lab.world.shortener.clone(),
-            ServeConfig {
-                shards: opts.shards,
-                workers: opts.workers,
-                ..ServeConfig::default()
-            },
-        ));
+        let service = build_backend(opts, model, &lab, None);
         if opts.trace_out.is_some() {
             // Before bind, so the edge mints the trace at the socket.
             service.set_trace_collector(TraceCollector::new(TraceConfig::default()));
         }
-        let server = Server::bind(Arc::clone(&service), "127.0.0.1:0", NetConfig::default())
+        let server = Server::bind_dyn(Arc::clone(&service), "127.0.0.1:0", NetConfig::default())
             .expect("bind the edge on loopback");
         Some((server, service))
     } else {
@@ -359,12 +426,12 @@ fn run_connect(opts: &Options, target: &str) {
     }
 
     if let Some((_, service)) = &hosted {
-        // The self-hosted edge shares its service's registry, so the
-        // net_* connection metrics ride along in the same snapshot.
-        let _ = service.metrics(); // refresh the queue-depth gauge
+        // The self-hosted edge registers its net_* metrics on the
+        // backend's base registry, so they ride along in the merged
+        // whole-deployment exposition.
         println!(
             "\nprometheus:\n{}",
-            service.obs_registry().snapshot().to_prometheus_text()
+            service.exposition().to_prometheus_text()
         );
     }
 }
@@ -379,13 +446,14 @@ fn main() {
         return;
     }
     println!(
-        "loadgen: shards={} workers={} query-threads={} queries={} scenario={} kernel={}",
+        "loadgen: shards={} workers={} query-threads={} queries={} scenario={} kernel={} groups={}",
         opts.shards,
         opts.workers,
         opts.query_threads,
         opts.queries,
         if opts.paper_scale { "paper" } else { "small" },
-        if opts.linear { "linear" } else { "rbf" }
+        if opts.linear { "linear" } else { "rbf" },
+        opts.shard_groups.unwrap_or(1),
     );
 
     let lab = if opts.paper_scale {
@@ -419,29 +487,21 @@ fn main() {
         model.support_vector_count()
     );
 
-    let service = Arc::new(FrappeService::new(
-        model,
-        lab.known_malicious_names(),
-        lab.world.shortener.clone(),
-        ServeConfig {
-            shards: opts.shards,
-            workers: opts.workers,
-            ..ServeConfig::default()
-        },
-    ));
     // With a linear kernel every fresh verdict is explainable; the log
     // stays empty under RBF (explain() returns None) but costs nothing.
     let audit = Arc::new(AuditLog::default());
-    service.set_audit_log(Arc::clone(&audit));
+    let service = build_backend(&opts, model, &lab, Some(&audit));
     if opts.trace_out.is_some() {
         service.set_trace_collector(TraceCollector::new(TraceConfig::default()));
     }
 
-    // prime the store with one full replay so every app is classifiable,
-    // then keep the ingest thread replaying for the whole measurement
+    // prime the store with one full replay so every app is classifiable
+    // (flushing the group mailboxes when sharded), then keep the ingest
+    // thread replaying for the whole measurement
     for event in &events {
-        service.ingest(event);
+        ingest_backend(service.as_ref(), event);
     }
+    service.flush_ingest();
     let apps = Arc::new(service.tracked_apps());
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -453,7 +513,7 @@ fn main() {
             let mut replayed = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 for event in &events {
-                    service.ingest(event);
+                    ingest_backend(service.as_ref(), event);
                     replayed += 1;
                 }
             }
@@ -535,9 +595,9 @@ fn main() {
         serde_json::to_string_pretty(&service.metrics()).expect("metrics serialize")
     );
 
-    // service.metrics() above refreshed the queue-depth gauge, so the
-    // registry snapshot below is current.
-    let registry = service.obs_registry().snapshot();
+    // The merged exposition refreshes the depth gauges and, when
+    // sharded, folds every group's registry into one scrape.
+    let registry = service.exposition();
     if let Some(path) = &opts.metrics_out {
         match std::fs::write(path, registry.to_jsonl()) {
             Ok(()) => eprintln!("wrote metrics JSONL to {path}"),
@@ -559,7 +619,9 @@ fn main() {
     println!("\nprometheus:\n{}", registry.to_prometheus_text());
 
     let records = audit.snapshot();
-    if records.is_empty() {
+    if opts.shard_groups.is_some() {
+        println!("audit: skipped (the audit log is a single-service hook)");
+    } else if records.is_empty() {
         println!("audit: no records (run with --linear for per-feature contributions)");
     } else {
         let consistent = records.iter().all(|r| r.is_consistent(1e-6));

@@ -10,6 +10,8 @@
 //! repro --lifecycle-bench-out FILE
 //!                             # time retrain / hot-swap / shadow, write JSON
 //! repro --edge-bench-out FILE # time the network edge over real sockets
+//! repro --shard-bench-out FILE
+//!                             # time shard-group scaling at K in {1,2,4,8}
 //! ```
 
 use std::fmt::Write as _;
@@ -27,6 +29,7 @@ fn main() {
     let mut bench_out: Option<String> = None;
     let mut lifecycle_bench_out: Option<String> = None;
     let mut edge_bench_out: Option<String> = None;
+    let mut shard_bench_out: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args_iter = args.into_iter();
     while let Some(arg) = args_iter.next() {
@@ -50,6 +53,13 @@ fn main() {
                 Some(path) => edge_bench_out = Some(path),
                 None => {
                     eprintln!("--edge-bench-out expects a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--shard-bench-out" => match args_iter.next() {
+                Some(path) => shard_bench_out = Some(path),
+                None => {
+                    eprintln!("--shard-bench-out expects a file path");
                     std::process::exit(2);
                 }
             },
@@ -93,7 +103,11 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        if ids.is_empty() && lifecycle_bench_out.is_none() && edge_bench_out.is_none() {
+        if ids.is_empty()
+            && lifecycle_bench_out.is_none()
+            && edge_bench_out.is_none()
+            && shard_bench_out.is_none()
+        {
             return;
         }
     }
@@ -114,7 +128,7 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        if ids.is_empty() && edge_bench_out.is_none() {
+        if ids.is_empty() && edge_bench_out.is_none() && shard_bench_out.is_none() {
             return;
         }
     }
@@ -135,6 +149,27 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        if ids.is_empty() && shard_bench_out.is_none() {
+            return;
+        }
+    }
+    // The shard-group scaling benchmark builds its own small world; same
+    // standalone-and-exit-early contract as the other benches.
+    if let Some(path) = &shard_bench_out {
+        eprintln!(
+            "timing shard-group scaling at K in {{1, 2, 4, 8}} ({} mode)...",
+            if small { "quick" } else { "full" }
+        );
+        let report = frappe_bench::shardbench::run(small);
+        println!("{}", report.render());
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
         if ids.is_empty() {
             return;
         }
@@ -143,7 +178,7 @@ fn main() {
         eprintln!(
             "usage: repro [--small] [--profile] [--seed N] [--bench-out FILE] \
              [--lifecycle-bench-out FILE] [--edge-bench-out FILE] \
-             <experiment ...|all|list>"
+             [--shard-bench-out FILE] <experiment ...|all|list>"
         );
         eprintln!(
             "experiments: {}",

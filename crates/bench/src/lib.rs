@@ -23,10 +23,12 @@ pub mod experiments;
 pub mod lab;
 pub mod lifebench;
 pub mod render;
+pub mod shardbench;
 pub mod trainbench;
 
 pub use edgebench::EdgeBenchReport;
 pub use experiments::{registry, ExpResult};
 pub use lab::Lab;
 pub use lifebench::LifecycleBenchReport;
+pub use shardbench::ShardBenchReport;
 pub use trainbench::TrainingBenchReport;

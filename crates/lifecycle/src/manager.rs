@@ -1,5 +1,5 @@
 //! The lifecycle manager: one façade wiring registry, shadow, drift, and
-//! a running [`FrappeService`] together.
+//! a running scoring backend ([`ScoringBackend`]) together.
 //!
 //! The manager owns the deployment loop the rest of the crate only
 //! provides parts for:
@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use frappe::FrappeModel;
 use frappe_obs::{Counter, Gauge, LifecycleEvent};
-use frappe_serve::{FrappeService, ServeError, Verdict};
+use frappe_serve::{ScoringBackend, ServeError, Verdict};
 use osn_types::ids::AppId;
 use parking_lot::Mutex;
 
@@ -78,35 +78,51 @@ struct LifecycleMetrics {
 }
 
 /// Wires a [`ModelRegistry`] and a [`DriftDetector`] to a running
-/// [`FrappeService`]; see the module docs for the loop it runs.
+/// scoring backend — a single [`frappe_serve::FrappeService`] or a
+/// [`frappe_serve::ShardRouter`] over K shard groups; see the module
+/// docs for the loop it runs.
+///
+/// Drift windows are **replicated per group**: every query's feature row
+/// lands in the window lane of the group that owns the app, and the
+/// lanes are absorbed into one baseline-holding detector at
+/// [`check_drift`](Self::check_drift) time, so a sharded deployment
+/// still produces exactly one PSI verdict.
 pub struct LifecycleManager {
-    service: Arc<FrappeService>,
+    service: Arc<dyn ScoringBackend>,
     registry: ModelRegistry,
     gate: PromotionGate,
     shadow: Mutex<Option<ShadowSlot>>,
     drift: Mutex<DriftDetector>,
+    drift_lanes: Vec<Mutex<DriftDetector>>,
     fence: Mutex<Option<Arc<dyn SwapFence>>>,
     metrics: LifecycleMetrics,
 }
 
 impl LifecycleManager {
-    /// Wires the pieces together.
+    /// Wires the pieces together around any [`ScoringBackend`].
     ///
     /// # Panics
     /// Panics unless `service` scores through the registry's own handle
-    /// (build it with [`FrappeService::with_shared_model`] on
-    /// [`ModelRegistry::handle`]) — with separate handles, "promote"
+    /// (build it with [`frappe_serve::FrappeService::with_shared_model`]
+    /// — or, for a router, a [`frappe_serve::ControlPlane`] wrapping —
+    /// [`ModelRegistry::handle`]); with separate handles, "promote"
     /// would silently swap a model nobody serves.
-    pub fn new(
-        service: Arc<FrappeService>,
+    pub fn new<B: ScoringBackend + 'static>(
+        service: Arc<B>,
         registry: ModelRegistry,
         gate: PromotionGate,
         drift: DriftDetector,
     ) -> Self {
+        let service: Arc<dyn ScoringBackend> = service;
         assert!(
             service.model_handle().ptr_eq(&registry.handle()),
             "the service must score through the registry's SharedModel handle"
         );
+        // One window-only detector per shard group: queries for a group's
+        // apps never contend on another group's drift lock.
+        let drift_lanes = (0..service.group_count())
+            .map(|_| Mutex::new(DriftDetector::new(drift.config())))
+            .collect();
         let obs = service.obs_registry();
         let metrics = LifecycleMetrics {
             shadow_scored: obs.counter("lifecycle_shadow_scored"),
@@ -127,6 +143,7 @@ impl LifecycleManager {
             gate,
             shadow: Mutex::new(None),
             drift: Mutex::new(drift),
+            drift_lanes,
             fence: Mutex::new(None),
             metrics,
         }
@@ -165,8 +182,8 @@ impl LifecycleManager {
         }
     }
 
-    /// The wrapped service.
-    pub fn service(&self) -> &Arc<FrappeService> {
+    /// The wrapped scoring backend.
+    pub fn service(&self) -> &Arc<dyn ScoringBackend> {
         &self.service
     }
 
@@ -191,7 +208,10 @@ impl LifecycleManager {
     ) -> Result<Verdict, ServeError> {
         let verdict = self.service.classify(app)?;
         if let Some(features) = self.service.features(app) {
-            self.drift.lock().observe(&features);
+            // Observe into the owning group's window lane — sharded
+            // deployments never serialize drift bookkeeping globally.
+            let lane = self.service.group_of(app) % self.drift_lanes.len();
+            self.drift_lanes[lane].lock().observe(&features);
             let mut slot = self.shadow.lock();
             if let Some(slot) = slot.as_mut() {
                 let shadow_verdict = slot.model.predict(&features);
@@ -288,9 +308,13 @@ impl LifecycleManager {
     }
 
     /// Re-freezes the drift baseline (call when a model trained on fresh
-    /// rows takes over) and clears the live window.
+    /// rows takes over) and clears the live window — including every
+    /// group's not-yet-absorbed lane.
     pub fn refit_drift_baseline(&self, rows: &[frappe::AppFeatures]) {
         self.drift.lock().fit_baseline(rows);
+        for lane in &self.drift_lanes {
+            lane.lock().reset_window();
+        }
     }
 
     /// Computes the drift report over the live window, publishes the
@@ -298,7 +322,16 @@ impl LifecycleManager {
     /// trigger when any lane is over threshold. The caller decides what a
     /// trigger means — typically: retrain and [`Self::begin_shadow`].
     pub fn check_drift(&self) -> DriftReport {
-        let report = self.drift.lock().report();
+        let report = {
+            let mut main = self.drift.lock();
+            // Drain every group's window lane into the baseline-holding
+            // detector: one PSI verdict over the whole deployment's
+            // traffic, whatever the group count.
+            for lane in &self.drift_lanes {
+                main.absorb_window(&mut lane.lock());
+            }
+            main.report()
+        };
         self.metrics
             .max_psi_milli
             .set((report.max_psi() * 1000.0).round().min(i64::MAX as f64) as i64);

@@ -1,12 +1,14 @@
 //! The server: one event-loop thread driving listener + connections over
-//! the [`crate::reactor`], routing HTTP requests into a
-//! [`FrappeService`].
+//! the [`crate::reactor`], routing HTTP requests into any
+//! [`ScoringBackend`] — a single [`frappe_serve::FrappeService`] or a
+//! [`frappe_serve::ShardRouter`] over K shard groups (the edge code is
+//! identical either way; only construction differs).
 //!
 //! ## Routes
 //!
 //! | route | verb | body | answer |
 //! |---|---|---|---|
-//! | `/v1/events` | POST | NDJSON [`ServeEvent`] lines | `202 {"ingested":n}` (all-or-nothing) |
+//! | `/v1/events` | POST | NDJSON [`ServeEvent`] lines | `202 {"ingested":n}` (parse is all-or-nothing) |
 //! | `/v1/classify/{app_id}` | GET | — | `200` [`frappe_serve::Verdict`] JSON |
 //! | `/metrics` | GET | — | `200` Prometheus text |
 //! | `/healthz` | GET | — | `200 {"status":"ok"}` |
@@ -58,7 +60,9 @@ use frappe_obs::{
     TraceFlag, TraceHandle, WallClock,
 };
 use frappe_serve::metrics::LATENCY_BOUNDS_MICROS;
-use frappe_serve::{ErrorEnvelope, FrappeService, PendingVerdict, ServeError, ServeEvent, Verdict};
+use frappe_serve::{
+    ErrorEnvelope, PendingVerdict, ScoringBackend, ServeError, ServeEvent, Verdict,
+};
 use osn_types::ids::AppId;
 
 use crate::conn::{Conn, IoStep, PendingWrite, Phase};
@@ -137,13 +141,19 @@ struct NetMetrics {
     read_stalls: Arc<Counter>,
     requests: Arc<Counter>,
     responses_429: Arc<Counter>,
+    /// Submit-time 429s attributed to the shard group that shed them
+    /// (a distinct family from `net_http_429`, which stays the
+    /// deployment-wide total — same name plus labels would double-count
+    /// in a merged scrape). One lane per group; single-service edges get
+    /// exactly one.
+    responses_429_by_group: Vec<Arc<Counter>>,
     request_latency: Arc<Histogram>,
     drains: Arc<Counter>,
     drain_micros: Arc<Histogram>,
 }
 
 impl NetMetrics {
-    fn new(registry: &frappe_obs::Registry) -> NetMetrics {
+    fn new(registry: &frappe_obs::Registry, group_count: usize) -> NetMetrics {
         NetMetrics {
             accepted: registry.counter("net_conns_accepted"),
             rejected: registry.counter("net_conns_rejected"),
@@ -153,10 +163,23 @@ impl NetMetrics {
             read_stalls: registry.counter("net_read_stalls"),
             requests: registry.counter("net_http_requests"),
             responses_429: registry.counter("net_http_429"),
+            responses_429_by_group: (0..group_count.max(1))
+                .map(|g| {
+                    registry.counter_with("net_http_429_by_group", &[("group", &g.to_string())])
+                })
+                .collect(),
             request_latency: registry
                 .histogram("net_request_latency_micros", &LATENCY_BOUNDS_MICROS),
             drains: registry.counter("net_drains"),
             drain_micros: registry.histogram("net_drain_micros", &LATENCY_BOUNDS_MICROS),
+        }
+    }
+
+    /// Books one shed request against its owning group's 429 lane.
+    fn shed(&self, group: usize) {
+        self.responses_429.inc();
+        if let Some(lane) = self.responses_429_by_group.get(group) {
+            lane.inc();
         }
     }
 }
@@ -253,10 +276,23 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port), registers the
-    /// edge's `net_*` metrics on the service's obs registry, and spawns
-    /// the event-loop thread.
-    pub fn bind<A: ToSocketAddrs>(
-        service: Arc<FrappeService>,
+    /// edge's `net_*` metrics on the backend's base obs registry, and
+    /// spawns the event-loop thread. Accepts any [`ScoringBackend`] —
+    /// `Arc<FrappeService>` and `Arc<ShardRouter>` both work unchanged.
+    pub fn bind<A: ToSocketAddrs, B: ScoringBackend + 'static>(
+        service: Arc<B>,
+        addr: A,
+        config: NetConfig,
+    ) -> io::Result<Server> {
+        Self::bind_dyn(service, addr, config)
+    }
+
+    /// [`bind`](Self::bind) for an already-erased backend handle —
+    /// callers that pick the deployment shape at runtime hold an
+    /// `Arc<dyn ScoringBackend>`, which the generic signature cannot
+    /// accept (`B` must be sized).
+    pub fn bind_dyn<A: ToSocketAddrs>(
+        service: Arc<dyn ScoringBackend>,
         addr: A,
         config: NetConfig,
     ) -> io::Result<Server> {
@@ -267,7 +303,7 @@ impl Server {
         reactor.register_read(listener.as_raw_fd(), LISTENER_TOKEN)?;
         let waker = reactor.waker();
         let shared = Arc::new(Shared::default());
-        let metrics = NetMetrics::new(service.obs_registry());
+        let metrics = NetMetrics::new(service.obs_registry(), service.group_count());
         // The collector attached to the service (if any) becomes the
         // edge's tracer: captured at bind, so attach it *before* binding.
         let trace = service.trace_collector();
@@ -300,8 +336,8 @@ impl Server {
             slo_clock,
         );
 
-        let queue_capacity = service.config().queue_capacity;
-        let retry_after_ms = service.config().retry_after_ms;
+        let queue_capacity = service.queue_capacity();
+        let retry_after_ms = service.retry_after_ms();
         let event_loop = EventLoop {
             overload_response: accept_gate_response(retry_after_ms),
             limits: Limits {
@@ -407,7 +443,7 @@ enum Routed {
 }
 
 struct EventLoop {
-    service: Arc<FrappeService>,
+    service: Arc<dyn ScoringBackend>,
     listener: TcpListener,
     reactor: Reactor,
     shared: Arc<Shared>,
@@ -710,14 +746,18 @@ impl EventLoop {
         match (request.method, request.path.as_str()) {
             (Method::Get, "/healthz") => done(Response::json(200, &br#"{"status":"ok"}"#[..])),
             (Method::Get, "/metrics") => {
-                let _ = self.service.metrics(); // refreshes the queue-depth gauge
+                // Publish edge-side state into the backend's *base*
+                // registry first; `exposition()` then snapshots it and —
+                // for a sharded backend — merges every group's registry
+                // in per-group lanes without double-counting shared
+                // families. One scrape, whole deployment.
                 let registry = self.service.obs_registry();
                 if let Some(tc) = &self.trace {
                     tc.publish_metrics(registry);
                 }
                 self.slo_1m.publish(registry, "1m");
                 self.slo_5m.publish(registry, "5m");
-                let text = registry.snapshot().to_prometheus_text();
+                let text = self.service.exposition().to_prometheus_text();
                 done(Response::text(200, text.into_bytes()))
             }
             (Method::Get, "/v1/traces") => done(match &self.trace {
@@ -745,7 +785,10 @@ impl EventLoop {
                     Err(err) => {
                         let pause_reads = matches!(err, ServeError::Overloaded { .. });
                         if pause_reads {
-                            self.metrics.responses_429.inc();
+                            // the submit site is the one place both the
+                            // app and the shed are known — attribute the
+                            // 429 to the group that owns the app
+                            self.metrics.shed(self.service.group_of(app));
                         }
                         Routed::Done {
                             response: error_response(err),
@@ -768,8 +811,12 @@ impl EventLoop {
         }
     }
 
-    /// `POST /v1/events`: NDJSON, all-or-nothing — every line must parse
-    /// before any event is ingested, so a bad batch moves no feature.
+    /// `POST /v1/events`: NDJSON. Parsing is all-or-nothing — every line
+    /// must parse before any event is forwarded, so a *malformed* batch
+    /// moves no feature. Forwarding can still shed on a sharded backend
+    /// (a full group mailbox answers 429 with `Retry-After`); events
+    /// before the shed point are applied, and the envelope tells the
+    /// client to retry the remainder.
     fn ingest_events(&self, body: &[u8]) -> Response {
         let Ok(text) = std::str::from_utf8(body) else {
             return Response::json(400, &br#"{"error":"body is not UTF-8"}"#[..]);
@@ -793,7 +840,12 @@ impl EventLoop {
             }
         }
         for event in &events {
-            self.service.ingest(event);
+            if let Err(err) = self.service.ingest_event(event) {
+                if matches!(err, ServeError::Overloaded { .. }) {
+                    self.metrics.shed(self.service.group_of(event.app()));
+                }
+                return error_response(err);
+            }
         }
         Response::json(
             202,

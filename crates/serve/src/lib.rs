@@ -41,21 +41,40 @@
 //! ([`FrappeService::swap_model`]); every verdict is stamped with the
 //! model version that produced it, and the cache's model-epoch stamp
 //! guarantees no swap ever serves a stale verdict.
+//!
+//! ## Scale-out: shard groups
+//!
+//! One service saturates around its store locks and one scorer lane.
+//! For scale-out, [`router::ShardRouter`] partitions the app-id space
+//! across K **shard groups** — each a complete private service (store,
+//! cache, scorer lane, registry) fed through a bounded per-group
+//! mailbox — while [`control::ControlPlane`] keeps the mutable control
+//! state (model epoch pointer, known-names generation) shared by
+//! construction, so hot swaps stay globally atomic. The
+//! [`backend::ScoringBackend`] trait lets the network edge and the
+//! lifecycle layer run unchanged against either shape.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod bridge;
 pub mod cache;
+pub mod control;
 pub mod event;
+pub(crate) mod group;
 pub mod metrics;
 pub(crate) mod pool;
+pub mod router;
 pub mod service;
 pub mod store;
 
+pub use backend::ScoringBackend;
 pub use bridge::{serve_events, service_from_world};
 pub use cache::CacheLookup;
+pub use control::{ControlPlane, ControlStamp};
 pub use event::ServeEvent;
 pub use metrics::{LatencySnapshot, MetricsSnapshot};
+pub use router::{ShardConfig, ShardRouter};
 pub use service::{ErrorEnvelope, FrappeService, PendingVerdict, ServeConfig, ServeError, Verdict};
 pub use store::{FeatureSnapshot, FeatureStore};

@@ -31,6 +31,7 @@ use serde::{Deserialize, Serialize};
 use url_services::shortener::Shortener;
 
 use crate::cache::{CacheLookup, VerdictCache};
+use crate::control::ControlPlane;
 use crate::event::ServeEvent;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::pool::ScorerPool;
@@ -323,10 +324,15 @@ pub struct PendingVerdict {
 /// `owned == true` means the service minted it (in-process caller, no
 /// edge) and must finish it at settle time; `false` means an edge handed
 /// its own trace in and will finish it after the response is written.
+/// `group_span` is the router's open `route/group_score` span when the
+/// query was forwarded across a shard-group mailbox — it closes when the
+/// owning group's verdict settles, so the span measures the full
+/// forward-to-verdict residence inside the group.
 struct PendingTrace {
     handle: TraceHandle,
     root: Option<SpanId>,
     owned: bool,
+    group_span: Option<SpanId>,
 }
 
 impl PendingVerdict {
@@ -347,6 +353,9 @@ impl PendingVerdict {
                     ),
                 ),
                 Err(e) => t.handle.event("serve_error", e.to_string()),
+            }
+            if let Some(span) = t.group_span {
+                t.handle.end_span(span);
             }
             if t.owned {
                 if let Some(root) = t.root {
@@ -383,6 +392,27 @@ impl PendingVerdict {
         self.settle(&outcome);
         outcome
     }
+
+    /// Replaces the trace bookkeeping with the router's view of this
+    /// query: the forwarding [`crate::router::ShardRouter`] owns the
+    /// trace lifecycle (root span, finish-at-settle), while the group
+    /// that scored it only contributed child spans. `group_span` is the
+    /// router's open `route/group_score` span, closed when the verdict
+    /// settles (or the handle is abandoned).
+    pub(crate) fn set_route_trace(
+        &mut self,
+        handle: TraceHandle,
+        root: Option<SpanId>,
+        owned: bool,
+        group_span: Option<SpanId>,
+    ) {
+        self.trace = Some(PendingTrace {
+            handle,
+            root,
+            owned,
+            group_span,
+        });
+    }
 }
 
 impl Drop for PendingVerdict {
@@ -393,6 +423,9 @@ impl Drop for PendingVerdict {
     fn drop(&mut self) {
         if let Some(t) = &self.trace {
             if t.owned && !t.handle.is_finished() {
+                if let Some(span) = t.group_span {
+                    t.handle.end_span(span);
+                }
                 if let Some(root) = t.root {
                     t.handle.end_span(root);
                 }
@@ -451,13 +484,44 @@ impl FrappeService {
         shortener: Shortener,
         config: ServeConfig,
     ) -> Self {
+        Self::with_shared_state(model, SharedKnownNames::new(known), shortener, config)
+    }
+
+    /// Builds a service whose **entire control surface** — the model
+    /// epoch pointer *and* the known-malicious name set — is externally
+    /// owned. This is how a [`ControlPlane`] replicates itself into
+    /// every shard group: each group's service scores through the same
+    /// shared handles, so one swap (or one flagged name) is observed by
+    /// all groups at the same instant and every group's cached verdicts
+    /// die together. [`with_shared_model`](Self::with_shared_model)
+    /// wraps a *private* name set instead, which is only correct for a
+    /// single-instance deployment.
+    pub fn with_control_plane(
+        control: &ControlPlane,
+        shortener: Shortener,
+        config: ServeConfig,
+    ) -> Self {
+        Self::with_shared_state(
+            control.model_handle(),
+            control.known_names(),
+            shortener,
+            config,
+        )
+    }
+
+    fn with_shared_state(
+        model: SharedModel,
+        known: SharedKnownNames,
+        shortener: Shortener,
+        config: ServeConfig,
+    ) -> Self {
         assert!(config.queue_capacity > 0, "need a non-empty queue");
         assert!(config.batch_size > 0, "batches hold at least one request");
         let engine = Arc::new(ScoreEngine {
             model,
             store: FeatureStore::new(config.shards),
             cache: VerdictCache::new(config.shards),
-            known: SharedKnownNames::new(known),
+            known,
             shortener,
             metrics: Metrics::default(),
             audit: RwLock::new(None),
@@ -534,6 +598,7 @@ impl FrappeService {
                 handle,
                 root: parent,
                 owned: false,
+                group_span: None,
             }),
             None => self.engine.trace.read().clone().map(|collector| {
                 let handle = collector.begin("classify");
@@ -542,6 +607,7 @@ impl FrappeService {
                     handle,
                     root: Some(root),
                     owned: true,
+                    group_span: None,
                 }
             }),
         };
@@ -610,6 +676,15 @@ impl FrappeService {
         let old = self.engine.model.swap(model, version);
         self.engine.metrics.model_swapped(version);
         old
+    }
+
+    /// Books a model swap that already happened on the shared epoch
+    /// pointer (a [`ControlPlane`] swap is one pointer store observed by
+    /// every group). Each group records the swap in its own metrics lane
+    /// without touching the pointer again — K groups must report K
+    /// *views* of one swap, not K swaps of the model.
+    pub(crate) fn record_external_swap(&self, version: u64) {
+        self.engine.metrics.model_swapped(version);
     }
 
     /// The shared model handle the service scores through. A lifecycle

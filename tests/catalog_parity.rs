@@ -33,6 +33,7 @@ use url_services::shortener::Shortener;
 use url_services::wot::WotRegistry;
 
 const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+const GROUP_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const INGEST_THREADS: usize = 4;
 
 /// Everything the batch reference needs to re-derive one app's row.
@@ -298,6 +299,131 @@ fn random_streams_are_parity_exact_for_every_set_and_shard_count() {
                         );
                     }
                 }
+            }
+        }
+    }
+}
+
+/// Ingests every script through a router's bounded mailboxes, apps
+/// round-robin across threads (per-app order preserved: one thread per
+/// app, one owner group, FIFO mailbox, one consumer), then flushes all
+/// groups so classify observes everything.
+fn ingest_routed_concurrently(world: &RandomWorld, router: &frappe_serve::ShardRouter) {
+    std::thread::scope(|scope| {
+        for t in 0..INGEST_THREADS {
+            let router = &router;
+            let world = &world;
+            scope.spawn(move || {
+                for script in world.scripts.iter().skip(t).step_by(INGEST_THREADS) {
+                    for event in &script.events {
+                        // The mailboxes are sized to hold the whole
+                        // stream; spin on the (unexpected) reject so a
+                        // shed can never masquerade as a parity bug.
+                        while router.ingest(event).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    router.flush();
+}
+
+/// The tentpole invariant: partitioning the serving stack into K
+/// thread-isolated shard groups is *pure topology* — for every group
+/// count, every app's verdict is bit-for-bit what the single-group
+/// deployment produces (decision value compared as raw f64 bits), and a
+/// hot swap + rollback through the shared control plane leaves every
+/// group on the same epoch with no stale verdict surviving anywhere.
+#[test]
+fn verdicts_are_bit_identical_for_every_group_count() {
+    use frappe_serve::{ServeConfig, ShardConfig, ShardRouter};
+
+    // A second deterministic model for the swap leg: trained on rows
+    // from an unrelated seeded world with a narrower feature set, so v2
+    // genuinely scores differently from v1.
+    let other_model = || {
+        let world = random_world(3, 8);
+        let rows: Vec<AppFeatures> = world.scripts.iter().map(|s| batch_row(&world, s)).collect();
+        let labels: Vec<bool> = (0..rows.len()).map(|i| i % 2 == 0).collect();
+        frappe::FrappeModel::train(&rows, &labels, FeatureSet::Lite, None)
+    };
+
+    for seed in [11u64, 4242] {
+        let world = random_world(seed, 48);
+        let mut reference: Option<Vec<(AppId, u64, bool, u64, u64)>> = None;
+
+        for groups in GROUP_COUNTS {
+            let router = ShardRouter::new(
+                tiny_model(),
+                world.known.clone(),
+                world.shortener.clone(),
+                ShardConfig {
+                    groups,
+                    mailbox_capacity: 4096,
+                    group: ServeConfig::default(),
+                },
+            );
+            ingest_routed_concurrently(&world, &router);
+
+            let observed: Vec<(AppId, u64, bool, u64, u64)> = world
+                .scripts
+                .iter()
+                .filter(|s| !s.events.is_empty())
+                .map(|s| {
+                    let v = router.classify(s.app).expect("tracked app");
+                    (
+                        s.app,
+                        v.decision_value.to_bits(),
+                        v.malicious,
+                        v.generation,
+                        v.model_version,
+                    )
+                })
+                .collect();
+            match &reference {
+                None => reference = Some(observed),
+                Some(reference) => assert_eq!(
+                    reference, &observed,
+                    "seed {seed}: {groups} groups diverged from the 1-group verdicts"
+                ),
+            }
+
+            // Promote: one shared pointer swap reaches every group at
+            // once — no classify anywhere may answer with the old
+            // version (a stale cached verdict would carry version 1).
+            let displaced = router.swap_model(std::sync::Arc::new(other_model()), 2);
+            assert_eq!(displaced.version(), 1);
+            for s in world.scripts.iter().filter(|s| !s.events.is_empty()) {
+                let v = router.classify(s.app).expect("tracked app");
+                assert_eq!(
+                    v.model_version, 2,
+                    "{groups} groups: stale post-swap verdict for {:?}",
+                    s.app
+                );
+            }
+
+            // Roll back to the original weights: decisions must return
+            // bit-exactly to the pre-swap reference (same model ⇒ same
+            // bits), at the rollback version — v2 verdicts die too.
+            let displaced = router.swap_model(std::sync::Arc::new(tiny_model()), 3);
+            assert_eq!(displaced.version(), 2);
+            for (s, (_, bits, malicious, _, _)) in world
+                .scripts
+                .iter()
+                .filter(|s| !s.events.is_empty())
+                .zip(reference.as_ref().unwrap())
+            {
+                let v = router.classify(s.app).expect("tracked app");
+                assert_eq!(v.model_version, 3);
+                assert_eq!(v.malicious, *malicious);
+                assert_eq!(
+                    v.decision_value.to_bits(),
+                    *bits,
+                    "{groups} groups: rollback did not restore v1 decisions for {:?}",
+                    s.app
+                );
             }
         }
     }

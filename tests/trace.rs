@@ -28,7 +28,7 @@ use frappe_lifecycle::{
 };
 use frappe_net::{NetConfig, Server};
 use frappe_obs::{CompletedTrace, TraceCollector, TraceConfig, TraceFlag};
-use frappe_serve::{FrappeService, ServeConfig, ServeEvent};
+use frappe_serve::{FrappeService, ServeConfig, ServeEvent, ShardConfig, ShardRouter};
 use osn_types::ids::AppId;
 use url_services::shortener::Shortener;
 
@@ -235,12 +235,22 @@ fn shed_429_is_always_tail_sampled_from_accept_to_response_write() {
     assert_eq!(status, 429);
 
     // With head sampling off, only the tail keeps a trace — and the shed
-    // MUST be kept, finished at the moment its 429 hit the wire.
-    let kept = collector.snapshot();
-    let trace = kept
-        .iter()
-        .find(|t| t.has_flag(TraceFlag::Shed429))
-        .expect("a 429 shed is always tail-sampled");
+    // MUST be kept, finished at the moment its 429 hit the wire. The
+    // client can read the response a hair before the loop thread books
+    // the flushed write, so poll with a deadline instead of racing it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let trace = loop {
+        let kept = collector.snapshot();
+        if let Some(trace) = kept.into_iter().find(|t| t.has_flag(TraceFlag::Shed429)) {
+            break trace;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "a 429 shed is always tail-sampled"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    let trace = &trace;
     assert_eq!(trace.kind, "edge");
     assert_eq!(trace.outcome, "429");
     assert!(!trace.head_sampled, "kept by the tail, not by luck");
@@ -251,8 +261,19 @@ fn shed_429_is_always_tail_sampled_from_accept_to_response_write() {
         trace.events
     );
 
-    // The export routes serve the same story over the socket.
+    // The shed trace's id is attached to a latency bucket as an exemplar.
+    // Check this FIRST: exemplars are latest-writer-wins per bucket, so
+    // any traced request we make below could land in the shed's bucket
+    // and replace its id.
     let mut reader = Client::connect(server.local_addr());
+    let (status, metrics) = reader.get("/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains(&format!("trace_id=\"{:016x}\"", trace.id)),
+        "histogram exemplar points at the kept trace"
+    );
+
+    // The export routes serve the same story over the socket.
     let (status, jsonl) = reader.get("/v1/traces");
     assert_eq!(status, 200);
     assert!(jsonl.contains("shed_429"), "{jsonl}");
@@ -261,14 +282,6 @@ fn shed_429_is_always_tail_sampled_from_accept_to_response_write() {
     assert_eq!(status, 200);
     assert!(chrome.trim_start().starts_with('['), "{chrome}");
     assert!(chrome.contains("edge/write"), "{chrome}");
-
-    // The shed trace's id is attached to a latency bucket as an exemplar.
-    let (status, metrics) = reader.get("/metrics");
-    assert_eq!(status, 200);
-    assert!(
-        metrics.contains(&format!("trace_id=\"{:016x}\"", trace.id)),
-        "histogram exemplar points at the kept trace"
-    );
 }
 
 #[test]
@@ -429,4 +442,166 @@ fn tracing_on_and_off_serve_bit_identical_verdict_bytes() {
     let (status, body) = off.get("/v1/traces");
     assert_eq!(status, 404);
     assert_eq!(body, r#"{"error":"tracing disabled"}"#);
+}
+
+/// Feeds the same fixture traffic through a router's mailboxes (the
+/// sharded analogue of [`feed_app`]), then flushes so classify sees it.
+fn feed_app_routed(router: &ShardRouter, app: AppId, shady: bool, posts: usize) {
+    let name = if shady {
+        "Profile Viewer".to_string()
+    } else {
+        format!("wholesome game {}", app.raw())
+    };
+    router
+        .ingest(&ServeEvent::Registered { app, name })
+        .expect("mailbox has room");
+    let (benign, malicious) = prototypes();
+    let features = if shady {
+        malicious.on_demand
+    } else {
+        benign.on_demand
+    };
+    router
+        .ingest(&ServeEvent::OnDemand { app, features })
+        .expect("mailbox has room");
+    for _ in 0..posts {
+        let link = if shady {
+            Some(osn_types::url::Url::parse("http://scam.example/x").unwrap())
+        } else {
+            Some(osn_types::url::Url::parse("http://fine.example/y").unwrap())
+        };
+        router
+            .ingest(&ServeEvent::Post { app, link })
+            .expect("mailbox has room");
+    }
+}
+
+/// The shard-group continuity story, end to end over real sockets: a
+/// request forwarded across a group mailbox keeps its edge-minted trace
+/// (route spans parent the owning group's serve spans in one tree), and
+/// a fenced promote over K groups still tail-samples whatever straddled
+/// it — with every group already serving the new model version by the
+/// time the promote returns.
+#[test]
+fn forwarded_requests_keep_the_edge_trace_across_a_multi_group_promote() {
+    let registry = ModelRegistry::new(tiny_model(), ModelSource::default());
+    let router = Arc::new(ShardRouter::with_shared_model(
+        registry.handle(),
+        KnownMaliciousNames::from_names(["profile viewer"]),
+        Shortener::bitly(),
+        ShardConfig {
+            groups: 3,
+            mailbox_capacity: 64,
+            group: ServeConfig::default(),
+        },
+    ));
+    let apps: Vec<AppId> = (1..=6).map(AppId).collect();
+    for (i, &app) in apps.iter().enumerate() {
+        feed_app_routed(&router, app, i % 2 == 0, 1 + i % 3);
+    }
+    router.flush();
+    assert!(
+        apps.iter()
+            .map(|&a| router.group_of(a))
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+            > 1,
+        "the fixture must actually span multiple groups"
+    );
+    let collector = tail_only_collector();
+    router.set_trace_collector(collector.clone());
+    let server = Server::bind(Arc::clone(&router), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let manager = LifecycleManager::new(
+        Arc::clone(&router),
+        registry,
+        PromotionGate {
+            min_scored: 1,
+            max_disagreement_rate: 1.0,
+            max_false_positive_increase: 1.0,
+            max_false_negative_increase: 1.0,
+        },
+        DriftDetector::new(DriftConfig::default()),
+    );
+    manager.set_swap_fence(Arc::new(server.handle()));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammers: Vec<_> = (0..2)
+        .map(|tid| {
+            let stop = Arc::clone(&stop);
+            let apps = apps.clone();
+            std::thread::spawn(move || {
+                let mut i = tid;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut client = Client::connect(addr);
+                    let app = apps[i % apps.len()];
+                    let (status, _) = client.get(&format!("/v1/classify/{}", app.raw()));
+                    assert!(status == 200 || status == 429, "got {status}");
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    let flagged_edge_trace = |collector: &TraceCollector| {
+        collector
+            .snapshot()
+            .into_iter()
+            .find(|t| t.kind == "edge" && t.has_flag(TraceFlag::InFlightSwap))
+    };
+    let mut found = None;
+    let mut version = 0;
+    for attempt in 0.. {
+        assert!(attempt < 50, "no promote ever straddled a live request");
+        version = manager.begin_shadow(Arc::new(tiny_model()), ModelSource::default());
+        manager.classify_labelled(apps[0], Some(true)).unwrap();
+        assert_eq!(manager.try_promote(), PromotionOutcome::Promoted(version));
+        if let Some(trace) = flagged_edge_trace(&collector) {
+            found = Some(trace);
+            break;
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for hammer in hammers {
+        hammer.join().expect("hammer thread");
+    }
+
+    // The swap was globally atomic: every group immediately serves the
+    // promoted version (one shared epoch pointer, fresh caches).
+    for &app in &apps {
+        assert_eq!(router.classify(app).unwrap().model_version, version);
+    }
+
+    let trace = found.expect("bounded retry loop either found one or panicked");
+    assert_eq!(trace.outcome, "200", "the straddled request completed");
+    assert!(!trace.head_sampled);
+    assert_accept_to_write(&trace);
+    assert!(
+        trace.events.iter().any(|e| e.name == "lifecycle/promote"),
+        "the trace records the promote it straddled: {:?}",
+        trace.events
+    );
+    // The router recorded which group owned the request…
+    assert!(
+        trace
+            .events
+            .iter()
+            .any(|e| e.name == "route" && e.detail.starts_with("group=")),
+        "the routing decision is on the trace: {:?}",
+        trace.events
+    );
+    // …and the trace tree crosses the mailbox hop unbroken: the edge
+    // root parents the router's spans, which parent the group's spans.
+    let root = trace.span("edge/request").unwrap().id;
+    let forward = trace.span("route/forward").expect("forward span recorded");
+    let group_score = trace
+        .span("route/group_score")
+        .expect("group residence span recorded");
+    let queue = trace.span("serve/queue").expect("queue span recorded");
+    let score = trace.span("serve/score").expect("score span recorded");
+    assert_eq!(forward.parent, Some(root));
+    assert_eq!(group_score.parent, Some(root));
+    assert_eq!(queue.parent, Some(group_score.id));
+    assert_eq!(score.parent, Some(group_score.id));
 }

@@ -61,6 +61,15 @@ FRAPPE_SHARD_GROUPS=4 cargo test -q -p frappe-lifecycle --no-default-features --
 FRAPPE_JOBS=1 FRAPPE_SHARD_GROUPS=4 cargo test -q -p frappe-lifecycle --test shard
 FRAPPE_JOBS=8 FRAPPE_SHARD_GROUPS=4 cargo test -q -p frappe-lifecycle --test shard
 
+echo "==> scoring suite with the detected engine and with FRAPPE_SIMD=0"
+# The SIMD engine swap must be invisible: the svm suite (packed kernels,
+# RFF, scalar/AVX2 bit-identity properties) and the serve parity suite
+# run once with runtime ISA detection live and once pinned to the
+# portable scalar fallback. Identical results are the contract.
+cargo test -q -p svm
+FRAPPE_SIMD=0 cargo test -q -p svm
+FRAPPE_SIMD=0 cargo test -q -p frappe-serve
+
 echo "==> network edge suite (epoll reactor, HTTP routes, 429 shed, fenced hot swap)"
 # Real sockets on an ephemeral loopback port: byte-identical verdicts
 # vs in-process classify, the deterministic 429 + Retry-After contract,
@@ -85,6 +94,9 @@ cargo run --release -p frappe-bench --bin repro -- --small --edge-bench-out BENC
 
 echo "==> shard bench, quick mode (group scaling + zero-stale swap leg, BENCH_shard.json)"
 cargo run --release -p frappe-bench --bin repro -- --small --shard-bench-out BENCH_shard.json
+
+echo "==> scoring bench, quick mode (scalar/SIMD/RFF kernels, BENCH_scoring.json)"
+cargo run --release -p frappe-bench --bin repro -- --small --scoring-bench-out BENCH_scoring.json
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

@@ -52,6 +52,58 @@ fn bench_prediction(c: &mut Criterion) {
     });
 }
 
+/// Kernel-scoring throughput across the evaluation engines: the portable
+/// 4-lane scalar fallback, the best engine the CPU offers (AVX2+FMA where
+/// detected — the label on the console says which you got), and the O(D)
+/// random-Fourier approximation, at the acceptance batch trio {1, 64,
+/// 4096}. `repro --scoring-bench-out` produces the same comparison as
+/// machine-readable JSON; this group is the statistical view.
+fn bench_kernel_scoring(c: &mut Criterion) {
+    use svm::rff::{RffModel, DEFAULT_FEATURES};
+    use svm::simd::{Dispatch, MathMode};
+
+    let data = synth(800, 47);
+    let model = train(&data, &SvmParams::paper_defaults(7));
+    let rff = RffModel::from_model(&model, DEFAULT_FEATURES, 0xF4A9_9E0F).expect("RBF model");
+    model.warm();
+    rff.warm();
+    let queries = synth(4096, 48);
+    let queries = queries.features();
+    println!(
+        "kernel_scoring: {} support vectors, isa {}, engines fallback={} best={}",
+        model.support_vector_count(),
+        svm::simd::detected_isa(),
+        Dispatch::scalar_deterministic().describe(),
+        Dispatch::best(MathMode::Deterministic).describe(),
+    );
+
+    let mut group = c.benchmark_group("kernel_scoring");
+    group.sample_size(20);
+    for &batch in &[1usize, 64, 4096] {
+        let slice = &queries[..batch];
+        group.bench_with_input(BenchmarkId::new("fallback", batch), &slice, |b, qs| {
+            let d = Dispatch::scalar_deterministic();
+            b.iter(|| {
+                qs.iter()
+                    .map(|q| model.decision_value_with(d, q))
+                    .sum::<f64>()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("simd", batch), &slice, |b, qs| {
+            let d = Dispatch::best(MathMode::Deterministic);
+            b.iter(|| {
+                qs.iter()
+                    .map(|q| model.decision_value_with(d, q))
+                    .sum::<f64>()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rff", batch), &slice, |b, qs| {
+            b.iter(|| qs.iter().map(|q| rff.decision_value(q)).sum::<f64>());
+        });
+    }
+    group.finish();
+}
+
 /// Serial vs parallel `(C, γ)` grid search — the tentpole speedup. The
 /// thread counts bracket the determinism suite's {1, 8}; on a single-core
 /// runner the two collapse to the same wall-clock by design.
@@ -96,6 +148,7 @@ criterion_group!(
     benches,
     bench_training,
     bench_prediction,
+    bench_kernel_scoring,
     bench_grid_search,
     bench_smo_iterations
 );

@@ -9,8 +9,16 @@
 //! cargo run --release -p frappe-bench --bin loadgen -- \
 //!     [--shards N] [--workers N] [--query-threads N] [--queries N] [--paper-scale] \
 //!     [--linear] [--profile] [--metrics-out PATH] [--trace-out PATH] \
-//!     [--swap-every N] [--shard-groups K] [--connect ADDR|self] [--rate N] [--seed N]
+//!     [--swap-every N] [--shard-groups K] [--connect ADDR|self] [--rate N] [--seed N] \
+//!     [--scoring-backend exact|simd|rff]
 //! ```
+//!
+//! `--scoring-backend` selects the process-wide verdict engine (see
+//! `frappe::scoring`): `exact` forces the portable scalar reference,
+//! `simd` forces the best engine the CPU offers, and `rff` routes RBF
+//! verdicts through the O(D) random-Fourier approximation (the model
+//! trains with one attached). The banner discloses what actually
+//! dispatched.
 //!
 //! `--shard-groups K` deploys the serving layer as K shared-nothing
 //! shard groups behind a hashing `ShardRouter` instead of one
@@ -130,6 +138,16 @@ fn parse_options() -> Options {
                     std::process::exit(2);
                 }));
             }
+            "--scoring-backend" => {
+                let value = args.next().unwrap_or_default();
+                match frappe::scoring::ScoringBackend::parse(&value) {
+                    Some(b) => frappe::scoring::set_backend(b),
+                    None => {
+                        eprintln!("--scoring-backend expects exact|simd|rff, got {value:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--paper-scale" => opts.paper_scale = true,
             "--linear" => opts.linear = true,
             "--profile" => opts.profile = true,
@@ -151,7 +169,8 @@ fn parse_options() -> Options {
                     "usage: loadgen [--shards N] [--workers N] [--query-threads N] \
                      [--queries N] [--paper-scale] [--linear] [--profile] \
                      [--metrics-out PATH] [--trace-out PATH] [--swap-every N] \
-                     [--shard-groups K] [--connect ADDR|self] [--rate N] [--seed N]"
+                     [--shard-groups K] [--connect ADDR|self] [--rate N] [--seed N] \
+                     [--scoring-backend exact|simd|rff]"
                 );
                 std::process::exit(2);
             }
@@ -446,7 +465,7 @@ fn main() {
         return;
     }
     println!(
-        "loadgen: shards={} workers={} query-threads={} queries={} scenario={} kernel={} groups={}",
+        "loadgen: shards={} workers={} query-threads={} queries={} scenario={} kernel={} groups={} scoring={}",
         opts.shards,
         opts.workers,
         opts.query_threads,
@@ -454,6 +473,7 @@ fn main() {
         if opts.paper_scale { "paper" } else { "small" },
         if opts.linear { "linear" } else { "rbf" },
         opts.shard_groups.unwrap_or(1),
+        frappe::scoring::describe(),
     );
 
     let lab = if opts.paper_scale {

@@ -12,6 +12,10 @@
 //! repro --edge-bench-out FILE # time the network edge over real sockets
 //! repro --shard-bench-out FILE
 //!                             # time shard-group scaling at K in {1,2,4,8}
+//! repro --scoring-bench-out FILE
+//!                             # time scalar/SIMD/RFF kernel scoring, write JSON
+//! repro --scoring-backend exact|simd|rff
+//!                             # pick the process-wide verdict engine
 //! ```
 
 use std::fmt::Write as _;
@@ -30,6 +34,7 @@ fn main() {
     let mut lifecycle_bench_out: Option<String> = None;
     let mut edge_bench_out: Option<String> = None;
     let mut shard_bench_out: Option<String> = None;
+    let mut scoring_bench_out: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args_iter = args.into_iter();
     while let Some(arg) = args_iter.next() {
@@ -63,6 +68,23 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--scoring-bench-out" => match args_iter.next() {
+                Some(path) => scoring_bench_out = Some(path),
+                None => {
+                    eprintln!("--scoring-bench-out expects a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--scoring-backend" => {
+                let value = args_iter.next().unwrap_or_default();
+                match frappe::scoring::ScoringBackend::parse(&value) {
+                    Some(b) => frappe::scoring::set_backend(b),
+                    None => {
+                        eprintln!("--scoring-backend expects exact|simd|rff, got {value:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--profile" => {
                 profile = true;
                 frappe_obs::set_spans_enabled(true);
@@ -107,6 +129,7 @@ fn main() {
             && lifecycle_bench_out.is_none()
             && edge_bench_out.is_none()
             && shard_bench_out.is_none()
+            && scoring_bench_out.is_none()
         {
             return;
         }
@@ -128,7 +151,11 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        if ids.is_empty() && edge_bench_out.is_none() && shard_bench_out.is_none() {
+        if ids.is_empty()
+            && edge_bench_out.is_none()
+            && shard_bench_out.is_none()
+            && scoring_bench_out.is_none()
+        {
             return;
         }
     }
@@ -149,7 +176,7 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        if ids.is_empty() && shard_bench_out.is_none() {
+        if ids.is_empty() && shard_bench_out.is_none() && scoring_bench_out.is_none() {
             return;
         }
     }
@@ -170,6 +197,27 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        if ids.is_empty() && scoring_bench_out.is_none() {
+            return;
+        }
+    }
+    // The scoring-kernel benchmark trains its own synthetic model; same
+    // standalone-and-exit-early contract as the other benches.
+    if let Some(path) = &scoring_bench_out {
+        eprintln!(
+            "timing scalar vs SIMD vs RFF kernel scoring ({} mode)...",
+            if small { "quick" } else { "full" }
+        );
+        let report = frappe_bench::scoringbench::run(small);
+        println!("{}", report.render());
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
         if ids.is_empty() {
             return;
         }
@@ -178,7 +226,8 @@ fn main() {
         eprintln!(
             "usage: repro [--small] [--profile] [--seed N] [--bench-out FILE] \
              [--lifecycle-bench-out FILE] [--edge-bench-out FILE] \
-             [--shard-bench-out FILE] <experiment ...|all|list>"
+             [--shard-bench-out FILE] [--scoring-bench-out FILE] \
+             [--scoring-backend exact|simd|rff] <experiment ...|all|list>"
         );
         eprintln!(
             "experiments: {}",

@@ -23,6 +23,7 @@ pub mod experiments;
 pub mod lab;
 pub mod lifebench;
 pub mod render;
+pub mod scoringbench;
 pub mod shardbench;
 pub mod trainbench;
 
@@ -30,5 +31,6 @@ pub use edgebench::EdgeBenchReport;
 pub use experiments::{registry, ExpResult};
 pub use lab::Lab;
 pub use lifebench::LifecycleBenchReport;
+pub use scoringbench::ScoringBenchReport;
 pub use shardbench::ShardBenchReport;
 pub use trainbench::TrainingBenchReport;

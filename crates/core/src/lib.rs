@@ -79,6 +79,7 @@
 
 pub mod classifier;
 pub mod features;
+pub mod scoring;
 pub mod validation;
 
 pub use classifier::{

@@ -2,8 +2,10 @@
 //!
 //! A checkpoint is a canonical, line-oriented text rendering of a
 //! [`FrappeModel`]: feature set, kernel, imputation table, min–max scale
-//! lanes, and the SVM decision function (support vectors, signed dual
-//! coefficients, bias). Two properties are load-bearing and tested:
+//! lanes, the SVM decision function (support vectors, signed dual
+//! coefficients, bias), and — when the model carries one — its
+//! random-Fourier approximation (seed, projection matrix, phases, folded
+//! weights; see [`svm::rff`]). Two properties are load-bearing and tested:
 //!
 //! * **Byte determinism** — every `f64` is written as the 16-hex-digit
 //!   form of [`f64::to_bits`], never as a decimal rendering, so
@@ -27,7 +29,7 @@ use std::fs;
 use std::path::Path;
 
 use frappe::{catalog, FeatureId, FeatureSet, FrappeModel, Imputation};
-use svm::{Kernel, Scaler, SvmModel};
+use svm::{Kernel, RffModel, Scaler, SvmModel};
 
 /// Format tag on the first line; bump on any incompatible layout change.
 const MAGIC: &str = "frappe-checkpoint v1";
@@ -237,6 +239,30 @@ pub fn write_model(model: &FrappeModel) -> String {
         }
         out.push('\n');
     }
+
+    // Optional random-Fourier approximation: one header line, then one
+    // row per Fourier feature (`weight phase proj…`), all as bit patterns
+    // so the projection round-trips byte-for-byte.
+    if let Some(rff) = model.rff() {
+        out.push_str(&format!(
+            "rff {} {} {} {} {}\n",
+            rff.features(),
+            rff.dim(),
+            rff.seed(),
+            hex_of(rff.gamma()),
+            hex_of(rff.rho())
+        ));
+        for (i, (weight, phase)) in rff.weights().iter().zip(rff.phases()).enumerate() {
+            out.push_str(&hex_of(*weight));
+            out.push(' ');
+            out.push_str(&hex_of(*phase));
+            for x in &rff.projection()[i * rff.dim()..(i + 1) * rff.dim()] {
+                out.push(' ');
+                out.push_str(&hex_of(*x));
+            }
+            out.push('\n');
+        }
+    }
     out.push_str("end\n");
     out
 }
@@ -405,20 +431,96 @@ pub fn parse_model(text: &str) -> Result<FrappeModel, CheckpointError> {
         support_vectors.push(sv);
     }
 
-    let (end, line) = lines.next("the end marker")?;
-    if end != "end" {
-        return Err(CheckpointError::Parse {
-            line,
-            what: format!("expected the `end` marker, got {end:?}"),
-        });
+    // Either the `end` marker, or an optional `rff` section followed by it.
+    let (text, line) = lines.next("the `rff` section or the end marker")?;
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    let rff = match tokens.first() {
+        Some(&"end") => None,
+        Some(&"rff") => Some(rff_section(&tokens[1..], line, &mut lines)?),
+        _ => {
+            return Err(CheckpointError::Parse {
+                line,
+                what: format!("expected an `rff` section or the `end` marker, got {text:?}"),
+            })
+        }
+    };
+    if rff.is_some() {
+        let (end, line) = lines.next("the end marker")?;
+        if end != "end" {
+            return Err(CheckpointError::Parse {
+                line,
+                what: format!("expected the `end` marker, got {end:?}"),
+            });
+        }
     }
 
-    Ok(FrappeModel::from_parts(
+    let mut model = FrappeModel::from_parts(
         set,
         Imputation::from_values(imputation),
         Scaler::from_bounds(mins, maxs),
         SvmModel::new(kernel, support_vectors, dual_coefs, rho),
-    ))
+    );
+    if let Some((rff, rff_line)) = rff {
+        model.attach_rff(rff).map_err(|e| CheckpointError::Parse {
+            line: rff_line,
+            what: format!("rff section does not match the model: {e}"),
+        })?;
+    }
+    Ok(model)
+}
+
+/// Parses the body of an optional `rff` section: `args` are the tokens
+/// after the `rff` keyword on the header line at `line`.
+fn rff_section(
+    args: &[&str],
+    line: usize,
+    lines: &mut Lines<'_>,
+) -> Result<(RffModel, usize), CheckpointError> {
+    let [features, dim, seed, gamma, rho] = *args else {
+        return Err(CheckpointError::Parse {
+            line,
+            what: "rff line takes `<features> <dim> <seed> <gamma-bits> <rho-bits>`".to_string(),
+        });
+    };
+    let features = usize_of(features, line, "rff feature count")?;
+    let dim = usize_of(dim, line, "rff input dimension")?;
+    let seed = seed.parse::<u64>().map_err(|_| CheckpointError::Parse {
+        line,
+        what: format!("invalid rff seed {seed:?}"),
+    })?;
+    let gamma = f64_of(gamma, line)?;
+    let rho = f64_of(rho, line)?;
+
+    let mut projection = Vec::with_capacity(features * dim);
+    let mut phases = Vec::with_capacity(features);
+    let mut weights = Vec::with_capacity(features);
+    for _ in 0..features {
+        let (text, row_line) = lines.next("a Fourier feature row")?;
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        if tokens.len() != dim + 2 {
+            return Err(CheckpointError::Parse {
+                line: row_line,
+                what: format!(
+                    "expected weight + phase + {dim} projection entries, got {} tokens",
+                    tokens.len()
+                ),
+            });
+        }
+        weights.push(f64_of(tokens[0], row_line)?);
+        phases.push(f64_of(tokens[1], row_line)?);
+        for t in &tokens[2..] {
+            projection.push(f64_of(t, row_line)?);
+        }
+    }
+
+    let rff =
+        RffModel::from_parts(gamma, seed, dim, projection, phases, weights, rho).map_err(|e| {
+            CheckpointError::Parse {
+                line,
+                what: format!("invalid rff section: {e}"),
+            }
+        })?;
+    Ok((rff, line))
 }
 
 // ---------------------------------------------------------------------------

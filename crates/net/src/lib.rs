@@ -6,7 +6,8 @@
 //! parts, no async runtime, in keeping with the workspace's vendored-only
 //! discipline:
 //!
-//! * [`sys`] — the workspace's *only* unsafe module: a thin FFI wrapper
+//! * [`sys`] — one of the workspace's two unsafe surfaces (the other is
+//!   the AVX2 scoring engine in `svm::simd`): a thin FFI wrapper
 //!   over `epoll` and `eventfd` (std already links libc, so the five
 //!   calls are declared directly against the C ABI). Descriptors live in
 //!   `OwnedFd`, errors become `io::Error`, and no unsafety escapes.

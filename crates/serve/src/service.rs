@@ -272,6 +272,9 @@ impl ScoreEngine {
             }
         };
         self.metrics.lanes_unobserved(&features);
+        // Scores on the packed SIMD engine (warmed at install/swap time);
+        // backend selection — exact / simd / rff — is process-wide, see
+        // `frappe::scoring`.
         let decision_value = vm.model().decision_value(&features);
         if let (Some(ctx), Some(span)) = (trace, eval_span) {
             ctx.handle.end_span(span);
@@ -517,6 +520,9 @@ impl FrappeService {
     ) -> Self {
         assert!(config.queue_capacity > 0, "need a non-empty queue");
         assert!(config.batch_size > 0, "batches hold at least one request");
+        // Pack the scoring representation now, not on the first verdict:
+        // the hot path (`score_inner`) should only ever see a warmed model.
+        model.current().model().warm();
         let engine = Arc::new(ScoreEngine {
             model,
             store: FeatureStore::new(config.shards),
@@ -673,6 +679,9 @@ impl FrappeService {
     /// satisfy a post-swap lookup. Also republishes the model-version
     /// gauge and bumps the swap counter.
     pub fn swap_model(&self, model: Arc<FrappeModel>, version: u64) -> Arc<VersionedModel> {
+        // Pack before the pointer flip: the first post-swap verdict must
+        // not pay the flatten while a burst is in flight.
+        model.warm();
         let old = self.engine.model.swap(model, version);
         self.engine.metrics.model_swapped(version);
         old

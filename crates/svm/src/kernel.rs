@@ -7,6 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::simd;
+
 /// A kernel function `K(x, y)` over dense feature vectors.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Kernel {
@@ -64,35 +66,29 @@ impl Kernel {
         }
     }
 
-    /// Evaluates `K(x, y)`.
+    /// Evaluates `K(x, y)` on the active SIMD engine ([`simd::active`]):
+    /// one dispatched code path shared with the packed scorer and the SMO
+    /// solver's kernel rows.
     ///
     /// # Panics
-    /// Panics in debug builds if `x` and `y` have different lengths.
+    /// Panics (release builds included) if `x` and `y` have different
+    /// lengths — the vectorized primitives read through raw pointers, so
+    /// the old debug-only zip-and-truncate behaviour is gone.
     pub fn compute(&self, x: &[f64], y: &[f64]) -> f64 {
-        debug_assert_eq!(x.len(), y.len(), "feature dimension mismatch");
+        let d = simd::active();
         match *self {
-            Kernel::Linear => dot(x, y),
+            Kernel::Linear => simd::dot_with(d, x, y),
             Kernel::Polynomial {
                 degree,
                 gamma,
                 coef0,
-            } => (gamma * dot(x, y) + coef0).powi(degree as i32),
+            } => (gamma * simd::dot_with(d, x, y) + coef0).powi(degree as i32),
             Kernel::Rbf { gamma } => {
-                let mut dist2 = 0.0;
-                for (a, b) in x.iter().zip(y) {
-                    let d = a - b;
-                    dist2 += d * d;
-                }
-                (-gamma * dist2).exp()
+                simd::exp_with(d.mode, simd::squared_distance_with(d, x, y) * -gamma)
             }
-            Kernel::Sigmoid { gamma, coef0 } => (gamma * dot(x, y) + coef0).tanh(),
+            Kernel::Sigmoid { gamma, coef0 } => (gamma * simd::dot_with(d, x, y) + coef0).tanh(),
         }
     }
-}
-
-#[inline]
-fn dot(x: &[f64], y: &[f64]) -> f64 {
-    x.iter().zip(y).map(|(a, b)| a * b).sum()
 }
 
 #[cfg(test)]

@@ -13,6 +13,14 @@
 //!   row cache, and libsvm's two-variable analytic subproblem update.
 //! * [`model`] — the trained model: support vectors, dual coefficients and
 //!   the bias term, with decision values and sign prediction.
+//! * [`simd`] — runtime-dispatched scoring primitives: AVX2 intrinsics
+//!   with a bit-identical unrolled-scalar fallback, plus a deterministic
+//!   vectorizable exponential.
+//! * [`packed`] — the model flattened into contiguous lane-transposed
+//!   arrays; all scoring runs here, including a fused single-dot-product
+//!   path for linear kernels.
+//! * [`rff`] — a seeded, checkpointable random-Fourier approximation of
+//!   the RBF decision function: O(D·d) per verdict instead of O(n_sv·d).
 //! * [`scale`] — per-feature min–max scaling to `[-1, 1]` (what `svm-scale`
 //!   does; essential for RBF kernels over mixed-unit features).
 //! * [`dataset`] — labelled datasets, class-ratio subsampling (the paper's
@@ -42,7 +50,10 @@
 //! assert_eq!(model.predict(&[0.95, 0.9]), 1.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide and allowed back in exactly one place:
+// the `simd` module's AVX2 intrinsics, each behind runtime ISA detection
+// with a bit-identical safe scalar fallback.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod crossval;
@@ -51,7 +62,10 @@ pub mod grid;
 pub mod kernel;
 pub mod metrics;
 pub mod model;
+pub mod packed;
+pub mod rff;
 pub mod scale;
+pub mod simd;
 pub mod smo;
 
 pub use crossval::{cross_validate, cross_validate_on, CrossValReport};
@@ -60,5 +74,8 @@ pub use grid::{grid_search, grid_search_on, GridPoint, GridSearchResult};
 pub use kernel::Kernel;
 pub use metrics::ConfusionMatrix;
 pub use model::SvmModel;
+pub use packed::PackedModel;
+pub use rff::{RffError, RffModel};
 pub use scale::Scaler;
+pub use simd::{Dispatch, Engine, MathMode};
 pub use smo::{train, CacheStats, SvmParams};

@@ -3,6 +3,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::kernel::Kernel;
+use crate::packed::{PackedCache, PackedModel};
+use crate::simd::Dispatch;
 
 /// A trained C-SVC model.
 ///
@@ -21,13 +23,15 @@ pub struct SvmModel {
     support_vectors: Vec<Vec<f64>>,
     dual_coefs: Vec<f64>,
     rho: f64,
+    packed: PackedCache,
 }
 
 impl SvmModel {
     /// Assembles a model from solver output.
     ///
     /// # Panics
-    /// Panics if `support_vectors` and `dual_coefs` lengths differ.
+    /// Panics if `support_vectors` and `dual_coefs` lengths differ, or if
+    /// the support vectors do not all share one dimension.
     pub fn new(
         kernel: Kernel,
         support_vectors: Vec<Vec<f64>>,
@@ -39,12 +43,39 @@ impl SvmModel {
             dual_coefs.len(),
             "one dual coefficient per support vector"
         );
+        let dim = support_vectors.first().map_or(0, Vec::len);
+        assert!(
+            support_vectors.iter().all(|sv| sv.len() == dim),
+            "support vectors must share one dimension"
+        );
         SvmModel {
             kernel,
             support_vectors,
             dual_coefs,
             rho,
+            packed: PackedCache::default(),
         }
+    }
+
+    /// The SIMD-packed form of this model, flattening on first use.
+    ///
+    /// All scoring goes through this representation; the row-major
+    /// `Vec<Vec<f64>>` form is kept as the canonical serialized shape.
+    pub fn packed(&self) -> &PackedModel {
+        self.packed.get_or_pack(|| {
+            PackedModel::pack(
+                self.kernel,
+                &self.support_vectors,
+                &self.dual_coefs,
+                self.rho,
+            )
+        })
+    }
+
+    /// Builds the packed representation eagerly, so the first real verdict
+    /// doesn't pay the flatten (the serve path calls this on install).
+    pub fn warm(&self) {
+        let _ = self.packed();
     }
 
     /// The kernel the model was trained with.
@@ -82,27 +113,32 @@ impl SvmModel {
     /// This is what makes verdicts explainable: each `wⱼ·xⱼ` term is one
     /// feature's contribution to the decision value. Non-linear kernels
     /// have no finite-dimensional `w`, so they return `None`.
+    ///
+    /// The weights come straight from the packed engine's fused-linear
+    /// fold, so `explain` reads the very same bytes a verdict multiplies.
     pub fn linear_weights(&self) -> Option<Vec<f64>> {
-        if self.kernel != Kernel::Linear {
-            return None;
-        }
-        let dim = self.support_vectors.first().map_or(0, Vec::len);
-        let mut w = vec![0.0; dim];
-        for (sv, &coef) in self.support_vectors.iter().zip(&self.dual_coefs) {
-            for (wj, &xj) in w.iter_mut().zip(sv) {
-                *wj += coef * xj;
-            }
-        }
-        Some(w)
+        self.packed().fused_weights().map(<[f64]>::to_vec)
     }
 
     /// Raw decision value `f(x)`; positive means class `+1`.
+    ///
+    /// Evaluated by the packed SIMD engine on the [`crate::simd::active`]
+    /// dispatch: a single fused dot product for linear kernels, blocked
+    /// lane-parallel kernel sums otherwise.
+    ///
+    /// # Panics
+    /// Panics (release builds included) if `x.len()` differs from the
+    /// model's feature dimension — a short query used to zip-truncate
+    /// silently in release builds.
     pub fn decision_value(&self, x: &[f64]) -> f64 {
-        let mut sum = 0.0;
-        for (sv, &coef) in self.support_vectors.iter().zip(&self.dual_coefs) {
-            sum += coef * self.kernel.compute(sv, x);
-        }
-        sum - self.rho
+        self.packed().decision_value(x)
+    }
+
+    /// [`Self::decision_value`] on an explicit engine dispatch; used by
+    /// tests and benches to compare engines side by side without touching
+    /// the process-wide selection.
+    pub fn decision_value_with(&self, d: Dispatch, x: &[f64]) -> f64 {
+        self.packed().decision_value_with(d, x)
     }
 
     /// Predicted label: `+1.0` if `f(x) ≥ 0`, else `-1.0`.

@@ -1,0 +1,963 @@
+//! Runtime-dispatched SIMD math primitives for batch scoring.
+//!
+//! Everything the packed scoring engine ([`crate::packed`]) and the
+//! random-Fourier approximation ([`crate::rff`]) compute bottoms out in the
+//! handful of primitives defined here: dot products, squared distances, a
+//! vectorizable exponential, and three block kernels over the lane-transposed
+//! support-vector layout. Each primitive exists in two engines:
+//!
+//! * **AVX2** (`x86_64` only, behind runtime ISA detection): explicit
+//!   `core::arch` intrinsics, four `f64` lanes per register, with
+//!   `maskload` tails so ragged dimensions need no copying.
+//! * **Scalar**: a portable unrolled fallback that mirrors the AVX2 lane
+//!   structure *exactly* — four accumulator lanes, the same per-lane
+//!   operation order, the same horizontal-reduction tree, and zero-filled
+//!   masked tail lanes. In [`MathMode::Deterministic`] both engines perform
+//!   the identical sequence of IEEE-754 operations, so their results are
+//!   **bit-identical**, not merely close.
+//!
+//! [`MathMode::Fused`] swaps the multiply-then-add pairs for fused
+//! multiply-adds (`vfmadd*` on AVX2, [`f64::mul_add`] on the scalar path —
+//! both exactly rounded, so the two engines still agree bit-for-bit with
+//! each other; only the deterministic-vs-fused results differ, by design).
+//!
+//! The libm `exp` is replaced by [`exp_with`]: a branch-free Cody–Waite
+//! range reduction plus polynomial that performs the same operation
+//! sequence in scalar and 4-wide form. This is what makes the RBF kernel
+//! vectorizable at all — with a scalar libm call per support vector the
+//! exponential dominates the per-query cost and no amount of distance
+//! vectorization reaches the throughput target.
+//!
+//! Engine selection: [`active`] consults, in order, a process-wide override
+//! installed by [`force`] (used by the `--scoring-backend` flags), the
+//! `FRAPPE_SIMD` environment variable (`0`/`off`/`scalar` forces the
+//! fallback; `fast`/`fma`/`fused` opts into fused mode), and finally
+//! auto-detection (AVX2+FMA if the CPU has it, deterministic mode).
+//! Code that must compare engines side by side — tests, benches — passes an
+//! explicit [`Dispatch`] to the `*_with` variants instead of mutating the
+//! global.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Number of `f64` lanes per SIMD register (AVX2: 256 bits / 64 bits).
+pub const LANES: usize = 4;
+
+/// Which instruction set evaluates the primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Portable unrolled scalar code mirroring the AVX2 lane structure.
+    Scalar,
+    /// AVX2 + FMA intrinsics (`x86_64` with runtime detection).
+    Avx2,
+}
+
+/// Floating-point contraction policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MathMode {
+    /// Separate multiply and add steps. Scalar and AVX2 engines produce
+    /// bit-identical results; this is the default and what checkpoints,
+    /// parity suites and the serve path rely on.
+    Deterministic,
+    /// Fused multiply-add (exactly rounded in both engines, so scalar and
+    /// AVX2 still agree bit-for-bit — but results differ from
+    /// [`MathMode::Deterministic`] by up to ~1 ULP per reduction).
+    Fused,
+}
+
+/// A fully resolved engine choice passed to the `*_with` primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatch {
+    /// Instruction set.
+    pub engine: Engine,
+    /// Contraction policy.
+    pub mode: MathMode,
+}
+
+impl Dispatch {
+    /// The portable reference configuration: scalar engine, deterministic
+    /// math. Every other configuration is validated against this one.
+    pub const fn scalar_deterministic() -> Dispatch {
+        Dispatch {
+            engine: Engine::Scalar,
+            mode: MathMode::Deterministic,
+        }
+    }
+
+    /// The fastest engine the running CPU supports, in the given mode.
+    pub fn best(mode: MathMode) -> Dispatch {
+        let engine = if avx2_available() {
+            Engine::Avx2
+        } else {
+            Engine::Scalar
+        };
+        Dispatch { engine, mode }
+    }
+
+    /// Human-readable label, used by benches and the serve banner.
+    pub fn describe(self) -> &'static str {
+        match (self.engine, self.mode) {
+            (Engine::Scalar, MathMode::Deterministic) => "scalar-4lane/deterministic",
+            (Engine::Scalar, MathMode::Fused) => "scalar-4lane/fused",
+            (Engine::Avx2, MathMode::Deterministic) => "avx2/deterministic",
+            (Engine::Avx2, MathMode::Fused) => "avx2+fma/fused",
+        }
+    }
+}
+
+/// `true` when the running CPU supports the AVX2+FMA engine.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// One-word description of the detected ISA, for bench reports.
+pub fn detected_isa() -> &'static str {
+    if avx2_available() {
+        "avx2+fma"
+    } else {
+        "scalar-only"
+    }
+}
+
+// Process-wide override: 0 = none, otherwise `encode(dispatch) + 1`.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+static ENV_DEFAULT: OnceLock<Dispatch> = OnceLock::new();
+
+fn encode(d: Dispatch) -> u8 {
+    let e = match d.engine {
+        Engine::Scalar => 0,
+        Engine::Avx2 => 1,
+    };
+    let m = match d.mode {
+        MathMode::Deterministic => 0,
+        MathMode::Fused => 1,
+    };
+    1 + e * 2 + m
+}
+
+fn decode(v: u8) -> Option<Dispatch> {
+    if v == 0 {
+        return None;
+    }
+    let v = v - 1;
+    Some(Dispatch {
+        engine: if v / 2 == 0 {
+            Engine::Scalar
+        } else {
+            Engine::Avx2
+        },
+        mode: if v.is_multiple_of(2) {
+            MathMode::Deterministic
+        } else {
+            MathMode::Fused
+        },
+    })
+}
+
+/// Installs (or with `None`, clears) a process-wide engine override.
+///
+/// Forcing [`Engine::Avx2`] on a CPU without AVX2 silently degrades to the
+/// scalar engine — callers that care (the bench harness) disclose the
+/// detected ISA alongside their numbers.
+pub fn force(d: Option<Dispatch>) {
+    let v = match d {
+        None => 0,
+        Some(mut d) => {
+            if d.engine == Engine::Avx2 && !avx2_available() {
+                d.engine = Engine::Scalar;
+            }
+            encode(d)
+        }
+    };
+    FORCED.store(v, Ordering::Relaxed);
+}
+
+/// The dispatch every non-`_with` entry point uses: the [`force`] override
+/// if set, else the `FRAPPE_SIMD`-derived default.
+pub fn active() -> Dispatch {
+    if let Some(d) = decode(FORCED.load(Ordering::Relaxed)) {
+        return d;
+    }
+    *ENV_DEFAULT.get_or_init(|| match std::env::var("FRAPPE_SIMD").ok().as_deref() {
+        Some("0") | Some("off") | Some("scalar") => Dispatch::scalar_deterministic(),
+        Some("fast") | Some("fma") | Some("fused") => Dispatch::best(MathMode::Fused),
+        _ => Dispatch::best(MathMode::Deterministic),
+    })
+}
+
+/// Packs `rows` (each of length `dim`) into the lane-transposed block
+/// layout the block primitives consume: rows are grouped four at a time,
+/// and within a block element `j` of the four rows sits contiguously, so
+/// one 256-bit load fetches feature `j` of four vectors at once. The last
+/// block is zero-padded.
+///
+/// Layout: `data[(block * dim + j) * LANES + lane] = rows[block*LANES + lane][j]`.
+///
+/// # Panics
+/// Panics if any row's length differs from `dim`.
+pub fn pack_lanes<R: AsRef<[f64]>>(rows: &[R], dim: usize) -> Vec<f64> {
+    let blocks = rows.len().div_ceil(LANES);
+    let mut data = vec![0.0; blocks * dim * LANES];
+    for (i, row) in rows.iter().enumerate() {
+        let row = row.as_ref();
+        assert_eq!(row.len(), dim, "packed row length mismatch");
+        let (block, lane) = (i / LANES, i % LANES);
+        for (j, &v) in row.iter().enumerate() {
+            data[(block * dim + j) * LANES + lane] = v;
+        }
+    }
+    data
+}
+
+/// The horizontal reduction both engines share: `(l0 + l2) + (l1 + l3)`,
+/// the exact tree the AVX2 `extractf128`/`unpackhi` sequence computes.
+#[inline]
+pub fn reduce_lanes(acc: [f64; LANES]) -> f64 {
+    (acc[0] + acc[2]) + (acc[1] + acc[3])
+}
+
+#[inline]
+fn muladd(mode: MathMode, a: f64, b: f64, acc: f64) -> f64 {
+    match mode {
+        MathMode::Deterministic => acc + a * b,
+        MathMode::Fused => a.mul_add(b, acc),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// deterministic exponential
+// ---------------------------------------------------------------------------
+
+const LOG2E: f64 = std::f64::consts::LOG2_E;
+// Cody–Waite split of ln 2: LN2_HI has zeroed low mantissa bits, so
+// `n * LN2_HI` is exact for the |n| ≤ 1075 this reduction produces.
+const LN2_HI: f64 = f64::from_bits(0x3FE6_2E42_FEE0_0000);
+const LN2_LO: f64 = f64::from_bits(0x3DEA_39EF_3579_3C76);
+// 1.5 · 2^52: adding then subtracting rounds to the nearest integer
+// (ties-to-even) in round-to-nearest mode — the same trick in both engines
+// so the quotient n is identical everywhere.
+const ROUND_MAGIC: f64 = 6755399441055744.0;
+// 2^52 + 1023: `(n + EXP2_BIAS).to_bits() << 52` builds the bit pattern of
+// 2^n for integral n in the normal range.
+const EXP2_BIAS: f64 = 4503599627370496.0 + 1023.0;
+const EXP_UNDERFLOW: f64 = -708.0;
+const EXP_OVERFLOW: f64 = 709.0;
+// Taylor coefficients 1/k!; degree 13 leaves the |r| ≤ ln2/2 remainder
+// below 10^-17 relative, well under one ULP.
+const EXP_COEFFS: [f64; 14] = [
+    1.0,
+    1.0,
+    0.5,
+    1.0 / 6.0,
+    1.0 / 24.0,
+    1.0 / 120.0,
+    1.0 / 720.0,
+    1.0 / 5040.0,
+    1.0 / 40320.0,
+    1.0 / 362880.0,
+    1.0 / 3628800.0,
+    1.0 / 39916800.0,
+    1.0 / 479001600.0,
+    1.0 / 6227020800.0,
+];
+
+/// `e^x` with an operation sequence that exists in identical scalar and
+/// 4-wide AVX2 forms, replacing libm's (scalar-only, platform-varying)
+/// `exp` in the RBF kernel. Accuracy is within a couple of ULP of libm;
+/// inputs below −708 flush to `0.0`, above 709 to `+∞`, NaN propagates.
+pub fn exp_with(mode: MathMode, x: f64) -> f64 {
+    if x < EXP_UNDERFLOW {
+        return 0.0;
+    }
+    if x > EXP_OVERFLOW {
+        return f64::INFINITY;
+    }
+    let t = x * LOG2E;
+    let n = (t + ROUND_MAGIC) - ROUND_MAGIC;
+    let r = match mode {
+        MathMode::Deterministic => (x - n * LN2_HI) - n * LN2_LO,
+        MathMode::Fused => (-n).mul_add(LN2_LO, (-n).mul_add(LN2_HI, x)),
+    };
+    // Estrin tree over the degree-13 Taylor polynomial: 4 dependent
+    // levels instead of Horner's 13. The RBF hot loop is latency-bound on
+    // exactly this chain, and the AVX2 `exp4` mirrors the tree
+    // step-for-step so both engines still produce identical bits.
+    // `c0 = c1 = 1` keeps `exp(±0) = 1` exact: every power of r is +0, so
+    // each level collapses to its leading pair and `p0 = 1 + 1·(±0) = 1`.
+    let step = |a: f64, b: f64, c: f64| muladd(mode, b, c, a);
+    let r2 = r * r;
+    let r4 = r2 * r2;
+    let r8 = r4 * r4;
+    let p0 = step(EXP_COEFFS[0], EXP_COEFFS[1], r);
+    let p1 = step(EXP_COEFFS[2], EXP_COEFFS[3], r);
+    let p2 = step(EXP_COEFFS[4], EXP_COEFFS[5], r);
+    let p3 = step(EXP_COEFFS[6], EXP_COEFFS[7], r);
+    let p4 = step(EXP_COEFFS[8], EXP_COEFFS[9], r);
+    let p5 = step(EXP_COEFFS[10], EXP_COEFFS[11], r);
+    let p6 = step(EXP_COEFFS[12], EXP_COEFFS[13], r);
+    let q0 = step(p0, p1, r2);
+    let q1 = step(p2, p3, r2);
+    let q2 = step(p4, p5, r2);
+    let s0 = step(q0, q1, r4);
+    let s1 = step(q2, p6, r4);
+    let p = step(s0, s1, r8);
+    let scale = f64::from_bits((n + EXP2_BIAS).to_bits() << 52);
+    p * scale
+}
+
+// ---------------------------------------------------------------------------
+// scalar engine — the unrolled mirror of the AVX2 lane structure
+// ---------------------------------------------------------------------------
+
+fn dot_scalar(mode: MathMode, x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len();
+    let chunks = n / LANES;
+    let mut acc = [0.0f64; LANES];
+    for c in 0..chunks {
+        let xs = &x[c * LANES..(c + 1) * LANES];
+        let ys = &y[c * LANES..(c + 1) * LANES];
+        for ((a, &xv), &yv) in acc.iter_mut().zip(xs).zip(ys) {
+            *a = muladd(mode, xv, yv, *a);
+        }
+    }
+    if !n.is_multiple_of(LANES) {
+        // Mirror the masked tail load: lanes beyond the data contribute a
+        // 0·0 product, exactly as `maskload` feeds zeros into the FMA.
+        for (l, a) in acc.iter_mut().enumerate() {
+            let i = chunks * LANES + l;
+            let (xv, yv) = if i < n { (x[i], y[i]) } else { (0.0, 0.0) };
+            *a = muladd(mode, xv, yv, *a);
+        }
+    }
+    reduce_lanes(acc)
+}
+
+fn squared_distance_scalar(mode: MathMode, x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len();
+    let chunks = n / LANES;
+    let mut acc = [0.0f64; LANES];
+    for c in 0..chunks {
+        let xs = &x[c * LANES..(c + 1) * LANES];
+        let ys = &y[c * LANES..(c + 1) * LANES];
+        for ((a, &xv), &yv) in acc.iter_mut().zip(xs).zip(ys) {
+            let d = xv - yv;
+            *a = muladd(mode, d, d, *a);
+        }
+    }
+    if !n.is_multiple_of(LANES) {
+        for (l, a) in acc.iter_mut().enumerate() {
+            let i = chunks * LANES + l;
+            let d = if i < n { x[i] - y[i] } else { 0.0 };
+            *a = muladd(mode, d, d, *a);
+        }
+    }
+    reduce_lanes(acc)
+}
+
+fn rbf_sum_scalar(
+    mode: MathMode,
+    packed: &[f64],
+    dim: usize,
+    coefs: &[f64],
+    gamma: f64,
+    x: &[f64],
+) -> f64 {
+    let blocks = coefs.len() / LANES;
+    // Two interleaved accumulator streams: even blocks land in `sum0`,
+    // odd blocks in `sum1`, merged lane-wise at the end. The per-block
+    // work (squared distance, exp) is a long dependency chain, and the
+    // split keeps two of them in flight — the AVX2 engine carries the
+    // identical structure so the bits still match.
+    let mut sum0 = [0.0f64; LANES];
+    let mut sum1 = [0.0f64; LANES];
+    for b in 0..blocks {
+        let base = b * dim * LANES;
+        let mut d2 = [0.0f64; LANES];
+        for (j, &xj) in x.iter().enumerate() {
+            let svs = &packed[base + j * LANES..base + (j + 1) * LANES];
+            for (a, &s) in d2.iter_mut().zip(svs) {
+                let d = xj - s;
+                *a = muladd(mode, d, d, *a);
+            }
+        }
+        let cs = &coefs[b * LANES..(b + 1) * LANES];
+        let sum = if b.is_multiple_of(2) {
+            &mut sum0
+        } else {
+            &mut sum1
+        };
+        for ((acc, &d2l), &c) in sum.iter_mut().zip(&d2).zip(cs) {
+            let e = exp_with(mode, d2l * -gamma);
+            *acc = muladd(mode, c, e, *acc);
+        }
+    }
+    for (a, &b) in sum0.iter_mut().zip(&sum1) {
+        *a += b;
+    }
+    reduce_lanes(sum0)
+}
+
+fn dots_into_scalar(mode: MathMode, packed: &[f64], dim: usize, x: &[f64], out: &mut [f64]) {
+    let blocks = out.len() / LANES;
+    for b in 0..blocks {
+        let base = b * dim * LANES;
+        let mut acc = [0.0f64; LANES];
+        for (j, &xj) in x.iter().enumerate() {
+            let svs = &packed[base + j * LANES..base + (j + 1) * LANES];
+            for (a, &s) in acc.iter_mut().zip(svs) {
+                *a = muladd(mode, xj, s, *a);
+            }
+        }
+        out[b * LANES..(b + 1) * LANES].copy_from_slice(&acc);
+    }
+}
+
+fn rff_sum_scalar(
+    mode: MathMode,
+    packed: &[f64],
+    dim: usize,
+    phases: &[f64],
+    weights: &[f64],
+    x: &[f64],
+) -> f64 {
+    let blocks = weights.len() / LANES;
+    let mut sum = [0.0f64; LANES];
+    for b in 0..blocks {
+        let base = b * dim * LANES;
+        let mut acc = [0.0f64; LANES];
+        for (j, &xj) in x.iter().enumerate() {
+            let svs = &packed[base + j * LANES..base + (j + 1) * LANES];
+            for (a, &s) in acc.iter_mut().zip(svs) {
+                *a = muladd(mode, xj, s, *a);
+            }
+        }
+        let ph = &phases[b * LANES..(b + 1) * LANES];
+        let ws = &weights[b * LANES..(b + 1) * LANES];
+        for (l, (acc_l, &w)) in sum.iter_mut().zip(ws).enumerate() {
+            let c = (acc[l] + ph[l]).cos();
+            *acc_l = muladd(mode, w, c, *acc_l);
+        }
+    }
+    reduce_lanes(sum)
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 engine
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{
+        MathMode, EXP2_BIAS, EXP_COEFFS, EXP_OVERFLOW, EXP_UNDERFLOW, LANES, LN2_HI, LN2_LO, LOG2E,
+        ROUND_MAGIC,
+    };
+    use core::arch::x86_64::*;
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn step_mul(mode: MathMode, acc: __m256d, a: __m256d, b: __m256d) -> __m256d {
+        match mode {
+            MathMode::Deterministic => _mm256_add_pd(acc, _mm256_mul_pd(a, b)),
+            MathMode::Fused => _mm256_fmadd_pd(a, b, acc),
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn hsum(v: __m256d) -> f64 {
+        let lo = _mm256_castpd256_pd128(v);
+        let hi = _mm256_extractf128_pd::<1>(v);
+        let s = _mm_add_pd(lo, hi); // [l0+l2, l1+l3]
+        let odd = _mm_unpackhi_pd(s, s); // [l1+l3, l1+l3]
+        _mm_cvtsd_f64(_mm_add_sd(s, odd)) // (l0+l2) + (l1+l3)
+    }
+
+    // Mask with the first `rem` (1..=3) lanes active, for `maskload` tails.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn tail_mask(rem: usize) -> __m256i {
+        let lane = |l: usize| if l < rem { -1i64 } else { 0 };
+        _mm256_setr_epi64x(lane(0), lane(1), lane(2), lane(3))
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub fn dot(mode: MathMode, x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len();
+        let chunks = n / LANES;
+        let rem = n % LANES;
+        let mut acc = _mm256_setzero_pd();
+        for c in 0..chunks {
+            // SAFETY: `c * LANES + LANES <= n` holds for every chunk.
+            let (a, b) = unsafe {
+                (
+                    _mm256_loadu_pd(x.as_ptr().add(c * LANES)),
+                    _mm256_loadu_pd(y.as_ptr().add(c * LANES)),
+                )
+            };
+            acc = step_mul(mode, acc, a, b);
+        }
+        if rem != 0 {
+            let m = tail_mask(rem);
+            // SAFETY: the mask only touches the `rem` in-bounds lanes.
+            let (a, b) = unsafe {
+                (
+                    _mm256_maskload_pd(x.as_ptr().add(chunks * LANES), m),
+                    _mm256_maskload_pd(y.as_ptr().add(chunks * LANES), m),
+                )
+            };
+            acc = step_mul(mode, acc, a, b);
+        }
+        hsum(acc)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub fn squared_distance(mode: MathMode, x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len();
+        let chunks = n / LANES;
+        let rem = n % LANES;
+        let mut acc = _mm256_setzero_pd();
+        for c in 0..chunks {
+            // SAFETY: `c * LANES + LANES <= n` holds for every chunk.
+            let (a, b) = unsafe {
+                (
+                    _mm256_loadu_pd(x.as_ptr().add(c * LANES)),
+                    _mm256_loadu_pd(y.as_ptr().add(c * LANES)),
+                )
+            };
+            let d = _mm256_sub_pd(a, b);
+            acc = step_mul(mode, acc, d, d);
+        }
+        if rem != 0 {
+            let m = tail_mask(rem);
+            // SAFETY: the mask only touches the `rem` in-bounds lanes.
+            let (a, b) = unsafe {
+                (
+                    _mm256_maskload_pd(x.as_ptr().add(chunks * LANES), m),
+                    _mm256_maskload_pd(y.as_ptr().add(chunks * LANES), m),
+                )
+            };
+            let d = _mm256_sub_pd(a, b);
+            acc = step_mul(mode, acc, d, d);
+        }
+        hsum(acc)
+    }
+
+    /// 4-wide mirror of [`super::exp_with`] — same constants, same
+    /// operation order, lane-parallel.
+    #[target_feature(enable = "avx2,fma")]
+    pub fn exp4(mode: MathMode, x: __m256d) -> __m256d {
+        let under = _mm256_cmp_pd::<_CMP_LT_OQ>(x, _mm256_set1_pd(EXP_UNDERFLOW));
+        let over = _mm256_cmp_pd::<_CMP_GT_OQ>(x, _mm256_set1_pd(EXP_OVERFLOW));
+        let magic = _mm256_set1_pd(ROUND_MAGIC);
+        let t = _mm256_mul_pd(x, _mm256_set1_pd(LOG2E));
+        let n = _mm256_sub_pd(_mm256_add_pd(t, magic), magic);
+        let r = match mode {
+            MathMode::Deterministic => _mm256_sub_pd(
+                _mm256_sub_pd(x, _mm256_mul_pd(n, _mm256_set1_pd(LN2_HI))),
+                _mm256_mul_pd(n, _mm256_set1_pd(LN2_LO)),
+            ),
+            MathMode::Fused => _mm256_fnmadd_pd(
+                n,
+                _mm256_set1_pd(LN2_LO),
+                _mm256_fnmadd_pd(n, _mm256_set1_pd(LN2_HI), x),
+            ),
+        };
+        // Same Estrin tree as the scalar `exp_with`, lane-parallel.
+        let c = |k: usize| _mm256_set1_pd(EXP_COEFFS[k]);
+        let r2 = _mm256_mul_pd(r, r);
+        let r4 = _mm256_mul_pd(r2, r2);
+        let r8 = _mm256_mul_pd(r4, r4);
+        let p0 = step_mul(mode, c(0), c(1), r);
+        let p1 = step_mul(mode, c(2), c(3), r);
+        let p2 = step_mul(mode, c(4), c(5), r);
+        let p3 = step_mul(mode, c(6), c(7), r);
+        let p4 = step_mul(mode, c(8), c(9), r);
+        let p5 = step_mul(mode, c(10), c(11), r);
+        let p6 = step_mul(mode, c(12), c(13), r);
+        let q0 = step_mul(mode, p0, p1, r2);
+        let q1 = step_mul(mode, p2, p3, r2);
+        let q2 = step_mul(mode, p4, p5, r2);
+        let s0 = step_mul(mode, q0, q1, r4);
+        let s1 = step_mul(mode, q2, p6, r4);
+        let p = step_mul(mode, s0, s1, r8);
+        let biased = _mm256_add_pd(n, _mm256_set1_pd(EXP2_BIAS));
+        let scale = _mm256_castsi256_pd(_mm256_slli_epi64::<52>(_mm256_castpd_si256(biased)));
+        // Out-of-range lanes computed garbage above; the blends overwrite
+        // them with the exact values the scalar early-returns produce.
+        let out = _mm256_mul_pd(p, scale);
+        let out = _mm256_blendv_pd(out, _mm256_setzero_pd(), under);
+        _mm256_blendv_pd(out, _mm256_set1_pd(f64::INFINITY), over)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub fn rbf_sum(
+        mode: MathMode,
+        packed: &[f64],
+        dim: usize,
+        coefs: &[f64],
+        gamma: f64,
+        x: &[f64],
+    ) -> f64 {
+        let blocks = coefs.len() / LANES;
+        let neg_gamma = _mm256_set1_pd(-gamma);
+        // Mirror of the scalar engine's two interleaved accumulator
+        // streams (even blocks → sum0, odd → sum1, lane-wise merge).
+        // Blocks are processed four at a time so four distance chains
+        // and four inlined `exp4` polynomial trees run interleaved —
+        // per-block dataflow (and therefore every bit) is unchanged
+        // (sum0 still takes even blocks in increasing order, sum1 odd);
+        // only the instruction schedule gains parallelism.
+        let mut sum0 = _mm256_setzero_pd();
+        let mut sum1 = _mm256_setzero_pd();
+        let mut b = 0usize;
+        while b + 3 < blocks {
+            let stride = dim * LANES;
+            let base = b * stride;
+            let mut d2 = [_mm256_setzero_pd(); 4];
+            for j in 0..dim {
+                // SAFETY: callers assert `packed.len() == blocks*dim*LANES`
+                // and `x.len() == dim`.
+                let xj = unsafe { _mm256_set1_pd(*x.get_unchecked(j)) };
+                for (u, acc) in d2.iter_mut().enumerate() {
+                    // SAFETY: as above; block `b + u` is in range.
+                    let s = unsafe {
+                        _mm256_loadu_pd(packed.as_ptr().add(base + u * stride + j * LANES))
+                    };
+                    let d = _mm256_sub_pd(xj, s);
+                    *acc = step_mul(mode, *acc, d, d);
+                }
+            }
+            let e0 = exp4(mode, _mm256_mul_pd(d2[0], neg_gamma));
+            let e1 = exp4(mode, _mm256_mul_pd(d2[1], neg_gamma));
+            let e2 = exp4(mode, _mm256_mul_pd(d2[2], neg_gamma));
+            let e3 = exp4(mode, _mm256_mul_pd(d2[3], neg_gamma));
+            // SAFETY: `coefs.len() == blocks * LANES`.
+            let c = |u: usize| unsafe { _mm256_loadu_pd(coefs.as_ptr().add((b + u) * LANES)) };
+            sum0 = step_mul(mode, sum0, c(0), e0);
+            sum1 = step_mul(mode, sum1, c(1), e1);
+            sum0 = step_mul(mode, sum0, c(2), e2);
+            sum1 = step_mul(mode, sum1, c(3), e3);
+            b += 4;
+        }
+        while b < blocks {
+            let base = b * dim * LANES;
+            let mut d2 = _mm256_setzero_pd();
+            for j in 0..dim {
+                // SAFETY: as above.
+                let (xj, s) = unsafe {
+                    (
+                        _mm256_set1_pd(*x.get_unchecked(j)),
+                        _mm256_loadu_pd(packed.as_ptr().add(base + j * LANES)),
+                    )
+                };
+                let d = _mm256_sub_pd(xj, s);
+                d2 = step_mul(mode, d2, d, d);
+            }
+            let e = exp4(mode, _mm256_mul_pd(d2, neg_gamma));
+            // SAFETY: `coefs.len() == blocks * LANES`.
+            let cv = unsafe { _mm256_loadu_pd(coefs.as_ptr().add(b * LANES)) };
+            if b.is_multiple_of(2) {
+                sum0 = step_mul(mode, sum0, cv, e);
+            } else {
+                sum1 = step_mul(mode, sum1, cv, e);
+            }
+            b += 1;
+        }
+        hsum(_mm256_add_pd(sum0, sum1))
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub fn dots_into(mode: MathMode, packed: &[f64], dim: usize, x: &[f64], out: &mut [f64]) {
+        let blocks = out.len() / LANES;
+        for b in 0..blocks {
+            let base = b * dim * LANES;
+            let mut acc = _mm256_setzero_pd();
+            for j in 0..dim {
+                // SAFETY: callers assert the packed/x dimensions.
+                let (xj, s) = unsafe {
+                    (
+                        _mm256_set1_pd(*x.get_unchecked(j)),
+                        _mm256_loadu_pd(packed.as_ptr().add(base + j * LANES)),
+                    )
+                };
+                acc = step_mul(mode, acc, xj, s);
+            }
+            // SAFETY: `out.len() == blocks * LANES`.
+            unsafe { _mm256_storeu_pd(out.as_mut_ptr().add(b * LANES), acc) };
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub fn rff_sum(
+        mode: MathMode,
+        packed: &[f64],
+        dim: usize,
+        phases: &[f64],
+        weights: &[f64],
+        x: &[f64],
+    ) -> f64 {
+        let blocks = weights.len() / LANES;
+        let mut sum = _mm256_setzero_pd();
+        for b in 0..blocks {
+            let base = b * dim * LANES;
+            let mut acc = _mm256_setzero_pd();
+            for j in 0..dim {
+                // SAFETY: callers assert the packed/x dimensions.
+                let (xj, s) = unsafe {
+                    (
+                        _mm256_set1_pd(*x.get_unchecked(j)),
+                        _mm256_loadu_pd(packed.as_ptr().add(base + j * LANES)),
+                    )
+                };
+                acc = step_mul(mode, acc, xj, s);
+            }
+            // SAFETY: `phases.len() == weights.len() == blocks * LANES`.
+            let z = unsafe { _mm256_add_pd(acc, _mm256_loadu_pd(phases.as_ptr().add(b * LANES))) };
+            // cos has no vector form here; evaluate the same libm call per
+            // lane that the scalar engine makes, on bit-identical inputs.
+            let mut zs = [0.0f64; LANES];
+            // SAFETY: `zs` is a LANES-sized stack array.
+            unsafe { _mm256_storeu_pd(zs.as_mut_ptr(), z) };
+            for v in &mut zs {
+                *v = v.cos();
+            }
+            // SAFETY: reload of the stack array.
+            let (c, w) = unsafe {
+                (
+                    _mm256_loadu_pd(zs.as_ptr()),
+                    _mm256_loadu_pd(weights.as_ptr().add(b * LANES)),
+                )
+            };
+            sum = step_mul(mode, sum, w, c);
+        }
+        hsum(sum)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dispatched entry points
+// ---------------------------------------------------------------------------
+
+/// Dot product `xᵀy` with the given dispatch.
+///
+/// # Panics
+/// Panics if the slice lengths differ (release builds included — the AVX2
+/// path reads through raw pointers, so this is a safety boundary).
+pub fn dot_with(d: Dispatch, x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    match d.engine {
+        Engine::Scalar => dot_scalar(d.mode, x, y),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Engine::Avx2 is only constructed after runtime detection
+        // (`force` sanitizes, `Dispatch::best` checks).
+        Engine::Avx2 => unsafe { avx2::dot(d.mode, x, y) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Engine::Avx2 => dot_scalar(d.mode, x, y),
+    }
+}
+
+/// Dot product with the [`active`] dispatch.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    dot_with(active(), x, y)
+}
+
+/// Squared Euclidean distance `‖x−y‖²` with the given dispatch.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn squared_distance_with(d: Dispatch, x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "squared_distance: length mismatch");
+    match d.engine {
+        Engine::Scalar => squared_distance_scalar(d.mode, x, y),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Engine::Avx2 implies runtime detection succeeded.
+        Engine::Avx2 => unsafe { avx2::squared_distance(d.mode, x, y) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Engine::Avx2 => squared_distance_scalar(d.mode, x, y),
+    }
+}
+
+/// Squared Euclidean distance with the [`active`] dispatch.
+pub fn squared_distance(x: &[f64], y: &[f64]) -> f64 {
+    squared_distance_with(active(), x, y)
+}
+
+/// RBF block kernel over a [`pack_lanes`] matrix:
+/// `Σᵢ coefᵢ · exp(−γ‖svᵢ − x‖²)`.
+///
+/// # Panics
+/// Panics unless `coefs.len()` is a multiple of [`LANES`],
+/// `packed.len() == coefs.len() * dim` and `x.len() == dim`.
+pub fn rbf_sum_with(
+    d: Dispatch,
+    packed: &[f64],
+    dim: usize,
+    coefs: &[f64],
+    gamma: f64,
+    x: &[f64],
+) -> f64 {
+    assert_eq!(coefs.len() % LANES, 0, "rbf_sum: unpadded coefficients");
+    assert_eq!(packed.len(), coefs.len() * dim, "rbf_sum: packed size");
+    assert_eq!(x.len(), dim, "rbf_sum: query dimension");
+    match d.engine {
+        Engine::Scalar => rbf_sum_scalar(d.mode, packed, dim, coefs, gamma, x),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Engine::Avx2 implies runtime detection succeeded, and
+        // the asserts above establish the pointer bounds.
+        Engine::Avx2 => unsafe { avx2::rbf_sum(d.mode, packed, dim, coefs, gamma, x) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Engine::Avx2 => rbf_sum_scalar(d.mode, packed, dim, coefs, gamma, x),
+    }
+}
+
+/// Per-row dot products over a [`pack_lanes`] matrix, written to `out`
+/// (padded rows produce the dot of the zero vector).
+///
+/// # Panics
+/// Panics unless `out.len()` is a multiple of [`LANES`],
+/// `packed.len() == out.len() * dim` and `x.len() == dim`.
+pub fn dots_into_with(d: Dispatch, packed: &[f64], dim: usize, x: &[f64], out: &mut [f64]) {
+    assert_eq!(out.len() % LANES, 0, "dots_into: unpadded output");
+    assert_eq!(packed.len(), out.len() * dim, "dots_into: packed size");
+    assert_eq!(x.len(), dim, "dots_into: query dimension");
+    match d.engine {
+        Engine::Scalar => dots_into_scalar(d.mode, packed, dim, x, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Engine::Avx2 implies runtime detection succeeded, and
+        // the asserts above establish the pointer bounds.
+        Engine::Avx2 => unsafe { avx2::dots_into(d.mode, packed, dim, x, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Engine::Avx2 => dots_into_scalar(d.mode, packed, dim, x, out),
+    }
+}
+
+/// Random-Fourier score over a [`pack_lanes`] projection matrix:
+/// `Σᵢ weightᵢ · cos(ωᵢᵀx + phaseᵢ)`.
+///
+/// # Panics
+/// Panics unless `weights.len() == phases.len()`, a multiple of [`LANES`],
+/// with `packed.len() == weights.len() * dim` and `x.len() == dim`.
+pub fn rff_sum_with(
+    d: Dispatch,
+    packed: &[f64],
+    dim: usize,
+    phases: &[f64],
+    weights: &[f64],
+    x: &[f64],
+) -> f64 {
+    assert_eq!(weights.len(), phases.len(), "rff_sum: weights vs phases");
+    assert_eq!(weights.len() % LANES, 0, "rff_sum: unpadded features");
+    assert_eq!(packed.len(), weights.len() * dim, "rff_sum: packed size");
+    assert_eq!(x.len(), dim, "rff_sum: query dimension");
+    match d.engine {
+        Engine::Scalar => rff_sum_scalar(d.mode, packed, dim, phases, weights, x),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Engine::Avx2 implies runtime detection succeeded, and
+        // the asserts above establish the pointer bounds.
+        Engine::Avx2 => unsafe { avx2::rff_sum(d.mode, packed, dim, phases, weights, x) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Engine::Avx2 => rff_sum_scalar(d.mode, packed, dim, phases, weights, x),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DET: Dispatch = Dispatch::scalar_deterministic();
+
+    fn ramp(n: usize, salt: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37 + salt).sin() * 3.0)
+            .collect()
+    }
+
+    #[test]
+    fn scalar_dot_matches_naive_sum() {
+        let x = ramp(19, 0.1);
+        let y = ramp(19, 1.7);
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let got = dot_with(DET, &x, &y);
+        assert!((got - naive).abs() < 1e-12 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn exp_matches_libm_within_tolerance() {
+        for mode in [MathMode::Deterministic, MathMode::Fused] {
+            let mut worst: f64 = 0.0;
+            let mut x = -30.0;
+            while x < 30.0 {
+                let got = exp_with(mode, x);
+                let want = x.exp();
+                let rel = ((got - want) / want).abs();
+                worst = worst.max(rel);
+                x += 0.0371;
+            }
+            assert!(worst < 1e-13, "exp relative error {worst:e} ({mode:?})");
+        }
+    }
+
+    #[test]
+    fn exp_edge_cases() {
+        assert_eq!(exp_with(MathMode::Deterministic, 0.0), 1.0);
+        assert_eq!(exp_with(MathMode::Deterministic, -0.0), 1.0);
+        assert_eq!(exp_with(MathMode::Deterministic, -1000.0), 0.0);
+        assert_eq!(exp_with(MathMode::Deterministic, 1000.0), f64::INFINITY);
+        assert!(exp_with(MathMode::Deterministic, f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn avx2_matches_scalar_bit_for_bit_when_available() {
+        if !avx2_available() {
+            eprintln!("skipping: no AVX2 on this host");
+            return;
+        }
+        let simd = Dispatch {
+            engine: Engine::Avx2,
+            mode: MathMode::Deterministic,
+        };
+        for dim in [1, 3, 4, 7, 8, 19, 32] {
+            let x = ramp(dim, 0.3);
+            let y = ramp(dim, 2.9);
+            assert_eq!(
+                dot_with(DET, &x, &y).to_bits(),
+                dot_with(simd, &x, &y).to_bits(),
+                "dot dim {dim}"
+            );
+            assert_eq!(
+                squared_distance_with(DET, &x, &y).to_bits(),
+                squared_distance_with(simd, &x, &y).to_bits(),
+                "sqdist dim {dim}"
+            );
+        }
+    }
+
+    #[test]
+    fn pack_lanes_layout() {
+        let rows = [vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let packed = pack_lanes(&rows, 2);
+        // One block of 4 lanes × 2 features; lane 3 zero-padded.
+        assert_eq!(
+            packed,
+            vec![1.0, 3.0, 5.0, 0.0, 2.0, 4.0, 6.0, 0.0],
+            "feature-major, lane-minor"
+        );
+    }
+
+    #[test]
+    fn env_force_round_trip() {
+        force(Some(DET));
+        assert_eq!(active(), DET);
+        force(None);
+        let _ = active(); // back to env default, whatever it is
+    }
+}

@@ -70,6 +70,17 @@ cargo test -q -p svm
 FRAPPE_SIMD=0 cargo test -q -p svm
 FRAPPE_SIMD=0 cargo test -q -p frappe-serve
 
+echo "==> gauntlet suite (adversarial scenarios, both obs configs, FRAPPE_JOBS=1 and FRAPPE_JOBS=8)"
+# The adaptive adversarial engine: all five built-in scenarios must pass
+# their declared then-criteria, and a whole scenario report must be
+# byte-identical at both pool extremes — with span instrumentation
+# compiled in and out (observability stays read-only under adversarial
+# load too).
+cargo test -q -p frappe-gauntlet
+cargo test -q -p frappe-gauntlet --no-default-features
+FRAPPE_JOBS=1 cargo test -q -p frappe-gauntlet --test gauntlet
+FRAPPE_JOBS=8 cargo test -q -p frappe-gauntlet --test gauntlet
+
 echo "==> network edge suite (epoll reactor, HTTP routes, 429 shed, fenced hot swap)"
 # Real sockets on an ephemeral loopback port: byte-identical verdicts
 # vs in-process classify, the deterministic 429 + Retry-After contract,
@@ -97,6 +108,9 @@ cargo run --release -p frappe-bench --bin repro -- --small --shard-bench-out BEN
 
 echo "==> scoring bench, quick mode (scalar/SIMD/RFF kernels, BENCH_scoring.json)"
 cargo run --release -p frappe-bench --bin repro -- --small --scoring-bench-out BENCH_scoring.json
+
+echo "==> gauntlet bench, quick mode (adversarial scenarios, BENCH_gauntlet.json)"
+cargo run --release -p frappe-bench --bin repro -- --small --gauntlet-bench-out BENCH_gauntlet.json
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

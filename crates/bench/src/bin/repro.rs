@@ -14,6 +14,8 @@
 //!                             # time shard-group scaling at K in {1,2,4,8}
 //! repro --scoring-bench-out FILE
 //!                             # time scalar/SIMD/RFF kernel scoring, write JSON
+//! repro --gauntlet-bench-out FILE
+//!                             # time the adversarial gauntlet scenarios, write JSON
 //! repro --scoring-backend exact|simd|rff
 //!                             # pick the process-wide verdict engine
 //! ```
@@ -35,6 +37,7 @@ fn main() {
     let mut edge_bench_out: Option<String> = None;
     let mut shard_bench_out: Option<String> = None;
     let mut scoring_bench_out: Option<String> = None;
+    let mut gauntlet_bench_out: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args_iter = args.into_iter();
     while let Some(arg) = args_iter.next() {
@@ -72,6 +75,13 @@ fn main() {
                 Some(path) => scoring_bench_out = Some(path),
                 None => {
                     eprintln!("--scoring-bench-out expects a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--gauntlet-bench-out" => match args_iter.next() {
+                Some(path) => gauntlet_bench_out = Some(path),
+                None => {
+                    eprintln!("--gauntlet-bench-out expects a file path");
                     std::process::exit(2);
                 }
             },
@@ -130,6 +140,7 @@ fn main() {
             && edge_bench_out.is_none()
             && shard_bench_out.is_none()
             && scoring_bench_out.is_none()
+            && gauntlet_bench_out.is_none()
         {
             return;
         }
@@ -155,6 +166,7 @@ fn main() {
             && edge_bench_out.is_none()
             && shard_bench_out.is_none()
             && scoring_bench_out.is_none()
+            && gauntlet_bench_out.is_none()
         {
             return;
         }
@@ -176,7 +188,11 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        if ids.is_empty() && shard_bench_out.is_none() && scoring_bench_out.is_none() {
+        if ids.is_empty()
+            && shard_bench_out.is_none()
+            && scoring_bench_out.is_none()
+            && gauntlet_bench_out.is_none()
+        {
             return;
         }
     }
@@ -197,7 +213,7 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        if ids.is_empty() && scoring_bench_out.is_none() {
+        if ids.is_empty() && scoring_bench_out.is_none() && gauntlet_bench_out.is_none() {
             return;
         }
     }
@@ -218,6 +234,27 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        if ids.is_empty() && gauntlet_bench_out.is_none() {
+            return;
+        }
+    }
+    // The gauntlet benchmark runs the built-in adversarial scenarios end
+    // to end; same standalone-and-exit-early contract as the others.
+    if let Some(path) = &gauntlet_bench_out {
+        eprintln!(
+            "timing the adversarial gauntlet scenarios ({} mode)...",
+            if small { "quick" } else { "full" }
+        );
+        let report = frappe_bench::gauntletbench::run(small);
+        println!("{}", report.render());
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
         if ids.is_empty() {
             return;
         }
@@ -227,6 +264,7 @@ fn main() {
             "usage: repro [--small] [--profile] [--seed N] [--bench-out FILE] \
              [--lifecycle-bench-out FILE] [--edge-bench-out FILE] \
              [--shard-bench-out FILE] [--scoring-bench-out FILE] \
+             [--gauntlet-bench-out FILE] \
              [--scoring-backend exact|simd|rff] <experiment ...|all|list>"
         );
         eprintln!(

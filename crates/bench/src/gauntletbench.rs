@@ -1,0 +1,167 @@
+//! Gauntlet wall-clock benchmark: the adversarial scenario engine.
+//!
+//! Like [`crate::lifebench`], this module produces one machine-readable
+//! [`GauntletBenchReport`] that `repro --gauntlet-bench-out` serializes
+//! to `BENCH_gauntlet.json`: every built-in scenario is run end to end
+//! (bootstrap world, incumbent training, the full round loop with drift
+//! checks and any retrain/promote cycles) and timed, yielding a
+//! rounds-per-second throughput figure and the scenario's detection
+//! latency in rounds — how many rounds pass before the defender first
+//! reacts to the attack, by flagging at least half the live attacker
+//! cohort or by firing the drift alarm, whichever comes first.
+//!
+//! Honesty note: wall-clock numbers are whatever *this machine*
+//! delivers; `threads_available`, the pool mode, and every scenario's
+//! seed are recorded alongside them. The reports themselves are
+//! deterministic — quick mode runs the same scenarios as full mode and
+//! differs only in skipping the repeat passes used to steady the
+//! timings.
+
+use std::time::Instant;
+
+use frappe_gauntlet::{builtin_scenarios, run_spec_on, ScenarioReport};
+use frappe_jobs::JobPool;
+use serde::{Deserialize, Serialize};
+
+/// One scenario's timing and outcome row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioBench {
+    /// Stable scenario name (matches `builtin_scenarios`).
+    pub scenario: String,
+    /// The spec's master seed — the whole run is a pure function of it.
+    pub seed: u64,
+    /// Rounds the scenario plays.
+    pub rounds: u32,
+    /// Whether the declared then-criteria held.
+    pub passed: bool,
+    /// Wall-clock of the fastest timed run, milliseconds (bootstrap,
+    /// incumbent training, and all rounds included).
+    pub wall_ms: f64,
+    /// `rounds / wall_ms * 1000` — end-to-end round throughput.
+    pub rounds_per_sec: f64,
+    /// First round in which the defender visibly reacted: flagged at
+    /// least half the live attacker apps, or fired the drift alarm.
+    /// `None` means the attack went unanswered for the whole run.
+    pub detection_latency_rounds: Option<u32>,
+    /// Peak `max_psi` the run observed (drift pressure at a glance).
+    pub peak_psi: f64,
+}
+
+/// The full gauntlet benchmark report (`BENCH_gauntlet.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GauntletBenchReport {
+    /// `std::thread::available_parallelism()` on the measuring machine —
+    /// read this before reading any throughput figure.
+    pub threads_available: usize,
+    /// How the pool executed — `"parallel(N)"`, or `"serial"` when the
+    /// machine clamp degraded it (see [`JobPool::for_machine`]).
+    pub pool_mode: String,
+    /// Quick mode (single timed pass) or full (best of three).
+    pub quick: bool,
+    /// One row per built-in scenario.
+    pub scenarios: Vec<ScenarioBench>,
+}
+
+/// Rounds until the defender first reacts: half the live cohort flagged
+/// or the drift alarm fired, whichever round comes first.
+fn detection_latency(report: &ScenarioReport) -> Option<u32> {
+    report
+        .rounds
+        .iter()
+        .find(|r| (r.attacker_live > 0 && r.detection_rate >= 0.5) || r.drift_fired)
+        .map(|r| r.round)
+}
+
+/// Runs every built-in scenario on the machine-clamped pool and times
+/// it. `quick` takes a single timed pass per scenario; the full mode
+/// reports the best of three to steady the numbers.
+pub fn run(quick: bool) -> GauntletBenchReport {
+    let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool = JobPool::for_machine(8);
+    let passes = if quick { 1 } else { 3 };
+
+    let scenarios = builtin_scenarios()
+        .into_iter()
+        .map(|spec| {
+            let mut best_ms = f64::INFINITY;
+            let mut report = None;
+            for _ in 0..passes {
+                let t = Instant::now();
+                let r = run_spec_on(&pool, &spec);
+                best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+                report = Some(r);
+            }
+            let report = report.expect("at least one pass ran");
+            ScenarioBench {
+                scenario: spec.name.clone(),
+                seed: spec.given.seed,
+                rounds: spec.when.rounds,
+                passed: report.outcome.passed,
+                wall_ms: best_ms,
+                rounds_per_sec: f64::from(spec.when.rounds) / (best_ms / 1e3).max(1e-9),
+                detection_latency_rounds: detection_latency(&report),
+                peak_psi: report.peak_psi(),
+            }
+        })
+        .collect();
+
+    GauntletBenchReport {
+        threads_available,
+        pool_mode: pool.mode(),
+        quick,
+        scenarios,
+    }
+}
+
+impl GauntletBenchReport {
+    /// Human-readable summary (what `repro --gauntlet-bench-out` prints).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "gauntlet bench ({} mode, {} threads available, pool {})",
+            if self.quick { "quick" } else { "full" },
+            self.threads_available,
+            self.pool_mode,
+        );
+        for s in &self.scenarios {
+            out.push_str(&format!(
+                "\n{:<20} seed {:>3}: {} rounds in {:>7.1} ms ({:.2} rounds/s), \
+                 detection latency {}, peak psi {:.3}, passed: {}",
+                s.scenario,
+                s.seed,
+                s.rounds,
+                s.wall_ms,
+                s.rounds_per_sec,
+                s.detection_latency_rounds
+                    .map_or_else(|| "never".to_string(), |r| format!("{r} rounds")),
+                s.peak_psi,
+                s.passed,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_runs_and_roundtrips() {
+        let report = run(true);
+        assert_eq!(report.scenarios.len(), 5);
+        for s in &report.scenarios {
+            assert!(s.passed, "{} must pass its own criteria", s.scenario);
+            assert!(s.wall_ms > 0.0);
+            assert!(s.rounds_per_sec > 0.0);
+            assert!(
+                s.detection_latency_rounds.is_some(),
+                "{} never provoked a defender reaction",
+                s.scenario
+            );
+        }
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: GauntletBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.scenarios.len(), report.scenarios.len());
+        assert!(!report.render().is_empty());
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod edgebench;
 pub mod experiments;
+pub mod gauntletbench;
 pub mod lab;
 pub mod lifebench;
 pub mod render;
@@ -29,6 +30,7 @@ pub mod trainbench;
 
 pub use edgebench::EdgeBenchReport;
 pub use experiments::{registry, ExpResult};
+pub use gauntletbench::GauntletBenchReport;
 pub use lab::Lab;
 pub use lifebench::LifecycleBenchReport;
 pub use scoringbench::ScoringBenchReport;

@@ -1,0 +1,47 @@
+//! Run one built-in gauntlet scenario and print its canonical report.
+//!
+//! ```text
+//! cargo run -p frappe-gauntlet --release --example run_scenario -- summary_filling
+//! ```
+
+use frappe_gauntlet::{builtin_scenarios, run_spec};
+
+fn main() {
+    let want = std::env::args().nth(1).unwrap_or_default();
+    let spec = builtin_scenarios()
+        .into_iter()
+        .find(|s| s.name == want)
+        .unwrap_or_else(|| {
+            let names: Vec<String> = builtin_scenarios().into_iter().map(|s| s.name).collect();
+            eprintln!("usage: run_scenario <{}>", names.join("|"));
+            std::process::exit(2);
+        });
+    let report = run_spec(&spec);
+    for r in &report.rounds {
+        eprintln!(
+            "round {:>2}: live {:>3} flagged {:>3} det {:.3} fp {:.3} psi {:.3} drifted[{}] retrain={} shadow={} promoted={:?}",
+            r.round,
+            r.attacker_live,
+            r.attacker_flagged,
+            r.detection_rate,
+            r.fp_rate,
+            r.max_psi,
+            r.drifted_lanes.join(","),
+            r.retrained,
+            r.shadow_riding,
+            r.promoted_version,
+        );
+        for hold in &r.gate_holds {
+            eprintln!("          gate held: {hold}");
+        }
+    }
+    eprintln!(
+        "first_drift={:?} promoted_round={:?} edges={} passed={} {:?}",
+        report.first_drift_round,
+        report.promoted_round,
+        report.appnet_edges.len(),
+        report.outcome.passed,
+        report.outcome.failures
+    );
+    println!("{}", report.to_canonical_json());
+}

@@ -1,0 +1,65 @@
+//! # frappe-gauntlet — the adaptive adversarial scenario engine
+//!
+//! §7 of the paper forecasts what happens *after* FRAppE ships: hackers
+//! observe enforcement and adapt — they fill in the summary fields the
+//! classifier keys on, mimic popular benign names, promote each other
+//! through collusion rings, and churn through installer farms. The rest
+//! of this workspace builds the defended deployment (serving, drift,
+//! shadow-gated retraining); this crate builds the *attacker*, and runs
+//! the two against each other in a seeded, deterministic loop.
+//!
+//! A run executes a declarative [`ScenarioSpec`] — cucumber-style
+//! given / when / then:
+//!
+//! * **given** ([`Given`]) a defended world: bootstrap population
+//!   sizes, drift thresholds, the [`frappe_lifecycle::PromotionGate`],
+//!   and the defender's standing policy (retrain on drift? grow the
+//!   known-malicious name list from verified verdicts?);
+//! * **when** ([`When`]) an adaptive [`Attack`] plays R rounds. Each
+//!   round the [`Strategy`] sees exactly what a real attacker sees —
+//!   which of its own apps got flagged, via the public classify path —
+//!   and answers with a [`RoundPlan`] of registrations, profile edits,
+//!   post bursts, peer promotions, and abandonments, which the traffic
+//!   layer expands into serving events over the ordered
+//!   [`frappe_jobs::JobPool`] fan-out;
+//! * **then** ([`Then`]) declared criteria are judged over the
+//!   structured [`ScenarioReport`]: drift fired within R rounds, the
+//!   shadow gate held or promoted, final FP/FN within bounds, PSI
+//!   margins like "3x threshold" via the per-lane map.
+//!
+//! Determinism is the contract that makes any of this assertable: same
+//! seed → byte-identical [`ScenarioReport::to_canonical_json`] at
+//! `FRAPPE_JOBS=1` and `=8` (pinned in `tests/gauntlet.rs`). The five
+//! built-ins ([`builtin_scenarios`]) cover summary-filling escalation,
+//! name mimicry, a piggyback ring, fake-like inflation, and
+//! install/uninstall churn; `summary_filling` and `fake_like_inflation`
+//! demonstrate the full loop — attacker escalates, drift fires, the
+//! defender retrains, the shadow gate promotes, and the error rates
+//! come back within bounds.
+//!
+//! ```
+//! let report = frappe_gauntlet::run_spec(&frappe_gauntlet::install_churn());
+//! assert!(report.outcome.passed, "{:?}", report.outcome.failures);
+//! assert_eq!(report.first_drift_round, Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod report;
+pub mod scenarios;
+pub mod spec;
+pub mod strategies;
+pub mod strategy;
+pub mod traffic;
+
+pub use engine::{run_spec, run_spec_on};
+pub use report::{Outcome, RoundRecord, ScenarioReport};
+pub use scenarios::{
+    builtin_scenarios, fake_like_inflation, install_churn, name_mimicry, piggyback_ring,
+    summary_filling,
+};
+pub use spec::{Attack, Given, ScenarioSpec, Then, When};
+pub use strategies::strategy_for;
+pub use strategy::{AppAction, AppSpec, Feedback, RoundPlan, Strategy};

@@ -1,0 +1,264 @@
+//! Structured run output and the then-clause judge.
+//!
+//! A [`ScenarioReport`] is the complete, serializable record of one
+//! gauntlet run: the spec it executed, one [`RoundRecord`] per round,
+//! the cross-round landmarks (first drift round, promotion round, the
+//! AppNet promotion edges), and the [`Outcome`] of evaluating the
+//! spec's then-clause. Nothing in it depends on wall-clock time or
+//! thread count, so [`ScenarioReport::to_canonical_json`] is
+//! byte-identical for the same spec at any `FRAPPE_JOBS` setting — the
+//! determinism contract `tests/gauntlet.rs` pins.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::ScenarioSpec;
+
+/// What the defender and attacker did in one round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round number (1-based).
+    pub round: u32,
+    /// Attacker apps live during this round's sweep.
+    pub attacker_live: usize,
+    /// Of those, how many the served model flagged.
+    pub attacker_flagged: usize,
+    /// `attacker_flagged / attacker_live` (1.0 when nothing was live).
+    pub detection_rate: f64,
+    /// Benign apps scored this round (the FP denominator).
+    pub benign_scored: usize,
+    /// Benign apps wrongly flagged.
+    pub false_positives: usize,
+    /// `false_positives / benign_scored`.
+    pub fp_rate: f64,
+    /// `1 − detection_rate` over live attacker apps.
+    pub fn_rate: f64,
+    /// Worst per-lane PSI of this round's window against the serving
+    /// model's training baseline.
+    pub max_psi: f64,
+    /// Catalog keys of the lanes over threshold this round.
+    pub drifted_lanes: Vec<String>,
+    /// Whether the drift alarm fired this round.
+    pub drift_fired: bool,
+    /// Whether the defender retrained (and began shadowing) this round.
+    pub retrained: bool,
+    /// Whether a candidate shadow was riding at end of round.
+    pub shadow_riding: bool,
+    /// Why the promotion gate held this round (empty when it promoted
+    /// or no shadow was riding).
+    pub gate_holds: Vec<String>,
+    /// Version promoted this round, if the gate passed.
+    pub promoted_version: Option<u64>,
+    /// Serving events ingested this round (attacker + benign chatter).
+    pub events_ingested: usize,
+    /// Attacker names newly added to the known-malicious list this
+    /// round (the verified-flagging feedback channel).
+    pub names_flagged: usize,
+}
+
+/// The then-clause verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Outcome {
+    /// Whether every declared criterion held.
+    pub passed: bool,
+    /// One line per violated criterion (empty when passed).
+    pub failures: Vec<String>,
+}
+
+/// The complete record of one gauntlet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name (from the spec).
+    pub scenario: String,
+    /// Master seed the run used.
+    pub seed: u64,
+    /// The spec that was executed, echoed verbatim.
+    pub spec: ScenarioSpec,
+    /// One record per round, in order.
+    pub rounds: Vec<RoundRecord>,
+    /// First round the drift alarm fired, if ever.
+    pub first_drift_round: Option<u32>,
+    /// Round a candidate was promoted, if ever.
+    pub promoted_round: Option<u32>,
+    /// Every AppNet promotion edge `(promoter, target)` the attacker
+    /// created, in creation order.
+    pub appnet_edges: Vec<(u64, u64)>,
+    /// The then-clause verdict.
+    pub outcome: Outcome,
+}
+
+impl ScenarioReport {
+    /// Canonical JSON: pretty-printed with serde's stable field order.
+    /// Byte-identical for byte-identical runs — the artifact the
+    /// determinism tests compare.
+    pub fn to_canonical_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is serializable")
+    }
+
+    /// Peak `max_psi` across all rounds.
+    pub fn peak_psi(&self) -> f64 {
+        self.rounds.iter().map(|r| r.max_psi).fold(0.0, f64::max)
+    }
+
+    /// Evaluates `spec.then` against the recorded rounds, producing the
+    /// pass/fail [`Outcome`]. Called by the engine after the last
+    /// round; exposed so external tooling can re-judge a saved report.
+    pub fn judge(&self, spec: &ScenarioSpec) -> Outcome {
+        let mut failures = Vec::new();
+        let then = &spec.then;
+        if let Some(within) = then.drift_within_rounds {
+            match self.first_drift_round {
+                Some(r) if r <= within => {}
+                got => failures.push(format!(
+                    "drift must fire within {within} rounds, first fired: {got:?}"
+                )),
+            }
+        }
+        if let Some(margin) = then.min_drift_margin {
+            let need = margin * spec.given.psi_threshold;
+            let peak = self.peak_psi();
+            if peak < need {
+                failures.push(format!(
+                    "peak PSI {peak:.3} below {margin}x threshold ({need:.3})"
+                ));
+            }
+        }
+        if then.require_promotion && self.promoted_round.is_none() {
+            failures.push("no candidate was promoted".to_string());
+        }
+        if let Some(last) = self.rounds.last() {
+            if let Some(max_fp) = then.max_final_fp_rate {
+                if last.fp_rate > max_fp {
+                    failures.push(format!(
+                        "final FP rate {:.4} over bound {max_fp}",
+                        last.fp_rate
+                    ));
+                }
+            }
+            if let Some(min_det) = then.min_final_detection {
+                if last.detection_rate < min_det {
+                    failures.push(format!(
+                        "final detection {:.4} under bound {min_det}",
+                        last.detection_rate
+                    ));
+                }
+            }
+            if let Some(max_fn) = then.max_final_fn_rate {
+                if last.fn_rate > max_fn {
+                    failures.push(format!(
+                        "final FN rate {:.4} over bound {max_fn}",
+                        last.fn_rate
+                    ));
+                }
+            }
+        } else {
+            failures.push("no rounds were recorded".to_string());
+        }
+        Outcome {
+            passed: failures.is_empty(),
+            failures,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Attack, Given, ScenarioSpec, Then, When};
+
+    fn round(round: u32, detection: f64, fp: f64, psi: f64, drifted: bool) -> RoundRecord {
+        RoundRecord {
+            round,
+            attacker_live: 20,
+            attacker_flagged: (detection * 20.0) as usize,
+            detection_rate: detection,
+            benign_scored: 100,
+            false_positives: (fp * 100.0) as usize,
+            fp_rate: fp,
+            fn_rate: 1.0 - detection,
+            max_psi: psi,
+            drifted_lanes: if drifted {
+                vec!["description".into()]
+            } else {
+                Vec::new()
+            },
+            drift_fired: drifted,
+            retrained: false,
+            shadow_riding: false,
+            gate_holds: Vec::new(),
+            promoted_version: None,
+            events_ingested: 0,
+            names_flagged: 0,
+        }
+    }
+
+    fn report(spec: &ScenarioSpec) -> ScenarioReport {
+        ScenarioReport {
+            scenario: spec.name.clone(),
+            seed: spec.given.seed,
+            spec: spec.clone(),
+            rounds: vec![
+                round(1, 0.9, 0.01, 0.05, false),
+                round(2, 0.4, 0.01, 0.75, true),
+                round(3, 0.85, 0.02, 0.10, false),
+            ],
+            first_drift_round: Some(2),
+            promoted_round: Some(3),
+            appnet_edges: Vec::new(),
+            outcome: Outcome {
+                passed: true,
+                failures: Vec::new(),
+            },
+        }
+    }
+
+    fn spec(then: Then) -> ScenarioSpec {
+        ScenarioSpec {
+            name: "judge-test".into(),
+            given: Given::baseline(1),
+            when: When {
+                rounds: 3,
+                attack: Attack::InstallChurn { wave: 4 },
+            },
+            then,
+        }
+    }
+
+    #[test]
+    fn judge_passes_when_all_criteria_hold() {
+        let spec = spec(Then {
+            drift_within_rounds: Some(2),
+            min_drift_margin: Some(3.0),
+            require_promotion: true,
+            max_final_fp_rate: Some(0.05),
+            min_final_detection: Some(0.8),
+            max_final_fn_rate: Some(0.2),
+        });
+        let outcome = report(&spec).judge(&spec);
+        assert!(outcome.passed, "failures: {:?}", outcome.failures);
+    }
+
+    #[test]
+    fn judge_reports_each_violated_criterion() {
+        let spec = spec(Then {
+            drift_within_rounds: Some(1),
+            min_drift_margin: Some(5.0),
+            require_promotion: true,
+            max_final_fp_rate: Some(0.001),
+            min_final_detection: Some(0.99),
+            max_final_fn_rate: Some(0.001),
+        });
+        let mut rep = report(&spec);
+        rep.promoted_round = None;
+        let outcome = rep.judge(&spec);
+        assert!(!outcome.passed);
+        assert_eq!(outcome.failures.len(), 6, "{:?}", outcome.failures);
+    }
+
+    #[test]
+    fn canonical_json_round_trips() {
+        let spec = spec(Then::none());
+        let rep = report(&spec);
+        let back: ScenarioReport = serde_json::from_str(&rep.to_canonical_json()).unwrap();
+        assert_eq!(rep, back);
+    }
+}

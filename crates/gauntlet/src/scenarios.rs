@@ -1,0 +1,194 @@
+//! The five built-in scenarios.
+//!
+//! Each constructor returns a tuned [`ScenarioSpec`] that passes
+//! deterministically (pinned by `tests/gauntlet.rs`), and each claims
+//! only what its attack actually demonstrates — a frozen-defender
+//! scenario asserts pure detection bounds, the escalation scenarios
+//! assert the full drift → retrain → promote loop.
+
+use synth_workload::EvasionKnobs;
+
+use crate::spec::{Attack, Given, ScenarioSpec, Then, When};
+
+/// §7 summary-filling escalation — the full-loop scenario. The cohort
+/// starts at paper-rate empty summaries; every flagged round it raises
+/// its fill rates toward the [`EvasionKnobs`] ceilings, blinding the
+/// incumbent. The then-clause demands the whole defense: drift fires,
+/// a retrained candidate is promoted through the shadow gate, and
+/// final-round FP/FN land back within bounds.
+pub fn summary_filling() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "summary_filling".to_string(),
+        given: Given::baseline(42),
+        when: When {
+            rounds: 8,
+            attack: Attack::SummaryFilling {
+                cohort: 48,
+                wave: 16,
+                step: 0.5,
+                knobs: EvasionKnobs::paper_forecast(),
+            },
+        },
+        then: Then {
+            drift_within_rounds: Some(6),
+            require_promotion: true,
+            max_final_fp_rate: Some(0.05),
+            max_final_fn_rate: Some(0.35),
+            ..Then::none()
+        },
+    }
+}
+
+/// §4.2.1 name-mimicry escalation against a frozen defender. Mimics
+/// close the edit distance to popular benign names down to exact
+/// copies; verified flagging then puts those very names on the
+/// known-malicious list. The claim: detection stays high on the scam
+/// profiles *and* the name-collision feedback does not burn the benign
+/// originals past the FP bound.
+pub fn name_mimicry() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "name_mimicry".to_string(),
+        given: Given {
+            retrain_on_drift: false,
+            ..Given::baseline(43)
+        },
+        when: When {
+            rounds: 6,
+            attack: Attack::NameMimicry {
+                cohort: 30,
+                start_distance: EvasionKnobs::paper_forecast().mimicry_max_edit_distance,
+            },
+        },
+        then: Then {
+            min_final_detection: Some(0.8),
+            max_final_fp_rate: Some(0.05),
+            ..Then::none()
+        },
+    }
+}
+
+/// Figs. 13–16 piggyback/collusion ring. Clean-looking fronts promote
+/// scam promotees over canvas links (the AppNet edges in the report)
+/// and the ring rotates out whatever gets flagged. The claim: the scam
+/// half of the ring keeps getting caught despite the rotation, without
+/// collateral FPs.
+pub fn piggyback_ring() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "piggyback_ring".to_string(),
+        given: Given {
+            retrain_on_drift: false,
+            ..Given::baseline(44)
+        },
+        when: When {
+            rounds: 6,
+            attack: Attack::PiggybackRing {
+                promoters: 8,
+                promotees: 24,
+                fanout: 3,
+            },
+        },
+        then: Then {
+            min_final_detection: Some(0.55),
+            max_final_fp_rate: Some(0.05),
+            ..Then::none()
+        },
+    }
+}
+
+/// Fake-like inflation: scam apps bury their links in engagement-bait
+/// filler until their external-link ratio looks benign. The ratio lane
+/// the incumbent's baseline expects scam mass in empties out, drift
+/// fires, and a retrained candidate must be promoted with detection
+/// held high.
+pub fn fake_like_inflation() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "fake_like_inflation".to_string(),
+        given: Given::baseline(45),
+        when: When {
+            rounds: 8,
+            attack: Attack::FakeLikeInflation {
+                cohort: 36,
+                scam_posts: 2,
+                filler_step: 6,
+                max_filler: 18,
+            },
+        },
+        then: Then {
+            drift_within_rounds: Some(6),
+            require_promotion: true,
+            min_final_detection: Some(0.7),
+            max_final_fp_rate: Some(0.05),
+            ..Then::none()
+        },
+    }
+}
+
+/// Install/uninstall churn with installer farms. Every wave is deleted
+/// before a crawl can observe it, so the on-demand lanes of the whole
+/// attack population read *missing* — exactly what the PSI missing
+/// bins exist for. The claim: drift fires immediately and hard (the
+/// ">3x threshold" margin assertion rides on the per-lane PSI map),
+/// with no benign collateral.
+pub fn install_churn() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "install_churn".to_string(),
+        given: Given {
+            retrain_on_drift: false,
+            ..Given::baseline(46)
+        },
+        when: When {
+            rounds: 5,
+            attack: Attack::InstallChurn { wave: 40 },
+        },
+        then: Then {
+            drift_within_rounds: Some(2),
+            min_drift_margin: Some(3.0),
+            max_final_fp_rate: Some(0.05),
+            ..Then::none()
+        },
+    }
+}
+
+/// All built-in scenarios, in a stable order.
+pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
+    vec![
+        summary_filling(),
+        name_mimicry(),
+        piggyback_ring(),
+        fake_like_inflation(),
+        install_churn(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_have_unique_names_and_distinct_seeds() {
+        let specs = builtin_scenarios();
+        assert_eq!(specs.len(), 5);
+        let names: std::collections::BTreeSet<&str> =
+            specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), specs.len());
+        let seeds: std::collections::BTreeSet<u64> = specs.iter().map(|s| s.given.seed).collect();
+        assert_eq!(seeds.len(), specs.len());
+    }
+
+    #[test]
+    fn every_builtin_declares_at_least_one_criterion() {
+        for spec in builtin_scenarios() {
+            let t = &spec.then;
+            assert!(
+                t.drift_within_rounds.is_some()
+                    || t.min_drift_margin.is_some()
+                    || t.require_promotion
+                    || t.max_final_fp_rate.is_some()
+                    || t.min_final_detection.is_some()
+                    || t.max_final_fn_rate.is_some(),
+                "{} asserts nothing",
+                spec.name
+            );
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Declarative scenario specs: given / when / then.
+//!
+//! A [`ScenarioSpec`] is the cucumber-style contract a gauntlet run
+//! executes: **given** a defended deployment (world sizes, drift
+//! thresholds, promotion gate, defender policy), **when** an adaptive
+//! attack runs for N rounds, **then** a set of declared criteria must
+//! hold. Specs are plain serde structs — they round-trip through JSON
+//! byte-identically, so a scenario can live in a file, a test, or a
+//! bench and mean exactly the same thing. The built-in five are in
+//! [`crate::scenarios`].
+
+use frappe_lifecycle::PromotionGate;
+use serde::{Deserialize, Serialize};
+use synth_workload::EvasionKnobs;
+
+/// The defended world an attack runs against, and the defender's
+/// standing policy. Everything is explicit so a spec fully determines
+/// the run: same spec → same bootstrap population, same incumbent
+/// model, same defender reactions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Given {
+    /// Master seed; every derived RNG (bootstrap population, attacker
+    /// strategy, per-round traffic) is seeded from it.
+    pub seed: u64,
+    /// Benign apps in the bootstrap population (the FP denominator).
+    pub benign_apps: usize,
+    /// Paper-style malicious apps the incumbent is trained on. Their
+    /// names seed the known-malicious collision list; they are retired
+    /// (enforced) before round 1 and never scored again.
+    pub training_malicious: usize,
+    /// PSI threshold of the drift detector (0.2 = industry standard).
+    pub psi_threshold: f64,
+    /// Minimum drift-window samples before any lane may fire.
+    pub drift_min_samples: u64,
+    /// Promotion gate a retrained candidate must clear on live traffic.
+    pub gate: PromotionGate,
+    /// Whether the defender retrains (and begins shadowing the
+    /// candidate) when drift fires. `false` models a frozen defender —
+    /// useful for asserting pure detection criteria.
+    pub retrain_on_drift: bool,
+    /// Whether the defender grows the known-malicious name list with
+    /// the names of apps it flagged *and* ground truth confirmed (the
+    /// MyPageKeeper verification step). This is the feedback channel
+    /// name-mimicry attackers probe.
+    pub flag_verified_names: bool,
+}
+
+impl Given {
+    /// Baseline defended world for the built-in scenarios: a small but
+    /// statistically meaningful population, default drift thresholds,
+    /// and a gate loosened only where adversarial retrains demand it —
+    /// a candidate retrained *because* the incumbent went blind will
+    /// legitimately disagree with it on the whole attack cohort, and
+    /// trading a few points of false-positive headroom for closing a
+    /// near-total false-negative hole is the right call.
+    pub fn baseline(seed: u64) -> Self {
+        Given {
+            seed,
+            benign_apps: 240,
+            training_malicious: 80,
+            psi_threshold: 0.2,
+            drift_min_samples: 100,
+            gate: PromotionGate {
+                min_scored: 150,
+                max_disagreement_rate: 0.40,
+                max_false_positive_increase: 0.035,
+                max_false_negative_increase: 0.05,
+            },
+            retrain_on_drift: true,
+            flag_verified_names: true,
+        }
+    }
+}
+
+/// The attack phase: which strategy runs, with its knobs, for how many
+/// rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct When {
+    /// Number of attacker/defender rounds.
+    pub rounds: u32,
+    /// The adaptive strategy and its knobs.
+    pub attack: Attack,
+}
+
+/// The built-in attacker strategies, each a serde-friendly knob set.
+/// [`crate::strategies::strategy_for`] turns one into a live
+/// [`crate::Strategy`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Attack {
+    /// §7 summary filling: a scam cohort that starts at paper-style
+    /// empty summaries and, when flagged, escalates its fill rates
+    /// toward the [`EvasionKnobs`] ceilings (recrawling existing apps
+    /// and registering fresh waves at the new rates).
+    SummaryFilling {
+        /// Initial cohort size (round 1).
+        cohort: u32,
+        /// Fresh apps registered per subsequent round.
+        wave: u32,
+        /// Escalation step (fraction of the ceiling) applied each time
+        /// more than half the live cohort got flagged.
+        step: f64,
+        /// The fill-rate ceilings the strategy escalates toward — the
+        /// same knobs `synth::drift::drifting_config` uses.
+        knobs: EvasionKnobs,
+    },
+    /// §4.2.1 name mimicry: apps named within Damerau–Levenshtein
+    /// distance `start_distance` of popular benign names; each time the
+    /// cohort is mostly flagged, the attacker abandons flagged apps and
+    /// re-registers nearer the targets, down to exact copies.
+    NameMimicry {
+        /// Live mimic apps maintained each round.
+        cohort: u32,
+        /// Starting edit distance (use
+        /// [`EvasionKnobs::mimicry_max_edit_distance`]).
+        start_distance: usize,
+    },
+    /// Figs. 13–16 piggyback/collusion ring: clean-looking promoter
+    /// apps post links to scam promotees (the AppNet edges), and the
+    /// attacker rotates out any ring member that gets flagged.
+    PiggybackRing {
+        /// Front apps that only promote (never post scams).
+        promoters: u32,
+        /// Scam apps the promoters point at.
+        promotees: u32,
+        /// Promotion posts per promoter per round.
+        fanout: u32,
+    },
+    /// Fake-like inflation: scam apps dilute their external-link ratio
+    /// with engagement-bait filler posts (no links), escalating the
+    /// filler volume when flagged.
+    FakeLikeInflation {
+        /// Cohort size.
+        cohort: u32,
+        /// Scam (external-link) posts per app per round.
+        scam_posts: u32,
+        /// Filler posts added per escalation.
+        filler_step: u32,
+        /// Ceiling on filler posts per app per round.
+        max_filler: u32,
+    },
+    /// Install/uninstall churn: installer-farm waves register, post
+    /// install bait, and are deleted before any crawl can observe them
+    /// — every wave's on-demand lanes stay missing, and the next wave
+    /// replaces it wholesale.
+    InstallChurn {
+        /// Apps per wave (one wave per round).
+        wave: u32,
+    },
+}
+
+/// Declared pass criteria, evaluated over the finished
+/// [`crate::ScenarioReport`]. Every field is optional: a scenario
+/// asserts exactly what it claims, nothing more.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Then {
+    /// Drift must fire within this many rounds of round 1.
+    pub drift_within_rounds: Option<u32>,
+    /// The peak `max_psi` across rounds must reach at least this
+    /// multiple of `psi_threshold` (margin assertions like "
+    /// >3× threshold", via the per-lane PSI map).
+    pub min_drift_margin: Option<f64>,
+    /// A retrained candidate must pass the shadow gate and be promoted
+    /// before the run ends.
+    pub require_promotion: bool,
+    /// Final-round false-positive rate over the benign population must
+    /// not exceed this.
+    pub max_final_fp_rate: Option<f64>,
+    /// Final-round detection rate over live attacker apps must reach
+    /// at least this.
+    pub min_final_detection: Option<f64>,
+    /// Final-round false-negative rate (1 − detection) must not exceed
+    /// this.
+    pub max_final_fn_rate: Option<f64>,
+}
+
+impl Then {
+    /// No criteria (useful as a starting point for `..` updates).
+    pub fn none() -> Self {
+        Then {
+            drift_within_rounds: None,
+            min_drift_margin: None,
+            require_promotion: false,
+            max_final_fp_rate: None,
+            min_final_detection: None,
+            max_final_fn_rate: None,
+        }
+    }
+}
+
+/// One complete scenario: given / when / then.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Stable scenario name (report key, bench row).
+    pub name: String,
+    /// The defended world and defender policy.
+    pub given: Given,
+    /// The attack phase.
+    pub when: When,
+    /// The declared pass criteria.
+    pub then: Then,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_roundtrip_through_serde() {
+        for spec in crate::scenarios::builtin_scenarios() {
+            let json = serde_json::to_string_pretty(&spec).unwrap();
+            let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back, "{} must round-trip", spec.name);
+        }
+    }
+
+    #[test]
+    fn baseline_given_is_internally_consistent() {
+        let g = Given::baseline(7);
+        assert!(g.benign_apps + g.training_malicious >= g.drift_min_samples as usize);
+        assert!((g.gate.min_scored as usize) < g.benign_apps);
+    }
+}

@@ -1,0 +1,196 @@
+//! The attacker's side of the loop: feedback in, a round plan out.
+//!
+//! A [`Strategy`] sees exactly what a real attacker sees — **which of
+//! its own apps the defender flagged**, observed through the public
+//! classify path (no model internals, no feature weights, no drift
+//! state) — and answers with a [`RoundPlan`]: register apps, edit their
+//! crawled profiles, post, promote a sibling, or abandon ship. The
+//! engine turns the plan into [`frappe_serve::ServeEvent`]s (see
+//! [`crate::traffic`]) and the defender answers back through the next
+//! round's verdicts.
+
+use std::collections::BTreeMap;
+
+use osn_types::ids::AppId;
+
+/// What the attacker observed after the previous round: one verdict per
+/// app it still operates. Empty before round 1 — the first plan is made
+/// blind.
+#[derive(Debug, Clone, Default)]
+pub struct Feedback {
+    /// Round about to be planned (1-based).
+    pub round: u32,
+    /// `app → was it flagged malicious` for every app the attacker had
+    /// live during the previous round's sweep.
+    pub flagged: BTreeMap<AppId, bool>,
+}
+
+impl Feedback {
+    /// Fraction of the attacker's live apps that got flagged (0 when
+    /// nothing was live).
+    pub fn flagged_fraction(&self) -> f64 {
+        if self.flagged.is_empty() {
+            return 0.0;
+        }
+        self.flagged.values().filter(|&&f| f).count() as f64 / self.flagged.len() as f64
+    }
+
+    /// The apps flagged last round, in id order.
+    pub fn flagged_apps(&self) -> Vec<AppId> {
+        self.flagged
+            .iter()
+            .filter(|(_, &f)| f)
+            .map(|(&a, _)| a)
+            .collect()
+    }
+}
+
+/// Everything the platform would learn about an app from a crawl, as
+/// the attacker configures it. The traffic layer turns this into the
+/// `OnDemand` feature lanes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// Display name (collisions are the mimicry attack surface).
+    pub name: String,
+    /// Summary fields the attacker chose to fill in.
+    pub fill_description: bool,
+    /// See `fill_description`.
+    pub fill_company: bool,
+    /// See `fill_description`.
+    pub fill_category: bool,
+    /// Whether the app's profile feed has posts.
+    pub fill_profile_feed: bool,
+    /// Requested permission count (scam apps overwhelmingly ask for 1).
+    pub permission_count: u32,
+    /// Whether the install URL installs a sibling app (client-ID pools).
+    pub client_id_mismatch: bool,
+    /// WOT reputation of the redirect domain, when the domain is rated.
+    pub wot_score: Option<f64>,
+    /// Whether the app sticks around long enough to be crawled at all.
+    /// Installer-farm churn apps set this `false`: their on-demand
+    /// lanes stay unobserved forever.
+    pub crawled: bool,
+}
+
+impl AppSpec {
+    /// A paper-rate scam app (§4's malicious profile): empty summary,
+    /// one permission, client-ID pools, unrated or near-zero WOT.
+    pub fn paper_scam(name: String) -> Self {
+        AppSpec {
+            name,
+            fill_description: false,
+            fill_company: false,
+            fill_category: false,
+            fill_profile_feed: false,
+            permission_count: 1,
+            client_id_mismatch: true,
+            wot_score: None,
+            crawled: true,
+        }
+    }
+
+    /// A benign-looking front app (ring promoters): filled summary,
+    /// several permissions, honest client ID, decent reputation.
+    pub fn clean_front(name: String) -> Self {
+        AppSpec {
+            name,
+            fill_description: true,
+            fill_company: true,
+            fill_category: true,
+            fill_profile_feed: true,
+            permission_count: 3,
+            client_id_mismatch: false,
+            wot_score: Some(72.0),
+            crawled: true,
+        }
+    }
+}
+
+/// One attacker move. The engine applies moves in plan order; each
+/// expands to serving events through [`crate::traffic`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppAction {
+    /// Register a fresh app (and, when `spec.crawled`, let the platform
+    /// crawl it).
+    Register {
+        /// The new app's id (allocated by the strategy from its
+        /// engine-assigned range).
+        app: AppId,
+        /// Its configured profile.
+        spec: AppSpec,
+    },
+    /// Re-configure an existing app's profile; the next crawl replaces
+    /// its on-demand lanes wholesale (this is how summary-filling
+    /// escalation reaches *existing* apps).
+    Recrawl {
+        /// The app being edited.
+        app: AppId,
+        /// Its new profile.
+        spec: AppSpec,
+    },
+    /// Post a burst: `scam_posts` external-link scams plus
+    /// `filler_posts` engagement-bait posts with no link (the
+    /// fake-like-inflation dilution lever).
+    PostBurst {
+        /// The posting app.
+        app: AppId,
+        /// External-link scam posts.
+        scam_posts: u32,
+        /// No-link filler posts.
+        filler_posts: u32,
+    },
+    /// A promotion post: `promoter` posts an internal
+    /// apps.facebook.com link to `target`'s canvas page — one AppNet
+    /// edge (Figs. 13–16).
+    PromotePeer {
+        /// The posting front app.
+        promoter: AppId,
+        /// The promoted sibling.
+        target: AppId,
+    },
+    /// Abandon an app (the platform sees a deletion; aggregation
+    /// evidence tombstones, on-demand lanes become unobserved).
+    Retire {
+        /// The abandoned app.
+        app: AppId,
+    },
+}
+
+/// The attacker's moves for one round.
+#[derive(Debug, Clone, Default)]
+pub struct RoundPlan {
+    /// Moves, applied in order.
+    pub actions: Vec<AppAction>,
+}
+
+/// An adaptive attacker. Implementations own their RNG (seeded from the
+/// spec) and their app-id allocator (a range the engine hands out), so
+/// `plan_round` is a pure function of construction parameters and the
+/// feedback sequence — which is what makes whole runs replayable.
+pub trait Strategy {
+    /// Stable strategy name (report field).
+    fn name(&self) -> &'static str;
+
+    /// Plan the next round given last round's verdicts on the
+    /// attacker's own apps.
+    fn plan_round(&mut self, feedback: &Feedback) -> RoundPlan;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flagged_fraction_counts_only_true_verdicts() {
+        let mut fb = Feedback {
+            round: 2,
+            flagged: BTreeMap::new(),
+        };
+        assert_eq!(fb.flagged_fraction(), 0.0);
+        fb.flagged.insert(AppId(1), true);
+        fb.flagged.insert(AppId(2), false);
+        fb.flagged.insert(AppId(3), true);
+        assert!((fb.flagged_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(fb.flagged_apps(), vec![AppId(1), AppId(3)]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Deterministic traffic expansion: plans and populations → events.
+//!
+//! Everything here is a pure function of `(seed, round, index)`, fanned
+//! out over the ordered [`frappe_jobs::JobPool`] — `pool.run` returns
+//! exactly `(0..n).map(f).collect()` whatever the thread count, so the
+//! event stream a round ingests is byte-identical at `FRAPPE_JOBS=1`
+//! and `=8`. That property is what lets a whole gauntlet run promise a
+//! byte-identical [`crate::ScenarioReport`].
+
+use frappe::OnDemandFeatures;
+use frappe_jobs::JobPool;
+use frappe_serve::ServeEvent;
+use osn_types::ids::AppId;
+use osn_types::url::Url;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::strategy::{AppAction, AppSpec};
+
+/// SplitMix64 — the standard seed-derivation step, so per-item RNGs are
+/// decorrelated without any shared state.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the RNG for item `index` of stream `stream` in round `round`.
+fn item_rng(seed: u64, stream: u64, round: u32, index: usize) -> SmallRng {
+    let z = splitmix64(seed ^ stream.rotate_left(17) ^ ((round as u64) << 32) ^ index as u64);
+    SmallRng::seed_from_u64(z)
+}
+
+/// An external scam link (never on facebook.com; counts toward the
+/// external-link ratio).
+fn scam_link(rng: &mut SmallRng) -> Url {
+    let host = rng.gen_range(0..5u32);
+    Url::parse(&format!("http://prize{host}.gift-mania.net/claim")).expect("static scam url")
+}
+
+/// An internal canvas link to `target`'s page (never external) — the
+/// AppNet promotion edge as the platform sees it.
+fn canvas_link(target: AppId) -> Url {
+    Url::parse(&format!("http://apps.facebook.com/app{}", target.0)).expect("static canvas url")
+}
+
+/// The on-demand feature lanes a crawl of `spec` yields.
+fn crawl_features(spec: &AppSpec) -> OnDemandFeatures {
+    OnDemandFeatures {
+        has_category: Some(spec.fill_category),
+        has_company: Some(spec.fill_company),
+        has_description: Some(spec.fill_description),
+        has_profile_posts: Some(spec.fill_profile_feed),
+        permission_count: Some(spec.permission_count),
+        client_id_mismatch: Some(spec.client_id_mismatch),
+        redirect_wot_score: spec.wot_score,
+    }
+}
+
+/// Expands one attacker action into its serving events. Pure in
+/// `(seed, round, index, action)`.
+fn expand_action(seed: u64, round: u32, index: usize, action: &AppAction) -> Vec<ServeEvent> {
+    let mut rng = item_rng(seed, 0xA77A_C4E5, round, index);
+    match action {
+        AppAction::Register { app, spec } => {
+            let mut events = vec![ServeEvent::Registered {
+                app: *app,
+                name: spec.name.clone(),
+            }];
+            if spec.crawled {
+                events.push(ServeEvent::OnDemand {
+                    app: *app,
+                    features: crawl_features(spec),
+                });
+            }
+            events
+        }
+        AppAction::Recrawl { app, spec } => vec![ServeEvent::OnDemand {
+            app: *app,
+            features: crawl_features(spec),
+        }],
+        AppAction::PostBurst {
+            app,
+            scam_posts,
+            filler_posts,
+        } => {
+            let mut events = Vec::with_capacity((scam_posts + filler_posts) as usize);
+            for _ in 0..*scam_posts {
+                events.push(ServeEvent::Post {
+                    app: *app,
+                    link: Some(scam_link(&mut rng)),
+                });
+            }
+            for _ in 0..*filler_posts {
+                events.push(ServeEvent::Post {
+                    app: *app,
+                    link: None,
+                });
+            }
+            events
+        }
+        AppAction::PromotePeer { promoter, target } => vec![ServeEvent::Post {
+            app: *promoter,
+            link: Some(canvas_link(*target)),
+        }],
+        AppAction::Retire { app } => vec![ServeEvent::Deleted { app: *app }],
+    }
+}
+
+/// Expands a whole round plan over the pool, in plan order.
+pub fn expand_actions(
+    pool: &JobPool,
+    seed: u64,
+    round: u32,
+    actions: &[AppAction],
+) -> Vec<ServeEvent> {
+    pool.run(actions.len(), |i| {
+        expand_action(seed, round, i, &actions[i])
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Paper-rate benign app profile for bootstrap app `i` (ids are
+/// `1..=benign_apps`), plus its bootstrap posts. Rates are the
+/// `ScenarioConfig` paper rates: 93% description, 81% company, 90%
+/// category, 85% profile feed, 62% single-permission, mostly honest
+/// client IDs and rated redirect domains.
+fn benign_bootstrap(seed: u64, i: usize) -> Vec<ServeEvent> {
+    let mut rng = item_rng(seed, 0xBE91_69AE, 0, i);
+    let app = AppId(1 + i as u64);
+    let features = OnDemandFeatures {
+        has_description: Some(rng.gen_bool(0.93)),
+        has_company: Some(rng.gen_bool(0.81)),
+        has_category: Some(rng.gen_bool(0.90)),
+        has_profile_posts: Some(rng.gen_bool(0.85)),
+        permission_count: Some(if rng.gen_bool(0.62) {
+            1
+        } else {
+            rng.gen_range(2..7)
+        }),
+        client_id_mismatch: Some(rng.gen_bool(0.02)),
+        redirect_wot_score: rng
+            .gen_bool(0.70)
+            .then(|| f64::from(rng.gen_range(60..95u32))),
+    };
+    let mut events = vec![
+        ServeEvent::Registered {
+            app,
+            name: synth_workload::names::benign_name(i),
+        },
+        ServeEvent::OnDemand { app, features },
+    ];
+    // 20% of benign apps ever post external links (paper: "80% of
+    // benign apps do not post any external links"), and even linkers
+    // mix them into a larger stream — a benign external-link *ratio*
+    // stays low, where a scam app's approaches 1.
+    let linker = rng.gen_bool(0.20);
+    for _ in 0..rng.gen_range(2..6u32) {
+        let external = linker && rng.gen_bool(0.25);
+        events.push(ServeEvent::Post {
+            app,
+            link: external.then(|| scam_link(&mut rng)).or_else(|| {
+                rng.gen_bool(0.5).then(|| canvas_link(app)) // internal share
+            }),
+        });
+    }
+    events
+}
+
+/// Fraction of training-malicious apps that reuse a name from the
+/// known-malicious campaign pool. Deliberately small: if every training
+/// scam app collided, the name-collision lane would be perfectly
+/// correlated with the label and the SVM would learn nothing else —
+/// and any fresh-named attacker would walk straight through.
+const TRAINING_NAME_REUSE: f64 = 0.15;
+
+/// Paper-rate malicious training app `i` (ids follow the benign range):
+/// the §4 scam profile the incumbent model learns. A
+/// [`TRAINING_NAME_REUSE`] fraction reuse campaign-pool names (and so
+/// collide with the known-malicious list); the rest run under fresh
+/// one-off names.
+fn training_malicious_bootstrap(seed: u64, benign_apps: usize, i: usize) -> Vec<ServeEvent> {
+    let mut rng = item_rng(seed, 0x3A11_C10D, 0, i);
+    let app = AppId(1 + (benign_apps + i) as u64);
+    let features = OnDemandFeatures {
+        has_description: Some(rng.gen_bool(0.014)),
+        has_company: Some(rng.gen_bool(0.04)),
+        has_category: Some(rng.gen_bool(0.06)),
+        has_profile_posts: Some(rng.gen_bool(0.03)),
+        permission_count: Some(if rng.gen_bool(0.97) { 1 } else { 2 }),
+        client_id_mismatch: Some(rng.gen_bool(0.78)),
+        redirect_wot_score: rng
+            .gen_bool(0.20)
+            .then(|| f64::from(rng.gen_range(0..6u32))),
+    };
+    let name = if rng.gen_bool(TRAINING_NAME_REUSE) {
+        synth_workload::names::malicious_base_name(i).to_string()
+    } else {
+        format!("Gift Card Blast {}", 1 + i)
+    };
+    let mut events = vec![
+        ServeEvent::Registered { app, name },
+        ServeEvent::OnDemand { app, features },
+    ];
+    for _ in 0..rng.gen_range(2..5u32) {
+        let external = rng.gen_bool(0.90);
+        events.push(ServeEvent::Post {
+            app,
+            link: external.then(|| scam_link(&mut rng)),
+        });
+    }
+    events
+}
+
+/// The known-malicious name list the defender starts with: the paper's
+/// campaign base-name pool (deduplicated by the caller's
+/// `KnownMaliciousNames::from_names`). Only a `TRAINING_NAME_REUSE`
+/// fraction of the training population actually collides with it.
+pub fn known_name_pool(training_malicious: usize) -> impl Iterator<Item = String> {
+    (0..training_malicious).map(|i| synth_workload::names::malicious_base_name(i).to_string())
+}
+
+/// The full bootstrap event stream: `benign_apps` benign apps followed
+/// by `training_malicious` paper-rate scam apps, fanned out over the
+/// pool.
+pub fn bootstrap_events(
+    pool: &JobPool,
+    seed: u64,
+    benign_apps: usize,
+    training_malicious: usize,
+) -> Vec<ServeEvent> {
+    pool.run(benign_apps + training_malicious, |i| {
+        if i < benign_apps {
+            benign_bootstrap(seed, i)
+        } else {
+            training_malicious_bootstrap(seed, benign_apps, i - benign_apps)
+        }
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Benign background chatter for one round: a seeded ~10% slice of the
+/// benign population posts a little (mostly link-free or internal), so
+/// the defender's window always carries live benign mass too.
+pub fn benign_background(
+    pool: &JobPool,
+    seed: u64,
+    round: u32,
+    benign_apps: usize,
+) -> Vec<ServeEvent> {
+    pool.run(benign_apps, |i| {
+        let mut rng = item_rng(seed, 0xB4C6_6D00, round, i);
+        if !rng.gen_bool(0.10) {
+            return Vec::new();
+        }
+        let app = AppId(1 + i as u64);
+        (0..rng.gen_range(1..3u32))
+            .map(|_| ServeEvent::Post {
+                app,
+                link: rng.gen_bool(0.05).then(|| canvas_link(app)),
+            })
+            .collect()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_pool_size_invariant() {
+        let actions: Vec<AppAction> = (0..40)
+            .map(|i| AppAction::PostBurst {
+                app: AppId(1000 + i),
+                scam_posts: 2,
+                filler_posts: 1,
+            })
+            .collect();
+        let a = expand_actions(&JobPool::with_threads(1), 7, 3, &actions);
+        let b = expand_actions(&JobPool::with_threads(8), 7, 3, &actions);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 40 * 3);
+    }
+
+    #[test]
+    fn bootstrap_is_pool_size_invariant_and_covers_all_apps() {
+        let a = bootstrap_events(&JobPool::with_threads(1), 9, 50, 20);
+        let b = bootstrap_events(&JobPool::with_threads(4), 9, 50, 20);
+        assert_eq!(a, b);
+        let registered: std::collections::BTreeSet<u64> = a
+            .iter()
+            .filter_map(|e| match e {
+                ServeEvent::Registered { app, .. } => Some(app.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(registered.len(), 70);
+        assert_eq!(registered.iter().next(), Some(&1));
+        assert_eq!(registered.iter().last(), Some(&70));
+    }
+
+    #[test]
+    fn canvas_links_are_internal_scam_links_are_not() {
+        assert!(canvas_link(AppId(5)).is_facebook());
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!scam_link(&mut rng).is_facebook());
+    }
+}

@@ -146,6 +146,20 @@ impl DriftReport {
     pub fn max_psi(&self) -> f64 {
         self.lanes.iter().map(|l| l.psi).fold(0.0, f64::max)
     }
+
+    /// The PSI of one catalog lane by its stable key (`None` for an
+    /// unknown key). This is the assertion surface adversarial
+    /// scenarios use for margin claims like "the description lane is
+    /// >3× threshold".
+    pub fn psi_of(&self, key: &str) -> Option<f64> {
+        self.lanes.iter().find(|l| l.key == key).map(|l| l.psi)
+    }
+
+    /// The full per-catalog-lane PSI map in catalog order, as
+    /// `(stable key, psi)` pairs.
+    pub fn psi_map(&self) -> Vec<(&'static str, f64)> {
+        self.lanes.iter().map(|l| (l.key, l.psi)).collect()
+    }
 }
 
 /// Per-feature rolling histograms compared against a training-time

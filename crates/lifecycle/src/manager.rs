@@ -20,7 +20,9 @@
 //! Everything observable is a `frappe-obs` metric on the service's own
 //! registry, so one Prometheus scrape shows serving *and* lifecycle
 //! state: shadow traffic and disagreements, promotions, rollbacks, drift
-//! triggers, the active and shadow versions, and the worst per-lane PSI.
+//! triggers, the active and shadow versions, the worst per-lane PSI
+//! (`lifecycle_max_psi_milli`), and the full per-lane PSI map
+//! (`lifecycle_psi_milli{lane=…}`).
 
 use std::sync::Arc;
 
@@ -75,6 +77,11 @@ struct LifecycleMetrics {
     active_version: Arc<Gauge>,
     shadow_version: Arc<Gauge>,
     max_psi_milli: Arc<Gauge>,
+    /// One `lifecycle_psi_milli{lane=<catalog key>}` gauge per catalog
+    /// lane, in catalog order (the same order [`DriftReport::lanes`]
+    /// uses), so a scrape shows the whole per-lane PSI map — not just
+    /// the worst lane.
+    psi_milli: Vec<Arc<Gauge>>,
 }
 
 /// Wires a [`ModelRegistry`] and a [`DriftDetector`] to a running
@@ -133,6 +140,10 @@ impl LifecycleManager {
             active_version: obs.gauge("lifecycle_active_version"),
             shadow_version: obs.gauge("lifecycle_shadow_version"),
             max_psi_milli: obs.gauge("lifecycle_max_psi_milli"),
+            psi_milli: frappe::CATALOG
+                .iter()
+                .map(|def| obs.gauge_with("lifecycle_psi_milli", &[("lane", def.key)]))
+                .collect(),
         };
         metrics
             .active_version
@@ -335,6 +346,12 @@ impl LifecycleManager {
         self.metrics
             .max_psi_milli
             .set((report.max_psi() * 1000.0).round().min(i64::MAX as f64) as i64);
+        // Publish the full per-lane PSI map: `lifecycle_psi_milli{lane=…}`
+        // (thousandths, like the max gauge). Lanes and gauges are both in
+        // catalog order by construction.
+        for (lane, gauge) in report.lanes.iter().zip(&self.metrics.psi_milli) {
+            gauge.set((lane.psi * 1000.0).round().min(i64::MAX as f64) as i64);
+        }
         if report.is_drifted() {
             self.metrics.drift_triggers.inc();
             // Raise a trace alarm carrying exemplar trace IDs from the

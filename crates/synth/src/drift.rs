@@ -4,9 +4,11 @@
 //! cheaply fill in the summary fields the classifier keys on (add a
 //! description, a company, a category, seed the profile feed) while the
 //! robust features — permission count, client-ID mismatch, redirect
-//! reputation — are structurally expensive to fake. These two configs
-//! make that forecast a reproducible workload for the lifecycle layer's
-//! drift detector:
+//! reputation — are structurally expensive to fake. The knobs of that
+//! forecast live in [`EvasionKnobs`], one public, documented source of
+//! truth shared by the drift-detector tests here and by the adaptive
+//! strategies in `frappe-gauntlet`; two canned configs package it for
+//! the lifecycle layer's drift detector:
 //!
 //! * [`stationary_config`] — the standard small world with a caller
 //!   -chosen seed: the same population the baseline was fitted on, drawn
@@ -17,7 +19,67 @@
 //!   hard while the robust lanes stay put. A drift detector must fire
 //!   here, and only on the obfuscatable lanes.
 
+use serde::{Deserialize, Serialize};
+
 use crate::config::ScenarioConfig;
+
+/// The §7 evasion forecast as explicit, reusable knobs.
+///
+/// These used to be hard-coded inside [`drifting_config`]; they are
+/// public so that adaptive attacker strategies (the `frappe-gauntlet`
+/// scenario engine) and the drift-detection tests escalate toward the
+/// *same* ceilings — one source of truth for "how far can a hacker
+/// cheaply push each obfuscatable lane".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvasionKnobs {
+    /// Summary-filling ceiling for the description field. §7: adding a
+    /// description costs the hacker nothing, so adapted campaigns
+    /// approach the benign rate (93%) without quite matching its
+    /// organic variety — the forecast models them plateauing at 85%.
+    pub description_fill_rate: f64,
+    /// Summary-filling ceiling for the company field (benign: 81%).
+    pub company_fill_rate: f64,
+    /// Summary-filling ceiling for the category field (benign: 90%).
+    pub category_fill_rate: f64,
+    /// Ceiling for seeding the app profile feed with posts (benign:
+    /// 85% have a non-empty feed; the baseline malicious rate is 3%).
+    pub profile_feed_fill_rate: f64,
+    /// Campaign-surge multiplier on the malicious app mass: the adapted
+    /// wave arrives as `surge_app_multiplier ×` the baseline malicious
+    /// population (the drift a frozen model silently degrades under).
+    pub surge_app_multiplier: u32,
+    /// Surge multiplier on the number of distinct campaigns.
+    pub surge_campaign_multiplier: u32,
+    /// Name-mimicry budget: the largest Damerau–Levenshtein distance
+    /// from a popular benign name that still reads as that name to a
+    /// victim. The paper's validation found typosquats at distance 1
+    /// ('FarmVile'); 2 keeps 'Mafia Warz'-style doubles in scope. An
+    /// escalating mimic moves from this distance *down* toward exact
+    /// copies when flagged.
+    pub mimicry_max_edit_distance: usize,
+}
+
+impl EvasionKnobs {
+    /// The paper-§7 forecast values (the rates [`drifting_config`] has
+    /// always used, now named).
+    pub fn paper_forecast() -> Self {
+        EvasionKnobs {
+            description_fill_rate: 0.85,
+            company_fill_rate: 0.70,
+            category_fill_rate: 0.80,
+            profile_feed_fill_rate: 0.70,
+            surge_app_multiplier: 3,
+            surge_campaign_multiplier: 2,
+            mimicry_max_edit_distance: 2,
+        }
+    }
+}
+
+impl Default for EvasionKnobs {
+    fn default() -> Self {
+        Self::paper_forecast()
+    }
+}
 
 /// The standard small world under a caller-chosen seed — the "nothing
 /// changed" control arm of a drift experiment.
@@ -28,24 +90,33 @@ pub fn stationary_config(seed: u64) -> ScenarioConfig {
     }
 }
 
-/// The small world after the adaptation §7 forecasts: a surge of new
-/// campaigns (three times the malicious app mass, twice the campaigns)
-/// whose apps fill in description/company/category and seed their
-/// profile feeds at near-benign rates. The per-app *robust* feature
-/// rates — single-permission, client-ID mismatch — are untouched: the
-/// shift a detector sees is the population moving, exactly the kind of
-/// change a frozen model silently degrades under.
-pub fn drifting_config(seed: u64) -> ScenarioConfig {
+/// [`drifting_config`] with explicit [`EvasionKnobs`]: the small world
+/// after a summary-filling adaptation at the given ceilings, with the
+/// malicious mass and campaign count surged by the knobs' multipliers.
+/// The per-app *robust* feature rates — single-permission, client-ID
+/// mismatch — are untouched: the shift a detector sees is the population
+/// moving, exactly the kind of change a frozen model silently degrades
+/// under.
+pub fn drifting_config_with(seed: u64, knobs: &EvasionKnobs) -> ScenarioConfig {
+    let base = ScenarioConfig::small();
     ScenarioConfig {
         seed,
-        malicious_apps: 360,
-        campaigns: 16,
-        malicious_description_rate: 0.85,
-        malicious_company_rate: 0.70,
-        malicious_category_rate: 0.80,
-        malicious_profile_feed_rate: 0.70,
-        ..ScenarioConfig::small()
+        malicious_apps: base.malicious_apps * knobs.surge_app_multiplier as usize,
+        campaigns: base.campaigns * knobs.surge_campaign_multiplier as usize,
+        malicious_description_rate: knobs.description_fill_rate,
+        malicious_company_rate: knobs.company_fill_rate,
+        malicious_category_rate: knobs.category_fill_rate,
+        malicious_profile_feed_rate: knobs.profile_feed_fill_rate,
+        ..base
     }
+}
+
+/// The small world after the adaptation §7 forecasts, at the
+/// [`EvasionKnobs::paper_forecast`] ceilings: a surge of new campaigns
+/// whose apps fill in description/company/category and seed their
+/// profile feeds at near-benign rates.
+pub fn drifting_config(seed: u64) -> ScenarioConfig {
+    drifting_config_with(seed, &EvasionKnobs::paper_forecast())
 }
 
 #[cfg(test)]
@@ -74,5 +145,41 @@ mod tests {
             drifted.malicious_client_id_mismatch_rate,
             base.malicious_client_id_mismatch_rate
         );
+    }
+
+    #[test]
+    fn drifting_config_is_the_paper_forecast_knobs() {
+        // One source of truth: the canned config and the public knobs
+        // must never diverge.
+        let knobs = EvasionKnobs::paper_forecast();
+        let base = ScenarioConfig::small();
+        let drifted = drifting_config(11);
+        assert_eq!(
+            drifted.malicious_description_rate,
+            knobs.description_fill_rate
+        );
+        assert_eq!(drifted.malicious_company_rate, knobs.company_fill_rate);
+        assert_eq!(drifted.malicious_category_rate, knobs.category_fill_rate);
+        assert_eq!(
+            drifted.malicious_profile_feed_rate,
+            knobs.profile_feed_fill_rate
+        );
+        assert_eq!(
+            drifted.malicious_apps,
+            base.malicious_apps * knobs.surge_app_multiplier as usize
+        );
+        assert_eq!(
+            drifted.campaigns,
+            base.campaigns * knobs.surge_campaign_multiplier as usize
+        );
+        assert_eq!(drifted, drifting_config_with(11, &knobs));
+    }
+
+    #[test]
+    fn knobs_roundtrip_through_serde() {
+        let knobs = EvasionKnobs::paper_forecast();
+        let json = serde_json::to_string(&knobs).unwrap();
+        let back: EvasionKnobs = serde_json::from_str(&json).unwrap();
+        assert_eq!(knobs, back);
     }
 }

@@ -35,6 +35,6 @@ pub mod scenario;
 
 pub use config::ScenarioConfig;
 pub use datasets::{build_datasets, DatasetBundle, LabeledApps};
-pub use drift::{drifting_config, stationary_config};
+pub use drift::{drifting_config, drifting_config_with, stationary_config, EvasionKnobs};
 pub use replay::{replay_events, ReplayEvent};
 pub use scenario::{run_scenario, GroundTruth, ScenarioWorld};

@@ -268,3 +268,25 @@ fn trace_sampling_keeps_an_identical_set_at_any_thread_count() {
         );
     }
 }
+
+#[test]
+fn piggyback_ring_appnet_edges_bit_identical_across_thread_counts() {
+    // The gauntlet's piggyback-ring scenario drives the whole stack —
+    // strategy RNG, ordered traffic fan-out, serving ingest, drift
+    // window — and records every promoter→promotee post as an AppNet
+    // edge. The recorded edge list (order included) must not depend on
+    // the pool size, same as every other fan-out in this suite.
+    let spec = frappe_gauntlet::piggyback_ring();
+    let serial = frappe_gauntlet::run_spec_on(&JobPool::with_threads(1), &spec);
+    let parallel = frappe_gauntlet::run_spec_on(&JobPool::with_threads(8), &spec);
+    assert!(
+        !serial.appnet_edges.is_empty(),
+        "the ring must actually promote"
+    );
+    assert_eq!(
+        serial.appnet_edges, parallel.appnet_edges,
+        "AppNet edges diverged between 1 and 8 threads"
+    );
+    // And the reports agree wholesale, bytes included.
+    assert_eq!(serial.to_canonical_json(), parallel.to_canonical_json());
+}

@@ -1,0 +1,73 @@
+//! The gauntlet's acceptance criteria in executable form:
+//!
+//! * all five built-in scenarios pass their declared then-clauses;
+//! * a whole run is deterministic — byte-identical canonical-JSON
+//!   [`ScenarioReport`]s at `FRAPPE_JOBS=1` and `=8` pool sizes;
+//! * the summary-filling scenario demonstrates the full loop: the
+//!   attacker escalates, drift fires, the defender retrains, the
+//!   shadow gate promotes the candidate, and the final-round error
+//!   rates come back within bounds.
+
+use frappe_gauntlet::{builtin_scenarios, run_spec_on, summary_filling, ScenarioReport};
+use frappe_jobs::JobPool;
+
+#[test]
+fn all_builtin_scenarios_pass() {
+    for spec in builtin_scenarios() {
+        let report = run_spec_on(&JobPool::with_threads(2), &spec);
+        assert!(
+            report.outcome.passed,
+            "{} failed: {:?}",
+            spec.name, report.outcome.failures
+        );
+        assert_eq!(report.rounds.len(), spec.when.rounds as usize);
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_across_pool_sizes() {
+    for spec in builtin_scenarios() {
+        let serial = run_spec_on(&JobPool::with_threads(1), &spec);
+        let parallel = run_spec_on(&JobPool::with_threads(8), &spec);
+        assert_eq!(
+            serial.to_canonical_json(),
+            parallel.to_canonical_json(),
+            "{} must be pool-size invariant",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn summary_filling_walks_the_full_lifecycle_loop() {
+    let spec = summary_filling();
+    let report: ScenarioReport = run_spec_on(&JobPool::with_threads(2), &spec);
+    assert!(report.outcome.passed, "{:?}", report.outcome.failures);
+
+    // The attacker's escalation blinded the incumbent at some point…
+    let worst_fn = report
+        .rounds
+        .iter()
+        .map(|r| r.fn_rate)
+        .fold(0.0f64, f64::max);
+    assert!(
+        worst_fn > 0.35,
+        "escalation never hurt the incumbent (worst FN {worst_fn})"
+    );
+    // …drift fired, a retrain began shadowing, the gate promoted…
+    let drift_round = report.first_drift_round.expect("drift must fire");
+    let retrain_round = report
+        .rounds
+        .iter()
+        .find(|r| r.retrained)
+        .expect("defender must retrain")
+        .round;
+    let promoted_round = report.promoted_round.expect("gate must promote");
+    assert!(drift_round <= retrain_round && retrain_round <= promoted_round);
+    let promoted = &report.rounds[promoted_round as usize - 1];
+    assert!(promoted.promoted_version.is_some());
+    // …and the final round is back within the declared bounds.
+    let last = report.rounds.last().unwrap();
+    assert!(last.fn_rate <= 0.35, "final FN {}", last.fn_rate);
+    assert!(last.fp_rate <= 0.05, "final FP {}", last.fp_rate);
+}
